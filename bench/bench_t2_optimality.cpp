@@ -1,0 +1,85 @@
+// Table 2 — optimality of the dynamic program on fanout-free circuits.
+//
+// For random trees small enough for exhaustive search, compare the DP's
+// placements (scored by the shared un-quantised COP evaluator) with the
+// exhaustive optimum, and report the greedy/random baselines' gaps.
+// Reproduces the paper's core claim: the DP is optimal on trees.
+
+#include <iostream>
+
+#include "fault/fault.hpp"
+#include "gen/random_circuits.hpp"
+#include "netlist/ffr.hpp"
+#include "testability/cop.hpp"
+#include "tpi/evaluate.hpp"
+#include "tpi/planners.hpp"
+#include "tpi/tree_obs_dp.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace tpi;
+    using namespace tpi::netlist;
+
+    util::TextTable table({"tree", "gates", "K", "DP", "exhaustive",
+                           "DP gap%", "greedy gap%", "random gap%"});
+    double worst_gap = 0.0;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        gen::RandomTreeOptions tree_options;
+        tree_options.gates = 10;
+        tree_options.seed = seed;
+        const Circuit circuit = gen::random_tree(tree_options);
+        const auto faults = fault::singleton_faults(circuit);
+        const auto cop = testability::compute_cop(circuit);
+        const auto ffr = decompose_ffr(circuit);
+
+        for (int budget : {1, 2, 3}) {
+            Objective objective;
+            objective.num_patterns = 256;
+
+            TreeObsDp::Params params;
+            params.delta_bits = 0.05;
+            params.max_bucket = 3000;
+            params.max_budget = budget;
+            const TreeObsDp dp(circuit, ffr.regions[0], cop, faults,
+                               faults.class_size, objective, params);
+            std::vector<TestPoint> dp_points;
+            for (NodeId v : dp.placements(budget))
+                dp_points.push_back({v, TpKind::Observe});
+            const double dp_score =
+                evaluate_plan(circuit, faults, dp_points, objective).score;
+
+            PlannerOptions options;
+            options.budget = budget;
+            options.objective = objective;
+            options.control_kinds.clear();  // observation-only, like the DP
+            ExhaustivePlanner oracle;
+            GreedyPlanner greedy;
+            RandomPlanner random;
+            const double opt =
+                oracle.plan(circuit, options).predicted_score;
+            const double greedy_score =
+                greedy.plan(circuit, options).predicted_score;
+            const double random_score =
+                random.plan(circuit, options).predicted_score;
+
+            const auto gap = [&](double s) {
+                return opt > 0 ? 100.0 * (opt - s) / opt : 0.0;
+            };
+            worst_gap = std::max(worst_gap, gap(dp_score));
+            table.add_row({"t" + std::to_string(seed),
+                           std::to_string(circuit.gate_count()),
+                           std::to_string(budget),
+                           util::fmt_fixed(dp_score, 3),
+                           util::fmt_fixed(opt, 3),
+                           util::fmt_fixed(gap(dp_score), 2),
+                           util::fmt_fixed(gap(greedy_score), 2),
+                           util::fmt_fixed(gap(random_score), 2)});
+        }
+    }
+    table.print(std::cout,
+                "Table 2: DP vs exhaustive optimum on random fanout-free "
+                "circuits (observation points, N = 256)");
+    std::cout << "worst DP gap: " << util::fmt_fixed(worst_gap, 3)
+              << "% (paper claim: 0 on trees, up to quantisation)\n";
+    return 0;
+}

@@ -1,0 +1,72 @@
+// Table 3 — fault coverage at 32k pseudo-random patterns before and after
+// test point insertion, for the DP planner and the greedy/random
+// baselines at several budgets.
+//
+// Coverage is *measured* by fault simulation of the transformed netlist,
+// not estimated. Expected shape: DP >= greedy >> random; hard circuits
+// (cmp32, chains) jump from very low coverage to ~100%.
+
+#include <iostream>
+
+#include "fault/fault_sim.hpp"
+#include "gen/benchmarks.hpp"
+#include "netlist/transform.hpp"
+#include "tpi/planners.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+    using namespace tpi;
+
+    constexpr std::size_t kPatterns = 32768;
+    util::TextTable table({"circuit", "K", "base%", "DP%", "greedy%",
+                           "random%", "#DP pts", "DP s"});
+
+    for (const auto& entry : gen::small_suite()) {
+        const netlist::Circuit circuit = entry.build();
+        const double base =
+            fault::random_pattern_coverage(circuit, kPatterns, 1).coverage;
+
+        for (int budget : {4, 8, 16}) {
+            PlannerOptions options;
+            options.budget = budget;
+            options.objective.num_patterns = kPatterns;
+
+            const auto measure = [&](Planner& planner, double* seconds) {
+                util::Timer timer;
+                const Plan plan = planner.plan(circuit, options);
+                if (seconds) *seconds = timer.seconds();
+                const auto dft =
+                    netlist::apply_test_points(circuit, plan.points);
+                const auto sim = fault::random_pattern_coverage(
+                    dft.circuit, kPatterns, 1);
+                return std::pair<double, std::size_t>(sim.coverage,
+                                                      plan.points.size());
+            };
+
+            DpPlanner dp;
+            GreedyPlanner greedy;
+            RandomPlanner random;
+            double dp_seconds = 0.0;
+            const auto [dp_cov, dp_points] = measure(dp, &dp_seconds);
+            const auto [greedy_cov, greedy_points] =
+                measure(greedy, nullptr);
+            const auto [random_cov, random_points] =
+                measure(random, nullptr);
+            (void)greedy_points;
+            (void)random_points;
+
+            table.add_row({entry.name, std::to_string(budget),
+                           util::fmt_percent(base),
+                           util::fmt_percent(dp_cov),
+                           util::fmt_percent(greedy_cov),
+                           util::fmt_percent(random_cov),
+                           std::to_string(dp_points),
+                           util::fmt_fixed(dp_seconds, 2)});
+        }
+    }
+    table.print(std::cout,
+                "Table 3: measured fault coverage @32k patterns, "
+                "before/after TPI (DP vs baselines)");
+    return 0;
+}

@@ -1,0 +1,95 @@
+// Table 5 — runtime scaling of the planners (google-benchmark).
+//
+// Series: DP planner vs circuit size (random reconvergent DAGs and deep
+// chains), DP vs budget, and the greedy baseline for contrast. Expected
+// shape: the DP scales near-linearly in circuit size (regions are
+// independent) and quadratically in the per-region budget; greedy pays a
+// full re-evaluation per step.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/chains.hpp"
+#include "gen/random_circuits.hpp"
+#include "tpi/planners.hpp"
+
+namespace {
+
+using namespace tpi;
+
+netlist::Circuit make_dag(std::size_t gates) {
+    gen::RandomDagOptions options;
+    options.gates = gates;
+    options.inputs = std::max<std::size_t>(16, gates / 16);
+    options.window = 64;
+    options.seed = 7;
+    return gen::random_dag(options);
+}
+
+void BM_DpPlannerVsSize(benchmark::State& state) {
+    const netlist::Circuit circuit =
+        make_dag(static_cast<std::size_t>(state.range(0)));
+    DpPlanner planner;
+    PlannerOptions options;
+    options.budget = 8;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(planner.plan(circuit, options));
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DpPlannerVsSize)
+    ->RangeMultiplier(2)
+    ->Range(128, 4096)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+void BM_DpPlannerVsBudget(benchmark::State& state) {
+    const netlist::Circuit circuit = make_dag(512);
+    DpPlanner planner;
+    PlannerOptions options;
+    options.budget = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(planner.plan(circuit, options));
+    }
+}
+BENCHMARK(BM_DpPlannerVsBudget)
+    ->DenseRange(2, 16, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GreedyPlannerVsSize(benchmark::State& state) {
+    const netlist::Circuit circuit =
+        make_dag(static_cast<std::size_t>(state.range(0)));
+    GreedyPlanner planner;
+    PlannerOptions options;
+    options.budget = 8;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(planner.plan(circuit, options));
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GreedyPlannerVsSize)
+    ->RangeMultiplier(2)
+    ->Range(128, 1024)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+void BM_TreeDpOnDeepChain(benchmark::State& state) {
+    // Single-region worst case: one tree containing every node.
+    const netlist::Circuit circuit =
+        gen::and_chain(static_cast<std::size_t>(state.range(0)));
+    DpPlanner planner;
+    PlannerOptions options;
+    options.budget = 6;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(planner.plan(circuit, options));
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TreeDpOnDeepChain)
+    ->RangeMultiplier(2)
+    ->Range(64, 512)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Table 6 — the NP-completeness construction in action.
+//
+// SET-COVER instances are realised as reconvergent circuits; selecting
+// observation points on the candidate nets IS set cover. The table
+// reports exact (branch & bound) vs greedy cover sizes on the gadget
+// circuits, plus the planted upper bound. Expected shape: exact <=
+// planted <= greedy, with greedy occasionally paying the ln(n) factor —
+// the behaviour the paper's hardness result predicts for any
+// polynomial-time heuristic.
+
+#include <iostream>
+
+#include "tpi/hardness.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+    using namespace tpi;
+    using namespace tpi::hardness;
+
+    util::TextTable table({"instance", "elems", "sets", "planted",
+                           "exact", "greedy", "gadget gates", "exact ms"});
+    util::Rng rng(2026);
+    int greedy_suboptimal = 0;
+    const struct {
+        std::size_t universe, sets, planted;
+    } configs[] = {{12, 6, 3},  {20, 10, 4}, {30, 12, 5},
+                   {40, 16, 6}, {50, 20, 6}, {60, 24, 8}};
+
+    int id = 0;
+    for (const auto& config : configs) {
+        for (int rep = 0; rep < 2; ++rep) {
+            const SetCoverInstance instance = random_instance(
+                config.universe, config.sets, config.planted, rng);
+            const SetCoverGadget gadget = build_gadget(instance);
+
+            util::Timer timer;
+            const auto exact = solve_gadget_observation(gadget, true);
+            const double exact_ms = timer.millis();
+            const auto greedy = solve_gadget_observation(gadget, false);
+            if (greedy.size() > exact.size()) ++greedy_suboptimal;
+
+            table.add_row({"sc" + std::to_string(id++),
+                           std::to_string(config.universe),
+                           std::to_string(config.sets),
+                           std::to_string(config.planted),
+                           std::to_string(exact.size()),
+                           std::to_string(greedy.size()),
+                           std::to_string(gadget.circuit.gate_count()),
+                           util::fmt_fixed(exact_ms, 1)});
+        }
+    }
+    // Adversarial family: the classic greedy trap, where greedy pays its
+    // ln(n) factor while the optimum stays at 2.
+    for (std::size_t k : {3u, 4u, 5u, 6u}) {
+        const SetCoverInstance instance = greedy_trap_instance(k);
+        const SetCoverGadget gadget = build_gadget(instance);
+        util::Timer timer;
+        const auto exact = solve_gadget_observation(gadget, true);
+        const double exact_ms = timer.millis();
+        const auto greedy = solve_gadget_observation(gadget, false);
+        if (greedy.size() > exact.size()) ++greedy_suboptimal;
+        table.add_row({"trap" + std::to_string(k),
+                       std::to_string(instance.universe),
+                       std::to_string(instance.sets.size()), "2",
+                       std::to_string(exact.size()),
+                       std::to_string(greedy.size()),
+                       std::to_string(gadget.circuit.gate_count()),
+                       util::fmt_fixed(exact_ms, 1)});
+    }
+
+    table.print(std::cout,
+                "Table 6: observation-point selection on SET-COVER gadget "
+                "circuits (the NP-completeness construction)");
+    std::cout << "instances where greedy was suboptimal: "
+              << greedy_suboptimal << "\n";
+    return 0;
+}

@@ -1,0 +1,58 @@
+// Side-by-side comparison of the paper's DP planner against the classic
+// greedy and random baselines on a random-pattern-resistant circuit,
+// with budgets swept and real fault-simulated coverage reported.
+//
+// Build & run:  ./build/examples/dp_vs_greedy
+
+#include <iostream>
+
+#include "fault/fault_sim.hpp"
+#include "gen/chains.hpp"
+#include "netlist/transform.hpp"
+#include "tpi/planners.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+    using namespace tpi;
+
+    constexpr std::size_t kPatterns = 16384;
+    const netlist::Circuit circuit = gen::chained_lanes(8, 14);
+    std::cout << "circuit: " << circuit.name() << " ("
+              << circuit.gate_count() << " gates)\n"
+              << "baseline coverage @" << kPatterns << ": "
+              << util::fmt_percent(
+                     fault::random_pattern_coverage(circuit, kPatterns, 1)
+                         .coverage)
+              << "%\n\n";
+
+    util::TextTable table(
+        {"budget", "planner", "pts", "coverage%", "plan ms"});
+    for (int budget : {2, 4, 8, 12}) {
+        PlannerOptions options;
+        options.budget = budget;
+        options.objective.num_patterns = kPatterns;
+
+        DpPlanner dp;
+        GreedyPlanner greedy;
+        RandomPlanner random;
+        for (Planner* planner :
+             std::initializer_list<Planner*>{&dp, &greedy, &random}) {
+            util::Timer timer;
+            const Plan plan = planner->plan(circuit, options);
+            const double ms = timer.millis();
+            const auto dft =
+                netlist::apply_test_points(circuit, plan.points);
+            const double coverage =
+                fault::random_pattern_coverage(dft.circuit, kPatterns, 1)
+                    .coverage;
+            table.add_row({std::to_string(budget),
+                           std::string(planner->name()),
+                           std::to_string(plan.points.size()),
+                           util::fmt_percent(coverage),
+                           util::fmt_fixed(ms, 1)});
+        }
+    }
+    table.print(std::cout, "DP vs greedy vs random (measured coverage)");
+    return 0;
+}

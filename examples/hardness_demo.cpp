@@ -1,0 +1,72 @@
+// The NP-completeness half of the paper, constructively: a SET-COVER
+// instance is compiled into a reconvergent circuit whose optimal
+// observation-point selection *is* the set cover. The demo plants a
+// cover, solves the gadget exactly and greedily, inserts the chosen
+// observation points, and proves by fault simulation that exactly the
+// planted faults become detectable.
+//
+// Build & run:  ./build/examples/hardness_demo
+
+#include <iostream>
+
+#include "fault/fault_sim.hpp"
+#include "netlist/transform.hpp"
+#include "tpi/hardness.hpp"
+#include "util/rng.hpp"
+
+int main() {
+    using namespace tpi;
+    using namespace tpi::hardness;
+
+    util::Rng rng(7);
+    const SetCoverInstance instance = random_instance(
+        /*universe=*/24, /*sets=*/10, /*planted_size=*/4, rng);
+    std::cout << "SET-COVER instance: " << instance.universe
+              << " elements, " << instance.sets.size()
+              << " sets (a cover of size 4 was planted)\n";
+
+    const SetCoverGadget gadget = build_gadget(instance);
+    std::cout << "gadget circuit: " << gadget.circuit.gate_count()
+              << " gates, " << gadget.candidate_nets.size()
+              << " candidate nets; planted faults blocked from all "
+                 "primary outputs\n\n";
+
+    const auto exact = solve_gadget_observation(gadget, /*exact=*/true);
+    const auto greedy = solve_gadget_observation(gadget, /*exact=*/false);
+    std::cout << "exact (branch & bound) cover: " << exact.size()
+              << " observation points\n"
+              << "greedy H_n approximation:      " << greedy.size()
+              << " observation points\n\n";
+
+    // Insert the exact solution's observation points and fault-simulate.
+    std::vector<netlist::TestPoint> points;
+    for (std::uint32_t s : exact)
+        points.push_back({gadget.candidate_nets[s],
+                          netlist::TpKind::Observe});
+    const auto dft = netlist::apply_test_points(gadget.circuit, points);
+    const auto faults = fault::collapse_faults(dft.circuit);
+    sim::RandomPatternSource source(3);
+    fault::FaultSimOptions options;
+    options.max_patterns = 8192;
+    const auto result =
+        fault::run_fault_simulation(dft.circuit, faults, source, options);
+
+    std::size_t detected = 0;
+    for (const auto& planted : gadget.planted_faults) {
+        const fault::Fault mapped{dft.node_map[planted.node.v],
+                                  planted.stuck_at1};
+        const auto cls = faults.class_index(mapped);
+        if (cls >= 0 &&
+            result.detect_pattern[static_cast<std::size_t>(cls)] >= 0)
+            ++detected;
+    }
+    std::cout << "planted faults detected with the " << exact.size()
+              << " chosen observation points: " << detected << "/"
+              << gadget.planted_faults.size() << "\n";
+    std::cout << "\nBecause minimum-cardinality SET-COVER reduces to this "
+                 "selection problem,\noptimal test point insertion in "
+                 "reconvergent circuits is NP-complete — the\npaper's "
+                 "motivation for an optimal DP restricted to fanout-free "
+                 "circuits.\n";
+    return 0;
+}

@@ -1,0 +1,388 @@
+#include "atpg/podem.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "sim/logic_sim.hpp"
+#include "util/error.hpp"
+
+namespace tpi::atpg {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+namespace {
+
+/// Three-valued logic value.
+enum class V : std::uint8_t { Zero, One, X };
+
+V from_bool(bool b) { return b ? V::One : V::Zero; }
+
+V v_not(V a) {
+    if (a == V::X) return V::X;
+    return a == V::One ? V::Zero : V::One;
+}
+
+/// Three-valued n-ary gate evaluation.
+V eval3(GateType type, std::span<const V> in) {
+    switch (type) {
+        case GateType::Const0: return V::Zero;
+        case GateType::Const1: return V::One;
+        case GateType::Buf: return in[0];
+        case GateType::Not: return v_not(in[0]);
+        case GateType::And:
+        case GateType::Nand: {
+            V acc = V::One;
+            for (V v : in) {
+                if (v == V::Zero) {
+                    acc = V::Zero;
+                    break;
+                }
+                if (v == V::X) acc = V::X;
+            }
+            return type == GateType::Nand ? v_not(acc) : acc;
+        }
+        case GateType::Or:
+        case GateType::Nor: {
+            V acc = V::Zero;
+            for (V v : in) {
+                if (v == V::One) {
+                    acc = V::One;
+                    break;
+                }
+                if (v == V::X) acc = V::X;
+            }
+            return type == GateType::Nor ? v_not(acc) : acc;
+        }
+        case GateType::Xor:
+        case GateType::Xnor: {
+            bool parity = false;
+            for (V v : in) {
+                if (v == V::X) return V::X;
+                parity ^= (v == V::One);
+            }
+            const V acc = from_bool(parity);
+            return type == GateType::Xnor ? v_not(acc) : acc;
+        }
+        case GateType::Input:
+            throw Error("eval3: inputs are not evaluated");
+    }
+    throw Error("eval3: invalid GateType");
+}
+
+/// The PODEM engine for one fault.
+class Podem {
+public:
+    Podem(const Circuit& circuit, const fault::Fault& fault,
+          const AtpgOptions& options)
+        : circuit_(circuit),
+          fault_(fault),
+          options_(options),
+          pi_value_(circuit.input_count(), V::X),
+          good_(circuit.node_count(), V::X),
+          faulty_(circuit.node_count(), V::X) {
+        for (std::size_t i = 0; i < circuit.input_count(); ++i)
+            pi_index_by_node_[circuit.inputs()[i].v] =
+                static_cast<std::uint32_t>(i);
+    }
+
+    TestCube run() {
+        TestCube cube;
+        imply();
+        for (;;) {
+            if (detected()) {
+                cube.outcome = Outcome::Detected;
+                break;
+            }
+            if (conflict()) {
+                if (!backtrack()) {
+                    cube.outcome = backtracks_ > options_.backtrack_limit
+                                       ? Outcome::Aborted
+                                       : Outcome::Redundant;
+                    break;
+                }
+                continue;
+            }
+            std::uint32_t pi = 0;
+            bool value = false;
+            if (!next_decision(pi, value)) {
+                // No objective can be backtraced and no PI is free: the
+                // remaining X-ness is unreachable — treat as conflict.
+                if (!backtrack()) {
+                    cube.outcome = backtracks_ > options_.backtrack_limit
+                                       ? Outcome::Aborted
+                                       : Outcome::Redundant;
+                    break;
+                }
+                continue;
+            }
+            decisions_.push_back({pi, value, false});
+            pi_value_[pi] = from_bool(value);
+            imply();
+        }
+        cube.backtracks = backtracks_;
+        if (cube.outcome == Outcome::Detected) {
+            cube.inputs.assign(circuit_.input_count(), -1);
+            for (std::size_t i = 0; i < pi_value_.size(); ++i)
+                if (pi_value_[i] != V::X)
+                    cube.inputs[i] = pi_value_[i] == V::One ? 1 : 0;
+        }
+        return cube;
+    }
+
+private:
+    struct Decision {
+        std::uint32_t pi;
+        bool value;
+        bool flipped;
+    };
+
+    /// Three-valued simulation of the fault-free and faulty circuits.
+    void imply() {
+        std::vector<V> scratch;
+        for (NodeId v : circuit_.topo_order()) {
+            const GateType t = circuit_.type(v);
+            V g;
+            if (t == GateType::Input) {
+                g = pi_value_[pi_index_by_node_.at(v.v)];
+                good_[v.v] = g;
+                faulty_[v.v] = g;
+            } else {
+                const auto fanins = circuit_.fanins(v);
+                scratch.resize(fanins.size());
+                for (std::size_t i = 0; i < fanins.size(); ++i)
+                    scratch[i] = good_[fanins[i].v];
+                good_[v.v] = eval3(t, scratch);
+                for (std::size_t i = 0; i < fanins.size(); ++i)
+                    scratch[i] = faulty_[fanins[i].v];
+                faulty_[v.v] = eval3(t, scratch);
+            }
+            if (v == fault_.node)
+                faulty_[v.v] = from_bool(fault_.stuck_at1);
+        }
+    }
+
+    bool has_d(NodeId v) const {
+        return good_[v.v] != V::X && faulty_[v.v] != V::X &&
+               good_[v.v] != faulty_[v.v];
+    }
+    bool xish(NodeId v) const {
+        return good_[v.v] == V::X || faulty_[v.v] == V::X;
+    }
+
+    bool detected() const {
+        for (NodeId po : circuit_.outputs())
+            if (has_d(po)) return true;
+        return false;
+    }
+
+    /// Gates with a D on some input whose output could still become a D.
+    std::vector<NodeId> d_frontier() const {
+        std::vector<NodeId> frontier;
+        for (NodeId v : circuit_.all_nodes()) {
+            if (!has_d(v)) continue;
+            for (NodeId g : circuit_.fanouts(v))
+                if (xish(g)) frontier.push_back(g);
+        }
+        std::sort(frontier.begin(), frontier.end());
+        frontier.erase(std::unique(frontier.begin(), frontier.end()),
+                       frontier.end());
+        return frontier;
+    }
+
+    /// Sound pruning: the search branch is dead when the fault can no
+    /// longer be excited, or no fault effect can reach an output.
+    bool conflict() const {
+        const V site_good = good_[fault_.node.v];
+        const V need = from_bool(!fault_.stuck_at1);
+        if (site_good != V::X && site_good != need) return true;
+        if (site_good == V::X) return false;  // excitation still open
+        // Fault is excited: some effect must be able to reach a PO.
+        const auto frontier = d_frontier();
+        if (frontier.empty()) return true;
+        // X-path check: a frontier output must reach a PO through X-ish
+        // nets.
+        std::vector<bool> seen(circuit_.node_count(), false);
+        std::vector<NodeId> stack;
+        for (NodeId g : frontier) {
+            if (!seen[g.v]) {
+                seen[g.v] = true;
+                stack.push_back(g);
+            }
+        }
+        while (!stack.empty()) {
+            const NodeId v = stack.back();
+            stack.pop_back();
+            if (circuit_.is_output(v)) return false;  // path exists
+            for (NodeId w : circuit_.fanouts(v)) {
+                if (!seen[w.v] && xish(w)) {
+                    seen[w.v] = true;
+                    stack.push_back(w);
+                }
+            }
+        }
+        return true;  // excited but boxed in
+    }
+
+    /// Objective + backtrace: produce the next PI decision.
+    bool next_decision(std::uint32_t& pi, bool& value) const {
+        NodeId objective_net = netlist::kNullNode;
+        bool objective_value = false;
+
+        if (good_[fault_.node.v] == V::X) {
+            objective_net = fault_.node;
+            objective_value = !fault_.stuck_at1;
+        } else {
+            // Advance the D-frontier: set a good-X side input of a
+            // frontier gate to its non-controlling value.
+            for (NodeId g : d_frontier()) {
+                for (NodeId in : circuit_.fanins(g)) {
+                    if (good_[in.v] != V::X) continue;
+                    objective_net = in;
+                    objective_value =
+                        netlist::has_controlling_value(circuit_.type(g))
+                            ? !netlist::controlling_value(circuit_.type(g))
+                            : false;
+                    break;
+                }
+                if (objective_net.valid()) break;
+            }
+            if (!objective_net.valid()) {
+                // All X-ness at the frontier lives in the faulty machine
+                // only; fall back to any free PI to keep the search
+                // complete.
+                for (std::size_t i = 0; i < pi_value_.size(); ++i) {
+                    if (pi_value_[i] == V::X) {
+                        pi = static_cast<std::uint32_t>(i);
+                        value = false;
+                        return true;
+                    }
+                }
+                return false;
+            }
+        }
+
+        // Backtrace the objective through good-X nets to a primary input.
+        NodeId net = objective_net;
+        bool v = objective_value;
+        while (circuit_.type(net) != GateType::Input) {
+            if (netlist::is_source(circuit_.type(net))) return false;
+            v ^= netlist::is_inverting(circuit_.type(net));
+            NodeId next = netlist::kNullNode;
+            for (NodeId in : circuit_.fanins(net)) {
+                if (good_[in.v] == V::X) {
+                    next = in;
+                    break;
+                }
+            }
+            if (!next.valid()) return false;  // objective unreachable
+            net = next;
+        }
+        pi = pi_index_by_node_.at(net.v);
+        value = v;
+        return true;
+    }
+
+    /// Flip the deepest unflipped decision; pop flipped ones.
+    bool backtrack() {
+        ++backtracks_;
+        if (backtracks_ > options_.backtrack_limit) return false;
+        while (!decisions_.empty()) {
+            Decision& top = decisions_.back();
+            if (!top.flipped) {
+                top.flipped = true;
+                top.value = !top.value;
+                pi_value_[top.pi] = from_bool(top.value);
+                imply();
+                return true;
+            }
+            pi_value_[top.pi] = V::X;
+            decisions_.pop_back();
+        }
+        imply();
+        return false;
+    }
+
+    const Circuit& circuit_;
+    const fault::Fault fault_;
+    const AtpgOptions options_;
+    std::vector<V> pi_value_;
+    std::vector<V> good_;
+    std::vector<V> faulty_;
+    std::vector<Decision> decisions_;
+    std::unordered_map<std::uint32_t, std::uint32_t> pi_index_by_node_;
+    std::size_t backtracks_ = 0;
+};
+
+}  // namespace
+
+TestCube generate_test(const Circuit& circuit, const fault::Fault& fault,
+                       const AtpgOptions& options) {
+    require(fault.node.valid() && fault.node.v < circuit.node_count(),
+            "generate_test: invalid fault site");
+    // A stuck value equal to a tie cell's constant is trivially
+    // undetectable.
+    const GateType t = circuit.type(fault.node);
+    if ((t == GateType::Const0 && !fault.stuck_at1) ||
+        (t == GateType::Const1 && fault.stuck_at1)) {
+        TestCube cube;
+        cube.outcome = Outcome::Redundant;
+        return cube;
+    }
+    Podem engine(circuit, fault, options);
+    return engine.run();
+}
+
+AtpgSummary run_atpg(const Circuit& circuit,
+                     const fault::CollapsedFaults& faults,
+                     const AtpgOptions& options) {
+    AtpgSummary summary;
+    summary.outcome.resize(faults.size());
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        TestCube cube =
+            generate_test(circuit, faults.representatives[i], options);
+        summary.outcome[i] = cube.outcome;
+        switch (cube.outcome) {
+            case Outcome::Detected:
+                ++summary.detected;
+                summary.cubes.push_back(std::move(cube));
+                break;
+            case Outcome::Redundant: ++summary.redundant; break;
+            case Outcome::Aborted: ++summary.aborted; break;
+        }
+    }
+    return summary;
+}
+
+bool cube_detects(const Circuit& circuit, const fault::Fault& fault,
+                  const TestCube& cube) {
+    require(cube.inputs.size() == circuit.input_count(),
+            "cube_detects: cube width mismatch");
+    // Single-pattern two-circuit simulation via the word simulator.
+    sim::LogicSimulator good(circuit);
+    std::vector<std::uint64_t> words(circuit.input_count());
+    for (std::size_t i = 0; i < words.size(); ++i)
+        words[i] = cube.inputs[i] == 1 ? ~std::uint64_t{0} : 0;
+    good.simulate_block(words);
+
+    // Faulty evaluation over the fanout cone.
+    std::vector<std::uint64_t> value(good.values().begin(),
+                                     good.values().end());
+    value[fault.node.v] = fault.stuck_at1 ? ~std::uint64_t{0} : 0;
+    std::vector<std::uint64_t> fanin_scratch;
+    for (NodeId v : circuit.topo_order()) {
+        if (netlist::is_source(circuit.type(v)) || v == fault.node)
+            continue;
+        const auto fanins = circuit.fanins(v);
+        fanin_scratch.resize(fanins.size());
+        for (std::size_t i = 0; i < fanins.size(); ++i)
+            fanin_scratch[i] = value[fanins[i].v];
+        value[v.v] = netlist::eval_word(circuit.type(v), fanin_scratch);
+    }
+    for (NodeId po : circuit.outputs())
+        if ((value[po.v] ^ good.value(po)) & 1) return true;
+    return false;
+}
+
+}  // namespace tpi::atpg

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "netlist/circuit.hpp"
+
+namespace tpi::atpg {
+
+/// Result of one test-generation attempt.
+enum class Outcome : std::uint8_t {
+    Detected,   ///< a test cube was found
+    Redundant,  ///< search space exhausted: the fault is untestable
+    Aborted,    ///< backtrack limit hit before a decision was reached
+};
+
+/// A (partial) input assignment detecting a fault: one entry per primary
+/// input in inputs() order; -1 = don't care.
+struct TestCube {
+    std::vector<std::int8_t> inputs;
+    Outcome outcome = Outcome::Aborted;
+    std::size_t backtracks = 0;
+};
+
+struct AtpgOptions {
+    /// Give up on a fault after this many backtracks (it is then Aborted,
+    /// not proven redundant).
+    std::size_t backtrack_limit = 20000;
+};
+
+/// PODEM test generation for a single stuck-at fault.
+///
+/// Classic path-oriented decision making over the five-valued D-calculus,
+/// realised as a pair of three-valued simulations (fault-free and faulty
+/// circuit). Objectives alternate between exciting the fault and
+/// advancing the D-frontier; objectives are backtraced to primary-input
+/// assignments; an X-path check prunes branches from which no fault
+/// effect can reach an output.
+TestCube generate_test(const netlist::Circuit& circuit,
+                       const fault::Fault& fault,
+                       const AtpgOptions& options = {});
+
+/// Aggregate ATPG over a fault universe.
+struct AtpgSummary {
+    std::vector<Outcome> outcome;  ///< per collapsed fault
+    std::vector<TestCube> cubes;   ///< cubes of the Detected faults
+    std::size_t detected = 0;
+    std::size_t redundant = 0;
+    std::size_t aborted = 0;
+};
+
+/// Run PODEM on every fault of the universe. The paper-era experimental
+/// flow used this to eliminate redundant faults before quoting coverage,
+/// and to generate deterministic top-up cubes for the hard faults left
+/// after test point insertion.
+AtpgSummary run_atpg(const netlist::Circuit& circuit,
+                     const fault::CollapsedFaults& faults,
+                     const AtpgOptions& options = {});
+
+/// Verify a cube by simulation: does applying it (don't-cares filled
+/// with 0) detect the fault at some primary output?
+bool cube_detects(const netlist::Circuit& circuit,
+                  const fault::Fault& fault, const TestCube& cube);
+
+}  // namespace tpi::atpg

@@ -1,0 +1,35 @@
+#include "bist/misr.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace tpi::bist {
+
+Misr::Misr(unsigned width, std::uint64_t seed)
+    : width_(width),
+      mask_(width == 64 ? ~std::uint64_t{0}
+                        : (std::uint64_t{1} << width) - 1),
+      taps_(util::Lfsr::taps_for_width(width)),
+      state_(seed & mask_) {}
+
+void Misr::absorb(std::uint64_t response_bits) {
+    const std::uint64_t feedback = std::popcount(state_ & taps_) & 1u;
+    state_ = (((state_ << 1) | feedback) ^ response_bits) & mask_;
+}
+
+void Misr::absorb_bits(std::span<const bool> response) {
+    absorb(fold_response(response, width_));
+}
+
+std::uint64_t fold_response(std::span<const bool> response,
+                            unsigned width) {
+    require(width >= 1 && width <= 64, "fold_response: bad width");
+    std::uint64_t folded = 0;
+    for (std::size_t o = 0; o < response.size(); ++o)
+        if (response[o])
+            folded ^= std::uint64_t{1} << (o % width);
+    return folded;
+}
+
+}  // namespace tpi::bist

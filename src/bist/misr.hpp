@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/lfsr.hpp"
+
+namespace tpi::bist {
+
+/// Multiple-input signature register: an LFSR with the circuit response
+/// XORed into the state every cycle, compacting the whole test session
+/// into one `width`-bit signature. A faulty response almost always yields
+/// a different signature; the residual risk is *aliasing*, which shrinks
+/// as 2^-width (measured by the aliasing bench).
+class Misr {
+public:
+    /// `width` in [3, 64]; responses wider than the register fold onto
+    /// taps modulo the width, as in hardware space compaction.
+    explicit Misr(unsigned width, std::uint64_t seed = 0);
+
+    /// Absorb one response vector (value of each circuit output for one
+    /// test pattern).
+    void absorb(std::uint64_t response_bits);
+
+    /// Absorb one response bit per output, given as a bool span.
+    void absorb_bits(std::span<const bool> response);
+
+    std::uint64_t signature() const { return state_; }
+    unsigned width() const { return width_; }
+
+private:
+    unsigned width_;
+    std::uint64_t mask_;
+    std::uint64_t taps_;
+    std::uint64_t state_;
+};
+
+/// Fold an arbitrary-width response into `width` bits (output o XORs onto
+/// bit o mod width) — the space-compactor in front of a narrow MISR.
+std::uint64_t fold_response(std::span<const bool> response, unsigned width);
+
+}  // namespace tpi::bist

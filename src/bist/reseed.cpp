@@ -1,0 +1,185 @@
+#include "bist/reseed.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace tpi::bist {
+
+// ----------------------------------------------------------- Gf2Solver ----
+
+Gf2Solver::Gf2Solver(unsigned unknowns)
+    : unknowns_(unknowns), pivot_row_(unknowns, 0), pivot_rhs_(unknowns, 0) {
+    require(unknowns >= 1 && unknowns <= 64, "Gf2Solver: 1..64 unknowns");
+}
+
+bool Gf2Solver::add(std::uint64_t coefficients, bool rhs) {
+    std::uint8_t r = rhs ? 1 : 0;
+    while (coefficients != 0) {
+        const unsigned p =
+            static_cast<unsigned>(std::countr_zero(coefficients));
+        if (p >= unknowns_) return r == 0;  // out-of-range bits ignored
+        if (pivot_row_[p] == 0) {
+            pivot_row_[p] = coefficients;
+            pivot_rhs_[p] = r;
+            return true;
+        }
+        coefficients ^= pivot_row_[p];
+        r ^= pivot_rhs_[p];
+    }
+    return r == 0;  // 0 = rhs: redundant constraint or contradiction
+}
+
+std::uint64_t Gf2Solver::solve(bool free_value) const {
+    std::uint64_t x = 0;
+    for (unsigned p = unknowns_; p-- > 0;) {
+        if (pivot_row_[p] == 0) {
+            if (free_value) x |= std::uint64_t{1} << p;
+            continue;
+        }
+        const std::uint64_t rest =
+            pivot_row_[p] & ~(std::uint64_t{1} << p);
+        const unsigned parity = std::popcount(rest & x) & 1u;
+        if ((pivot_rhs_[p] ^ parity) != 0) x |= std::uint64_t{1} << p;
+    }
+    return x;
+}
+
+bool Gf2Solver::has_free_variable() const {
+    return std::any_of(pivot_row_.begin(), pivot_row_.end(),
+                       [](std::uint64_t row) { return row == 0; });
+}
+
+// -------------------------------------------------------- SymbolicLfsr ----
+
+SymbolicLfsr::SymbolicLfsr(unsigned width)
+    : width_(width),
+      taps_(util::Lfsr::taps_for_width(width)),
+      fn_(width) {
+    for (unsigned k = 0; k < width; ++k) fn_[k] = std::uint64_t{1} << k;
+}
+
+void SymbolicLfsr::step() {
+    std::uint64_t feedback = 0;
+    std::uint64_t taps = taps_;
+    while (taps != 0) {
+        feedback ^= fn_[std::countr_zero(taps)];
+        taps &= taps - 1;
+    }
+    for (unsigned k = width_; k-- > 1;) fn_[k] = fn_[k - 1];
+    fn_[0] = feedback;
+}
+
+// ------------------------------------------------------ plan_reseeding ----
+
+std::vector<bool> expand_seed(unsigned width, std::uint64_t seed,
+                              std::size_t position,
+                              std::size_t num_inputs) {
+    util::Lfsr lfsr(width, seed);
+    for (std::size_t s = 0; s <= position; ++s) lfsr.step();
+    std::vector<bool> pattern(num_inputs);
+    for (std::size_t i = 0; i < num_inputs; ++i)
+        pattern[i] = ((lfsr.state() >> (i % width)) & 1) != 0;
+    return pattern;
+}
+
+ReseedResult plan_reseeding(std::size_t num_inputs,
+                            const std::vector<atpg::TestCube>& cubes,
+                            const ReseedOptions& options) {
+    ReseedResult result;
+    const unsigned width =
+        options.width != 0
+            ? options.width
+            : static_cast<unsigned>(
+                  std::clamp<std::size_t>(num_inputs, 4, 64));
+    require(width >= 3 && width <= 64, "plan_reseeding: width in [3, 64]");
+    require(options.window >= 1, "plan_reseeding: window >= 1");
+    result.lfsr_width = width;
+    result.placements.resize(cubes.size());
+
+    // Symbolic state rows for pattern positions 0..window-1 (pattern t is
+    // the register contents after t+1 steps).
+    std::vector<std::vector<std::uint64_t>> rows(options.window);
+    {
+        SymbolicLfsr symbolic(width);
+        for (std::size_t t = 0; t < options.window; ++t) {
+            symbolic.step();
+            rows[t].resize(width);
+            for (unsigned b = 0; b < width; ++b)
+                rows[t][b] = symbolic.coefficients(b);
+        }
+    }
+
+    const auto try_place = [&](Gf2Solver& solver,
+                               const atpg::TestCube& cube,
+                               std::size_t position) {
+        Gf2Solver trial = solver;
+        for (std::size_t i = 0; i < cube.inputs.size(); ++i) {
+            if (cube.inputs[i] < 0) continue;
+            const unsigned tap = static_cast<unsigned>(i) % width;
+            if (!trial.add(rows[position][tap], cube.inputs[i] == 1))
+                return false;
+        }
+        solver = trial;
+        return true;
+    };
+
+    Gf2Solver solver(width);
+    std::size_t next_position = 0;
+    std::vector<std::size_t> members;  // cube indices of the open seed
+
+    const auto finalize_seed = [&]() {
+        if (members.empty()) return;
+        std::uint64_t seed = solver.solve(false);
+        if (seed == 0) seed = solver.solve(true);
+        result.seeds.push_back(seed);
+        members.clear();
+        solver = Gf2Solver(width);
+        next_position = 0;
+    };
+
+    for (std::size_t ci = 0; ci < cubes.size(); ++ci) {
+        const atpg::TestCube& cube = cubes[ci];
+        require(cube.inputs.size() == num_inputs,
+                "plan_reseeding: cube width mismatch");
+        bool placed = false;
+        for (int attempt = 0; attempt < 2 && !placed; ++attempt) {
+            for (std::size_t pos = next_position;
+                 pos < options.window && !placed; ++pos) {
+                if (try_place(solver, cube, pos)) {
+                    result.placements[ci] = {
+                        static_cast<int>(result.seeds.size()), pos};
+                    members.push_back(ci);
+                    next_position = pos + 1;
+                    placed = true;
+                }
+            }
+            if (!placed) finalize_seed();  // retry once in a fresh seed
+        }
+        // Unplaceable even alone: conflicting tap sharing.
+    }
+    finalize_seed();
+
+    // Verification pass: an all-zero pinned seed (remapped by the LFSR)
+    // or any other wrinkle is caught by expanding and comparing.
+    for (std::size_t ci = 0; ci < cubes.size(); ++ci) {
+        auto& placement = result.placements[ci];
+        if (placement.seed < 0) continue;
+        const auto pattern =
+            expand_seed(width,
+                        result.seeds[static_cast<std::size_t>(
+                            placement.seed)],
+                        placement.position, num_inputs);
+        for (std::size_t i = 0; i < num_inputs; ++i) {
+            if (cubes[ci].inputs[i] >= 0 &&
+                pattern[i] != (cubes[ci].inputs[i] == 1)) {
+                placement.seed = -1;
+                break;
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace tpi::bist

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "atpg/podem.hpp"
+#include "util/lfsr.hpp"
+
+namespace tpi::bist {
+
+/// Incremental GF(2) linear solver over at most 64 unknowns.
+///
+/// Constraints are rows `coefficients . x = rhs` with coefficients packed
+/// into a 64-bit mask. Built for LFSR seed computation: the state bits of
+/// a linear machine are GF(2)-linear functions of the seed, so "pattern t
+/// must match cube c" is a linear system over the seed bits.
+class Gf2Solver {
+public:
+    explicit Gf2Solver(unsigned unknowns);
+
+    /// Add one constraint; returns false (and leaves the system
+    /// unchanged) if it is inconsistent with the constraints so far.
+    bool add(std::uint64_t coefficients, bool rhs);
+
+    /// A solution with free variables forced to `free_value`.
+    std::uint64_t solve(bool free_value = false) const;
+
+    /// True if some unknown is not pinned by the constraints.
+    bool has_free_variable() const;
+
+    unsigned unknowns() const { return unknowns_; }
+
+private:
+    unsigned unknowns_;
+    // Row-echelon rows: pivot_row_[k] has its lowest set bit at k, or 0.
+    std::vector<std::uint64_t> pivot_row_;
+    std::vector<std::uint8_t> pivot_rhs_;
+};
+
+/// Symbolic LFSR: tracks every state bit as a GF(2)-linear function of
+/// the seed bits, enabling seed solving for constraints at arbitrary
+/// times.
+class SymbolicLfsr {
+public:
+    explicit SymbolicLfsr(unsigned width);
+
+    /// Advance one step (mirrors util::Lfsr::step()).
+    void step();
+
+    /// Coefficient mask of state bit `bit` over the seed bits.
+    std::uint64_t coefficients(unsigned bit) const { return fn_[bit]; }
+
+    unsigned width() const { return width_; }
+
+private:
+    unsigned width_;
+    std::uint64_t taps_;
+    std::vector<std::uint64_t> fn_;  // per state bit
+};
+
+/// Reseeding: encode deterministic test cubes (from ATPG) as LFSR seeds,
+/// the classic store-seeds-not-patterns BIST compression. Cubes are
+/// packed greedily: each seed's pseudo-random sequence is asked to match
+/// as many cubes as possible at successive pattern positions before a new
+/// seed is opened.
+struct ReseedResult {
+    unsigned lfsr_width = 0;
+    std::vector<std::uint64_t> seeds;
+    /// For each input cube, in order: (seed index, pattern position), or
+    /// seed index -1 if the cube could not be encoded (conflicting tap
+    /// sharing when inputs outnumber the register).
+    struct Placement {
+        int seed = -1;
+        std::size_t position = 0;
+    };
+    std::vector<Placement> placements;
+
+    std::size_t encoded() const {
+        std::size_t n = 0;
+        for (const auto& p : placements)
+            if (p.seed >= 0) ++n;
+        return n;
+    }
+};
+
+struct ReseedOptions {
+    /// LFSR width; 0 = choose automatically (number of inputs, clamped
+    /// to [4, 64]).
+    unsigned width = 0;
+    /// How many pattern positions of one seed's sequence are examined
+    /// before opening a new seed.
+    std::size_t window = 64;
+};
+
+/// Pack `cubes` (one per fault, inputs() order, -1 = don't care) into
+/// LFSR seeds for an LfsrPatternSource of the returned width.
+ReseedResult plan_reseeding(std::size_t num_inputs,
+                            const std::vector<atpg::TestCube>& cubes,
+                            const ReseedOptions& options = {});
+
+/// The pattern produced by seed at `position` when expanded by
+/// LfsrPatternSource(width, seed): bit i = input i. For verification.
+std::vector<bool> expand_seed(unsigned width, std::uint64_t seed,
+                              std::size_t position,
+                              std::size_t num_inputs);
+
+}  // namespace tpi::bist

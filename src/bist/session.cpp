@@ -1,0 +1,103 @@
+#include "bist/session.hpp"
+
+#include "bist/misr.hpp"
+
+#include <bit>
+#include "fault/fault_sim.hpp"
+#include "sim/logic_sim.hpp"
+#include "util/error.hpp"
+
+namespace tpi::bist {
+
+double SessionResult::signature_coverage(
+    const fault::CollapsedFaults& faults) const {
+    require(signature_detects.size() == faults.size(),
+            "signature_coverage: universe mismatch");
+    double covered = 0.0;
+    for (std::size_t i = 0; i < faults.size(); ++i)
+        if (signature_detects[i]) covered += faults.class_size[i];
+    return faults.total_faults > 0
+               ? covered / static_cast<double>(faults.total_faults)
+               : 1.0;
+}
+
+namespace {
+
+/// Fold the 64 per-pattern responses of one block into MISR input words.
+void fold_block(std::span<const std::uint64_t> po_words, unsigned width,
+                std::uint64_t folded[64]) {
+    for (int j = 0; j < 64; ++j) folded[j] = 0;
+    for (std::size_t o = 0; o < po_words.size(); ++o) {
+        const std::uint64_t bit = std::uint64_t{1} << (o % width);
+        std::uint64_t word = po_words[o];
+        while (word != 0) {
+            const int j = std::countr_zero(word);
+            folded[j] ^= bit;
+            word &= word - 1;
+        }
+    }
+}
+
+}  // namespace
+
+SessionResult run_session(const netlist::Circuit& circuit,
+                          const fault::CollapsedFaults& faults,
+                          sim::PatternSource& source,
+                          const SessionOptions& options) {
+    require(options.misr_width >= 3 && options.misr_width <= 64,
+            "run_session: misr_width in [3, 64]");
+    const std::size_t blocks = (options.patterns + 63) / 64;
+
+    // Golden signature.
+    Misr golden(options.misr_width, options.misr_seed);
+    {
+        sim::LogicSimulator simulator(circuit);
+        std::vector<std::uint64_t> pi_words(circuit.input_count());
+        std::vector<std::uint64_t> po_words(circuit.output_count());
+        std::uint64_t folded[64];
+        for (std::size_t b = 0; b < blocks; ++b) {
+            source.next_block(pi_words);
+            simulator.simulate_block(pi_words);
+            for (std::size_t o = 0; o < circuit.output_count(); ++o)
+                po_words[o] = simulator.value(circuit.outputs()[o]);
+            fold_block(po_words, options.misr_width, folded);
+            for (int j = 0; j < 64; ++j) golden.absorb(folded[j]);
+        }
+    }
+
+    // Faulty signatures: full-response fault simulation with a MISR per
+    // fault fed through the response observer.
+    std::vector<Misr> misr(faults.size(),
+                           Misr(options.misr_width, options.misr_seed));
+    fault::FaultSimOptions sim_options;
+    sim_options.max_patterns = options.patterns;
+    sim_options.stop_at_full_coverage = false;
+    sim_options.drop_detected = false;
+    sim_options.response_observer =
+        [&](std::uint32_t fi, std::size_t /*block*/,
+            std::span<const std::uint64_t> faulty_po_words) {
+            std::uint64_t folded[64];
+            fold_block(faulty_po_words, options.misr_width, folded);
+            for (int j = 0; j < 64; ++j) misr[fi].absorb(folded[j]);
+        };
+    source.reset();
+    const fault::FaultSimResult sim_result =
+        fault::run_fault_simulation(circuit, faults, source, sim_options);
+
+    SessionResult result;
+    result.golden_signature = golden.signature();
+    result.signature_detects.resize(faults.size());
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        const bool strobe = sim_result.detect_pattern[i] >= 0;
+        const bool signature =
+            misr[i].signature() != golden.signature();
+        result.signature_detects[i] = signature;
+        if (strobe) {
+            ++result.strobe_detected;
+            if (!signature) ++result.aliased;
+        }
+    }
+    return result;
+}
+
+}  // namespace tpi::bist

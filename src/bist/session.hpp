@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "netlist/circuit.hpp"
+#include "sim/pattern.hpp"
+
+namespace tpi::bist {
+
+struct SessionOptions {
+    std::size_t patterns = 4096;   ///< rounded up to a multiple of 64
+    unsigned misr_width = 16;      ///< signature register width
+    std::uint64_t misr_seed = 0;
+};
+
+/// Outcome of a full signature-based BIST session.
+struct SessionResult {
+    std::uint64_t golden_signature = 0;
+    /// Per collapsed fault: would its signature differ from golden?
+    std::vector<bool> signature_detects;
+    /// Faults whose response differs at some output strobe (upper bound
+    /// for any compaction scheme).
+    std::size_t strobe_detected = 0;
+    /// Strobe-detected faults whose signature nevertheless matches golden
+    /// (MISR aliasing).
+    std::size_t aliased = 0;
+
+    double aliasing_rate() const {
+        return strobe_detected == 0
+                   ? 0.0
+                   : static_cast<double>(aliased) /
+                         static_cast<double>(strobe_detected);
+    }
+    /// Coverage as the signature comparison would report it, weighted
+    /// over the uncollapsed universe.
+    double signature_coverage(const fault::CollapsedFaults& faults) const;
+};
+
+/// Run a complete signature-based BIST session: simulate every fault over
+/// the whole pattern set (no dropping — aliasing needs the full
+/// response), compact each response stream into a MISR signature, and
+/// compare against the fault-free golden signature.
+SessionResult run_session(const netlist::Circuit& circuit,
+                          const fault::CollapsedFaults& faults,
+                          sim::PatternSource& source,
+                          const SessionOptions& options = {});
+
+}  // namespace tpi::bist

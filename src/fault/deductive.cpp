@@ -1,0 +1,171 @@
+#include "fault/deductive.hpp"
+
+#include <algorithm>
+
+#include "sim/logic_sim.hpp"
+#include "util/error.hpp"
+
+namespace tpi::fault {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+namespace {
+
+using FaultList = std::vector<std::int32_t>;  // sorted class indices
+
+void sorted_union(const FaultList& a, const FaultList& b, FaultList& out) {
+    out.clear();
+    std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                   std::back_inserter(out));
+}
+
+}  // namespace
+
+DeductiveResult run_deductive_simulation(const Circuit& circuit,
+                                         const CollapsedFaults& faults,
+                                         sim::PatternSource& source,
+                                         std::size_t max_patterns,
+                                         bool stop_at_full_coverage) {
+    const std::size_t n = circuit.node_count();
+    sim::LogicSimulator good(circuit);
+
+    DeductiveResult result;
+    result.detect_pattern.assign(faults.size(), -1);
+    std::size_t undetected = faults.size();
+
+    std::vector<FaultList> list(n);
+    std::vector<std::uint64_t> pi_words(circuit.input_count());
+    FaultList scratch_a;
+    FaultList scratch_b;
+    // Per-gate aggregation scratch: (class, tag) pairs.
+    std::vector<std::pair<std::int32_t, std::int32_t>> gathered;
+
+    const std::size_t blocks = (max_patterns + 63) / 64;
+    for (std::size_t b = 0;
+         b < blocks && !(stop_at_full_coverage && undetected == 0); ++b) {
+        source.next_block(pi_words);
+        good.simulate_block(pi_words);
+        const auto values = good.values();
+
+        for (unsigned j = 0;
+             j < 64 && !(stop_at_full_coverage && undetected == 0); ++j) {
+            const std::int64_t pattern =
+                static_cast<std::int64_t>(b) * 64 + j;
+
+            for (NodeId v : circuit.topo_order()) {
+                const GateType t = circuit.type(v);
+                const bool good_value = ((values[v.v] >> j) & 1) != 0;
+                FaultList& lv = list[v.v];
+                lv.clear();
+
+                const auto fanins = circuit.fanins(v);
+                if (!netlist::is_source(t)) {
+                    if (t == GateType::Buf || t == GateType::Not) {
+                        lv = list[fanins[0].v];
+                    } else if (t == GateType::Xor || t == GateType::Xnor) {
+                        // Odd-flip rule: gather occurrences per fault.
+                        gathered.clear();
+                        for (NodeId f : fanins)
+                            for (std::int32_t cls : list[f.v])
+                                gathered.emplace_back(cls, 1);
+                        std::sort(gathered.begin(), gathered.end());
+                        for (std::size_t k = 0; k < gathered.size();) {
+                            std::size_t e = k;
+                            int count = 0;
+                            while (e < gathered.size() &&
+                                   gathered[e].first == gathered[k].first) {
+                                ++count;
+                                ++e;
+                            }
+                            if (count % 2 == 1)
+                                lv.push_back(gathered[k].first);
+                            k = e;
+                        }
+                    } else {
+                        // AND/NAND/OR/NOR: controlling-value analysis.
+                        const bool ctrl =
+                            netlist::controlling_value(t);
+                        scratch_a.clear();  // intersection of controlling
+                        scratch_b.clear();  // union of non-controlling
+                        bool have_controlling = false;
+                        bool first_controlling = true;
+                        for (NodeId f : fanins) {
+                            const bool fv = ((values[f.v] >> j) & 1) != 0;
+                            if (fv == ctrl) {
+                                have_controlling = true;
+                                if (first_controlling) {
+                                    scratch_a = list[f.v];
+                                    first_controlling = false;
+                                } else {
+                                    FaultList tmp;
+                                    std::set_intersection(
+                                        scratch_a.begin(), scratch_a.end(),
+                                        list[f.v].begin(), list[f.v].end(),
+                                        std::back_inserter(tmp));
+                                    scratch_a = std::move(tmp);
+                                }
+                            } else {
+                                FaultList tmp;
+                                sorted_union(scratch_b, list[f.v], tmp);
+                                scratch_b = std::move(tmp);
+                            }
+                        }
+                        if (!have_controlling) {
+                            lv = scratch_b;  // union of all inputs
+                        } else {
+                            std::set_difference(
+                                scratch_a.begin(), scratch_a.end(),
+                                scratch_b.begin(), scratch_b.end(),
+                                std::back_inserter(lv));
+                        }
+                    }
+                }
+
+                // The net's own stuck-at fault (the one opposite to the
+                // good value) flips it; the same-value fault never does.
+                const std::int32_t excited =
+                    faults.class_of[2 * v.v + (good_value ? 0 : 1)];
+                const std::int32_t masked =
+                    faults.class_of[2 * v.v + (good_value ? 1 : 0)];
+                if (excited >= 0) {
+                    const auto it = std::lower_bound(lv.begin(), lv.end(),
+                                                     excited);
+                    if (it == lv.end() || *it != excited)
+                        lv.insert(it, excited);
+                }
+                if (masked >= 0) {
+                    // A stuck-at equal to the good value pins the net:
+                    // nothing propagates past it, including itself.
+                    const auto it = std::lower_bound(lv.begin(), lv.end(),
+                                                     masked);
+                    if (it != lv.end() && *it == masked) lv.erase(it);
+                }
+            }
+
+            for (NodeId po : circuit.outputs()) {
+                for (std::int32_t cls : list[po.v]) {
+                    auto& first = result.detect_pattern[
+                        static_cast<std::size_t>(cls)];
+                    if (first < 0) {
+                        first = pattern;
+                        --undetected;
+                    }
+                }
+            }
+            result.patterns_applied = static_cast<std::size_t>(pattern) + 1;
+        }
+    }
+
+    double covered = 0.0;
+    for (std::size_t i = 0; i < faults.size(); ++i)
+        if (result.detect_pattern[i] >= 0) covered += faults.class_size[i];
+    result.coverage = faults.total_faults > 0
+                          ? covered / faults.total_faults
+                          : 1.0;
+    result.undetected = undetected;
+    return result;
+}
+
+}  // namespace tpi::fault

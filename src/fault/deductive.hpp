@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "netlist/circuit.hpp"
+#include "sim/pattern.hpp"
+
+namespace tpi::fault {
+
+/// Result of a deductive fault simulation run (same conventions as
+/// FaultSimResult where the fields overlap).
+struct DeductiveResult {
+    std::vector<std::int64_t> detect_pattern;  ///< first detection or -1
+    std::size_t patterns_applied = 0;
+    double coverage = 0.0;
+    std::size_t undetected = 0;
+};
+
+/// Deductive fault simulation (Armstrong's method) — the second,
+/// independent engine used to cross-validate the parallel-pattern
+/// simulator.
+///
+/// For each pattern, every net carries the *list* of single faults whose
+/// presence would flip it. Lists combine exactly through gates: with no
+/// controlling input present the output list is the union of the input
+/// lists; with controlling inputs it is the intersection of the
+/// controlling inputs' lists minus the union of the others; XOR keeps
+/// faults flipping an odd number of inputs. A fault is detected when its
+/// class reaches a primary output's list.
+///
+/// One pattern at a time and list-heavy — use for verification and small
+/// circuits, not throughput.
+DeductiveResult run_deductive_simulation(const netlist::Circuit& circuit,
+                                         const CollapsedFaults& faults,
+                                         sim::PatternSource& source,
+                                         std::size_t max_patterns,
+                                         bool stop_at_full_coverage = true);
+
+}  // namespace tpi::fault

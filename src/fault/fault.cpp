@@ -1,0 +1,140 @@
+#include "fault/fault.hpp"
+
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace tpi::fault {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+std::string fault_name(const Circuit& circuit, const Fault& fault) {
+    return circuit.node_name(fault.node) +
+           (fault.stuck_at1 ? "/sa1" : "/sa0");
+}
+
+std::vector<Fault> all_faults(const Circuit& circuit) {
+    std::vector<Fault> faults;
+    faults.reserve(2 * circuit.node_count());
+    for (NodeId v : circuit.all_nodes()) {
+        const GateType t = circuit.type(v);
+        if (t != GateType::Const0) faults.push_back({v, false});
+        if (t != GateType::Const1) faults.push_back({v, true});
+    }
+    return faults;
+}
+
+namespace {
+
+/// Minimal union-find over fault slots (2 per node: index = 2*node + sa).
+class UnionFind {
+public:
+    explicit UnionFind(std::size_t n) : parent_(n) {
+        std::iota(parent_.begin(), parent_.end(), 0u);
+    }
+
+    std::uint32_t find(std::uint32_t x) {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    void unite(std::uint32_t a, std::uint32_t b) {
+        parent_[find(a)] = find(b);
+    }
+
+private:
+    std::vector<std::uint32_t> parent_;
+};
+
+std::uint32_t slot(NodeId node, bool sa1) {
+    return 2 * node.v + (sa1 ? 1u : 0u);
+}
+
+}  // namespace
+
+CollapsedFaults collapse_faults(const Circuit& circuit) {
+    const std::size_t n = circuit.node_count();
+    UnionFind uf(2 * n);
+
+    for (NodeId g : circuit.all_nodes()) {
+        const GateType t = circuit.type(g);
+        if (netlist::is_source(t)) continue;
+        for (NodeId a : circuit.fanins(g)) {
+            if (circuit.fanout_count(a) != 1) continue;
+            switch (t) {
+                case GateType::Buf:
+                    uf.unite(slot(a, false), slot(g, false));
+                    uf.unite(slot(a, true), slot(g, true));
+                    break;
+                case GateType::Not:
+                    uf.unite(slot(a, false), slot(g, true));
+                    uf.unite(slot(a, true), slot(g, false));
+                    break;
+                case GateType::And:
+                    uf.unite(slot(a, false), slot(g, false));
+                    break;
+                case GateType::Nand:
+                    uf.unite(slot(a, false), slot(g, true));
+                    break;
+                case GateType::Or:
+                    uf.unite(slot(a, true), slot(g, true));
+                    break;
+                case GateType::Nor:
+                    uf.unite(slot(a, true), slot(g, false));
+                    break;
+                default:
+                    break;  // XOR/XNOR: no structural equivalence
+            }
+        }
+    }
+
+    // Membership in the universe (tie-cell trivial faults excluded).
+    const auto in_universe = [&](NodeId v, bool sa1) {
+        const GateType t = circuit.type(v);
+        if (t == GateType::Const0 && !sa1) return false;
+        if (t == GateType::Const1 && sa1) return false;
+        return true;
+    };
+
+    CollapsedFaults result;
+    result.class_of.assign(2 * n, -1);
+    std::vector<std::int32_t> class_of_root(2 * n, -1);
+    for (NodeId v : circuit.all_nodes()) {
+        for (bool sa1 : {false, true}) {
+            if (!in_universe(v, sa1)) continue;
+            const std::uint32_t root = uf.find(slot(v, sa1));
+            std::int32_t cls = class_of_root[root];
+            if (cls < 0) {
+                cls = static_cast<std::int32_t>(result.representatives.size());
+                class_of_root[root] = cls;
+                result.representatives.push_back({v, sa1});
+                result.class_size.push_back(0);
+            }
+            result.class_of[slot(v, sa1)] = cls;
+            result.class_size[static_cast<std::size_t>(cls)]++;
+            result.total_faults++;
+        }
+    }
+    return result;
+}
+
+CollapsedFaults singleton_faults(const Circuit& circuit) {
+    CollapsedFaults result;
+    result.class_of.assign(2 * circuit.node_count(), -1);
+    for (const Fault& f : all_faults(circuit)) {
+        const auto cls =
+            static_cast<std::int32_t>(result.representatives.size());
+        result.class_of[2 * f.node.v + (f.stuck_at1 ? 1 : 0)] = cls;
+        result.representatives.push_back(f);
+        result.class_size.push_back(1);
+        result.total_faults++;
+    }
+    return result;
+}
+
+}  // namespace tpi::fault

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace tpi::fault {
+
+/// A single-stuck-at fault on a net (nets are identified with the node
+/// that drives them).
+struct Fault {
+    netlist::NodeId node = netlist::kNullNode;
+    bool stuck_at1 = false;  ///< true: stuck-at-1, false: stuck-at-0
+
+    friend constexpr bool operator==(const Fault&, const Fault&) = default;
+};
+
+std::string fault_name(const netlist::Circuit& circuit, const Fault& fault);
+
+/// The uncollapsed single-stuck-at universe: two faults per net, minus the
+/// trivially untestable faults on tie cells (Const0 s-a-0, Const1 s-a-1).
+std::vector<Fault> all_faults(const netlist::Circuit& circuit);
+
+/// Structurally collapsed fault universe.
+///
+/// Equivalence collapsing uses the classic gate rules (any AND-input
+/// s-a-0 == output s-a-0, OR-input s-a-1 == output s-a-1, the NAND/NOR
+/// inverted forms, and both BUF/NOT identities), applied only across nets
+/// with a single consumer. Coverage is reported over the *uncollapsed*
+/// universe by weighting each representative with its class size.
+struct CollapsedFaults {
+    std::vector<Fault> representatives;      ///< one fault per class
+    std::vector<std::uint32_t> class_size;   ///< members per class
+    std::size_t total_faults = 0;            ///< uncollapsed universe size
+
+    /// (node, stuck value) -> index into representatives, or -1 if the
+    /// fault is not part of the universe (trivially untestable).
+    std::vector<std::int32_t> class_of;
+
+    std::size_t size() const { return representatives.size(); }
+
+    std::int32_t class_index(const Fault& fault) const {
+        return class_of[2 * fault.node.v + (fault.stuck_at1 ? 1 : 0)];
+    }
+};
+
+CollapsedFaults collapse_faults(const netlist::Circuit& circuit);
+
+/// The uncollapsed universe in CollapsedFaults form: one singleton class
+/// per fault of all_faults().
+///
+/// Planners optimise over this universe rather than the collapsed one:
+/// structural equivalence is only valid for the circuit it was computed
+/// on, and inserting a test point (an observation point adds a fanout,
+/// a control point adds a gate) breaks equivalences that cross it — a
+/// class scored at its representative would then misprice its other
+/// members. Fault *simulation* collapses internally on the final netlist,
+/// where the equivalences do hold.
+CollapsedFaults singleton_faults(const netlist::Circuit& circuit);
+
+}  // namespace tpi::fault

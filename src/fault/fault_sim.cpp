@@ -1,0 +1,175 @@
+#include "fault/fault_sim.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "sim/logic_sim.hpp"
+#include "util/error.hpp"
+
+namespace tpi::fault {
+
+using netlist::Circuit;
+using netlist::NodeId;
+
+std::int64_t FaultSimResult::patterns_to_coverage(
+    double target, const CollapsedFaults& faults) const {
+    // Sort first-detection times and accumulate weighted coverage.
+    std::vector<std::pair<std::int64_t, std::uint32_t>> events;
+    events.reserve(detect_pattern.size());
+    for (std::size_t i = 0; i < detect_pattern.size(); ++i)
+        if (detect_pattern[i] >= 0)
+            events.emplace_back(detect_pattern[i], faults.class_size[i]);
+    std::sort(events.begin(), events.end());
+    double covered = 0.0;
+    const double total = static_cast<double>(faults.total_faults);
+    for (const auto& [pattern, weight] : events) {
+        covered += weight;
+        if (covered / total >= target) return pattern + 1;
+    }
+    return -1;
+}
+
+FaultSimResult run_fault_simulation(const Circuit& circuit,
+                                    const CollapsedFaults& faults,
+                                    sim::PatternSource& source,
+                                    const FaultSimOptions& options) {
+    const std::size_t n = circuit.node_count();
+    const int depth = circuit.depth();
+    sim::LogicSimulator good(circuit);
+
+    FaultSimResult result;
+    result.detect_pattern.assign(faults.size(), -1);
+
+    // Active (not yet detected) fault indices.
+    std::vector<std::uint32_t> active(faults.size());
+    for (std::uint32_t i = 0; i < active.size(); ++i) active[i] = i;
+
+    // Scratch for event-driven faulty-value propagation.
+    std::vector<std::uint64_t> fval(n, 0);
+    std::vector<std::uint32_t> val_stamp(n, 0);
+    std::vector<std::uint32_t> sched_stamp(n, 0);
+    std::uint32_t stamp = 0;
+    std::vector<std::vector<std::uint32_t>> bucket(
+        static_cast<std::size_t>(depth) + 1);
+
+    std::vector<std::uint64_t> pi_words(circuit.input_count());
+    std::vector<std::uint64_t> fanin_scratch;
+    std::vector<std::uint64_t> faulty_po_words(circuit.output_count());
+
+    const std::size_t blocks = (options.max_patterns + 63) / 64;
+    double covered_weight = 0.0;
+    std::size_t undetected_count = faults.size();
+    const double total_weight = static_cast<double>(faults.total_faults);
+
+    for (std::size_t b = 0; b < blocks; ++b) {
+        source.next_block(pi_words);
+        good.simulate_block(pi_words);
+        const auto good_values = good.values();
+        const std::int64_t base = static_cast<std::int64_t>(b) * 64;
+
+        std::size_t kept = 0;
+        for (std::size_t idx = 0; idx < active.size(); ++idx) {
+            const std::uint32_t fi = active[idx];
+            const Fault fault = faults.representatives[fi];
+            const NodeId site = fault.node;
+            const std::uint64_t stuck =
+                fault.stuck_at1 ? ~std::uint64_t{0} : 0;
+
+            std::uint64_t detect = 0;
+            const std::uint64_t initial_diff = stuck ^ good_values[site.v];
+            if (initial_diff != 0) {
+                ++stamp;
+                fval[site.v] = stuck;
+                val_stamp[site.v] = stamp;
+                if (circuit.is_output(site)) detect |= initial_diff;
+
+                int max_level = circuit.level(site);
+                for (NodeId w : circuit.fanouts(site)) {
+                    if (sched_stamp[w.v] != stamp) {
+                        sched_stamp[w.v] = stamp;
+                        const int lv = circuit.level(w);
+                        bucket[static_cast<std::size_t>(lv)].push_back(w.v);
+                        max_level = std::max(max_level, lv);
+                    }
+                }
+                for (int lv = circuit.level(site) + 1; lv <= max_level;
+                     ++lv) {
+                    auto& nodes = bucket[static_cast<std::size_t>(lv)];
+                    for (std::size_t k = 0; k < nodes.size(); ++k) {
+                        const std::uint32_t g = nodes[k];
+                        const auto fanins = circuit.fanins(NodeId{g});
+                        fanin_scratch.resize(fanins.size());
+                        for (std::size_t q = 0; q < fanins.size(); ++q) {
+                            const std::uint32_t f = fanins[q].v;
+                            fanin_scratch[q] = (val_stamp[f] == stamp)
+                                                   ? fval[f]
+                                                   : good_values[f];
+                        }
+                        const std::uint64_t value = netlist::eval_word(
+                            circuit.type(NodeId{g}), fanin_scratch);
+                        fval[g] = value;
+                        val_stamp[g] = stamp;
+                        const std::uint64_t diff = value ^ good_values[g];
+                        if (diff == 0) continue;
+                        if (circuit.is_output(NodeId{g})) detect |= diff;
+                        for (NodeId w : circuit.fanouts(NodeId{g})) {
+                            if (sched_stamp[w.v] != stamp) {
+                                sched_stamp[w.v] = stamp;
+                                const int wl = circuit.level(w);
+                                bucket[static_cast<std::size_t>(wl)]
+                                    .push_back(w.v);
+                                max_level = std::max(max_level, wl);
+                            }
+                        }
+                    }
+                    nodes.clear();
+                }
+            }
+
+            const bool fault_ran = initial_diff != 0;
+            if (options.response_observer) {
+                const auto& outputs = circuit.outputs();
+                for (std::size_t o = 0; o < outputs.size(); ++o) {
+                    const std::uint32_t po = outputs[o].v;
+                    faulty_po_words[o] =
+                        (fault_ran && val_stamp[po] == stamp)
+                            ? fval[po]
+                            : good_values[po];
+                }
+                options.response_observer(fi, b, faulty_po_words);
+            }
+
+            if (detect != 0 && result.detect_pattern[fi] < 0) {
+                result.detect_pattern[fi] =
+                    base + std::countr_zero(detect);
+                covered_weight += faults.class_size[fi];
+                --undetected_count;
+            }
+            if (detect == 0 || !options.drop_detected) active[kept++] = fi;
+        }
+        active.resize(kept);
+        result.patterns_applied = (b + 1) * 64;
+        if (options.record_curve)
+            result.coverage_curve.push_back(covered_weight / total_weight);
+        if (options.stop_at_full_coverage && undetected_count == 0) break;
+    }
+
+    result.undetected = undetected_count;
+    result.coverage =
+        total_weight > 0 ? covered_weight / total_weight : 1.0;
+    return result;
+}
+
+FaultSimResult random_pattern_coverage(const Circuit& circuit,
+                                       std::size_t num_patterns,
+                                       std::uint64_t seed,
+                                       bool record_curve) {
+    const CollapsedFaults faults = collapse_faults(circuit);
+    sim::RandomPatternSource source(seed);
+    FaultSimOptions options;
+    options.max_patterns = num_patterns;
+    options.record_curve = record_curve;
+    return run_fault_simulation(circuit, faults, source, options);
+}
+
+}  // namespace tpi::fault

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "netlist/circuit.hpp"
+#include "sim/pattern.hpp"
+
+namespace tpi::fault {
+
+struct FaultSimOptions {
+    /// Number of stimulus patterns (rounded up to a multiple of 64).
+    std::size_t max_patterns = 32768;
+    /// Stop early once every collapsed fault is detected.
+    bool stop_at_full_coverage = true;
+    /// Record the cumulative-coverage curve per 64-pattern block
+    /// (needed for the fault-coverage figures).
+    bool record_curve = false;
+    /// Drop faults at first detection (the usual mode). Signature-based
+    /// BIST analysis needs the complete response and sets this to false.
+    bool drop_detected = true;
+    /// Optional observer invoked for every still-active fault after each
+    /// block, with the faulty primary-output words (one per output, in
+    /// outputs() order). Used by the MISR compaction of tpi::bist.
+    std::function<void(std::uint32_t fault_index, std::size_t block,
+                       std::span<const std::uint64_t> faulty_po_words)>
+        response_observer;
+};
+
+struct FaultSimResult {
+    /// Per collapsed fault: index of the first detecting pattern, or -1.
+    std::vector<std::int64_t> detect_pattern;
+    /// Patterns actually applied (multiple of 64 unless 0).
+    std::size_t patterns_applied = 0;
+    /// Weighted detected / total over the uncollapsed universe.
+    double coverage = 0.0;
+    /// Number of undetected collapsed faults.
+    std::size_t undetected = 0;
+    /// If requested: coverage after each 64-pattern block.
+    std::vector<double> coverage_curve;
+
+    /// Patterns needed to reach `target` coverage, or -1 if never reached.
+    std::int64_t patterns_to_coverage(double target,
+                                      const CollapsedFaults& faults) const;
+};
+
+/// Parallel-pattern single-fault-propagation fault simulation with fault
+/// dropping.
+///
+/// For each 64-pattern block the fault-free circuit is simulated once;
+/// every still-undetected fault is then injected and its effect propagated
+/// through its fanout cone only, comparing against the good values at the
+/// primary outputs (which include any observation points materialised by
+/// apply_test_points). A fault is dropped at its first detection.
+FaultSimResult run_fault_simulation(const netlist::Circuit& circuit,
+                                    const CollapsedFaults& faults,
+                                    sim::PatternSource& source,
+                                    const FaultSimOptions& options = {});
+
+/// Convenience wrapper: collapse, simulate `num_patterns` equiprobable
+/// random patterns with `seed`, return the result.
+FaultSimResult random_pattern_coverage(const netlist::Circuit& circuit,
+                                       std::size_t num_patterns,
+                                       std::uint64_t seed,
+                                       bool record_curve = false);
+
+}  // namespace tpi::fault

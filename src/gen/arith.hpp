@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/circuit.hpp"
+
+namespace tpi::gen {
+
+/// Ripple-carry adder: inputs a[0..bits), b[0..bits), cin; outputs
+/// s[0..bits) and cout. All gates 2-input. ~5*bits gates.
+netlist::Circuit ripple_carry_adder(std::size_t bits);
+
+/// Schoolbook array multiplier: inputs a[0..bits), b[0..bits); outputs
+/// p[0..2*bits). Partial-product ANDs plus ripple-carry accumulation
+/// rows, ~6*bits^2 gates. Deep carry chains and reconvergent fanout make
+/// it a classic realistic TPI workload.
+netlist::Circuit array_multiplier(std::size_t bits);
+
+/// Equality comparator: inputs a[0..bits), b[0..bits); single output
+/// eq = AND of per-bit XNORs (balanced 2-input AND tree). The internal
+/// XNOR nets are observable only when all *other* bits agree — their
+/// observability is 2^-(bits-1), the textbook random-pattern-resistance
+/// pattern that observation points repair.
+netlist::Circuit equality_comparator(std::size_t bits);
+
+/// Parity tree: inputs d[0..width); single XOR-tree output. Every fault
+/// propagates with probability 1 — the easy extreme of the spectrum.
+netlist::Circuit parity_tree(std::size_t width);
+
+/// n-to-2^n line decoder with enable: outputs y[k] = en AND (bits == k).
+/// Wide shallow circuit with one hard-to-excite AND per output.
+netlist::Circuit decoder(std::size_t bits);
+
+}  // namespace tpi::gen

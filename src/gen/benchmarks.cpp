@@ -1,0 +1,95 @@
+#include "gen/benchmarks.hpp"
+
+#include "gen/arith.hpp"
+#include "gen/chains.hpp"
+#include "gen/random_circuits.hpp"
+#include "netlist/bench_io.hpp"
+#include "util/error.hpp"
+
+namespace tpi::gen {
+
+using netlist::Circuit;
+
+Circuit c17() {
+    // ISCAS85 c17 netlist (Brglez & Fujiwara 1985), verbatim.
+    static const char* const kC17 =
+        "# c17\n"
+        "INPUT(1)\n"
+        "INPUT(2)\n"
+        "INPUT(3)\n"
+        "INPUT(6)\n"
+        "INPUT(7)\n"
+        "OUTPUT(22)\n"
+        "OUTPUT(23)\n"
+        "10 = NAND(1, 3)\n"
+        "11 = NAND(3, 6)\n"
+        "16 = NAND(2, 11)\n"
+        "19 = NAND(11, 7)\n"
+        "22 = NAND(10, 16)\n"
+        "23 = NAND(16, 19)\n";
+    return netlist::read_bench_string(kC17, "c17");
+}
+
+const std::vector<SuiteEntry>& benchmark_suite() {
+    static const std::vector<SuiteEntry> suite = [] {
+        std::vector<SuiteEntry> s;
+        s.push_back({"c17", "ISCAS85 c17 (embedded)", [] { return c17(); }});
+        s.push_back({"add16", "16-bit ripple-carry adder",
+                     [] { return ripple_carry_adder(16); }});
+        s.push_back({"mul8", "8x8 array multiplier",
+                     [] { return array_multiplier(8); }});
+        s.push_back({"cmp32", "32-bit equality comparator",
+                     [] { return equality_comparator(32); }});
+        s.push_back({"par64", "64-input parity tree",
+                     [] { return parity_tree(64); }});
+        s.push_back({"dec5", "5-to-32 decoder with enable",
+                     [] { return decoder(5); }});
+        s.push_back({"chain24", "24-deep AND chain",
+                     [] { return and_chain(24); }});
+        s.push_back({"aochain32", "AND/OR chain, depth 32, period 8",
+                     [] { return and_or_chain(32, 8); }});
+        s.push_back({"lanes8x12", "8 AND-chain lanes of depth 12, XOR-merged",
+                     [] { return chained_lanes(8, 12); }});
+        s.push_back({"dag500", "random reconvergent DAG, 500 gates", [] {
+                         RandomDagOptions o;
+                         o.gates = 500;
+                         o.inputs = 40;
+                         o.seed = 11;
+                         return random_dag(o);
+                     }});
+        s.push_back({"dag2000", "random reconvergent DAG, 2000 gates", [] {
+                         RandomDagOptions o;
+                         o.gates = 2000;
+                         o.inputs = 96;
+                         o.window = 96;
+                         o.seed = 23;
+                         return random_dag(o);
+                     }});
+        s.push_back({"mul12", "12x12 array multiplier",
+                     [] { return array_multiplier(12); }});
+        return s;
+    }();
+    return suite;
+}
+
+const std::vector<SuiteEntry>& small_suite() {
+    static const std::vector<SuiteEntry> suite = [] {
+        std::vector<SuiteEntry> s;
+        for (const auto& entry : benchmark_suite()) {
+            if (entry.name == "c17" || entry.name == "cmp32" ||
+                entry.name == "chain24" || entry.name == "aochain32" ||
+                entry.name == "lanes8x12" || entry.name == "dag500")
+                s.push_back(entry);
+        }
+        return s;
+    }();
+    return suite;
+}
+
+const SuiteEntry& suite_entry(const std::string& name) {
+    for (const auto& entry : benchmark_suite())
+        if (entry.name == name) return entry;
+    throw Error("suite_entry: unknown benchmark '" + name + "'");
+}
+
+}  // namespace tpi::gen

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace tpi::gen {
+
+/// The ISCAS85 c17 benchmark, embedded verbatim (the only ISCAS circuit
+/// small enough to carry in source; larger ISCAS .bench files drop in via
+/// netlist::read_bench_file).
+netlist::Circuit c17();
+
+/// A named circuit of the experiment suite.
+struct SuiteEntry {
+    std::string name;
+    std::string description;
+    std::function<netlist::Circuit()> build;
+};
+
+/// The benchmark suite of the reproduced evaluation (Table 1): the
+/// embedded c17 plus generated circuits chosen to span the
+/// random-pattern-resistance spectrum at several sizes. Deterministic.
+const std::vector<SuiteEntry>& benchmark_suite();
+
+/// Subset of the suite used by the heavier sweeps (multi-planner, many
+/// budgets). Members of benchmark_suite().
+const std::vector<SuiteEntry>& small_suite();
+
+/// Look up a suite entry by name; throws tpi::Error when absent.
+const SuiteEntry& suite_entry(const std::string& name);
+
+}  // namespace tpi::gen

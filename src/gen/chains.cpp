@@ -1,0 +1,75 @@
+#include "gen/chains.hpp"
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace tpi::gen {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+Circuit and_chain(std::size_t depth) {
+    require(depth >= 1, "and_chain: depth >= 1");
+    Circuit c("chain" + std::to_string(depth));
+    NodeId acc = c.add_input("x0");
+    for (std::size_t i = 1; i <= depth; ++i) {
+        const NodeId x = c.add_input("x" + std::to_string(i));
+        acc = c.add_gate(GateType::And, {acc, x}, "c" + std::to_string(i));
+    }
+    c.mark_output(acc);
+    c.validate();
+    return c;
+}
+
+Circuit and_or_chain(std::size_t depth, std::size_t period) {
+    require(depth >= 1, "and_or_chain: depth >= 1");
+    require(period >= 1, "and_or_chain: period >= 1");
+    Circuit c("aochain" + std::to_string(depth) + "p" +
+              std::to_string(period));
+    NodeId acc = c.add_input("x0");
+    for (std::size_t i = 1; i <= depth; ++i) {
+        const NodeId x = c.add_input("x" + std::to_string(i));
+        const bool use_or = ((i - 1) / period) % 2 == 1;
+        acc = c.add_gate(use_or ? GateType::Or : GateType::And, {acc, x},
+                         "c" + std::to_string(i));
+    }
+    c.mark_output(acc);
+    c.validate();
+    return c;
+}
+
+Circuit chained_lanes(std::size_t lanes, std::size_t depth) {
+    require(lanes >= 2, "chained_lanes: lanes >= 2");
+    require(depth >= 1, "chained_lanes: depth >= 1");
+    Circuit c("lanes" + std::to_string(lanes) + "x" +
+              std::to_string(depth));
+    std::vector<NodeId> ends;
+    for (std::size_t l = 0; l < lanes; ++l) {
+        NodeId acc = c.add_input("l" + std::to_string(l) + "x0");
+        for (std::size_t i = 1; i <= depth; ++i) {
+            const NodeId x = c.add_input("l" + std::to_string(l) + "x" +
+                                         std::to_string(i));
+            acc = c.add_gate(GateType::And, {acc, x},
+                             "l" + std::to_string(l) + "c" +
+                                 std::to_string(i));
+        }
+        ends.push_back(acc);
+    }
+    int serial = 0;
+    while (ends.size() > 1) {
+        std::vector<NodeId> next;
+        for (std::size_t i = 0; i + 1 < ends.size(); i += 2)
+            next.push_back(c.add_gate(GateType::Xor, {ends[i], ends[i + 1]},
+                                      "xt" + std::to_string(serial++)));
+        if (ends.size() % 2 == 1) next.push_back(ends.back());
+        ends = std::move(next);
+    }
+    c.mark_output(ends[0]);
+    c.validate();
+    return c;
+}
+
+}  // namespace tpi::gen

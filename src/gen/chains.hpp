@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/circuit.hpp"
+
+namespace tpi::gen {
+
+/// Deep 2-input AND chain: c_i = AND(c_{i-1}, x_i). The 1-controllability
+/// decays as 2^-i along the chain and the observability of early stages
+/// decays symmetrically — the canonical random-pattern-resistant
+/// structure that *control* points repair.
+netlist::Circuit and_chain(std::size_t depth);
+
+/// AND/OR chain alternating with the given period, producing interleaved
+/// 0-failing and 1-failing segments (both CP-AND and CP-OR sites).
+netlist::Circuit and_or_chain(std::size_t depth, std::size_t period);
+
+/// `lanes` parallel AND chains of `depth` whose ends reconverge through a
+/// parity tree; a mid-sized circuit with several independent
+/// random-pattern-resistant regions.
+netlist::Circuit chained_lanes(std::size_t lanes, std::size_t depth);
+
+}  // namespace tpi::gen

@@ -1,0 +1,192 @@
+#include "gen/random_circuits.hpp"
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace tpi::gen {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+namespace {
+
+GateType pick_binary_type(util::Rng& rng, double xor_fraction) {
+    if (rng.chance(xor_fraction))
+        return rng.chance(0.5) ? GateType::Xor : GateType::Xnor;
+    switch (rng.below(4)) {
+        case 0: return GateType::And;
+        case 1: return GateType::Nand;
+        case 2: return GateType::Or;
+        default: return GateType::Nor;
+    }
+}
+
+}  // namespace
+
+Circuit random_tree(const RandomTreeOptions& options) {
+    require(options.gates >= 1, "random_tree: gates >= 1");
+    util::Rng rng(options.seed);
+    Circuit c("tree" + std::to_string(options.gates) + "s" +
+              std::to_string(options.seed));
+
+    // Build bottom-up: a pool of unconsumed nets; every gate consumes
+    // pool nets (each exactly once -> fanout-free) or fresh inputs.
+    std::vector<NodeId> pool;
+    int pi_serial = 0;
+    const auto fresh_input = [&]() {
+        return c.add_input("i" + std::to_string(pi_serial++));
+    };
+    const auto take_operand = [&]() {
+        // Prefer consuming pool nets so the result converges to one tree.
+        if (!pool.empty() && rng.chance(0.7)) {
+            const std::size_t k = rng.below(pool.size());
+            const NodeId v = pool[k];
+            pool[k] = pool.back();
+            pool.pop_back();
+            return v;
+        }
+        return fresh_input();
+    };
+
+    for (std::size_t g = 0; g < options.gates; ++g) {
+        NodeId out;
+        const std::string name = "g" + std::to_string(g);
+        if (rng.chance(options.unary_fraction)) {
+            out = c.add_gate(rng.chance(0.5) ? GateType::Not : GateType::Buf,
+                             {take_operand()}, name);
+        } else {
+            const NodeId lhs = take_operand();
+            const NodeId rhs = take_operand();
+            out = c.add_gate(pick_binary_type(rng, options.xor_fraction),
+                             {lhs, rhs}, name);
+        }
+        pool.push_back(out);
+    }
+    // Merge any remaining roots into a single output tree.
+    int serial = 0;
+    while (pool.size() > 1) {
+        const NodeId a = pool[pool.size() - 1];
+        const NodeId b = pool[pool.size() - 2];
+        pool.pop_back();
+        pool.pop_back();
+        pool.push_back(c.add_gate(pick_binary_type(rng, options.xor_fraction),
+                                  {a, b}, "m" + std::to_string(serial++)));
+    }
+    c.mark_output(pool[0]);
+    c.validate();
+    return c;
+}
+
+Circuit random_dag(const RandomDagOptions& options) {
+    require(options.gates >= 1, "random_dag: gates >= 1");
+    require(options.inputs >= 2, "random_dag: inputs >= 2");
+    util::Rng rng(options.seed);
+    Circuit c("dag" + std::to_string(options.gates) + "s" +
+              std::to_string(options.seed));
+
+    // 256-pattern signatures keep the logic non-degenerate: a candidate
+    // gate whose output is constant, or identical/complementary to one of
+    // its fanins, is re-rolled. Unchecked random DAGs otherwise breed
+    // constant nets and redundant faults, which no benchmark circuit of
+    // interest exhibits at scale.
+    constexpr int kSigWords = 4;
+    using Signature = std::array<std::uint64_t, kSigWords>;
+    util::Rng sig_rng(options.seed ^ 0xABCDEF0123456789ULL);
+    std::vector<Signature> signature;
+
+    std::vector<NodeId> nodes;
+    for (std::size_t i = 0; i < options.inputs; ++i) {
+        nodes.push_back(c.add_input("i" + std::to_string(i)));
+        Signature s;
+        for (auto& w : s) w = sig_rng.next();
+        signature.push_back(s);
+    }
+
+    const auto pick_fanin = [&]() {
+        const std::size_t window =
+            std::min(options.window == 0 ? nodes.size() : options.window,
+                     nodes.size());
+        return nodes[nodes.size() - 1 - rng.below(window)];
+    };
+    const auto eval_signature = [&](GateType type, NodeId a, NodeId b) {
+        Signature s;
+        for (int w = 0; w < kSigWords; ++w) {
+            const std::uint64_t in[2] = {signature[a.v][w],
+                                         signature[b.v][w]};
+            s[w] = eval_word(type, {in, 2});
+        }
+        return s;
+    };
+    const auto degenerate = [&](const Signature& s, NodeId a, NodeId b) {
+        bool all0 = true;
+        bool all1 = true;
+        bool alias_a = true;
+        bool alias_b = true;
+        for (int w = 0; w < kSigWords; ++w) {
+            all0 &= s[w] == 0;
+            all1 &= ~s[w] == 0;
+            alias_a &= s[w] == signature[a.v][w] ||
+                       s[w] == ~signature[a.v][w];
+            alias_b &= s[w] == signature[b.v][w] ||
+                       s[w] == ~signature[b.v][w];
+        }
+        return all0 || all1 || alias_a || alias_b;
+    };
+
+    for (std::size_t g = 0; g < options.gates; ++g) {
+        const std::string name = "g" + std::to_string(g);
+        if (rng.chance(options.unary_fraction)) {
+            const NodeId in = pick_fanin();
+            const GateType type =
+                rng.chance(0.5) ? GateType::Not : GateType::Buf;
+            nodes.push_back(c.add_gate(type, {in}, name));
+            Signature s = signature[in.v];
+            if (type == GateType::Not)
+                for (auto& w : s) w = ~w;
+            signature.push_back(s);
+            continue;
+        }
+        GateType type = GateType::And;
+        NodeId lhs;
+        NodeId rhs;
+        Signature sig{};
+        bool ok = false;
+        for (int tries = 0; tries < 16 && !ok; ++tries) {
+            type = pick_binary_type(rng, options.xor_fraction);
+            lhs = pick_fanin();
+            rhs = pick_fanin();
+            if (lhs == rhs) continue;
+            sig = eval_signature(type, lhs, rhs);
+            ok = !degenerate(sig, lhs, rhs);
+        }
+        if (!ok) {
+            // Fall back to a fresh input to break the degeneracy.
+            rhs = pick_fanin();
+            lhs = c.add_input("ix" + std::to_string(g));
+            Signature s;
+            for (auto& w : s) w = sig_rng.next();
+            nodes.push_back(lhs);
+            signature.push_back(s);
+            type = pick_binary_type(rng, options.xor_fraction);
+            sig = eval_signature(type, lhs, rhs);
+        }
+        nodes.push_back(c.add_gate(type, {lhs, rhs}, name));
+        signature.push_back(sig);
+    }
+
+    // Dangling nets become primary outputs. (Collect first: mark_output
+    // invalidates the fanout cache.)
+    std::vector<NodeId> dangling;
+    for (NodeId v : c.all_nodes())
+        if (c.fanout_count(v) == 0) dangling.push_back(v);
+    for (NodeId v : dangling) c.mark_output(v);
+    c.validate();
+    return c;
+}
+
+}  // namespace tpi::gen

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "netlist/circuit.hpp"
+
+namespace tpi::gen {
+
+/// Parameters for random fanout-free tree circuits (the class the DP is
+/// optimal on; used by the optimality experiments).
+struct RandomTreeOptions {
+    std::size_t gates = 16;
+    double xor_fraction = 0.15;   ///< share of parity gates
+    double unary_fraction = 0.1;  ///< share of BUF/NOT
+    std::uint64_t seed = 1;
+};
+
+/// A random single-output fanout-free circuit with `gates` logic gates.
+netlist::Circuit random_tree(const RandomTreeOptions& options);
+
+/// Parameters for random reconvergent DAG circuits.
+struct RandomDagOptions {
+    std::size_t gates = 500;
+    std::size_t inputs = 32;
+    double xor_fraction = 0.1;
+    double unary_fraction = 0.05;
+    /// Locality of fanin selection (larger = more reconvergence among
+    /// recent nodes; fanins are drawn from a window of this size).
+    std::size_t window = 64;
+    std::uint64_t seed = 1;
+};
+
+/// A random reconvergent DAG: each gate draws fanins from a sliding
+/// window over earlier nodes; every net without a consumer becomes a
+/// primary output.
+netlist::Circuit random_dag(const RandomDagOptions& options);
+
+}  // namespace tpi::gen

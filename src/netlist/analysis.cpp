@@ -1,0 +1,66 @@
+#include "netlist/analysis.hpp"
+
+#include <algorithm>
+
+namespace tpi::netlist {
+namespace {
+
+/// Generic cone walk along `step` (fanins or fanouts).
+template <typename StepFn>
+std::vector<NodeId> cone(const Circuit& circuit, NodeId origin,
+                         bool include_self, StepFn&& step) {
+    std::vector<bool> seen(circuit.node_count(), false);
+    std::vector<NodeId> stack{origin};
+    std::vector<NodeId> result;
+    seen[origin.v] = true;
+    while (!stack.empty()) {
+        const NodeId v = stack.back();
+        stack.pop_back();
+        if (v != origin || include_self) result.push_back(v);
+        for (NodeId w : step(v)) {
+            if (!seen[w.v]) {
+                seen[w.v] = true;
+                stack.push_back(w);
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace
+
+CircuitStats compute_stats(const Circuit& circuit) {
+    CircuitStats s;
+    s.nodes = circuit.node_count();
+    s.gates = circuit.gate_count();
+    s.inputs = circuit.input_count();
+    s.outputs = circuit.output_count();
+    s.depth = circuit.depth();
+    for (NodeId v : circuit.all_nodes()) {
+        s.per_type[static_cast<std::size_t>(circuit.type(v))]++;
+        const std::size_t fo = circuit.fanout_count(v);
+        s.max_fanout = std::max(s.max_fanout, fo);
+        if (fo > 1) ++s.fanout_stems;
+    }
+    return s;
+}
+
+std::vector<NodeId> transitive_fanin(const Circuit& circuit, NodeId node,
+                                     bool include_self) {
+    return cone(circuit, node, include_self,
+                [&](NodeId v) { return circuit.fanins(v); });
+}
+
+std::vector<NodeId> transitive_fanout(const Circuit& circuit, NodeId node,
+                                      bool include_self) {
+    return cone(circuit, node, include_self,
+                [&](NodeId v) { return circuit.fanouts(v); });
+}
+
+bool is_fanout_free(const Circuit& circuit) {
+    for (NodeId v : circuit.all_nodes())
+        if (circuit.fanout_count(v) > 1) return false;
+    return true;
+}
+
+}  // namespace tpi::netlist

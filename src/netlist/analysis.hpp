@@ -1,0 +1,37 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace tpi::netlist {
+
+/// Aggregate structural statistics of a circuit (Table 1 material).
+struct CircuitStats {
+    std::size_t nodes = 0;
+    std::size_t gates = 0;
+    std::size_t inputs = 0;
+    std::size_t outputs = 0;
+    int depth = 0;
+    std::size_t max_fanout = 0;
+    std::size_t fanout_stems = 0;  ///< nets with more than one consumer
+    std::array<std::size_t, kGateTypeCount> per_type{};
+};
+
+CircuitStats compute_stats(const Circuit& circuit);
+
+/// Nodes in the transitive fanin cone of `node` (the node itself included
+/// when `include_self`), in no particular order.
+std::vector<NodeId> transitive_fanin(const Circuit& circuit, NodeId node,
+                                     bool include_self = true);
+
+/// Nodes in the transitive fanout cone of `node`.
+std::vector<NodeId> transitive_fanout(const Circuit& circuit, NodeId node,
+                                      bool include_self = true);
+
+/// True when no net drives more than one consumer, i.e. the circuit is a
+/// forest of trees — the class on which the DP of the paper is optimal.
+bool is_fanout_free(const Circuit& circuit);
+
+}  // namespace tpi::netlist

@@ -1,0 +1,249 @@
+#include "netlist/bench_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace tpi::netlist {
+namespace {
+
+std::string_view trim(std::string_view s) {
+    const auto is_space = [](char c) {
+        return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+    };
+    while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+    while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+    return s;
+}
+
+/// A parsed `lhs = OP(arg, ...)` statement (or INPUT/OUTPUT declaration).
+struct Statement {
+    std::string lhs;
+    std::string op;
+    std::vector<std::string> args;
+    int line = 0;
+};
+
+[[noreturn]] void fail(int line, const std::string& message) {
+    throw Error(".bench parse error (line " + std::to_string(line) +
+                "): " + message);
+}
+
+/// Split "OP(a, b, c)" into op and args. Returns false if not that shape.
+bool parse_call(std::string_view text, int line, std::string& op,
+                std::vector<std::string>& args) {
+    const auto open = text.find('(');
+    if (open == std::string_view::npos) return false;
+    const auto close = text.rfind(')');
+    if (close == std::string_view::npos || close < open)
+        fail(line, "unbalanced parentheses");
+    op = std::string(trim(text.substr(0, open)));
+    const std::string_view inner = text.substr(open + 1, close - open - 1);
+    args.clear();
+    std::size_t start = 0;
+    while (start <= inner.size()) {
+        const auto comma = inner.find(',', start);
+        const auto piece =
+            trim(inner.substr(start, comma == std::string_view::npos
+                                         ? std::string_view::npos
+                                         : comma - start));
+        if (!piece.empty()) args.emplace_back(piece);
+        if (comma == std::string_view::npos) break;
+        start = comma + 1;
+    }
+    return true;
+}
+
+}  // namespace
+
+Circuit read_bench(std::istream& in, std::string circuit_name) {
+    std::vector<std::string> input_decls;
+    std::vector<std::string> output_decls;
+    std::vector<Statement> statements;
+
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        std::string_view line(raw);
+        if (const auto hash = line.find('#'); hash != std::string_view::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty()) continue;
+
+        const auto eq = line.find('=');
+        if (eq == std::string_view::npos) {
+            // INPUT(x) or OUTPUT(x) declaration.
+            std::string op;
+            std::vector<std::string> args;
+            if (!parse_call(line, line_no, op, args))
+                fail(line_no, "expected declaration or assignment");
+            if (args.size() != 1)
+                fail(line_no, op + " takes exactly one signal");
+            if (op == "INPUT")
+                input_decls.push_back(args[0]);
+            else if (op == "OUTPUT")
+                output_decls.push_back(args[0]);
+            else
+                fail(line_no, "unknown declaration '" + op + "'");
+            continue;
+        }
+
+        Statement st;
+        st.line = line_no;
+        st.lhs = std::string(trim(line.substr(0, eq)));
+        if (st.lhs.empty()) fail(line_no, "missing signal name before '='");
+        if (!parse_call(trim(line.substr(eq + 1)), line_no, st.op, st.args))
+            fail(line_no, "expected OP(args) after '='");
+        statements.push_back(std::move(st));
+    }
+
+    Circuit circuit(std::move(circuit_name));
+    std::unordered_map<std::string, NodeId> by_name;
+    std::unordered_map<std::string, std::size_t> defining;
+    std::vector<std::string> scan_data_outputs;  // DFF fanins (pseudo-POs)
+
+    for (const std::string& name : input_decls) {
+        if (by_name.contains(name))
+            throw Error(".bench: duplicate INPUT '" + name + "'");
+        by_name.emplace(name, circuit.add_input(name));
+    }
+    for (std::size_t i = 0; i < statements.size(); ++i) {
+        const Statement& st = statements[i];
+        if (by_name.contains(st.lhs) || defining.contains(st.lhs))
+            fail(st.line, "signal '" + st.lhs + "' defined twice");
+        // Full-scan conversion: a DFF output is a pseudo primary input and
+        // the DFF data fanin becomes a pseudo primary output.
+        if (st.op == "DFF" || st.op == "dff") {
+            if (st.args.size() != 1) fail(st.line, "DFF takes one fanin");
+            by_name.emplace(st.lhs, circuit.add_input(st.lhs));
+            scan_data_outputs.push_back(st.args[0]);
+            continue;
+        }
+        defining.emplace(st.lhs, i);
+    }
+
+    // Create gate nodes in dependency order with an explicit DFS stack
+    // (recursion would overflow on deep circuits).
+    std::vector<char> state(statements.size(), 0);  // 0=new 1=open 2=done
+    const auto create_all_from = [&](std::size_t root) {
+        std::vector<std::size_t> stack{root};
+        while (!stack.empty()) {
+            const std::size_t s = stack.back();
+            const Statement& st = statements[s];
+            if (state[s] == 2) {
+                stack.pop_back();
+                continue;
+            }
+            if (state[s] == 0) {
+                state[s] = 1;
+                bool blocked = false;
+                for (const std::string& arg : st.args) {
+                    if (by_name.contains(arg)) continue;
+                    const auto it = defining.find(arg);
+                    if (it == defining.end())
+                        fail(st.line, "undefined signal '" + arg + "'");
+                    if (state[it->second] == 1)
+                        fail(st.line, "combinational cycle through '" +
+                                          st.lhs + "'");
+                    if (state[it->second] == 0) {
+                        stack.push_back(it->second);
+                        blocked = true;
+                    }
+                }
+                if (blocked) continue;
+            }
+            // All fanins resolved; create this node.
+            if (st.op == "CONST0" || st.op == "CONST1") {
+                if (!st.args.empty())
+                    fail(st.line, st.op + " takes no fanins");
+                by_name.emplace(st.lhs,
+                                circuit.add_const(st.op == "CONST1", st.lhs));
+            } else {
+                const GateType type = gate_type_from_name(st.op);
+                if (type == GateType::Input)
+                    fail(st.line, "INPUT used as a gate");
+                std::vector<NodeId> fanins;
+                fanins.reserve(st.args.size());
+                for (const std::string& arg : st.args)
+                    fanins.push_back(by_name.at(arg));
+                by_name.emplace(st.lhs,
+                                circuit.add_gate(type, std::move(fanins),
+                                                 st.lhs));
+            }
+            state[s] = 2;
+            stack.pop_back();
+        }
+    };
+    for (std::size_t i = 0; i < statements.size(); ++i)
+        if (defining.contains(statements[i].lhs) && state[i] != 2)
+            create_all_from(i);
+
+    for (const std::string& name : output_decls) {
+        const auto it = by_name.find(name);
+        if (it == by_name.end())
+            throw Error(".bench: OUTPUT of undefined signal '" + name + "'");
+        if (!circuit.is_output(it->second)) circuit.mark_output(it->second);
+    }
+    for (const std::string& name : scan_data_outputs) {
+        const auto it = by_name.find(name);
+        if (it == by_name.end())
+            throw Error(".bench: DFF fanin '" + name + "' undefined");
+        if (!circuit.is_output(it->second)) circuit.mark_output(it->second);
+    }
+
+    circuit.validate();
+    return circuit;
+}
+
+Circuit read_bench_string(const std::string& text, std::string circuit_name) {
+    std::istringstream in(text);
+    return read_bench(in, std::move(circuit_name));
+}
+
+Circuit read_bench_file(const std::string& path) {
+    std::ifstream in(path);
+    require(in.good(), "read_bench_file: cannot open '" + path + "'");
+    // Circuit name = file stem.
+    auto stem = path;
+    if (const auto slash = stem.find_last_of('/');
+        slash != std::string::npos)
+        stem = stem.substr(slash + 1);
+    if (const auto dot = stem.find_last_of('.'); dot != std::string::npos)
+        stem = stem.substr(0, dot);
+    return read_bench(in, stem);
+}
+
+void write_bench(std::ostream& out, const Circuit& circuit) {
+    out << "# " << circuit.name() << " — written by tpidp\n";
+    for (NodeId pi : circuit.inputs())
+        out << "INPUT(" << circuit.node_name(pi) << ")\n";
+    for (NodeId po : circuit.outputs())
+        out << "OUTPUT(" << circuit.node_name(po) << ")\n";
+    for (NodeId v : circuit.topo_order()) {
+        const GateType t = circuit.type(v);
+        if (t == GateType::Input) continue;
+        out << circuit.node_name(v) << " = " << gate_type_name(t) << "(";
+        bool first = true;
+        for (NodeId f : circuit.fanins(v)) {
+            if (!first) out << ", ";
+            out << circuit.node_name(f);
+            first = false;
+        }
+        out << ")\n";
+    }
+}
+
+std::string write_bench_string(const Circuit& circuit) {
+    std::ostringstream out;
+    write_bench(out, circuit);
+    return out.str();
+}
+
+}  // namespace tpi::netlist

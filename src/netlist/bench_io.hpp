@@ -1,0 +1,41 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/circuit.hpp"
+
+namespace tpi::netlist {
+
+/// Reader/writer for the ISCAS `.bench` netlist format:
+///
+///     # comment
+///     INPUT(G1)
+///     OUTPUT(G17)
+///     G10 = NAND(G1, G3)
+///
+/// Sequential elements (`DFF`) are handled under the full-scan assumption
+/// used by BIST test point insertion papers: a flip-flop output becomes a
+/// pseudo primary input and the flip-flop's data fanin becomes a pseudo
+/// primary output, yielding the combinational core the fault simulator and
+/// the TPI algorithms operate on.
+
+/// Parse a circuit from .bench text. Throws tpi::Error on syntax errors,
+/// references to undefined signals, or redefinitions.
+Circuit read_bench(std::istream& in, std::string circuit_name = "bench");
+
+/// Parse a circuit from a .bench string.
+Circuit read_bench_string(const std::string& text,
+                          std::string circuit_name = "bench");
+
+/// Parse a circuit from a .bench file on disk.
+Circuit read_bench_file(const std::string& path);
+
+/// Serialise a circuit to .bench text. Constants are emitted as
+/// one-input pseudo-gates CONST0()/CONST1() (accepted back by read_bench).
+void write_bench(std::ostream& out, const Circuit& circuit);
+
+/// Serialise to a string (convenience for tests and round-trip checks).
+std::string write_bench_string(const Circuit& circuit);
+
+}  // namespace tpi::netlist

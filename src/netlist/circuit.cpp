@@ -1,0 +1,151 @@
+#include "netlist/circuit.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace tpi::netlist {
+
+NodeId Circuit::check(NodeId node) const {
+    require(node.valid() && node.v < types_.size(),
+            "Circuit: invalid NodeId");
+    return node;
+}
+
+NodeId Circuit::new_node(GateType type, std::vector<NodeId> fanins,
+                         std::string name) {
+    for (NodeId f : fanins) check(f);
+    const NodeId id{static_cast<std::uint32_t>(types_.size())};
+    if (name.empty()) name = "n" + std::to_string(id.v);
+    types_.push_back(type);
+    fanins_.push_back(std::move(fanins));
+    names_.push_back(std::move(name));
+    output_flag_.push_back(false);
+    analysis_valid_ = false;
+    return id;
+}
+
+NodeId Circuit::add_input(std::string name) {
+    const NodeId id = new_node(GateType::Input, {}, std::move(name));
+    inputs_.push_back(id);
+    return id;
+}
+
+NodeId Circuit::add_const(bool value, std::string name) {
+    return new_node(value ? GateType::Const1 : GateType::Const0, {},
+                    std::move(name));
+}
+
+NodeId Circuit::add_gate(GateType type, std::vector<NodeId> fanins,
+                         std::string name) {
+    require(!is_source(type), "add_gate: use add_input/add_const for sources");
+    if (type == GateType::Buf || type == GateType::Not) {
+        require(fanins.size() == 1, "add_gate: BUF/NOT take exactly one fanin");
+    } else {
+        require(!fanins.empty(), "add_gate: gate requires at least one fanin");
+    }
+    ++gate_count_;
+    return new_node(type, std::move(fanins), std::move(name));
+}
+
+void Circuit::mark_output(NodeId node) {
+    check(node);
+    require(!output_flag_[node.v], "mark_output: net already an output");
+    output_flag_[node.v] = true;
+    outputs_.push_back(node);
+    analysis_valid_ = false;
+}
+
+std::vector<NodeId> Circuit::all_nodes() const {
+    std::vector<NodeId> ids(types_.size());
+    for (std::uint32_t i = 0; i < ids.size(); ++i) ids[i] = NodeId{i};
+    return ids;
+}
+
+NodeId Circuit::find(std::string_view node_name) const {
+    for (std::uint32_t i = 0; i < names_.size(); ++i)
+        if (names_[i] == node_name) return NodeId{i};
+    return kNullNode;
+}
+
+std::span<const NodeId> Circuit::fanouts(NodeId node) const {
+    ensure_analysis();
+    check(node);
+    const auto begin = fanout_offset_[node.v];
+    const auto end = fanout_offset_[node.v + 1];
+    return {fanout_data_.data() + begin, end - begin};
+}
+
+const std::vector<NodeId>& Circuit::topo_order() const {
+    ensure_analysis();
+    return topo_;
+}
+
+int Circuit::level(NodeId node) const {
+    ensure_analysis();
+    return level_[check(node).v];
+}
+
+int Circuit::depth() const {
+    ensure_analysis();
+    return depth_;
+}
+
+void Circuit::validate() const {
+    ensure_analysis();  // throws on cycles
+    for (std::size_t i = 0; i < types_.size(); ++i) {
+        const GateType t = types_[i];
+        if (is_source(t)) {
+            require(fanins_[i].empty(), "validate: source node has fanins");
+        }
+    }
+}
+
+void Circuit::ensure_analysis() const {
+    if (analysis_valid_) return;
+    const std::size_t n = types_.size();
+
+    // CSR fanout adjacency.
+    fanout_offset_.assign(n + 1, 0);
+    for (const auto& fs : fanins_)
+        for (NodeId f : fs) ++fanout_offset_[f.v + 1];
+    for (std::size_t i = 0; i < n; ++i)
+        fanout_offset_[i + 1] += fanout_offset_[i];
+    fanout_data_.resize(fanout_offset_[n]);
+    {
+        std::vector<std::uint32_t> cursor(fanout_offset_.begin(),
+                                          fanout_offset_.end() - 1);
+        for (std::uint32_t g = 0; g < n; ++g)
+            for (NodeId f : fanins_[g])
+                fanout_data_[cursor[f.v]++] = NodeId{g};
+    }
+
+    // Kahn topological sort + levelisation.
+    topo_.clear();
+    topo_.reserve(n);
+    level_.assign(n, 0);
+    std::vector<std::uint32_t> pending(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        pending[i] = static_cast<std::uint32_t>(fanins_[i].size());
+        if (pending[i] == 0) topo_.push_back(NodeId{i});
+    }
+    for (std::size_t head = 0; head < topo_.size(); ++head) {
+        const NodeId v = topo_[head];
+        const auto begin = fanout_offset_[v.v];
+        const auto end = fanout_offset_[v.v + 1];
+        for (std::uint32_t k = begin; k < end; ++k) {
+            const NodeId w = fanout_data_[k];
+            level_[w.v] = std::max(level_[w.v], level_[v.v] + 1);
+            if (--pending[w.v] == 0) topo_.push_back(w);
+        }
+    }
+    if (topo_.size() != n) {
+        throw Error("Circuit: combinational cycle detected");
+    }
+    depth_ = 0;
+    for (int lv : level_) depth_ = std::max(depth_, lv);
+
+    analysis_valid_ = true;
+}
+
+}  // namespace tpi::netlist

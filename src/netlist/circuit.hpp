@@ -1,0 +1,135 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/gate.hpp"
+
+namespace tpi::netlist {
+
+/// Strongly-typed handle to a node (a primary input, tie cell, or gate)
+/// of a Circuit. The node's output net is identified with the node itself,
+/// as every node drives exactly one net.
+struct NodeId {
+    std::uint32_t v = UINT32_MAX;
+
+    constexpr bool valid() const { return v != UINT32_MAX; }
+    friend constexpr bool operator==(NodeId, NodeId) = default;
+    friend constexpr auto operator<=>(NodeId, NodeId) = default;
+};
+
+inline constexpr NodeId kNullNode{};
+
+/// Combinational gate-level circuit.
+///
+/// The circuit is a DAG of single-output nodes. Nodes are created through
+/// the builder methods (add_input / add_const / add_gate) and referenced
+/// by NodeId. Primary outputs are nets marked with mark_output.
+///
+/// Structural analyses (fanout lists, topological order, levels) are
+/// computed lazily on first use and cached; any mutation invalidates the
+/// caches. Cycles are rejected when analyses are computed.
+class Circuit {
+public:
+    Circuit() = default;
+    explicit Circuit(std::string name) : name_(std::move(name)) {}
+
+    // ---- construction -------------------------------------------------
+
+    /// Create a primary input. Empty names are auto-generated.
+    NodeId add_input(std::string name = {});
+
+    /// Create a constant-0 or constant-1 tie cell.
+    NodeId add_const(bool value, std::string name = {});
+
+    /// Create a logic gate. Fanin handles must refer to existing nodes;
+    /// Buf/Not require exactly one fanin, other gates at least one.
+    NodeId add_gate(GateType type, std::vector<NodeId> fanins,
+                    std::string name = {});
+
+    /// Mark a net as a primary output. A net may be marked only once.
+    void mark_output(NodeId node);
+
+    // ---- basic accessors ----------------------------------------------
+
+    const std::string& name() const { return name_; }
+    void set_name(std::string name) { name_ = std::move(name); }
+
+    std::size_t node_count() const { return types_.size(); }
+    std::size_t input_count() const { return inputs_.size(); }
+    std::size_t output_count() const { return outputs_.size(); }
+
+    /// Number of logic gates (nodes that are not sources).
+    std::size_t gate_count() const { return gate_count_; }
+
+    GateType type(NodeId node) const { return types_[check(node).v]; }
+    std::span<const NodeId> fanins(NodeId node) const {
+        return fanins_[check(node).v];
+    }
+    const std::string& node_name(NodeId node) const {
+        return names_[check(node).v];
+    }
+
+    const std::vector<NodeId>& inputs() const { return inputs_; }
+    const std::vector<NodeId>& outputs() const { return outputs_; }
+    bool is_output(NodeId node) const { return output_flag_[check(node).v]; }
+
+    /// All valid node handles, in creation order (a valid build order is
+    /// NOT implied; use topo_order for evaluation).
+    std::vector<NodeId> all_nodes() const;
+
+    /// Find a node by name; returns kNullNode when absent. Linear scan —
+    /// intended for tests and small lookups, not inner loops.
+    NodeId find(std::string_view node_name) const;
+
+    // ---- derived structure (lazily computed, cached) -------------------
+
+    /// Consumers of the node's output net.
+    std::span<const NodeId> fanouts(NodeId node) const;
+
+    /// Number of consumers of the node's output net.
+    std::size_t fanout_count(NodeId node) const {
+        return fanouts(node).size();
+    }
+
+    /// Topological order over all nodes (sources first). Throws if the
+    /// netlist contains a combinational cycle.
+    const std::vector<NodeId>& topo_order() const;
+
+    /// Logic level: 0 for sources, 1 + max(fanin levels) for gates.
+    int level(NodeId node) const;
+
+    /// Maximum level over all nodes (circuit depth).
+    int depth() const;
+
+    /// Validate structural sanity (fanin arity and acyclicity); throws
+    /// tpi::Error on violation.
+    void validate() const;
+
+private:
+    NodeId check(NodeId node) const;
+    NodeId new_node(GateType type, std::vector<NodeId> fanins,
+                    std::string name);
+    void ensure_analysis() const;
+
+    std::string name_;
+    std::vector<GateType> types_;
+    std::vector<std::vector<NodeId>> fanins_;
+    std::vector<std::string> names_;
+    std::vector<bool> output_flag_;
+    std::vector<NodeId> inputs_;
+    std::vector<NodeId> outputs_;
+    std::size_t gate_count_ = 0;
+
+    // Lazily computed analyses (CSR fanout adjacency, topo order, levels).
+    mutable bool analysis_valid_ = false;
+    mutable std::vector<std::uint32_t> fanout_offset_;
+    mutable std::vector<NodeId> fanout_data_;
+    mutable std::vector<NodeId> topo_;
+    mutable std::vector<int> level_;
+    mutable int depth_ = 0;
+};
+
+}  // namespace tpi::netlist

@@ -1,0 +1,52 @@
+#include "netlist/ffr.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace tpi::netlist {
+
+FfrDecomposition decompose_ffr(const Circuit& circuit) {
+    const auto& topo = circuit.topo_order();
+    const std::size_t n = circuit.node_count();
+
+    FfrDecomposition result;
+    result.region_of.assign(n, 0);
+
+    // Walk consumers before producers so a node can inherit the region of
+    // its unique fanout.
+    std::vector<std::uint32_t> root_region(n, UINT32_MAX);
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        const NodeId v = *it;
+        const auto fo = circuit.fanouts(v);
+        const bool is_stem =
+            fo.size() != 1 || circuit.is_output(v);
+        if (is_stem) {
+            const auto idx = static_cast<std::uint32_t>(result.regions.size());
+            result.regions.push_back({v, {}, {}});
+            root_region[v.v] = idx;
+            result.region_of[v.v] = idx;
+        } else {
+            result.region_of[v.v] = result.region_of[fo[0].v];
+        }
+    }
+
+    // Collect members per region in topological order (children first).
+    for (NodeId v : topo)
+        result.regions[result.region_of[v.v]].members.push_back(v);
+
+    // External nets feeding each region.
+    for (auto& region : result.regions) {
+        std::unordered_set<std::uint32_t> seen;
+        for (NodeId v : region.members) {
+            for (NodeId f : circuit.fanins(v)) {
+                if (result.region_of[f.v] != result.region_of[region.root.v] &&
+                    seen.insert(f.v).second) {
+                    region.leaf_inputs.push_back(f);
+                }
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace tpi::netlist

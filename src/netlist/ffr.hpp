@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace tpi::netlist {
+
+/// A maximal fanout-free region (FFR): a tree of nodes whose output paths
+/// all converge on a single stem. Stems are nets with fanout != 1 or
+/// primary outputs. Within a region the interconnect is a tree, which is
+/// exactly the structure on which the paper's dynamic program is optimal.
+struct FanoutFreeRegion {
+    NodeId root = kNullNode;        ///< the stem net terminating the region
+    std::vector<NodeId> members;    ///< region nodes in topological order
+                                    ///< (children before parents; root last)
+    std::vector<NodeId> leaf_inputs;///< external nets feeding the region
+                                    ///< (stems of other regions)
+};
+
+/// Partition of a circuit into maximal fanout-free regions. Every node
+/// belongs to exactly one region.
+struct FfrDecomposition {
+    std::vector<FanoutFreeRegion> regions;
+    /// Node index -> index of its region in `regions`.
+    std::vector<std::uint32_t> region_of;
+
+    const FanoutFreeRegion& region_containing(NodeId node) const {
+        return regions[region_of[node.v]];
+    }
+};
+
+/// Decompose `circuit` into maximal fanout-free regions.
+FfrDecomposition decompose_ffr(const Circuit& circuit);
+
+}  // namespace tpi::netlist

@@ -1,0 +1,109 @@
+#include "netlist/gate.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace tpi::netlist {
+
+std::string_view gate_type_name(GateType type) {
+    switch (type) {
+        case GateType::Input: return "INPUT";
+        case GateType::Const0: return "CONST0";
+        case GateType::Const1: return "CONST1";
+        case GateType::Buf: return "BUF";
+        case GateType::Not: return "NOT";
+        case GateType::And: return "AND";
+        case GateType::Nand: return "NAND";
+        case GateType::Or: return "OR";
+        case GateType::Nor: return "NOR";
+        case GateType::Xor: return "XOR";
+        case GateType::Xnor: return "XNOR";
+    }
+    throw Error("gate_type_name: invalid GateType");
+}
+
+GateType gate_type_from_name(std::string_view name) {
+    std::string upper(name);
+    std::transform(upper.begin(), upper.end(), upper.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    if (upper == "INPUT") return GateType::Input;
+    if (upper == "CONST0") return GateType::Const0;
+    if (upper == "CONST1") return GateType::Const1;
+    if (upper == "BUF" || upper == "BUFF") return GateType::Buf;
+    if (upper == "NOT") return GateType::Not;
+    if (upper == "AND") return GateType::And;
+    if (upper == "NAND") return GateType::Nand;
+    if (upper == "OR") return GateType::Or;
+    if (upper == "NOR") return GateType::Nor;
+    if (upper == "XOR") return GateType::Xor;
+    if (upper == "XNOR") return GateType::Xnor;
+    throw Error("gate_type_from_name: unknown gate mnemonic '" +
+                std::string(name) + "'");
+}
+
+bool controlling_value(GateType type) {
+    switch (type) {
+        case GateType::And:
+        case GateType::Nand: return false;
+        case GateType::Or:
+        case GateType::Nor: return true;
+        default:
+            throw Error("controlling_value: gate has no controlling value");
+    }
+}
+
+std::uint64_t eval_word(GateType type,
+                        std::span<const std::uint64_t> inputs) {
+    switch (type) {
+        case GateType::Input:
+        case GateType::Const0:
+        case GateType::Const1:
+            throw Error("eval_word: source nodes are not evaluated");
+        case GateType::Buf:
+            require(inputs.size() == 1, "eval_word: BUF takes one input");
+            return inputs[0];
+        case GateType::Not:
+            require(inputs.size() == 1, "eval_word: NOT takes one input");
+            return ~inputs[0];
+        case GateType::And:
+        case GateType::Nand: {
+            require(!inputs.empty(), "eval_word: AND needs inputs");
+            std::uint64_t acc = ~std::uint64_t{0};
+            for (std::uint64_t w : inputs) acc &= w;
+            return type == GateType::Nand ? ~acc : acc;
+        }
+        case GateType::Or:
+        case GateType::Nor: {
+            require(!inputs.empty(), "eval_word: OR needs inputs");
+            std::uint64_t acc = 0;
+            for (std::uint64_t w : inputs) acc |= w;
+            return type == GateType::Nor ? ~acc : acc;
+        }
+        case GateType::Xor:
+        case GateType::Xnor: {
+            require(!inputs.empty(), "eval_word: XOR needs inputs");
+            std::uint64_t acc = 0;
+            for (std::uint64_t w : inputs) acc ^= w;
+            return type == GateType::Xnor ? ~acc : acc;
+        }
+    }
+    throw Error("eval_word: invalid GateType");
+}
+
+bool eval_bool(GateType type, std::span<const bool> inputs) {
+    switch (type) {
+        case GateType::Const0: return false;
+        case GateType::Const1: return true;
+        default: break;
+    }
+    std::uint64_t words[32];
+    require(inputs.size() <= 32, "eval_bool: too many inputs");
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+        words[i] = inputs[i] ? 1 : 0;
+    return (eval_word(type, {words, inputs.size()}) & 1) != 0;
+}
+
+}  // namespace tpi::netlist

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace tpi::netlist {
+
+/// Gate primitives of the netlist model. `Input` marks primary inputs
+/// (and scan-cell outputs of full-scan sequential circuits); `Const0`/
+/// `Const1` are tie cells. All logic gates except Buf/Not are n-ary
+/// (n >= 1) with the usual reduction semantics.
+enum class GateType : std::uint8_t {
+    Input,
+    Const0,
+    Const1,
+    Buf,
+    Not,
+    And,
+    Nand,
+    Or,
+    Nor,
+    Xor,
+    Xnor,
+};
+
+/// Number of distinct GateType values (for table sizing).
+inline constexpr int kGateTypeCount = 11;
+
+/// Canonical upper-case mnemonic, matching the .bench dialect.
+std::string_view gate_type_name(GateType type);
+
+/// Parse a .bench gate mnemonic (case-insensitive; accepts BUFF for BUF).
+/// Throws tpi::Error for unknown mnemonics.
+GateType gate_type_from_name(std::string_view name);
+
+/// True for Input/Const0/Const1, which take no fanins.
+inline bool is_source(GateType type) {
+    return type == GateType::Input || type == GateType::Const0 ||
+           type == GateType::Const1;
+}
+
+/// True for gates whose output is the complement of the underlying
+/// monotone function (NOT, NAND, NOR, XNOR).
+inline bool is_inverting(GateType type) {
+    return type == GateType::Not || type == GateType::Nand ||
+           type == GateType::Nor || type == GateType::Xnor;
+}
+
+/// True for AND/NAND/OR/NOR, which have a controlling input value.
+inline bool has_controlling_value(GateType type) {
+    return type == GateType::And || type == GateType::Nand ||
+           type == GateType::Or || type == GateType::Nor;
+}
+
+/// The input value that forces the gate output regardless of other
+/// inputs: 0 for AND/NAND, 1 for OR/NOR. Precondition:
+/// has_controlling_value(type).
+bool controlling_value(GateType type);
+
+/// Evaluate the gate on bit-parallel 64-pattern words. Each word carries
+/// 64 independent pattern slots; sources must not be evaluated this way.
+std::uint64_t eval_word(GateType type, std::span<const std::uint64_t> inputs);
+
+/// Evaluate the gate on scalar boolean inputs (convenience for tests and
+/// the exhaustive oracle).
+bool eval_bool(GateType type, std::span<const bool> inputs);
+
+}  // namespace tpi::netlist

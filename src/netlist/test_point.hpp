@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "netlist/circuit.hpp"
+
+namespace tpi::netlist {
+
+/// The test point kinds of the TPI problem.
+///
+/// * Observe     — the net is made directly observable (extra scan cell).
+/// * ControlAnd  — the net is ANDed with a test signal; during BIST the
+///                 signal is an equiprobable pseudo-random bit, biasing the
+///                 net towards 0 (C1' = C1/2).
+/// * ControlOr   — the net is ORed with a test signal, biasing towards 1
+///                 (C1' = (1+C1)/2).
+/// * ControlXor  — the net is XORed with an equiprobable pseudo-random
+///                 signal, randomising it completely (C1' = 1/2).
+enum class TpKind : std::uint8_t {
+    Observe,
+    ControlAnd,
+    ControlOr,
+    ControlXor,
+};
+
+inline constexpr int kTpKindCount = 4;
+
+std::string_view tp_kind_name(TpKind kind);
+
+inline bool is_control(TpKind kind) { return kind != TpKind::Observe; }
+
+/// A test point: a kind applied to a specific net of the original circuit.
+struct TestPoint {
+    NodeId node = kNullNode;
+    TpKind kind = TpKind::Observe;
+
+    friend constexpr bool operator==(const TestPoint&,
+                                     const TestPoint&) = default;
+};
+
+}  // namespace tpi::netlist

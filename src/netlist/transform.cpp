@@ -1,0 +1,158 @@
+#include "netlist/transform.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace tpi::netlist {
+
+std::string_view tp_kind_name(TpKind kind) {
+    switch (kind) {
+        case TpKind::Observe: return "OP";
+        case TpKind::ControlAnd: return "CP-AND";
+        case TpKind::ControlOr: return "CP-OR";
+        case TpKind::ControlXor: return "CP-XOR";
+    }
+    throw Error("tp_kind_name: invalid TpKind");
+}
+
+TransformResult apply_test_points(const Circuit& circuit,
+                                  std::span<const TestPoint> points) {
+    const std::size_t n = circuit.node_count();
+
+    // Index the requested points per node, rejecting duplicates.
+    std::vector<int> control_at(n, -1);
+    std::vector<bool> observe_at(n, false);
+    for (const TestPoint& tp : points) {
+        require(tp.node.valid() && tp.node.v < n,
+                "apply_test_points: invalid node");
+        if (is_control(tp.kind)) {
+            require(control_at[tp.node.v] < 0,
+                    "apply_test_points: duplicate control point on net '" +
+                        circuit.node_name(tp.node) + "'");
+            control_at[tp.node.v] = static_cast<int>(tp.kind);
+        } else {
+            require(!observe_at[tp.node.v],
+                    "apply_test_points: duplicate observation point on net '" +
+                        circuit.node_name(tp.node) + "'");
+            observe_at[tp.node.v] = true;
+        }
+    }
+
+    TransformResult result;
+    result.circuit.set_name(circuit.name() + "_tp");
+    result.node_map.assign(n, kNullNode);
+    result.driver_map.assign(n, kNullNode);
+
+    // Copy nodes in topological order, splicing control points in.
+    for (NodeId v : circuit.topo_order()) {
+        const GateType t = circuit.type(v);
+        NodeId copy;
+        if (t == GateType::Input) {
+            copy = result.circuit.add_input(circuit.node_name(v));
+        } else if (t == GateType::Const0 || t == GateType::Const1) {
+            copy = result.circuit.add_const(t == GateType::Const1,
+                                            circuit.node_name(v));
+        } else {
+            std::vector<NodeId> fanins;
+            fanins.reserve(circuit.fanins(v).size());
+            for (NodeId f : circuit.fanins(v))
+                fanins.push_back(result.driver_map[f.v]);
+            copy = result.circuit.add_gate(t, std::move(fanins),
+                                           circuit.node_name(v));
+        }
+        result.node_map[v.v] = copy;
+
+        NodeId driver = copy;
+        if (control_at[v.v] >= 0) {
+            const auto kind = static_cast<TpKind>(control_at[v.v]);
+            const std::string base = circuit.node_name(v);
+            const NodeId ctl =
+                result.circuit.add_input(base + "_tpctl");
+            GateType gate;
+            switch (kind) {
+                case TpKind::ControlAnd: gate = GateType::And; break;
+                case TpKind::ControlOr: gate = GateType::Or; break;
+                default: gate = GateType::Xor; break;
+            }
+            driver = result.circuit.add_gate(gate, {copy, ctl},
+                                             base + "_tpcp");
+            result.control_inputs.push_back(ctl);
+            result.control_points.push_back({v, kind});
+        }
+        result.driver_map[v.v] = driver;
+
+        if (circuit.is_output(v)) result.circuit.mark_output(driver);
+        if (observe_at[v.v]) {
+            if (!result.circuit.is_output(driver))
+                result.circuit.mark_output(driver);
+            result.observed_nets.push_back(driver);
+            result.observation_points.push_back({v, TpKind::Observe});
+        }
+    }
+
+    result.circuit.validate();
+    return result;
+}
+
+BinarizeResult binarize(const Circuit& circuit) {
+    BinarizeResult result;
+    result.circuit.set_name(circuit.name() + "_bin");
+    result.node_map.assign(circuit.node_count(), kNullNode);
+
+    for (NodeId v : circuit.topo_order()) {
+        const GateType t = circuit.type(v);
+        NodeId copy;
+        if (t == GateType::Input) {
+            copy = result.circuit.add_input(circuit.node_name(v));
+        } else if (t == GateType::Const0 || t == GateType::Const1) {
+            copy = result.circuit.add_const(t == GateType::Const1,
+                                            circuit.node_name(v));
+        } else if (circuit.fanins(v).size() <= 2) {
+            std::vector<NodeId> fanins;
+            for (NodeId f : circuit.fanins(v))
+                fanins.push_back(result.node_map[f.v]);
+            copy = result.circuit.add_gate(t, std::move(fanins),
+                                           circuit.node_name(v));
+        } else {
+            // Balanced pairwise reduction with the monotone base gate,
+            // keeping any inversion in the final 2-input gate.
+            GateType base;
+            switch (t) {
+                case GateType::And:
+                case GateType::Nand: base = GateType::And; break;
+                case GateType::Or:
+                case GateType::Nor: base = GateType::Or; break;
+                case GateType::Xor:
+                case GateType::Xnor: base = GateType::Xor; break;
+                default:
+                    throw Error("binarize: unexpected wide gate type");
+            }
+            std::vector<NodeId> layer;
+            for (NodeId f : circuit.fanins(v))
+                layer.push_back(result.node_map[f.v]);
+            int serial = 0;
+            while (layer.size() > 2) {
+                std::vector<NodeId> next;
+                for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+                    next.push_back(result.circuit.add_gate(
+                        base, {layer[i], layer[i + 1]},
+                        circuit.node_name(v) + "_b" +
+                            std::to_string(serial++)));
+                }
+                if (layer.size() % 2 == 1) next.push_back(layer.back());
+                layer = std::move(next);
+            }
+            copy = result.circuit.add_gate(t, {layer[0], layer[1]},
+                                           circuit.node_name(v));
+        }
+        result.node_map[v.v] = copy;
+    }
+
+    for (NodeId po : circuit.outputs())
+        result.circuit.mark_output(result.node_map[po.v]);
+    result.circuit.validate();
+    return result;
+}
+
+}  // namespace tpi::netlist

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+#include "netlist/test_point.hpp"
+
+namespace tpi::netlist {
+
+/// Result of materialising a set of test points into a new netlist.
+struct TransformResult {
+    Circuit circuit;  ///< the design-for-test circuit
+
+    /// Original node -> corresponding node in `circuit` (the copy of the
+    /// original gate, i.e. the net *before* any control-point override).
+    std::vector<NodeId> node_map;
+
+    /// Original node -> the net consumers read in `circuit` (differs from
+    /// node_map where a control point was inserted).
+    std::vector<NodeId> driver_map;
+
+    /// For each control point, in input order: the new primary input that
+    /// drives it. During BIST simulation these inputs are fed equiprobable
+    /// pseudo-random bits; in functional mode they are held at the
+    /// non-controlling value (1 for ControlAnd, 0 for ControlOr/Xor).
+    std::vector<NodeId> control_inputs;
+
+    /// For each observation point, in input order: the observed net in the
+    /// new circuit (marked as an additional primary output).
+    std::vector<NodeId> observed_nets;
+
+    /// The control points, parallel to `control_inputs`.
+    std::vector<TestPoint> control_points;
+
+    /// The observation points, parallel to `observed_nets`.
+    std::vector<TestPoint> observation_points;
+};
+
+/// Build a new circuit with `points` materialised:
+///
+/// * ControlAnd/Or/Xor at net n inserts the corresponding 2-input gate
+///   between n and all of n's consumers, the second input being a fresh
+///   primary input (the test signal).
+/// * Observe at net n marks (the possibly control-overridden) n as an
+///   additional primary output (a scan observation cell).
+///
+/// At most one control point per net; duplicate observation points are
+/// rejected. Throws tpi::Error on violations.
+TransformResult apply_test_points(const Circuit& circuit,
+                                  std::span<const TestPoint> points);
+
+/// Result of binarising a circuit (see binarize).
+struct BinarizeResult {
+    Circuit circuit;
+    /// Original node -> node computing the same function in `circuit`.
+    std::vector<NodeId> node_map;
+};
+
+/// Replace every gate with more than two fanins by a balanced tree of
+/// two-input gates. AND/OR/XOR decompose directly; the inverting forms
+/// keep the inversion in the final gate (e.g. NAND(a,b,c) becomes
+/// NAND(AND(a,b), c)). The joint control+observation DP requires at most
+/// two in-region fanins per gate, which binarised circuits guarantee.
+BinarizeResult binarize(const Circuit& circuit);
+
+}  // namespace tpi::netlist

@@ -1,0 +1,351 @@
+#include "netlist/verilog_io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace tpi::netlist {
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+    throw Error("verilog parse error (line " + std::to_string(line) +
+                "): " + message);
+}
+
+struct Token {
+    std::string text;
+    int line;
+};
+
+bool is_name_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '$' || c == '.' || c == '[' || c == ']' || c == '\'';
+}
+
+/// Tokenise: names (including escaped identifiers and 1'b0/1'b1
+/// literals), punctuation ( ) , = ;, keywords. Strips // and /* */.
+std::vector<Token> tokenize(std::istream& in) {
+    std::vector<Token> tokens;
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    int line = 1;
+    std::size_t i = 0;
+    while (i < text.size()) {
+        const char c = text[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+        } else if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+        } else if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+            while (i < text.size() && text[i] != '\n') ++i;
+        } else if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+            i += 2;
+            while (i + 1 < text.size() &&
+                   !(text[i] == '*' && text[i + 1] == '/')) {
+                if (text[i] == '\n') ++line;
+                ++i;
+            }
+            if (i + 1 >= text.size()) fail(line, "unterminated comment");
+            i += 2;
+        } else if (c == '\\') {
+            // Escaped identifier: backslash to whitespace.
+            std::size_t start = ++i;
+            while (i < text.size() &&
+                   !std::isspace(static_cast<unsigned char>(text[i])))
+                ++i;
+            tokens.push_back({text.substr(start, i - start), line});
+        } else if (is_name_char(c)) {
+            std::size_t start = i;
+            while (i < text.size() && is_name_char(text[i])) ++i;
+            tokens.push_back({text.substr(start, i - start), line});
+        } else if (c == '(' || c == ')' || c == ',' || c == ';' ||
+                   c == '=') {
+            tokens.push_back({std::string(1, c), line});
+            ++i;
+        } else {
+            fail(line, std::string("unexpected character '") + c + "'");
+        }
+    }
+    return tokens;
+}
+
+struct GateStatement {
+    std::string output;
+    GateType type;
+    std::vector<std::string> inputs;
+    int line;
+};
+
+bool is_primitive(const std::string& word, GateType& type) {
+    if (word == "and") type = GateType::And;
+    else if (word == "nand") type = GateType::Nand;
+    else if (word == "or") type = GateType::Or;
+    else if (word == "nor") type = GateType::Nor;
+    else if (word == "xor") type = GateType::Xor;
+    else if (word == "xnor") type = GateType::Xnor;
+    else if (word == "not") type = GateType::Not;
+    else if (word == "buf") type = GateType::Buf;
+    else return false;
+    return true;
+}
+
+/// Make a name safe as a plain Verilog identifier, or emit it escaped.
+std::string emit_name(const std::string& name) {
+    bool plain = !name.empty() &&
+                 (std::isalpha(static_cast<unsigned char>(name[0])) ||
+                  name[0] == '_');
+    for (char c : name) {
+        if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+              c == '$'))
+            plain = false;
+    }
+    if (plain) return name;
+    return "\\" + name + " ";  // escaped identifier needs the space
+}
+
+}  // namespace
+
+Circuit read_verilog(std::istream& in) {
+    const std::vector<Token> tokens = tokenize(in);
+    std::size_t pos = 0;
+    const auto peek = [&]() -> const Token& {
+        if (pos >= tokens.size())
+            fail(tokens.empty() ? 1 : tokens.back().line,
+                 "unexpected end of file");
+        return tokens[pos];
+    };
+    const auto next = [&]() -> const Token& {
+        const Token& t = peek();
+        ++pos;
+        return t;
+    };
+    const auto expect = [&](const std::string& what) {
+        const Token& t = next();
+        if (t.text != what)
+            fail(t.line, "expected '" + what + "', got '" + t.text + "'");
+    };
+
+    expect("module");
+    const std::string module_name = next().text;
+    expect("(");
+    while (peek().text != ")") {
+        next();
+        if (peek().text == ",") next();
+    }
+    expect(")");
+    expect(";");
+
+    std::vector<std::string> input_names;
+    std::vector<std::string> output_names;
+    std::vector<GateStatement> gates;
+
+    while (peek().text != "endmodule") {
+        const Token head = next();
+        GateType type;
+        if (head.text == "input" || head.text == "output" ||
+            head.text == "wire") {
+            do {
+                const Token name = next();
+                if (head.text == "input") input_names.push_back(name.text);
+                if (head.text == "output")
+                    output_names.push_back(name.text);
+            } while (next().text == ",");
+            --pos;
+            expect(";");
+        } else if (head.text == "assign") {
+            GateStatement g;
+            g.line = head.line;
+            g.output = next().text;
+            expect("=");
+            g.type = GateType::Buf;
+            g.inputs.push_back(next().text);
+            expect(";");
+            gates.push_back(std::move(g));
+        } else if (is_primitive(head.text, type)) {
+            GateStatement g;
+            g.line = head.line;
+            g.type = type;
+            if (peek().text != "(") next();  // optional instance name
+            expect("(");
+            g.output = next().text;
+            while (peek().text == ",") {
+                next();
+                g.inputs.push_back(next().text);
+            }
+            expect(")");
+            expect(";");
+            if (g.inputs.empty())
+                fail(g.line, "primitive needs at least one input");
+            gates.push_back(std::move(g));
+        } else {
+            fail(head.line, "unsupported construct '" + head.text + "'");
+        }
+    }
+
+    // Build the circuit: inputs first, then gates in dependency order
+    // (iterative DFS, as .bench allows forward references and so does
+    // structural Verilog).
+    Circuit circuit(module_name);
+    std::unordered_map<std::string, NodeId> by_name;
+    std::unordered_map<std::string, std::size_t> defining;
+    for (const std::string& name : input_names) {
+        if (by_name.contains(name))
+            throw Error("verilog: duplicate input '" + name + "'");
+        by_name.emplace(name, circuit.add_input(name));
+    }
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        if (by_name.contains(gates[i].output) ||
+            defining.contains(gates[i].output))
+            fail(gates[i].line,
+                 "signal '" + gates[i].output + "' driven twice");
+        defining.emplace(gates[i].output, i);
+    }
+    const auto resolve_literal = [&](const std::string& name) -> NodeId {
+        if (name == "1'b0") {
+            const auto it = by_name.find(name);
+            if (it != by_name.end()) return it->second;
+            return by_name.emplace(name, circuit.add_const(false, "tie0"))
+                .first->second;
+        }
+        if (name == "1'b1") {
+            const auto it = by_name.find(name);
+            if (it != by_name.end()) return it->second;
+            return by_name.emplace(name, circuit.add_const(true, "tie1"))
+                .first->second;
+        }
+        return kNullNode;
+    };
+
+    std::vector<char> state(gates.size(), 0);
+    for (std::size_t root = 0; root < gates.size(); ++root) {
+        if (state[root] == 2) continue;
+        std::vector<std::size_t> stack{root};
+        while (!stack.empty()) {
+            const std::size_t s = stack.back();
+            const GateStatement& g = gates[s];
+            if (state[s] == 2) {
+                stack.pop_back();
+                continue;
+            }
+            if (state[s] == 0) {
+                state[s] = 1;
+                bool blocked = false;
+                for (const std::string& arg : g.inputs) {
+                    if (by_name.contains(arg)) continue;
+                    if (resolve_literal(arg).valid()) continue;
+                    const auto it = defining.find(arg);
+                    if (it == defining.end())
+                        fail(g.line, "undriven signal '" + arg + "'");
+                    if (state[it->second] == 1)
+                        fail(g.line, "combinational cycle through '" +
+                                         g.output + "'");
+                    if (state[it->second] == 0) {
+                        stack.push_back(it->second);
+                        blocked = true;
+                    }
+                }
+                if (blocked) continue;
+            }
+            std::vector<NodeId> fanins;
+            for (const std::string& arg : g.inputs)
+                fanins.push_back(by_name.at(arg));
+            by_name.emplace(g.output, circuit.add_gate(
+                                          g.type, std::move(fanins),
+                                          g.output));
+            state[s] = 2;
+            stack.pop_back();
+        }
+    }
+
+    for (const std::string& name : output_names) {
+        const auto it = by_name.find(name);
+        if (it == by_name.end())
+            throw Error("verilog: output '" + name + "' is undriven");
+        if (!circuit.is_output(it->second))
+            circuit.mark_output(it->second);
+    }
+    circuit.validate();
+    return circuit;
+}
+
+Circuit read_verilog_string(const std::string& text) {
+    std::istringstream in(text);
+    return read_verilog(in);
+}
+
+Circuit read_verilog_file(const std::string& path) {
+    std::ifstream in(path);
+    require(in.good(), "read_verilog_file: cannot open '" + path + "'");
+    return read_verilog(in);
+}
+
+void write_verilog(std::ostream& out, const Circuit& circuit) {
+    const std::string module_name =
+        circuit.name().empty() ? "top" : circuit.name();
+    out << "// " << module_name << " — written by tpidp\n";
+    out << "module " << emit_name(module_name) << " (";
+    bool first = true;
+    for (NodeId pi : circuit.inputs()) {
+        out << (first ? "" : ", ") << emit_name(circuit.node_name(pi));
+        first = false;
+    }
+    for (NodeId po : circuit.outputs()) {
+        out << (first ? "" : ", ") << emit_name(circuit.node_name(po));
+        first = false;
+    }
+    out << ");\n";
+
+    for (NodeId pi : circuit.inputs())
+        out << "  input " << emit_name(circuit.node_name(pi)) << ";\n";
+    for (NodeId po : circuit.outputs())
+        out << "  output " << emit_name(circuit.node_name(po)) << ";\n";
+    for (NodeId v : circuit.all_nodes()) {
+        if (circuit.type(v) == GateType::Input || circuit.is_output(v))
+            continue;
+        out << "  wire " << emit_name(circuit.node_name(v)) << ";\n";
+    }
+
+    int serial = 0;
+    for (NodeId v : circuit.topo_order()) {
+        const GateType t = circuit.type(v);
+        if (t == GateType::Input) continue;
+        if (t == GateType::Const0 || t == GateType::Const1) {
+            out << "  assign " << emit_name(circuit.node_name(v)) << " = "
+                << (t == GateType::Const1 ? "1'b1" : "1'b0") << ";\n";
+            continue;
+        }
+        std::string prim;
+        switch (t) {
+            case GateType::And: prim = "and"; break;
+            case GateType::Nand: prim = "nand"; break;
+            case GateType::Or: prim = "or"; break;
+            case GateType::Nor: prim = "nor"; break;
+            case GateType::Xor: prim = "xor"; break;
+            case GateType::Xnor: prim = "xnor"; break;
+            case GateType::Not: prim = "not"; break;
+            case GateType::Buf: prim = "buf"; break;
+            default: throw Error("write_verilog: unexpected gate");
+        }
+        out << "  " << prim << " g" << serial++ << " ("
+            << emit_name(circuit.node_name(v));
+        for (NodeId f : circuit.fanins(v))
+            out << ", " << emit_name(circuit.node_name(f));
+        out << ");\n";
+    }
+    out << "endmodule\n";
+}
+
+std::string write_verilog_string(const Circuit& circuit) {
+    std::ostringstream out;
+    write_verilog(out, circuit);
+    return out.str();
+}
+
+}  // namespace tpi::netlist

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/circuit.hpp"
+
+namespace tpi::netlist {
+
+/// Reader/writer for the structural gate-level Verilog subset the ISCAS
+/// benchmarks are also distributed in:
+///
+///     module c17 (N1, N2, N3, N6, N7, N22, N23);
+///       input N1, N2, N3, N6, N7;
+///       output N22, N23;
+///       wire N10, N11, N16, N19;
+///       nand g0 (N10, N1, N3);    // primitive: output first
+///       ...
+///     endmodule
+///
+/// Supported constructs: one module; `input`/`output`/`wire`
+/// declarations (comma lists, any number of statements); the gate
+/// primitives and/nand/or/nor/xor/xnor/not/buf with optional instance
+/// names; `assign a = b;` (treated as a buffer); `1'b0`/`1'b1` literals
+/// as fanins (tie cells); `//` and `/* */` comments. Everything else is
+/// rejected with a line-numbered error.
+
+Circuit read_verilog(std::istream& in);
+Circuit read_verilog_string(const std::string& text);
+Circuit read_verilog_file(const std::string& path);
+
+void write_verilog(std::ostream& out, const Circuit& circuit);
+std::string write_verilog_string(const Circuit& circuit);
+
+}  // namespace tpi::netlist

@@ -1,0 +1,98 @@
+#include "sim/logic_sim.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace tpi::sim {
+
+using netlist::GateType;
+using netlist::NodeId;
+
+LogicSimulator::LogicSimulator(const netlist::Circuit& circuit)
+    : circuit_(circuit), value_(circuit.node_count(), 0) {
+    for (NodeId v : circuit.topo_order()) {
+        const GateType t = circuit.type(v);
+        if (t == GateType::Input) continue;
+        if (t == GateType::Const0 || t == GateType::Const1) {
+            value_[v.v] = (t == GateType::Const1) ? ~std::uint64_t{0} : 0;
+            continue;
+        }
+        Op op;
+        op.type = t;
+        op.node = v.v;
+        op.fanin_begin = static_cast<std::uint32_t>(fanin_pool_.size());
+        op.fanin_count =
+            static_cast<std::uint32_t>(circuit.fanins(v).size());
+        for (NodeId f : circuit.fanins(v)) fanin_pool_.push_back(f.v);
+        ops_.push_back(op);
+    }
+}
+
+void LogicSimulator::simulate_block(
+    std::span<const std::uint64_t> pi_words) {
+    const auto& inputs = circuit_.inputs();
+    require(pi_words.size() == inputs.size(),
+            "simulate_block: one word per primary input required");
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+        value_[inputs[i].v] = pi_words[i];
+
+    for (const Op& op : ops_) {
+        const std::uint32_t* f = fanin_pool_.data() + op.fanin_begin;
+        std::uint64_t acc;
+        switch (op.type) {
+            case GateType::Buf:
+                acc = value_[f[0]];
+                break;
+            case GateType::Not:
+                acc = ~value_[f[0]];
+                break;
+            case GateType::And:
+            case GateType::Nand:
+                acc = value_[f[0]];
+                for (std::uint32_t k = 1; k < op.fanin_count; ++k)
+                    acc &= value_[f[k]];
+                if (op.type == GateType::Nand) acc = ~acc;
+                break;
+            case GateType::Or:
+            case GateType::Nor:
+                acc = value_[f[0]];
+                for (std::uint32_t k = 1; k < op.fanin_count; ++k)
+                    acc |= value_[f[k]];
+                if (op.type == GateType::Nor) acc = ~acc;
+                break;
+            case GateType::Xor:
+            case GateType::Xnor:
+                acc = value_[f[0]];
+                for (std::uint32_t k = 1; k < op.fanin_count; ++k)
+                    acc ^= value_[f[k]];
+                if (op.type == GateType::Xnor) acc = ~acc;
+                break;
+            default:
+                throw Error("LogicSimulator: unexpected source in schedule");
+        }
+        value_[op.node] = acc;
+    }
+}
+
+std::vector<double> estimate_signal_probabilities(
+    const netlist::Circuit& circuit, PatternSource& source,
+    std::size_t num_patterns) {
+    LogicSimulator simulator(circuit);
+    const std::size_t blocks = (num_patterns + 63) / 64;
+    std::vector<std::uint64_t> pi_words(circuit.input_count());
+    std::vector<std::size_t> ones(circuit.node_count(), 0);
+    for (std::size_t b = 0; b < blocks; ++b) {
+        source.next_block(pi_words);
+        simulator.simulate_block(pi_words);
+        for (std::size_t v = 0; v < circuit.node_count(); ++v)
+            ones[v] += std::popcount(simulator.values()[v]);
+    }
+    std::vector<double> probability(circuit.node_count());
+    const double total = static_cast<double>(blocks * 64);
+    for (std::size_t v = 0; v < circuit.node_count(); ++v)
+        probability[v] = static_cast<double>(ones[v]) / total;
+    return probability;
+}
+
+}  // namespace tpi::sim

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+#include "sim/pattern.hpp"
+
+namespace tpi::sim {
+
+/// 64-way bit-parallel levelised logic simulator.
+///
+/// One call to simulate_block evaluates the whole circuit for 64 patterns
+/// simultaneously, one machine word per node. The evaluation schedule
+/// (topological order with flattened fanin lists) is compiled once at
+/// construction, so repeated blocks are cheap.
+class LogicSimulator {
+public:
+    explicit LogicSimulator(const netlist::Circuit& circuit);
+
+    /// Simulate the next 64-pattern block. `pi_words` must contain one
+    /// word per primary input, in inputs() order.
+    void simulate_block(std::span<const std::uint64_t> pi_words);
+
+    /// Word of the last simulated block at `node` (bit j = pattern j).
+    std::uint64_t value(netlist::NodeId node) const { return value_[node.v]; }
+
+    /// All node words of the last simulated block, indexed by NodeId.
+    std::span<const std::uint64_t> values() const { return value_; }
+
+    const netlist::Circuit& circuit() const { return circuit_; }
+
+private:
+    const netlist::Circuit& circuit_;
+    std::vector<std::uint64_t> value_;
+
+    // Compiled schedule: gates in topological order with CSR fanins.
+    struct Op {
+        netlist::GateType type;
+        std::uint32_t node;
+        std::uint32_t fanin_begin;
+        std::uint32_t fanin_count;
+    };
+    std::vector<Op> ops_;
+    std::vector<std::uint32_t> fanin_pool_;
+};
+
+/// Estimate per-node signal probabilities (fraction of patterns with
+/// value 1) by simulating `num_patterns` stimuli from `source`.
+/// `num_patterns` is rounded up to a multiple of 64.
+std::vector<double> estimate_signal_probabilities(
+    const netlist::Circuit& circuit, PatternSource& source,
+    std::size_t num_patterns);
+
+}  // namespace tpi::sim

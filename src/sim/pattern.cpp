@@ -1,0 +1,68 @@
+#include "sim/pattern.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace tpi::sim {
+
+WeightedPatternSource::WeightedPatternSource(std::vector<double> weights,
+                                             std::uint64_t seed)
+    : seed_(seed), rng_(seed) {
+    sixteenths_.reserve(weights.size());
+    effective_.reserve(weights.size());
+    for (double w : weights) {
+        require(w >= 0.0 && w <= 1.0,
+                "WeightedPatternSource: weights must be in [0, 1]");
+        const int k = static_cast<int>(std::lround(w * 16.0));
+        sixteenths_.push_back(static_cast<std::uint8_t>(k));
+        effective_.push_back(k / 16.0);
+    }
+}
+
+void WeightedPatternSource::next_block(std::span<std::uint64_t> words) {
+    require(words.size() == sixteenths_.size(),
+            "WeightedPatternSource: input count mismatch");
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        const std::uint8_t k = sixteenths_[i];
+        if (k == 0) {
+            words[i] = 0;
+            continue;
+        }
+        if (k == 16) {
+            words[i] = ~std::uint64_t{0};
+            continue;
+        }
+        // Horner over the 4 weight bits (LSB first): P(acc) ends at k/16.
+        std::uint64_t acc = 0;
+        for (int bit = 0; bit < 4; ++bit) {
+            const std::uint64_t r = rng_.next();
+            acc = ((k >> bit) & 1) ? (acc | r) : (acc & r);
+        }
+        words[i] = acc;
+    }
+}
+
+void LfsrPatternSource::next_block(std::span<std::uint64_t> words) {
+    for (auto& w : words) w = 0;
+    for (unsigned j = 0; j < 64; ++j) {
+        const std::uint64_t state = lfsr_.step();
+        for (std::size_t i = 0; i < words.size(); ++i) {
+            const unsigned tap = static_cast<unsigned>(i) % width_;
+            words[i] |= ((state >> tap) & 1u) << j;
+        }
+    }
+}
+
+void CounterPatternSource::next_block(std::span<std::uint64_t> words) {
+    for (auto& w : words) w = 0;
+    for (unsigned j = 0; j < 64; ++j) {
+        const std::uint64_t pattern = next_++;
+        for (std::size_t i = 0; i < words.size(); ++i) {
+            if (i < 64) words[i] |= ((pattern >> i) & 1u) << j;
+        }
+    }
+}
+
+}  // namespace tpi::sim

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "util/lfsr.hpp"
+#include "util/rng.hpp"
+
+namespace tpi::sim {
+
+/// Source of bit-parallel test stimulus.
+///
+/// Patterns are delivered in blocks of 64: `next_block` fills one 64-bit
+/// word per circuit input, bit j of word i being the value of input i in
+/// the j-th pattern of the block. All sources are deterministic given
+/// their seed.
+class PatternSource {
+public:
+    virtual ~PatternSource() = default;
+
+    /// Fill `words` (one per primary input) with the next 64 patterns.
+    virtual void next_block(std::span<std::uint64_t> words) = 0;
+
+    /// Restart the sequence from the beginning.
+    virtual void reset() = 0;
+};
+
+/// Ideal pseudo-random stimulus: every input bit is an independent
+/// equiprobable coin flip (xoshiro-driven). This is the regime assumed by
+/// COP-style testability analysis.
+class RandomPatternSource final : public PatternSource {
+public:
+    explicit RandomPatternSource(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+    void next_block(std::span<std::uint64_t> words) override {
+        for (auto& w : words) w = rng_.next();
+    }
+
+    void reset() override { rng_.reseed(seed_); }
+
+private:
+    std::uint64_t seed_;
+    util::Rng rng_;
+};
+
+/// BIST-hardware-style stimulus: a single maximal-length LFSR stepped once
+/// per pattern, input i tapping register bit (i mod width). Successive taps
+/// observe time-shifted copies of the same m-sequence, as in a serial
+/// pseudo-random pattern generator.
+class LfsrPatternSource final : public PatternSource {
+public:
+    LfsrPatternSource(unsigned width, std::uint64_t seed)
+        : width_(width), seed_(seed), lfsr_(width, seed) {}
+
+    void next_block(std::span<std::uint64_t> words) override;
+
+    void reset() override { lfsr_ = util::Lfsr(width_, seed_); }
+
+private:
+    unsigned width_;
+    std::uint64_t seed_;
+    util::Lfsr lfsr_;
+};
+
+/// Weighted pseudo-random stimulus: input i is an independent Bernoulli
+/// bit with probability weight[i], quantised to multiples of 1/16 — the
+/// stimulus of the weighted-random BIST literature (the main alternative
+/// to test point insertion). Weight resolution follows the classic
+/// hardware scheme that derives a k/16-biased stream from four
+/// equiprobable streams.
+class WeightedPatternSource final : public PatternSource {
+public:
+    WeightedPatternSource(std::vector<double> weights, std::uint64_t seed);
+
+    void next_block(std::span<std::uint64_t> words) override;
+
+    void reset() override { rng_.reseed(seed_); }
+
+    /// The exact probabilities realised after 1/16 quantisation.
+    const std::vector<double>& effective_weights() const {
+        return effective_;
+    }
+
+private:
+    std::vector<std::uint8_t> sixteenths_;  // per input: 0..16
+    std::vector<double> effective_;
+    std::uint64_t seed_;
+    util::Rng rng_;
+};
+
+/// Exhaustive stimulus: patterns 0, 1, 2, ... interpreted as binary input
+/// vectors (input i = bit i of the counter). Used by the exact oracle on
+/// small circuits.
+class CounterPatternSource final : public PatternSource {
+public:
+    CounterPatternSource() = default;
+
+    void next_block(std::span<std::uint64_t> words) override;
+
+    void reset() override { next_ = 0; }
+
+private:
+    std::uint64_t next_ = 0;
+};
+
+}  // namespace tpi::sim

@@ -1,0 +1,128 @@
+#include "testability/cop.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace tpi::testability {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+double gate_output_c1(GateType type, std::span<const double> c1) {
+    switch (type) {
+        case GateType::Const0: return 0.0;
+        case GateType::Const1: return 1.0;
+        case GateType::Buf:
+            require(c1.size() == 1, "gate_output_c1: BUF arity");
+            return c1[0];
+        case GateType::Not:
+            require(c1.size() == 1, "gate_output_c1: NOT arity");
+            return 1.0 - c1[0];
+        case GateType::And:
+        case GateType::Nand: {
+            double p = 1.0;
+            for (double x : c1) p *= x;
+            return type == GateType::Nand ? 1.0 - p : p;
+        }
+        case GateType::Or:
+        case GateType::Nor: {
+            double p = 1.0;
+            for (double x : c1) p *= 1.0 - x;
+            return type == GateType::Nor ? p : 1.0 - p;
+        }
+        case GateType::Xor:
+        case GateType::Xnor: {
+            double p = 0.0;  // P(parity of inputs == 1)
+            for (double x : c1) p = p * (1.0 - x) + (1.0 - p) * x;
+            return type == GateType::Xnor ? 1.0 - p : p;
+        }
+        case GateType::Input:
+            throw Error("gate_output_c1: inputs have no gate function");
+    }
+    throw Error("gate_output_c1: invalid GateType");
+}
+
+double sensitization_probability(const Circuit& circuit, NodeId gate,
+                                 std::size_t input_slot,
+                                 std::span<const double> c1) {
+    const GateType t = circuit.type(gate);
+    const auto fanins = circuit.fanins(gate);
+    require(input_slot < fanins.size(),
+            "sensitization_probability: bad input slot");
+    switch (t) {
+        case GateType::Buf:
+        case GateType::Not:
+            return 1.0;
+        case GateType::Xor:
+        case GateType::Xnor:
+            return 1.0;  // parity gates always propagate a change
+        case GateType::And:
+        case GateType::Nand: {
+            double p = 1.0;
+            for (std::size_t i = 0; i < fanins.size(); ++i)
+                if (i != input_slot) p *= c1[fanins[i].v];
+            return p;
+        }
+        case GateType::Or:
+        case GateType::Nor: {
+            double p = 1.0;
+            for (std::size_t i = 0; i < fanins.size(); ++i)
+                if (i != input_slot) p *= 1.0 - c1[fanins[i].v];
+            return p;
+        }
+        default:
+            throw Error("sensitization_probability: not a gate");
+    }
+}
+
+CopResult compute_cop(const Circuit& circuit,
+                      std::span<const double> input_c1) {
+    const std::size_t n = circuit.node_count();
+    CopResult result;
+    result.c1.assign(n, 0.0);
+    result.obs.assign(n, 0.0);
+
+    if (!input_c1.empty()) {
+        require(input_c1.size() == circuit.input_count(),
+                "compute_cop: input_c1 size mismatch");
+    }
+    const auto& inputs = circuit.inputs();
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+        result.c1[inputs[i].v] = input_c1.empty() ? 0.5 : input_c1[i];
+
+    // Controllability: bottom-up over the topological order.
+    std::vector<double> fanin_c1;
+    for (NodeId v : circuit.topo_order()) {
+        const GateType t = circuit.type(v);
+        if (t == GateType::Input) continue;
+        const auto fanins = circuit.fanins(v);
+        fanin_c1.resize(fanins.size());
+        for (std::size_t i = 0; i < fanins.size(); ++i)
+            fanin_c1[i] = result.c1[fanins[i].v];
+        result.c1[v.v] = gate_output_c1(t, fanin_c1);
+    }
+
+    // Observability: top-down (reverse topological order); a stem takes
+    // the maximum over its fanout branches.
+    const auto& topo = circuit.topo_order();
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        const NodeId v = *it;
+        double o = circuit.is_output(v) ? 1.0 : 0.0;
+        for (NodeId g : circuit.fanouts(v)) {
+            const auto fanins = circuit.fanins(g);
+            for (std::size_t slot = 0; slot < fanins.size(); ++slot) {
+                if (fanins[slot] != v) continue;
+                const double through =
+                    result.obs[g.v] *
+                    sensitization_probability(circuit, g, slot, result.c1);
+                o = std::max(o, through);
+            }
+        }
+        result.obs[v.v] = o;
+    }
+    return result;
+}
+
+}  // namespace tpi::testability

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace tpi::testability {
+
+/// COP testability measures under equiprobable random stimulus.
+///
+/// * `c1[v]` — 1-controllability: the probability that net v carries 1.
+/// * `obs[v]` — observability: the probability that a value change on net
+///   v propagates to some primary output.
+///
+/// Controllabilities are computed bottom-up assuming independent gate
+/// inputs; observabilities top-down, a stem taking the maximum over its
+/// branches (conservative under reconvergent fanout, where the
+/// independence assumption breaks). On fanout-free circuits both measures
+/// are exact — the class on which the paper's DP is optimal.
+struct CopResult {
+    std::vector<double> c1;
+    std::vector<double> obs;
+
+    double c0(netlist::NodeId v) const { return 1.0 - c1[v.v]; }
+};
+
+/// Compute COP measures. `input_c1` optionally overrides the default 0.5
+/// 1-controllability of each primary input (in inputs() order) — used to
+/// model weighted stimulus or control points driven by biased signals.
+CopResult compute_cop(const netlist::Circuit& circuit,
+                      std::span<const double> input_c1 = {});
+
+/// Probability that a change on fanin `input_slot` of gate `gate`
+/// propagates through the gate, given controllabilities `c1` — i.e. the
+/// probability all other fanins are non-controlling / parity-transparent.
+double sensitization_probability(const netlist::Circuit& circuit,
+                                 netlist::NodeId gate,
+                                 std::size_t input_slot,
+                                 std::span<const double> c1);
+
+/// 1-controllability of a gate output given fanin 1-controllabilities
+/// (independence assumption). Exposed for the joint DP's transition
+/// tables.
+double gate_output_c1(netlist::GateType type, std::span<const double> c1);
+
+}  // namespace tpi::testability

@@ -1,0 +1,57 @@
+#include "testability/detect.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace tpi::testability {
+
+std::vector<double> detection_probabilities(
+    const netlist::Circuit& circuit, const fault::CollapsedFaults& faults,
+    const CopResult& cop) {
+    std::vector<double> p(faults.size());
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        const fault::Fault f = faults.representatives[i];
+        const double excitation =
+            f.stuck_at1 ? (1.0 - cop.c1[f.node.v]) : cop.c1[f.node.v];
+        p[i] = excitation * cop.obs[f.node.v];
+    }
+    (void)circuit;
+    return p;
+}
+
+double estimated_coverage(std::span<const double> detection_probability,
+                          std::span<const std::uint32_t> class_size,
+                          std::size_t num_patterns) {
+    require(detection_probability.size() == class_size.size(),
+            "estimated_coverage: size mismatch");
+    double covered = 0.0;
+    double total = 0.0;
+    const double n = static_cast<double>(num_patterns);
+    for (std::size_t i = 0; i < detection_probability.size(); ++i) {
+        const double p = std::clamp(detection_probability[i], 0.0, 1.0);
+        // (1-p)^N via expm1/log1p for numerical stability at small p.
+        const double miss = (p >= 1.0) ? 0.0 : std::exp(n * std::log1p(-p));
+        covered += class_size[i] * (1.0 - miss);
+        total += class_size[i];
+    }
+    return total > 0 ? covered / total : 1.0;
+}
+
+double required_test_length(double p, double confidence) {
+    require(confidence > 0.0 && confidence < 1.0,
+            "required_test_length: confidence must be in (0,1)");
+    if (p <= 0.0) return std::numeric_limits<double>::infinity();
+    if (p >= 1.0) return 1.0;
+    return std::log1p(-confidence) / std::log1p(-p);
+}
+
+double min_detection_probability(std::span<const double> p) {
+    double m = 1.0;
+    for (double x : p) m = std::min(m, x);
+    return p.empty() ? 0.0 : m;
+}
+
+}  // namespace tpi::testability

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "netlist/circuit.hpp"
+#include "testability/cop.hpp"
+
+namespace tpi::testability {
+
+/// Per-pattern detection probability of each collapsed fault under
+/// equiprobable random stimulus: excitation (the controllability of the
+/// value opposite to the stuck value) times the observability of the
+/// fault site. Exact on fanout-free circuits.
+std::vector<double> detection_probabilities(
+    const netlist::Circuit& circuit, const fault::CollapsedFaults& faults,
+    const CopResult& cop);
+
+/// Expected fault coverage (weighted over the uncollapsed universe) after
+/// `num_patterns` independent random patterns:
+///   FC = sum_f w_f (1 - (1 - p_f)^N) / sum_f w_f.
+double estimated_coverage(std::span<const double> detection_probability,
+                          std::span<const std::uint32_t> class_size,
+                          std::size_t num_patterns);
+
+/// Random test length needed to detect a fault of per-pattern detection
+/// probability `p` with confidence `confidence` (e.g. 0.95):
+///   N = ln(1 - confidence) / ln(1 - p).  Returns +inf for p == 0.
+double required_test_length(double p, double confidence);
+
+/// The minimum per-fault detection probability (the bottleneck fault) —
+/// the objective of the TPI-MIN threshold formulation.
+double min_detection_probability(std::span<const double> p);
+
+}  // namespace tpi::testability

@@ -1,0 +1,84 @@
+#include "testability/profile.hpp"
+
+#include <algorithm>
+
+namespace tpi::testability {
+
+using netlist::Circuit;
+using netlist::NodeId;
+
+PropagationProfile compute_profile(const Circuit& circuit,
+                                   const CopResult& cop,
+                                   const fault::CollapsedFaults& faults,
+                                   double min_probability) {
+    const std::size_t n = circuit.node_count();
+    PropagationProfile profile;
+    profile.rows.resize(faults.size());
+
+    // Scratch: best arrival probability per node, stamped per fault.
+    std::vector<double> arrive(n, 0.0);
+    std::vector<std::uint32_t> stamp(n, 0);
+    std::uint32_t cur = 0;
+
+    // Topological position for sorting cone nodes.
+    std::vector<std::uint32_t> topo_pos(n);
+    {
+        const auto& topo = circuit.topo_order();
+        for (std::uint32_t i = 0; i < topo.size(); ++i)
+            topo_pos[topo[i].v] = i;
+    }
+
+    std::vector<NodeId> cone;
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+        const fault::Fault f = faults.representatives[fi];
+        const double excitation =
+            f.stuck_at1 ? (1.0 - cop.c1[f.node.v]) : cop.c1[f.node.v];
+        if (excitation < min_probability) continue;
+
+        // Collect the fanout cone and process in topological order.
+        ++cur;
+        cone.clear();
+        cone.push_back(f.node);
+        stamp[f.node.v] = cur;
+        for (std::size_t head = 0; head < cone.size(); ++head) {
+            for (NodeId w : circuit.fanouts(cone[head])) {
+                if (stamp[w.v] != cur) {
+                    stamp[w.v] = cur;
+                    cone.push_back(w);
+                }
+            }
+        }
+        std::sort(cone.begin(), cone.end(), [&](NodeId a, NodeId b) {
+            return topo_pos[a.v] < topo_pos[b.v];
+        });
+
+        arrive[f.node.v] = excitation;
+        for (std::size_t k = 1; k < cone.size(); ++k) {
+            const NodeId m = cone[k];
+            double best = 0.0;
+            const auto fanins = circuit.fanins(m);
+            for (std::size_t slot = 0; slot < fanins.size(); ++slot) {
+                const NodeId u = fanins[slot];
+                if (stamp[u.v] != cur) continue;
+                const double via =
+                    arrive[u.v] *
+                    sensitization_probability(circuit, m, slot, cop.c1);
+                best = std::max(best, via);
+            }
+            arrive[m.v] = best;
+        }
+
+        auto& row = profile.rows[fi];
+        for (NodeId v : cone) {
+            if (arrive[v.v] >= min_probability)
+                row.push_back({v, arrive[v.v]});
+        }
+        std::sort(row.begin(), row.end(),
+                  [](const auto& a, const auto& b) {
+                      return a.node.v < b.node.v;
+                  });
+    }
+    return profile;
+}
+
+}  // namespace tpi::testability

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "netlist/circuit.hpp"
+#include "testability/cop.hpp"
+
+namespace tpi::testability {
+
+/// Propagation profile: for each collapsed fault, the nets its effect can
+/// reach together with the estimated probability of arriving there on a
+/// random pattern (excitation times the best single-path sensitisation
+/// product — a COP-style estimate that is exact on trees).
+///
+/// The profile is the input of the covering formulation of observation
+/// point selection (and of the SET-COVER hardness construction): fault f
+/// is *covered* by an observation point at net n when profile[f] contains
+/// n with probability at least the detection threshold.
+struct PropagationProfile {
+    struct Entry {
+        netlist::NodeId node;
+        double probability;
+    };
+    /// Per collapsed fault, entries sorted by node id.
+    std::vector<std::vector<Entry>> rows;
+};
+
+/// Compute the propagation profile, dropping entries whose probability is
+/// below `min_probability` (memory control, as in covering-based TPI).
+PropagationProfile compute_profile(const netlist::Circuit& circuit,
+                                   const CopResult& cop,
+                                   const fault::CollapsedFaults& faults,
+                                   double min_probability = 1e-9);
+
+}  // namespace tpi::testability

@@ -1,0 +1,164 @@
+#include "testability/scoap.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace tpi::testability {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+namespace {
+
+constexpr std::uint32_t kInf = ScoapResult::kInfinity;
+
+std::uint32_t sat(std::uint64_t x) {
+    return x > kInf ? kInf : static_cast<std::uint32_t>(x);
+}
+
+}  // namespace
+
+ScoapResult compute_scoap(const Circuit& circuit) {
+    const std::size_t n = circuit.node_count();
+    ScoapResult result;
+    result.cc0.assign(n, kInf);
+    result.cc1.assign(n, kInf);
+    result.co.assign(n, kInf);
+
+    // Controllabilities, bottom-up.
+    for (NodeId v : circuit.topo_order()) {
+        const GateType t = circuit.type(v);
+        auto& cc0 = result.cc0[v.v];
+        auto& cc1 = result.cc1[v.v];
+        const auto fanins = circuit.fanins(v);
+        switch (t) {
+            case GateType::Input:
+                cc0 = 1;
+                cc1 = 1;
+                break;
+            case GateType::Const0:
+                cc0 = 1;
+                cc1 = kInf;
+                break;
+            case GateType::Const1:
+                cc0 = kInf;
+                cc1 = 1;
+                break;
+            case GateType::Buf:
+                cc0 = sat(std::uint64_t{result.cc0[fanins[0].v]} + 1);
+                cc1 = sat(std::uint64_t{result.cc1[fanins[0].v]} + 1);
+                break;
+            case GateType::Not:
+                cc0 = sat(std::uint64_t{result.cc1[fanins[0].v]} + 1);
+                cc1 = sat(std::uint64_t{result.cc0[fanins[0].v]} + 1);
+                break;
+            case GateType::And:
+            case GateType::Nand: {
+                std::uint64_t all1 = 1;
+                std::uint32_t min0 = kInf;
+                for (NodeId f : fanins) {
+                    all1 += result.cc1[f.v];
+                    min0 = std::min(min0, result.cc0[f.v]);
+                }
+                const std::uint32_t v1 = sat(all1);
+                const std::uint32_t v0 = sat(std::uint64_t{min0} + 1);
+                if (t == GateType::And) {
+                    cc1 = v1;
+                    cc0 = v0;
+                } else {
+                    cc0 = v1;
+                    cc1 = v0;
+                }
+                break;
+            }
+            case GateType::Or:
+            case GateType::Nor: {
+                std::uint64_t all0 = 1;
+                std::uint32_t min1 = kInf;
+                for (NodeId f : fanins) {
+                    all0 += result.cc0[f.v];
+                    min1 = std::min(min1, result.cc1[f.v]);
+                }
+                const std::uint32_t v0 = sat(all0);
+                const std::uint32_t v1 = sat(std::uint64_t{min1} + 1);
+                if (t == GateType::Or) {
+                    cc0 = v0;
+                    cc1 = v1;
+                } else {
+                    cc1 = v0;
+                    cc0 = v1;
+                }
+                break;
+            }
+            case GateType::Xor:
+            case GateType::Xnor: {
+                // Fold the parity: track the cheapest way to make the
+                // running parity 0 or 1.
+                std::uint64_t p0 = result.cc0[fanins[0].v];
+                std::uint64_t p1 = result.cc1[fanins[0].v];
+                for (std::size_t i = 1; i < fanins.size(); ++i) {
+                    const std::uint64_t f0 = result.cc0[fanins[i].v];
+                    const std::uint64_t f1 = result.cc1[fanins[i].v];
+                    const std::uint64_t n0 = std::min(p0 + f0, p1 + f1);
+                    const std::uint64_t n1 = std::min(p0 + f1, p1 + f0);
+                    p0 = n0;
+                    p1 = n1;
+                }
+                const std::uint32_t v0 = sat(p0 + 1);
+                const std::uint32_t v1 = sat(p1 + 1);
+                if (t == GateType::Xor) {
+                    cc0 = v0;
+                    cc1 = v1;
+                } else {
+                    cc0 = v1;
+                    cc1 = v0;
+                }
+                break;
+            }
+        }
+    }
+
+    // Observabilities, top-down; stems take the cheapest branch.
+    const auto& topo = circuit.topo_order();
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        const NodeId v = *it;
+        std::uint32_t o = circuit.is_output(v) ? 0 : kInf;
+        for (NodeId g : circuit.fanouts(v)) {
+            const GateType t = circuit.type(g);
+            const auto fanins = circuit.fanins(g);
+            for (std::size_t slot = 0; slot < fanins.size(); ++slot) {
+                if (fanins[slot] != v) continue;
+                std::uint64_t through =
+                    std::uint64_t{result.co[g.v]} + 1;
+                for (std::size_t s = 0; s < fanins.size(); ++s) {
+                    if (s == slot) continue;
+                    const NodeId other = fanins[s];
+                    switch (t) {
+                        case GateType::And:
+                        case GateType::Nand:
+                            through += result.cc1[other.v];
+                            break;
+                        case GateType::Or:
+                        case GateType::Nor:
+                            through += result.cc0[other.v];
+                            break;
+                        case GateType::Xor:
+                        case GateType::Xnor:
+                            through += std::min(result.cc0[other.v],
+                                                result.cc1[other.v]);
+                            break;
+                        default:
+                            break;
+                    }
+                }
+                o = std::min(o, sat(through));
+            }
+        }
+        result.co[v.v] = o;
+    }
+    return result;
+}
+
+}  // namespace tpi::testability

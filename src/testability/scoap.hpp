@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace tpi::testability {
+
+/// SCOAP (Sandia Controllability/Observability Analysis Program)
+/// testability measures — the other classic 1980s metric, included for
+/// cross-checking the COP-based selection (ablation A3).
+///
+/// * `cc0[v]` / `cc1[v]` — combinational 0-/1-controllability: the
+///   smallest number of primary-input assignments (plus one per logic
+///   level) needed to set net v to 0/1. Primary inputs cost 1.
+/// * `co[v]` — combinational observability: the effort to propagate net v
+///   to a primary output (0 at the outputs themselves).
+///
+/// Larger numbers mean harder; unlike COP the measures are additive
+/// integers, exact on fanout-free circuits under the same caveats.
+struct ScoapResult {
+    std::vector<std::uint32_t> cc0;
+    std::vector<std::uint32_t> cc1;
+    std::vector<std::uint32_t> co;
+
+    /// SCOAP testability of a stuck-at fault: the effort to excite it
+    /// (controllability of the opposite value) plus the effort to observe
+    /// its site.
+    std::uint32_t fault_effort(netlist::NodeId node, bool stuck_at1) const {
+        const std::uint32_t excite =
+            stuck_at1 ? cc0[node.v] : cc1[node.v];
+        return saturating_add(excite, co[node.v]);
+    }
+
+    static std::uint32_t saturating_add(std::uint32_t a, std::uint32_t b) {
+        const std::uint64_t sum =
+            static_cast<std::uint64_t>(a) + static_cast<std::uint64_t>(b);
+        return sum > kInfinity ? kInfinity
+                               : static_cast<std::uint32_t>(sum);
+    }
+
+    /// Sentinel for uncontrollable/unobservable nets (tie cells and
+    /// blocked cones).
+    static constexpr std::uint32_t kInfinity = 0x3FFFFFFF;
+};
+
+ScoapResult compute_scoap(const netlist::Circuit& circuit);
+
+}  // namespace tpi::testability

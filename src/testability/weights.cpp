@@ -1,0 +1,51 @@
+#include "testability/weights.hpp"
+
+#include "testability/cop.hpp"
+#include "testability/detect.hpp"
+#include "util/error.hpp"
+
+namespace tpi::testability {
+
+double estimated_coverage_under_weights(
+    const netlist::Circuit& circuit, const fault::CollapsedFaults& faults,
+    const std::vector<double>& weights, std::size_t num_patterns) {
+    require(weights.size() == circuit.input_count(),
+            "estimated_coverage_under_weights: weight count mismatch");
+    const CopResult cop = compute_cop(circuit, weights);
+    const std::vector<double> p =
+        detection_probabilities(circuit, faults, cop);
+    return estimated_coverage(p, faults.class_size, num_patterns);
+}
+
+std::vector<double> optimize_input_weights(
+    const netlist::Circuit& circuit, const fault::CollapsedFaults& faults,
+    const WeightOptions& options) {
+    std::vector<double> weights(circuit.input_count(), 0.5);
+    double best = estimated_coverage_under_weights(
+        circuit, faults, weights, options.num_patterns);
+
+    for (int pass = 0; pass < options.passes; ++pass) {
+        bool improved = false;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            const double original = weights[i];
+            double best_weight = original;
+            for (int k = 1; k <= 15; ++k) {
+                const double candidate = k / 16.0;
+                if (candidate == original) continue;
+                weights[i] = candidate;
+                const double score = estimated_coverage_under_weights(
+                    circuit, faults, weights, options.num_patterns);
+                if (score > best + 1e-12) {
+                    best = score;
+                    best_weight = candidate;
+                    improved = true;
+                }
+            }
+            weights[i] = best_weight;
+        }
+        if (!improved) break;
+    }
+    return weights;
+}
+
+}  // namespace tpi::testability

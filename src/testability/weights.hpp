@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "netlist/circuit.hpp"
+
+namespace tpi::testability {
+
+/// Options for the weighted-random input-probability optimiser.
+struct WeightOptions {
+    int passes = 3;                    ///< coordinate-ascent sweeps
+    std::size_t num_patterns = 32768;  ///< test length of the objective
+};
+
+/// Optimise per-input signal probabilities for weighted-random testing —
+/// the classic *input-side* alternative to test point insertion, included
+/// as a literature baseline (Table 10).
+///
+/// Coordinate ascent over the 1/16-quantised weight grid, maximising the
+/// COP-estimated expected fault coverage. Returns one weight per primary
+/// input, in inputs() order.
+std::vector<double> optimize_input_weights(
+    const netlist::Circuit& circuit, const fault::CollapsedFaults& faults,
+    const WeightOptions& options = {});
+
+/// COP-estimated coverage under the given input weights (the optimiser's
+/// objective, exposed for tests and the bench).
+double estimated_coverage_under_weights(
+    const netlist::Circuit& circuit, const fault::CollapsedFaults& faults,
+    const std::vector<double>& weights, std::size_t num_patterns);
+
+}  // namespace tpi::testability

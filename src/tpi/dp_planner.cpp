@@ -1,0 +1,230 @@
+#include <memory>
+
+#include "fault/fault.hpp"
+#include "netlist/ffr.hpp"
+#include "netlist/transform.hpp"
+#include "testability/cop.hpp"
+#include "tpi/evaluate.hpp"
+#include "tpi/planners.hpp"
+#include "tpi/tree_joint_dp.hpp"
+#include "tpi/tree_obs_dp.hpp"
+#include "util/error.hpp"
+
+namespace tpi {
+
+using netlist::NodeId;
+using netlist::TestPoint;
+using netlist::TpKind;
+
+namespace {
+
+/// One region's DP, either variant, behind a common interface.
+class RegionDp {
+public:
+    virtual ~RegionDp() = default;
+    virtual double gain(int budget) const = 0;
+    virtual std::vector<TestPoint> placements(int budget) const = 0;
+};
+
+class ObsRegionDp final : public RegionDp {
+public:
+    template <typename... Args>
+    explicit ObsRegionDp(Args&&... args)
+        : dp_(std::forward<Args>(args)...) {}
+
+    double gain(int budget) const override {
+        return dp_.best(budget) - dp_.baseline();
+    }
+    std::vector<TestPoint> placements(int budget) const override {
+        std::vector<TestPoint> out;
+        for (NodeId v : dp_.placements(budget))
+            out.push_back({v, TpKind::Observe});
+        return out;
+    }
+
+private:
+    TreeObsDp dp_;
+};
+
+class JointRegionDp final : public RegionDp {
+public:
+    template <typename... Args>
+    explicit JointRegionDp(Args&&... args)
+        : dp_(std::forward<Args>(args)...) {}
+
+    double gain(int budget) const override {
+        return dp_.best(budget) - dp_.baseline();
+    }
+    std::vector<TestPoint> placements(int budget) const override {
+        return dp_.placements(budget);
+    }
+
+private:
+    TreeJointDp dp_;
+};
+
+/// True when every member of the region has at most two in-region fanins
+/// (the joint DP's structural requirement).
+bool joint_compatible(const netlist::Circuit& circuit,
+                      const netlist::FanoutFreeRegion& region,
+                      std::span<const std::uint32_t> region_of) {
+    const std::uint32_t rid = region_of[region.root.v];
+    for (NodeId v : region.members) {
+        int in_region = 0;
+        for (NodeId f : circuit.fanins(v))
+            if (region_of[f.v] == rid) ++in_region;
+        if (in_region > 2) return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+Plan DpPlanner::plan(const netlist::Circuit& circuit,
+                     const PlannerOptions& options) {
+    require(options.budget >= 0, "DpPlanner: negative budget");
+    const fault::CollapsedFaults faults = fault::singleton_faults(circuit);
+
+    std::vector<TestPoint> points;
+    std::vector<bool> has_point(circuit.node_count(), false);
+    int remaining = options.budget;
+    const int rounds = std::max(1, options.dp_rounds);
+    const int chunk = std::max(1, (options.budget + rounds - 1) / rounds);
+    const bool use_control = !options.control_kinds.empty();
+
+    for (int round = 0; round < rounds && remaining > 0; ++round) {
+        const int budget_round =
+            (round == rounds - 1) ? remaining : std::min(remaining, chunk);
+
+        // Materialise the points selected so far and re-analyse.
+        const netlist::TransformResult dft =
+            netlist::apply_test_points(circuit, points);
+        const std::size_t cur_n = dft.circuit.node_count();
+
+        std::vector<NodeId> orig_of(cur_n, netlist::kNullNode);
+        for (NodeId v : circuit.all_nodes())
+            orig_of[dft.node_map[v.v].v] = v;
+        std::vector<bool> allowed(cur_n, false);
+        for (std::size_t i = 0; i < cur_n; ++i) {
+            const NodeId orig = orig_of[i];
+            allowed[i] = orig.valid() && !has_point[orig.v];
+        }
+
+        const testability::CopResult cop =
+            testability::compute_cop(dft.circuit);
+
+        // Fault universe of the original circuit, relocated onto the
+        // current netlist (the copies of the original gate outputs).
+        fault::CollapsedFaults mapped = faults;
+        for (auto& rep : mapped.representatives)
+            rep.node = dft.node_map[rep.node.v];
+
+        const netlist::FfrDecomposition ffr =
+            netlist::decompose_ffr(dft.circuit);
+        const int region_cap =
+            std::min(options.dp_region_budget, budget_round);
+
+        // Build the per-region DP tables.
+        std::vector<std::unique_ptr<RegionDp>> dps(ffr.regions.size());
+        std::vector<bool> has_faults(ffr.regions.size(), false);
+        for (std::size_t i = 0; i < mapped.size(); ++i) {
+            if (mapped.class_size[i] == 0) continue;
+            has_faults[ffr.region_of[mapped.representatives[i].node.v]] =
+                true;
+        }
+        for (std::size_t r = 0; r < ffr.regions.size(); ++r) {
+            if (!has_faults[r]) continue;
+            const auto& region = ffr.regions[r];
+            const bool joint =
+                use_control &&
+                static_cast<int>(region.members.size()) <=
+                    options.dp_joint_max_region &&
+                joint_compatible(dft.circuit, region, ffr.region_of);
+            if (joint) {
+                TreeJointDp::Params params;
+                params.delta_bits = options.dp_delta_bits;
+                params.max_bucket = options.dp_max_cost_bucket;
+                params.max_budget = region_cap;
+                params.observe_cost = options.cost.observe;
+                params.control_cost = options.cost.control;
+                params.c1_grid = options.dp_joint_c1_grid;
+                params.allow_observe = options.allow_observe;
+                params.control_kinds = options.control_kinds;
+                dps[r] = std::make_unique<JointRegionDp>(
+                    dft.circuit, region, cop, mapped,
+                    std::span<const std::uint32_t>(mapped.class_size),
+                    options.objective, params,
+                    allowed);
+            } else if (options.allow_observe) {
+                TreeObsDp::Params params;
+                params.delta_bits = options.dp_delta_bits;
+                params.max_bucket = options.dp_max_cost_bucket;
+                params.max_budget = region_cap;
+                params.observe_cost = options.cost.observe;
+                dps[r] = std::make_unique<ObsRegionDp>(
+                    dft.circuit, region, cop, mapped,
+                    std::span<const std::uint32_t>(mapped.class_size),
+                    options.objective, params,
+                    allowed);
+            }
+        }
+
+        // Outer knapsack: allocate budget_round units across regions.
+        const int B = budget_round;
+        std::vector<std::vector<double>> table(
+            dps.size() + 1, std::vector<double>(B + 1, 0.0));
+        for (std::size_t r = 0; r < dps.size(); ++r) {
+            for (int j = 0; j <= B; ++j) {
+                double best = table[r][j];
+                if (dps[r]) {
+                    for (int s = 1; s <= std::min(j, region_cap); ++s)
+                        best = std::max(best,
+                                        table[r][j - s] + dps[r]->gain(s));
+                }
+                table[r + 1][j] = best;
+            }
+        }
+        if (table[dps.size()][B] < 1e-9) break;  // nothing left to gain
+
+        // Recover the allocation and apply the regions' placements.
+        int used_units = 0;
+        {
+            int j = B;
+            for (std::size_t r = dps.size(); r-- > 0;) {
+                int pick = 0;
+                if (dps[r]) {
+                    for (int s = 0; s <= std::min(j, region_cap); ++s) {
+                        if (table[r][j - s] +
+                                (s > 0 ? dps[r]->gain(s) : 0.0) >=
+                            table[r + 1][j] - 1e-12) {
+                            pick = s;
+                            break;
+                        }
+                    }
+                }
+                if (pick > 0 && dps[r]->gain(pick) > 1e-9) {
+                    for (const TestPoint& tp : dps[r]->placements(pick)) {
+                        const NodeId orig = orig_of[tp.node.v];
+                        require(orig.valid(),
+                                "DpPlanner: placement on a non-original net");
+                        points.push_back({orig, tp.kind});
+                        has_point[orig.v] = true;
+                        used_units += options.cost.cost(tp.kind);
+                    }
+                }
+                j -= pick;
+            }
+        }
+        if (used_units == 0) break;
+        remaining -= used_units;
+    }
+
+    Plan result;
+    result.points = std::move(points);
+    result.predicted_score =
+        evaluate_plan(circuit, faults, result.points, options.objective)
+            .score;
+    return result;
+}
+
+}  // namespace tpi

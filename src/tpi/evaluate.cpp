@@ -1,0 +1,38 @@
+#include "tpi/evaluate.hpp"
+
+#include "netlist/transform.hpp"
+#include "testability/cop.hpp"
+#include "testability/detect.hpp"
+
+namespace tpi {
+
+PlanEvaluation evaluate_plan(const netlist::Circuit& circuit,
+                             const fault::CollapsedFaults& faults,
+                             std::span<const netlist::TestPoint> points,
+                             const Objective& objective) {
+    const netlist::TransformResult dft =
+        netlist::apply_test_points(circuit, points);
+    const testability::CopResult cop = testability::compute_cop(dft.circuit);
+
+    PlanEvaluation eval;
+    eval.detection_probability.resize(faults.size());
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        const fault::Fault f = faults.representatives[i];
+        // The fault lives on the copy of the original gate output (the net
+        // *before* any control-point override gate).
+        const netlist::NodeId site = dft.node_map[f.node.v];
+        const double excitation =
+            f.stuck_at1 ? (1.0 - cop.c1[site.v]) : cop.c1[site.v];
+        eval.detection_probability[i] = excitation * cop.obs[site.v];
+    }
+    eval.score =
+        objective.score(eval.detection_probability, faults.class_size);
+    eval.estimated_coverage = testability::estimated_coverage(
+        eval.detection_probability, faults.class_size,
+        objective.num_patterns);
+    eval.min_detection_probability =
+        testability::min_detection_probability(eval.detection_probability);
+    return eval;
+}
+
+}  // namespace tpi

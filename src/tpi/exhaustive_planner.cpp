@@ -1,0 +1,87 @@
+#include "fault/fault.hpp"
+#include "tpi/evaluate.hpp"
+#include "tpi/planners.hpp"
+#include "util/error.hpp"
+
+namespace tpi {
+
+using netlist::NodeId;
+using netlist::TestPoint;
+using netlist::TpKind;
+
+namespace {
+
+struct Search {
+    const netlist::Circuit& circuit;
+    const fault::CollapsedFaults& faults;
+    const PlannerOptions& options;
+    std::vector<TestPoint> atoms;  ///< candidate (net, kind) placements
+    std::vector<TestPoint> current;
+    std::vector<TestPoint> best_points;
+    double best_score;
+
+    void evaluate_current() {
+        const double score =
+            evaluate_plan(circuit, faults, current, options.objective)
+                .score;
+        if (score > best_score + 1e-12) {
+            best_score = score;
+            best_points = current;
+        }
+    }
+
+    void recurse(std::size_t start, int budget_left) {
+        for (std::size_t i = start; i < atoms.size(); ++i) {
+            const TestPoint atom = atoms[i];
+            const int cost = options.cost.cost(atom.kind);
+            if (cost > budget_left) continue;
+            // At most one control point per net (transform invariant);
+            // observation atoms are unique per net by construction.
+            bool conflict = false;
+            for (const TestPoint& tp : current) {
+                if (tp.node == atom.node &&
+                    netlist::is_control(tp.kind) ==
+                        netlist::is_control(atom.kind)) {
+                    conflict = true;
+                    break;
+                }
+            }
+            if (conflict) continue;
+            current.push_back(atom);
+            evaluate_current();
+            recurse(i + 1, budget_left - cost);
+            current.pop_back();
+        }
+    }
+};
+
+}  // namespace
+
+Plan ExhaustivePlanner::plan(const netlist::Circuit& circuit,
+                             const PlannerOptions& options) {
+    require(options.budget >= 0, "ExhaustivePlanner: negative budget");
+    const fault::CollapsedFaults faults = fault::singleton_faults(circuit);
+
+    Search search{circuit, faults, options, {}, {}, {}, 0.0};
+    for (NodeId v : circuit.all_nodes()) {
+        if (options.allow_observe)
+            search.atoms.push_back({v, TpKind::Observe});
+        for (TpKind kind : options.control_kinds)
+            search.atoms.push_back({v, kind});
+    }
+    // Keep the oracle honest about its cost: the search space is
+    // exponential in the budget; refuse plainly oversized instances.
+    require(search.atoms.size() <= 256,
+            "ExhaustivePlanner: instance too large for exhaustive search");
+
+    search.best_score =
+        evaluate_plan(circuit, faults, {}, options.objective).score;
+    search.recurse(0, options.budget);
+
+    Plan result;
+    result.points = std::move(search.best_points);
+    result.predicted_score = search.best_score;
+    return result;
+}
+
+}  // namespace tpi

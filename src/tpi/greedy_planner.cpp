@@ -1,0 +1,142 @@
+#include <algorithm>
+
+#include "fault/fault.hpp"
+#include "netlist/transform.hpp"
+#include "testability/cop.hpp"
+#include "testability/profile.hpp"
+#include "tpi/evaluate.hpp"
+#include "tpi/planners.hpp"
+#include "util/error.hpp"
+
+namespace tpi {
+
+using netlist::NodeId;
+using netlist::TestPoint;
+using netlist::TpKind;
+
+Plan GreedyPlanner::plan(const netlist::Circuit& circuit,
+                         const PlannerOptions& options) {
+    require(options.budget >= 0, "GreedyPlanner: negative budget");
+    const fault::CollapsedFaults faults = fault::singleton_faults(circuit);
+
+    std::vector<TestPoint> points;
+    std::vector<bool> has_point(circuit.node_count(), false);
+    int remaining = options.budget;
+    PlanEvaluation current =
+        evaluate_plan(circuit, faults, points, options.objective);
+
+    while (remaining > 0) {
+        // Analyse the circuit with the points selected so far.
+        const netlist::TransformResult dft =
+            netlist::apply_test_points(circuit, points);
+        const testability::CopResult cop =
+            testability::compute_cop(dft.circuit);
+
+        fault::CollapsedFaults mapped = faults;
+        for (auto& rep : mapped.representatives)
+            rep.node = dft.node_map[rep.node.v];
+
+        // ---- candidate generation ----
+        struct Candidate {
+            TestPoint point;  // on original node ids
+            double proxy;
+        };
+        std::vector<Candidate> observe_cands;
+        std::vector<Candidate> control_cands;
+
+        if (options.allow_observe) {
+            // Covering-style proxy: the benefit gain if each fault were
+            // observed exactly where its effect arrives.
+            const testability::PropagationProfile profile =
+                testability::compute_profile(dft.circuit, cop, mapped,
+                                             1e-9);
+            std::vector<double> gain(dft.circuit.node_count(), 0.0);
+            for (std::size_t fi = 0; fi < profile.rows.size(); ++fi) {
+                const double have = options.objective.benefit(
+                    current.detection_probability[fi]);
+                const double weight = faults.class_size[fi];
+                for (const auto& entry : profile.rows[fi]) {
+                    const double would =
+                        options.objective.benefit(entry.probability);
+                    if (would > have)
+                        gain[entry.node.v] += weight * (would - have);
+                }
+            }
+            for (NodeId orig : circuit.all_nodes()) {
+                if (has_point[orig.v]) continue;
+                const NodeId cur = dft.node_map[orig.v];
+                if (gain[cur.v] > 0.0)
+                    observe_cands.push_back(
+                        {{orig, TpKind::Observe}, gain[cur.v]});
+            }
+            std::sort(observe_cands.begin(), observe_cands.end(),
+                      [](const Candidate& a, const Candidate& b) {
+                          return a.proxy > b.proxy;
+                      });
+        }
+
+        if (!options.control_kinds.empty()) {
+            // Extremeness proxy: nets stuck near 0 or 1 starve both
+            // excitation and propagation downstream.
+            for (NodeId orig : circuit.all_nodes()) {
+                if (has_point[orig.v]) continue;
+                const NodeId cur = dft.node_map[orig.v];
+                const double c1 = cop.c1[cur.v];
+                const double balance = std::min(c1, 1.0 - c1);
+                const double weight =
+                    static_cast<double>(circuit.fanout_count(orig));
+                const double proxy = (0.5 - balance) * (1.0 + weight);
+                for (TpKind kind : options.control_kinds)
+                    control_cands.push_back({{orig, kind}, proxy});
+            }
+            std::sort(control_cands.begin(), control_cands.end(),
+                      [](const Candidate& a, const Candidate& b) {
+                          return a.proxy > b.proxy;
+                      });
+        }
+
+        // ---- exact evaluation of the pool ----
+        const int pool = std::max(2, options.greedy_pool);
+        std::vector<Candidate> shortlist;
+        for (std::size_t i = 0;
+             i < observe_cands.size() && i < static_cast<std::size_t>(pool);
+             ++i)
+            shortlist.push_back(observe_cands[i]);
+        for (std::size_t i = 0;
+             i < control_cands.size() && i < static_cast<std::size_t>(pool);
+             ++i)
+            shortlist.push_back(control_cands[i]);
+
+        double best_rate = 0.0;
+        int best_index = -1;
+        PlanEvaluation best_eval;
+        for (std::size_t i = 0; i < shortlist.size(); ++i) {
+            const int cost = options.cost.cost(shortlist[i].point.kind);
+            if (cost > remaining) continue;
+            points.push_back(shortlist[i].point);
+            const PlanEvaluation eval =
+                evaluate_plan(circuit, faults, points, options.objective);
+            points.pop_back();
+            const double rate = (eval.score - current.score) / cost;
+            if (rate > best_rate + 1e-12) {
+                best_rate = rate;
+                best_index = static_cast<int>(i);
+                best_eval = eval;
+            }
+        }
+        if (best_index < 0) break;  // no candidate improves the objective
+
+        const TestPoint chosen = shortlist[best_index].point;
+        points.push_back(chosen);
+        has_point[chosen.node.v] = true;
+        remaining -= options.cost.cost(chosen.kind);
+        current = std::move(best_eval);
+    }
+
+    Plan result;
+    result.points = std::move(points);
+    result.predicted_score = current.score;
+    return result;
+}
+
+}  // namespace tpi

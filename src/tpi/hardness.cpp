@@ -1,0 +1,248 @@
+#include "tpi/hardness.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "testability/cop.hpp"
+#include "testability/profile.hpp"
+#include "util/error.hpp"
+
+namespace tpi::hardness {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+std::vector<std::uint32_t> greedy_cover(const SetCoverInstance& instance) {
+    std::vector<bool> covered(instance.universe, false);
+    std::size_t uncovered = instance.universe;
+    std::vector<std::uint32_t> selection;
+    while (uncovered > 0) {
+        std::size_t best_gain = 0;
+        std::uint32_t best_set = 0;
+        for (std::uint32_t s = 0; s < instance.sets.size(); ++s) {
+            std::size_t gain = 0;
+            for (std::uint32_t e : instance.sets[s])
+                if (!covered[e]) ++gain;
+            if (gain > best_gain) {
+                best_gain = gain;
+                best_set = s;
+            }
+        }
+        require(best_gain > 0, "greedy_cover: infeasible instance");
+        selection.push_back(best_set);
+        for (std::uint32_t e : instance.sets[best_set]) {
+            if (!covered[e]) {
+                covered[e] = true;
+                --uncovered;
+            }
+        }
+    }
+    return selection;
+}
+
+bool is_cover(const SetCoverInstance& instance,
+              std::span<const std::uint32_t> selection) {
+    std::vector<bool> covered(instance.universe, false);
+    for (std::uint32_t s : selection)
+        for (std::uint32_t e : instance.sets[s]) covered[e] = true;
+    return std::all_of(covered.begin(), covered.end(),
+                       [](bool c) { return c; });
+}
+
+namespace {
+
+struct CoverSearch {
+    const SetCoverInstance& instance;
+    std::vector<std::vector<std::uint32_t>> sets_of_element;
+    std::size_t max_set_size;
+    std::vector<std::uint32_t> current;
+    std::vector<std::uint32_t> best;
+    std::vector<int> cover_count;  // per element
+
+    void recurse() {
+        if (current.size() >= best.size()) return;  // cannot improve
+        // Uncovered element with the fewest candidate sets (element
+        // branching keeps the tree narrow).
+        std::size_t elem = instance.universe;
+        std::size_t fewest = std::numeric_limits<std::size_t>::max();
+        std::size_t uncovered = 0;
+        for (std::size_t e = 0; e < instance.universe; ++e) {
+            if (cover_count[e] > 0) continue;
+            ++uncovered;
+            if (sets_of_element[e].size() < fewest) {
+                fewest = sets_of_element[e].size();
+                elem = e;
+            }
+        }
+        if (uncovered == 0) {
+            best = current;
+            return;
+        }
+        // Lower bound: each extra set covers at most max_set_size elements.
+        const std::size_t need =
+            (uncovered + max_set_size - 1) / max_set_size;
+        if (current.size() + need >= best.size()) return;
+
+        for (std::uint32_t s : sets_of_element[elem]) {
+            current.push_back(s);
+            for (std::uint32_t e : instance.sets[s]) ++cover_count[e];
+            recurse();
+            for (std::uint32_t e : instance.sets[s]) --cover_count[e];
+            current.pop_back();
+        }
+    }
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> exact_cover(const SetCoverInstance& instance) {
+    CoverSearch search{instance, {}, 1, {}, greedy_cover(instance), {}};
+    search.sets_of_element.resize(instance.universe);
+    for (std::uint32_t s = 0; s < instance.sets.size(); ++s) {
+        search.max_set_size =
+            std::max(search.max_set_size, instance.sets[s].size());
+        for (std::uint32_t e : instance.sets[s])
+            search.sets_of_element[e].push_back(s);
+    }
+    search.cover_count.assign(instance.universe, 0);
+    search.recurse();
+    return search.best;
+}
+
+SetCoverInstance random_instance(std::size_t universe, std::size_t sets,
+                                 std::size_t planted_size, util::Rng& rng) {
+    require(planted_size >= 1 && planted_size <= sets,
+            "random_instance: bad planted size");
+    SetCoverInstance instance;
+    instance.universe = universe;
+    instance.sets.resize(sets);
+    // Plant: assign every element to one of the first planted_size sets.
+    for (std::uint32_t e = 0; e < universe; ++e)
+        instance.sets[rng.below(planted_size)].push_back(e);
+    // Decoys and redundancy: each remaining set samples ~universe/planted
+    // elements; planted sets get a few extras too.
+    const std::size_t sample =
+        std::max<std::size_t>(1, universe / (planted_size + 1));
+    for (std::uint32_t s = 0; s < sets; ++s) {
+        const std::size_t extras = s < planted_size ? sample / 2 : sample;
+        for (std::size_t k = 0; k < extras; ++k) {
+            const auto e = static_cast<std::uint32_t>(rng.below(universe));
+            if (std::find(instance.sets[s].begin(), instance.sets[s].end(),
+                          e) == instance.sets[s].end())
+                instance.sets[s].push_back(e);
+        }
+        if (instance.sets[s].empty())
+            instance.sets[s].push_back(
+                static_cast<std::uint32_t>(rng.below(universe)));
+        std::sort(instance.sets[s].begin(), instance.sets[s].end());
+    }
+    return instance;
+}
+
+SetCoverInstance greedy_trap_instance(std::size_t k) {
+    require(k >= 2, "greedy_trap_instance: k >= 2");
+    const std::size_t m = (std::size_t{1} << k) - 1;  // columns per row
+    SetCoverInstance instance;
+    instance.universe = 2 * m;
+    // The two row sets: the optimum cover.
+    std::vector<std::uint32_t> row0(m);
+    std::vector<std::uint32_t> row1(m);
+    for (std::uint32_t c = 0; c < m; ++c) {
+        row0[c] = c;
+        row1[c] = static_cast<std::uint32_t>(m) + c;
+    }
+    instance.sets.push_back(std::move(row0));
+    instance.sets.push_back(std::move(row1));
+    // Bait blocks of 2^(k-1), 2^(k-2), ..., 1 columns, spanning both rows.
+    std::size_t column = 0;
+    for (std::size_t width = std::size_t{1} << (k - 1); width >= 1;
+         width /= 2) {
+        std::vector<std::uint32_t> bait;
+        for (std::size_t c = column; c < column + width; ++c) {
+            bait.push_back(static_cast<std::uint32_t>(c));
+            bait.push_back(static_cast<std::uint32_t>(m + c));
+        }
+        std::sort(bait.begin(), bait.end());
+        instance.sets.push_back(std::move(bait));
+        column += width;
+    }
+    return instance;
+}
+
+SetCoverGadget build_gadget(const SetCoverInstance& instance) {
+    require(instance.universe > 0 && !instance.sets.empty(),
+            "build_gadget: empty instance");
+    SetCoverGadget gadget;
+    Circuit& c = gadget.circuit;
+    c.set_name("setcover_gadget");
+
+    for (std::uint32_t e = 0; e < instance.universe; ++e) {
+        const NodeId pi = c.add_input("x" + std::to_string(e));
+        const NodeId stem =
+            c.add_gate(GateType::Buf, {pi}, "elem" + std::to_string(e));
+        gadget.element_nets.push_back(stem);
+        gadget.planted_faults.push_back({stem, true});
+    }
+    const NodeId zero = c.add_const(false, "blocker0");
+    std::vector<NodeId> blocked;
+    for (std::uint32_t s = 0; s < instance.sets.size(); ++s) {
+        require(!instance.sets[s].empty(), "build_gadget: empty set");
+        std::vector<NodeId> fanins;
+        for (std::uint32_t e : instance.sets[s])
+            fanins.push_back(gadget.element_nets[e]);
+        NodeId cand;
+        if (fanins.size() == 1) {
+            cand = c.add_gate(GateType::Buf, fanins,
+                              "cand" + std::to_string(s));
+        } else {
+            cand = c.add_gate(GateType::Or, fanins,
+                              "cand" + std::to_string(s));
+        }
+        gadget.candidate_nets.push_back(cand);
+        blocked.push_back(c.add_gate(GateType::And, {cand, zero},
+                                     "blk" + std::to_string(s)));
+    }
+    const NodeId po = blocked.size() == 1
+                          ? blocked[0]
+                          : c.add_gate(GateType::Or, blocked, "sink");
+    c.mark_output(po);
+    c.validate();
+    return gadget;
+}
+
+std::vector<std::uint32_t> solve_gadget_observation(
+    const SetCoverGadget& gadget, bool exact) {
+    // Read the covering structure back out of the circuit through the
+    // propagation profile: candidate i covers element j iff j's planted
+    // fault can arrive at candidate net i with non-zero probability.
+    const fault::CollapsedFaults faults =
+        fault::collapse_faults(gadget.circuit);
+    const testability::CopResult cop =
+        testability::compute_cop(gadget.circuit);
+    // The reduction is about detectABILITY, not practical detection
+    // probability: keep every non-zero arrival, however small (a wide
+    // candidate OR gives arrival probabilities around 2^-|S|).
+    const testability::PropagationProfile profile =
+        testability::compute_profile(gadget.circuit, cop, faults, 1e-300);
+
+    SetCoverInstance instance;
+    instance.universe = gadget.planted_faults.size();
+    instance.sets.resize(gadget.candidate_nets.size());
+    for (std::uint32_t e = 0; e < gadget.planted_faults.size(); ++e) {
+        const std::int32_t cls =
+            faults.class_index(gadget.planted_faults[e]);
+        require(cls >= 0, "solve_gadget_observation: planted fault missing");
+        const auto& row = profile.rows[static_cast<std::size_t>(cls)];
+        for (std::uint32_t s = 0; s < gadget.candidate_nets.size(); ++s) {
+            const NodeId cand = gadget.candidate_nets[s];
+            const bool reaches = std::any_of(
+                row.begin(), row.end(),
+                [&](const auto& entry) { return entry.node == cand; });
+            if (reaches) instance.sets[s].push_back(e);
+        }
+    }
+    return exact ? exact_cover(instance) : greedy_cover(instance);
+}
+
+}  // namespace tpi::hardness

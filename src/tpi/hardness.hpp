@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "netlist/circuit.hpp"
+#include "util/rng.hpp"
+
+namespace tpi::hardness {
+
+/// A SET-COVER instance: universe {0..universe-1} and a family of subsets.
+struct SetCoverInstance {
+    std::size_t universe = 0;
+    std::vector<std::vector<std::uint32_t>> sets;
+};
+
+/// Classic greedy H_n-approximation: repeatedly pick the set covering the
+/// most uncovered elements. Returns selected set indices. Throws if the
+/// instance is infeasible (some element in no set).
+std::vector<std::uint32_t> greedy_cover(const SetCoverInstance& instance);
+
+/// Exact minimum cover by branch and bound (element-branching with a
+/// greedy upper bound and a max-set-size lower bound). Exponential —
+/// intended for the modest instances of the hardness experiments.
+std::vector<std::uint32_t> exact_cover(const SetCoverInstance& instance);
+
+/// Verify that `selection` covers the whole universe.
+bool is_cover(const SetCoverInstance& instance,
+              std::span<const std::uint32_t> selection);
+
+/// Random instance with a planted cover of `planted_size` sets, so the
+/// optimum is at most planted_size. Every set is non-empty.
+SetCoverInstance random_instance(std::size_t universe, std::size_t sets,
+                                 std::size_t planted_size, util::Rng& rng);
+
+/// The classic greedy worst case: a 2 x (2^k - 1) grid whose two row sets
+/// cover everything (optimum = 2), plus column-block "bait" sets of sizes
+/// 2^(k-1), 2^(k-2), ..., 1 that the greedy heuristic prefers — greedy
+/// selects k sets, realising its ln(n) approximation gap.
+SetCoverInstance greedy_trap_instance(std::size_t k);
+
+/// The constructive half of the paper's NP-completeness result: realise a
+/// SET-COVER instance as a reconvergent circuit whose minimum number of
+/// observation points (over the candidate nets) achieving detectability of
+/// all planted faults equals the minimum set cover.
+///
+/// Element j becomes a primary input whose stuck-at-1 fault is the planted
+/// fault; its stem fans out to the candidate OR gate of every set
+/// containing j. Candidate outputs are ANDed with constant 0 before the
+/// primary output, so no planted fault is observable without an
+/// observation point — observing candidate i detects exactly the faults
+/// of the elements in set i.
+struct SetCoverGadget {
+    netlist::Circuit circuit;
+    std::vector<netlist::NodeId> element_nets;    ///< per universe element
+    std::vector<netlist::NodeId> candidate_nets;  ///< per set
+    std::vector<fault::Fault> planted_faults;     ///< per universe element
+};
+
+SetCoverGadget build_gadget(const SetCoverInstance& instance);
+
+/// Solve the observation-point selection problem on a gadget circuit by
+/// reading it back as set cover: candidate i covers element j iff the
+/// planted fault of j propagates to candidate net i. `exact` selects the
+/// branch-and-bound solver, otherwise greedy. Returns indices into
+/// `gadget.candidate_nets`.
+std::vector<std::uint32_t> solve_gadget_observation(
+    const SetCoverGadget& gadget, bool exact);
+
+}  // namespace tpi::hardness

@@ -1,0 +1,35 @@
+#include "tpi/objective.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace tpi {
+
+double Objective::benefit(double p) const {
+    p = std::clamp(p, 0.0, 1.0);
+    switch (kind) {
+        case Kind::ExpectedDetection: {
+            if (p >= 1.0) return 1.0;
+            return 1.0 -
+                   std::exp(static_cast<double>(num_patterns) *
+                            std::log1p(-p));
+        }
+        case Kind::ThresholdLinear:
+            return std::min(1.0, p / threshold);
+    }
+    throw Error("Objective::benefit: invalid kind");
+}
+
+double Objective::score(std::span<const double> detection_probability,
+                        std::span<const std::uint32_t> weight) const {
+    require(detection_probability.size() == weight.size(),
+            "Objective::score: size mismatch");
+    double total = 0.0;
+    for (std::size_t i = 0; i < weight.size(); ++i)
+        total += weight[i] * benefit(detection_probability[i]);
+    return total;
+}
+
+}  // namespace tpi

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace tpi {
+
+/// The testability objective maximised by the TPI algorithms.
+///
+/// Both kinds are additive over faults (a requirement of the dynamic
+/// program), each fault contributing weight * benefit(p):
+///
+/// * ExpectedDetection — benefit(p) = 1 - (1-p)^N, the probability the
+///   fault is detected within the N-pattern pseudo-random test. The sum
+///   over the (uncollapsed, weighted) universe is N-pattern expected
+///   fault coverage times the universe size.
+/// * ThresholdLinear — benefit(p) = min(1, p / theta). Maximising it
+///   pushes every fault's detection probability towards the threshold
+///   theta; used by the TPI-MIN (threshold) formulation.
+struct Objective {
+    enum class Kind { ExpectedDetection, ThresholdLinear };
+
+    Kind kind = Kind::ExpectedDetection;
+    std::size_t num_patterns = 32768;  ///< N for ExpectedDetection
+    double threshold = 1.0 / 4096.0;   ///< theta for ThresholdLinear
+
+    /// Per-fault benefit of detection probability `p` (monotone in p,
+    /// ranging over [0, 1]).
+    double benefit(double p) const;
+
+    /// Weighted total benefit over a fault universe.
+    double score(std::span<const double> detection_probability,
+                 std::span<const std::uint32_t> weight) const;
+};
+
+}  // namespace tpi

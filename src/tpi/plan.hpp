@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+#include "netlist/test_point.hpp"
+#include "tpi/objective.hpp"
+
+namespace tpi {
+
+/// Integer cost of each test point kind, in budget units. The classic
+/// accounting charges an observation point less than a control point
+/// (a bare scan cell vs. gate + routing + test signal), but the default
+/// here is uniform so budgets read as "number of test points".
+struct CostModel {
+    int observe = 1;
+    int control = 1;
+
+    int cost(netlist::TpKind kind) const {
+        return netlist::is_control(kind) ? control : observe;
+    }
+};
+
+/// Options shared by all planners.
+struct PlannerOptions {
+    /// Total budget in CostModel units.
+    int budget = 8;
+    CostModel cost;
+    Objective objective;
+
+    /// Which test point kinds the planner may use.
+    bool allow_observe = true;
+    std::vector<netlist::TpKind> control_kinds = {
+        netlist::TpKind::ControlXor, netlist::TpKind::ControlAnd,
+        netlist::TpKind::ControlOr};
+
+    /// Dynamic-program parameters (see DESIGN.md §2).
+    double dp_delta_bits = 0.25;   ///< log-cost quantisation grid
+    int dp_max_cost_bucket = 120;  ///< saturation cap of the cost grid
+    int dp_region_budget = 6;      ///< max points the DP considers per FFR
+    int dp_rounds = 4;             ///< recompute/reallocate rounds
+    int dp_joint_c1_grid = 9;      ///< controllability classes (joint DP)
+    int dp_joint_max_region = 600; ///< joint DP fallback threshold
+
+    /// Greedy baseline: exact evaluations per step.
+    int greedy_pool = 24;
+
+    std::uint64_t seed = 1;
+};
+
+/// A set of selected test points plus the planner's own estimate of the
+/// objective it achieves (COP-based; validate with fault simulation).
+struct Plan {
+    std::vector<netlist::TestPoint> points;
+    double predicted_score = 0.0;
+
+    int total_cost(const CostModel& cost) const {
+        int sum = 0;
+        for (const auto& tp : points) sum += cost.cost(tp.kind);
+        return sum;
+    }
+};
+
+/// Abstract TPI planner. Implementations: DpPlanner (the paper),
+/// GreedyPlanner, RandomPlanner, ExhaustivePlanner (oracle).
+class Planner {
+public:
+    virtual ~Planner() = default;
+
+    /// Select test points for `circuit` under `options`.
+    virtual Plan plan(const netlist::Circuit& circuit,
+                      const PlannerOptions& options) = 0;
+
+    virtual std::string_view name() const = 0;
+};
+
+}  // namespace tpi

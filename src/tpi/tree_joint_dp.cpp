@@ -1,0 +1,415 @@
+#include "tpi/tree_joint_dp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace tpi {
+
+using netlist::GateType;
+using netlist::NodeId;
+using netlist::TpKind;
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+double logit(double p) { return std::log2(p / (1.0 - p)); }
+}  // namespace
+
+TreeJointDp::TreeJointDp(const netlist::Circuit& circuit,
+                         const netlist::FanoutFreeRegion& region,
+                         const testability::CopResult& cop,
+                         const fault::CollapsedFaults& faults,
+                         std::span<const std::uint32_t> fault_weight,
+                         const Objective& objective, const Params& params,
+                         const std::vector<bool>& allowed)
+    : circuit_(circuit),
+      region_(region),
+      params_(params),
+      quant_(params.delta_bits, params.max_bucket),
+      buckets_(quant_.bucket_count()),
+      objective_(objective) {
+    require(params_.c1_grid >= 3 && params_.c1_grid % 2 == 1,
+            "TreeJointDp: c1_grid must be odd and >= 3");
+    require(fault_weight.size() == faults.size(),
+            "TreeJointDp: fault_weight size mismatch");
+
+    // Controllability grid, exponentially spaced towards the extremes:
+    // grid[i] = 2^-(2^(m-i)) for the lower half (m = (q-1)/2), mirrored
+    // above 1/2 — e.g. q = 13 gives
+    // {0, 2^-32, 2^-16, 2^-8, 2^-4, 2^-2, 1/2, 3/4, ..., 1}.
+    const int q = params_.c1_grid;
+    const int m = (q - 1) / 2;
+    grid_.assign(q, 0.0);
+    grid_[0] = 0.0;
+    grid_[q - 1] = 1.0;
+    grid_[m] = 0.5;
+    for (int i = 1; i < m; ++i) {
+        grid_[i] = std::exp2(-std::exp2(m - i));
+        grid_[q - 1 - i] = 1.0 - grid_[i];
+    }
+
+    const std::size_t mcount = region.members.size();
+    local_of_.assign(circuit.node_count(), 0);
+    for (std::uint32_t k = 0; k < mcount; ++k)
+        local_of_[region.members[k].v] = k + 1;
+
+    children_.resize(mcount);
+    ext_c1_.resize(mcount);
+    allowed_.resize(mcount);
+    natural_c1_.resize(mcount);
+    for (std::uint32_t k = 0; k < mcount; ++k) {
+        const NodeId v = region.members[k];
+        allowed_[k] = allowed.empty() || allowed[v.v];
+        natural_c1_[k] = cop.c1[v.v];
+        const auto fanins = circuit.fanins(v);
+        ext_c1_[k].resize(fanins.size());
+        for (std::size_t slot = 0; slot < fanins.size(); ++slot) {
+            const std::uint32_t cl = local_of_[fanins[slot].v];
+            if (cl == 0) {
+                ext_c1_[k][slot] = cop.c1[fanins[slot].v];
+            } else {
+                ext_c1_[k][slot] = -1.0;
+                children_[k].push_back({cl - 1, slot});
+            }
+        }
+        require(children_[k].size() <= 2,
+                "TreeJointDp: more than two in-region fanins; binarise the "
+                "circuit first (netlist::binarize)");
+    }
+
+    site_faults_.resize(mcount);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        if (fault_weight[i] == 0) continue;
+        const fault::Fault f = faults.representatives[i];
+        const std::uint32_t lk = local_of_[f.node.v];
+        if (lk == 0) continue;
+        site_faults_[lk - 1].push_back(
+            {f.stuck_at1, static_cast<double>(fault_weight[i])});
+    }
+
+    // Decision set: {nothing, OP} x {no CP, CP kinds}.
+    const int half_cost = quant_.to_bucket(0.5);
+    for (int obs = 0; obs <= (params_.allow_observe ? 1 : 0); ++obs) {
+        decisions_.push_back({obs != 0, -1, obs * params_.observe_cost, 0});
+        for (TpKind kind : params_.control_kinds) {
+            if (!netlist::is_control(kind)) continue;
+            const int pass = (kind == TpKind::ControlXor) ? 0 : half_cost;
+            decisions_.push_back({obs != 0, static_cast<int>(kind),
+                                  obs * params_.observe_cost +
+                                      params_.control_cost,
+                                  pass});
+        }
+    }
+
+    benefit_by_bucket_.resize(buckets_);
+    for (int k = 0; k < buckets_; ++k)
+        benefit_by_bucket_[k] =
+            objective_.benefit(quant_.to_probability(k));
+
+    root_d_ = quant_.to_bucket(cop.obs[region.root.v]);
+    solve();
+}
+
+int TreeJointDp::quantize_c1(double c1) const {
+    if (c1 <= 0.0) return 0;
+    if (c1 >= 1.0) return static_cast<int>(grid_.size()) - 1;
+    const double lo = logit(c1);
+    int best = 1;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (int i = 1; i + 1 < static_cast<int>(grid_.size()); ++i) {
+        const double dist = std::abs(lo - logit(grid_[i]));
+        if (dist < best_dist) {
+            best_dist = dist;
+            best = i;
+        }
+    }
+    return best;
+}
+
+double TreeJointDp::apply_control(double c1_pre, int control) const {
+    if (control < 0) return c1_pre;
+    switch (static_cast<TpKind>(control)) {
+        case TpKind::ControlAnd: return 0.5 * c1_pre;
+        case TpKind::ControlOr: return 0.5 + 0.5 * c1_pre;
+        case TpKind::ControlXor: return 0.5;
+        default: throw Error("TreeJointDp: invalid control decision");
+    }
+}
+
+TreeJointDp::GateEval TreeJointDp::eval_gate(
+    std::uint32_t local, std::span<const int> child_class) const {
+    const NodeId v = region_.members[local];
+    const GateType t = circuit_.type(v);
+    GateEval ge{0.5, {1.0, 1.0}};
+    if (t == GateType::Input) return ge;
+    if (t == GateType::Const0) {
+        ge.c1_pre = 0.0;
+        return ge;
+    }
+    if (t == GateType::Const1) {
+        ge.c1_pre = 1.0;
+        return ge;
+    }
+
+    const auto& ext = ext_c1_[local];
+    const auto& children = children_[local];
+    // Fanin controllabilities in slot order.
+    double values[64];
+    require(ext.size() <= 64, "TreeJointDp: gate arity > 64");
+    for (std::size_t slot = 0; slot < ext.size(); ++slot)
+        values[slot] = ext[slot];
+    for (std::size_t ci = 0; ci < children.size(); ++ci)
+        values[children[ci].slot] =
+            class_value(children[ci].local, child_class[ci]);
+
+    ge.c1_pre = testability::gate_output_c1(
+        t, std::span<const double>(values, ext.size()));
+
+    for (std::size_t ci = 0; ci < children.size(); ++ci) {
+        double sens = 1.0;
+        switch (t) {
+            case GateType::And:
+            case GateType::Nand:
+                for (std::size_t s = 0; s < ext.size(); ++s)
+                    if (s != children[ci].slot) sens *= values[s];
+                break;
+            case GateType::Or:
+            case GateType::Nor:
+                for (std::size_t s = 0; s < ext.size(); ++s)
+                    if (s != children[ci].slot) sens *= 1.0 - values[s];
+                break;
+            default:
+                break;  // BUF/NOT/XOR/XNOR propagate with probability 1
+        }
+        ge.sens[ci] = sens;
+    }
+    return ge;
+}
+
+double TreeJointDp::fault_benefit(std::uint32_t local, double c1_pre,
+                                  int d) const {
+    double sum = 0.0;
+    for (const SiteFault& f : site_faults_[local]) {
+        const double excitation = f.stuck_at1 ? (1.0 - c1_pre) : c1_pre;
+        sum += f.weight *
+               benefit_by_bucket_[quant_.add(quant_.to_bucket(excitation),
+                                             d)];
+    }
+    return sum;
+}
+
+void TreeJointDp::solve() {
+    const std::size_t m = region_.members.size();
+    const int K = params_.max_budget;
+    const int C = class_count();
+    const int nat = natural_class();
+    table_.assign(m,
+                  std::vector<double>(
+                      static_cast<std::size_t>(K + 1) * C * buckets_,
+                      kNegInf));
+
+    std::vector<std::pair<int, double>> exc_buckets;
+    for (std::uint32_t k = 0; k < m; ++k) {
+        auto& tab = table_[k];
+        const auto& children = children_[k];
+        const int nch = static_cast<int>(children.size());
+
+        int child_class[2] = {0, 0};
+        const int ca_max = nch >= 1 ? C : 1;
+        for (int ca = 0; ca < ca_max; ++ca) {
+            child_class[0] = ca;
+            const int cb_max = nch >= 2 ? C : 1;
+            for (int cb = 0; cb < cb_max; ++cb) {
+                child_class[1] = cb;
+                const GateEval ge =
+                    eval_gate(k, std::span<const int>(child_class, 2));
+                const int edge_cost[2] = {quant_.to_bucket(ge.sens[0]),
+                                          quant_.to_bucket(ge.sens[1])};
+                // A subtree is NATURAL when no control point below or at
+                // this node modified any controllability.
+                const bool children_natural =
+                    (nch < 1 || ca == nat) && (nch < 2 || cb == nat);
+                // Excitation buckets of the resident faults, hoisted out
+                // of the inner loops (log2 is not free there).
+                exc_buckets.clear();
+                for (const SiteFault& f : site_faults_[k]) {
+                    const double excitation =
+                        f.stuck_at1 ? (1.0 - ge.c1_pre) : ge.c1_pre;
+                    exc_buckets.emplace_back(
+                        quant_.to_bucket(excitation), f.weight);
+                }
+                const auto fault_benefit_at = [&](int d_fault) {
+                    double sum = 0.0;
+                    for (const auto& [bucket, weight] : exc_buckets)
+                        sum += weight *
+                               benefit_by_bucket_[quant_.add(bucket,
+                                                             d_fault)];
+                    return sum;
+                };
+
+                for (const Decision& dec : decisions_) {
+                    if ((dec.observe || dec.control >= 0) && !allowed_[k])
+                        continue;
+                    const double c1_post =
+                        apply_control(ge.c1_pre, dec.control);
+                    const int c_out = (children_natural && dec.control < 0)
+                                          ? nat
+                                          : quantize_c1(c1_post);
+
+                    for (int d = 0; d < buckets_; ++d) {
+                        const int d_fault = quant_.add(
+                            dec.observe ? 0 : d, dec.pass_cost);
+                        const double fb = fault_benefit_at(d_fault);
+                        const int da = quant_.add(d_fault, edge_cost[0]);
+                        const int db = quant_.add(d_fault, edge_cost[1]);
+
+                        for (int j = dec.units; j <= K; ++j) {
+                            const int avail = j - dec.units;
+                            double value;
+                            if (nch == 0) {
+                                value = fb;
+                            } else if (nch == 1) {
+                                // dp is made monotone per node, so the
+                                // full remaining budget is optimal.
+                                value = fb + dp(children[0].local, avail,
+                                                ca, da);
+                            } else {
+                                double bst = kNegInf;
+                                for (int ja = 0; ja <= avail; ++ja) {
+                                    const double v =
+                                        dp(children[0].local, ja, ca, da) +
+                                        dp(children[1].local, avail - ja,
+                                           cb, db);
+                                    bst = std::max(bst, v);
+                                }
+                                value = fb + bst;
+                            }
+                            auto& cell = tab[idx(j, c_out, d)];
+                            cell = std::max(cell, value);
+                        }
+                    }
+                }
+            }
+        }
+        // Monotone in budget ("at most j").
+        for (int j = 1; j <= K; ++j)
+            for (int c = 0; c < C; ++c)
+                for (int d = 0; d < buckets_; ++d) {
+                    auto& cell = tab[idx(j, c, d)];
+                    cell = std::max(cell, tab[idx(j - 1, c, d)]);
+                }
+    }
+}
+
+double TreeJointDp::best(int budget) const {
+    require(budget >= 0, "TreeJointDp::best: negative budget");
+    const int j = std::min(budget, params_.max_budget);
+    const auto root =
+        static_cast<std::uint32_t>(region_.members.size() - 1);
+    double bst = kNegInf;
+    for (int c = 0; c < class_count(); ++c)
+        bst = std::max(bst, dp(root, j, c, root_d_));
+    return bst;
+}
+
+void TreeJointDp::backtrack(std::uint32_t local, int j, int c, int d,
+                            std::vector<netlist::TestPoint>& out) const {
+    while (j > 0 && dp(local, j - 1, c, d) >= dp(local, j, c, d)) --j;
+    const double target = dp(local, j, c, d);
+    require(target > kNegInf, "TreeJointDp::backtrack: unreachable state");
+
+    const auto& children = children_[local];
+    const int nch = static_cast<int>(children.size());
+    const int C = class_count();
+    const int nat = natural_class();
+
+    int child_class[2] = {0, 0};
+    const int ca_max = nch >= 1 ? C : 1;
+    for (int ca = 0; ca < ca_max; ++ca) {
+        child_class[0] = ca;
+        const int cb_max = nch >= 2 ? C : 1;
+        for (int cb = 0; cb < cb_max; ++cb) {
+            child_class[1] = cb;
+            const GateEval ge =
+                eval_gate(local, std::span<const int>(child_class, 2));
+            const int edge_cost[2] = {quant_.to_bucket(ge.sens[0]),
+                                      quant_.to_bucket(ge.sens[1])};
+            const bool children_natural =
+                (nch < 1 || ca == nat) && (nch < 2 || cb == nat);
+            for (const Decision& dec : decisions_) {
+                if ((dec.observe || dec.control >= 0) && !allowed_[local])
+                    continue;
+                if (dec.units > j) continue;
+                const double c1_post = apply_control(ge.c1_pre, dec.control);
+                const int c_out = (children_natural && dec.control < 0)
+                                      ? nat
+                                      : quantize_c1(c1_post);
+                if (c_out != c) continue;
+                const int d_fault =
+                    quant_.add(dec.observe ? 0 : d, dec.pass_cost);
+                const double fb = fault_benefit(local, ge.c1_pre, d_fault);
+                const int da = quant_.add(d_fault, edge_cost[0]);
+                const int db = quant_.add(d_fault, edge_cost[1]);
+                const int avail = j - dec.units;
+
+                const auto emit = [&](int ja, int jb) {
+                    const NodeId v = region_.members[local];
+                    if (dec.observe) out.push_back({v, TpKind::Observe});
+                    if (dec.control >= 0)
+                        out.push_back(
+                            {v, static_cast<TpKind>(dec.control)});
+                    if (nch >= 1)
+                        backtrack(children[0].local, ja, ca, da, out);
+                    if (nch >= 2)
+                        backtrack(children[1].local, jb, cb, db, out);
+                };
+                if (nch == 0) {
+                    if (fb >= target - 1e-12) {
+                        emit(0, 0);
+                        return;
+                    }
+                } else if (nch == 1) {
+                    if (fb + dp(children[0].local, avail, ca, da) >=
+                        target - 1e-12) {
+                        emit(avail, 0);
+                        return;
+                    }
+                } else {
+                    for (int ja = 0; ja <= avail; ++ja) {
+                        if (fb + dp(children[0].local, ja, ca, da) +
+                                dp(children[1].local, avail - ja, cb, db) >=
+                            target - 1e-12) {
+                            emit(ja, avail - ja);
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    throw Error("TreeJointDp::backtrack: no matching decision found");
+}
+
+std::vector<netlist::TestPoint> TreeJointDp::placements(int budget) const {
+    std::vector<netlist::TestPoint> out;
+    const int j = std::min(std::max(budget, 0), params_.max_budget);
+    const auto root =
+        static_cast<std::uint32_t>(region_.members.size() - 1);
+    // Pick the best root controllability class for this budget.
+    int best_c = 0;
+    double bst = kNegInf;
+    for (int c = 0; c < class_count(); ++c) {
+        const double v = dp(root, j, c, root_d_);
+        if (v > bst) {
+            bst = v;
+            best_c = c;
+        }
+    }
+    backtrack(root, j, best_c, root_d_, out);
+    return out;
+}
+
+}  // namespace tpi

@@ -1,0 +1,161 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "netlist/circuit.hpp"
+#include "netlist/ffr.hpp"
+#include "netlist/test_point.hpp"
+#include "testability/cop.hpp"
+#include "tpi/objective.hpp"
+#include "util/quantize.hpp"
+
+namespace tpi {
+
+/// The paper's dynamic program, joint control+observation variant, on one
+/// fanout-free region.
+///
+/// Control points change controllabilities, which changes both the
+/// excitation of downstream faults and the sensitisation of *sibling*
+/// edges; the DP therefore carries a quantised output-controllability
+/// class in its state:
+///
+///   dp[v][j][c][d] = best benefit in subtree(v) using j budget units,
+///                    with v's (post-control) output controllability in
+///                    class c, given cost d from v's output to its
+///                    nearest observer.
+///
+/// The controllability grid is exponentially spaced towards 0 and 1
+/// (where control points matter); gate transitions re-quantise to the
+/// nearest class in logit distance. A distinguished NATURAL class marks
+/// subtrees containing no control point: their exact COP controllability
+/// is used instead of a grid value, so the no-control baseline is exact
+/// and quantisation error is confined to the cones below inserted control
+/// points. Decisions per node: observation point, control point
+/// (AND / OR / XOR type), both, or neither.
+///
+/// Gates must have at most two in-region fanins (pre-binarise wider gates
+/// with netlist::binarize); the planner falls back to the observation-only
+/// DP for regions that violate this.
+///
+/// Complexity: O(n * K^2 * Q^2 * |decisions| * D).
+class TreeJointDp {
+public:
+    struct Params {
+        double delta_bits = 0.5;
+        int max_bucket = 64;
+        int max_budget = 4;
+        int observe_cost = 1;
+        int control_cost = 1;
+        int c1_grid = 13;  ///< grid classes (odd >= 3); a NATURAL class
+                           ///< for unmodified subtrees is added on top
+        bool allow_observe = true;
+        std::vector<netlist::TpKind> control_kinds = {
+            netlist::TpKind::ControlXor, netlist::TpKind::ControlAnd,
+            netlist::TpKind::ControlOr};
+    };
+
+    TreeJointDp(const netlist::Circuit& circuit,
+                const netlist::FanoutFreeRegion& region,
+                const testability::CopResult& cop,
+                const fault::CollapsedFaults& faults,
+                std::span<const std::uint32_t> fault_weight,
+                const Objective& objective, const Params& params,
+                const std::vector<bool>& allowed = {});
+
+    int max_budget() const { return params_.max_budget; }
+
+    /// Best achievable benefit using at most `budget` units.
+    double best(int budget) const;
+
+    double baseline() const { return best(0); }
+
+    /// Reconstruct an optimal mixed placement for `budget` units.
+    std::vector<netlist::TestPoint> placements(int budget) const;
+
+    /// The controllability grid in use (exposed for tests/ablation).
+    std::span<const double> c1_grid() const { return grid_; }
+
+    /// Nearest grid class of a controllability value (logit distance;
+    /// the exact 0 and 1 classes are reserved for exact constants).
+    int quantize_c1(double c1) const;
+
+private:
+    struct Child {
+        std::uint32_t local;
+        std::size_t slot;  ///< fanin slot of the child at its parent
+    };
+    struct SiteFault {
+        bool stuck_at1;
+        double weight;
+    };
+    struct Decision {
+        bool observe;
+        int control;  ///< -1 = none, else static_cast<TpKind>
+        int units;    ///< budget cost
+        int pass_cost;///< extra path cost through the control gate
+    };
+
+    /// Number of class indices: grid classes plus the NATURAL class,
+    /// whose index is grid_.size().
+    int class_count() const { return static_cast<int>(grid_.size()) + 1; }
+    int natural_class() const { return static_cast<int>(grid_.size()); }
+
+    std::size_t idx(int j, int c, int d) const {
+        return (static_cast<std::size_t>(j) * class_count() + c) *
+                   buckets_ +
+               d;
+    }
+    double dp(std::uint32_t local, int j, int c, int d) const {
+        return table_[local][idx(j, c, d)];
+    }
+
+    /// The controllability a child class stands for: its exact COP value
+    /// for the NATURAL class, the grid value otherwise.
+    double class_value(std::uint32_t child_local, int cls) const {
+        return cls == natural_class() ? natural_c1_[child_local]
+                                      : grid_[cls];
+    }
+
+    /// Controllability of v's pre-control output and per-child edge
+    /// sensitisation, for one assignment of child classes.
+    struct GateEval {
+        double c1_pre;
+        double sens[2];
+    };
+    GateEval eval_gate(std::uint32_t local,
+                       std::span<const int> child_class) const;
+
+    /// Benefit of all faults at `local` given pre-control controllability
+    /// c1_pre and path cost d — excitation is snapped to the same cost
+    /// grid so the inner loop is a table lookup.
+    double fault_benefit(std::uint32_t local, double c1_pre, int d) const;
+    double apply_control(double c1_pre, int control) const;
+    void solve();
+    void backtrack(std::uint32_t local, int j, int c, int d,
+                   std::vector<netlist::TestPoint>& out) const;
+
+    const netlist::Circuit& circuit_;
+    const netlist::FanoutFreeRegion& region_;
+    Params params_;
+    util::LogQuantizer quant_;
+    int buckets_;
+    Objective objective_;
+
+    std::vector<double> grid_;
+    std::vector<std::uint32_t> local_of_;
+    std::vector<std::vector<Child>> children_;      // per local (size <= 2)
+    std::vector<std::vector<double>> ext_c1_;       // per local, per fanin
+                                                    // slot: external c1 or
+                                                    // -1 for member child
+    std::vector<bool> allowed_;
+    std::vector<double> natural_c1_;  ///< per local: exact COP c1
+    std::vector<std::vector<SiteFault>> site_faults_;
+    std::vector<Decision> decisions_;
+    std::vector<double> benefit_by_bucket_;  ///< benefit(2^-delta*k)
+    std::vector<std::vector<double>> table_;
+    int root_d_ = 0;
+};
+
+}  // namespace tpi

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tpi {
+
+/// Base exception for all library errors. Thrown on contract violations,
+/// malformed input (e.g. unparsable .bench files), and infeasible requests.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throw tpi::Error with `message` unless `condition` holds.
+/// Used for checking preconditions on public API boundaries.
+inline void require(bool condition, const std::string& message) {
+    if (!condition) throw Error(message);
+}
+
+}  // namespace tpi

@@ -1,0 +1,74 @@
+#include "util/lfsr.hpp"
+
+#include <array>
+#include <bit>
+
+namespace tpi::util {
+namespace {
+
+// Maximal-length (primitive polynomial) tap positions per register width,
+// 1-indexed from the LSB, terminated by 0. Source: the classic XAPP052
+// table of maximum-length LFSR feedback taps.
+struct TapSet {
+    std::array<unsigned, 7> taps;
+};
+
+constexpr TapSet kTaps[65] = {
+    {{0}},          {{0}},          {{0}},          {{3, 2, 0}},
+    {{4, 3, 0}},    {{5, 3, 0}},    {{6, 5, 0}},    {{7, 6, 0}},
+    {{8, 6, 5, 4, 0}},              {{9, 5, 0}},    {{10, 7, 0}},
+    {{11, 9, 0}},   {{12, 6, 4, 1, 0}},             {{13, 4, 3, 1, 0}},
+    {{14, 5, 3, 1, 0}},             {{15, 14, 0}},  {{16, 15, 13, 4, 0}},
+    {{17, 14, 0}},  {{18, 11, 0}},  {{19, 6, 2, 1, 0}},
+    {{20, 17, 0}},  {{21, 19, 0}},  {{22, 21, 0}},  {{23, 18, 0}},
+    {{24, 23, 22, 17, 0}},          {{25, 22, 0}},  {{26, 6, 2, 1, 0}},
+    {{27, 5, 2, 1, 0}},             {{28, 25, 0}},  {{29, 27, 0}},
+    {{30, 6, 4, 1, 0}},             {{31, 28, 0}},  {{32, 22, 2, 1, 0}},
+    {{33, 20, 0}},  {{34, 27, 2, 1, 0}},            {{35, 33, 0}},
+    {{36, 25, 0}},  {{37, 5, 4, 3, 2, 1, 0}},       {{38, 6, 5, 1, 0}},
+    {{39, 35, 0}},  {{40, 38, 21, 19, 0}},          {{41, 38, 0}},
+    {{42, 41, 20, 19, 0}},          {{43, 42, 38, 37, 0}},
+    {{44, 43, 18, 17, 0}},          {{45, 44, 42, 41, 0}},
+    {{46, 45, 26, 25, 0}},          {{47, 42, 0}},
+    {{48, 47, 21, 20, 0}},          {{49, 40, 0}},
+    {{50, 49, 24, 23, 0}},          {{51, 50, 36, 35, 0}},
+    {{52, 49, 0}},  {{53, 52, 38, 37, 0}},          {{54, 53, 18, 17, 0}},
+    {{55, 31, 0}},  {{56, 55, 35, 34, 0}},          {{57, 50, 0}},
+    {{58, 39, 0}},  {{59, 58, 38, 37, 0}},          {{60, 59, 0}},
+    {{61, 60, 46, 45, 0}},          {{62, 61, 6, 5, 0}},
+    {{63, 62, 0}},  {{64, 63, 61, 60, 0}},
+};
+
+}  // namespace
+
+std::uint64_t Lfsr::taps_for_width(unsigned width) {
+    require(width >= 3 && width <= 64, "Lfsr: width must be in [3, 64]");
+    std::uint64_t mask = 0;
+    for (unsigned tap : kTaps[width].taps) {
+        if (tap == 0) break;
+        mask |= std::uint64_t{1} << (tap - 1);
+    }
+    return mask;
+}
+
+Lfsr::Lfsr(unsigned width, std::uint64_t seed)
+    : width_(width), mask_(0), taps_(0), state_(0) {
+    // The throwing call runs first and everything else is computed after
+    // it: g++ 12.2 -O2 otherwise keeps `seed` in a caller-saved register
+    // across the call and computes `seed & mask_` from a clobbered value
+    // (verified in the generated assembly; -O1 and UBSan builds are
+    // fine). Lfsr.SeedIsTakenVerbatim guards against regressions.
+    taps_ = taps_for_width(width);
+    mask_ = width == 64 ? ~std::uint64_t{0}
+                        : (std::uint64_t{1} << width) - 1;
+    state_ = seed & mask_;
+    if (state_ == 0) state_ = mask_;  // zero is a fixed point; avoid it
+}
+
+std::uint64_t Lfsr::step() {
+    const std::uint64_t feedback = std::popcount(state_ & taps_) & 1u;
+    state_ = ((state_ << 1) | feedback) & mask_;
+    return state_;
+}
+
+}  // namespace tpi::util

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace tpi::util {
+
+/// Fibonacci linear-feedback shift register with maximal-length taps.
+///
+/// This is the pseudo-random pattern generator of a classic BIST
+/// controller: an n-bit LFSR stepped once per test pattern, with the
+/// register contents serving as the stimulus. Widths 3..64 are supported,
+/// each with a primitive polynomial so the sequence period is 2^n - 1.
+class Lfsr {
+public:
+    /// Construct an LFSR of `width` bits seeded with `seed` (only the low
+    /// `width` bits are used; a zero seed is mapped to the all-ones state
+    /// because the zero state is a fixed point).
+    explicit Lfsr(unsigned width, std::uint64_t seed = 1);
+
+    /// Advance one step and return the new register contents.
+    std::uint64_t step();
+
+    /// Current register contents (low `width` bits).
+    std::uint64_t state() const { return state_; }
+
+    unsigned width() const { return width_; }
+
+    /// Feedback mask (primitive-polynomial taps) used for `width` bits.
+    static std::uint64_t taps_for_width(unsigned width);
+
+private:
+    unsigned width_;
+    std::uint64_t mask_;
+    std::uint64_t taps_;
+    std::uint64_t state_;
+};
+
+}  // namespace tpi::util

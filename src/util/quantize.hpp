@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace tpi::util {
+
+/// Quantiser between probabilities and integer log-domain cost buckets.
+///
+/// The tree dynamic programs work with propagation probabilities that
+/// multiply along paths; in log domain these become additive costs, which
+/// a DP can enumerate exactly once they are snapped to an integer grid.
+/// A probability p in (0, 1] maps to bucket round(-log2(p) / delta),
+/// saturating at `max_bucket` (probabilities so small that any benefit is
+/// negligible). Bucket d maps back to the representative 2^(-d * delta).
+class LogQuantizer {
+public:
+    /// `delta_bits` is the grid resolution in bits (0.25 = quarter-bit
+    /// resolution); `max_bucket` caps the representable cost.
+    LogQuantizer(double delta_bits, int max_bucket)
+        : delta_(delta_bits), max_bucket_(max_bucket) {
+        require(delta_bits > 0.0, "LogQuantizer: delta must be positive");
+        require(max_bucket >= 1, "LogQuantizer: max_bucket must be >= 1");
+    }
+
+    /// Probability -> bucket index in [0, max_bucket].
+    int to_bucket(double probability) const {
+        if (probability >= 1.0) return 0;
+        if (probability <= 0.0) return max_bucket_;
+        const double cost = -std::log2(probability) / delta_;
+        const int bucket = static_cast<int>(std::lround(cost));
+        return bucket >= max_bucket_ ? max_bucket_ : (bucket < 0 ? 0 : bucket);
+    }
+
+    /// Bucket index -> representative probability.
+    double to_probability(int bucket) const {
+        if (bucket <= 0) return 1.0;
+        if (bucket >= max_bucket_) return 0.0;
+        return std::exp2(-delta_ * bucket);
+    }
+
+    /// Saturating bucket addition (path concatenation in log domain).
+    int add(int a, int b) const {
+        const int sum = a + b;
+        return sum >= max_bucket_ ? max_bucket_ : sum;
+    }
+
+    double delta_bits() const { return delta_; }
+    int max_bucket() const { return max_bucket_; }
+    /// Number of distinct buckets (max_bucket + 1), for sizing DP tables.
+    int bucket_count() const { return max_bucket_ + 1; }
+
+private:
+    double delta_;
+    int max_bucket_;
+};
+
+}  // namespace tpi::util

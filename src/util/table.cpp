@@ -1,0 +1,59 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace tpi::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+    require(!header_.empty(), "TextTable: header must be non-empty");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    require(cells.size() == header_.size(),
+            "TextTable: row width does not match header");
+    rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os, const std::string& title) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    const auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "| " : " | ") << std::left
+               << std::setw(static_cast<int>(width[c])) << row[c];
+        }
+        os << " |\n";
+    };
+
+    if (!title.empty()) os << title << '\n';
+    print_row(header_);
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        os << (c == 0 ? "|-" : "-|-") << std::string(width[c], '-');
+    }
+    os << "-|\n";
+    for (const auto& row : rows_) print_row(row);
+    os.flush();
+}
+
+std::string fmt_fixed(double value, int digits) {
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(digits) << value;
+    return ss.str();
+}
+
+std::string fmt_percent(double fraction, int digits) {
+    return fmt_fixed(fraction * 100.0, digits);
+}
+
+}  // namespace tpi::util

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tpi::util {
+
+/// Fixed-width text table used by the bench binaries to print the rows of
+/// a reproduced paper table. Columns are sized to fit the widest cell;
+/// numeric formatting is up to the caller (use format helpers below).
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /// Append a data row; must have exactly as many cells as the header.
+    void add_row(std::vector<std::string> cells);
+
+    /// Render with a title line, a header row, a separator, and all rows.
+    void print(std::ostream& os, const std::string& title = "") const;
+
+    std::size_t row_count() const { return rows_.size(); }
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `digits` fractional digits (fixed notation).
+std::string fmt_fixed(double value, int digits);
+
+/// Format a fraction as a percentage with `digits` fractional digits.
+std::string fmt_percent(double fraction, int digits = 2);
+
+}  // namespace tpi::util

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <chrono>
+
+namespace tpi::util {
+
+/// Monotonic wall-clock stopwatch used by benches and the experiment
+/// harness for coarse CPU-time reporting.
+class Timer {
+public:
+    Timer() : start_(Clock::now()) {}
+
+    void reset() { start_ = Clock::now(); }
+
+    /// Seconds elapsed since construction or the last reset().
+    double seconds() const {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /// Milliseconds elapsed since construction or the last reset().
+    double millis() const { return seconds() * 1e3; }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+}  // namespace tpi::util

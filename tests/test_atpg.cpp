@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "atpg/podem.hpp"
+#include "fault/fault_sim.hpp"
+#include "gen/arith.hpp"
+#include "gen/benchmarks.hpp"
+#include "gen/chains.hpp"
+#include "gen/random_circuits.hpp"
+#include "tpi/hardness.hpp"
+
+namespace {
+
+using namespace tpi;
+using namespace tpi::netlist;
+
+TEST(Podem, EveryC17FaultIsTestable) {
+    const Circuit c = gen::c17();
+    const auto faults = fault::collapse_faults(c);
+    const atpg::AtpgSummary summary = atpg::run_atpg(c, faults);
+    EXPECT_EQ(summary.redundant, 0u);
+    EXPECT_EQ(summary.aborted, 0u);
+    EXPECT_EQ(summary.detected, faults.size());
+}
+
+TEST(Podem, CubesActuallyDetectTheirFaults) {
+    const Circuit c = gen::c17();
+    const auto faults = fault::collapse_faults(c);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        const atpg::TestCube cube =
+            atpg::generate_test(c, faults.representatives[i]);
+        ASSERT_EQ(cube.outcome, atpg::Outcome::Detected);
+        EXPECT_TRUE(
+            atpg::cube_detects(c, faults.representatives[i], cube))
+            << fault::fault_name(c, faults.representatives[i]);
+    }
+}
+
+TEST(Podem, ProvesRedundancyOfMaskedFault) {
+    // g = AND(a, NOT a) is constant 0: g/sa0 is undetectable, g/sa1 is
+    // the easy complement.
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId na = c.add_gate(GateType::Not, {a}, "na");
+    const NodeId g = c.add_gate(GateType::And, {a, na}, "g");
+    c.mark_output(g);
+    EXPECT_EQ(atpg::generate_test(c, {g, false}).outcome,
+              atpg::Outcome::Redundant);
+    const atpg::TestCube sa1 = atpg::generate_test(c, {g, true});
+    EXPECT_EQ(sa1.outcome, atpg::Outcome::Detected);
+    EXPECT_TRUE(atpg::cube_detects(c, {g, true}, sa1));
+}
+
+TEST(Podem, TieCellTrivialRedundancy) {
+    Circuit c;
+    const NodeId z = c.add_const(false, "z");
+    const NodeId a = c.add_input("a");
+    const NodeId g = c.add_gate(GateType::Or, {z, a}, "g");
+    c.mark_output(g);
+    EXPECT_EQ(atpg::generate_test(c, {z, false}).outcome,
+              atpg::Outcome::Redundant);
+    EXPECT_EQ(atpg::generate_test(c, {z, true}).outcome,
+              atpg::Outcome::Detected);
+}
+
+TEST(Podem, BlockedConeIsRedundant) {
+    // Everything behind AND(x, const0) is unobservable.
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId b = c.add_input("b");
+    const NodeId x = c.add_gate(GateType::Or, {a, b}, "x");
+    const NodeId zero = c.add_const(false, "zero");
+    const NodeId blocked = c.add_gate(GateType::And, {x, zero}, "blocked");
+    c.mark_output(blocked);
+    EXPECT_EQ(atpg::generate_test(c, {x, false}).outcome,
+              atpg::Outcome::Redundant);
+    EXPECT_EQ(atpg::generate_test(c, {x, true}).outcome,
+              atpg::Outcome::Redundant);
+}
+
+TEST(Podem, DeepChainFaultNeedsAllOnes) {
+    const Circuit c = gen::and_chain(24);
+    const NodeId last = c.find("c24");
+    ASSERT_TRUE(last.valid());
+    const atpg::TestCube cube = atpg::generate_test(c, {last, false});
+    ASSERT_EQ(cube.outcome, atpg::Outcome::Detected);
+    // Exciting c24/sa0 requires every input at 1.
+    for (std::int8_t v : cube.inputs) EXPECT_EQ(v, 1);
+    EXPECT_TRUE(atpg::cube_detects(c, {last, false}, cube));
+}
+
+TEST(Podem, XorTreeBacktracesThroughParity) {
+    const Circuit c = gen::parity_tree(16);
+    const auto faults = fault::collapse_faults(c);
+    const atpg::AtpgSummary summary = atpg::run_atpg(c, faults);
+    EXPECT_EQ(summary.redundant, 0u);
+    EXPECT_EQ(summary.detected, faults.size());
+    for (const auto& cube : summary.cubes) {
+        EXPECT_EQ(cube.inputs.size(), c.input_count());
+    }
+}
+
+TEST(Podem, ComparatorIsFullyTestable) {
+    const Circuit c = gen::equality_comparator(16);
+    const auto faults = fault::collapse_faults(c);
+    const atpg::AtpgSummary summary = atpg::run_atpg(c, faults);
+    EXPECT_EQ(summary.redundant, 0u);
+    EXPECT_EQ(summary.aborted, 0u);
+    // PODEM finds the single equality pattern random testing misses.
+    EXPECT_EQ(summary.detected, faults.size());
+}
+
+TEST(Podem, GadgetPlantedFaultsAreProvablyRedundantWithoutOps) {
+    // The hardness gadget blocks every planted fault from the outputs;
+    // PODEM must prove that no test exists.
+    util::Rng rng(5);
+    const auto instance = hardness::random_instance(8, 4, 2, rng);
+    const auto gadget = hardness::build_gadget(instance);
+    for (const auto& planted : gadget.planted_faults) {
+        EXPECT_EQ(atpg::generate_test(gadget.circuit, planted).outcome,
+                  atpg::Outcome::Redundant);
+    }
+}
+
+TEST(Podem, BacktrackLimitAborts) {
+    // Proving the masked fault redundant needs at least one backtrack, so
+    // a zero limit must abort instead of claiming redundancy.
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId na = c.add_gate(GateType::Not, {a}, "na");
+    const NodeId g = c.add_gate(GateType::And, {a, na}, "g");
+    c.mark_output(g);
+    atpg::AtpgOptions options;
+    options.backtrack_limit = 0;
+    EXPECT_EQ(atpg::generate_test(c, {g, false}, options).outcome,
+              atpg::Outcome::Aborted);
+}
+
+TEST(Podem, InvalidFaultRejected) {
+    const Circuit c = gen::c17();
+    EXPECT_THROW(atpg::generate_test(c, {NodeId{}, false}), tpi::Error);
+}
+
+class PodemProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PodemProperty, ConsistentWithFaultSimulationOnRandomDags) {
+    gen::RandomDagOptions options;
+    options.gates = 120;
+    options.inputs = 12;
+    options.seed = GetParam();
+    const Circuit c = gen::random_dag(options);
+    const auto faults = fault::collapse_faults(c);
+    const atpg::AtpgSummary summary = atpg::run_atpg(c, faults);
+
+    // Every cube verifies by simulation.
+    std::size_t cube_index = 0;
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        if (summary.outcome[i] != atpg::Outcome::Detected) continue;
+        EXPECT_TRUE(atpg::cube_detects(c, faults.representatives[i],
+                                       summary.cubes[cube_index]))
+            << fault::fault_name(c, faults.representatives[i]);
+        ++cube_index;
+    }
+
+    // No fault PODEM proved redundant may be detected by random patterns
+    // (redundancy is a proof; simulation detection would contradict it).
+    const auto sim = fault::random_pattern_coverage(c, 8192, 3);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        if (summary.outcome[i] == atpg::Outcome::Redundant) {
+            EXPECT_EQ(sim.detect_pattern[i], -1)
+                << fault::fault_name(c, faults.representatives[i]);
+        }
+        // Conversely: simulation-detected faults must have a PODEM cube.
+        if (sim.detect_pattern[i] >= 0) {
+            EXPECT_EQ(summary.outcome[i], atpg::Outcome::Detected)
+                << fault::fault_name(c, faults.representatives[i]);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PodemProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "gen/benchmarks.hpp"
+#include "netlist/bench_io.hpp"
+#include "sim/logic_sim.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace tpi::netlist;
+
+TEST(BenchIo, ParsesC17) {
+    const Circuit c = tpi::gen::c17();
+    EXPECT_EQ(c.input_count(), 5u);
+    EXPECT_EQ(c.output_count(), 2u);
+    EXPECT_EQ(c.gate_count(), 6u);
+    for (NodeId v : c.all_nodes()) {
+        if (c.type(v) != GateType::Input) {
+            EXPECT_EQ(c.type(v), GateType::Nand);
+        }
+    }
+}
+
+TEST(BenchIo, HandlesForwardReferences) {
+    // 'top' is defined before its fanin 'bot'.
+    const Circuit c = read_bench_string(
+        "INPUT(a)\nINPUT(b)\nOUTPUT(top)\n"
+        "top = AND(bot, a)\n"
+        "bot = OR(a, b)\n");
+    EXPECT_EQ(c.gate_count(), 2u);
+    EXPECT_EQ(c.type(c.find("top")), GateType::And);
+}
+
+TEST(BenchIo, CommentsAndBlankLinesIgnored) {
+    const Circuit c = read_bench_string(
+        "# header comment\n\n"
+        "INPUT(a)   # trailing comment\n"
+        "OUTPUT(g)\n"
+        "g = NOT(a)\n");
+    EXPECT_EQ(c.gate_count(), 1u);
+}
+
+TEST(BenchIo, DffBecomesScanBoundary) {
+    // Full-scan: DFF output -> pseudo-PI, DFF data input -> pseudo-PO.
+    const Circuit c = read_bench_string(
+        "INPUT(a)\nOUTPUT(o)\n"
+        "q = DFF(d)\n"
+        "d = AND(a, q)\n"
+        "o = NOT(q)\n");
+    EXPECT_EQ(c.input_count(), 2u);  // a and q
+    EXPECT_EQ(c.type(c.find("q")), GateType::Input);
+    EXPECT_TRUE(c.is_output(c.find("d")));
+    EXPECT_TRUE(c.is_output(c.find("o")));
+}
+
+TEST(BenchIo, ConstPseudoGates) {
+    const Circuit c = read_bench_string(
+        "OUTPUT(g)\nz = CONST0()\no = CONST1()\ng = AND(z, o)\n");
+    EXPECT_EQ(c.type(c.find("z")), GateType::Const0);
+    EXPECT_EQ(c.type(c.find("o")), GateType::Const1);
+}
+
+TEST(BenchIo, RejectsUndefinedSignal) {
+    EXPECT_THROW(read_bench_string("OUTPUT(g)\ng = AND(a, b)\n"),
+                 tpi::Error);
+    EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(zzz)\ng = NOT(a)\n"),
+                 tpi::Error);
+}
+
+TEST(BenchIo, RejectsRedefinition) {
+    EXPECT_THROW(read_bench_string(
+                     "INPUT(a)\nOUTPUT(g)\ng = NOT(a)\ng = BUF(a)\n"),
+                 tpi::Error);
+    EXPECT_THROW(
+        read_bench_string("INPUT(a)\nINPUT(a)\nOUTPUT(a)\n"),
+        tpi::Error);
+}
+
+TEST(BenchIo, RejectsCombinationalCycle) {
+    EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(x)\n"
+                                   "x = AND(a, y)\n"
+                                   "y = BUF(x)\n"),
+                 tpi::Error);
+}
+
+TEST(BenchIo, RejectsMalformedSyntax) {
+    EXPECT_THROW(read_bench_string("INPUT a\n"), tpi::Error);
+    EXPECT_THROW(read_bench_string("g = \n"), tpi::Error);
+    EXPECT_THROW(read_bench_string("FOO(a)\n"), tpi::Error);
+    EXPECT_THROW(read_bench_string("INPUT(a)\ng = MAJ(a)\nOUTPUT(g)\n"),
+                 tpi::Error);
+}
+
+TEST(BenchIo, DuplicateOutputDeclarationIsLenient) {
+    const Circuit c = read_bench_string(
+        "INPUT(a)\nOUTPUT(g)\nOUTPUT(g)\ng = NOT(a)\n");
+    EXPECT_EQ(c.output_count(), 1u);
+}
+
+TEST(BenchIo, RoundTripPreservesFunction) {
+    const Circuit original = tpi::gen::c17();
+    const Circuit reparsed =
+        read_bench_string(write_bench_string(original), "c17rt");
+    ASSERT_EQ(reparsed.input_count(), original.input_count());
+    ASSERT_EQ(reparsed.output_count(), original.output_count());
+
+    // Exhaustive functional comparison over all 32 input patterns.
+    tpi::sim::LogicSimulator sim_a(original);
+    tpi::sim::LogicSimulator sim_b(reparsed);
+    std::vector<std::uint64_t> words(original.input_count());
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        // Bit j of word i = value of input i in pattern j.
+        std::uint64_t w = 0;
+        for (unsigned j = 0; j < 32; ++j)
+            if ((j >> i) & 1) w |= std::uint64_t{1} << j;
+        words[i] = w;
+    }
+    sim_a.simulate_block(words);
+    sim_b.simulate_block(words);
+    const std::uint64_t mask = (std::uint64_t{1} << 32) - 1;
+    for (std::size_t o = 0; o < original.output_count(); ++o) {
+        EXPECT_EQ(sim_a.value(original.outputs()[o]) & mask,
+                  sim_b.value(reparsed.outputs()[o]) & mask);
+    }
+}
+
+TEST(BenchIo, ReadFileMissingThrows) {
+    EXPECT_THROW(read_bench_file("/nonexistent/path.bench"), tpi::Error);
+}
+
+}  // namespace

@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include "atpg/podem.hpp"
+#include "bist/misr.hpp"
+#include "bist/reseed.hpp"
+#include "bist/session.hpp"
+#include "gen/arith.hpp"
+#include "gen/benchmarks.hpp"
+#include "gen/chains.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tpi;
+using namespace tpi::bist;
+
+// ------------------------------------------------------------- Misr ----
+
+TEST(Misr, DeterministicAndOrderSensitive) {
+    Misr a(16), b(16);
+    for (std::uint64_t r : {1u, 2u, 3u}) {
+        a.absorb(r);
+        b.absorb(r);
+    }
+    EXPECT_EQ(a.signature(), b.signature());
+    Misr c(16);
+    for (std::uint64_t r : {3u, 2u, 1u}) c.absorb(r);
+    EXPECT_NE(a.signature(), c.signature());
+}
+
+TEST(Misr, SingleBitErrorChangesSignature) {
+    // One flipped response bit always changes a linear signature.
+    Misr a(16), b(16);
+    a.absorb(0b0100);
+    b.absorb(0b0110);
+    for (int i = 0; i < 20; ++i) {
+        a.absorb(0);
+        b.absorb(0);
+    }
+    EXPECT_NE(a.signature(), b.signature());
+}
+
+TEST(Misr, FoldResponse) {
+    const bool response[] = {true, false, true, true};
+    // width 2: outputs 0,2 -> bit 0; outputs 1,3 -> bit 1.
+    EXPECT_EQ(fold_response(response, 2), 0b10u);  // 1^1=0 on bit0, 0^1=1
+    EXPECT_EQ(fold_response(response, 4), 0b1101u);
+    EXPECT_THROW(fold_response(response, 0), tpi::Error);
+}
+
+TEST(Misr, AbsorbBitsMatchesFoldPlusAbsorb) {
+    const bool response[] = {true, true, false, true, false};
+    Misr a(8), b(8);
+    a.absorb_bits(response);
+    b.absorb(fold_response(response, 8));
+    EXPECT_EQ(a.signature(), b.signature());
+}
+
+// ---------------------------------------------------------- Session ----
+
+TEST(Session, SignatureImpliesStrobeDetection) {
+    const netlist::Circuit c = gen::c17();
+    const auto faults = fault::collapse_faults(c);
+    sim::RandomPatternSource source(3);
+    SessionOptions options;
+    options.patterns = 512;
+    options.misr_width = 16;
+    const SessionResult result = run_session(c, faults, source, options);
+
+    // Everything in c17 is strobe-detectable within 512 patterns, and a
+    // 16-bit signature should not alias on 16 faults.
+    EXPECT_EQ(result.strobe_detected, faults.size());
+    EXPECT_EQ(result.aliased, 0u);
+    EXPECT_DOUBLE_EQ(result.signature_coverage(faults), 1.0);
+}
+
+TEST(Session, TinySignatureAliases) {
+    // A 3-bit signature over ~190 detectable faults must alias: the
+    // per-fault aliasing probability is ~2^-3.
+    const netlist::Circuit c = gen::equality_comparator(8);
+    const auto faults = fault::collapse_faults(c);
+    sim::RandomPatternSource source(5);
+    SessionOptions options;
+    options.patterns = 2048;
+    options.misr_width = 3;
+    const SessionResult result = run_session(c, faults, source, options);
+    EXPECT_GT(result.strobe_detected, 40u);
+    EXPECT_GT(result.aliased, 0u);
+    EXPECT_LT(result.aliasing_rate(), 0.5);
+    // A differing signature is impossible without a differing response.
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        if (result.signature_detects[i]) {
+            // strobe-detection is implied; verified via coverage relation
+            EXPECT_LE(result.signature_coverage(faults),
+                      static_cast<double>(result.strobe_detected) /
+                          faults.size() * 1.0001 +
+                          1e-9);
+            break;
+        }
+    }
+}
+
+TEST(Session, WiderMisrAliasesLess) {
+    const netlist::Circuit c = gen::equality_comparator(8);
+    const auto faults = fault::collapse_faults(c);
+    SessionOptions narrow;
+    narrow.patterns = 1024;
+    narrow.misr_width = 3;
+    SessionOptions wide = narrow;
+    wide.misr_width = 24;
+    sim::RandomPatternSource s1(9), s2(9);
+    const auto result_narrow = run_session(c, faults, s1, narrow);
+    const auto result_wide = run_session(c, faults, s2, wide);
+    EXPECT_LE(result_wide.aliased, result_narrow.aliased);
+    EXPECT_EQ(result_wide.aliased, 0u);
+}
+
+// -------------------------------------------------------- Gf2Solver ----
+
+TEST(Gf2, SolvesSmallSystem) {
+    // x0 ^ x1 = 1, x1 = 1  ->  x0 = 0, x1 = 1.
+    Gf2Solver solver(2);
+    EXPECT_TRUE(solver.add(0b11, true));
+    EXPECT_TRUE(solver.add(0b10, true));
+    const std::uint64_t x = solver.solve();
+    EXPECT_EQ(x & 1, 0u);
+    EXPECT_EQ((x >> 1) & 1, 1u);
+    EXPECT_FALSE(solver.has_free_variable());
+}
+
+TEST(Gf2, DetectsInconsistency) {
+    Gf2Solver solver(2);
+    EXPECT_TRUE(solver.add(0b11, false));   // x0 ^ x1 = 0
+    EXPECT_TRUE(solver.add(0b01, true));    // x0 = 1  =>  x1 = 1
+    EXPECT_FALSE(solver.add(0b10, false));  // x1 = 0 contradicts
+    EXPECT_TRUE(solver.add(0b10, true));    // x1 = 1 is implied, redundant
+}
+
+TEST(Gf2, RedundantConstraintsAccepted) {
+    Gf2Solver solver(3);
+    EXPECT_TRUE(solver.add(0b101, true));
+    EXPECT_TRUE(solver.add(0b101, true));  // same row again
+    EXPECT_TRUE(solver.has_free_variable());
+}
+
+TEST(Gf2, SolutionsSatisfyConstraints) {
+    util::Rng rng(11);
+    for (int trial = 0; trial < 20; ++trial) {
+        Gf2Solver solver(24);
+        std::vector<std::pair<std::uint64_t, bool>> accepted;
+        for (int k = 0; k < 16; ++k) {
+            const std::uint64_t row = rng.next() & 0xFFFFFF;
+            const bool rhs = rng.chance(0.5);
+            if (row != 0 && solver.add(row, rhs))
+                accepted.emplace_back(row, rhs);
+        }
+        for (bool free_value : {false, true}) {
+            const std::uint64_t x = solver.solve(free_value);
+            for (const auto& [row, rhs] : accepted)
+                EXPECT_EQ(std::popcount(row & x) & 1, rhs ? 1 : 0);
+        }
+    }
+}
+
+// ----------------------------------------------------- SymbolicLfsr ----
+
+TEST(SymbolicLfsr, TracksConcreteLfsr) {
+    for (unsigned width : {5u, 16u, 24u}) {
+        SymbolicLfsr symbolic(width);
+        util::Rng rng(width);
+        for (int step = 0; step < 40; ++step) {
+            symbolic.step();
+            for (int trial = 0; trial < 4; ++trial) {
+                const std::uint64_t seed =
+                    (rng.next() | 1) &
+                    ((width == 64) ? ~0ull : ((1ull << width) - 1));
+                util::Lfsr concrete(width, seed);
+                for (int s = 0; s <= step; ++s) concrete.step();
+                for (unsigned b = 0; b < width; ++b) {
+                    const unsigned expect =
+                        (concrete.state() >> b) & 1u;
+                    const unsigned predicted =
+                        std::popcount(symbolic.coefficients(b) & seed) &
+                        1u;
+                    ASSERT_EQ(predicted, expect)
+                        << "width " << width << " step " << step
+                        << " bit " << b;
+                }
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------- Reseeding ----
+
+atpg::TestCube make_cube(std::initializer_list<int> bits) {
+    atpg::TestCube cube;
+    cube.outcome = atpg::Outcome::Detected;
+    for (int b : bits)
+        cube.inputs.push_back(static_cast<std::int8_t>(b));
+    return cube;
+}
+
+TEST(Reseed, SingleCubeRoundTrip) {
+    const std::vector<atpg::TestCube> cubes{
+        make_cube({1, 0, -1, 1, -1, 0, 1, 1})};
+    const ReseedResult plan = plan_reseeding(8, cubes);
+    ASSERT_EQ(plan.encoded(), 1u);
+    const auto& placement = plan.placements[0];
+    const auto pattern =
+        expand_seed(plan.lfsr_width,
+                    plan.seeds[static_cast<std::size_t>(placement.seed)],
+                    placement.position, 8);
+    for (std::size_t i = 0; i < 8; ++i)
+        if (cubes[0].inputs[i] >= 0) {
+            EXPECT_EQ(pattern[i], cubes[0].inputs[i] == 1) << i;
+        }
+}
+
+TEST(Reseed, PacksManyCubesIntoFewSeeds) {
+    // Sparse cubes (few specified bits) are highly compatible.
+    util::Rng rng(3);
+    std::vector<atpg::TestCube> cubes;
+    for (int k = 0; k < 12; ++k) {
+        atpg::TestCube cube;
+        cube.outcome = atpg::Outcome::Detected;
+        cube.inputs.assign(24, -1);
+        for (int s = 0; s < 4; ++s)
+            cube.inputs[rng.below(24)] =
+                static_cast<std::int8_t>(rng.below(2));
+        cubes.push_back(std::move(cube));
+    }
+    const ReseedResult plan = plan_reseeding(24, cubes);
+    EXPECT_EQ(plan.encoded(), cubes.size());
+    EXPECT_LT(plan.seeds.size(), cubes.size())
+        << "compatible cubes should share seeds";
+    // Every placement must expand to a matching pattern.
+    for (std::size_t ci = 0; ci < cubes.size(); ++ci) {
+        const auto& placement = plan.placements[ci];
+        ASSERT_GE(placement.seed, 0);
+        const auto pattern = expand_seed(
+            plan.lfsr_width,
+            plan.seeds[static_cast<std::size_t>(placement.seed)],
+            placement.position, 24);
+        for (std::size_t i = 0; i < 24; ++i) {
+            if (cubes[ci].inputs[i] >= 0) {
+                EXPECT_EQ(pattern[i], cubes[ci].inputs[i] == 1);
+            }
+        }
+    }
+}
+
+TEST(Reseed, TapSharingConflictIsReported) {
+    // 10 inputs on a 5-bit register: inputs 0 and 5 share a tap; a cube
+    // demanding opposite values there cannot be encoded.
+    atpg::TestCube conflicted;
+    conflicted.inputs.assign(10, -1);
+    conflicted.inputs[0] = 0;
+    conflicted.inputs[5] = 1;
+    ReseedOptions options;
+    options.width = 5;
+    const ReseedResult plan =
+        plan_reseeding(10, {conflicted}, options);
+    EXPECT_EQ(plan.encoded(), 0u);
+    EXPECT_EQ(plan.placements[0].seed, -1);
+}
+
+TEST(Reseed, AtpgCubesDetectTheirFaultsAfterExpansion) {
+    // End-to-end: hard chain faults -> PODEM cubes -> seeds -> expanded
+    // patterns -> verified detection.
+    const netlist::Circuit c = gen::and_chain(16);
+    const auto faults = fault::collapse_faults(c);
+    std::vector<atpg::TestCube> cubes;
+    std::vector<fault::Fault> targets;
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        const atpg::TestCube cube =
+            atpg::generate_test(c, faults.representatives[i]);
+        if (cube.outcome == atpg::Outcome::Detected) {
+            cubes.push_back(cube);
+            targets.push_back(faults.representatives[i]);
+        }
+    }
+    const ReseedResult plan = plan_reseeding(c.input_count(), cubes);
+    EXPECT_EQ(plan.encoded(), cubes.size());
+    for (std::size_t k = 0; k < cubes.size(); ++k) {
+        const auto& placement = plan.placements[k];
+        ASSERT_GE(placement.seed, 0);
+        const auto pattern = expand_seed(
+            plan.lfsr_width,
+            plan.seeds[static_cast<std::size_t>(placement.seed)],
+            placement.position, c.input_count());
+        atpg::TestCube expanded;
+        expanded.inputs.resize(pattern.size());
+        for (std::size_t i = 0; i < pattern.size(); ++i)
+            expanded.inputs[i] = pattern[i] ? 1 : 0;
+        EXPECT_TRUE(atpg::cube_detects(c, targets[k], expanded))
+            << fault::fault_name(c, targets[k]);
+    }
+}
+
+TEST(Reseed, ExpandMatchesLfsrPatternSource) {
+    const unsigned width = 12;
+    const std::uint64_t seed = 0x5A5;
+    sim::LfsrPatternSource source(width, seed);
+    std::vector<std::uint64_t> words(7);
+    source.next_block(words);
+    for (std::size_t position = 0; position < 64; ++position) {
+        const auto pattern = expand_seed(width, seed, position, 7);
+        for (std::size_t i = 0; i < 7; ++i)
+            EXPECT_EQ(((words[i] >> position) & 1) != 0, pattern[i])
+                << "position " << position << " input " << i;
+    }
+}
+
+}  // namespace

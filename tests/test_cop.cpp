@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "fault/fault.hpp"
+#include "fault/fault_sim.hpp"
+#include "gen/random_circuits.hpp"
+#include "netlist/analysis.hpp"
+#include "netlist/circuit.hpp"
+#include "sim/logic_sim.hpp"
+#include "testability/cop.hpp"
+#include "testability/detect.hpp"
+
+namespace {
+
+using namespace tpi;
+using namespace tpi::netlist;
+
+TEST(Cop, ControllabilityOfBasicGates) {
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId b = c.add_input("b");
+    const NodeId g_and = c.add_gate(GateType::And, {a, b}, "g_and");
+    const NodeId g_or = c.add_gate(GateType::Or, {a, b}, "g_or");
+    const NodeId g_xor = c.add_gate(GateType::Xor, {a, b}, "g_xor");
+    const NodeId g_nand = c.add_gate(GateType::Nand, {a, b}, "g_nand");
+    const NodeId g_not = c.add_gate(GateType::Not, {a}, "g_not");
+    for (NodeId v : {g_and, g_or, g_xor, g_nand, g_not}) c.mark_output(v);
+
+    const testability::CopResult cop = testability::compute_cop(c);
+    EXPECT_DOUBLE_EQ(cop.c1[a.v], 0.5);
+    EXPECT_DOUBLE_EQ(cop.c1[g_and.v], 0.25);
+    EXPECT_DOUBLE_EQ(cop.c1[g_or.v], 0.75);
+    EXPECT_DOUBLE_EQ(cop.c1[g_xor.v], 0.5);
+    EXPECT_DOUBLE_EQ(cop.c1[g_nand.v], 0.75);
+    EXPECT_DOUBLE_EQ(cop.c1[g_not.v], 0.5);
+}
+
+TEST(Cop, CustomInputControllabilities) {
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId b = c.add_input("b");
+    const NodeId g = c.add_gate(GateType::And, {a, b}, "g");
+    c.mark_output(g);
+    const std::vector<double> input_c1{1.0, 0.25};
+    const testability::CopResult cop = testability::compute_cop(c, input_c1);
+    EXPECT_DOUBLE_EQ(cop.c1[g.v], 0.25);
+}
+
+TEST(Cop, ObservabilityThroughAndChain) {
+    // obs(x_i) through a 2-input AND chain decays by the side input's c1.
+    Circuit c;
+    NodeId acc = c.add_input("x0");
+    std::vector<NodeId> stages{acc};
+    for (int i = 1; i <= 4; ++i) {
+        const NodeId x = c.add_input("x" + std::to_string(i));
+        acc = c.add_gate(GateType::And, {acc, x});
+        stages.push_back(acc);
+    }
+    c.mark_output(acc);
+    const testability::CopResult cop = testability::compute_cop(c);
+    EXPECT_DOUBLE_EQ(cop.obs[acc.v], 1.0);  // the PO itself
+    // One level up: must pass one AND whose side input has c1 = 0.5.
+    EXPECT_DOUBLE_EQ(cop.obs[stages[3].v], 0.5);
+    EXPECT_DOUBLE_EQ(cop.obs[stages[0].v], 0.0625);
+}
+
+TEST(Cop, XorPropagatesPerfectly) {
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId b = c.add_input("b");
+    const NodeId g = c.add_gate(GateType::Xor, {a, b}, "g");
+    c.mark_output(g);
+    const testability::CopResult cop = testability::compute_cop(c);
+    EXPECT_DOUBLE_EQ(cop.obs[a.v], 1.0);
+    EXPECT_DOUBLE_EQ(cop.obs[b.v], 1.0);
+}
+
+TEST(Cop, StemTakesMaxOverBranches) {
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId b = c.add_input("b");
+    const NodeId d = c.add_input("d");
+    const NodeId easy = c.add_gate(GateType::Xor, {a, b}, "easy");
+    const NodeId hard = c.add_gate(GateType::And, {a, d}, "hard");
+    c.mark_output(easy);
+    c.mark_output(hard);
+    const testability::CopResult cop = testability::compute_cop(c);
+    // a reaches the PO through XOR with sens 1 and through AND with 0.5;
+    // the stem takes the max.
+    EXPECT_DOUBLE_EQ(cop.obs[a.v], 1.0);
+    EXPECT_DOUBLE_EQ(cop.obs[d.v], 0.5);
+}
+
+TEST(Cop, GateOutputC1XorFold) {
+    const double in3[3] = {0.5, 0.5, 0.5};
+    EXPECT_DOUBLE_EQ(testability::gate_output_c1(GateType::Xor, in3), 0.5);
+    const double biased[2] = {0.9, 0.9};
+    EXPECT_NEAR(testability::gate_output_c1(GateType::Xor, biased),
+                2 * 0.9 * 0.1, 1e-12);
+    EXPECT_NEAR(testability::gate_output_c1(GateType::Xnor, biased),
+                1.0 - 2 * 0.9 * 0.1, 1e-12);
+}
+
+TEST(Cop, SensitizationProbability) {
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId b = c.add_input("b");
+    const NodeId d = c.add_input("d");
+    const NodeId g = c.add_gate(GateType::And, {a, b, d}, "g");
+    const NodeId h = c.add_gate(GateType::Nor, {a, b}, "h");
+    c.mark_output(g);
+    c.mark_output(h);
+    const testability::CopResult cop = testability::compute_cop(c);
+    // Through the 3-input AND: both side inputs must be 1.
+    EXPECT_DOUBLE_EQ(
+        testability::sensitization_probability(c, g, 0, cop.c1), 0.25);
+    // Through the NOR: side input must be 0.
+    EXPECT_DOUBLE_EQ(
+        testability::sensitization_probability(c, h, 1, cop.c1), 0.5);
+}
+
+class CopTreeExactness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CopTreeExactness, C1MatchesSimulationOnTrees) {
+    gen::RandomTreeOptions options;
+    options.gates = 40;
+    options.seed = GetParam();
+    const Circuit c = gen::random_tree(options);
+    ASSERT_TRUE(is_fanout_free(c));
+
+    const testability::CopResult cop = testability::compute_cop(c);
+    sim::RandomPatternSource source(1234);
+    const std::vector<double> sim_p =
+        sim::estimate_signal_probabilities(c, source, 1 << 16);
+    for (NodeId v : c.all_nodes())
+        EXPECT_NEAR(cop.c1[v.v], sim_p[v.v], 0.02)
+            << "node " << c.node_name(v);
+}
+
+TEST_P(CopTreeExactness, DetectionProbabilityMatchesFaultSimOnTrees) {
+    gen::RandomTreeOptions options;
+    options.gates = 25;
+    options.seed = GetParam() + 100;
+    const Circuit c = gen::random_tree(options);
+    ASSERT_TRUE(is_fanout_free(c));
+
+    const testability::CopResult cop = testability::compute_cop(c);
+    const fault::CollapsedFaults faults = fault::collapse_faults(c);
+    const std::vector<double> predicted =
+        testability::detection_probabilities(c, faults, cop);
+
+    // Empirical per-pattern detection frequency from fault simulation
+    // *without* dropping is hard to get from first-detection times, so use
+    // the detection-time distribution instead: for per-pattern probability
+    // p, P(first detection <= N) = 1 - (1-p)^N. Check the median.
+    sim::RandomPatternSource source(77);
+    fault::FaultSimOptions sim_options;
+    sim_options.max_patterns = 1 << 15;
+    sim_options.stop_at_full_coverage = false;
+    const fault::FaultSimResult result =
+        fault::run_fault_simulation(c, faults, source, sim_options);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        if (predicted[i] > 0.05) {
+            // Highly detectable faults must be found very early.
+            ASSERT_GE(result.detect_pattern[i], 0);
+            EXPECT_LT(result.detect_pattern[i],
+                      static_cast<std::int64_t>(64.0 / predicted[i]) + 64);
+        }
+        if (predicted[i] == 0.0) {
+            EXPECT_EQ(result.detect_pattern[i], -1)
+                << fault::fault_name(c, faults.representatives[i]);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CopTreeExactness,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace

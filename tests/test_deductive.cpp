@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "fault/deductive.hpp"
+#include "fault/fault_sim.hpp"
+#include "gen/arith.hpp"
+#include "gen/benchmarks.hpp"
+#include "gen/chains.hpp"
+#include "gen/random_circuits.hpp"
+
+namespace {
+
+using namespace tpi;
+using namespace tpi::netlist;
+
+/// The heart of this file: two completely independent fault-simulation
+/// engines (parallel-pattern single-fault propagation vs deductive fault
+/// lists) must agree on the first-detection pattern of every fault.
+void expect_engines_agree(const Circuit& circuit, std::size_t patterns,
+                          std::uint64_t seed) {
+    const auto faults = fault::collapse_faults(circuit);
+
+    sim::RandomPatternSource source_a(seed);
+    fault::FaultSimOptions options;
+    options.max_patterns = patterns;
+    options.stop_at_full_coverage = false;
+    const auto ppsfp =
+        fault::run_fault_simulation(circuit, faults, source_a, options);
+
+    sim::RandomPatternSource source_b(seed);
+    const auto deductive = fault::run_deductive_simulation(
+        circuit, faults, source_b, patterns,
+        /*stop_at_full_coverage=*/false);
+
+    ASSERT_EQ(ppsfp.detect_pattern.size(), deductive.detect_pattern.size());
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        EXPECT_EQ(ppsfp.detect_pattern[i], deductive.detect_pattern[i])
+            << fault::fault_name(circuit, faults.representatives[i]);
+    }
+    EXPECT_DOUBLE_EQ(ppsfp.coverage, deductive.coverage);
+    EXPECT_EQ(ppsfp.undetected, deductive.undetected);
+}
+
+TEST(Deductive, AgreesOnC17) {
+    expect_engines_agree(gen::c17(), 256, 1);
+}
+
+TEST(Deductive, AgreesOnAndChain) {
+    expect_engines_agree(gen::and_chain(12), 512, 2);
+}
+
+TEST(Deductive, AgreesOnAndOrChain) {
+    expect_engines_agree(gen::and_or_chain(16, 4), 512, 3);
+}
+
+TEST(Deductive, AgreesOnParityTree) {
+    expect_engines_agree(gen::parity_tree(16), 128, 4);
+}
+
+TEST(Deductive, AgreesOnAdder) {
+    expect_engines_agree(gen::ripple_carry_adder(6), 256, 5);
+}
+
+TEST(Deductive, AgreesOnComparator) {
+    expect_engines_agree(gen::equality_comparator(8), 1024, 6);
+}
+
+TEST(Deductive, AgreesOnMultiplier) {
+    expect_engines_agree(gen::array_multiplier(4), 256, 7);
+}
+
+TEST(Deductive, AgreesOnDecoder) {
+    expect_engines_agree(gen::decoder(3), 128, 8);
+}
+
+TEST(Deductive, HandlesUntestableFault) {
+    // g = AND(a, const0): g/sa0 is untestable and must stay undetected.
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId zero = c.add_const(false, "z");
+    const NodeId g = c.add_gate(GateType::And, {a, zero}, "g");
+    c.mark_output(g);
+    const auto faults = fault::collapse_faults(c);
+    sim::RandomPatternSource source(1);
+    const auto result =
+        fault::run_deductive_simulation(c, faults, source, 512);
+    const auto g_sa0 = faults.class_index({g, false});
+    ASSERT_GE(g_sa0, 0);
+    EXPECT_EQ(result.detect_pattern[static_cast<std::size_t>(g_sa0)], -1);
+    EXPECT_LT(result.coverage, 1.0);
+}
+
+TEST(Deductive, StopsEarlyAtFullCoverage) {
+    const Circuit c = gen::parity_tree(8);
+    const auto faults = fault::collapse_faults(c);
+    sim::RandomPatternSource source(9);
+    const auto result = fault::run_deductive_simulation(
+        c, faults, source, 1 << 20, /*stop_at_full_coverage=*/true);
+    EXPECT_DOUBLE_EQ(result.coverage, 1.0);
+    EXPECT_LT(result.patterns_applied, std::size_t{1} << 12);
+}
+
+class DeductiveDifferential
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeductiveDifferential, AgreesOnRandomDags) {
+    gen::RandomDagOptions options;
+    options.gates = 90;
+    options.inputs = 10;
+    options.seed = GetParam();
+    expect_engines_agree(gen::random_dag(options), 256, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeductiveDifferential,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+class DeductiveTreeDifferential
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeductiveTreeDifferential, AgreesOnRandomTrees) {
+    gen::RandomTreeOptions options;
+    options.gates = 40;
+    options.seed = GetParam();
+    expect_engines_agree(gen::random_tree(options), 256, GetParam() + 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeductiveTreeDifferential,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+}  // namespace

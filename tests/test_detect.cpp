@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "fault/fault.hpp"
+#include "netlist/circuit.hpp"
+#include "testability/cop.hpp"
+#include "testability/detect.hpp"
+#include "tpi/objective.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace tpi;
+using namespace tpi::netlist;
+
+TEST(Detect, ProbabilitiesCombineExcitationAndObservability) {
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId b = c.add_input("b");
+    const NodeId g = c.add_gate(GateType::And, {a, b}, "g");
+    c.mark_output(g);
+    const auto cop = testability::compute_cop(c);
+    const auto faults = fault::collapse_faults(c);
+    const auto p = testability::detection_probabilities(c, faults, cop);
+
+    // g/sa1 requires g = 0 (prob 3/4) and is directly observed.
+    const auto g_sa1 = faults.class_index({g, true});
+    EXPECT_DOUBLE_EQ(p[static_cast<std::size_t>(g_sa1)], 0.75);
+    // a/sa1 requires a = 0 (1/2) and b = 1 (1/2).
+    const auto a_sa1 = faults.class_index({a, true});
+    EXPECT_DOUBLE_EQ(p[static_cast<std::size_t>(a_sa1)], 0.25);
+}
+
+TEST(Detect, EstimatedCoverageLimits) {
+    const std::vector<double> p{0.5, 0.0};
+    const std::vector<std::uint32_t> w{1, 1};
+    // With many patterns the p=0.5 fault is certain, p=0 never: 50%.
+    EXPECT_NEAR(testability::estimated_coverage(p, w, 1 << 20), 0.5, 1e-9);
+    // With zero patterns nothing is detected.
+    EXPECT_DOUBLE_EQ(testability::estimated_coverage(p, w, 0), 0.0);
+}
+
+TEST(Detect, EstimatedCoverageWeighting) {
+    const std::vector<double> p{1.0, 0.0};
+    const std::vector<std::uint32_t> w{3, 1};
+    EXPECT_DOUBLE_EQ(testability::estimated_coverage(p, w, 1), 0.75);
+}
+
+TEST(Detect, EstimatedCoverageMatchesClosedForm) {
+    const std::vector<double> p{0.1};
+    const std::vector<std::uint32_t> w{1};
+    const double expect = 1.0 - std::pow(0.9, 100);
+    EXPECT_NEAR(testability::estimated_coverage(p, w, 100), expect, 1e-12);
+}
+
+TEST(Detect, EstimatedCoverageRejectsSizeMismatch) {
+    const std::vector<double> p{0.1, 0.2};
+    const std::vector<std::uint32_t> w{1};
+    EXPECT_THROW(testability::estimated_coverage(p, w, 10), tpi::Error);
+}
+
+TEST(Detect, RequiredTestLength) {
+    // p = 1/1000, 95% confidence: N ~ 3000 (the classic 3/p rule).
+    const double n = testability::required_test_length(0.001, 0.95);
+    EXPECT_NEAR(n, 2995.0, 5.0);
+    EXPECT_DOUBLE_EQ(testability::required_test_length(1.0, 0.95), 1.0);
+    EXPECT_TRUE(std::isinf(testability::required_test_length(0.0, 0.95)));
+    EXPECT_THROW(testability::required_test_length(0.5, 1.5), tpi::Error);
+}
+
+TEST(Detect, MinDetectionProbability) {
+    const std::vector<double> p{0.5, 0.01, 0.9};
+    EXPECT_DOUBLE_EQ(testability::min_detection_probability(p), 0.01);
+    EXPECT_DOUBLE_EQ(testability::min_detection_probability({}), 0.0);
+}
+
+// ----------------------------------------------------------- Objective ----
+
+TEST(Objective, ExpectedDetectionBenefit) {
+    Objective obj;
+    obj.kind = Objective::Kind::ExpectedDetection;
+    obj.num_patterns = 10;
+    EXPECT_DOUBLE_EQ(obj.benefit(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(obj.benefit(1.0), 1.0);
+    EXPECT_NEAR(obj.benefit(0.1), 1.0 - std::pow(0.9, 10), 1e-12);
+    // Monotone in p.
+    double prev = 0.0;
+    for (double p = 0.0; p <= 1.0; p += 0.05) {
+        const double b = obj.benefit(p);
+        EXPECT_GE(b, prev - 1e-12);
+        prev = b;
+    }
+}
+
+TEST(Objective, ThresholdLinearBenefit) {
+    Objective obj;
+    obj.kind = Objective::Kind::ThresholdLinear;
+    obj.threshold = 0.01;
+    EXPECT_DOUBLE_EQ(obj.benefit(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(obj.benefit(0.005), 0.5);
+    EXPECT_DOUBLE_EQ(obj.benefit(0.01), 1.0);
+    EXPECT_DOUBLE_EQ(obj.benefit(0.5), 1.0);  // saturates
+}
+
+TEST(Objective, BenefitClampsOutOfRangeProbabilities) {
+    Objective obj;
+    EXPECT_DOUBLE_EQ(obj.benefit(-0.5), 0.0);
+    EXPECT_DOUBLE_EQ(obj.benefit(1.5), 1.0);
+}
+
+TEST(Objective, ScoreIsWeightedSum) {
+    Objective obj;
+    obj.kind = Objective::Kind::ThresholdLinear;
+    obj.threshold = 1.0;
+    const std::vector<double> p{0.5, 1.0};
+    const std::vector<std::uint32_t> w{2, 3};
+    EXPECT_DOUBLE_EQ(obj.score(p, w), 2 * 0.5 + 3 * 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "fault/fault.hpp"
+#include "gen/benchmarks.hpp"
+#include "netlist/circuit.hpp"
+
+namespace {
+
+using namespace tpi;
+using namespace tpi::netlist;
+
+TEST(FaultUniverse, TwoFaultsPerNet) {
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId g = c.add_gate(GateType::Not, {a}, "g");
+    c.mark_output(g);
+    const auto faults = fault::all_faults(c);
+    EXPECT_EQ(faults.size(), 4u);
+}
+
+TEST(FaultUniverse, TieCellTrivialFaultsExcluded) {
+    Circuit c;
+    c.add_const(false, "z");
+    c.add_const(true, "o");
+    const auto faults = fault::all_faults(c);
+    // Only z/sa1 and o/sa0 remain.
+    ASSERT_EQ(faults.size(), 2u);
+    EXPECT_TRUE(faults[0].stuck_at1);
+    EXPECT_FALSE(faults[1].stuck_at1);
+}
+
+TEST(FaultNames, Format) {
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    EXPECT_EQ(fault::fault_name(c, {a, false}), "a/sa0");
+    EXPECT_EQ(fault::fault_name(c, {a, true}), "a/sa1");
+}
+
+TEST(Collapse, AndGateRules) {
+    // Single-fanout inputs a, b into AND g: a/sa0 == b/sa0 == g/sa0.
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId b = c.add_input("b");
+    const NodeId g = c.add_gate(GateType::And, {a, b}, "g");
+    c.mark_output(g);
+    const auto collapsed = fault::collapse_faults(c);
+    EXPECT_EQ(collapsed.total_faults, 6u);
+    EXPECT_EQ(collapsed.size(), 4u);  // {a0,b0,g0}, {a1}, {b1}, {g1}
+    EXPECT_EQ(collapsed.class_index({a, false}),
+              collapsed.class_index({g, false}));
+    EXPECT_EQ(collapsed.class_index({b, false}),
+              collapsed.class_index({g, false}));
+    EXPECT_NE(collapsed.class_index({a, true}),
+              collapsed.class_index({b, true}));
+}
+
+TEST(Collapse, NandInversion) {
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId b = c.add_input("b");
+    const NodeId g = c.add_gate(GateType::Nand, {a, b}, "g");
+    c.mark_output(g);
+    const auto collapsed = fault::collapse_faults(c);
+    EXPECT_EQ(collapsed.class_index({a, false}),
+              collapsed.class_index({g, true}));
+    EXPECT_NE(collapsed.class_index({a, false}),
+              collapsed.class_index({g, false}));
+}
+
+TEST(Collapse, OrNorRules) {
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId b = c.add_input("b");
+    const NodeId g = c.add_gate(GateType::Or, {a, b}, "g");
+    const NodeId h = c.add_gate(GateType::Nor, {g, a}, "h");
+    c.mark_output(h);
+    const auto collapsed = fault::collapse_faults(c);
+    // OR: input sa1 == output sa1 (a has fanout 2, so only b collapses).
+    EXPECT_EQ(collapsed.class_index({b, true}),
+              collapsed.class_index({g, true}));
+    EXPECT_NE(collapsed.class_index({a, true}),
+              collapsed.class_index({g, true}));
+    // NOR: g/sa1 == h/sa0 (g has single fanout into h).
+    EXPECT_EQ(collapsed.class_index({g, true}),
+              collapsed.class_index({h, false}));
+}
+
+TEST(Collapse, BufNotChains) {
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId g = c.add_gate(GateType::Buf, {a}, "g");
+    const NodeId h = c.add_gate(GateType::Not, {g}, "h");
+    c.mark_output(h);
+    const auto collapsed = fault::collapse_faults(c);
+    // a/sa0 == g/sa0 == h/sa1; a/sa1 == g/sa1 == h/sa0.
+    EXPECT_EQ(collapsed.size(), 2u);
+    EXPECT_EQ(collapsed.class_index({a, false}),
+              collapsed.class_index({h, true}));
+    EXPECT_EQ(collapsed.class_index({a, true}),
+              collapsed.class_index({h, false}));
+    EXPECT_EQ(collapsed.class_size[0] + collapsed.class_size[1], 6u);
+}
+
+TEST(Collapse, XorHasNoStructuralEquivalence) {
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId b = c.add_input("b");
+    const NodeId g = c.add_gate(GateType::Xor, {a, b}, "g");
+    c.mark_output(g);
+    const auto collapsed = fault::collapse_faults(c);
+    EXPECT_EQ(collapsed.size(), 6u);  // nothing collapses
+}
+
+TEST(Collapse, MultiFanoutBlocksCollapsing) {
+    // a feeds two ANDs: a/sa0 must not merge with either output.
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId b = c.add_input("b");
+    const NodeId g = c.add_gate(GateType::And, {a, b}, "g");
+    const NodeId h = c.add_gate(GateType::And, {a, b}, "h");
+    c.mark_output(g);
+    c.mark_output(h);
+    const auto collapsed = fault::collapse_faults(c);
+    EXPECT_NE(collapsed.class_index({a, false}),
+              collapsed.class_index({g, false}));
+    EXPECT_NE(collapsed.class_index({a, false}),
+              collapsed.class_index({h, false}));
+}
+
+TEST(Collapse, ClassSizesSumToUniverse) {
+    const Circuit c = gen::c17();
+    const auto collapsed = fault::collapse_faults(c);
+    std::size_t sum = 0;
+    for (auto s : collapsed.class_size) sum += s;
+    EXPECT_EQ(sum, collapsed.total_faults);
+    EXPECT_EQ(collapsed.total_faults, 2 * c.node_count());
+    EXPECT_LT(collapsed.size(), collapsed.total_faults);
+}
+
+TEST(Collapse, RepresentativeIsMemberOfItsClass) {
+    const Circuit c = gen::c17();
+    const auto collapsed = fault::collapse_faults(c);
+    for (std::size_t i = 0; i < collapsed.size(); ++i) {
+        EXPECT_EQ(collapsed.class_index(collapsed.representatives[i]),
+                  static_cast<std::int32_t>(i));
+    }
+}
+
+}  // namespace

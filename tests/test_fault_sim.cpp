@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "fault/fault_sim.hpp"
+#include "gen/chains.hpp"
+#include "gen/random_circuits.hpp"
+#include "netlist/circuit.hpp"
+#include "sim/logic_sim.hpp"
+
+namespace {
+
+using namespace tpi;
+using namespace tpi::netlist;
+
+/// Brute-force single-fault simulation: rebuild the faulty circuit and
+/// compare outputs pattern by pattern.
+std::int64_t reference_first_detection(const Circuit& c,
+                                       const fault::Fault& f,
+                                       std::size_t patterns,
+                                       std::uint64_t seed) {
+    sim::LogicSimulator good(c);
+    sim::RandomPatternSource source_a(seed);
+    std::vector<std::uint64_t> words(c.input_count());
+    for (std::size_t base = 0; base < patterns; base += 64) {
+        source_a.next_block(words);
+        good.simulate_block(words);
+        // Faulty evaluation: force the fault site, recompute everything.
+        std::vector<std::uint64_t> value(c.node_count());
+        for (std::size_t i = 0; i < c.input_count(); ++i)
+            value[c.inputs()[i].v] = words[i];
+        for (NodeId v : c.topo_order()) {
+            const GateType t = c.type(v);
+            if (t == GateType::Const0) value[v.v] = 0;
+            if (t == GateType::Const1) value[v.v] = ~std::uint64_t{0};
+            if (!is_source(t)) {
+                std::vector<std::uint64_t> ins;
+                for (NodeId fi : c.fanins(v)) ins.push_back(value[fi.v]);
+                value[v.v] = eval_word(t, ins);
+            }
+            if (v == f.node)
+                value[v.v] = f.stuck_at1 ? ~std::uint64_t{0} : 0;
+        }
+        std::uint64_t detect = 0;
+        for (NodeId po : c.outputs())
+            detect |= value[po.v] ^ good.value(po);
+        if (detect != 0)
+            return static_cast<std::int64_t>(base) +
+                   std::countr_zero(detect);
+    }
+    return -1;
+}
+
+class FaultSimCrossCheck : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(FaultSimCrossCheck, MatchesBruteForceFirstDetection) {
+    gen::RandomDagOptions options;
+    options.gates = 80;
+    options.inputs = 10;
+    options.seed = GetParam();
+    const Circuit c = gen::random_dag(options);
+
+    const fault::CollapsedFaults faults = fault::collapse_faults(c);
+    sim::RandomPatternSource source(17);
+    fault::FaultSimOptions sim_options;
+    sim_options.max_patterns = 256;
+    sim_options.stop_at_full_coverage = false;
+    const fault::FaultSimResult result =
+        fault::run_fault_simulation(c, faults, source, sim_options);
+
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        const std::int64_t expect = reference_first_detection(
+            c, faults.representatives[i], 256, 17);
+        EXPECT_EQ(result.detect_pattern[i], expect)
+            << fault::fault_name(c, faults.representatives[i]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultSimCrossCheck,
+                         ::testing::Values(1u, 2u, 3u));
+
+TEST(FaultSim, ParityTreeDetectsEverythingFast) {
+    // Every fault in a XOR tree propagates with probability 1 and excites
+    // with probability 1/2 -> everything is caught within a few patterns.
+    gen::RandomDagOptions o;  // placeholder to keep includes honest
+    (void)o;
+    Circuit c;
+    std::vector<NodeId> layer;
+    for (int i = 0; i < 8; ++i)
+        layer.push_back(c.add_input("d" + std::to_string(i)));
+    while (layer.size() > 1) {
+        std::vector<NodeId> next;
+        for (std::size_t i = 0; i + 1 < layer.size(); i += 2)
+            next.push_back(c.add_gate(GateType::Xor,
+                                      {layer[i], layer[i + 1]}));
+        layer = std::move(next);
+    }
+    c.mark_output(layer[0]);
+    const auto result = fault::random_pattern_coverage(c, 512, 3);
+    EXPECT_DOUBLE_EQ(result.coverage, 1.0);
+    EXPECT_EQ(result.undetected, 0u);
+}
+
+TEST(FaultSim, AndChainLeavesHardFaultsUndetected) {
+    const Circuit c = gen::and_chain(24);
+    const auto result = fault::random_pattern_coverage(c, 1024, 5);
+    // The deep end of the chain needs ~2^24 patterns; 1024 cannot cover.
+    EXPECT_LT(result.coverage, 0.7);
+    EXPECT_GT(result.undetected, 0u);
+}
+
+TEST(FaultSim, UntestableFaultNeverDetected) {
+    // g = AND(a, 0): g/sa0 is untestable (g is constant 0).
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId zero = c.add_const(false, "z");
+    const NodeId g = c.add_gate(GateType::And, {a, zero}, "g");
+    c.mark_output(g);
+    const fault::CollapsedFaults faults = fault::collapse_faults(c);
+    sim::RandomPatternSource source(1);
+    fault::FaultSimOptions options;
+    options.max_patterns = 2048;
+    const auto result =
+        fault::run_fault_simulation(c, faults, source, options);
+    const auto g_sa0 = faults.class_index({g, false});
+    ASSERT_GE(g_sa0, 0);
+    EXPECT_EQ(result.detect_pattern[static_cast<std::size_t>(g_sa0)], -1);
+    EXPECT_LT(result.coverage, 1.0);
+}
+
+TEST(FaultSim, CoverageCurveIsMonotone) {
+    const Circuit c = gen::and_or_chain(16, 4);
+    const auto result = fault::random_pattern_coverage(c, 2048, 9,
+                                                       /*record_curve=*/true);
+    ASSERT_FALSE(result.coverage_curve.empty());
+    for (std::size_t i = 1; i < result.coverage_curve.size(); ++i)
+        EXPECT_GE(result.coverage_curve[i], result.coverage_curve[i - 1]);
+    EXPECT_DOUBLE_EQ(result.coverage_curve.back(), result.coverage);
+}
+
+TEST(FaultSim, StopsEarlyAtFullCoverage) {
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId b = c.add_input("b");
+    const NodeId g = c.add_gate(GateType::Xor, {a, b}, "g");
+    c.mark_output(g);
+    const fault::CollapsedFaults faults = fault::collapse_faults(c);
+    sim::RandomPatternSource source(2);
+    fault::FaultSimOptions options;
+    options.max_patterns = 1 << 20;
+    const auto result =
+        fault::run_fault_simulation(c, faults, source, options);
+    EXPECT_DOUBLE_EQ(result.coverage, 1.0);
+    EXPECT_LT(result.patterns_applied, std::size_t{1} << 20);
+}
+
+TEST(FaultSim, PatternsToCoverage) {
+    const Circuit c = gen::and_chain(8);
+    const fault::CollapsedFaults faults = fault::collapse_faults(c);
+    sim::RandomPatternSource source(4);
+    fault::FaultSimOptions options;
+    options.max_patterns = 1 << 14;
+    options.stop_at_full_coverage = false;
+    const auto result =
+        fault::run_fault_simulation(c, faults, source, options);
+    const std::int64_t n50 = result.patterns_to_coverage(0.5, faults);
+    const std::int64_t n90 = result.patterns_to_coverage(0.9, faults);
+    ASSERT_GT(n50, 0);
+    ASSERT_GT(n90, 0);
+    EXPECT_LE(n50, n90);
+    EXPECT_EQ(result.patterns_to_coverage(1.1, faults), -1);
+}
+
+}  // namespace

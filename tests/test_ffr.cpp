@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/benchmarks.hpp"
+#include "gen/random_circuits.hpp"
+#include "netlist/ffr.hpp"
+
+namespace {
+
+using namespace tpi::netlist;
+
+TEST(Ffr, SingleTreeIsOneRegion) {
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId b = c.add_input("b");
+    const NodeId d = c.add_input("d");
+    const NodeId g1 = c.add_gate(GateType::And, {a, b}, "g1");
+    const NodeId g2 = c.add_gate(GateType::Or, {g1, d}, "g2");
+    c.mark_output(g2);
+
+    const FfrDecomposition ffr = decompose_ffr(c);
+    ASSERT_EQ(ffr.regions.size(), 1u);
+    EXPECT_EQ(ffr.regions[0].root, g2);
+    EXPECT_EQ(ffr.regions[0].members.size(), 5u);
+    EXPECT_TRUE(ffr.regions[0].leaf_inputs.empty());
+}
+
+TEST(Ffr, StemSplitsRegions) {
+    // a -> g1 (stem feeding g2 and g3); two output trees.
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId b = c.add_input("b");
+    const NodeId g1 = c.add_gate(GateType::Not, {a}, "g1");
+    const NodeId g2 = c.add_gate(GateType::And, {g1, b}, "g2");
+    const NodeId g3 = c.add_gate(GateType::Or, {g1, b}, "g3");
+    c.mark_output(g2);
+    c.mark_output(g3);
+
+    const FfrDecomposition ffr = decompose_ffr(c);
+    // Stems: g1 (fanout 2), g2 (PO), g3 (PO), b (fanout 2).
+    EXPECT_EQ(ffr.regions.size(), 4u);
+    const auto& g1_region = ffr.region_containing(g1);
+    EXPECT_EQ(g1_region.root, g1);
+    // 'a' is absorbed into g1's region.
+    EXPECT_EQ(ffr.region_of[a.v], ffr.region_of[g1.v]);
+    // g2's region has external inputs g1 and b.
+    const auto& g2_region = ffr.region_containing(g2);
+    const std::set<std::uint32_t> leaves{g2_region.leaf_inputs[0].v,
+                                         g2_region.leaf_inputs[1].v};
+    EXPECT_TRUE(leaves.count(g1.v));
+    EXPECT_TRUE(leaves.count(b.v));
+}
+
+TEST(Ffr, PrimaryOutputWithFanoutIsItsOwnStem) {
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId g1 = c.add_gate(GateType::Not, {a}, "g1");
+    const NodeId g2 = c.add_gate(GateType::Buf, {g1}, "g2");
+    c.mark_output(g1);  // PO that also feeds g2
+    c.mark_output(g2);
+    const FfrDecomposition ffr = decompose_ffr(c);
+    EXPECT_EQ(ffr.regions.size(), 2u);
+    EXPECT_EQ(ffr.region_containing(g1).root, g1);
+    EXPECT_EQ(ffr.region_containing(g2).root, g2);
+}
+
+class FfrProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FfrProperty, PartitionInvariantsOnRandomDags) {
+    tpi::gen::RandomDagOptions options;
+    options.gates = 300;
+    options.inputs = 24;
+    options.seed = GetParam();
+    const Circuit c = tpi::gen::random_dag(options);
+    const FfrDecomposition ffr = decompose_ffr(c);
+
+    // 1. Every node belongs to exactly one region's member list.
+    std::vector<int> seen(c.node_count(), 0);
+    for (const auto& region : ffr.regions)
+        for (NodeId v : region.members) {
+            ++seen[v.v];
+            EXPECT_EQ(ffr.region_of[v.v],
+                      ffr.region_of[region.root.v]);
+        }
+    for (int s : seen) EXPECT_EQ(s, 1);
+
+    for (const auto& region : ffr.regions) {
+        // 2. The root is a stem: fanout != 1 or a primary output.
+        EXPECT_TRUE(c.fanout_count(region.root) != 1 ||
+                    c.is_output(region.root));
+        // 3. The root is last in the member list (topological order).
+        EXPECT_EQ(region.members.back(), region.root);
+        // 4. Non-root members have exactly one fanout, inside the region.
+        for (NodeId v : region.members) {
+            if (v == region.root) continue;
+            ASSERT_EQ(c.fanout_count(v), 1u);
+            EXPECT_EQ(ffr.region_of[c.fanouts(v)[0].v],
+                      ffr.region_of[v.v]);
+            EXPECT_FALSE(c.is_output(v));
+        }
+        // 5. Leaf inputs are external to the region.
+        for (NodeId leaf : region.leaf_inputs)
+            EXPECT_NE(ffr.region_of[leaf.v],
+                      ffr.region_of[region.root.v]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FfrProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(Ffr, RegionCountMatchesStemCount) {
+    const Circuit c = tpi::gen::c17();
+    const FfrDecomposition ffr = decompose_ffr(c);
+    std::size_t stems = 0;
+    for (NodeId v : c.all_nodes())
+        if (c.fanout_count(v) != 1 || c.is_output(v)) ++stems;
+    EXPECT_EQ(ffr.regions.size(), stems);
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "netlist/gate.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace tpi::netlist;
+
+std::uint64_t eval2(GateType t, std::uint64_t a, std::uint64_t b) {
+    const std::uint64_t in[2] = {a, b};
+    return eval_word(t, in);
+}
+
+TEST(GateEval, TwoInputTruthTables) {
+    // Words encode the 4 input patterns 00,01,10,11 in bits 0..3.
+    const std::uint64_t a = 0b1100;  // a = pattern bit 1
+    const std::uint64_t b = 0b1010;  // b = pattern bit 0
+    const std::uint64_t mask = 0xF;
+    EXPECT_EQ(eval2(GateType::And, a, b) & mask, 0b1000u);
+    EXPECT_EQ(eval2(GateType::Nand, a, b) & mask, 0b0111u);
+    EXPECT_EQ(eval2(GateType::Or, a, b) & mask, 0b1110u);
+    EXPECT_EQ(eval2(GateType::Nor, a, b) & mask, 0b0001u);
+    EXPECT_EQ(eval2(GateType::Xor, a, b) & mask, 0b0110u);
+    EXPECT_EQ(eval2(GateType::Xnor, a, b) & mask, 0b1001u);
+}
+
+TEST(GateEval, UnaryGates) {
+    const std::uint64_t a = 0b10;
+    const std::uint64_t in[1] = {a};
+    EXPECT_EQ(eval_word(GateType::Buf, in), a);
+    EXPECT_EQ(eval_word(GateType::Not, in), ~a);
+}
+
+TEST(GateEval, NaryReduction) {
+    const std::uint64_t in3[3] = {0b1111, 0b1010, 0b1100};
+    EXPECT_EQ(eval_word(GateType::And, in3) & 0xF, 0b1000u);
+    EXPECT_EQ(eval_word(GateType::Or, in3) & 0xF, 0b1111u);
+    EXPECT_EQ(eval_word(GateType::Xor, in3) & 0xF, 0b1001u);
+    EXPECT_EQ(eval_word(GateType::Nand, in3) & 0xF, 0b0111u);
+    EXPECT_EQ(eval_word(GateType::Nor, in3) & 0xF, 0b0000u);
+    EXPECT_EQ(eval_word(GateType::Xnor, in3) & 0xF, 0b0110u);
+}
+
+TEST(GateEval, SingleInputReductionIsIdentityOrComplement) {
+    const std::uint64_t in1[1] = {0b01};
+    EXPECT_EQ(eval_word(GateType::And, in1), 0b01u);
+    EXPECT_EQ(eval_word(GateType::Nor, in1), ~std::uint64_t{0b01});
+}
+
+TEST(GateEval, SourcesAreRejected) {
+    const std::uint64_t in1[1] = {0};
+    EXPECT_THROW(eval_word(GateType::Input, in1), tpi::Error);
+    EXPECT_THROW(eval_word(GateType::Const0, in1), tpi::Error);
+}
+
+TEST(GateEval, ArityViolationsAreRejected) {
+    const std::uint64_t in2[2] = {0, 0};
+    EXPECT_THROW(eval_word(GateType::Not, in2), tpi::Error);
+    EXPECT_THROW(eval_word(GateType::Buf, in2), tpi::Error);
+    EXPECT_THROW(eval_word(GateType::And, {}), tpi::Error);
+}
+
+TEST(GateEvalBool, MatchesWordEvaluation) {
+    for (GateType t : {GateType::And, GateType::Or, GateType::Xor,
+                       GateType::Nand, GateType::Nor, GateType::Xnor}) {
+        for (int pattern = 0; pattern < 4; ++pattern) {
+            const bool in[2] = {(pattern & 2) != 0, (pattern & 1) != 0};
+            const std::uint64_t w[2] = {in[0] ? ~0ull : 0,
+                                        in[1] ? ~0ull : 0};
+            EXPECT_EQ(eval_bool(t, in), (eval_word(t, w) & 1) != 0)
+                << gate_type_name(t) << " pattern " << pattern;
+        }
+    }
+}
+
+TEST(GateEvalBool, ConstantsEvaluate) {
+    EXPECT_FALSE(eval_bool(GateType::Const0, {}));
+    EXPECT_TRUE(eval_bool(GateType::Const1, {}));
+}
+
+TEST(GateNames, RoundTrip) {
+    for (GateType t : {GateType::Input, GateType::Const0, GateType::Const1,
+                       GateType::Buf, GateType::Not, GateType::And,
+                       GateType::Nand, GateType::Or, GateType::Nor,
+                       GateType::Xor, GateType::Xnor}) {
+        EXPECT_EQ(gate_type_from_name(gate_type_name(t)), t);
+    }
+}
+
+TEST(GateNames, ParserIsCaseInsensitiveAndAcceptsBuff) {
+    EXPECT_EQ(gate_type_from_name("nand"), GateType::Nand);
+    EXPECT_EQ(gate_type_from_name("Or"), GateType::Or);
+    EXPECT_EQ(gate_type_from_name("BUFF"), GateType::Buf);
+    EXPECT_THROW(gate_type_from_name("MAJ"), tpi::Error);
+}
+
+TEST(GateProps, ControllingValues) {
+    EXPECT_FALSE(controlling_value(GateType::And));
+    EXPECT_FALSE(controlling_value(GateType::Nand));
+    EXPECT_TRUE(controlling_value(GateType::Or));
+    EXPECT_TRUE(controlling_value(GateType::Nor));
+    EXPECT_THROW(controlling_value(GateType::Xor), tpi::Error);
+    EXPECT_TRUE(has_controlling_value(GateType::Nand));
+    EXPECT_FALSE(has_controlling_value(GateType::Xor));
+}
+
+TEST(GateProps, InversionAndSourceFlags) {
+    EXPECT_TRUE(is_inverting(GateType::Nand));
+    EXPECT_TRUE(is_inverting(GateType::Not));
+    EXPECT_FALSE(is_inverting(GateType::And));
+    EXPECT_TRUE(is_source(GateType::Input));
+    EXPECT_TRUE(is_source(GateType::Const1));
+    EXPECT_FALSE(is_source(GateType::Buf));
+}
+
+}  // namespace

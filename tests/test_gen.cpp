@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "gen/arith.hpp"
+#include "gen/benchmarks.hpp"
+#include "gen/chains.hpp"
+#include "gen/random_circuits.hpp"
+#include "netlist/analysis.hpp"
+#include "sim/logic_sim.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace tpi;
+using namespace tpi::netlist;
+
+/// Drive a circuit with one scalar pattern via the word simulator.
+std::uint64_t output_bits(const Circuit& c,
+                          const std::vector<std::uint64_t>& words,
+                          std::size_t pattern_slot) {
+    sim::LogicSimulator simulator(c);
+    simulator.simulate_block(words);
+    std::uint64_t out = 0;
+    for (std::size_t o = 0; o < c.output_count(); ++o)
+        out |= ((simulator.value(c.outputs()[o]) >> pattern_slot) & 1)
+               << o;
+    return out;
+}
+
+TEST(GenAdder, ComputesSums) {
+    const Circuit c = gen::ripple_carry_adder(8);
+    ASSERT_EQ(c.input_count(), 17u);   // a[8], b[8], cin
+    ASSERT_EQ(c.output_count(), 9u);   // s[8], cout
+
+    // Pack test vectors into pattern slots: a in bits 0..7 of inputs 0..7.
+    struct Case {
+        unsigned a, b, cin;
+    };
+    const Case cases[] = {{0, 0, 0},    {1, 1, 0},   {200, 100, 1},
+                          {255, 255, 1}, {170, 85, 0}, {254, 1, 1}};
+    std::vector<std::uint64_t> words(17, 0);
+    for (std::size_t t = 0; t < std::size(cases); ++t) {
+        for (int i = 0; i < 8; ++i) {
+            if ((cases[t].a >> i) & 1) words[i] |= 1ull << t;
+            if ((cases[t].b >> i) & 1) words[8 + i] |= 1ull << t;
+        }
+        if (cases[t].cin) words[16] |= 1ull << t;
+    }
+    for (std::size_t t = 0; t < std::size(cases); ++t) {
+        const unsigned expect = cases[t].a + cases[t].b + cases[t].cin;
+        EXPECT_EQ(output_bits(c, words, t), expect) << "case " << t;
+    }
+}
+
+TEST(GenMultiplier, ComputesProducts) {
+    const Circuit c = gen::array_multiplier(6);
+    ASSERT_EQ(c.input_count(), 12u);
+    ASSERT_EQ(c.output_count(), 12u);
+    struct Case {
+        unsigned a, b;
+    };
+    const Case cases[] = {{0, 0},  {1, 1},   {63, 63}, {17, 3},
+                          {42, 27}, {63, 1}, {32, 32}, {5, 12}};
+    std::vector<std::uint64_t> words(12, 0);
+    for (std::size_t t = 0; t < std::size(cases); ++t) {
+        for (int i = 0; i < 6; ++i) {
+            if ((cases[t].a >> i) & 1) words[i] |= 1ull << t;
+            if ((cases[t].b >> i) & 1) words[6 + i] |= 1ull << t;
+        }
+    }
+    for (std::size_t t = 0; t < std::size(cases); ++t) {
+        EXPECT_EQ(output_bits(c, words, t), cases[t].a * cases[t].b)
+            << cases[t].a << " * " << cases[t].b;
+    }
+}
+
+TEST(GenComparator, DetectsEquality) {
+    const Circuit c = gen::equality_comparator(8);
+    std::vector<std::uint64_t> words(16, 0);
+    // slot 0: equal values; slot 1: differ in one bit.
+    const unsigned value = 0b10110101;
+    for (int i = 0; i < 8; ++i) {
+        const std::uint64_t bit = (value >> i) & 1;
+        words[i] |= bit << 0 | bit << 1;
+        words[8 + i] |= bit << 0 | (i == 3 ? (bit ^ 1) : bit) << 1;
+    }
+    EXPECT_EQ(output_bits(c, words, 0), 1u);
+    EXPECT_EQ(output_bits(c, words, 1), 0u);
+}
+
+TEST(GenParity, ComputesParity) {
+    const Circuit c = gen::parity_tree(16);
+    std::vector<std::uint64_t> words(16, 0);
+    // slot 0: three ones (odd); slot 1: four ones (even).
+    for (int i : {1, 5, 9}) words[i] |= 1ull << 0;
+    for (int i : {0, 3, 7, 12}) words[i] |= 1ull << 1;
+    EXPECT_EQ(output_bits(c, words, 0), 1u);
+    EXPECT_EQ(output_bits(c, words, 1), 0u);
+}
+
+TEST(GenDecoder, OneHotOutputs) {
+    const Circuit c = gen::decoder(3);
+    ASSERT_EQ(c.output_count(), 8u);
+    std::vector<std::uint64_t> words(4, 0);
+    // slot 0: select 5 with enable; slot 1: select 5 without enable.
+    words[0] |= 1ull << 0;  // s0 = 1
+    words[2] |= 1ull << 0;  // s2 = 1 -> k = 0b101 = 5
+    words[0] |= 1ull << 1;
+    words[2] |= 1ull << 1;
+    words[3] |= 1ull << 0;  // enable only in slot 0
+    EXPECT_EQ(output_bits(c, words, 0), 1u << 5);
+    EXPECT_EQ(output_bits(c, words, 1), 0u);
+}
+
+TEST(GenChains, StructureAndFunction) {
+    const Circuit c = gen::and_chain(10);
+    EXPECT_EQ(c.gate_count(), 10u);
+    EXPECT_EQ(c.depth(), 10);
+    EXPECT_TRUE(is_fanout_free(c));
+    // All-ones input -> 1; any zero -> 0.
+    std::vector<std::uint64_t> words(11, ~std::uint64_t{0});
+    EXPECT_EQ(output_bits(c, words, 0), 1u);
+    words[5] = 0;
+    EXPECT_EQ(output_bits(c, words, 0), 0u);
+}
+
+TEST(GenChains, AndOrChainAlternates) {
+    const Circuit c = gen::and_or_chain(8, 2);
+    int ands = 0;
+    int ors = 0;
+    for (NodeId v : c.all_nodes()) {
+        if (c.type(v) == GateType::And) ++ands;
+        if (c.type(v) == GateType::Or) ++ors;
+    }
+    EXPECT_EQ(ands + ors, 8);
+    EXPECT_GT(ands, 0);
+    EXPECT_GT(ors, 0);
+}
+
+TEST(GenChains, ChainedLanesIsSingleTree) {
+    const Circuit c = gen::chained_lanes(4, 6);
+    EXPECT_TRUE(is_fanout_free(c));
+    EXPECT_EQ(c.output_count(), 1u);
+}
+
+TEST(GenRandomTree, IsFanoutFreeSingleOutput) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        gen::RandomTreeOptions options;
+        options.gates = 30;
+        options.seed = seed;
+        const Circuit c = gen::random_tree(options);
+        EXPECT_TRUE(is_fanout_free(c)) << "seed " << seed;
+        EXPECT_EQ(c.output_count(), 1u);
+        EXPECT_GE(c.gate_count(), 30u);
+        EXPECT_NO_THROW(c.validate());
+    }
+}
+
+TEST(GenRandomTree, DeterministicPerSeed) {
+    gen::RandomTreeOptions options;
+    options.gates = 20;
+    options.seed = 9;
+    const Circuit a = gen::random_tree(options);
+    const Circuit b = gen::random_tree(options);
+    EXPECT_EQ(a.node_count(), b.node_count());
+    for (NodeId v : a.all_nodes()) EXPECT_EQ(a.type(v), b.type(v));
+}
+
+TEST(GenRandomDag, HasReconvergenceAndValidOutputs) {
+    gen::RandomDagOptions options;
+    options.gates = 200;
+    options.inputs = 16;
+    options.seed = 4;
+    const Circuit c = gen::random_dag(options);
+    EXPECT_FALSE(is_fanout_free(c));  // reconvergent by construction
+    EXPECT_GT(c.output_count(), 0u);
+    // Every non-output node has at least one consumer.
+    for (NodeId v : c.all_nodes())
+        if (!c.is_output(v)) {
+            EXPECT_GT(c.fanout_count(v), 0u);
+        }
+}
+
+TEST(GenSuite, AllEntriesBuildAndValidate) {
+    for (const auto& entry : gen::benchmark_suite()) {
+        const Circuit c = entry.build();
+        EXPECT_NO_THROW(c.validate()) << entry.name;
+        EXPECT_GT(c.gate_count(), 0u) << entry.name;
+        EXPECT_GT(c.output_count(), 0u) << entry.name;
+        EXPECT_EQ(c.name().empty(), false) << entry.name;
+    }
+}
+
+TEST(GenSuite, LookupByName) {
+    EXPECT_EQ(gen::suite_entry("mul8").name, "mul8");
+    EXPECT_THROW(gen::suite_entry("nope"), tpi::Error);
+    EXPECT_FALSE(gen::small_suite().empty());
+}
+
+TEST(GenGuards, RejectBadParameters) {
+    EXPECT_THROW(gen::ripple_carry_adder(0), tpi::Error);
+    EXPECT_THROW(gen::array_multiplier(1), tpi::Error);
+    EXPECT_THROW(gen::equality_comparator(1), tpi::Error);
+    EXPECT_THROW(gen::parity_tree(1), tpi::Error);
+    EXPECT_THROW(gen::decoder(1), tpi::Error);
+    EXPECT_THROW(gen::decoder(13), tpi::Error);
+    EXPECT_THROW(gen::and_chain(0), tpi::Error);
+    EXPECT_THROW(gen::chained_lanes(1, 4), tpi::Error);
+}
+
+}  // namespace

@@ -1,0 +1,198 @@
+// Cross-module integration tests: estimator calibration against real
+// fault simulation, full TPI flows on suite circuits, and the evolving
+// multi-round planner behaviour.
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_sim.hpp"
+#include "gen/arith.hpp"
+#include "gen/benchmarks.hpp"
+#include "gen/chains.hpp"
+#include "gen/random_circuits.hpp"
+#include "netlist/analysis.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/transform.hpp"
+#include "sim/logic_sim.hpp"
+#include "testability/cop.hpp"
+#include "testability/detect.hpp"
+#include "tpi/evaluate.hpp"
+#include "tpi/planners.hpp"
+
+namespace {
+
+using namespace tpi;
+using namespace tpi::netlist;
+
+TEST(Calibration, EstimatedCoverageTracksSimulationOnTrees) {
+    // On fanout-free circuits COP is exact, so the estimated coverage must
+    // match fault simulation closely.
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        gen::RandomTreeOptions options;
+        options.gates = 60;
+        options.seed = seed;
+        const Circuit c = gen::random_tree(options);
+        ASSERT_TRUE(is_fanout_free(c));
+
+        const auto faults = fault::collapse_faults(c);
+        const auto cop = testability::compute_cop(c);
+        const auto p = testability::detection_probabilities(c, faults, cop);
+        const double estimated =
+            testability::estimated_coverage(p, faults.class_size, 4096);
+        const auto sim = fault::random_pattern_coverage(c, 4096, seed);
+        EXPECT_NEAR(estimated, sim.coverage, 0.05) << "seed " << seed;
+    }
+}
+
+TEST(Calibration, EstimatorIsInformativeOnReconvergentCircuits) {
+    // Under reconvergence COP is a heuristic; it must still separate the
+    // easy suite circuits from the hard ones.
+    const auto estimate = [](const Circuit& c) {
+        const auto faults = fault::collapse_faults(c);
+        const auto cop = testability::compute_cop(c);
+        const auto p = testability::detection_probabilities(c, faults, cop);
+        return testability::estimated_coverage(p, faults.class_size, 32768);
+    };
+    const double easy = estimate(gen::parity_tree(64));
+    const double hard = estimate(gen::equality_comparator(32));
+    EXPECT_GT(easy, 0.99);
+    EXPECT_LT(hard, 0.2);
+}
+
+TEST(FullFlow, ComparatorReachesFullCoverageWithFewPoints) {
+    // The flagship scenario: a 32-bit comparator goes from ~1% to 100%
+    // fault coverage with a handful of DP-placed observation points.
+    const Circuit circuit = gen::equality_comparator(32);
+    DpPlanner planner;
+    PlannerOptions options;
+    options.budget = 8;
+    options.objective.num_patterns = 32768;
+    const Plan plan = planner.plan(circuit, options);
+    const auto dft = apply_test_points(circuit, plan.points);
+    const auto after = fault::random_pattern_coverage(dft.circuit, 32768, 1);
+    EXPECT_DOUBLE_EQ(after.coverage, 1.0);
+    EXPECT_LE(plan.points.size(), 8u);
+}
+
+TEST(FullFlow, MultiplierHardFaultsFixed) {
+    const Circuit circuit = gen::array_multiplier(8);
+    const auto before = fault::random_pattern_coverage(circuit, 16384, 2);
+    DpPlanner planner;
+    PlannerOptions options;
+    options.budget = 10;
+    options.objective.num_patterns = 16384;
+    const Plan plan = planner.plan(circuit, options);
+    const auto dft = apply_test_points(circuit, plan.points);
+    const auto after =
+        fault::random_pattern_coverage(dft.circuit, 16384, 2);
+    EXPECT_GE(after.coverage, before.coverage);
+    EXPECT_GT(after.coverage, 0.995);
+}
+
+TEST(FullFlow, ControlPointsRequiredWhenObservationIsNotEnough) {
+    // In a deep AND chain the last gate's sa0 fault needs *excitation*
+    // (all inputs 1), which observation points cannot provide. The joint
+    // planner must therefore beat the observation-only planner.
+    const Circuit circuit = gen::and_chain(28);
+    PlannerOptions options;
+    options.budget = 6;
+    options.objective.num_patterns = 8192;
+
+    DpPlanner planner;
+    PlannerOptions obs_only = options;
+    obs_only.control_kinds.clear();
+    const Plan joint_plan = planner.plan(circuit, options);
+    const Plan obs_plan = planner.plan(circuit, obs_only);
+
+    const auto coverage = [&](const Plan& plan) {
+        const auto dft = apply_test_points(circuit, plan.points);
+        return fault::random_pattern_coverage(dft.circuit, 8192, 4)
+            .coverage;
+    };
+    EXPECT_GT(coverage(joint_plan), coverage(obs_plan));
+    const bool has_control = std::any_of(
+        joint_plan.points.begin(), joint_plan.points.end(),
+        [](const TestPoint& tp) { return is_control(tp.kind); });
+    EXPECT_TRUE(has_control);
+}
+
+TEST(FullFlow, TransformedCircuitKeepsFunctionalBehaviour) {
+    // BIST hardware must not change the functional outputs when control
+    // inputs are held at their non-controlling values.
+    const Circuit circuit = gen::ripple_carry_adder(8);
+    DpPlanner planner;
+    PlannerOptions options;
+    options.budget = 5;
+    const Plan plan = planner.plan(circuit, options);
+    const auto dft = apply_test_points(circuit, plan.points);
+
+    sim::LogicSimulator sim_orig(circuit);
+    sim::LogicSimulator sim_dft(dft.circuit);
+    sim::RandomPatternSource source(6);
+    std::vector<std::uint64_t> words(circuit.input_count());
+    source.next_block(words);
+    sim_orig.simulate_block(words);
+
+    std::vector<std::uint64_t> dft_words(dft.circuit.input_count(), 0);
+    for (std::size_t i = 0; i < circuit.input_count(); ++i)
+        dft_words[i] = words[i];  // original inputs come first (topo copy)
+    for (std::size_t k = 0; k < dft.control_inputs.size(); ++k) {
+        const auto& inputs = dft.circuit.inputs();
+        const auto it = std::find(inputs.begin(), inputs.end(),
+                                  dft.control_inputs[k]);
+        ASSERT_NE(it, inputs.end());
+        dft_words[static_cast<std::size_t>(it - inputs.begin())] =
+            dft.control_points[k].kind == TpKind::ControlAnd
+                ? ~std::uint64_t{0}
+                : 0;
+    }
+    sim_dft.simulate_block(dft_words);
+    for (NodeId po : circuit.outputs())
+        EXPECT_EQ(sim_orig.value(po), sim_dft.value(dft.driver_map[po.v]));
+}
+
+TEST(MultiRound, MoreRoundsNeverBreakTheBudget) {
+    const Circuit circuit = gen::suite_entry("lanes8x12").build();
+    DpPlanner planner;
+    for (int rounds : {1, 2, 4, 8}) {
+        PlannerOptions options;
+        options.budget = 6;
+        options.dp_rounds = rounds;
+        const Plan plan = planner.plan(circuit, options);
+        EXPECT_LE(plan.total_cost(options.cost), 6) << rounds;
+    }
+}
+
+TEST(MultiRound, RecomputationHelpsOrMatchesSingleShot) {
+    // Multi-round planning sees the effect of earlier points; it should
+    // never be substantially worse than a single-shot allocation.
+    const Circuit circuit = gen::equality_comparator(24);
+    DpPlanner planner;
+    PlannerOptions one_shot;
+    one_shot.budget = 6;
+    one_shot.dp_rounds = 1;
+    PlannerOptions multi = one_shot;
+    multi.dp_rounds = 4;
+    const double s1 = planner.plan(circuit, one_shot).predicted_score;
+    const double s4 = planner.plan(circuit, multi).predicted_score;
+    EXPECT_GE(s4, 0.95 * s1);
+}
+
+TEST(BenchFiles, Iscas85StyleFileRoundTripsThroughTpiFlow) {
+    // Write a suite circuit to .bench, read it back, and run the planner
+    // on the reparsed netlist — the drop-in path for real ISCAS files.
+    const Circuit original = gen::suite_entry("lanes8x12").build();
+    const Circuit reparsed = netlist::read_bench_string(
+        netlist::write_bench_string(original), "reparsed");
+    DpPlanner planner;
+    PlannerOptions options;
+    options.budget = 4;
+    const Plan plan = planner.plan(reparsed, options);
+    EXPECT_FALSE(plan.points.empty());
+    const auto dft = apply_test_points(reparsed, plan.points);
+    const auto before = fault::random_pattern_coverage(reparsed, 4096, 8);
+    const auto after =
+        fault::random_pattern_coverage(dft.circuit, 4096, 8);
+    EXPECT_GT(after.coverage, before.coverage);
+}
+
+}  // namespace

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "fault/fault.hpp"
+#include "gen/chains.hpp"
+#include "netlist/circuit.hpp"
+#include "testability/cop.hpp"
+#include "testability/profile.hpp"
+
+namespace {
+
+using namespace tpi;
+using namespace tpi::netlist;
+
+const testability::PropagationProfile::Entry* find_entry(
+    const std::vector<testability::PropagationProfile::Entry>& row,
+    NodeId node) {
+    const auto it = std::find_if(
+        row.begin(), row.end(),
+        [&](const auto& entry) { return entry.node == node; });
+    return it == row.end() ? nullptr : &*it;
+}
+
+TEST(Profile, ArrivalDecaysAlongAndChain) {
+    const Circuit c = gen::and_chain(8);
+    const auto faults = fault::collapse_faults(c);
+    const auto cop = testability::compute_cop(c);
+    const auto profile = testability::compute_profile(c, cop, faults);
+
+    // Track x0/sa1 (excitation 1/2) through the chain gates c1..c8.
+    const NodeId x0 = c.find("x0");
+    const auto cls = faults.class_index({x0, true});
+    ASSERT_GE(cls, 0);
+    const auto& row = profile.rows[static_cast<std::size_t>(cls)];
+
+    const auto* at_site = find_entry(row, x0);
+    ASSERT_NE(at_site, nullptr);
+    EXPECT_DOUBLE_EQ(at_site->probability, 0.5);
+    for (int i = 1; i <= 8; ++i) {
+        const NodeId gate = c.find("c" + std::to_string(i));
+        const auto* entry = find_entry(row, gate);
+        ASSERT_NE(entry, nullptr) << "c" << i;
+        EXPECT_DOUBLE_EQ(entry->probability, 0.5 * std::exp2(-i));
+    }
+}
+
+TEST(Profile, EntriesRestrictedToFanoutCone) {
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId b = c.add_input("b");
+    const NodeId g = c.add_gate(GateType::And, {a, b}, "g");
+    const NodeId h = c.add_gate(GateType::Not, {b}, "h");
+    c.mark_output(g);
+    c.mark_output(h);
+    const auto faults = fault::collapse_faults(c);
+    const auto cop = testability::compute_cop(c);
+    const auto profile = testability::compute_profile(c, cop, faults);
+    const auto cls = faults.class_index({a, true});
+    ASSERT_GE(cls, 0);
+    const auto& row = profile.rows[static_cast<std::size_t>(cls)];
+    EXPECT_EQ(find_entry(row, h), nullptr);  // h is not in a's cone
+    EXPECT_NE(find_entry(row, g), nullptr);
+}
+
+TEST(Profile, MinProbabilityPrunes) {
+    const Circuit c = gen::and_chain(20);
+    const auto faults = fault::collapse_faults(c);
+    const auto cop = testability::compute_cop(c);
+    const auto strict =
+        testability::compute_profile(c, cop, faults, /*min=*/0.01);
+    const auto loose =
+        testability::compute_profile(c, cop, faults, /*min=*/1e-12);
+    std::size_t strict_total = 0;
+    std::size_t loose_total = 0;
+    for (const auto& row : strict.rows) strict_total += row.size();
+    for (const auto& row : loose.rows) loose_total += row.size();
+    EXPECT_LT(strict_total, loose_total);
+    for (const auto& row : strict.rows)
+        for (const auto& entry : row) EXPECT_GE(entry.probability, 0.01);
+}
+
+TEST(Profile, RowsSortedByNodeId) {
+    const Circuit c = gen::and_or_chain(12, 3);
+    const auto faults = fault::collapse_faults(c);
+    const auto cop = testability::compute_cop(c);
+    const auto profile = testability::compute_profile(c, cop, faults);
+    for (const auto& row : profile.rows)
+        for (std::size_t i = 1; i < row.size(); ++i)
+            EXPECT_LT(row[i - 1].node.v, row[i].node.v);
+}
+
+}  // namespace

@@ -1,0 +1,197 @@
+// Cross-cutting invariants checked over randomised inputs: properties
+// that must hold regardless of circuit shape, seed, or parameters.
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_sim.hpp"
+#include "gen/benchmarks.hpp"
+#include "gen/random_circuits.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/transform.hpp"
+#include "netlist/verilog_io.hpp"
+#include "testability/cop.hpp"
+#include "testability/detect.hpp"
+#include "testability/scoap.hpp"
+#include "tpi/evaluate.hpp"
+#include "tpi/planners.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tpi;
+using namespace tpi::netlist;
+
+class RandomDagProperty : public ::testing::TestWithParam<std::uint64_t> {
+protected:
+    Circuit make_circuit() const {
+        gen::RandomDagOptions options;
+        options.gates = 150;
+        options.inputs = 16;
+        options.seed = GetParam();
+        return gen::random_dag(options);
+    }
+};
+
+TEST_P(RandomDagProperty, CopMeasuresAreProbabilities) {
+    const Circuit c = make_circuit();
+    const auto cop = testability::compute_cop(c);
+    for (NodeId v : c.all_nodes()) {
+        EXPECT_GE(cop.c1[v.v], 0.0);
+        EXPECT_LE(cop.c1[v.v], 1.0);
+        EXPECT_GE(cop.obs[v.v], 0.0);
+        EXPECT_LE(cop.obs[v.v], 1.0);
+    }
+    for (NodeId po : c.outputs()) EXPECT_DOUBLE_EQ(cop.obs[po.v], 1.0);
+}
+
+TEST_P(RandomDagProperty, ScoapAndCopAgreeOnImpossibility) {
+    // SCOAP infinity and COP zero must identify the same pathologies on
+    // nets (both derive them from the same structure).
+    const Circuit c = make_circuit();
+    const auto cop = testability::compute_cop(c);
+    const auto scoap = testability::compute_scoap(c);
+    for (NodeId v : c.all_nodes()) {
+        if (scoap.co[v.v] == testability::ScoapResult::kInfinity) {
+            EXPECT_DOUBLE_EQ(cop.obs[v.v], 0.0) << c.node_name(v);
+        }
+        if (cop.obs[v.v] == 0.0 && c.fanout_count(v) == 0 &&
+            !c.is_output(v)) {
+            EXPECT_EQ(scoap.co[v.v], testability::ScoapResult::kInfinity);
+        }
+    }
+}
+
+TEST_P(RandomDagProperty, ObservationPointNeverReducesAnyDetectionProbability) {
+    const Circuit c = make_circuit();
+    const auto faults = fault::singleton_faults(c);
+    Objective objective;
+    const auto base = evaluate_plan(c, faults, {}, objective);
+
+    util::Rng rng(GetParam() * 17 + 1);
+    const NodeId target{
+        static_cast<std::uint32_t>(rng.below(c.node_count()))};
+    const std::vector<TestPoint> points{{target, TpKind::Observe}};
+    const auto with_op = evaluate_plan(c, faults, points, objective);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        EXPECT_GE(with_op.detection_probability[i],
+                  base.detection_probability[i] - 1e-12)
+            << fault::fault_name(c, faults.representatives[i]);
+    }
+}
+
+TEST_P(RandomDagProperty, ObservationPointImprovesMeasuredCoverageMonotonically) {
+    // Fault-simulated detection sets grow when a net becomes observable:
+    // every fault detected before must still be detected (same stimulus).
+    const Circuit c = make_circuit();
+    const auto faults = fault::collapse_faults(c);
+    fault::FaultSimOptions options;
+    options.max_patterns = 1024;
+    options.stop_at_full_coverage = false;
+    sim::RandomPatternSource s1(5);
+    const auto before = fault::run_fault_simulation(c, faults, s1, options);
+
+    util::Rng rng(GetParam() * 31 + 7);
+    const NodeId target{
+        static_cast<std::uint32_t>(rng.below(c.node_count()))};
+    const auto dft = apply_test_points(
+        c, std::vector<TestPoint>{{target, TpKind::Observe}});
+    fault::CollapsedFaults mapped = faults;
+    for (auto& rep : mapped.representatives)
+        rep.node = dft.node_map[rep.node.v];
+    sim::RandomPatternSource s2(5);
+    const auto after =
+        fault::run_fault_simulation(dft.circuit, mapped, s2, options);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        if (before.detect_pattern[i] >= 0) {
+            ASSERT_GE(after.detect_pattern[i], 0);
+            EXPECT_LE(after.detect_pattern[i], before.detect_pattern[i]);
+        }
+    }
+}
+
+TEST_P(RandomDagProperty, DpPlannerScoreMonotoneInBudget) {
+    const Circuit c = make_circuit();
+    DpPlanner planner;
+    double previous = -1.0;
+    for (int budget : {0, 2, 4, 8}) {
+        PlannerOptions options;
+        options.budget = budget;
+        options.objective.num_patterns = 2048;
+        const Plan plan = planner.plan(c, options);
+        EXPECT_GE(plan.predicted_score, previous - 1e-9)
+            << "budget " << budget;
+        previous = plan.predicted_score;
+    }
+}
+
+TEST_P(RandomDagProperty, FormatsRoundTripFunctionally) {
+    // bench and verilog round trips preserve the fault-coverage figure —
+    // a deep functional check through two parsers and two writers.
+    const Circuit c = make_circuit();
+    const Circuit via_bench =
+        read_bench_string(write_bench_string(c), "rt");
+    const Circuit via_verilog =
+        read_verilog_string(write_verilog_string(c));
+    const double cov0 =
+        fault::random_pattern_coverage(c, 1024, 3).coverage;
+    EXPECT_DOUBLE_EQ(
+        cov0, fault::random_pattern_coverage(via_bench, 1024, 3).coverage);
+    EXPECT_DOUBLE_EQ(
+        cov0,
+        fault::random_pattern_coverage(via_verilog, 1024, 3).coverage);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagProperty,
+                         ::testing::Values(101u, 102u, 103u, 104u));
+
+// ------------------------------------------------- parser robustness ----
+
+class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzz, GarbageNeverCrashesOnlyThrows) {
+    util::Rng rng(GetParam());
+    const char alphabet[] =
+        "abcXYZ019 _(),;=#/*\\\n\tINPUTOUTPUTANDmodulewireassign'";
+    for (int trial = 0; trial < 200; ++trial) {
+        std::string text;
+        const std::size_t length = rng.below(160);
+        for (std::size_t i = 0; i < length; ++i)
+            text += alphabet[rng.below(sizeof(alphabet) - 1)];
+        // Must either parse into a valid circuit or throw tpi::Error —
+        // never crash, never return an invalid netlist.
+        try {
+            const Circuit c = read_bench_string(text);
+            c.validate();
+        } catch (const tpi::Error&) {
+        }
+        try {
+            const Circuit c = read_verilog_string(text);
+            c.validate();
+        } catch (const tpi::Error&) {
+        }
+    }
+}
+
+TEST_P(ParserFuzz, MutatedValidBenchNeverCrashes) {
+    // Start from a valid netlist, flip random characters.
+    const std::string base = write_bench_string(gen::c17());
+    util::Rng rng(GetParam() + 77);
+    const char alphabet[] = "abz01(),=# \n";
+    for (int trial = 0; trial < 200; ++trial) {
+        std::string text = base;
+        const int mutations = 1 + static_cast<int>(rng.below(5));
+        for (int m = 0; m < mutations; ++m)
+            text[rng.below(text.size())] =
+                alphabet[rng.below(sizeof(alphabet) - 1)];
+        try {
+            const Circuit c = read_bench_string(text);
+            c.validate();
+        } catch (const tpi::Error&) {
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Values(1u, 2u, 3u));
+
+}  // namespace

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "gen/chains.hpp"
+#include "gen/arith.hpp"
+#include "netlist/circuit.hpp"
+#include "testability/scoap.hpp"
+
+namespace {
+
+using namespace tpi;
+using namespace tpi::netlist;
+using testability::ScoapResult;
+
+TEST(Scoap, PrimaryInputsCostOne) {
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    c.mark_output(a);
+    const ScoapResult s = testability::compute_scoap(c);
+    EXPECT_EQ(s.cc0[a.v], 1u);
+    EXPECT_EQ(s.cc1[a.v], 1u);
+    EXPECT_EQ(s.co[a.v], 0u);
+}
+
+TEST(Scoap, AndGateRules) {
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId b = c.add_input("b");
+    const NodeId g = c.add_gate(GateType::And, {a, b}, "g");
+    c.mark_output(g);
+    const ScoapResult s = testability::compute_scoap(c);
+    EXPECT_EQ(s.cc1[g.v], 3u);  // both inputs to 1, +1
+    EXPECT_EQ(s.cc0[g.v], 2u);  // one input to 0, +1
+    // Observing a requires b = 1: co(g)=0 + cc1(b)=1 + 1 = 2.
+    EXPECT_EQ(s.co[a.v], 2u);
+}
+
+TEST(Scoap, OrNorNandInversions) {
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId b = c.add_input("b");
+    const NodeId o = c.add_gate(GateType::Or, {a, b}, "o");
+    const NodeId no = c.add_gate(GateType::Nor, {a, b}, "no");
+    const NodeId na = c.add_gate(GateType::Nand, {a, b}, "na");
+    for (NodeId v : {o, no, na}) c.mark_output(v);
+    const ScoapResult s = testability::compute_scoap(c);
+    EXPECT_EQ(s.cc0[o.v], 3u);
+    EXPECT_EQ(s.cc1[o.v], 2u);
+    EXPECT_EQ(s.cc1[no.v], 3u);
+    EXPECT_EQ(s.cc0[no.v], 2u);
+    EXPECT_EQ(s.cc0[na.v], 3u);
+    EXPECT_EQ(s.cc1[na.v], 2u);
+}
+
+TEST(Scoap, XorRules) {
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId b = c.add_input("b");
+    const NodeId x = c.add_gate(GateType::Xor, {a, b}, "x");
+    c.mark_output(x);
+    const ScoapResult s = testability::compute_scoap(c);
+    EXPECT_EQ(s.cc1[x.v], 3u);  // one input 0, other 1, +1
+    EXPECT_EQ(s.cc0[x.v], 3u);  // equal inputs, +1
+    // Observing a through XOR: side input at its cheaper value.
+    EXPECT_EQ(s.co[a.v], 2u);
+}
+
+TEST(Scoap, NotBufChain) {
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId g = c.add_gate(GateType::Not, {a}, "g");
+    const NodeId h = c.add_gate(GateType::Buf, {g}, "h");
+    c.mark_output(h);
+    const ScoapResult s = testability::compute_scoap(c);
+    EXPECT_EQ(s.cc0[g.v], 2u);  // a to 1, +1
+    EXPECT_EQ(s.cc1[h.v], 3u);  // a to 0, +1 (NOT), +1 (BUF)
+    EXPECT_EQ(s.co[a.v], 2u);   // two levels of inversion/buffer
+}
+
+TEST(Scoap, TieCellsAreHalfControllable) {
+    Circuit c;
+    const NodeId z = c.add_const(false, "z");
+    const NodeId a = c.add_input("a");
+    const NodeId g = c.add_gate(GateType::And, {z, a}, "g");
+    c.mark_output(g);
+    const ScoapResult s = testability::compute_scoap(c);
+    EXPECT_EQ(s.cc0[z.v], 1u);
+    EXPECT_EQ(s.cc1[z.v], ScoapResult::kInfinity);
+    // g can never be 1.
+    EXPECT_EQ(s.cc1[g.v], ScoapResult::kInfinity);
+    // a is unobservable through the blocked AND.
+    EXPECT_EQ(s.co[a.v], ScoapResult::kInfinity);
+}
+
+TEST(Scoap, ChainEffortGrowsLinearly) {
+    // In a deep AND chain, SCOAP cc1 grows by ~2 per stage (side input to
+    // 1, plus the level) while COP decays exponentially — the well-known
+    // difference in how the two measures express the same hardness.
+    const Circuit c = tpi::gen::and_chain(20);
+    const ScoapResult s = testability::compute_scoap(c);
+    const NodeId c5 = c.find("c5");
+    const NodeId c10 = c.find("c10");
+    const NodeId c20 = c.find("c20");
+    EXPECT_LT(s.cc1[c5.v], s.cc1[c10.v]);
+    EXPECT_LT(s.cc1[c10.v], s.cc1[c20.v]);
+    EXPECT_EQ(s.cc1[c20.v], 2u * 20u + 1u);  // 21 PIs + 20 levels
+}
+
+TEST(Scoap, StemObservabilityTakesCheapestBranch) {
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId b = c.add_input("b");
+    const NodeId cheap = c.add_gate(GateType::Xor, {a, b}, "cheap");
+    const NodeId pricey = c.add_gate(GateType::And, {a, b}, "pricey");
+    c.mark_output(cheap);
+    c.mark_output(pricey);
+    const ScoapResult s = testability::compute_scoap(c);
+    // Through XOR: 0 + min(1,1) + 1 = 2; through AND: 0 + 1 + 1 = 2.
+    EXPECT_EQ(s.co[a.v], 2u);
+}
+
+TEST(Scoap, FaultEffortIsFlatAlongUniformChain) {
+    // A signature property of SCOAP: along a uniform AND chain the sa0
+    // excitation effort grows by exactly as much per stage as the
+    // observation effort shrinks, so the total stays constant — the
+    // additive scale hides where the bottleneck sits, which is why the
+    // planner uses the probabilistic COP measure instead.
+    const Circuit c = tpi::gen::and_chain(8);
+    const ScoapResult s = testability::compute_scoap(c);
+    const NodeId mid = c.find("c4");
+    const NodeId last = c.find("c8");
+    EXPECT_EQ(s.fault_effort(last, false), s.fault_effort(mid, false));
+    EXPECT_EQ(s.fault_effort(last, false),
+              s.cc1[last.v] + s.co[last.v]);
+    EXPECT_EQ(s.fault_effort(last, false), 2u * 8u + 1u);
+}
+
+TEST(Scoap, SaturatingAdd) {
+    EXPECT_EQ(ScoapResult::saturating_add(1, 2), 3u);
+    EXPECT_EQ(ScoapResult::saturating_add(ScoapResult::kInfinity, 5),
+              ScoapResult::kInfinity);
+}
+
+TEST(Scoap, AgreesWithCopOnHardestFaultRanking) {
+    // The two measures must agree on which end of an AND/OR chain is
+    // harder, even though their scales are incomparable.
+    const Circuit c = tpi::gen::and_or_chain(16, 4);
+    const ScoapResult s = testability::compute_scoap(c);
+    const NodeId early = c.find("c2");
+    const NodeId late = c.find("c14");
+    EXPECT_LT(s.co[late.v], s.co[early.v]);  // late nets sit near the PO
+}
+
+}  // namespace

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "gen/random_circuits.hpp"
+#include "netlist/circuit.hpp"
+#include "sim/logic_sim.hpp"
+#include "sim/pattern.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace tpi;
+using namespace tpi::netlist;
+
+/// Reference evaluation of one scalar pattern via eval_bool.
+std::vector<bool> reference_eval(const Circuit& c,
+                                 const std::vector<bool>& pi_values) {
+    std::vector<bool> value(c.node_count(), false);
+    const auto& inputs = c.inputs();
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+        value[inputs[i].v] = pi_values[i];
+    for (NodeId v : c.topo_order()) {
+        const GateType t = c.type(v);
+        if (t == GateType::Input) continue;
+        bool ins[32];
+        const auto fanins = c.fanins(v);
+        EXPECT_LE(fanins.size(), 32u);
+        for (std::size_t i = 0; i < fanins.size(); ++i)
+            ins[i] = value[fanins[i].v];
+        value[v.v] = eval_bool(t, {ins, fanins.size()});
+    }
+    return value;
+}
+
+class SimCrossCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimCrossCheck, WordSimMatchesScalarReference) {
+    gen::RandomDagOptions options;
+    options.gates = 120;
+    options.inputs = 8;
+    options.seed = GetParam();
+    const Circuit c = gen::random_dag(options);
+
+    sim::LogicSimulator simulator(c);
+    sim::CounterPatternSource source;
+    std::vector<std::uint64_t> words(c.input_count());
+    source.next_block(words);
+    simulator.simulate_block(words);
+
+    // All 2^8 exhaustive patterns fit in four blocks; check the first 64.
+    for (unsigned pattern = 0; pattern < 64; ++pattern) {
+        std::vector<bool> pi(c.input_count());
+        for (std::size_t i = 0; i < pi.size(); ++i)
+            pi[i] = ((pattern >> i) & 1) != 0;
+        const std::vector<bool> expect = reference_eval(c, pi);
+        for (NodeId v : c.all_nodes()) {
+            EXPECT_EQ((simulator.value(v) >> pattern) & 1,
+                      expect[v.v] ? 1u : 0u)
+                << "node " << c.node_name(v) << " pattern " << pattern;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimCrossCheck,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(LogicSim, ConstantsHoldTheirValue) {
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId zero = c.add_const(false, "z");
+    const NodeId one = c.add_const(true, "o");
+    const NodeId g = c.add_gate(GateType::And, {a, one}, "g");
+    const NodeId h = c.add_gate(GateType::Or, {a, zero}, "h");
+    c.mark_output(g);
+    c.mark_output(h);
+    sim::LogicSimulator simulator(c);
+    const std::uint64_t word = 0xDEADBEEFCAFEF00Dull;
+    simulator.simulate_block(std::vector<std::uint64_t>{word});
+    EXPECT_EQ(simulator.value(zero), 0u);
+    EXPECT_EQ(simulator.value(one), ~std::uint64_t{0});
+    EXPECT_EQ(simulator.value(g), word);
+    EXPECT_EQ(simulator.value(h), word);
+}
+
+TEST(LogicSim, WrongInputWordCountRejected) {
+    Circuit c;
+    c.add_input("a");
+    c.add_input("b");
+    sim::LogicSimulator simulator(c);
+    EXPECT_THROW(simulator.simulate_block(std::vector<std::uint64_t>{1}),
+                 tpi::Error);
+}
+
+TEST(PatternSources, RandomSourceIsDeterministicAndResets) {
+    sim::RandomPatternSource source(99);
+    std::vector<std::uint64_t> a(4), b(4);
+    source.next_block(a);
+    source.reset();
+    source.next_block(b);
+    EXPECT_EQ(a, b);
+}
+
+TEST(PatternSources, CounterEnumeratesBinary) {
+    sim::CounterPatternSource source;
+    std::vector<std::uint64_t> words(3);
+    source.next_block(words);
+    for (unsigned j = 0; j < 8; ++j) {
+        unsigned pattern = 0;
+        for (std::size_t i = 0; i < 3; ++i)
+            pattern |= ((words[i] >> j) & 1u) << i;
+        EXPECT_EQ(pattern, j);
+    }
+}
+
+TEST(PatternSources, LfsrSourceIsBalancedAndResets) {
+    sim::LfsrPatternSource source(24, 0xBEEF);
+    std::vector<std::uint64_t> words(6);
+    std::size_t ones = 0;
+    const int blocks = 64;
+    for (int b = 0; b < blocks; ++b) {
+        source.next_block(words);
+        for (std::uint64_t w : words) ones += std::popcount(w);
+    }
+    const double density =
+        static_cast<double>(ones) / (blocks * 64.0 * words.size());
+    EXPECT_NEAR(density, 0.5, 0.03);
+
+    source.reset();
+    std::vector<std::uint64_t> again(6);
+    source.next_block(again);
+    sim::LfsrPatternSource fresh(24, 0xBEEF);
+    std::vector<std::uint64_t> expect(6);
+    fresh.next_block(expect);
+    EXPECT_EQ(again, expect);
+}
+
+TEST(SignalProbability, MatchesAnalyticOnIndependentGate) {
+    // AND of two independent inputs: P(1) = 0.25.
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId b = c.add_input("b");
+    const NodeId g = c.add_gate(GateType::And, {a, b}, "g");
+    c.mark_output(g);
+    sim::RandomPatternSource source(5);
+    const std::vector<double> p =
+        sim::estimate_signal_probabilities(c, source, 1 << 16);
+    EXPECT_NEAR(p[a.v], 0.5, 0.02);
+    EXPECT_NEAR(p[g.v], 0.25, 0.02);
+}
+
+}  // namespace

@@ -1,0 +1,52 @@
+// End-to-end smoke test: generate a circuit, plan test points with every
+// planner, and check that coverage improves under actual fault simulation.
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_sim.hpp"
+#include "gen/benchmarks.hpp"
+#include "gen/chains.hpp"
+#include "netlist/transform.hpp"
+#include "tpi/planners.hpp"
+
+namespace {
+
+using namespace tpi;
+
+TEST(Smoke, DpPlannerImprovesChainCoverage) {
+    const netlist::Circuit circuit = gen::and_chain(24);
+    const fault::FaultSimResult before =
+        fault::random_pattern_coverage(circuit, 4096, 7);
+
+    DpPlanner planner;
+    PlannerOptions options;
+    options.budget = 6;
+    options.objective.num_patterns = 4096;
+    const Plan plan = planner.plan(circuit, options);
+    EXPECT_LE(plan.total_cost(options.cost), options.budget);
+    EXPECT_FALSE(plan.points.empty());
+
+    const netlist::TransformResult dft =
+        netlist::apply_test_points(circuit, plan.points);
+    const fault::FaultSimResult after =
+        fault::random_pattern_coverage(dft.circuit, 4096, 7);
+    EXPECT_GT(after.coverage, before.coverage);
+}
+
+TEST(Smoke, AllPlannersRunOnC17) {
+    const netlist::Circuit circuit = gen::c17();
+    PlannerOptions options;
+    options.budget = 2;
+    DpPlanner dp;
+    GreedyPlanner greedy;
+    RandomPlanner random;
+    ExhaustivePlanner exhaustive;
+    for (Planner* planner :
+         std::initializer_list<Planner*>{&dp, &greedy, &random, &exhaustive}) {
+        const Plan plan = planner->plan(circuit, options);
+        EXPECT_LE(plan.total_cost(options.cost), options.budget)
+            << planner->name();
+    }
+}
+
+}  // namespace

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "gen/benchmarks.hpp"
+#include "gen/arith.hpp"
+#include "netlist/analysis.hpp"
+#include "netlist/transform.hpp"
+#include "sim/logic_sim.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace tpi;
+using namespace tpi::netlist;
+
+/// Simulate both circuits over the same exhaustive patterns; the control
+/// inputs of `dft` are held at their functional (non-controlling) values.
+void expect_functionally_equal(const Circuit& original,
+                               const TransformResult& dft) {
+    ASSERT_LE(original.input_count(), 16u);
+    sim::LogicSimulator sim_orig(original);
+    sim::LogicSimulator sim_dft(dft.circuit);
+
+    const std::size_t patterns =
+        std::min<std::size_t>(64, std::size_t{1} << original.input_count());
+    std::vector<std::uint64_t> words_orig(original.input_count());
+    for (std::size_t i = 0; i < words_orig.size(); ++i) {
+        std::uint64_t w = 0;
+        for (std::size_t j = 0; j < patterns; ++j)
+            if ((j >> i) & 1) w |= std::uint64_t{1} << j;
+        words_orig[i] = w;
+    }
+
+    // Map original input words onto the transformed circuit's inputs; hold
+    // the test-control inputs at their non-controlling values.
+    std::vector<std::uint64_t> words_dft(dft.circuit.input_count(), 0);
+    for (std::size_t i = 0; i < original.input_count(); ++i) {
+        const NodeId mapped = dft.node_map[original.inputs()[i].v];
+        // Find mapped input's position in the new input list.
+        const auto& new_inputs = dft.circuit.inputs();
+        const auto it =
+            std::find(new_inputs.begin(), new_inputs.end(), mapped);
+        ASSERT_NE(it, new_inputs.end());
+        words_dft[static_cast<std::size_t>(it - new_inputs.begin())] =
+            words_orig[i];
+    }
+    for (std::size_t k = 0; k < dft.control_inputs.size(); ++k) {
+        const auto& new_inputs = dft.circuit.inputs();
+        const auto it = std::find(new_inputs.begin(), new_inputs.end(),
+                                  dft.control_inputs[k]);
+        ASSERT_NE(it, new_inputs.end());
+        const bool hold_one =
+            dft.control_points[k].kind == TpKind::ControlAnd;
+        words_dft[static_cast<std::size_t>(it - new_inputs.begin())] =
+            hold_one ? ~std::uint64_t{0} : 0;
+    }
+
+    sim_orig.simulate_block(words_orig);
+    sim_dft.simulate_block(words_dft);
+    const std::uint64_t mask = patterns == 64
+                                   ? ~std::uint64_t{0}
+                                   : (std::uint64_t{1} << patterns) - 1;
+    for (NodeId po : original.outputs()) {
+        const NodeId mapped = dft.driver_map[po.v];
+        EXPECT_EQ((sim_orig.value(po) & mask),
+                  (sim_dft.value(mapped) & mask));
+    }
+}
+
+TEST(Transform, ObservationPointAddsOutput) {
+    const Circuit c = gen::c17();
+    const NodeId target = c.find("10");
+    ASSERT_TRUE(target.valid());
+    const TransformResult dft =
+        apply_test_points(c, std::vector<TestPoint>{{target,
+                                                     TpKind::Observe}});
+    EXPECT_EQ(dft.circuit.output_count(), c.output_count() + 1);
+    EXPECT_EQ(dft.circuit.input_count(), c.input_count());
+    EXPECT_EQ(dft.observed_nets.size(), 1u);
+    EXPECT_TRUE(dft.circuit.is_output(dft.node_map[target.v]));
+    expect_functionally_equal(c, dft);
+}
+
+TEST(Transform, ControlPointsPreserveFunctionWhenDisabled) {
+    const Circuit c = gen::c17();
+    const NodeId n10 = c.find("10");
+    const NodeId n11 = c.find("11");
+    const NodeId n16 = c.find("16");
+    const std::vector<TestPoint> points{{n10, TpKind::ControlAnd},
+                                        {n11, TpKind::ControlOr},
+                                        {n16, TpKind::ControlXor}};
+    const TransformResult dft = apply_test_points(c, points);
+    EXPECT_EQ(dft.control_inputs.size(), 3u);
+    EXPECT_EQ(dft.circuit.input_count(), c.input_count() + 3);
+    expect_functionally_equal(c, dft);
+}
+
+TEST(Transform, ControlPointOverridesWhenEnabled) {
+    // CP-AND with control 0 forces the net (and here the PO) to 0.
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId g = c.add_gate(GateType::Buf, {a}, "g");
+    c.mark_output(g);
+    const TransformResult dft = apply_test_points(
+        c, std::vector<TestPoint>{{g, TpKind::ControlAnd}});
+    sim::LogicSimulator sim(dft.circuit);
+    // inputs: a, then g_tpctl.
+    sim.simulate_block(std::vector<std::uint64_t>{~std::uint64_t{0}, 0});
+    EXPECT_EQ(sim.value(dft.driver_map[g.v]), 0u);
+}
+
+TEST(Transform, ObserveAndControlOnSameNet) {
+    Circuit c;
+    const NodeId a = c.add_input("a");
+    const NodeId b = c.add_input("b");
+    const NodeId g = c.add_gate(GateType::And, {a, b}, "g");
+    const NodeId h = c.add_gate(GateType::Not, {g}, "h");
+    c.mark_output(h);
+    const std::vector<TestPoint> points{{g, TpKind::Observe},
+                                        {g, TpKind::ControlXor}};
+    const TransformResult dft = apply_test_points(c, points);
+    // The observation point observes the post-control net.
+    ASSERT_EQ(dft.observed_nets.size(), 1u);
+    EXPECT_EQ(dft.observed_nets[0], dft.driver_map[g.v]);
+    EXPECT_NE(dft.driver_map[g.v], dft.node_map[g.v]);
+    expect_functionally_equal(c, dft);
+}
+
+TEST(Transform, DuplicatePointsRejected) {
+    const Circuit c = gen::c17();
+    const NodeId n10 = c.find("10");
+    EXPECT_THROW(
+        apply_test_points(c, std::vector<TestPoint>{
+                                 {n10, TpKind::Observe},
+                                 {n10, TpKind::Observe}}),
+        tpi::Error);
+    EXPECT_THROW(
+        apply_test_points(c, std::vector<TestPoint>{
+                                 {n10, TpKind::ControlAnd},
+                                 {n10, TpKind::ControlXor}}),
+        tpi::Error);
+}
+
+TEST(Transform, ObservingAPrimaryOutputIsANoop) {
+    const Circuit c = gen::c17();
+    const NodeId po = c.outputs()[0];
+    const TransformResult dft = apply_test_points(
+        c, std::vector<TestPoint>{{po, TpKind::Observe}});
+    EXPECT_EQ(dft.circuit.output_count(), c.output_count());
+}
+
+TEST(Transform, EmptyPointListCopiesCircuit) {
+    const Circuit c = gen::c17();
+    const TransformResult dft = apply_test_points(c, {});
+    EXPECT_EQ(dft.circuit.node_count(), c.node_count());
+    EXPECT_EQ(dft.circuit.output_count(), c.output_count());
+    expect_functionally_equal(c, dft);
+}
+
+TEST(Transform, KindNames) {
+    EXPECT_EQ(tp_kind_name(TpKind::Observe), "OP");
+    EXPECT_EQ(tp_kind_name(TpKind::ControlAnd), "CP-AND");
+    EXPECT_EQ(tp_kind_name(TpKind::ControlOr), "CP-OR");
+    EXPECT_EQ(tp_kind_name(TpKind::ControlXor), "CP-XOR");
+}
+
+// ------------------------------------------------------------ binarize ----
+
+TEST(Binarize, WideGatesBecomeTrees) {
+    Circuit c;
+    std::vector<NodeId> ins;
+    for (int i = 0; i < 7; ++i)
+        ins.push_back(c.add_input("i" + std::to_string(i)));
+    const NodeId g = c.add_gate(GateType::Nand, ins, "g");
+    c.mark_output(g);
+
+    const BinarizeResult bin = binarize(c);
+    for (NodeId v : bin.circuit.all_nodes())
+        EXPECT_LE(bin.circuit.fanins(v).size(), 2u);
+    // Final gate keeps the inversion.
+    EXPECT_EQ(bin.circuit.type(bin.node_map[g.v]), GateType::Nand);
+}
+
+class BinarizeEquivalence : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(BinarizeEquivalence, PreservesFunction) {
+    // Random DAG with some wide gates spliced in.
+    Circuit c;
+    std::vector<NodeId> pool;
+    util::Rng rng(GetParam());
+    for (int i = 0; i < 10; ++i)
+        pool.push_back(c.add_input("i" + std::to_string(i)));
+    for (int g = 0; g < 30; ++g) {
+        const std::size_t arity = 2 + rng.below(4);  // 2..5 inputs
+        std::vector<NodeId> fanins;
+        for (std::size_t k = 0; k < arity; ++k)
+            fanins.push_back(pool[rng.below(pool.size())]);
+        const GateType types[] = {GateType::And, GateType::Nand,
+                                  GateType::Or, GateType::Nor,
+                                  GateType::Xor, GateType::Xnor};
+        pool.push_back(c.add_gate(types[rng.below(6)], fanins));
+    }
+    c.mark_output(pool.back());
+    const BinarizeResult bin = binarize(c);
+
+    sim::LogicSimulator sim_a(c);
+    sim::LogicSimulator sim_b(bin.circuit);
+    sim::RandomPatternSource source(321);
+    std::vector<std::uint64_t> words(c.input_count());
+    for (int block = 0; block < 4; ++block) {
+        source.next_block(words);
+        sim_a.simulate_block(words);
+        sim_b.simulate_block(words);
+        for (NodeId v : c.all_nodes())
+            ASSERT_EQ(sim_a.value(v), sim_b.value(bin.node_map[v.v]));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BinarizeEquivalence,
+                         ::testing::Values(1u, 2u, 3u));
+
+}  // namespace

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "fault/fault.hpp"
+#include "gen/chains.hpp"
+#include "gen/random_circuits.hpp"
+#include "netlist/analysis.hpp"
+#include "netlist/ffr.hpp"
+#include "testability/cop.hpp"
+#include "tpi/evaluate.hpp"
+#include "tpi/planners.hpp"
+#include "tpi/tree_joint_dp.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace tpi;
+using namespace tpi::netlist;
+
+struct JointFixture {
+    Circuit circuit;
+    fault::CollapsedFaults faults;
+    testability::CopResult cop;
+    FfrDecomposition ffr;
+    Objective objective;
+
+    explicit JointFixture(Circuit c, std::size_t num_patterns = 512)
+        : circuit(std::move(c)),
+          faults(fault::singleton_faults(circuit)),
+          cop(testability::compute_cop(circuit)),
+          ffr(decompose_ffr(circuit)) {
+        objective.num_patterns = num_patterns;
+    }
+
+    TreeJointDp make_dp(const TreeJointDp::Params& params) const {
+        EXPECT_EQ(ffr.regions.size(), 1u);
+        return TreeJointDp(circuit, ffr.regions[0], cop, faults,
+                           faults.class_size, objective, params);
+    }
+};
+
+TEST(TreeJointDp, GridIsSymmetricAndSorted) {
+    JointFixture fx(tpi::gen::and_chain(6));
+    TreeJointDp::Params params;
+    params.c1_grid = 9;
+    const TreeJointDp dp = fx.make_dp(params);
+    const auto grid = dp.c1_grid();
+    ASSERT_EQ(grid.size(), 9u);
+    EXPECT_DOUBLE_EQ(grid[0], 0.0);
+    EXPECT_DOUBLE_EQ(grid[4], 0.5);
+    EXPECT_DOUBLE_EQ(grid[8], 1.0);
+    for (std::size_t i = 1; i < grid.size(); ++i)
+        EXPECT_GT(grid[i], grid[i - 1]);
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        EXPECT_NEAR(grid[i] + grid[grid.size() - 1 - i], 1.0, 1e-12);
+}
+
+TEST(TreeJointDp, QuantizeC1Properties) {
+    JointFixture fx(tpi::gen::and_chain(6));
+    TreeJointDp::Params params;
+    params.c1_grid = 9;
+    const TreeJointDp dp = fx.make_dp(params);
+    // Exact endpoints map to the reserved classes.
+    EXPECT_EQ(dp.quantize_c1(0.0), 0);
+    EXPECT_EQ(dp.quantize_c1(1.0), 8);
+    // Interior values never map to the endpoint classes.
+    EXPECT_NE(dp.quantize_c1(1e-9), 0);
+    EXPECT_NE(dp.quantize_c1(1.0 - 1e-9), 8);
+    // Grid values map to themselves.
+    const auto grid = dp.c1_grid();
+    for (std::size_t i = 1; i + 1 < grid.size(); ++i)
+        EXPECT_EQ(dp.quantize_c1(grid[i]), static_cast<int>(i));
+    // Monotone.
+    int prev = 0;
+    for (double p = 0.0; p <= 1.0; p += 0.01) {
+        const int cls = dp.quantize_c1(p);
+        EXPECT_GE(cls, prev);
+        prev = cls;
+    }
+}
+
+TEST(TreeJointDp, MonotoneInBudget) {
+    JointFixture fx(tpi::gen::and_chain(12));
+    TreeJointDp::Params params;
+    params.max_budget = 4;
+    const TreeJointDp dp = fx.make_dp(params);
+    for (int j = 1; j <= 4; ++j) EXPECT_GE(dp.best(j), dp.best(j - 1));
+}
+
+TEST(TreeJointDp, ControlPointChosenOnDeepAndChain) {
+    // With observation disabled, the DP must place control points to fix
+    // the collapsing 1-controllability of a deep AND chain.
+    JointFixture fx(tpi::gen::and_chain(20), 256);
+    TreeJointDp::Params params;
+    params.max_budget = 2;
+    params.allow_observe = false;
+    const TreeJointDp dp = fx.make_dp(params);
+    EXPECT_GT(dp.best(2), dp.best(0) + 1.0);
+    const auto points = dp.placements(2);
+    ASSERT_FALSE(points.empty());
+    for (const TestPoint& tp : points)
+        EXPECT_TRUE(is_control(tp.kind));
+}
+
+TEST(TreeJointDp, MixedPlanBeatsObservationOnlyOnChain) {
+    JointFixture fx(tpi::gen::and_chain(24), 256);
+    TreeJointDp::Params params;
+    params.max_budget = 4;
+    const TreeJointDp dp_joint = fx.make_dp(params);
+
+    TreeJointDp::Params obs_only = params;
+    obs_only.control_kinds.clear();
+    const TreeJointDp dp_obs = fx.make_dp(obs_only);
+    EXPECT_GE(dp_joint.best(4), dp_obs.best(4) - 1e-9);
+    EXPECT_GT(dp_joint.best(4), dp_obs.best(4) + 0.5)
+        << "control points should add real value on an AND chain";
+}
+
+TEST(TreeJointDp, PlacementsEvaluateCloseToPrediction) {
+    JointFixture fx(tpi::gen::and_or_chain(16, 4), 512);
+    TreeJointDp::Params params;
+    params.max_budget = 3;
+    params.delta_bits = 0.1;
+    params.max_bucket = 600;
+    params.c1_grid = 17;
+    const TreeJointDp dp = fx.make_dp(params);
+    const auto points = dp.placements(3);
+    const double real_score =
+        evaluate_plan(fx.circuit, fx.faults, points, fx.objective).score;
+    EXPECT_NEAR(dp.best(3), real_score,
+                0.05 * static_cast<double>(fx.faults.total_faults));
+}
+
+TEST(TreeJointDp, RejectsWideInRegionGates) {
+    // A 3-input AND fed by three in-region gates violates the invariant.
+    Circuit c;
+    std::vector<NodeId> mids;
+    for (int i = 0; i < 3; ++i) {
+        const NodeId x = c.add_input("x" + std::to_string(i));
+        const NodeId y = c.add_input("y" + std::to_string(i));
+        mids.push_back(c.add_gate(GateType::Or, {x, y}));
+    }
+    const NodeId g = c.add_gate(GateType::And, mids, "g");
+    c.mark_output(g);
+    const fault::CollapsedFaults faults = fault::collapse_faults(c);
+    const testability::CopResult cop = testability::compute_cop(c);
+    const FfrDecomposition ffr = decompose_ffr(c);
+    ASSERT_EQ(ffr.regions.size(), 1u);
+    Objective objective;
+    TreeJointDp::Params params;
+    EXPECT_THROW(TreeJointDp(c, ffr.regions[0], cop, faults,
+                             faults.class_size, objective, params),
+                 tpi::Error);
+}
+
+class TreeJointDpOptimality
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeJointDpOptimality, NearOracleOnSmallTrees) {
+    tpi::gen::RandomTreeOptions tree_options;
+    tree_options.gates = 7;
+    tree_options.unary_fraction = 0.0;
+    tree_options.seed = GetParam();
+    Circuit circuit = tpi::gen::random_tree(tree_options);
+    ASSERT_TRUE(is_fanout_free(circuit));
+    JointFixture fx(std::move(circuit), 128);
+
+    TreeJointDp::Params params;
+    params.max_budget = 2;
+    params.delta_bits = 0.1;
+    params.max_bucket = 1200;
+    params.c1_grid = 17;
+    params.control_kinds = {TpKind::ControlXor};
+    const TreeJointDp dp = fx.make_dp(params);
+
+    ExhaustivePlanner oracle;
+    PlannerOptions oracle_options;
+    oracle_options.budget = 2;
+    oracle_options.control_kinds = {TpKind::ControlXor};
+    oracle_options.objective = fx.objective;
+    const Plan oracle_plan = oracle.plan(fx.circuit, oracle_options);
+
+    const auto dp_points = dp.placements(2);
+    const double dp_score =
+        evaluate_plan(fx.circuit, fx.faults, dp_points, fx.objective).score;
+    // The joint DP quantises both path costs and controllabilities, so
+    // allow a modest slack relative to the oracle.
+    EXPECT_GE(dp_score, oracle_plan.predicted_score -
+                            0.06 * static_cast<double>(
+                                       fx.faults.total_faults));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeJointDpOptimality,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace

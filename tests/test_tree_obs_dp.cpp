@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "fault/fault.hpp"
+#include "gen/chains.hpp"
+#include "gen/random_circuits.hpp"
+#include "netlist/analysis.hpp"
+#include "netlist/ffr.hpp"
+#include "testability/cop.hpp"
+#include "tpi/evaluate.hpp"
+#include "tpi/planners.hpp"
+#include "tpi/tree_obs_dp.hpp"
+
+namespace {
+
+using namespace tpi;
+using namespace tpi::netlist;
+
+/// Build the DP for the whole (fanout-free) circuit, which must be a
+/// single region.
+struct TreeFixture {
+    Circuit circuit;
+    fault::CollapsedFaults faults;
+    testability::CopResult cop;
+    FfrDecomposition ffr;
+    Objective objective;
+
+    explicit TreeFixture(Circuit c, std::size_t num_patterns = 1024)
+        : circuit(std::move(c)),
+          faults(fault::singleton_faults(circuit)),
+          cop(testability::compute_cop(circuit)),
+          ffr(decompose_ffr(circuit)) {
+        objective.num_patterns = num_patterns;
+    }
+
+    TreeObsDp make_dp(const TreeObsDp::Params& params) const {
+        EXPECT_EQ(ffr.regions.size(), 1u);
+        return TreeObsDp(circuit, ffr.regions[0], cop, faults,
+                         faults.class_size, objective, params);
+    }
+};
+
+TEST(TreeObsDp, ZeroBudgetMatchesUnmodifiedEvaluation) {
+    TreeFixture fx(tpi::gen::and_chain(12));
+    TreeObsDp::Params params;
+    params.delta_bits = 0.05;  // fine grid: quantisation error negligible
+    params.max_bucket = 2000;
+    params.max_budget = 3;
+    const TreeObsDp dp = fx.make_dp(params);
+    const PlanEvaluation eval =
+        evaluate_plan(fx.circuit, fx.faults, {}, fx.objective);
+    EXPECT_NEAR(dp.baseline(), eval.score, 0.05);
+}
+
+TEST(TreeObsDp, BestIsMonotoneInBudget) {
+    TreeFixture fx(tpi::gen::and_chain(16));
+    TreeObsDp::Params params;
+    params.max_budget = 5;
+    const TreeObsDp dp = fx.make_dp(params);
+    for (int j = 1; j <= 5; ++j) EXPECT_GE(dp.best(j), dp.best(j - 1));
+}
+
+TEST(TreeObsDp, PlacementsStayWithinBudgetAndRegion) {
+    TreeFixture fx(tpi::gen::and_chain(20));
+    TreeObsDp::Params params;
+    params.max_budget = 4;
+    const TreeObsDp dp = fx.make_dp(params);
+    const auto placements = dp.placements(3);
+    EXPECT_LE(placements.size(), 3u);
+    for (NodeId v : placements)
+        EXPECT_LT(v.v, fx.circuit.node_count());
+    // No duplicates.
+    for (std::size_t i = 0; i < placements.size(); ++i)
+        for (std::size_t j = i + 1; j < placements.size(); ++j)
+            EXPECT_NE(placements[i], placements[j]);
+}
+
+TEST(TreeObsDp, ChainPlacementSplitsThePath) {
+    // On a deep AND chain one OP should land mid-chain, not at the root
+    // (the root is already observed) nor at the very first gate.
+    TreeFixture fx(tpi::gen::and_chain(24), 512);
+    TreeObsDp::Params params;
+    params.max_budget = 1;
+    const TreeObsDp dp = fx.make_dp(params);
+    const auto placements = dp.placements(1);
+    ASSERT_EQ(placements.size(), 1u);
+    const int level = fx.circuit.level(placements[0]);
+    EXPECT_GT(level, 3);
+    EXPECT_LT(level, 24);
+}
+
+TEST(TreeObsDp, AllowedMaskRestrictsPlacement) {
+    TreeFixture fx(tpi::gen::and_chain(16), 512);
+    TreeObsDp::Params params;
+    params.max_budget = 2;
+    // Forbid everything except one specific mid-chain node.
+    const NodeId only = fx.circuit.find("c8");
+    ASSERT_TRUE(only.valid());
+    std::vector<bool> allowed(fx.circuit.node_count(), false);
+    allowed[only.v] = true;
+    const TreeObsDp dp(fx.circuit, fx.ffr.regions[0], fx.cop, fx.faults,
+                       fx.faults.class_size, fx.objective, params, allowed);
+    const auto placements = dp.placements(2);
+    for (NodeId v : placements) EXPECT_EQ(v, only);
+    EXPECT_LE(placements.size(), 1u);
+}
+
+TEST(TreeObsDp, FaultWeightZeroExcludesFaults) {
+    TreeFixture fx(tpi::gen::and_chain(12));
+    TreeObsDp::Params params;
+    params.max_budget = 2;
+    std::vector<std::uint32_t> zero_weights(fx.faults.size(), 0);
+    const TreeObsDp dp(fx.circuit, fx.ffr.regions[0], fx.cop, fx.faults,
+                       zero_weights, fx.objective, params);
+    EXPECT_DOUBLE_EQ(dp.best(2), 0.0);
+    EXPECT_TRUE(dp.placements(2).empty());
+}
+
+// ---- the optimality experiment in miniature (Table 2's invariant) ----
+
+class TreeObsDpOptimality : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(TreeObsDpOptimality, MatchesExhaustiveOracleOnRandomTrees) {
+    tpi::gen::RandomTreeOptions tree_options;
+    tree_options.gates = 9;
+    tree_options.seed = GetParam();
+    Circuit circuit = tpi::gen::random_tree(tree_options);
+    ASSERT_TRUE(is_fanout_free(circuit));
+
+    TreeFixture fx(std::move(circuit), 256);
+
+    TreeObsDp::Params params;
+    params.delta_bits = 0.05;
+    params.max_bucket = 3000;
+    params.max_budget = 2;
+    const TreeObsDp dp = fx.make_dp(params);
+
+    // Exhaustive oracle over observation-point subsets of size <= 2.
+    ExhaustivePlanner oracle;
+    PlannerOptions oracle_options;
+    oracle_options.budget = 2;
+    oracle_options.allow_observe = true;
+    oracle_options.control_kinds.clear();
+    oracle_options.objective = fx.objective;
+    const Plan oracle_plan = oracle.plan(fx.circuit, oracle_options);
+
+    // The DP's placements, scored by the same un-quantised evaluator,
+    // must match the oracle's optimum (up to tiny quantisation slack).
+    std::vector<TestPoint> dp_points;
+    for (NodeId v : dp.placements(2))
+        dp_points.push_back({v, TpKind::Observe});
+    const double dp_score =
+        evaluate_plan(fx.circuit, fx.faults, dp_points, fx.objective).score;
+    EXPECT_NEAR(dp_score, oracle_plan.predicted_score,
+                0.02 * fx.faults.total_faults + 1e-9)
+        << "DP placements are not optimal";
+    EXPECT_GE(dp_score, oracle_plan.predicted_score - 0.05);
+
+    // The DP's internal value must agree with the real evaluation too.
+    EXPECT_NEAR(dp.best(2), dp_score, 0.02 * fx.faults.total_faults + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeObsDpOptimality,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(TreeObsDp, WorksOnRegionsOfGeneralCircuits) {
+    // Run the DP on every FFR of a reconvergent circuit; budgets must be
+    // monotone and reconstruction must stay inside the region.
+    tpi::gen::RandomDagOptions options;
+    options.gates = 150;
+    options.inputs = 16;
+    options.seed = 5;
+    const Circuit circuit = tpi::gen::random_dag(options);
+    const fault::CollapsedFaults faults = fault::collapse_faults(circuit);
+    const testability::CopResult cop = testability::compute_cop(circuit);
+    const FfrDecomposition ffr = decompose_ffr(circuit);
+    Objective objective;
+    objective.num_patterns = 1024;
+
+    TreeObsDp::Params params;
+    params.max_budget = 3;
+    for (const auto& region : ffr.regions) {
+        const TreeObsDp dp(circuit, region, cop, faults, faults.class_size,
+                           objective, params);
+        EXPECT_GE(dp.best(1), dp.best(0));
+        for (NodeId v : dp.placements(2)) {
+            EXPECT_EQ(ffr.region_of[v.v], ffr.region_of[region.root.v]);
+        }
+    }
+}
+
+}  // namespace

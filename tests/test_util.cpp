@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/lfsr.hpp"
+#include "util/quantize.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace tpi::util;
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next()) ++equal;
+    EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+    Rng a(7);
+    const auto first = a.next();
+    a.next();
+    a.reseed(7);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, BelowStaysInRange) {
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.below(17);
+        EXPECT_LT(v, 17u);
+    }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+    Rng rng(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i) seen.insert(rng.below(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusive) {
+    Rng rng(9);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        const auto v = rng.range(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+    Rng rng(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        if (rng.chance(0.25)) ++hits;
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+// --------------------------------------------------------------- Lfsr ----
+
+class LfsrPeriod : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LfsrPeriod, HasMaximalPeriod) {
+    const unsigned width = GetParam();
+    Lfsr lfsr(width, 1);
+    const std::uint64_t start = lfsr.state();
+    std::uint64_t period = 0;
+    do {
+        lfsr.step();
+        ++period;
+        ASSERT_NE(lfsr.state(), 0u) << "LFSR fell into the zero state";
+    } while (lfsr.state() != start && period <= (1ull << width));
+    EXPECT_EQ(period, (1ull << width) - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths3to16, LfsrPeriod,
+                         ::testing::Values(3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u,
+                                           11u, 12u, 13u, 14u, 15u, 16u));
+
+TEST(Lfsr, SeedIsTakenVerbatim) {
+    // Regression guard for a g++ 12.2 -O2 miscompile that computed the
+    // initial state from a clobbered register (see Lfsr::Lfsr).
+    EXPECT_EQ(Lfsr(5, 0b10011).state(), 0b10011u);
+    EXPECT_EQ(Lfsr(16, 0xACE1).state(), 0xACE1u);
+    EXPECT_EQ(Lfsr(24, 0x123456).state(), 0x123456u);
+    EXPECT_EQ(Lfsr(64, 0xDEADBEEFCAFEF00Dull).state(),
+              0xDEADBEEFCAFEF00Dull);
+}
+
+TEST(Lfsr, ZeroSeedIsRemapped) {
+    Lfsr lfsr(8, 0);
+    EXPECT_NE(lfsr.state(), 0u);
+}
+
+TEST(Lfsr, RejectsBadWidths) {
+    EXPECT_THROW(Lfsr(2, 1), tpi::Error);
+    EXPECT_THROW(Lfsr(65, 1), tpi::Error);
+    EXPECT_NO_THROW(Lfsr(64, 1));
+}
+
+TEST(Lfsr, TapsAreWithinWidth) {
+    for (unsigned w = 3; w <= 64; ++w) {
+        const std::uint64_t taps = Lfsr::taps_for_width(w);
+        ASSERT_NE(taps, 0u) << "width " << w;
+        if (w < 64) {
+            EXPECT_EQ(taps >> w, 0u) << "width " << w;
+        }
+        // The highest tap must be the feedback bit (w) itself.
+        EXPECT_NE(taps & (std::uint64_t{1} << (w - 1)), 0u) << "width " << w;
+    }
+}
+
+TEST(Lfsr, BitstreamIsBalanced) {
+    Lfsr lfsr(16, 0xace1);
+    int ones = 0;
+    const int steps = 1 << 16;
+    for (int i = 0; i < steps; ++i) ones += lfsr.step() & 1;
+    EXPECT_NEAR(static_cast<double>(ones) / steps, 0.5, 0.01);
+}
+
+// ------------------------------------------------------- LogQuantizer ----
+
+TEST(LogQuantizer, EndpointsAreExact) {
+    const LogQuantizer q(0.25, 100);
+    EXPECT_EQ(q.to_bucket(1.0), 0);
+    EXPECT_EQ(q.to_bucket(0.0), 100);
+    EXPECT_DOUBLE_EQ(q.to_probability(0), 1.0);
+    EXPECT_DOUBLE_EQ(q.to_probability(100), 0.0);
+}
+
+TEST(LogQuantizer, RoundTripErrorBounded) {
+    const LogQuantizer q(0.25, 400);
+    for (double p : {0.9, 0.5, 0.25, 0.1, 0.01, 1e-6, 1e-20}) {
+        const double back = q.to_probability(q.to_bucket(p));
+        // Error at most half a grid step in log domain.
+        EXPECT_LE(std::abs(std::log2(back) - std::log2(p)), 0.5 * 0.25 + 1e-9)
+            << "p=" << p;
+    }
+}
+
+TEST(LogQuantizer, BucketIsMonotoneInProbability) {
+    const LogQuantizer q(0.5, 64);
+    int prev = q.to_bucket(1.0);
+    for (double p = 1.0; p > 1e-12; p *= 0.7) {
+        const int b = q.to_bucket(p);
+        EXPECT_GE(b, prev);
+        prev = b;
+    }
+}
+
+TEST(LogQuantizer, AddSaturates) {
+    const LogQuantizer q(0.25, 10);
+    EXPECT_EQ(q.add(6, 6), 10);
+    EXPECT_EQ(q.add(2, 3), 5);
+    EXPECT_EQ(q.bucket_count(), 11);
+}
+
+TEST(LogQuantizer, HalfMapsToExpectedBucket) {
+    const LogQuantizer q(0.25, 100);
+    EXPECT_EQ(q.to_bucket(0.5), 4);  // 1 bit / 0.25 bits per bucket
+    const LogQuantizer q2(0.5, 100);
+    EXPECT_EQ(q2.to_bucket(0.5), 2);
+}
+
+TEST(LogQuantizer, RejectsBadParams) {
+    EXPECT_THROW(LogQuantizer(0.0, 10), tpi::Error);
+    EXPECT_THROW(LogQuantizer(-1.0, 10), tpi::Error);
+    EXPECT_THROW(LogQuantizer(0.25, 0), tpi::Error);
+}
+
+// ---------------------------------------------------------- TextTable ----
+
+TEST(TextTable, RendersAlignedRows) {
+    TextTable table({"name", "value"});
+    table.add_row({"a", "1"});
+    table.add_row({"long-name", "23"});
+    std::ostringstream out;
+    table.print(out, "title");
+    const std::string text = out.str();
+    EXPECT_NE(text.find("title"), std::string::npos);
+    EXPECT_NE(text.find("| name"), std::string::npos);
+    EXPECT_NE(text.find("| long-name"), std::string::npos);
+    EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+    TextTable table({"a", "b"});
+    EXPECT_THROW(table.add_row({"only-one"}), tpi::Error);
+}
+
+TEST(FmtHelpers, FormatNumbers) {
+    EXPECT_EQ(fmt_fixed(1.23456, 2), "1.23");
+    EXPECT_EQ(fmt_percent(0.9951, 2), "99.51");
+    EXPECT_EQ(fmt_percent(1.0, 1), "100.0");
+}
+
+TEST(Timer, MeasuresNonNegativeTime) {
+    Timer timer;
+    EXPECT_GE(timer.seconds(), 0.0);
+    timer.reset();
+    EXPECT_GE(timer.millis(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "gen/arith.hpp"
+#include "gen/benchmarks.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/verilog_io.hpp"
+#include "sim/logic_sim.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace tpi;
+using namespace tpi::netlist;
+
+void expect_functionally_equal(const Circuit& a, const Circuit& b,
+                               int blocks = 4) {
+    ASSERT_EQ(a.input_count(), b.input_count());
+    ASSERT_EQ(a.output_count(), b.output_count());
+    sim::LogicSimulator sim_a(a);
+    sim::LogicSimulator sim_b(b);
+    sim::RandomPatternSource source(99);
+    std::vector<std::uint64_t> words(a.input_count());
+    for (int blk = 0; blk < blocks; ++blk) {
+        source.next_block(words);
+        sim_a.simulate_block(words);
+        sim_b.simulate_block(words);
+        for (std::size_t o = 0; o < a.output_count(); ++o)
+            ASSERT_EQ(sim_a.value(a.outputs()[o]),
+                      sim_b.value(b.outputs()[o]))
+                << "output " << o;
+    }
+}
+
+TEST(VerilogIo, ParsesHandWrittenModule) {
+    const Circuit c = read_verilog_string(
+        "// a comment\n"
+        "module demo (a, b, y, z);\n"
+        "  input a, b;\n"
+        "  output y, z;\n"
+        "  wire t;\n"
+        "  nand g0 (t, a, b);\n"
+        "  not (y, t);\n"
+        "  /* block\n     comment */\n"
+        "  xor g2 (z, t, a);\n"
+        "endmodule\n");
+    EXPECT_EQ(c.name(), "demo");
+    EXPECT_EQ(c.input_count(), 2u);
+    EXPECT_EQ(c.output_count(), 2u);
+    EXPECT_EQ(c.gate_count(), 3u);
+    EXPECT_EQ(c.type(c.find("t")), GateType::Nand);
+    EXPECT_EQ(c.type(c.find("y")), GateType::Not);
+}
+
+TEST(VerilogIo, HandlesForwardReferencesAndAssign) {
+    const Circuit c = read_verilog_string(
+        "module fwd (a, y);\n"
+        "  input a;\n"
+        "  output y;\n"
+        "  wire m, k;\n"
+        "  and g0 (y, m, k);\n"   // uses m, k before their drivers
+        "  assign m = a;\n"
+        "  not g1 (k, a);\n"
+        "endmodule\n");
+    EXPECT_EQ(c.type(c.find("m")), GateType::Buf);
+    EXPECT_EQ(c.gate_count(), 3u);
+}
+
+TEST(VerilogIo, TieLiteralsBecomeConstants) {
+    const Circuit c = read_verilog_string(
+        "module tied (a, y);\n"
+        "  input a;\n"
+        "  output y;\n"
+        "  wire z;\n"
+        "  assign z = 1'b0;\n"
+        "  or g0 (y, a, z);\n"
+        "endmodule\n");
+    EXPECT_EQ(c.type(c.find("z")), GateType::Buf);
+    const NodeId tie = c.fanins(c.find("z"))[0];
+    EXPECT_EQ(c.type(tie), GateType::Const0);
+    // Direct literal fanins work too.
+    const Circuit d = read_verilog_string(
+        "module tied2 (a, y);\n"
+        "  input a;\n"
+        "  output y;\n"
+        "  and g0 (y, a, 1'b1);\n"
+        "endmodule\n");
+    EXPECT_EQ(d.gate_count(), 1u);
+}
+
+TEST(VerilogIo, RejectsMalformedInput) {
+    EXPECT_THROW(read_verilog_string("module m (a); input a;\n"),
+                 tpi::Error);  // no endmodule
+    EXPECT_THROW(read_verilog_string(
+                     "module m (a, y);\n input a;\n output y;\n"
+                     "  mux g0 (y, a, a);\nendmodule\n"),
+                 tpi::Error);  // unsupported primitive
+    EXPECT_THROW(read_verilog_string(
+                     "module m (y);\n output y;\n"
+                     "  not g0 (y, q);\nendmodule\n"),
+                 tpi::Error);  // undriven signal
+    EXPECT_THROW(read_verilog_string(
+                     "module m (a, y);\n input a;\n output y;\n"
+                     "  buf g0 (y, a);\n  buf g1 (y, a);\nendmodule\n"),
+                 tpi::Error);  // double driver
+    EXPECT_THROW(read_verilog_string(
+                     "module m (a, y);\n input a;\n output y;\n"
+                     "  and g0 (y, x);\n  buf g1 (x, y);\nendmodule\n"),
+                 tpi::Error);  // combinational cycle
+}
+
+TEST(VerilogIo, RoundTripsC17ThroughVerilog) {
+    // c17 has numeric net names, exercising escaped identifiers.
+    const Circuit original = gen::c17();
+    const std::string text = write_verilog_string(original);
+    EXPECT_NE(text.find("\\10 "), std::string::npos)
+        << "numeric names must be escaped";
+    const Circuit reparsed = read_verilog_string(text);
+    expect_functionally_equal(original, reparsed);
+}
+
+TEST(VerilogIo, RoundTripsGeneratedCircuits) {
+    for (const char* name : {"add16", "cmp32", "dec5"}) {
+        const Circuit original = gen::suite_entry(name).build();
+        const Circuit reparsed =
+            read_verilog_string(write_verilog_string(original));
+        expect_functionally_equal(original, reparsed);
+    }
+}
+
+TEST(VerilogIo, CrossFormatAgreesWithBench) {
+    // bench -> circuit -> verilog -> circuit must match bench -> circuit.
+    const Circuit from_bench = gen::c17();
+    const Circuit via_verilog =
+        read_verilog_string(write_verilog_string(from_bench));
+    const Circuit via_bench_again =
+        read_bench_string(write_bench_string(from_bench));
+    expect_functionally_equal(via_verilog, via_bench_again);
+}
+
+TEST(VerilogIo, MissingFileThrows) {
+    EXPECT_THROW(read_verilog_file("/nonexistent/x.v"), tpi::Error);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "fault/fault_sim.hpp"
+#include "gen/chains.hpp"
+#include "gen/arith.hpp"
+#include "netlist/circuit.hpp"
+#include "sim/logic_sim.hpp"
+#include "sim/pattern.hpp"
+#include "testability/weights.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace tpi;
+using namespace tpi::netlist;
+
+TEST(WeightedSource, RealisesRequestedBias) {
+    sim::WeightedPatternSource source({0.0625, 0.25, 0.5, 0.9375, 0.0,
+                                       1.0},
+                                      7);
+    std::vector<std::uint64_t> words(6);
+    std::vector<std::size_t> ones(6, 0);
+    const int blocks = 512;
+    for (int b = 0; b < blocks; ++b) {
+        source.next_block(words);
+        for (std::size_t i = 0; i < 6; ++i)
+            ones[i] += std::popcount(words[i]);
+    }
+    const double total = blocks * 64.0;
+    EXPECT_NEAR(ones[0] / total, 0.0625, 0.01);
+    EXPECT_NEAR(ones[1] / total, 0.25, 0.01);
+    EXPECT_NEAR(ones[2] / total, 0.5, 0.01);
+    EXPECT_NEAR(ones[3] / total, 0.9375, 0.01);
+    EXPECT_EQ(ones[4], 0u);
+    EXPECT_EQ(ones[5], static_cast<std::size_t>(total));
+}
+
+TEST(WeightedSource, QuantisesToSixteenths) {
+    sim::WeightedPatternSource source({0.49, 0.51, 0.03}, 1);
+    const auto& eff = source.effective_weights();
+    EXPECT_DOUBLE_EQ(eff[0], 8.0 / 16.0);
+    EXPECT_DOUBLE_EQ(eff[1], 8.0 / 16.0);
+    EXPECT_DOUBLE_EQ(eff[2], 0.0);  // 0.03 rounds to 0/16
+}
+
+TEST(WeightedSource, DeterministicAndResets) {
+    sim::WeightedPatternSource a({0.25, 0.75}, 42);
+    std::vector<std::uint64_t> first(2), again(2);
+    a.next_block(first);
+    a.reset();
+    a.next_block(again);
+    EXPECT_EQ(first, again);
+}
+
+TEST(WeightedSource, RejectsBadWeights) {
+    EXPECT_THROW(sim::WeightedPatternSource({1.5}, 1), tpi::Error);
+    sim::WeightedPatternSource ok({0.5}, 1);
+    std::vector<std::uint64_t> wrong_size(2);
+    EXPECT_THROW(ok.next_block(wrong_size), tpi::Error);
+}
+
+TEST(WeightOptimizer, RaisesWeightsOnAndChain) {
+    // A deep AND chain wants inputs biased towards 1 so deep nets toggle.
+    const Circuit c = gen::and_chain(16);
+    const auto faults = fault::singleton_faults(c);
+    testability::WeightOptions options;
+    options.num_patterns = 4096;
+    const auto weights =
+        testability::optimize_input_weights(c, faults, options);
+    ASSERT_EQ(weights.size(), c.input_count());
+    double mean = 0.0;
+    for (double w : weights) mean += w / weights.size();
+    EXPECT_GT(mean, 0.6) << "optimiser should bias towards 1";
+
+    const double uniform = testability::estimated_coverage_under_weights(
+        c, faults, std::vector<double>(c.input_count(), 0.5), 4096);
+    const double tuned = testability::estimated_coverage_under_weights(
+        c, faults, weights, 4096);
+    EXPECT_GT(tuned, uniform + 0.05);
+}
+
+TEST(WeightOptimizer, MeasuredCoverageImprovesWithTunedWeights) {
+    const Circuit c = gen::and_chain(20);
+    const auto faults = fault::collapse_faults(c);
+    testability::WeightOptions options;
+    options.num_patterns = 4096;
+    const auto weights = testability::optimize_input_weights(
+        c, fault::singleton_faults(c), options);
+
+    fault::FaultSimOptions sim_options;
+    sim_options.max_patterns = 4096;
+    sim::RandomPatternSource uniform(5);
+    const auto base =
+        fault::run_fault_simulation(c, faults, uniform, sim_options);
+    sim::WeightedPatternSource biased(weights, 5);
+    const auto tuned =
+        fault::run_fault_simulation(c, faults, biased, sim_options);
+    EXPECT_GT(tuned.coverage, base.coverage + 0.1);
+}
+
+TEST(WeightOptimizer, LeavesEasyCircuitsAlone) {
+    // A parity tree is perfect at 0.5 weights; the optimiser must not
+    // make it worse.
+    const Circuit c = gen::parity_tree(16);
+    const auto faults = fault::singleton_faults(c);
+    const auto weights =
+        testability::optimize_input_weights(c, faults, {});
+    const double tuned = testability::estimated_coverage_under_weights(
+        c, faults, weights, 32768);
+    EXPECT_GT(tuned, 0.999);
+}
+
+TEST(WeightOptimizer, RejectsWrongWeightCount) {
+    const Circuit c = gen::parity_tree(8);
+    const auto faults = fault::singleton_faults(c);
+    EXPECT_THROW(testability::estimated_coverage_under_weights(
+                     c, faults, {0.5}, 1024),
+                 tpi::Error);
+}
+
+}  // namespace

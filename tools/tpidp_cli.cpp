@@ -1,0 +1,276 @@
+// tpidp — command-line driver for the library.
+//
+//   tpidp suite                         list the built-in circuits
+//   tpidp stats   <circuit>             structural + testability summary
+//   tpidp faultsim <circuit> [options]  pseudo-random fault simulation
+//   tpidp tpi     <circuit> [options]   plan + insert test points
+//   tpidp atpg    <circuit> [options]   PODEM over the fault universe
+//   tpidp bist    <circuit> [options]   signature-based BIST session
+//                                       (--width sets the MISR width)
+//
+// <circuit> is a .bench or .v file path (anything containing '.' or '/') or
+// the name of a built-in suite circuit. Common options:
+//   --patterns N   test length            (default 32768)
+//   --budget K     test point budget      (default 8)
+//   --planner P    dp | greedy | random   (default dp)
+//   --seed S       stimulus seed          (default 1)
+//   --limit B      ATPG backtrack limit   (default 20000)
+//   --out FILE     write the DFT netlist as .bench
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "atpg/podem.hpp"
+#include "bist/session.hpp"
+#include "fault/fault_sim.hpp"
+#include "gen/benchmarks.hpp"
+#include "netlist/analysis.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/ffr.hpp"
+#include "netlist/transform.hpp"
+#include "netlist/verilog_io.hpp"
+#include "testability/cop.hpp"
+#include "testability/detect.hpp"
+#include "tpi/planners.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace tpi;
+
+struct Args {
+    std::string circuit;
+    std::size_t patterns = 32768;
+    int budget = 8;
+    std::string planner = "dp";
+    std::uint64_t seed = 1;
+    std::size_t limit = 20000;
+    unsigned width = 16;
+    std::string out;
+};
+
+[[noreturn]] void usage() {
+    std::cerr
+        << "usage: tpidp <suite|stats|faultsim|tpi|atpg|bist> [circuit] "
+           "[--patterns N] [--budget K]\n"
+           "             [--planner dp|greedy|random] [--seed S] "
+           "[--limit B] [--out FILE]\n";
+    std::exit(2);
+}
+
+Args parse_args(int argc, char** argv, int first) {
+    Args args;
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            if (i + 1 >= argc) usage();
+            return argv[++i];
+        };
+        if (arg == "--patterns")
+            args.patterns = std::stoull(next());
+        else if (arg == "--budget")
+            args.budget = std::stoi(next());
+        else if (arg == "--planner")
+            args.planner = next();
+        else if (arg == "--seed")
+            args.seed = std::stoull(next());
+        else if (arg == "--limit")
+            args.limit = std::stoull(next());
+        else if (arg == "--width")
+            args.width = static_cast<unsigned>(std::stoul(next()));
+        else if (arg == "--out")
+            args.out = next();
+        else if (!arg.empty() && arg[0] == '-')
+            usage();
+        else if (args.circuit.empty())
+            args.circuit = arg;
+        else
+            usage();
+    }
+    if (args.circuit.empty()) usage();
+    return args;
+}
+
+netlist::Circuit load_circuit(const std::string& spec) {
+    if (spec.size() > 2 && spec.substr(spec.size() - 2) == ".v")
+        return netlist::read_verilog_file(spec);
+    if (spec.find('.') != std::string::npos ||
+        spec.find('/') != std::string::npos)
+        return netlist::read_bench_file(spec);
+    return gen::suite_entry(spec).build();
+}
+
+int cmd_suite() {
+    util::TextTable table({"name", "description", "gates", "PIs", "POs"});
+    for (const auto& entry : gen::benchmark_suite()) {
+        const netlist::Circuit c = entry.build();
+        table.add_row({entry.name, entry.description,
+                       std::to_string(c.gate_count()),
+                       std::to_string(c.input_count()),
+                       std::to_string(c.output_count())});
+    }
+    table.print(std::cout, "built-in circuits");
+    return 0;
+}
+
+int cmd_stats(const Args& args) {
+    const netlist::Circuit c = load_circuit(args.circuit);
+    const netlist::CircuitStats stats = netlist::compute_stats(c);
+    const netlist::FfrDecomposition ffr = netlist::decompose_ffr(c);
+    const auto faults = fault::collapse_faults(c);
+    const auto cop = testability::compute_cop(c);
+    const auto p = testability::detection_probabilities(c, faults, cop);
+
+    std::cout << "circuit " << c.name() << "\n"
+              << "  nodes " << stats.nodes << "  gates " << stats.gates
+              << "  PIs " << stats.inputs << "  POs " << stats.outputs
+              << "\n  depth " << stats.depth << "  max fanout "
+              << stats.max_fanout << "  stems " << stats.fanout_stems
+              << "  FFRs " << ffr.regions.size() << "\n  faults "
+              << faults.total_faults << " (" << faults.size()
+              << " collapsed)\n"
+              << "  estimated coverage @" << args.patterns << ": "
+              << util::fmt_percent(testability::estimated_coverage(
+                     p, faults.class_size, args.patterns))
+              << "%\n  hardest fault detection probability: "
+              << testability::min_detection_probability(p) << "\n";
+    return 0;
+}
+
+int cmd_faultsim(const Args& args) {
+    const netlist::Circuit c = load_circuit(args.circuit);
+    util::Timer timer;
+    const auto result = fault::random_pattern_coverage(c, args.patterns,
+                                                       args.seed);
+    std::cout << "coverage @" << result.patterns_applied << " patterns: "
+              << util::fmt_percent(result.coverage) << "% ("
+              << result.undetected << " undetected, "
+              << util::fmt_fixed(timer.seconds(), 2) << " s)\n";
+    const auto faults = fault::collapse_faults(c);
+    for (double target : {0.9, 0.99, 0.999}) {
+        const auto n = result.patterns_to_coverage(target, faults);
+        std::cout << "  patterns to " << util::fmt_percent(target, 1)
+                  << "%: " << (n < 0 ? "not reached" : std::to_string(n))
+                  << "\n";
+    }
+    return 0;
+}
+
+int cmd_tpi(const Args& args) {
+    const netlist::Circuit c = load_circuit(args.circuit);
+    DpPlanner dp;
+    GreedyPlanner greedy;
+    RandomPlanner random;
+    Planner* planner = nullptr;
+    if (args.planner == "dp") planner = &dp;
+    if (args.planner == "greedy") planner = &greedy;
+    if (args.planner == "random") planner = &random;
+    if (planner == nullptr) usage();
+
+    PlannerOptions options;
+    options.budget = args.budget;
+    options.objective.num_patterns = args.patterns;
+    options.seed = args.seed;
+
+    util::Timer timer;
+    const Plan plan = planner->plan(c, options);
+    std::cout << plan.points.size() << " test points ("
+              << util::fmt_fixed(timer.seconds(), 2) << " s):\n";
+    for (const auto& tp : plan.points)
+        std::cout << "  " << netlist::tp_kind_name(tp.kind) << " @ "
+                  << c.node_name(tp.node) << "\n";
+
+    const auto dft = netlist::apply_test_points(c, plan.points);
+    const auto before =
+        fault::random_pattern_coverage(c, args.patterns, args.seed);
+    const auto after = fault::random_pattern_coverage(
+        dft.circuit, args.patterns, args.seed);
+    std::cout << "coverage: " << util::fmt_percent(before.coverage)
+              << "% -> " << util::fmt_percent(after.coverage) << "%\n";
+
+    if (!args.out.empty()) {
+        std::ofstream out(args.out);
+        if (!out.good()) {
+            std::cerr << "cannot write " << args.out << "\n";
+            return 1;
+        }
+        if (args.out.size() > 2 &&
+            args.out.substr(args.out.size() - 2) == ".v")
+            netlist::write_verilog(out, dft.circuit);
+        else
+            netlist::write_bench(out, dft.circuit);
+        std::cout << "wrote " << args.out << "\n";
+    }
+    return 0;
+}
+
+int cmd_atpg(const Args& args) {
+    const netlist::Circuit c = load_circuit(args.circuit);
+    const auto faults = fault::collapse_faults(c);
+    atpg::AtpgOptions options;
+    options.backtrack_limit = args.limit;
+    util::Timer timer;
+    const auto summary = atpg::run_atpg(c, faults, options);
+    std::cout << faults.size() << " collapsed faults: "
+              << summary.detected << " detected, " << summary.redundant
+              << " redundant, " << summary.aborted << " aborted ("
+              << util::fmt_fixed(timer.seconds(), 2) << " s)\n";
+    // Cube statistics.
+    std::size_t specified = 0;
+    std::size_t bits = 0;
+    for (const auto& cube : summary.cubes) {
+        bits += cube.inputs.size();
+        for (auto v : cube.inputs) specified += v >= 0 ? 1 : 0;
+    }
+    if (bits > 0)
+        std::cout << "average cube density: "
+                  << util::fmt_percent(static_cast<double>(specified) /
+                                       static_cast<double>(bits))
+                  << "% specified bits\n";
+    return 0;
+}
+
+int cmd_bist(const Args& args) {
+    const netlist::Circuit c = load_circuit(args.circuit);
+    const auto faults = fault::collapse_faults(c);
+    sim::RandomPatternSource source(args.seed);
+    bist::SessionOptions options;
+    options.patterns = args.patterns;
+    options.misr_width = args.width;
+    util::Timer timer;
+    const auto result = bist::run_session(c, faults, source, options);
+    std::cout << "golden signature 0x" << std::hex
+              << result.golden_signature << std::dec << " (MISR width "
+              << args.width << ", " << args.patterns << " patterns, "
+              << util::fmt_fixed(timer.seconds(), 2) << " s)\n"
+              << "strobe-detected faults: " << result.strobe_detected
+              << "\naliased in signature:   " << result.aliased << " ("
+              << util::fmt_percent(result.aliasing_rate())
+              << "%)\nsignature coverage:     "
+              << util::fmt_percent(result.signature_coverage(faults))
+              << "%\n";
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) usage();
+    const std::string command = argv[1];
+    try {
+        if (command == "suite") return cmd_suite();
+        const Args args = parse_args(argc, argv, 2);
+        if (command == "stats") return cmd_stats(args);
+        if (command == "faultsim") return cmd_faultsim(args);
+        if (command == "tpi") return cmd_tpi(args);
+        if (command == "atpg") return cmd_atpg(args);
+        if (command == "bist") return cmd_bist(args);
+        usage();
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
