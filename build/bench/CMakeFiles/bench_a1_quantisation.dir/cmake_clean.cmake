@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_quantisation.dir/bench_a1_quantisation.cpp.o"
+  "CMakeFiles/bench_a1_quantisation.dir/bench_a1_quantisation.cpp.o.d"
+  "bench_a1_quantisation"
+  "bench_a1_quantisation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_quantisation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

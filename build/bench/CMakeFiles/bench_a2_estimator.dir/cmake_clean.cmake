@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_estimator.dir/bench_a2_estimator.cpp.o"
+  "CMakeFiles/bench_a2_estimator.dir/bench_a2_estimator.cpp.o.d"
+  "bench_a2_estimator"
+  "bench_a2_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_f2_budget_curve.cpp" "bench/CMakeFiles/bench_f2_budget_curve.dir/bench_f2_budget_curve.cpp.o" "gcc" "bench/CMakeFiles/bench_f2_budget_curve.dir/bench_f2_budget_curve.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tpi/CMakeFiles/tpidp_tpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/tpidp_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/atpg/CMakeFiles/tpidp_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/bist/CMakeFiles/tpidp_bist.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/tpidp_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tpidp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/testability/CMakeFiles/tpidp_testability.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/tpidp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tpidp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_budget_curve.dir/bench_f2_budget_curve.cpp.o"
+  "CMakeFiles/bench_f2_budget_curve.dir/bench_f2_budget_curve.cpp.o.d"
+  "bench_f2_budget_curve"
+  "bench_f2_budget_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_budget_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

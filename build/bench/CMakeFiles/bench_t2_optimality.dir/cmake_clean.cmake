@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_optimality.dir/bench_t2_optimality.cpp.o"
+  "CMakeFiles/bench_t2_optimality.dir/bench_t2_optimality.cpp.o.d"
+  "bench_t2_optimality"
+  "bench_t2_optimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_budget.dir/bench_t4_budget.cpp.o"
+  "CMakeFiles/bench_t4_budget.dir/bench_t4_budget.cpp.o.d"
+  "bench_t4_budget"
+  "bench_t4_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

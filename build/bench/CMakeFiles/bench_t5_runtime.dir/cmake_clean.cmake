@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t5_runtime.dir/bench_t5_runtime.cpp.o"
+  "CMakeFiles/bench_t5_runtime.dir/bench_t5_runtime.cpp.o.d"
+  "bench_t5_runtime"
+  "bench_t5_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t5_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

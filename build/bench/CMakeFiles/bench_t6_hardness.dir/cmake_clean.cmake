@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t6_hardness.dir/bench_t6_hardness.cpp.o"
+  "CMakeFiles/bench_t6_hardness.dir/bench_t6_hardness.cpp.o.d"
+  "bench_t6_hardness"
+  "bench_t6_hardness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t6_hardness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

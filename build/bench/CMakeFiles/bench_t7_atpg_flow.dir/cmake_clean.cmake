@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t7_atpg_flow.dir/bench_t7_atpg_flow.cpp.o"
+  "CMakeFiles/bench_t7_atpg_flow.dir/bench_t7_atpg_flow.cpp.o.d"
+  "bench_t7_atpg_flow"
+  "bench_t7_atpg_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t7_atpg_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t8_signature.dir/bench_t8_signature.cpp.o"
+  "CMakeFiles/bench_t8_signature.dir/bench_t8_signature.cpp.o.d"
+  "bench_t8_signature"
+  "bench_t8_signature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t8_signature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t9_reseed.dir/bench_t9_reseed.cpp.o"
+  "CMakeFiles/bench_t9_reseed.dir/bench_t9_reseed.cpp.o.d"
+  "bench_t9_reseed"
+  "bench_t9_reseed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t9_reseed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bist_flow.dir/bist_flow.cpp.o"
+  "CMakeFiles/bist_flow.dir/bist_flow.cpp.o.d"
+  "bist_flow"
+  "bist_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bist_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

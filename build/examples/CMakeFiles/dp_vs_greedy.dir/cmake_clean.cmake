@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_vs_greedy.dir/dp_vs_greedy.cpp.o"
+  "CMakeFiles/dp_vs_greedy.dir/dp_vs_greedy.cpp.o.d"
+  "dp_vs_greedy"
+  "dp_vs_greedy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_vs_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iscas_flow.dir/iscas_flow.cpp.o"
+  "CMakeFiles/iscas_flow.dir/iscas_flow.cpp.o.d"
+  "iscas_flow"
+  "iscas_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iscas_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

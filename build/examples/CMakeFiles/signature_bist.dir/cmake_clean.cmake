@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signature_bist.dir/signature_bist.cpp.o"
+  "CMakeFiles/signature_bist.dir/signature_bist.cpp.o.d"
+  "signature_bist"
+  "signature_bist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signature_bist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpidp_atpg.dir/podem.cpp.o"
+  "CMakeFiles/tpidp_atpg.dir/podem.cpp.o.d"
+  "libtpidp_atpg.a"
+  "libtpidp_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpidp_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

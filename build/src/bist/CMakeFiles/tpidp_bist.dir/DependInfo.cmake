@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bist/misr.cpp" "src/bist/CMakeFiles/tpidp_bist.dir/misr.cpp.o" "gcc" "src/bist/CMakeFiles/tpidp_bist.dir/misr.cpp.o.d"
+  "/root/repo/src/bist/reseed.cpp" "src/bist/CMakeFiles/tpidp_bist.dir/reseed.cpp.o" "gcc" "src/bist/CMakeFiles/tpidp_bist.dir/reseed.cpp.o.d"
+  "/root/repo/src/bist/session.cpp" "src/bist/CMakeFiles/tpidp_bist.dir/session.cpp.o" "gcc" "src/bist/CMakeFiles/tpidp_bist.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/atpg/CMakeFiles/tpidp_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/tpidp_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/tpidp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tpidp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tpidp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpidp_bist.dir/misr.cpp.o"
+  "CMakeFiles/tpidp_bist.dir/misr.cpp.o.d"
+  "CMakeFiles/tpidp_bist.dir/reseed.cpp.o"
+  "CMakeFiles/tpidp_bist.dir/reseed.cpp.o.d"
+  "CMakeFiles/tpidp_bist.dir/session.cpp.o"
+  "CMakeFiles/tpidp_bist.dir/session.cpp.o.d"
+  "libtpidp_bist.a"
+  "libtpidp_bist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpidp_bist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpidp_fault.dir/deductive.cpp.o"
+  "CMakeFiles/tpidp_fault.dir/deductive.cpp.o.d"
+  "CMakeFiles/tpidp_fault.dir/fault.cpp.o"
+  "CMakeFiles/tpidp_fault.dir/fault.cpp.o.d"
+  "CMakeFiles/tpidp_fault.dir/fault_sim.cpp.o"
+  "CMakeFiles/tpidp_fault.dir/fault_sim.cpp.o.d"
+  "libtpidp_fault.a"
+  "libtpidp_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpidp_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/arith.cpp" "src/gen/CMakeFiles/tpidp_gen.dir/arith.cpp.o" "gcc" "src/gen/CMakeFiles/tpidp_gen.dir/arith.cpp.o.d"
+  "/root/repo/src/gen/benchmarks.cpp" "src/gen/CMakeFiles/tpidp_gen.dir/benchmarks.cpp.o" "gcc" "src/gen/CMakeFiles/tpidp_gen.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/gen/chains.cpp" "src/gen/CMakeFiles/tpidp_gen.dir/chains.cpp.o" "gcc" "src/gen/CMakeFiles/tpidp_gen.dir/chains.cpp.o.d"
+  "/root/repo/src/gen/random_circuits.cpp" "src/gen/CMakeFiles/tpidp_gen.dir/random_circuits.cpp.o" "gcc" "src/gen/CMakeFiles/tpidp_gen.dir/random_circuits.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/tpidp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tpidp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpidp_gen.dir/arith.cpp.o"
+  "CMakeFiles/tpidp_gen.dir/arith.cpp.o.d"
+  "CMakeFiles/tpidp_gen.dir/benchmarks.cpp.o"
+  "CMakeFiles/tpidp_gen.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/tpidp_gen.dir/chains.cpp.o"
+  "CMakeFiles/tpidp_gen.dir/chains.cpp.o.d"
+  "CMakeFiles/tpidp_gen.dir/random_circuits.cpp.o"
+  "CMakeFiles/tpidp_gen.dir/random_circuits.cpp.o.d"
+  "libtpidp_gen.a"
+  "libtpidp_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpidp_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/analysis.cpp" "src/netlist/CMakeFiles/tpidp_netlist.dir/analysis.cpp.o" "gcc" "src/netlist/CMakeFiles/tpidp_netlist.dir/analysis.cpp.o.d"
+  "/root/repo/src/netlist/bench_io.cpp" "src/netlist/CMakeFiles/tpidp_netlist.dir/bench_io.cpp.o" "gcc" "src/netlist/CMakeFiles/tpidp_netlist.dir/bench_io.cpp.o.d"
+  "/root/repo/src/netlist/circuit.cpp" "src/netlist/CMakeFiles/tpidp_netlist.dir/circuit.cpp.o" "gcc" "src/netlist/CMakeFiles/tpidp_netlist.dir/circuit.cpp.o.d"
+  "/root/repo/src/netlist/ffr.cpp" "src/netlist/CMakeFiles/tpidp_netlist.dir/ffr.cpp.o" "gcc" "src/netlist/CMakeFiles/tpidp_netlist.dir/ffr.cpp.o.d"
+  "/root/repo/src/netlist/gate.cpp" "src/netlist/CMakeFiles/tpidp_netlist.dir/gate.cpp.o" "gcc" "src/netlist/CMakeFiles/tpidp_netlist.dir/gate.cpp.o.d"
+  "/root/repo/src/netlist/transform.cpp" "src/netlist/CMakeFiles/tpidp_netlist.dir/transform.cpp.o" "gcc" "src/netlist/CMakeFiles/tpidp_netlist.dir/transform.cpp.o.d"
+  "/root/repo/src/netlist/verilog_io.cpp" "src/netlist/CMakeFiles/tpidp_netlist.dir/verilog_io.cpp.o" "gcc" "src/netlist/CMakeFiles/tpidp_netlist.dir/verilog_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tpidp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpidp_netlist.dir/analysis.cpp.o"
+  "CMakeFiles/tpidp_netlist.dir/analysis.cpp.o.d"
+  "CMakeFiles/tpidp_netlist.dir/bench_io.cpp.o"
+  "CMakeFiles/tpidp_netlist.dir/bench_io.cpp.o.d"
+  "CMakeFiles/tpidp_netlist.dir/circuit.cpp.o"
+  "CMakeFiles/tpidp_netlist.dir/circuit.cpp.o.d"
+  "CMakeFiles/tpidp_netlist.dir/ffr.cpp.o"
+  "CMakeFiles/tpidp_netlist.dir/ffr.cpp.o.d"
+  "CMakeFiles/tpidp_netlist.dir/gate.cpp.o"
+  "CMakeFiles/tpidp_netlist.dir/gate.cpp.o.d"
+  "CMakeFiles/tpidp_netlist.dir/transform.cpp.o"
+  "CMakeFiles/tpidp_netlist.dir/transform.cpp.o.d"
+  "CMakeFiles/tpidp_netlist.dir/verilog_io.cpp.o"
+  "CMakeFiles/tpidp_netlist.dir/verilog_io.cpp.o.d"
+  "libtpidp_netlist.a"
+  "libtpidp_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpidp_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

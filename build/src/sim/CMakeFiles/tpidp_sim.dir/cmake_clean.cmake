@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpidp_sim.dir/logic_sim.cpp.o"
+  "CMakeFiles/tpidp_sim.dir/logic_sim.cpp.o.d"
+  "CMakeFiles/tpidp_sim.dir/pattern.cpp.o"
+  "CMakeFiles/tpidp_sim.dir/pattern.cpp.o.d"
+  "libtpidp_sim.a"
+  "libtpidp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpidp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

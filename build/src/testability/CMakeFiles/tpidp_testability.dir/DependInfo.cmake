@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testability/cop.cpp" "src/testability/CMakeFiles/tpidp_testability.dir/cop.cpp.o" "gcc" "src/testability/CMakeFiles/tpidp_testability.dir/cop.cpp.o.d"
+  "/root/repo/src/testability/detect.cpp" "src/testability/CMakeFiles/tpidp_testability.dir/detect.cpp.o" "gcc" "src/testability/CMakeFiles/tpidp_testability.dir/detect.cpp.o.d"
+  "/root/repo/src/testability/profile.cpp" "src/testability/CMakeFiles/tpidp_testability.dir/profile.cpp.o" "gcc" "src/testability/CMakeFiles/tpidp_testability.dir/profile.cpp.o.d"
+  "/root/repo/src/testability/scoap.cpp" "src/testability/CMakeFiles/tpidp_testability.dir/scoap.cpp.o" "gcc" "src/testability/CMakeFiles/tpidp_testability.dir/scoap.cpp.o.d"
+  "/root/repo/src/testability/weights.cpp" "src/testability/CMakeFiles/tpidp_testability.dir/weights.cpp.o" "gcc" "src/testability/CMakeFiles/tpidp_testability.dir/weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fault/CMakeFiles/tpidp_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/tpidp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tpidp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tpidp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

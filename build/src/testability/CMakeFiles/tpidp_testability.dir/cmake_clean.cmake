@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpidp_testability.dir/cop.cpp.o"
+  "CMakeFiles/tpidp_testability.dir/cop.cpp.o.d"
+  "CMakeFiles/tpidp_testability.dir/detect.cpp.o"
+  "CMakeFiles/tpidp_testability.dir/detect.cpp.o.d"
+  "CMakeFiles/tpidp_testability.dir/profile.cpp.o"
+  "CMakeFiles/tpidp_testability.dir/profile.cpp.o.d"
+  "CMakeFiles/tpidp_testability.dir/scoap.cpp.o"
+  "CMakeFiles/tpidp_testability.dir/scoap.cpp.o.d"
+  "CMakeFiles/tpidp_testability.dir/weights.cpp.o"
+  "CMakeFiles/tpidp_testability.dir/weights.cpp.o.d"
+  "libtpidp_testability.a"
+  "libtpidp_testability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpidp_testability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

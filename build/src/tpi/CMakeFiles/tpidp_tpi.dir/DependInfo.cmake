@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpi/dp_planner.cpp" "src/tpi/CMakeFiles/tpidp_tpi.dir/dp_planner.cpp.o" "gcc" "src/tpi/CMakeFiles/tpidp_tpi.dir/dp_planner.cpp.o.d"
+  "/root/repo/src/tpi/evaluate.cpp" "src/tpi/CMakeFiles/tpidp_tpi.dir/evaluate.cpp.o" "gcc" "src/tpi/CMakeFiles/tpidp_tpi.dir/evaluate.cpp.o.d"
+  "/root/repo/src/tpi/exhaustive_planner.cpp" "src/tpi/CMakeFiles/tpidp_tpi.dir/exhaustive_planner.cpp.o" "gcc" "src/tpi/CMakeFiles/tpidp_tpi.dir/exhaustive_planner.cpp.o.d"
+  "/root/repo/src/tpi/greedy_planner.cpp" "src/tpi/CMakeFiles/tpidp_tpi.dir/greedy_planner.cpp.o" "gcc" "src/tpi/CMakeFiles/tpidp_tpi.dir/greedy_planner.cpp.o.d"
+  "/root/repo/src/tpi/hardness.cpp" "src/tpi/CMakeFiles/tpidp_tpi.dir/hardness.cpp.o" "gcc" "src/tpi/CMakeFiles/tpidp_tpi.dir/hardness.cpp.o.d"
+  "/root/repo/src/tpi/objective.cpp" "src/tpi/CMakeFiles/tpidp_tpi.dir/objective.cpp.o" "gcc" "src/tpi/CMakeFiles/tpidp_tpi.dir/objective.cpp.o.d"
+  "/root/repo/src/tpi/random_planner.cpp" "src/tpi/CMakeFiles/tpidp_tpi.dir/random_planner.cpp.o" "gcc" "src/tpi/CMakeFiles/tpidp_tpi.dir/random_planner.cpp.o.d"
+  "/root/repo/src/tpi/threshold.cpp" "src/tpi/CMakeFiles/tpidp_tpi.dir/threshold.cpp.o" "gcc" "src/tpi/CMakeFiles/tpidp_tpi.dir/threshold.cpp.o.d"
+  "/root/repo/src/tpi/tree_joint_dp.cpp" "src/tpi/CMakeFiles/tpidp_tpi.dir/tree_joint_dp.cpp.o" "gcc" "src/tpi/CMakeFiles/tpidp_tpi.dir/tree_joint_dp.cpp.o.d"
+  "/root/repo/src/tpi/tree_obs_dp.cpp" "src/tpi/CMakeFiles/tpidp_tpi.dir/tree_obs_dp.cpp.o" "gcc" "src/tpi/CMakeFiles/tpidp_tpi.dir/tree_obs_dp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fault/CMakeFiles/tpidp_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/tpidp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/testability/CMakeFiles/tpidp_testability.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tpidp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tpidp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpidp_tpi.dir/dp_planner.cpp.o"
+  "CMakeFiles/tpidp_tpi.dir/dp_planner.cpp.o.d"
+  "CMakeFiles/tpidp_tpi.dir/evaluate.cpp.o"
+  "CMakeFiles/tpidp_tpi.dir/evaluate.cpp.o.d"
+  "CMakeFiles/tpidp_tpi.dir/exhaustive_planner.cpp.o"
+  "CMakeFiles/tpidp_tpi.dir/exhaustive_planner.cpp.o.d"
+  "CMakeFiles/tpidp_tpi.dir/greedy_planner.cpp.o"
+  "CMakeFiles/tpidp_tpi.dir/greedy_planner.cpp.o.d"
+  "CMakeFiles/tpidp_tpi.dir/hardness.cpp.o"
+  "CMakeFiles/tpidp_tpi.dir/hardness.cpp.o.d"
+  "CMakeFiles/tpidp_tpi.dir/objective.cpp.o"
+  "CMakeFiles/tpidp_tpi.dir/objective.cpp.o.d"
+  "CMakeFiles/tpidp_tpi.dir/random_planner.cpp.o"
+  "CMakeFiles/tpidp_tpi.dir/random_planner.cpp.o.d"
+  "CMakeFiles/tpidp_tpi.dir/threshold.cpp.o"
+  "CMakeFiles/tpidp_tpi.dir/threshold.cpp.o.d"
+  "CMakeFiles/tpidp_tpi.dir/tree_joint_dp.cpp.o"
+  "CMakeFiles/tpidp_tpi.dir/tree_joint_dp.cpp.o.d"
+  "CMakeFiles/tpidp_tpi.dir/tree_obs_dp.cpp.o"
+  "CMakeFiles/tpidp_tpi.dir/tree_obs_dp.cpp.o.d"
+  "libtpidp_tpi.a"
+  "libtpidp_tpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpidp_tpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

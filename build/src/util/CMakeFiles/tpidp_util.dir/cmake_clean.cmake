@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpidp_util.dir/lfsr.cpp.o"
+  "CMakeFiles/tpidp_util.dir/lfsr.cpp.o.d"
+  "CMakeFiles/tpidp_util.dir/table.cpp.o"
+  "CMakeFiles/tpidp_util.dir/table.cpp.o.d"
+  "libtpidp_util.a"
+  "libtpidp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpidp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

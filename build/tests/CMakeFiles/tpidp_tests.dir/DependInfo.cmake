@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_atpg.cpp" "tests/CMakeFiles/tpidp_tests.dir/test_atpg.cpp.o" "gcc" "tests/CMakeFiles/tpidp_tests.dir/test_atpg.cpp.o.d"
+  "/root/repo/tests/test_bench_io.cpp" "tests/CMakeFiles/tpidp_tests.dir/test_bench_io.cpp.o" "gcc" "tests/CMakeFiles/tpidp_tests.dir/test_bench_io.cpp.o.d"
+  "/root/repo/tests/test_bist.cpp" "tests/CMakeFiles/tpidp_tests.dir/test_bist.cpp.o" "gcc" "tests/CMakeFiles/tpidp_tests.dir/test_bist.cpp.o.d"
+  "/root/repo/tests/test_circuit.cpp" "tests/CMakeFiles/tpidp_tests.dir/test_circuit.cpp.o" "gcc" "tests/CMakeFiles/tpidp_tests.dir/test_circuit.cpp.o.d"
+  "/root/repo/tests/test_cop.cpp" "tests/CMakeFiles/tpidp_tests.dir/test_cop.cpp.o" "gcc" "tests/CMakeFiles/tpidp_tests.dir/test_cop.cpp.o.d"
+  "/root/repo/tests/test_deductive.cpp" "tests/CMakeFiles/tpidp_tests.dir/test_deductive.cpp.o" "gcc" "tests/CMakeFiles/tpidp_tests.dir/test_deductive.cpp.o.d"
+  "/root/repo/tests/test_detect.cpp" "tests/CMakeFiles/tpidp_tests.dir/test_detect.cpp.o" "gcc" "tests/CMakeFiles/tpidp_tests.dir/test_detect.cpp.o.d"
+  "/root/repo/tests/test_fault.cpp" "tests/CMakeFiles/tpidp_tests.dir/test_fault.cpp.o" "gcc" "tests/CMakeFiles/tpidp_tests.dir/test_fault.cpp.o.d"
+  "/root/repo/tests/test_fault_sim.cpp" "tests/CMakeFiles/tpidp_tests.dir/test_fault_sim.cpp.o" "gcc" "tests/CMakeFiles/tpidp_tests.dir/test_fault_sim.cpp.o.d"
+  "/root/repo/tests/test_ffr.cpp" "tests/CMakeFiles/tpidp_tests.dir/test_ffr.cpp.o" "gcc" "tests/CMakeFiles/tpidp_tests.dir/test_ffr.cpp.o.d"
+  "/root/repo/tests/test_gate.cpp" "tests/CMakeFiles/tpidp_tests.dir/test_gate.cpp.o" "gcc" "tests/CMakeFiles/tpidp_tests.dir/test_gate.cpp.o.d"
+  "/root/repo/tests/test_gen.cpp" "tests/CMakeFiles/tpidp_tests.dir/test_gen.cpp.o" "gcc" "tests/CMakeFiles/tpidp_tests.dir/test_gen.cpp.o.d"
+  "/root/repo/tests/test_hardness.cpp" "tests/CMakeFiles/tpidp_tests.dir/test_hardness.cpp.o" "gcc" "tests/CMakeFiles/tpidp_tests.dir/test_hardness.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/tpidp_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/tpidp_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_planners.cpp" "tests/CMakeFiles/tpidp_tests.dir/test_planners.cpp.o" "gcc" "tests/CMakeFiles/tpidp_tests.dir/test_planners.cpp.o.d"
+  "/root/repo/tests/test_profile.cpp" "tests/CMakeFiles/tpidp_tests.dir/test_profile.cpp.o" "gcc" "tests/CMakeFiles/tpidp_tests.dir/test_profile.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/tpidp_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/tpidp_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_scoap.cpp" "tests/CMakeFiles/tpidp_tests.dir/test_scoap.cpp.o" "gcc" "tests/CMakeFiles/tpidp_tests.dir/test_scoap.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/tpidp_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/tpidp_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/tpidp_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/tpidp_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_transform.cpp" "tests/CMakeFiles/tpidp_tests.dir/test_transform.cpp.o" "gcc" "tests/CMakeFiles/tpidp_tests.dir/test_transform.cpp.o.d"
+  "/root/repo/tests/test_tree_joint_dp.cpp" "tests/CMakeFiles/tpidp_tests.dir/test_tree_joint_dp.cpp.o" "gcc" "tests/CMakeFiles/tpidp_tests.dir/test_tree_joint_dp.cpp.o.d"
+  "/root/repo/tests/test_tree_obs_dp.cpp" "tests/CMakeFiles/tpidp_tests.dir/test_tree_obs_dp.cpp.o" "gcc" "tests/CMakeFiles/tpidp_tests.dir/test_tree_obs_dp.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/tpidp_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/tpidp_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_verilog.cpp" "tests/CMakeFiles/tpidp_tests.dir/test_verilog.cpp.o" "gcc" "tests/CMakeFiles/tpidp_tests.dir/test_verilog.cpp.o.d"
+  "/root/repo/tests/test_weights.cpp" "tests/CMakeFiles/tpidp_tests.dir/test_weights.cpp.o" "gcc" "tests/CMakeFiles/tpidp_tests.dir/test_weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tpi/CMakeFiles/tpidp_tpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/tpidp_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/atpg/CMakeFiles/tpidp_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/bist/CMakeFiles/tpidp_bist.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/tpidp_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tpidp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/testability/CMakeFiles/tpidp_testability.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/tpidp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tpidp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpidp.dir/tpidp_cli.cpp.o"
+  "CMakeFiles/tpidp.dir/tpidp_cli.cpp.o.d"
+  "tpidp"
+  "tpidp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpidp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
