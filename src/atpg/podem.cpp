@@ -91,6 +91,11 @@ public:
         TestCube cube;
         imply();
         for (;;) {
+            if (options_.deadline != nullptr &&
+                options_.deadline->expired()) {
+                cube.outcome = Outcome::Aborted;  // best-effort give-up
+                break;
+            }
             if (detected()) {
                 cube.outcome = Outcome::Detected;
                 break;
@@ -338,8 +343,16 @@ AtpgSummary run_atpg(const Circuit& circuit,
                      const fault::CollapsedFaults& faults,
                      const AtpgOptions& options) {
     AtpgSummary summary;
-    summary.outcome.resize(faults.size());
+    summary.outcome.resize(faults.size(), Outcome::Aborted);
     for (std::size_t i = 0; i < faults.size(); ++i) {
+        // One unit of work is a whole PODEM run — poll the clock every
+        // fault (generate_test itself checks per decision, amortised).
+        if (options.deadline != nullptr &&
+            options.deadline->expired_now()) {
+            summary.truncated = true;
+            summary.skipped = faults.size() - i;
+            break;
+        }
         TestCube cube =
             generate_test(circuit, faults.representatives[i], options);
         summary.outcome[i] = cube.outcome;

@@ -5,6 +5,7 @@
 
 #include "fault/fault.hpp"
 #include "netlist/circuit.hpp"
+#include "util/deadline.hpp"
 
 namespace tpi::atpg {
 
@@ -27,6 +28,11 @@ struct AtpgOptions {
     /// Give up on a fault after this many backtracks (it is then Aborted,
     /// not proven redundant).
     std::size_t backtrack_limit = 20000;
+    /// Optional cooperative resource budget (not owned). Checked per
+    /// decision inside generate_test (the fault is Aborted on expiry)
+    /// and per fault inside run_atpg (remaining faults are skipped and
+    /// counted in AtpgSummary::skipped).
+    util::Deadline* deadline = nullptr;
 };
 
 /// PODEM test generation for a single stuck-at fault.
@@ -48,6 +54,11 @@ struct AtpgSummary {
     std::size_t detected = 0;
     std::size_t redundant = 0;
     std::size_t aborted = 0;
+    /// Completeness status: deadline expired before every fault was
+    /// attempted. `skipped` faults were never tried (their outcome
+    /// entries read Aborted).
+    bool truncated = false;
+    std::size_t skipped = 0;
 };
 
 /// Run PODEM on every fault of the universe. The paper-era experimental

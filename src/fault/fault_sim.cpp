@@ -69,6 +69,15 @@ FaultSimResult run_fault_simulation(const Circuit& circuit,
 
         std::size_t kept = 0;
         for (std::size_t idx = 0; idx < active.size(); ++idx) {
+            if (options.deadline != nullptr &&
+                options.deadline->expired()) {
+                // Deadline: keep the faults not yet simulated this block
+                // active and stop. Detections already recorded stand.
+                result.truncated = true;
+                for (std::size_t j = idx; j < active.size(); ++j)
+                    active[kept++] = active[j];
+                break;
+            }
             const std::uint32_t fi = active[idx];
             const Fault fault = faults.representatives[fi];
             const NodeId site = fault.node;
@@ -148,6 +157,7 @@ FaultSimResult run_fault_simulation(const Circuit& circuit,
             if (detect == 0 || !options.drop_detected) active[kept++] = fi;
         }
         active.resize(kept);
+        if (result.truncated) break;  // partial block: don't count it
         result.patterns_applied = (b + 1) * 64;
         if (options.record_curve)
             result.coverage_curve.push_back(covered_weight / total_weight);
@@ -163,12 +173,14 @@ FaultSimResult run_fault_simulation(const Circuit& circuit,
 FaultSimResult random_pattern_coverage(const Circuit& circuit,
                                        std::size_t num_patterns,
                                        std::uint64_t seed,
-                                       bool record_curve) {
+                                       bool record_curve,
+                                       util::Deadline* deadline) {
     const CollapsedFaults faults = collapse_faults(circuit);
     sim::RandomPatternSource source(seed);
     FaultSimOptions options;
     options.max_patterns = num_patterns;
     options.record_curve = record_curve;
+    options.deadline = deadline;
     return run_fault_simulation(circuit, faults, source, options);
 }
 

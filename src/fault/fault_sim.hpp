@@ -8,6 +8,7 @@
 #include "fault/fault.hpp"
 #include "netlist/circuit.hpp"
 #include "sim/pattern.hpp"
+#include "util/deadline.hpp"
 
 namespace tpi::fault {
 
@@ -28,6 +29,11 @@ struct FaultSimOptions {
     std::function<void(std::uint32_t fault_index, std::size_t block,
                        std::span<const std::uint64_t> faulty_po_words)>
         response_observer;
+    /// Optional cooperative resource budget (not owned). Checked per
+    /// simulated fault; on expiry the simulation stops at the current
+    /// block and returns the coverage accumulated so far with
+    /// FaultSimResult::truncated set.
+    util::Deadline* deadline = nullptr;
 };
 
 struct FaultSimResult {
@@ -41,6 +47,9 @@ struct FaultSimResult {
     std::size_t undetected = 0;
     /// If requested: coverage after each 64-pattern block.
     std::vector<double> coverage_curve;
+    /// Completeness status: true when the deadline expired and the
+    /// result reflects only the patterns simulated up to that point.
+    bool truncated = false;
 
     /// Patterns needed to reach `target` coverage, or -1 if never reached.
     std::int64_t patterns_to_coverage(double target,
@@ -65,6 +74,7 @@ FaultSimResult run_fault_simulation(const netlist::Circuit& circuit,
 FaultSimResult random_pattern_coverage(const netlist::Circuit& circuit,
                                        std::size_t num_patterns,
                                        std::uint64_t seed,
-                                       bool record_curve = false);
+                                       bool record_curve = false,
+                                       util::Deadline* deadline = nullptr);
 
 }  // namespace tpi::fault

@@ -30,9 +30,29 @@ struct Statement {
     int line = 0;
 };
 
+/// An INPUT/OUTPUT declaration with its source line.
+struct Decl {
+    std::string name;
+    int line = 0;
+};
+
+/// Reader behavior beyond plain parsing: nullptr = legacy (strict parse,
+/// no structural validation).
+struct Policy {
+    ValidateMode mode = ValidateMode::Strict;
+    Diagnostics* diags = nullptr;
+
+    bool lenient() const { return mode == ValidateMode::Lenient; }
+    void repair(std::string check, std::string message,
+                std::vector<std::string> nodes = {}) const {
+        if (diags)
+            diags->add(DiagSeverity::Repair, std::move(check),
+                       std::move(message), std::move(nodes));
+    }
+};
+
 [[noreturn]] void fail(int line, const std::string& message) {
-    throw Error(".bench parse error (line " + std::to_string(line) +
-                "): " + message);
+    throw ParseError(".bench", line, message);
 }
 
 /// Split "OP(a, b, c)" into op and args. Returns false if not that shape.
@@ -60,11 +80,10 @@ bool parse_call(std::string_view text, int line, std::string& op,
     return true;
 }
 
-}  // namespace
-
-Circuit read_bench(std::istream& in, std::string circuit_name) {
-    std::vector<std::string> input_decls;
-    std::vector<std::string> output_decls;
+Circuit read_bench_impl(std::istream& in, std::string circuit_name,
+                        const Policy* policy) {
+    std::vector<Decl> input_decls;
+    std::vector<Decl> output_decls;
     std::vector<Statement> statements;
 
     std::string raw;
@@ -87,9 +106,9 @@ Circuit read_bench(std::istream& in, std::string circuit_name) {
             if (args.size() != 1)
                 fail(line_no, op + " takes exactly one signal");
             if (op == "INPUT")
-                input_decls.push_back(args[0]);
+                input_decls.push_back({args[0], line_no});
             else if (op == "OUTPUT")
-                output_decls.push_back(args[0]);
+                output_decls.push_back({args[0], line_no});
             else
                 fail(line_no, "unknown declaration '" + op + "'");
             continue;
@@ -104,30 +123,63 @@ Circuit read_bench(std::istream& in, std::string circuit_name) {
         statements.push_back(std::move(st));
     }
 
+    const bool lenient = policy != nullptr && policy->lenient();
     Circuit circuit(std::move(circuit_name));
     std::unordered_map<std::string, NodeId> by_name;
     std::unordered_map<std::string, std::size_t> defining;
-    std::vector<std::string> scan_data_outputs;  // DFF fanins (pseudo-POs)
+    std::vector<Decl> scan_data_outputs;  // DFF fanins (pseudo-POs)
 
-    for (const std::string& name : input_decls) {
-        if (by_name.contains(name))
-            throw Error(".bench: duplicate INPUT '" + name + "'");
-        by_name.emplace(name, circuit.add_input(name));
+    for (const Decl& decl : input_decls) {
+        if (by_name.contains(decl.name)) {
+            if (lenient) {
+                policy->repair("duplicate-input",
+                               "dropped duplicate INPUT '" + decl.name +
+                                   "' (line " + std::to_string(decl.line) +
+                                   ")",
+                               {decl.name});
+                continue;
+            }
+            fail(decl.line, "duplicate INPUT '" + decl.name + "'");
+        }
+        by_name.emplace(decl.name, circuit.add_input(decl.name));
     }
     for (std::size_t i = 0; i < statements.size(); ++i) {
         const Statement& st = statements[i];
-        if (by_name.contains(st.lhs) || defining.contains(st.lhs))
+        if (by_name.contains(st.lhs) || defining.contains(st.lhs)) {
+            if (lenient) {
+                policy->repair("duplicate-definition",
+                               "signal '" + st.lhs +
+                                   "' defined twice; kept the first "
+                                   "definition (dropped line " +
+                                   std::to_string(st.line) + ")",
+                               {st.lhs});
+                continue;
+            }
             fail(st.line, "signal '" + st.lhs + "' defined twice");
+        }
         // Full-scan conversion: a DFF output is a pseudo primary input and
         // the DFF data fanin becomes a pseudo primary output.
         if (st.op == "DFF" || st.op == "dff") {
             if (st.args.size() != 1) fail(st.line, "DFF takes one fanin");
             by_name.emplace(st.lhs, circuit.add_input(st.lhs));
-            scan_data_outputs.push_back(st.args[0]);
+            scan_data_outputs.push_back({st.args[0], st.line});
             continue;
         }
         defining.emplace(st.lhs, i);
     }
+
+    // Resolve a fanin reference, tying undefined signals to constant 0 in
+    // lenient mode.
+    const auto resolve_undefined = [&](const Statement& st,
+                                       const std::string& arg) {
+        if (!lenient)
+            fail(st.line, "undefined signal '" + arg + "'");
+        policy->repair("undriven-net",
+                       "tied undefined signal '" + arg +
+                           "' (used by '" + st.lhs + "') to constant 0",
+                       {arg});
+        by_name.emplace(arg, circuit.add_const(false, arg));
+    };
 
     // Create gate nodes in dependency order with an explicit DFS stack
     // (recursion would overflow on deep circuits).
@@ -147,8 +199,10 @@ Circuit read_bench(std::istream& in, std::string circuit_name) {
                 for (const std::string& arg : st.args) {
                     if (by_name.contains(arg)) continue;
                     const auto it = defining.find(arg);
-                    if (it == defining.end())
-                        fail(st.line, "undefined signal '" + arg + "'");
+                    if (it == defining.end()) {
+                        resolve_undefined(st, arg);
+                        continue;
+                    }
                     if (state[it->second] == 1)
                         fail(st.line, "combinational cycle through '" +
                                           st.lhs + "'");
@@ -166,9 +220,21 @@ Circuit read_bench(std::istream& in, std::string circuit_name) {
                 by_name.emplace(st.lhs,
                                 circuit.add_const(st.op == "CONST1", st.lhs));
             } else {
-                const GateType type = gate_type_from_name(st.op);
+                GateType type;
+                try {
+                    type = gate_type_from_name(st.op);
+                } catch (const Error& e) {
+                    fail(st.line, e.what());
+                }
                 if (type == GateType::Input)
                     fail(st.line, "INPUT used as a gate");
+                if (is_source(type))
+                    fail(st.line, st.op + " takes no fanins");
+                if ((type == GateType::Buf || type == GateType::Not) &&
+                    st.args.size() != 1)
+                    fail(st.line, st.op + " takes exactly one fanin");
+                if (st.args.empty())
+                    fail(st.line, st.op + " needs at least one fanin");
                 std::vector<NodeId> fanins;
                 fanins.reserve(st.args.size());
                 for (const std::string& arg : st.args)
@@ -181,25 +247,86 @@ Circuit read_bench(std::istream& in, std::string circuit_name) {
             stack.pop_back();
         }
     };
-    for (std::size_t i = 0; i < statements.size(); ++i)
-        if (defining.contains(statements[i].lhs) && state[i] != 2)
+    for (std::size_t i = 0; i < statements.size(); ++i) {
+        const auto it = defining.find(statements[i].lhs);
+        if (it != defining.end() && it->second == i && state[i] != 2)
             create_all_from(i);
+    }
 
-    for (const std::string& name : output_decls) {
-        const auto it = by_name.find(name);
-        if (it == by_name.end())
-            throw Error(".bench: OUTPUT of undefined signal '" + name + "'");
+    for (const Decl& decl : output_decls) {
+        const auto it = by_name.find(decl.name);
+        if (it == by_name.end()) {
+            if (lenient) {
+                policy->repair("floating-output",
+                               "dropped OUTPUT of undefined signal '" +
+                                   decl.name + "' (line " +
+                                   std::to_string(decl.line) + ")",
+                               {decl.name});
+                continue;
+            }
+            fail(decl.line,
+                 "OUTPUT of undefined signal '" + decl.name + "'");
+        }
         if (!circuit.is_output(it->second)) circuit.mark_output(it->second);
     }
-    for (const std::string& name : scan_data_outputs) {
-        const auto it = by_name.find(name);
-        if (it == by_name.end())
-            throw Error(".bench: DFF fanin '" + name + "' undefined");
+    for (const Decl& decl : scan_data_outputs) {
+        const auto it = by_name.find(decl.name);
+        if (it == by_name.end()) {
+            if (lenient) {
+                policy->repair("floating-output",
+                               "dropped pseudo-output of undefined DFF "
+                               "fanin '" +
+                                   decl.name + "' (line " +
+                                   std::to_string(decl.line) + ")",
+                               {decl.name});
+                continue;
+            }
+            fail(decl.line, "DFF fanin '" + decl.name + "' undefined");
+        }
         if (!circuit.is_output(it->second)) circuit.mark_output(it->second);
     }
 
     circuit.validate();
+    if (policy != nullptr) {
+        Diagnostics vdiags = validate(circuit, policy->mode);
+        if (policy->diags) policy->diags->merge(std::move(vdiags));
+    }
     return circuit;
+}
+
+/// Error contract wrapper: nothing but ParseError/ValidationError may
+/// escape a reader, whatever the input text provokes internally.
+template <typename Fn>
+Circuit guard_read(Fn&& fn) {
+    try {
+        return fn();
+    } catch (const ParseError&) {
+        throw;
+    } catch (const ValidationError&) {
+        throw;
+    } catch (const Error& e) {
+        throw ParseError(".bench", 0, e.what());
+    } catch (const std::exception& e) {
+        throw ParseError(".bench", 0,
+                         std::string("internal reader failure: ") +
+                             e.what());
+    }
+}
+
+}  // namespace
+
+Circuit read_bench(std::istream& in, std::string circuit_name) {
+    return guard_read([&] {
+        return read_bench_impl(in, std::move(circuit_name), nullptr);
+    });
+}
+
+Circuit read_bench(std::istream& in, std::string circuit_name,
+                   ValidateMode mode, Diagnostics* diagnostics) {
+    const Policy policy{mode, diagnostics};
+    return guard_read([&] {
+        return read_bench_impl(in, std::move(circuit_name), &policy);
+    });
 }
 
 Circuit read_bench_string(const std::string& text, std::string circuit_name) {
@@ -207,17 +334,42 @@ Circuit read_bench_string(const std::string& text, std::string circuit_name) {
     return read_bench(in, std::move(circuit_name));
 }
 
-Circuit read_bench_file(const std::string& path) {
+Circuit read_bench_string(const std::string& text, std::string circuit_name,
+                          ValidateMode mode, Diagnostics* diagnostics) {
+    std::istringstream in(text);
+    return read_bench(in, std::move(circuit_name), mode, diagnostics);
+}
+
+namespace {
+
+std::ifstream open_bench_file(const std::string& path) {
     std::ifstream in(path);
-    require(in.good(), "read_bench_file: cannot open '" + path + "'");
-    // Circuit name = file stem.
+    if (!in.good())
+        throw ParseError(path, 0, "cannot open file");
+    return in;
+}
+
+std::string file_stem(const std::string& path) {
     auto stem = path;
     if (const auto slash = stem.find_last_of('/');
         slash != std::string::npos)
         stem = stem.substr(slash + 1);
     if (const auto dot = stem.find_last_of('.'); dot != std::string::npos)
         stem = stem.substr(0, dot);
-    return read_bench(in, stem);
+    return stem;
+}
+
+}  // namespace
+
+Circuit read_bench_file(const std::string& path) {
+    std::ifstream in = open_bench_file(path);
+    return read_bench(in, file_stem(path));
+}
+
+Circuit read_bench_file(const std::string& path, ValidateMode mode,
+                        Diagnostics* diagnostics) {
+    std::ifstream in = open_bench_file(path);
+    return read_bench(in, file_stem(path), mode, diagnostics);
 }
 
 void write_bench(std::ostream& out, const Circuit& circuit) {

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "netlist/circuit.hpp"
+#include "netlist/validate.hpp"
 
 namespace tpi::netlist {
 
@@ -19,17 +20,36 @@ namespace tpi::netlist {
 /// pseudo primary input and the flip-flop's data fanin becomes a pseudo
 /// primary output, yielding the combinational core the fault simulator and
 /// the TPI algorithms operate on.
+///
+/// Error contract: every reader failure is a tpi::ParseError (malformed
+/// text, undefined/duplicated signals, cycles) or — from the validated
+/// overloads — a tpi::ValidationError. No other exception type escapes.
 
-/// Parse a circuit from .bench text. Throws tpi::Error on syntax errors,
-/// references to undefined signals, or redefinitions.
+/// Parse a circuit from .bench text. Throws tpi::ParseError on syntax
+/// errors, references to undefined signals, or redefinitions.
 Circuit read_bench(std::istream& in, std::string circuit_name = "bench");
+
+/// Parse and validate. Strict mode rejects structurally broken netlists
+/// (tpi::ValidationError); Lenient mode additionally repairs what it
+/// safely can during parsing — undefined fanin signals are tied to
+/// constant 0, duplicate definitions keep the first, OUTPUT/DFF
+/// declarations of undefined signals are dropped — and then runs the
+/// lenient validator (dead logic removal). Every repair is recorded in
+/// `*diagnostics` when given.
+Circuit read_bench(std::istream& in, std::string circuit_name,
+                   ValidateMode mode, Diagnostics* diagnostics = nullptr);
 
 /// Parse a circuit from a .bench string.
 Circuit read_bench_string(const std::string& text,
                           std::string circuit_name = "bench");
+Circuit read_bench_string(const std::string& text, std::string circuit_name,
+                          ValidateMode mode,
+                          Diagnostics* diagnostics = nullptr);
 
 /// Parse a circuit from a .bench file on disk.
 Circuit read_bench_file(const std::string& path);
+Circuit read_bench_file(const std::string& path, ValidateMode mode,
+                        Diagnostics* diagnostics = nullptr);
 
 /// Serialise a circuit to .bench text. Constants are emitted as
 /// one-input pseudo-gates CONST0()/CONST1() (accepted back by read_bench).

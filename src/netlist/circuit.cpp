@@ -140,7 +140,12 @@ void Circuit::ensure_analysis() const {
         }
     }
     if (topo_.size() != n) {
-        throw Error("Circuit: combinational cycle detected");
+        // Name a few of the nodes stuck on the cycle for the report.
+        std::vector<std::string> stuck;
+        for (std::uint32_t i = 0; i < n && stuck.size() < 8; ++i)
+            if (pending[i] > 0) stuck.push_back(names_[i]);
+        throw ValidationError("Circuit: combinational cycle detected",
+                              std::move(stuck));
     }
     depth_ = 0;
     for (int lv : level_) depth_ = std::max(depth_, lv);

@@ -1,0 +1,293 @@
+#include "netlist/validate.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace tpi::netlist {
+namespace {
+
+/// Cap diagnostic node lists so a pathological netlist cannot bloat the
+/// report (the message still states the true count).
+constexpr std::size_t kMaxNamedNodes = 8;
+
+std::string join_names(const std::vector<std::string>& names) {
+    std::string out;
+    for (std::size_t i = 0; i < names.size() && i < kMaxNamedNodes; ++i) {
+        if (i > 0) out += ", ";
+        out += "'" + names[i] + "'";
+    }
+    if (names.size() > kMaxNamedNodes)
+        out += ", ... (" + std::to_string(names.size()) + " total)";
+    return out;
+}
+
+/// Local Kahn pass over the fanin lists (Circuit's own analysis throws
+/// on cycles, which is exactly what inspect() must not do). Returns the
+/// names of nodes stuck on a cycle, empty when acyclic.
+std::vector<std::string> cyclic_nodes(const Circuit& circuit) {
+    const std::size_t n = circuit.node_count();
+    std::vector<std::uint32_t> pending(n, 0);
+    std::vector<std::vector<std::uint32_t>> consumers(n);
+    for (std::uint32_t v = 0; v < n; ++v) {
+        const auto fanins = circuit.fanins(NodeId{v});
+        pending[v] = static_cast<std::uint32_t>(fanins.size());
+        for (NodeId f : fanins) consumers[f.v].push_back(v);
+    }
+    std::vector<std::uint32_t> order;
+    order.reserve(n);
+    for (std::uint32_t v = 0; v < n; ++v)
+        if (pending[v] == 0) order.push_back(v);
+    for (std::size_t head = 0; head < order.size(); ++head)
+        for (std::uint32_t w : consumers[order[head]])
+            if (--pending[w] == 0) order.push_back(w);
+
+    std::vector<std::string> stuck;
+    if (order.size() != n)
+        for (std::uint32_t v = 0; v < n; ++v)
+            if (pending[v] > 0)
+                stuck.push_back(circuit.node_name(NodeId{v}));
+    return stuck;
+}
+
+/// Nodes from which some primary output is reachable (reverse DFS over
+/// fanins). Precondition: acyclic.
+std::vector<bool> feeds_output(const Circuit& circuit) {
+    std::vector<bool> live(circuit.node_count(), false);
+    std::vector<NodeId> stack;
+    for (NodeId po : circuit.outputs()) {
+        if (!live[po.v]) {
+            live[po.v] = true;
+            stack.push_back(po);
+        }
+    }
+    while (!stack.empty()) {
+        const NodeId v = stack.back();
+        stack.pop_back();
+        for (NodeId f : circuit.fanins(v)) {
+            if (!live[f.v]) {
+                live[f.v] = true;
+                stack.push_back(f);
+            }
+        }
+    }
+    return live;
+}
+
+/// Drop every node that neither is a primary input nor feeds a primary
+/// output, preserving input/output order and all names.
+Circuit strip_dead_cone(const Circuit& circuit,
+                        const std::vector<bool>& live,
+                        std::vector<std::string>& dropped) {
+    Circuit repaired(circuit.name());
+    std::vector<NodeId> remap(circuit.node_count(), kNullNode);
+    // Creation order is a valid build order (add_gate demands existing
+    // fanins), so a single forward pass suffices.
+    for (std::uint32_t i = 0; i < circuit.node_count(); ++i) {
+        const NodeId v{i};
+        const GateType t = circuit.type(v);
+        if (t != GateType::Input && !live[i]) {
+            dropped.push_back(circuit.node_name(v));
+            continue;
+        }
+        if (t == GateType::Input) {
+            remap[i] = repaired.add_input(circuit.node_name(v));
+        } else if (t == GateType::Const0 || t == GateType::Const1) {
+            remap[i] = repaired.add_const(t == GateType::Const1,
+                                          circuit.node_name(v));
+        } else {
+            std::vector<NodeId> fanins;
+            for (NodeId f : circuit.fanins(v)) fanins.push_back(remap[f.v]);
+            remap[i] = repaired.add_gate(t, std::move(fanins),
+                                         circuit.node_name(v));
+        }
+    }
+    for (NodeId po : circuit.outputs()) repaired.mark_output(remap[po.v]);
+    return repaired;
+}
+
+void inspect_into(const Circuit& circuit, Diagnostics& diags) {
+    if (circuit.node_count() == 0) {
+        diags.add(DiagSeverity::Error, "empty-circuit",
+                  "circuit has no nodes");
+        return;
+    }
+    const std::vector<std::string> stuck = cyclic_nodes(circuit);
+    if (!stuck.empty()) {
+        diags.add(DiagSeverity::Error, "combinational-cycle",
+                  "combinational cycle through " + join_names(stuck), stuck);
+        return;  // downstream checks need the (acyclic) analysis
+    }
+    if (circuit.output_count() == 0)
+        diags.add(DiagSeverity::Error, "no-outputs",
+                  "circuit has no primary outputs; every gate is dead");
+
+    std::vector<std::string> dead;
+    std::vector<std::string> unused_inputs;
+    std::vector<std::string> degenerate;
+    for (NodeId v : circuit.all_nodes()) {
+        const GateType t = circuit.type(v);
+        const bool sink = circuit.fanout_count(v) == 0 &&
+                          !circuit.is_output(v);
+        if (sink) {
+            if (t == GateType::Input)
+                unused_inputs.push_back(circuit.node_name(v));
+            else
+                dead.push_back(circuit.node_name(v));
+        }
+        if (is_source(t)) continue;
+        const auto fanins = circuit.fanins(v);
+        if (t != GateType::Buf && t != GateType::Not &&
+            fanins.size() == 1) {
+            degenerate.push_back(circuit.node_name(v));
+            continue;
+        }
+        std::unordered_set<std::uint32_t> seen;
+        for (NodeId f : fanins) {
+            if (!seen.insert(f.v).second) {
+                degenerate.push_back(circuit.node_name(v));
+                break;
+            }
+        }
+    }
+    if (!dead.empty())
+        diags.add(DiagSeverity::Error, "dead-gate",
+                  std::to_string(dead.size()) +
+                      " gate(s) drive neither a primary output nor any "
+                      "other gate: " +
+                      join_names(dead),
+                  dead);
+    if (!unused_inputs.empty())
+        diags.add(DiagSeverity::Warning, "unused-input",
+                  std::to_string(unused_inputs.size()) +
+                      " primary input(s) feed nothing: " +
+                      join_names(unused_inputs),
+                  unused_inputs);
+    if (!degenerate.empty())
+        diags.add(DiagSeverity::Warning, "degenerate-gate",
+                  std::to_string(degenerate.size()) +
+                      " gate(s) with duplicate or single fanins: " +
+                      join_names(degenerate),
+                  degenerate);
+}
+
+[[noreturn]] void throw_validation(const Diagnostics& diags) {
+    std::vector<std::string> nodes;
+    std::string first;
+    for (const Diagnostic& d : diags.entries) {
+        if (d.severity != DiagSeverity::Error) continue;
+        if (first.empty()) first = d.message;
+        nodes.insert(nodes.end(), d.nodes.begin(), d.nodes.end());
+    }
+    throw ValidationError(
+        "netlist validation failed (" + diags.summary() + "): " + first,
+        std::move(nodes));
+}
+
+}  // namespace
+
+const char* validate_mode_name(ValidateMode mode) {
+    return mode == ValidateMode::Strict ? "strict" : "lenient";
+}
+
+const char* diag_severity_name(DiagSeverity severity) {
+    switch (severity) {
+        case DiagSeverity::Note: return "note";
+        case DiagSeverity::Warning: return "warning";
+        case DiagSeverity::Repair: return "repair";
+        case DiagSeverity::Error: return "error";
+    }
+    return "?";
+}
+
+void Diagnostics::add(DiagSeverity severity, std::string check,
+                      std::string message,
+                      std::vector<std::string> nodes) {
+    entries.push_back({severity, std::move(check), std::move(message),
+                       std::move(nodes)});
+}
+
+void Diagnostics::merge(Diagnostics other) {
+    entries.insert(entries.end(),
+                   std::make_move_iterator(other.entries.begin()),
+                   std::make_move_iterator(other.entries.end()));
+}
+
+std::size_t Diagnostics::count(DiagSeverity severity) const {
+    return static_cast<std::size_t>(
+        std::count_if(entries.begin(), entries.end(),
+                      [severity](const Diagnostic& d) {
+                          return d.severity == severity;
+                      }));
+}
+
+std::string Diagnostics::summary() const {
+    const auto piece = [this](DiagSeverity sev, const char* noun) {
+        const std::size_t n = count(sev);
+        if (n == 0) return std::string();
+        return std::to_string(n) + " " + noun + (n == 1 ? "" : "s");
+    };
+    std::string out;
+    for (const auto& part :
+         {piece(DiagSeverity::Error, "error"),
+          piece(DiagSeverity::Warning, "warning"),
+          piece(DiagSeverity::Repair, "repair"),
+          piece(DiagSeverity::Note, "note")}) {
+        if (part.empty()) continue;
+        if (!out.empty()) out += ", ";
+        out += part;
+    }
+    return out;
+}
+
+Diagnostics inspect(const Circuit& circuit) {
+    Diagnostics diags;
+    inspect_into(circuit, diags);
+    return diags;
+}
+
+Diagnostics validate(Circuit& circuit, ValidateMode mode) {
+    if (mode == ValidateMode::Strict) {
+        Diagnostics diags = inspect(circuit);
+        if (diags.has_errors()) throw_validation(diags);
+        return diags;
+    }
+
+    // Lenient. Cycles first: there is no safe repair for those.
+    Diagnostics diags;
+    const std::vector<std::string> stuck = cyclic_nodes(circuit);
+    if (!stuck.empty()) {
+        diags.add(DiagSeverity::Error, "combinational-cycle",
+                  "combinational cycle through " + join_names(stuck), stuck);
+        throw_validation(diags);
+    }
+
+    if (circuit.node_count() > 0) {
+        const std::vector<bool> live = feeds_output(circuit);
+        bool any_dead = false;
+        for (NodeId v : circuit.all_nodes())
+            if (circuit.type(v) != GateType::Input && !live[v.v])
+                any_dead = true;
+        if (any_dead) {
+            std::vector<std::string> dropped;
+            circuit = strip_dead_cone(circuit, live, dropped);
+            diags.add(DiagSeverity::Repair, "dead-gate",
+                      "dropped " + std::to_string(dropped.size()) +
+                          " gate(s) feeding no primary output: " +
+                          join_names(dropped),
+                      dropped);
+        }
+    }
+
+    // Whatever remains is usable as-is: downgrade residual errors
+    // (empty circuit, no outputs) to warnings.
+    Diagnostics residual = inspect(circuit);
+    for (Diagnostic& d : residual.entries)
+        if (d.severity == DiagSeverity::Error)
+            d.severity = DiagSeverity::Warning;
+    diags.merge(std::move(residual));
+    return diags;
+}
+
+}  // namespace tpi::netlist

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace tpi::netlist {
+
+/// How a netlist consumer wants structural problems handled.
+///
+/// Strict  — any Error-severity diagnostic throws tpi::ValidationError.
+/// Lenient — safe repairs are applied in place (dead logic dropped,
+///           dangling references tied off by the readers) and recorded
+///           as Repair diagnostics; only unusable circuits (cycles)
+///           still throw.
+enum class ValidateMode : std::uint8_t { Strict, Lenient };
+
+const char* validate_mode_name(ValidateMode mode);
+
+enum class DiagSeverity : std::uint8_t {
+    Note,     ///< informational
+    Warning,  ///< suspicious but usable as-is
+    Repair,   ///< a lenient-mode fix that was applied
+    Error,    ///< violates the structural contract
+};
+
+const char* diag_severity_name(DiagSeverity severity);
+
+/// One finding of the validator (or of a lenient reader).
+struct Diagnostic {
+    DiagSeverity severity = DiagSeverity::Note;
+    /// Stable machine-readable check id, e.g. "combinational-cycle",
+    /// "dead-gate", "unused-input", "degenerate-gate", "no-outputs".
+    std::string check;
+    std::string message;
+    /// Names of the implicated nodes (possibly empty or truncated).
+    std::vector<std::string> nodes;
+};
+
+/// The validator's report: every finding, in detection order.
+struct Diagnostics {
+    std::vector<Diagnostic> entries;
+
+    void add(DiagSeverity severity, std::string check, std::string message,
+             std::vector<std::string> nodes = {});
+    void merge(Diagnostics other);
+
+    std::size_t count(DiagSeverity severity) const;
+    bool has_errors() const { return count(DiagSeverity::Error) > 0; }
+    std::size_t repairs() const { return count(DiagSeverity::Repair); }
+
+    /// "2 errors, 1 warning, 3 repairs" — empty string when clean.
+    std::string summary() const;
+};
+
+/// Report-only structural inspection. Never mutates, never throws:
+/// combinational cycles, empty circuits, missing primary outputs, dead
+/// gates (no fanout, not an output), unused primary inputs, and
+/// degenerate gates (duplicate fanins; single-input n-ary reductions)
+/// are all reported as diagnostics.
+Diagnostics inspect(const Circuit& circuit);
+
+/// Validate `circuit` under `mode`.
+///
+/// Strict: runs inspect() and throws tpi::ValidationError naming the
+/// offending nodes if any Error-severity finding exists; the circuit is
+/// never modified.
+///
+/// Lenient: repairs what it safely can — dead gates (and any logic
+/// feeding only dead gates) are dropped, preserving primary input and
+/// output order — and records every repair. Findings that cannot be
+/// repaired are downgraded to warnings, except combinational cycles,
+/// which still throw (a cyclic "combinational" netlist has no safe
+/// reading).
+Diagnostics validate(Circuit& circuit, ValidateMode mode);
+
+}  // namespace tpi::netlist

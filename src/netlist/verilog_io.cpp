@@ -14,9 +14,23 @@ namespace tpi::netlist {
 namespace {
 
 [[noreturn]] void fail(int line, const std::string& message) {
-    throw Error("verilog parse error (line " + std::to_string(line) +
-                "): " + message);
+    throw ParseError("verilog", line, message);
 }
+
+/// Reader behavior beyond plain parsing: nullptr = legacy (strict parse,
+/// no structural validation).
+struct Policy {
+    ValidateMode mode = ValidateMode::Strict;
+    Diagnostics* diags = nullptr;
+
+    bool lenient() const { return mode == ValidateMode::Lenient; }
+    void repair(std::string check, std::string message,
+                std::vector<std::string> nodes = {}) const {
+        if (diags)
+            diags->add(DiagSeverity::Repair, std::move(check),
+                       std::move(message), std::move(nodes));
+    }
+};
 
 struct Token {
     std::string text;
@@ -110,9 +124,7 @@ std::string emit_name(const std::string& name) {
     return "\\" + name + " ";  // escaped identifier needs the space
 }
 
-}  // namespace
-
-Circuit read_verilog(std::istream& in) {
+Circuit read_verilog_impl(std::istream& in, const Policy* policy) {
     const std::vector<Token> tokens = tokenize(in);
     std::size_t pos = 0;
     const auto peek = [&]() -> const Token& {
@@ -142,8 +154,8 @@ Circuit read_verilog(std::istream& in) {
     expect(")");
     expect(";");
 
-    std::vector<std::string> input_names;
-    std::vector<std::string> output_names;
+    std::vector<Token> input_names;
+    std::vector<Token> output_names;
     std::vector<GateStatement> gates;
 
     while (peek().text != "endmodule") {
@@ -153,9 +165,8 @@ Circuit read_verilog(std::istream& in) {
             head.text == "wire") {
             do {
                 const Token name = next();
-                if (head.text == "input") input_names.push_back(name.text);
-                if (head.text == "output")
-                    output_names.push_back(name.text);
+                if (head.text == "input") input_names.push_back(name);
+                if (head.text == "output") output_names.push_back(name);
             } while (next().text == ",");
             --pos;
             expect(";");
@@ -192,19 +203,39 @@ Circuit read_verilog(std::istream& in) {
     // Build the circuit: inputs first, then gates in dependency order
     // (iterative DFS, as .bench allows forward references and so does
     // structural Verilog).
+    const bool lenient = policy != nullptr && policy->lenient();
     Circuit circuit(module_name);
     std::unordered_map<std::string, NodeId> by_name;
     std::unordered_map<std::string, std::size_t> defining;
-    for (const std::string& name : input_names) {
-        if (by_name.contains(name))
-            throw Error("verilog: duplicate input '" + name + "'");
-        by_name.emplace(name, circuit.add_input(name));
+    for (const Token& name : input_names) {
+        if (by_name.contains(name.text)) {
+            if (lenient) {
+                policy->repair("duplicate-input",
+                               "dropped duplicate input '" + name.text +
+                                   "' (line " + std::to_string(name.line) +
+                                   ")",
+                               {name.text});
+                continue;
+            }
+            fail(name.line, "duplicate input '" + name.text + "'");
+        }
+        by_name.emplace(name.text, circuit.add_input(name.text));
     }
     for (std::size_t i = 0; i < gates.size(); ++i) {
         if (by_name.contains(gates[i].output) ||
-            defining.contains(gates[i].output))
+            defining.contains(gates[i].output)) {
+            if (lenient) {
+                policy->repair("duplicate-definition",
+                               "signal '" + gates[i].output +
+                                   "' driven twice; kept the first driver "
+                                   "(dropped line " +
+                                   std::to_string(gates[i].line) + ")",
+                               {gates[i].output});
+                continue;
+            }
             fail(gates[i].line,
                  "signal '" + gates[i].output + "' driven twice");
+        }
         defining.emplace(gates[i].output, i);
     }
     const auto resolve_literal = [&](const std::string& name) -> NodeId {
@@ -226,6 +257,9 @@ Circuit read_verilog(std::istream& in) {
     std::vector<char> state(gates.size(), 0);
     for (std::size_t root = 0; root < gates.size(); ++root) {
         if (state[root] == 2) continue;
+        // Skip statements displaced by an earlier driver (lenient mode).
+        const auto canon = defining.find(gates[root].output);
+        if (canon == defining.end() || canon->second != root) continue;
         std::vector<std::size_t> stack{root};
         while (!stack.empty()) {
             const std::size_t s = stack.back();
@@ -241,8 +275,19 @@ Circuit read_verilog(std::istream& in) {
                     if (by_name.contains(arg)) continue;
                     if (resolve_literal(arg).valid()) continue;
                     const auto it = defining.find(arg);
-                    if (it == defining.end())
-                        fail(g.line, "undriven signal '" + arg + "'");
+                    if (it == defining.end()) {
+                        if (!lenient)
+                            fail(g.line, "undriven signal '" + arg + "'");
+                        policy->repair(
+                            "undriven-net",
+                            "tied undriven signal '" + arg +
+                                "' (used by '" + g.output +
+                                "') to constant 0",
+                            {arg});
+                        by_name.emplace(arg,
+                                        circuit.add_const(false, arg));
+                        continue;
+                    }
                     if (state[it->second] == 1)
                         fail(g.line, "combinational cycle through '" +
                                          g.output + "'");
@@ -264,15 +309,59 @@ Circuit read_verilog(std::istream& in) {
         }
     }
 
-    for (const std::string& name : output_names) {
-        const auto it = by_name.find(name);
-        if (it == by_name.end())
-            throw Error("verilog: output '" + name + "' is undriven");
+    for (const Token& name : output_names) {
+        const auto it = by_name.find(name.text);
+        if (it == by_name.end()) {
+            if (lenient) {
+                policy->repair("floating-output",
+                               "dropped undriven output '" + name.text +
+                                   "' (line " + std::to_string(name.line) +
+                                   ")",
+                               {name.text});
+                continue;
+            }
+            fail(name.line, "output '" + name.text + "' is undriven");
+        }
         if (!circuit.is_output(it->second))
             circuit.mark_output(it->second);
     }
     circuit.validate();
+    if (policy != nullptr) {
+        Diagnostics vdiags = validate(circuit, policy->mode);
+        if (policy->diags) policy->diags->merge(std::move(vdiags));
+    }
     return circuit;
+}
+
+/// Error contract wrapper: nothing but ParseError/ValidationError may
+/// escape a reader, whatever the input text provokes internally.
+template <typename Fn>
+Circuit guard_read(Fn&& fn) {
+    try {
+        return fn();
+    } catch (const ParseError&) {
+        throw;
+    } catch (const ValidationError&) {
+        throw;
+    } catch (const Error& e) {
+        throw ParseError("verilog", 0, e.what());
+    } catch (const std::exception& e) {
+        throw ParseError("verilog", 0,
+                         std::string("internal reader failure: ") +
+                             e.what());
+    }
+}
+
+}  // namespace
+
+Circuit read_verilog(std::istream& in) {
+    return guard_read([&] { return read_verilog_impl(in, nullptr); });
+}
+
+Circuit read_verilog(std::istream& in, ValidateMode mode,
+                     Diagnostics* diagnostics) {
+    const Policy policy{mode, diagnostics};
+    return guard_read([&] { return read_verilog_impl(in, &policy); });
 }
 
 Circuit read_verilog_string(const std::string& text) {
@@ -280,10 +369,31 @@ Circuit read_verilog_string(const std::string& text) {
     return read_verilog(in);
 }
 
-Circuit read_verilog_file(const std::string& path) {
+Circuit read_verilog_string(const std::string& text, ValidateMode mode,
+                            Diagnostics* diagnostics) {
+    std::istringstream in(text);
+    return read_verilog(in, mode, diagnostics);
+}
+
+namespace {
+
+std::ifstream open_verilog_file(const std::string& path) {
     std::ifstream in(path);
-    require(in.good(), "read_verilog_file: cannot open '" + path + "'");
+    if (!in.good()) throw ParseError(path, 0, "cannot open file");
+    return in;
+}
+
+}  // namespace
+
+Circuit read_verilog_file(const std::string& path) {
+    std::ifstream in = open_verilog_file(path);
     return read_verilog(in);
+}
+
+Circuit read_verilog_file(const std::string& path, ValidateMode mode,
+                          Diagnostics* diagnostics) {
+    std::ifstream in = open_verilog_file(path);
+    return read_verilog(in, mode, diagnostics);
 }
 
 void write_verilog(std::ostream& out, const Circuit& circuit) {

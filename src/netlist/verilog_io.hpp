@@ -4,6 +4,7 @@
 #include <string>
 
 #include "netlist/circuit.hpp"
+#include "netlist/validate.hpp"
 
 namespace tpi::netlist {
 
@@ -24,10 +25,23 @@ namespace tpi::netlist {
 /// names; `assign a = b;` (treated as a buffer); `1'b0`/`1'b1` literals
 /// as fanins (tie cells); `//` and `/* */` comments. Everything else is
 /// rejected with a line-numbered error.
+///
+/// Error contract: every reader failure is a tpi::ParseError or — from
+/// the validated overloads — a tpi::ValidationError. The validated
+/// overloads mirror the .bench reader: Strict rejects structurally
+/// broken netlists, Lenient ties undriven signals to constant 0, keeps
+/// the first of duplicate drivers, drops undriven outputs, then runs
+/// the lenient validator; repairs land in `*diagnostics` when given.
 
 Circuit read_verilog(std::istream& in);
+Circuit read_verilog(std::istream& in, ValidateMode mode,
+                     Diagnostics* diagnostics = nullptr);
 Circuit read_verilog_string(const std::string& text);
+Circuit read_verilog_string(const std::string& text, ValidateMode mode,
+                            Diagnostics* diagnostics = nullptr);
 Circuit read_verilog_file(const std::string& path);
+Circuit read_verilog_file(const std::string& path, ValidateMode mode,
+                          Diagnostics* diagnostics = nullptr);
 
 void write_verilog(std::ostream& out, const Circuit& circuit);
 std::string write_verilog_string(const Circuit& circuit);

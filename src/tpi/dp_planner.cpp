@@ -91,8 +91,19 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
     const int rounds = std::max(1, options.dp_rounds);
     const int chunk = std::max(1, (options.budget + rounds - 1) / rounds);
     const bool use_control = !options.control_kinds.empty();
+    bool truncated = false;
+    const auto out_of_time = [&] {
+        // Units of work here are whole per-region DP builds — expensive
+        // enough to poll the clock every time.
+        return options.deadline != nullptr &&
+               options.deadline->expired_now();
+    };
 
     for (int round = 0; round < rounds && remaining > 0; ++round) {
+        if (out_of_time()) {
+            truncated = true;
+            break;
+        }
         const int budget_round =
             (round == rounds - 1) ? remaining : std::min(remaining, chunk);
 
@@ -134,6 +145,10 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
         }
         for (std::size_t r = 0; r < ffr.regions.size(); ++r) {
             if (!has_faults[r]) continue;
+            if (out_of_time()) {
+                truncated = true;
+                break;
+            }
             const auto& region = ffr.regions[r];
             const bool joint =
                 use_control &&
@@ -168,6 +183,10 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
                     allowed);
             }
         }
+
+        // Deadline hit while building region tables: the round's DP set
+        // is incomplete, so stop with the points of the earlier rounds.
+        if (truncated) break;
 
         // Outer knapsack: allocate budget_round units across regions.
         const int B = budget_round;
@@ -221,6 +240,7 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
 
     Plan result;
     result.points = std::move(points);
+    result.truncated = truncated;
     result.predicted_score =
         evaluate_plan(circuit, faults, result.points, options.objective)
             .score;

@@ -19,6 +19,13 @@ struct Search {
     std::vector<TestPoint> current;
     std::vector<TestPoint> best_points;
     double best_score;
+    bool truncated = false;
+
+    bool out_of_time() {
+        if (options.deadline != nullptr && options.deadline->expired())
+            truncated = true;
+        return truncated;
+    }
 
     void evaluate_current() {
         const double score =
@@ -32,6 +39,7 @@ struct Search {
 
     void recurse(std::size_t start, int budget_left) {
         for (std::size_t i = start; i < atoms.size(); ++i) {
+            if (out_of_time()) return;
             const TestPoint atom = atoms[i];
             const int cost = options.cost.cost(atom.kind);
             if (cost > budget_left) continue;
@@ -71,8 +79,12 @@ Plan ExhaustivePlanner::plan(const netlist::Circuit& circuit,
     }
     // Keep the oracle honest about its cost: the search space is
     // exponential in the budget; refuse plainly oversized instances.
-    require(search.atoms.size() <= 256,
-            "ExhaustivePlanner: instance too large for exhaustive search");
+    if (search.atoms.size() > 256)
+        throw LimitError(
+            "ExhaustivePlanner: instance too large for exhaustive search "
+            "(" +
+            std::to_string(search.atoms.size()) +
+            " candidate placements, limit 256)");
 
     search.best_score =
         evaluate_plan(circuit, faults, {}, options.objective).score;
@@ -80,6 +92,7 @@ Plan ExhaustivePlanner::plan(const netlist::Circuit& circuit,
 
     Plan result;
     result.points = std::move(search.best_points);
+    result.truncated = search.truncated;
     result.predicted_score = search.best_score;
     return result;
 }

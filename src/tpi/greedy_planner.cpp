@@ -22,10 +22,21 @@ Plan GreedyPlanner::plan(const netlist::Circuit& circuit,
     std::vector<TestPoint> points;
     std::vector<bool> has_point(circuit.node_count(), false);
     int remaining = options.budget;
+    bool truncated = false;
+    // Every unit of work here is an exact evaluation (full transform +
+    // COP), so poll the clock on every check rather than amortised.
+    const auto out_of_time = [&] {
+        return options.deadline != nullptr &&
+               options.deadline->expired_now();
+    };
     PlanEvaluation current =
         evaluate_plan(circuit, faults, points, options.objective);
 
     while (remaining > 0) {
+        if (out_of_time()) {
+            truncated = true;
+            break;
+        }
         // Analyse the circuit with the points selected so far.
         const netlist::TransformResult dft =
             netlist::apply_test_points(circuit, points);
@@ -111,6 +122,10 @@ Plan GreedyPlanner::plan(const netlist::Circuit& circuit,
         int best_index = -1;
         PlanEvaluation best_eval;
         for (std::size_t i = 0; i < shortlist.size(); ++i) {
+            if (out_of_time()) {
+                truncated = true;
+                break;
+            }
             const int cost = options.cost.cost(shortlist[i].point.kind);
             if (cost > remaining) continue;
             points.push_back(shortlist[i].point);
@@ -124,6 +139,9 @@ Plan GreedyPlanner::plan(const netlist::Circuit& circuit,
                 best_eval = eval;
             }
         }
+        // A truncated shortlist pass may have missed the best candidate;
+        // keep what was committed so far rather than half-compare.
+        if (truncated) break;
         if (best_index < 0) break;  // no candidate improves the objective
 
         const TestPoint chosen = shortlist[best_index].point;
@@ -135,6 +153,7 @@ Plan GreedyPlanner::plan(const netlist::Circuit& circuit,
 
     Plan result;
     result.points = std::move(points);
+    result.truncated = truncated;
     result.predicted_score = current.score;
     return result;
 }

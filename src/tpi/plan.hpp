@@ -7,6 +7,7 @@
 #include "netlist/circuit.hpp"
 #include "netlist/test_point.hpp"
 #include "tpi/objective.hpp"
+#include "util/deadline.hpp"
 
 namespace tpi {
 
@@ -48,6 +49,12 @@ struct PlannerOptions {
     int greedy_pool = 24;
 
     std::uint64_t seed = 1;
+
+    /// Optional cooperative resource budget (not owned). Planners check
+    /// it at their natural work boundaries and, once it expires, stop
+    /// and return their best-so-far plan with Plan::truncated set —
+    /// they never run unbounded.
+    util::Deadline* deadline = nullptr;
 };
 
 /// A set of selected test points plus the planner's own estimate of the
@@ -55,6 +62,10 @@ struct PlannerOptions {
 struct Plan {
     std::vector<netlist::TestPoint> points;
     double predicted_score = 0.0;
+
+    /// Completeness status: true when the planner's deadline expired and
+    /// `points` is a best-so-far result rather than the full search.
+    bool truncated = false;
 
     int total_cost(const CostModel& cost) const {
         int sum = 0;

@@ -23,9 +23,15 @@ Plan RandomPlanner::plan(const netlist::Circuit& circuit,
     std::vector<TestPoint> points;
     std::vector<bool> has_point(circuit.node_count(), false);
     int remaining = options.budget;
+    bool truncated = false;
     std::size_t attempts = 0;
     const std::size_t max_attempts = 64 * (circuit.node_count() + 1);
     while (remaining > 0 && attempts++ < max_attempts) {
+        if (options.deadline != nullptr &&
+            options.deadline->expired_now()) {
+            truncated = true;
+            break;
+        }
         const NodeId node{
             static_cast<std::uint32_t>(rng.below(circuit.node_count()))};
         if (has_point[node.v]) continue;
@@ -39,6 +45,7 @@ Plan RandomPlanner::plan(const netlist::Circuit& circuit,
 
     Plan result;
     result.points = std::move(points);
+    result.truncated = truncated;
     const fault::CollapsedFaults faults = fault::singleton_faults(circuit);
     result.predicted_score =
         evaluate_plan(circuit, faults, result.points, options.objective)

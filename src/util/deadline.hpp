@@ -1,0 +1,96 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace tpi::util {
+
+/// Cooperative resource budget shared by the planners, the fault
+/// simulator and the ATPG engine: a wall-clock allowance, an optional
+/// step allowance, or both. Engines call expired() (or check()) at
+/// their natural loop boundaries and degrade gracefully — returning
+/// their best-so-far result tagged `truncated` — instead of running
+/// unbounded on worst-case instances.
+///
+/// expired() amortises the clock read: only every kPollStride-th call
+/// touches the clock, so it is cheap enough for inner loops. A
+/// default-constructed Deadline is unlimited and never expires.
+class Deadline {
+public:
+    using Clock = std::chrono::steady_clock;
+
+    /// Unlimited: never expires.
+    Deadline() = default;
+
+    /// Expires `budget_ms` wall-clock milliseconds after construction,
+    /// and/or after `max_steps` calls to expired()/check().
+    explicit Deadline(double budget_ms,
+                      std::uint64_t max_steps =
+                          std::numeric_limits<std::uint64_t>::max())
+        : limited_(true),
+          expires_at_(Clock::now() +
+                      std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double, std::milli>(
+                              budget_ms))),
+          max_steps_(max_steps) {}
+
+    /// Step-count-only budget (deterministic across machines).
+    static Deadline steps(std::uint64_t max_steps) {
+        Deadline d;
+        d.limited_ = true;
+        d.expires_at_ = Clock::time_point::max();
+        d.max_steps_ = max_steps;
+        return d;
+    }
+
+    bool limited() const { return limited_; }
+
+    /// Count one unit of work; true once the budget is gone. Sticky:
+    /// once expired, stays expired.
+    bool expired() {
+        if (!limited_) return false;
+        if (expired_) return true;
+        if (++steps_ >= max_steps_) return expired_ = true;
+        if (steps_ % kPollStride == 0 && Clock::now() >= expires_at_)
+            return expired_ = true;
+        return false;
+    }
+
+    /// Like expired(), but always polls the clock. For coarse-grained
+    /// call sites where one unit of work is expensive (an exact plan
+    /// evaluation, one ATPG fault) and the amortised poll would let the
+    /// budget overshoot by many work units.
+    bool expired_now() {
+        if (!limited_) return false;
+        if (expired_) return true;
+        if (++steps_ >= max_steps_ || Clock::now() >= expires_at_)
+            expired_ = true;
+        return expired_;
+    }
+
+    /// Like expired(), but throws DeadlineError. For call sites with no
+    /// meaningful partial result.
+    void check(const std::string& where) {
+        if (expired())
+            throw DeadlineError(where + ": deadline expired after " +
+                                std::to_string(steps_) + " steps");
+    }
+
+    /// Steps counted so far (diagnostics).
+    std::uint64_t steps() const { return steps_; }
+
+private:
+    static constexpr std::uint64_t kPollStride = 64;
+
+    bool limited_ = false;
+    bool expired_ = false;
+    Clock::time_point expires_at_ = Clock::time_point::max();
+    std::uint64_t max_steps_ = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t steps_ = 0;
+};
+
+}  // namespace tpi::util

@@ -2,14 +2,90 @@
 
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace tpi {
 
+/// Stable machine-readable error categories. The CLI maps these to its
+/// documented exit codes (see `tpidp --help`): usage errors are handled
+/// before any tpi::Error is thrown, parse errors exit 3, validation
+/// errors exit 4, and limit/deadline errors exit 5.
+enum class ErrorCode : int {
+    Generic = 1,     ///< contract violation / unclassified failure
+    Parse = 3,       ///< malformed input text (.bench / .v)
+    Validation = 4,  ///< structurally broken netlist
+    Limit = 5,       ///< explicit resource limit exceeded
+    Deadline = 5,    ///< cooperative wall-clock / step budget expired
+};
+
 /// Base exception for all library errors. Thrown on contract violations,
-/// malformed input (e.g. unparsable .bench files), and infeasible requests.
+/// malformed input (e.g. unparsable .bench files), and infeasible
+/// requests. Subclasses carry structured context: ParseError knows the
+/// source name and line, ValidationError the offending node names.
 class Error : public std::runtime_error {
 public:
     explicit Error(const std::string& what) : std::runtime_error(what) {}
+
+    /// Stable category for exit-code mapping and tests.
+    virtual ErrorCode code() const { return ErrorCode::Generic; }
+};
+
+/// Malformed input text: the reader could not even build a netlist.
+class ParseError : public Error {
+public:
+    ParseError(std::string source, int line, const std::string& message)
+        : Error(source + (line > 0 ? " (line " + std::to_string(line) + ")"
+                                   : "") +
+                ": " + message),
+          source_(std::move(source)),
+          line_(line) {}
+
+    ErrorCode code() const override { return ErrorCode::Parse; }
+
+    /// Originating stream: a file path, or a format tag such as ".bench"
+    /// for in-memory parses.
+    const std::string& source() const { return source_; }
+
+    /// 1-based line of the offending text; 0 when unknown.
+    int line() const { return line_; }
+
+private:
+    std::string source_;
+    int line_ = 0;
+};
+
+/// Structurally broken netlist: parsed, but fails the validator in
+/// Strict mode (cycles, floating outputs, degenerate gates, ...).
+class ValidationError : public Error {
+public:
+    ValidationError(const std::string& message,
+                    std::vector<std::string> nodes = {})
+        : Error(message), nodes_(std::move(nodes)) {}
+
+    ErrorCode code() const override { return ErrorCode::Validation; }
+
+    /// Names of the nodes implicated in the violation (may be empty).
+    const std::vector<std::string>& nodes() const { return nodes_; }
+
+private:
+    std::vector<std::string> nodes_;
+};
+
+/// An explicit resource limit was exceeded (instance too large for an
+/// exact algorithm, value out of supported range, ...).
+class LimitError : public Error {
+public:
+    explicit LimitError(const std::string& message) : Error(message) {}
+    ErrorCode code() const override { return ErrorCode::Limit; }
+};
+
+/// A cooperative util::Deadline expired. Engines that degrade
+/// gracefully catch this internally and return truncated best-so-far
+/// results; it only escapes when no partial result is meaningful.
+class DeadlineError : public Error {
+public:
+    explicit DeadlineError(const std::string& message) : Error(message) {}
+    ErrorCode code() const override { return ErrorCode::Deadline; }
 };
 
 /// Throw tpi::Error with `message` unless `condition` holds.

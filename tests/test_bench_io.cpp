@@ -128,4 +128,59 @@ TEST(BenchIo, ReadFileMissingThrows) {
     EXPECT_THROW(read_bench_file("/nonexistent/path.bench"), tpi::Error);
 }
 
+// ---------------------------------------------------------------------
+// The bad-netlist corpus (tests/data/bad): exact error classes and
+// messages, so diagnostics stay stable for scripts and users alike.
+
+std::string bad_path(const char* file) {
+    return std::string(TPIDP_TEST_DATA_DIR) + "/bad/" + file;
+}
+
+void expect_parse_error(const char* file, const std::string& what) {
+    try {
+        read_bench_file(bad_path(file));
+        FAIL() << file << ": expected ParseError";
+    } catch (const tpi::ParseError& e) {
+        EXPECT_EQ(std::string(e.what()), what) << file;
+    }
+}
+
+TEST(BadCorpus, UnbalancedParens) {
+    expect_parse_error("unbalanced_parens.bench",
+                       ".bench (line 1): unbalanced parentheses");
+}
+
+TEST(BadCorpus, SelfLoop) {
+    expect_parse_error("self_loop.bench",
+                       ".bench (line 3): combinational cycle through 'g'");
+}
+
+TEST(BadCorpus, DuplicateLhs) {
+    expect_parse_error("duplicate_lhs.bench",
+                       ".bench (line 4): signal 'g' defined twice");
+}
+
+TEST(BadCorpus, UndeclaredNet) {
+    expect_parse_error("undeclared_net.bench",
+                       ".bench (line 3): undefined signal 'ghost'");
+}
+
+TEST(BadCorpus, EmptyFileParsesButFailsStrictValidation) {
+    // Legacy read: an empty circuit is syntactically fine.
+    const Circuit c = read_bench_file(bad_path("empty.bench"));
+    EXPECT_EQ(c.node_count(), 0u);
+    // The validated overload rejects it in strict mode.
+    EXPECT_THROW(
+        read_bench_file(bad_path("empty.bench"), ValidateMode::Strict),
+        tpi::ValidationError);
+}
+
+TEST(BadCorpus, CrlfOnlyFileBehavesLikeEmpty) {
+    const Circuit c = read_bench_file(bad_path("crlf_only.bench"));
+    EXPECT_EQ(c.node_count(), 0u);
+    EXPECT_THROW(
+        read_bench_file(bad_path("crlf_only.bench"), ValidateMode::Strict),
+        tpi::ValidationError);
+}
+
 }  // namespace

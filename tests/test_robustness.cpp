@@ -1,0 +1,423 @@
+// Robustness harness: the hardened error taxonomy, the structural
+// validator with strict/lenient modes, cooperative deadlines with
+// graceful degradation across every engine, and a miniature in-process
+// fuzz pass over the readers. The full mutational fuzzer lives in
+// tools/fuzz_bench_io.cpp; these tests pin down the contracts it relies
+// on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "atpg/podem.hpp"
+#include "fault/fault_sim.hpp"
+#include "gen/benchmarks.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/circuit.hpp"
+#include "netlist/validate.hpp"
+#include "netlist/verilog_io.hpp"
+#include "tpi/planners.hpp"
+#include "util/deadline.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tpi;
+using netlist::Circuit;
+using netlist::DiagSeverity;
+using netlist::Diagnostics;
+using netlist::ValidateMode;
+
+// ---------------------------------------------------------------------
+// Error taxonomy
+
+TEST(ErrorTaxonomy, CodesAreStable) {
+    EXPECT_EQ(Error("x").code(), ErrorCode::Generic);
+    EXPECT_EQ(ParseError("f", 1, "x").code(), ErrorCode::Parse);
+    EXPECT_EQ(ValidationError("x").code(), ErrorCode::Validation);
+    EXPECT_EQ(LimitError("x").code(), ErrorCode::Limit);
+    EXPECT_EQ(DeadlineError("x").code(), ErrorCode::Deadline);
+
+    EXPECT_EQ(static_cast<int>(ErrorCode::Generic), 1);
+    EXPECT_EQ(static_cast<int>(ErrorCode::Parse), 3);
+    EXPECT_EQ(static_cast<int>(ErrorCode::Validation), 4);
+    EXPECT_EQ(static_cast<int>(ErrorCode::Limit), 5);
+    EXPECT_EQ(static_cast<int>(ErrorCode::Deadline), 5);
+}
+
+TEST(ErrorTaxonomy, ParseErrorCarriesSourceAndLine) {
+    const ParseError e("top.bench", 7, "unbalanced parentheses");
+    EXPECT_EQ(e.source(), "top.bench");
+    EXPECT_EQ(e.line(), 7);
+    EXPECT_STREQ(e.what(), "top.bench (line 7): unbalanced parentheses");
+
+    const ParseError no_line("top.bench", 0, "cannot open file");
+    EXPECT_STREQ(no_line.what(), "top.bench: cannot open file");
+}
+
+TEST(ErrorTaxonomy, ValidationErrorCarriesNodes) {
+    const ValidationError e("dead logic", {"g1", "g2"});
+    ASSERT_EQ(e.nodes().size(), 2u);
+    EXPECT_EQ(e.nodes()[0], "g1");
+}
+
+TEST(ErrorTaxonomy, SubclassesAreCatchableAsError) {
+    try {
+        throw DeadlineError("out of time");
+    } catch (const Error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::Deadline);
+        return;
+    }
+    FAIL() << "DeadlineError not caught as tpi::Error";
+}
+
+// ---------------------------------------------------------------------
+// Deadline
+
+TEST(Deadline, DefaultIsUnlimited) {
+    util::Deadline d;
+    EXPECT_FALSE(d.limited());
+    for (int i = 0; i < 1000; ++i) EXPECT_FALSE(d.expired());
+}
+
+TEST(Deadline, StepBudgetIsDeterministic) {
+    util::Deadline d = util::Deadline::steps(5);
+    EXPECT_TRUE(d.limited());
+    for (int i = 0; i < 4; ++i) EXPECT_FALSE(d.expired());
+    EXPECT_TRUE(d.expired());
+    EXPECT_TRUE(d.expired());  // sticky
+}
+
+TEST(Deadline, ZeroWallClockExpiresWithinPollStride) {
+    util::Deadline d(0.0);
+    bool expired = false;
+    // The clock is polled every 64th step, so expiry must arrive within
+    // a bounded number of calls.
+    for (int i = 0; i < 128 && !expired; ++i) expired = d.expired();
+    EXPECT_TRUE(expired);
+}
+
+TEST(Deadline, CheckThrowsDeadlineError) {
+    util::Deadline d = util::Deadline::steps(1);
+    EXPECT_THROW(d.check("unit test"), DeadlineError);
+}
+
+// ---------------------------------------------------------------------
+// Structural validator
+
+Circuit dead_gate_circuit() {
+    Circuit c("dead");
+    const auto a = c.add_input("a");
+    const auto b = c.add_input("b");
+    const auto live = c.add_gate(netlist::GateType::And, {a, b}, "live");
+    c.add_gate(netlist::GateType::Or, {a, b}, "corpse");
+    c.mark_output(live);
+    return c;
+}
+
+TEST(Validate, CleanCircuitHasNoFindings) {
+    const Circuit c = gen::suite_entry("c17").build();
+    const Diagnostics diags = netlist::inspect(c);
+    EXPECT_FALSE(diags.has_errors());
+}
+
+TEST(Validate, InspectReportsDeadGate) {
+    const Circuit c = dead_gate_circuit();
+    const Diagnostics diags = netlist::inspect(c);
+    EXPECT_TRUE(diags.has_errors());
+    bool found = false;
+    for (const auto& d : diags.entries)
+        if (d.check == "dead-gate") {
+            found = true;
+            ASSERT_FALSE(d.nodes.empty());
+            EXPECT_EQ(d.nodes[0], "corpse");
+        }
+    EXPECT_TRUE(found);
+}
+
+TEST(Validate, StrictThrowsOnDeadGate) {
+    Circuit c = dead_gate_circuit();
+    try {
+        netlist::validate(c, ValidateMode::Strict);
+        FAIL() << "expected ValidationError";
+    } catch (const ValidationError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::Validation);
+        ASSERT_FALSE(e.nodes().empty());
+        EXPECT_EQ(e.nodes()[0], "corpse");
+    }
+}
+
+TEST(Validate, LenientStripsDeadConeAndReports) {
+    Circuit c = dead_gate_circuit();
+    const std::size_t before = c.gate_count();
+    const Diagnostics diags = netlist::validate(c, ValidateMode::Lenient);
+    EXPECT_GT(diags.repairs(), 0u);
+    EXPECT_LT(c.gate_count(), before);
+    // The repaired circuit is now strictly valid.
+    Circuit repaired = c;
+    EXPECT_NO_THROW(netlist::validate(repaired, ValidateMode::Strict));
+    // Live structure is untouched.
+    EXPECT_EQ(c.input_count(), 2u);
+    EXPECT_EQ(c.output_count(), 1u);
+}
+
+TEST(Validate, UnusedInputIsAWarningNotAnError) {
+    Circuit c("unused");
+    const auto a = c.add_input("a");
+    c.add_input("idle");
+    const auto g = c.add_gate(netlist::GateType::Not, {a}, "g");
+    c.mark_output(g);
+    const Diagnostics diags = netlist::inspect(c);
+    EXPECT_FALSE(diags.has_errors());
+    EXPECT_GT(diags.count(DiagSeverity::Warning), 0u);
+    EXPECT_NO_THROW(netlist::validate(c, ValidateMode::Strict));
+}
+
+TEST(Validate, DegenerateGateIsAWarning) {
+    Circuit c("degen");
+    const auto a = c.add_input("a");
+    const auto g = c.add_gate(netlist::GateType::And, {a, a}, "g");
+    c.mark_output(g);
+    const Diagnostics diags = netlist::inspect(c);
+    bool found = false;
+    for (const auto& d : diags.entries)
+        if (d.check == "degenerate-gate") found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(Validate, NoOutputsIsAnError) {
+    Circuit c("sink");
+    c.add_input("a");
+    const Diagnostics diags = netlist::inspect(c);
+    EXPECT_TRUE(diags.has_errors());
+}
+
+// ---------------------------------------------------------------------
+// Reader integration: strict vs lenient
+
+TEST(ReaderModes, UndrivenNetStrictThrowsLenientTiesOff) {
+    const std::string text =
+        "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n";
+    EXPECT_THROW(
+        netlist::read_bench_string(text, "t", ValidateMode::Strict),
+        ParseError);
+
+    Diagnostics diags;
+    const Circuit c = netlist::read_bench_string(
+        text, "t", ValidateMode::Lenient, &diags);
+    EXPECT_EQ(c.output_count(), 1u);
+    bool tied = false;
+    for (const auto& d : diags.entries)
+        if (d.check == "undriven-net") tied = true;
+    EXPECT_TRUE(tied);
+}
+
+TEST(ReaderModes, DuplicateDefinitionLenientKeepsFirst) {
+    const std::string text =
+        "INPUT(a)\nOUTPUT(g)\ng = NOT(a)\ng = BUF(a)\n";
+    EXPECT_THROW(
+        netlist::read_bench_string(text, "t", ValidateMode::Strict),
+        ParseError);
+
+    Diagnostics diags;
+    const Circuit c = netlist::read_bench_string(
+        text, "t", ValidateMode::Lenient, &diags);
+    EXPECT_GT(diags.repairs(), 0u);
+    // The first definition (NOT) won.
+    const netlist::NodeId id = c.find("g");
+    ASSERT_NE(id, netlist::kNullNode);
+    EXPECT_EQ(c.type(id), netlist::GateType::Not);
+}
+
+TEST(ReaderModes, FloatingOutputLenientDropsIt) {
+    const std::string text =
+        "INPUT(a)\nOUTPUT(y)\nOUTPUT(nowhere)\ny = NOT(a)\n";
+    EXPECT_THROW(
+        netlist::read_bench_string(text, "t", ValidateMode::Strict),
+        ParseError);
+
+    Diagnostics diags;
+    const Circuit c = netlist::read_bench_string(
+        text, "t", ValidateMode::Lenient, &diags);
+    EXPECT_EQ(c.output_count(), 1u);
+}
+
+TEST(ReaderModes, CycleThrowsInBothModes) {
+    const std::string text =
+        "INPUT(a)\nOUTPUT(g)\ng = AND(g, a)\n";
+    EXPECT_THROW(
+        netlist::read_bench_string(text, "t", ValidateMode::Strict),
+        ParseError);
+    EXPECT_THROW(
+        netlist::read_bench_string(text, "t", ValidateMode::Lenient),
+        ParseError);
+}
+
+TEST(ReaderModes, VerilogLenientRepairsUndrivenWire) {
+    const std::string text =
+        "module m(a, y);\n"
+        "  input a;\n"
+        "  output y;\n"
+        "  wire ghost;\n"
+        "  and g1(y, a, ghost);\n"
+        "endmodule\n";
+    EXPECT_THROW(netlist::read_verilog_string(text, ValidateMode::Strict),
+                 ParseError);
+    Diagnostics diags;
+    const Circuit c =
+        netlist::read_verilog_string(text, ValidateMode::Lenient, &diags);
+    EXPECT_EQ(c.output_count(), 1u);
+    EXPECT_GT(diags.repairs(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Graceful degradation under deadlines
+
+TEST(GracefulDegradation, PlannersReturnTruncatedBestSoFar) {
+    const Circuit c = gen::suite_entry("dag500").build();
+    DpPlanner dp;
+    GreedyPlanner greedy;
+    RandomPlanner random;
+    for (Planner* planner :
+         std::vector<Planner*>{&dp, &greedy, &random}) {
+        util::Deadline deadline = util::Deadline::steps(1);
+        PlannerOptions options;
+        options.budget = 4;
+        options.objective.num_patterns = 1024;
+        options.deadline = &deadline;
+        const Plan plan = planner->plan(c, options);
+        EXPECT_TRUE(plan.truncated)
+            << planner->name() << " ignored an expired deadline";
+        EXPECT_LE(plan.total_cost(options.cost), options.budget);
+    }
+}
+
+TEST(GracefulDegradation, ExhaustivePlannerTruncates) {
+    const Circuit c = gen::suite_entry("c17").build();
+    util::Deadline deadline = util::Deadline::steps(1);
+    PlannerOptions options;
+    options.budget = 2;
+    options.objective.num_patterns = 256;
+    options.deadline = &deadline;
+    ExhaustivePlanner exhaustive;
+    const Plan plan = exhaustive.plan(c, options);
+    EXPECT_TRUE(plan.truncated);
+}
+
+TEST(GracefulDegradation, ExhaustivePlannerThrowsLimitErrorWhenTooLarge) {
+    const Circuit c = gen::suite_entry("mul8").build();
+    PlannerOptions options;
+    options.budget = 2;
+    ExhaustivePlanner exhaustive;
+    try {
+        exhaustive.plan(c, options);
+        FAIL() << "expected LimitError";
+    } catch (const LimitError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::Limit);
+    }
+}
+
+TEST(GracefulDegradation, UnlimitedDeadlineDoesNotTruncate) {
+    const Circuit c = gen::suite_entry("c17").build();
+    util::Deadline deadline;  // unlimited
+    PlannerOptions options;
+    options.budget = 2;
+    options.objective.num_patterns = 256;
+    options.deadline = &deadline;
+    DpPlanner dp;
+    EXPECT_FALSE(dp.plan(c, options).truncated);
+}
+
+TEST(GracefulDegradation, FaultSimTruncatesAndKeepsPartialCoverage) {
+    const Circuit c = gen::suite_entry("mul8").build();
+    util::Deadline deadline = util::Deadline::steps(1);
+    const auto result =
+        fault::random_pattern_coverage(c, 1024, 1, false, &deadline);
+    EXPECT_TRUE(result.truncated);
+    EXPECT_EQ(result.patterns_applied, 0u);  // partial block not counted
+    // Without a deadline the same run completes.
+    const auto full = fault::random_pattern_coverage(c, 1024, 1);
+    EXPECT_FALSE(full.truncated);
+    EXPECT_GE(full.coverage, result.coverage);
+}
+
+TEST(GracefulDegradation, AtpgSkipsRemainingFaultsOnExpiry) {
+    const Circuit c = gen::suite_entry("add16").build();
+    const auto faults = fault::collapse_faults(c);
+    util::Deadline deadline = util::Deadline::steps(1);
+    atpg::AtpgOptions options;
+    options.deadline = &deadline;
+    const auto summary = atpg::run_atpg(c, faults, options);
+    EXPECT_TRUE(summary.truncated);
+    EXPECT_GT(summary.skipped, 0u);
+    EXPECT_EQ(summary.outcome.size(), faults.size());
+    // Skipped faults read Aborted, never Detected.
+    EXPECT_EQ(summary.outcome.back(), atpg::Outcome::Aborted);
+    EXPECT_EQ(summary.detected + summary.redundant + summary.aborted +
+                  summary.skipped,
+              faults.size());
+}
+
+// ---------------------------------------------------------------------
+// Mini fuzz: pathological inputs must parse or raise the taxonomy
+
+void expect_contract(const std::string& text, bool verilog) {
+    for (const auto mode :
+         {ValidateMode::Strict, ValidateMode::Lenient}) {
+        try {
+            if (verilog)
+                netlist::read_verilog_string(text, mode);
+            else
+                netlist::read_bench_string(text, "fuzz", mode);
+        } catch (const ParseError&) {
+        } catch (const ValidationError&) {
+        } catch (const std::exception& e) {
+            FAIL() << "foreign exception: " << e.what() << "\ninput:\n"
+                   << text;
+        }
+    }
+}
+
+TEST(MiniFuzz, PathologicalNetlistsNeverCrash) {
+    const std::vector<std::string> corpus = {
+        "",
+        "\r\n\r\n",
+        std::string("\0\0\0", 3),  // embedded NULs
+        "INPUT(",
+        "INPUT()",
+        "= AND(a, b)",
+        "g = ",
+        "g = AND",
+        "g = AND()",
+        "g = NOSUCHGATE(a)",
+        "INPUT(a)\ng = NOT(a, a)",
+        std::string(1 << 16, 'x'),
+        "INPUT(a)\nOUTPUT(y)\ny = AND(" + std::string(4000, 'a') + ")",
+        "module\n",
+        "module m(;\nendmodule\n",
+        "module m(a);\n  input a;\n  and g(a, a);\n",
+        "\xff\xfe\x00garbage",
+    };
+    for (const auto& text : corpus) {
+        expect_contract(text, false);
+        expect_contract(text, true);
+    }
+}
+
+TEST(MiniFuzz, RandomByteMutationsHoldTheContract) {
+    const std::string base =
+        "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n"
+        "w = NAND(a, b)\ny = XOR(w, a)\n";
+    util::Rng rng(42);
+    for (int it = 0; it < 300; ++it) {
+        std::string text = base;
+        for (int m = 0; m < 4; ++m)
+            text[rng.below(text.size())] =
+                static_cast<char>(rng.below(256));
+        expect_contract(text, false);
+    }
+}
+
+}  // namespace

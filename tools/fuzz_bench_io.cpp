@@ -1,0 +1,268 @@
+// fuzz_bench_io — deterministic mutational fuzzer for the netlist readers.
+//
+//   fuzz_bench_io [--seed S] [--iters N] [--budget-ms M] [--verbose]
+//
+// Starting from a small corpus of well-formed .bench and structural
+// Verilog texts, each iteration applies a random stack of mutations
+// (byte flips, insertions, deletions, line duplication/shuffling,
+// truncation, keyword swaps, CRLF conversion) and feeds the result to
+// read_bench_string / read_verilog_string in both strict and lenient
+// modes. The contract under test:
+//
+//   every input either parses successfully or raises exactly
+//   tpi::ParseError / tpi::ValidationError — never another exception
+//   type, a crash, or a hang.
+//
+// The run is fully reproducible from --seed; on a contract violation the
+// offending input is printed together with the seed and iteration so the
+// failure can be replayed. Exit status is 0 on success, 1 on violation,
+// 2 on usage error.
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <iterator>
+#include <string>
+#include <typeinfo>
+#include <vector>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/validate.hpp"
+#include "netlist/verilog_io.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tpi;
+
+struct SeedInput {
+    const char* text;
+    bool verilog;
+};
+
+// Small, structurally diverse seed corpus covering the grammar: gate
+// mnemonics, constants, fanout, DFFs (full-scan conversion), comments,
+// and both dialects.
+const SeedInput kCorpus[] = {
+    {"# c17-like\n"
+     "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\n"
+     "OUTPUT(y)\nOUTPUT(z)\n"
+     "n1 = NAND(a, c)\nn2 = NAND(c, d)\nn3 = NAND(b, n2)\n"
+     "n4 = NAND(n2, e)\ny = NAND(n1, n3)\nz = NAND(n3, n4)\n",
+     false},
+    {"INPUT(x)\nOUTPUT(q)\nOUTPUT(r)\n"
+     "c0 = CONST0()\nc1 = CONST1()\n"
+     "inv = NOT(x)\nbuf = BUFF(inv)\n"
+     "q = XOR(buf, c1)\nr = NOR(c0, x)\n",
+     false},
+    {"INPUT(clk)\nINPUT(d)\nOUTPUT(out)\n"
+     "state = DFF(nxt)\nnxt = AND(d, state)\nout = OR(state, d)\n",
+     false},
+    {"module top(a, b, y);\n"
+     "  input a, b;\n"
+     "  output y;\n"
+     "  wire w;\n"
+     "  and g1(w, a, b);\n"
+     "  not g2(y, w);\n"
+     "endmodule\n",
+     true},
+    {"module m(a, y);\n"
+     "  input a;\n"
+     "  output y;\n"
+     "  wire t1, t2;\n"
+     "  buf b1(t1, a);\n"
+     "  xnor x1(t2, t1, a);\n"
+     "  nand n1(y, t1, t2);\n"
+     "endmodule\n",
+     true},
+};
+
+const char* kTokens[] = {"INPUT", "OUTPUT", "AND",    "NAND",  "OR",
+                         "NOR",   "XOR",    "XNOR",   "NOT",   "BUFF",
+                         "DFF",   "CONST0", "module", "wire",  "input",
+                         "output", "(",     ")",      ",",     "=",
+                         ";",     "\n",     "#",      "//"};
+
+std::string mutate(std::string text, util::Rng& rng) {
+    const int rounds = static_cast<int>(rng.range(1, 6));
+    for (int r = 0; r < rounds; ++r) {
+        if (text.empty()) text = "\n";
+        switch (rng.below(8)) {
+            case 0: {  // flip a byte
+                text[rng.below(text.size())] =
+                    static_cast<char>(rng.below(256));
+                break;
+            }
+            case 1: {  // insert a random printable run
+                const std::size_t pos = rng.below(text.size() + 1);
+                std::string run;
+                for (int i = static_cast<int>(rng.range(1, 8)); i > 0; --i)
+                    run += static_cast<char>(' ' + rng.below(95));
+                text.insert(pos, run);
+                break;
+            }
+            case 2: {  // delete a span
+                const std::size_t pos = rng.below(text.size());
+                const std::size_t len =
+                    std::min<std::size_t>(rng.below(16) + 1,
+                                          text.size() - pos);
+                text.erase(pos, len);
+                break;
+            }
+            case 3: {  // duplicate a random line
+                const std::size_t pos = rng.below(text.size());
+                const std::size_t start = text.rfind('\n', pos);
+                const std::size_t from =
+                    start == std::string::npos ? 0 : start + 1;
+                std::size_t to = text.find('\n', pos);
+                if (to == std::string::npos) to = text.size();
+                const std::string line = text.substr(from, to - from) + "\n";
+                text.insert(rng.below(text.size() + 1), line);
+                break;
+            }
+            case 4: {  // truncate
+                text.resize(rng.below(text.size() + 1));
+                break;
+            }
+            case 5: {  // splice in a grammar token
+                const char* token =
+                    kTokens[rng.below(std::size(kTokens))];
+                text.insert(rng.below(text.size() + 1), token);
+                break;
+            }
+            case 6: {  // CRLF-ify a random newline
+                const std::size_t pos = text.find('\n', rng.below(text.size()));
+                if (pos != std::string::npos) text.insert(pos, "\r");
+                break;
+            }
+            case 7: {  // swap two halves
+                const std::size_t cut = rng.below(text.size());
+                text = text.substr(cut) + text.substr(0, cut);
+                break;
+            }
+        }
+    }
+    return text;
+}
+
+/// Feed one input through a reader. Sets `rejected` when the reader threw
+/// one of the two allowed error types; returns a description of the
+/// contract violation, or an empty string when the contract held.
+std::string check_one(const std::string& text, bool verilog,
+                      netlist::ValidateMode mode, bool& rejected) {
+    try {
+        netlist::Diagnostics diags;
+        if (verilog)
+            netlist::read_verilog_string(text, mode, &diags);
+        else
+            netlist::read_bench_string(text, "fuzz", mode, &diags);
+        return {};
+    } catch (const ParseError&) {
+        rejected = true;
+        return {};
+    } catch (const ValidationError&) {
+        rejected = true;
+        return {};
+    } catch (const std::exception& e) {
+        return std::string("foreign exception ") + typeid(e).name() +
+               ": " + e.what();
+    } catch (...) {
+        return "non-std exception";
+    }
+}
+
+[[noreturn]] void usage() {
+    std::cerr << "usage: fuzz_bench_io [--seed S] [--iters N] "
+                 "[--budget-ms M] [--verbose]\n";
+    std::exit(2);
+}
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& text) {
+    std::uint64_t value = 0;
+    const char* begin = text.c_str();
+    const auto [ptr, ec] =
+        std::from_chars(begin, begin + text.size(), value);
+    if (ec != std::errc{} || ptr != begin + text.size() || text.empty()) {
+        std::cerr << "fuzz_bench_io: invalid value '" << text << "' for "
+                  << flag << "\n";
+        usage();
+    }
+    return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::uint64_t seed = 1;
+    std::uint64_t iters = 2000;
+    std::uint64_t budget_ms = 0;  // 0 = no wall-clock cap
+    bool verbose = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            if (i + 1 >= argc) usage();
+            return argv[++i];
+        };
+        if (arg == "--seed")
+            seed = parse_u64(arg, next());
+        else if (arg == "--iters")
+            iters = parse_u64(arg, next());
+        else if (arg == "--budget-ms")
+            budget_ms = parse_u64(arg, next());
+        else if (arg == "--verbose")
+            verbose = true;
+        else
+            usage();
+    }
+
+    util::Rng rng(seed);
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t parsed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t done = 0;
+
+    for (std::uint64_t it = 0; it < iters; ++it, ++done) {
+        if (budget_ms > 0) {
+            const auto elapsed =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            if (static_cast<std::uint64_t>(elapsed) >= budget_ms) break;
+        }
+        const SeedInput& base = kCorpus[rng.below(std::size(kCorpus))];
+        const std::string text = mutate(base.text, rng);
+        bool was_rejected = false;
+        for (const auto mode : {tpi::netlist::ValidateMode::Strict,
+                                tpi::netlist::ValidateMode::Lenient}) {
+            const std::string violation =
+                check_one(text, base.verilog, mode, was_rejected);
+            if (!violation.empty()) {
+                std::cerr << "CONTRACT VIOLATION (seed " << seed
+                          << ", iteration " << it << ", "
+                          << (base.verilog ? "verilog" : "bench") << ", "
+                          << tpi::netlist::validate_mode_name(mode)
+                          << "): " << violation << "\ninput:\n"
+                          << text << "\n";
+                return 1;
+            }
+        }
+        if (was_rejected)
+            ++rejected;
+        else
+            ++parsed;
+    }
+
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    std::cout << "fuzz_bench_io: " << done << " inputs in " << elapsed
+              << " ms, 0 contract violations\n";
+    if (verbose)
+        std::cout << "  (" << parsed << " parsed clean, " << rejected
+                  << " rejected with the expected error types)\n";
+    return 0;
+}

@@ -9,17 +9,15 @@
 //                                       (--width sets the MISR width)
 //
 // <circuit> is a .bench or .v file path (anything containing '.' or '/') or
-// the name of a built-in suite circuit. Common options:
-//   --patterns N   test length            (default 32768)
-//   --budget K     test point budget      (default 8)
-//   --planner P    dp | greedy | random   (default dp)
-//   --seed S       stimulus seed          (default 1)
-//   --limit B      ATPG backtrack limit   (default 20000)
-//   --out FILE     write the DFT netlist as .bench
+// the name of a built-in suite circuit. Run `tpidp --help` for the full
+// option list, the strict/lenient validation modes, the deadline budget,
+// and the documented exit codes.
 
+#include <charconv>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "atpg/podem.hpp"
@@ -30,16 +28,23 @@
 #include "netlist/bench_io.hpp"
 #include "netlist/ffr.hpp"
 #include "netlist/transform.hpp"
+#include "netlist/validate.hpp"
 #include "netlist/verilog_io.hpp"
 #include "testability/cop.hpp"
 #include "testability/detect.hpp"
 #include "tpi/planners.hpp"
+#include "util/deadline.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 namespace {
 
 using namespace tpi;
+
+// Exit codes, documented in --help and stable for scripting:
+//   0 success · 1 internal error · 2 usage · 3 parse · 4 validation
+//   5 limit/deadline
+constexpr int kExitUsage = 2;
 
 struct Args {
     std::string circuit;
@@ -50,15 +55,67 @@ struct Args {
     std::size_t limit = 20000;
     unsigned width = 16;
     std::string out;
+    netlist::ValidateMode mode = netlist::ValidateMode::Lenient;
+    double deadline_ms = 0.0;  // 0 = unlimited
 };
 
+void print_usage(std::ostream& os) {
+    os << "usage: tpidp <suite|stats|faultsim|tpi|atpg|bist> [circuit] "
+          "[options]\n"
+          "       tpidp --help\n";
+}
+
+void print_help() {
+    print_usage(std::cout);
+    std::cout <<
+        "\n<circuit> is a .bench or .v file path (anything containing '.'"
+        " or '/')\nor the name of a built-in suite circuit (see `tpidp"
+        " suite`).\n"
+        "\noptions:\n"
+        "  --patterns N      test length                  (default 32768)\n"
+        "  --budget K        test point budget            (default 8)\n"
+        "  --planner P       dp | greedy | random         (default dp)\n"
+        "  --seed S          stimulus seed                (default 1)\n"
+        "  --limit B         ATPG backtrack limit         (default 20000)\n"
+        "  --width W         MISR width for bist          (default 16)\n"
+        "  --out FILE        write the DFT netlist (.bench or .v)\n"
+        "  --strict          reject structurally broken netlists\n"
+        "  --lenient         repair what is safe (tie off dangling nets,\n"
+        "                    drop dead logic) and report it   (default)\n"
+        "  --deadline-ms T   wall-clock budget; engines stop at T ms and\n"
+        "                    return their best-so-far result, marked\n"
+        "                    \"truncated\"                  (default: none)\n"
+        "\nexit codes:\n"
+        "  0  success\n"
+        "  1  internal error\n"
+        "  2  usage error (unknown flag, malformed numeric value)\n"
+        "  3  parse error (malformed .bench / .v input)\n"
+        "  4  validation error (structurally broken netlist)\n"
+        "  5  limit or deadline exceeded with no usable partial result\n";
+}
+
 [[noreturn]] void usage() {
-    std::cerr
-        << "usage: tpidp <suite|stats|faultsim|tpi|atpg|bist> [circuit] "
-           "[--patterns N] [--budget K]\n"
-           "             [--planner dp|greedy|random] [--seed S] "
-           "[--limit B] [--out FILE]\n";
-    std::exit(2);
+    print_usage(std::cerr);
+    std::exit(kExitUsage);
+}
+
+[[noreturn]] void usage_error(const std::string& message) {
+    std::cerr << "tpidp: " << message << "\n";
+    usage();
+}
+
+/// Checked numeric flag parsing: the whole value must be a number in
+/// range (std::stoi-style aborts on `--budget abc` are exit code 2, not
+/// an uncaught std::invalid_argument).
+template <typename T>
+T parse_number(const std::string& flag, const std::string& text) {
+    T value{};
+    const char* begin = text.c_str();
+    const char* end = begin + text.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end || text.empty())
+        usage_error("invalid value '" + text + "' for " + flag);
+    return value;
 }
 
 Args parse_args(int argc, char** argv, int first) {
@@ -66,41 +123,80 @@ Args parse_args(int argc, char** argv, int first) {
     for (int i = first; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto next = [&]() -> std::string {
-            if (i + 1 >= argc) usage();
+            if (i + 1 >= argc)
+                usage_error("missing value for " + arg);
             return argv[++i];
         };
         if (arg == "--patterns")
-            args.patterns = std::stoull(next());
-        else if (arg == "--budget")
-            args.budget = std::stoi(next());
-        else if (arg == "--planner")
+            args.patterns = parse_number<std::size_t>(arg, next());
+        else if (arg == "--budget") {
+            args.budget = parse_number<int>(arg, next());
+            if (args.budget < 0)
+                usage_error("--budget must be non-negative");
+        } else if (arg == "--planner")
             args.planner = next();
         else if (arg == "--seed")
-            args.seed = std::stoull(next());
+            args.seed = parse_number<std::uint64_t>(arg, next());
         else if (arg == "--limit")
-            args.limit = std::stoull(next());
-        else if (arg == "--width")
-            args.width = static_cast<unsigned>(std::stoul(next()));
-        else if (arg == "--out")
+            args.limit = parse_number<std::size_t>(arg, next());
+        else if (arg == "--width") {
+            args.width = parse_number<unsigned>(arg, next());
+            if (args.width == 0) usage_error("--width must be positive");
+        } else if (arg == "--out")
             args.out = next();
-        else if (!arg.empty() && arg[0] == '-')
-            usage();
+        else if (arg == "--strict")
+            args.mode = netlist::ValidateMode::Strict;
+        else if (arg == "--lenient")
+            args.mode = netlist::ValidateMode::Lenient;
+        else if (arg == "--deadline-ms") {
+            args.deadline_ms = parse_number<double>(arg, next());
+            if (args.deadline_ms < 0)
+                usage_error("--deadline-ms must be non-negative");
+        } else if (!arg.empty() && arg[0] == '-')
+            usage_error("unknown option '" + arg + "'");
         else if (args.circuit.empty())
             args.circuit = arg;
         else
-            usage();
+            usage_error("unexpected argument '" + arg + "'");
     }
-    if (args.circuit.empty()) usage();
+    if (args.circuit.empty()) usage_error("missing circuit");
     return args;
 }
 
-netlist::Circuit load_circuit(const std::string& spec) {
-    if (spec.size() > 2 && spec.substr(spec.size() - 2) == ".v")
-        return netlist::read_verilog_file(spec);
-    if (spec.find('.') != std::string::npos ||
-        spec.find('/') != std::string::npos)
-        return netlist::read_bench_file(spec);
-    return gen::suite_entry(spec).build();
+/// Build the per-run deadline, or nullopt when unlimited.
+std::optional<util::Deadline> make_deadline(const Args& args) {
+    if (args.deadline_ms <= 0) return std::nullopt;
+    return util::Deadline(args.deadline_ms);
+}
+
+void report_diagnostics(const netlist::Diagnostics& diags) {
+    if (diags.entries.empty()) return;
+    std::cerr << "netlist diagnostics (" << diags.summary() << "):\n";
+    for (const auto& d : diags.entries)
+        std::cerr << "  [" << netlist::diag_severity_name(d.severity)
+                  << "] " << d.check << ": " << d.message << "\n";
+}
+
+netlist::Circuit load_circuit(const Args& args) {
+    const std::string& spec = args.circuit;
+    const bool is_file = spec.find('.') != std::string::npos ||
+                         spec.find('/') != std::string::npos;
+    if (!is_file) return gen::suite_entry(spec).build();
+
+    netlist::Diagnostics diags;
+    netlist::Circuit circuit =
+        (spec.size() > 2 && spec.substr(spec.size() - 2) == ".v")
+            ? netlist::read_verilog_file(spec, args.mode, &diags)
+            : netlist::read_bench_file(spec, args.mode, &diags);
+    report_diagnostics(diags);
+    return circuit;
+}
+
+void note_truncation(bool truncated, const Args& args) {
+    if (truncated)
+        std::cout << "note: result truncated (deadline "
+                  << args.deadline_ms
+                  << " ms expired); best-so-far shown\n";
 }
 
 int cmd_suite() {
@@ -117,7 +213,7 @@ int cmd_suite() {
 }
 
 int cmd_stats(const Args& args) {
-    const netlist::Circuit c = load_circuit(args.circuit);
+    const netlist::Circuit c = load_circuit(args);
     const netlist::CircuitStats stats = netlist::compute_stats(c);
     const netlist::FfrDecomposition ffr = netlist::decompose_ffr(c);
     const auto faults = fault::collapse_faults(c);
@@ -141,14 +237,17 @@ int cmd_stats(const Args& args) {
 }
 
 int cmd_faultsim(const Args& args) {
-    const netlist::Circuit c = load_circuit(args.circuit);
+    const netlist::Circuit c = load_circuit(args);
+    auto deadline = make_deadline(args);
     util::Timer timer;
-    const auto result = fault::random_pattern_coverage(c, args.patterns,
-                                                       args.seed);
+    const auto result = fault::random_pattern_coverage(
+        c, args.patterns, args.seed, false,
+        deadline ? &*deadline : nullptr);
     std::cout << "coverage @" << result.patterns_applied << " patterns: "
               << util::fmt_percent(result.coverage) << "% ("
               << result.undetected << " undetected, "
               << util::fmt_fixed(timer.seconds(), 2) << " s)\n";
+    note_truncation(result.truncated, args);
     const auto faults = fault::collapse_faults(c);
     for (double target : {0.9, 0.99, 0.999}) {
         const auto n = result.patterns_to_coverage(target, faults);
@@ -160,7 +259,7 @@ int cmd_faultsim(const Args& args) {
 }
 
 int cmd_tpi(const Args& args) {
-    const netlist::Circuit c = load_circuit(args.circuit);
+    const netlist::Circuit c = load_circuit(args);
     DpPlanner dp;
     GreedyPlanner greedy;
     RandomPlanner random;
@@ -168,12 +267,15 @@ int cmd_tpi(const Args& args) {
     if (args.planner == "dp") planner = &dp;
     if (args.planner == "greedy") planner = &greedy;
     if (args.planner == "random") planner = &random;
-    if (planner == nullptr) usage();
+    if (planner == nullptr)
+        usage_error("unknown planner '" + args.planner + "'");
 
+    auto deadline = make_deadline(args);
     PlannerOptions options;
     options.budget = args.budget;
     options.objective.num_patterns = args.patterns;
     options.seed = args.seed;
+    options.deadline = deadline ? &*deadline : nullptr;
 
     util::Timer timer;
     const Plan plan = planner->plan(c, options);
@@ -182,6 +284,7 @@ int cmd_tpi(const Args& args) {
     for (const auto& tp : plan.points)
         std::cout << "  " << netlist::tp_kind_name(tp.kind) << " @ "
                   << c.node_name(tp.node) << "\n";
+    note_truncation(plan.truncated, args);
 
     const auto dft = netlist::apply_test_points(c, plan.points);
     const auto before =
@@ -208,16 +311,21 @@ int cmd_tpi(const Args& args) {
 }
 
 int cmd_atpg(const Args& args) {
-    const netlist::Circuit c = load_circuit(args.circuit);
+    const netlist::Circuit c = load_circuit(args);
     const auto faults = fault::collapse_faults(c);
+    auto deadline = make_deadline(args);
     atpg::AtpgOptions options;
     options.backtrack_limit = args.limit;
+    options.deadline = deadline ? &*deadline : nullptr;
     util::Timer timer;
     const auto summary = atpg::run_atpg(c, faults, options);
     std::cout << faults.size() << " collapsed faults: "
               << summary.detected << " detected, " << summary.redundant
-              << " redundant, " << summary.aborted << " aborted ("
-              << util::fmt_fixed(timer.seconds(), 2) << " s)\n";
+              << " redundant, " << summary.aborted << " aborted";
+    if (summary.skipped > 0)
+        std::cout << ", " << summary.skipped << " skipped";
+    std::cout << " (" << util::fmt_fixed(timer.seconds(), 2) << " s)\n";
+    note_truncation(summary.truncated, args);
     // Cube statistics.
     std::size_t specified = 0;
     std::size_t bits = 0;
@@ -234,7 +342,7 @@ int cmd_atpg(const Args& args) {
 }
 
 int cmd_bist(const Args& args) {
-    const netlist::Circuit c = load_circuit(args.circuit);
+    const netlist::Circuit c = load_circuit(args);
     const auto faults = fault::collapse_faults(c);
     sim::RandomPatternSource source(args.seed);
     bist::SessionOptions options;
@@ -260,6 +368,10 @@ int cmd_bist(const Args& args) {
 int main(int argc, char** argv) {
     if (argc < 2) usage();
     const std::string command = argv[1];
+    if (command == "--help" || command == "-h" || command == "help") {
+        print_help();
+        return 0;
+    }
     try {
         if (command == "suite") return cmd_suite();
         const Args args = parse_args(argc, argv, 2);
@@ -268,9 +380,12 @@ int main(int argc, char** argv) {
         if (command == "tpi") return cmd_tpi(args);
         if (command == "atpg") return cmd_atpg(args);
         if (command == "bist") return cmd_bist(args);
-        usage();
-    } catch (const std::exception& e) {
+        usage_error("unknown command '" + command + "'");
+    } catch (const tpi::Error& e) {
         std::cerr << "error: " << e.what() << "\n";
+        return static_cast<int>(e.code());
+    } catch (const std::exception& e) {
+        std::cerr << "internal error: " << e.what() << "\n";
         return 1;
     }
 }
