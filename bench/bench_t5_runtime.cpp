@@ -5,11 +5,22 @@
 // shape: the DP scales near-linearly in circuit size (regions are
 // independent) and quadratically in the per-region budget; greedy pays a
 // full re-evaluation per step.
+//
+// Thread-scaling series (threads-vs-speedup): fault simulation and DP
+// planning with the argument = worker thread count on the largest
+// generated bench. Rows are directly comparable (identical work, wall
+// time via UseRealTime); speedup at N threads = time(threads:1) /
+// time(threads:N). Results are bit-identical across rows — the parallel
+// layer's determinism guarantee — so the speedup is free of answer
+// drift.
 
 #include <benchmark/benchmark.h>
 
+#include "fault/fault.hpp"
+#include "fault/fault_sim.hpp"
 #include "gen/chains.hpp"
 #include "gen/random_circuits.hpp"
+#include "sim/pattern.hpp"
 #include "tpi/planners.hpp"
 
 namespace {
@@ -89,6 +100,48 @@ BENCHMARK(BM_TreeDpOnDeepChain)
     ->Range(64, 512)
     ->Unit(benchmark::kMillisecond)
     ->Complexity();
+
+void BM_FaultSimThreads(benchmark::State& state) {
+    // Largest generated bench of the size series.
+    const netlist::Circuit circuit = make_dag(4096);
+    const auto faults = fault::collapse_faults(circuit);
+    fault::FaultSimOptions options;
+    options.max_patterns = 2048;
+    options.stop_at_full_coverage = false;  // fixed work per iteration
+    options.threads = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        sim::RandomPatternSource source(7);
+        benchmark::DoNotOptimize(
+            fault::run_fault_simulation(circuit, faults, source, options));
+    }
+    state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_FaultSimThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_DpPlannerThreads(benchmark::State& state) {
+    const netlist::Circuit circuit = make_dag(4096);
+    DpPlanner planner;
+    PlannerOptions options;
+    options.budget = 8;
+    options.threads = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(planner.plan(circuit, options));
+    }
+    state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_DpPlannerThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -1,10 +1,13 @@
 #include "fault/fault_sim.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <memory>
 
 #include "sim/logic_sim.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tpi::fault {
 
@@ -29,13 +32,116 @@ std::int64_t FaultSimResult::patterns_to_coverage(
     return -1;
 }
 
-FaultSimResult run_fault_simulation(const Circuit& circuit,
-                                    const CollapsedFaults& faults,
-                                    sim::PatternSource& source,
-                                    const FaultSimOptions& options) {
-    const std::size_t n = circuit.node_count();
-    const int depth = circuit.depth();
+namespace {
+
+/// Event-driven single-fault propagation scratch. Each worker lane owns
+/// one instance; propagate() is a pure function of (fault, good_values)
+/// given the shared read-only circuit, so results are independent of
+/// which lane runs which fault.
+class FaultPropagator {
+public:
+    explicit FaultPropagator(const Circuit& circuit)
+        : circuit_(circuit),
+          fval_(circuit.node_count(), 0),
+          val_stamp_(circuit.node_count(), 0),
+          sched_stamp_(circuit.node_count(), 0),
+          bucket_(static_cast<std::size_t>(circuit.depth()) + 1) {}
+
+    /// Inject `fault` against the 64 good-machine patterns in
+    /// `good_values` and propagate through its fanout cone. Returns the
+    /// detect word: bit j set iff pattern j exposes the fault at a
+    /// primary output.
+    std::uint64_t propagate(const Fault& fault,
+                            std::span<const std::uint64_t> good_values) {
+        const NodeId site = fault.node;
+        const std::uint64_t stuck =
+            fault.stuck_at1 ? ~std::uint64_t{0} : 0;
+
+        std::uint64_t detect = 0;
+        const std::uint64_t initial_diff = stuck ^ good_values[site.v];
+        ran_ = initial_diff != 0;
+        if (initial_diff == 0) return 0;
+
+        ++stamp_;
+        fval_[site.v] = stuck;
+        val_stamp_[site.v] = stamp_;
+        if (circuit_.is_output(site)) detect |= initial_diff;
+
+        int max_level = circuit_.level(site);
+        for (NodeId w : circuit_.fanouts(site)) {
+            if (sched_stamp_[w.v] != stamp_) {
+                sched_stamp_[w.v] = stamp_;
+                const int lv = circuit_.level(w);
+                bucket_[static_cast<std::size_t>(lv)].push_back(w.v);
+                max_level = std::max(max_level, lv);
+            }
+        }
+        for (int lv = circuit_.level(site) + 1; lv <= max_level; ++lv) {
+            auto& nodes = bucket_[static_cast<std::size_t>(lv)];
+            for (std::size_t k = 0; k < nodes.size(); ++k) {
+                const std::uint32_t g = nodes[k];
+                const auto fanins = circuit_.fanins(NodeId{g});
+                fanin_scratch_.resize(fanins.size());
+                for (std::size_t q = 0; q < fanins.size(); ++q) {
+                    const std::uint32_t f = fanins[q].v;
+                    fanin_scratch_[q] = (val_stamp_[f] == stamp_)
+                                            ? fval_[f]
+                                            : good_values[f];
+                }
+                const std::uint64_t value = netlist::eval_word(
+                    circuit_.type(NodeId{g}), fanin_scratch_);
+                fval_[g] = value;
+                val_stamp_[g] = stamp_;
+                const std::uint64_t diff = value ^ good_values[g];
+                if (diff == 0) continue;
+                if (circuit_.is_output(NodeId{g})) detect |= diff;
+                for (NodeId w : circuit_.fanouts(NodeId{g})) {
+                    if (sched_stamp_[w.v] != stamp_) {
+                        sched_stamp_[w.v] = stamp_;
+                        const int wl = circuit_.level(w);
+                        bucket_[static_cast<std::size_t>(wl)].push_back(
+                            w.v);
+                        max_level = std::max(max_level, wl);
+                    }
+                }
+            }
+            nodes.clear();
+        }
+        return detect;
+    }
+
+    /// Faulty primary-output words of the last propagate() call: the
+    /// faulty value where the effect reached, the good value elsewhere.
+    void faulty_outputs(std::span<const std::uint64_t> good_values,
+                        std::span<std::uint64_t> out) const {
+        const auto& outputs = circuit_.outputs();
+        for (std::size_t o = 0; o < outputs.size(); ++o) {
+            const std::uint32_t po = outputs[o].v;
+            out[o] = (ran_ && val_stamp_[po] == stamp_) ? fval_[po]
+                                                        : good_values[po];
+        }
+    }
+
+private:
+    const Circuit& circuit_;
+    std::vector<std::uint64_t> fval_;
+    std::vector<std::uint32_t> val_stamp_;
+    std::vector<std::uint32_t> sched_stamp_;
+    std::uint32_t stamp_ = 0;
+    std::vector<std::vector<std::uint32_t>> bucket_;
+    std::vector<std::uint64_t> fanin_scratch_;
+    bool ran_ = false;
+};
+
+/// The original single-threaded loop, preserved exactly: one pass over
+/// the active list per 64-pattern block, deadline polled per fault,
+/// ordered response-observer callbacks.
+FaultSimResult run_serial(const Circuit& circuit,
+                          const CollapsedFaults& faults,
+                          sim::PatternSource& source,
+                          const FaultSimOptions& options) {
     sim::LogicSimulator good(circuit);
+    FaultPropagator prop(circuit);
 
     FaultSimResult result;
     result.detect_pattern.assign(faults.size(), -1);
@@ -44,16 +150,7 @@ FaultSimResult run_fault_simulation(const Circuit& circuit,
     std::vector<std::uint32_t> active(faults.size());
     for (std::uint32_t i = 0; i < active.size(); ++i) active[i] = i;
 
-    // Scratch for event-driven faulty-value propagation.
-    std::vector<std::uint64_t> fval(n, 0);
-    std::vector<std::uint32_t> val_stamp(n, 0);
-    std::vector<std::uint32_t> sched_stamp(n, 0);
-    std::uint32_t stamp = 0;
-    std::vector<std::vector<std::uint32_t>> bucket(
-        static_cast<std::size_t>(depth) + 1);
-
     std::vector<std::uint64_t> pi_words(circuit.input_count());
-    std::vector<std::uint64_t> fanin_scratch;
     std::vector<std::uint64_t> faulty_po_words(circuit.output_count());
 
     const std::size_t blocks = (options.max_patterns + 63) / 64;
@@ -79,72 +176,11 @@ FaultSimResult run_fault_simulation(const Circuit& circuit,
                 break;
             }
             const std::uint32_t fi = active[idx];
-            const Fault fault = faults.representatives[fi];
-            const NodeId site = fault.node;
-            const std::uint64_t stuck =
-                fault.stuck_at1 ? ~std::uint64_t{0} : 0;
+            const std::uint64_t detect =
+                prop.propagate(faults.representatives[fi], good_values);
 
-            std::uint64_t detect = 0;
-            const std::uint64_t initial_diff = stuck ^ good_values[site.v];
-            if (initial_diff != 0) {
-                ++stamp;
-                fval[site.v] = stuck;
-                val_stamp[site.v] = stamp;
-                if (circuit.is_output(site)) detect |= initial_diff;
-
-                int max_level = circuit.level(site);
-                for (NodeId w : circuit.fanouts(site)) {
-                    if (sched_stamp[w.v] != stamp) {
-                        sched_stamp[w.v] = stamp;
-                        const int lv = circuit.level(w);
-                        bucket[static_cast<std::size_t>(lv)].push_back(w.v);
-                        max_level = std::max(max_level, lv);
-                    }
-                }
-                for (int lv = circuit.level(site) + 1; lv <= max_level;
-                     ++lv) {
-                    auto& nodes = bucket[static_cast<std::size_t>(lv)];
-                    for (std::size_t k = 0; k < nodes.size(); ++k) {
-                        const std::uint32_t g = nodes[k];
-                        const auto fanins = circuit.fanins(NodeId{g});
-                        fanin_scratch.resize(fanins.size());
-                        for (std::size_t q = 0; q < fanins.size(); ++q) {
-                            const std::uint32_t f = fanins[q].v;
-                            fanin_scratch[q] = (val_stamp[f] == stamp)
-                                                   ? fval[f]
-                                                   : good_values[f];
-                        }
-                        const std::uint64_t value = netlist::eval_word(
-                            circuit.type(NodeId{g}), fanin_scratch);
-                        fval[g] = value;
-                        val_stamp[g] = stamp;
-                        const std::uint64_t diff = value ^ good_values[g];
-                        if (diff == 0) continue;
-                        if (circuit.is_output(NodeId{g})) detect |= diff;
-                        for (NodeId w : circuit.fanouts(NodeId{g})) {
-                            if (sched_stamp[w.v] != stamp) {
-                                sched_stamp[w.v] = stamp;
-                                const int wl = circuit.level(w);
-                                bucket[static_cast<std::size_t>(wl)]
-                                    .push_back(w.v);
-                                max_level = std::max(max_level, wl);
-                            }
-                        }
-                    }
-                    nodes.clear();
-                }
-            }
-
-            const bool fault_ran = initial_diff != 0;
             if (options.response_observer) {
-                const auto& outputs = circuit.outputs();
-                for (std::size_t o = 0; o < outputs.size(); ++o) {
-                    const std::uint32_t po = outputs[o].v;
-                    faulty_po_words[o] =
-                        (fault_ran && val_stamp[po] == stamp)
-                            ? fval[po]
-                            : good_values[po];
-                }
+                prop.faulty_outputs(good_values, faulty_po_words);
                 options.response_observer(fi, b, faulty_po_words);
             }
 
@@ -170,17 +206,157 @@ FaultSimResult run_fault_simulation(const Circuit& circuit,
     return result;
 }
 
+/// Fault-partitioned parallel simulation. The collapsed fault list is
+/// split into contiguous shards (finer than the lane count, so the
+/// work-stealing pool balances uneven cones); each shard owns its slice
+/// of the active list across blocks. Per block the good machine is
+/// simulated once on the calling thread and its values broadcast
+/// read-only; lanes then propagate their shards' active faults with
+/// per-lane FaultPropagator scratch.
+///
+/// Determinism: detect_pattern entries are per-fault (exactly one shard
+/// owns a fault), and the per-shard covered-weight fragments are sums of
+/// integer class sizes — exact in double — merged in shard-index order,
+/// so every completed run is bit-identical to the serial path regardless
+/// of thread count or interleaving.
+FaultSimResult run_parallel(const Circuit& circuit,
+                            const CollapsedFaults& faults,
+                            sim::PatternSource& source,
+                            const FaultSimOptions& options,
+                            unsigned threads) {
+    sim::LogicSimulator good(circuit);
+
+    FaultSimResult result;
+    result.detect_pattern.assign(faults.size(), -1);
+
+    // Contiguous shards of the fault list, 4 per lane so stealing can
+    // balance shards whose faults die (or drop) at different rates.
+    const std::size_t shard_count = std::min<std::size_t>(
+        faults.size(), static_cast<std::size_t>(threads) * 4);
+    struct Shard {
+        std::vector<std::uint32_t> active;
+        double block_covered = 0.0;   // exact: sum of integer weights
+        std::size_t block_detected = 0;
+        bool saw_deadline = false;
+    };
+    std::vector<Shard> shards(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+        const std::size_t lo = faults.size() * s / shard_count;
+        const std::size_t hi = faults.size() * (s + 1) / shard_count;
+        shards[s].active.reserve(hi - lo);
+        for (std::size_t i = lo; i < hi; ++i)
+            shards[s].active.push_back(static_cast<std::uint32_t>(i));
+    }
+
+    // Per-lane private propagation scratch, created lazily on first use.
+    std::vector<std::unique_ptr<FaultPropagator>> scratch(threads);
+
+    std::vector<std::uint64_t> pi_words(circuit.input_count());
+
+    const std::size_t blocks = (options.max_patterns + 63) / 64;
+    double covered_weight = 0.0;
+    std::size_t undetected_count = faults.size();
+    const double total_weight = static_cast<double>(faults.total_faults);
+    util::Deadline* deadline = options.deadline;
+    std::atomic<bool> expired{false};
+
+    util::ThreadPool& pool = util::ThreadPool::shared();
+
+    for (std::size_t b = 0; b < blocks; ++b) {
+        source.next_block(pi_words);
+        good.simulate_block(pi_words);
+        const auto good_values = good.values();
+        const std::int64_t base = static_cast<std::int64_t>(b) * 64;
+
+        pool.for_each(shard_count, threads, [&](std::size_t s,
+                                                unsigned lane) {
+            Shard& shard = shards[s];
+            shard.block_covered = 0.0;
+            shard.block_detected = 0;
+            if (!scratch[lane])
+                scratch[lane] =
+                    std::make_unique<FaultPropagator>(circuit);
+            FaultPropagator& prop = *scratch[lane];
+
+            std::size_t kept = 0;
+            for (std::size_t idx = 0; idx < shard.active.size(); ++idx) {
+                // First expiry (from any lane) stops every shard at its
+                // next fault; not-yet-simulated faults stay active.
+                if (expired.load(std::memory_order_relaxed) ||
+                    (deadline != nullptr && deadline->expired())) {
+                    expired.store(true, std::memory_order_relaxed);
+                    shard.saw_deadline = true;
+                    for (std::size_t j = idx; j < shard.active.size();
+                         ++j)
+                        shard.active[kept++] = shard.active[j];
+                    break;
+                }
+                const std::uint32_t fi = shard.active[idx];
+                const std::uint64_t detect = prop.propagate(
+                    faults.representatives[fi], good_values);
+                if (detect != 0 && result.detect_pattern[fi] < 0) {
+                    result.detect_pattern[fi] =
+                        base + std::countr_zero(detect);
+                    shard.block_covered += faults.class_size[fi];
+                    ++shard.block_detected;
+                }
+                if (detect == 0 || !options.drop_detected)
+                    shard.active[kept++] = fi;
+            }
+            shard.active.resize(kept);
+        });
+
+        // Deterministic reduction: merge the per-shard fragments in
+        // shard-index order (ascending fault index, as in the serial
+        // pass). The fragments are integer-valued, so the sum is exact
+        // and independent of the shard/thread layout.
+        for (const Shard& shard : shards) {
+            covered_weight += shard.block_covered;
+            undetected_count -= shard.block_detected;
+        }
+        if (expired.load(std::memory_order_relaxed)) {
+            result.truncated = true;
+            break;  // partial block: don't count it
+        }
+        result.patterns_applied = (b + 1) * 64;
+        if (options.record_curve)
+            result.coverage_curve.push_back(covered_weight / total_weight);
+        if (options.stop_at_full_coverage && undetected_count == 0) break;
+    }
+
+    result.undetected = undetected_count;
+    result.coverage =
+        total_weight > 0 ? covered_weight / total_weight : 1.0;
+    return result;
+}
+
+}  // namespace
+
+FaultSimResult run_fault_simulation(const Circuit& circuit,
+                                    const CollapsedFaults& faults,
+                                    sim::PatternSource& source,
+                                    const FaultSimOptions& options) {
+    unsigned threads = util::ThreadPool::resolve(options.threads);
+    // Ordered observer callbacks and fault-free universes have nothing
+    // to parallelise over.
+    if (options.response_observer || faults.size() == 0) threads = 1;
+    if (threads <= 1) return run_serial(circuit, faults, source, options);
+    return run_parallel(circuit, faults, source, options, threads);
+}
+
 FaultSimResult random_pattern_coverage(const Circuit& circuit,
                                        std::size_t num_patterns,
                                        std::uint64_t seed,
                                        bool record_curve,
-                                       util::Deadline* deadline) {
+                                       util::Deadline* deadline,
+                                       unsigned threads) {
     const CollapsedFaults faults = collapse_faults(circuit);
     sim::RandomPatternSource source(seed);
     FaultSimOptions options;
     options.max_patterns = num_patterns;
     options.record_curve = record_curve;
     options.deadline = deadline;
+    options.threads = threads;
     return run_fault_simulation(circuit, faults, source, options);
 }
 

@@ -32,8 +32,20 @@ struct FaultSimOptions {
     /// Optional cooperative resource budget (not owned). Checked per
     /// simulated fault; on expiry the simulation stops at the current
     /// block and returns the coverage accumulated so far with
-    /// FaultSimResult::truncated set.
+    /// FaultSimResult::truncated set. Thread-safe: under parallel
+    /// execution every worker polls it and the first expiry stops all
+    /// workers cooperatively.
     util::Deadline* deadline = nullptr;
+    /// Worker lanes for fault-partitioned parallel simulation: the
+    /// collapsed fault list is sharded, the good machine is simulated
+    /// once per block and broadcast, and each lane propagates the faults
+    /// of its shards with private scratch. Per-shard fragments are
+    /// merged in shard-index order, so completed runs are bit-identical
+    /// for every thread count. 1 (the default) is the exact
+    /// single-threaded code path; 0 means hardware concurrency. A set
+    /// response_observer forces single-threaded execution (the observer
+    /// contract is ordered callbacks).
+    unsigned threads = 1;
 };
 
 struct FaultSimResult {
@@ -70,11 +82,13 @@ FaultSimResult run_fault_simulation(const netlist::Circuit& circuit,
                                     const FaultSimOptions& options = {});
 
 /// Convenience wrapper: collapse, simulate `num_patterns` equiprobable
-/// random patterns with `seed`, return the result.
+/// random patterns with `seed`, return the result. `threads` as in
+/// FaultSimOptions (1 = serial, 0 = hardware concurrency).
 FaultSimResult random_pattern_coverage(const netlist::Circuit& circuit,
                                        std::size_t num_patterns,
                                        std::uint64_t seed,
                                        bool record_curve = false,
-                                       util::Deadline* deadline = nullptr);
+                                       util::Deadline* deadline = nullptr,
+                                       unsigned threads = 1);
 
 }  // namespace tpi::fault

@@ -1,3 +1,4 @@
+#include <atomic>
 #include <memory>
 
 #include "fault/fault.hpp"
@@ -9,6 +10,7 @@
 #include "tpi/tree_joint_dp.hpp"
 #include "tpi/tree_obs_dp.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tpi {
 
@@ -91,6 +93,7 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
     const int rounds = std::max(1, options.dp_rounds);
     const int chunk = std::max(1, (options.budget + rounds - 1) / rounds);
     const bool use_control = !options.control_kinds.empty();
+    const unsigned threads = util::ThreadPool::resolve(options.threads);
     bool truncated = false;
     const auto out_of_time = [&] {
         // Units of work here are whole per-region DP builds — expensive
@@ -143,12 +146,11 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
             has_faults[ffr.region_of[mapped.representatives[i].node.v]] =
                 true;
         }
-        for (std::size_t r = 0; r < ffr.regions.size(); ++r) {
-            if (!has_faults[r]) continue;
-            if (out_of_time()) {
-                truncated = true;
-                break;
-            }
+        // Independent per-region builds: everything they read (the
+        // transformed circuit, COP, the mapped fault universe, the
+        // allowed mask) is shared read-only, and each build writes only
+        // its own dps[r] slot.
+        const auto build_region = [&](std::size_t r) {
             const auto& region = ffr.regions[r];
             const bool joint =
                 use_control &&
@@ -182,6 +184,37 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
                     options.objective, params,
                     allowed);
             }
+        };
+
+        if (threads <= 1) {
+            for (std::size_t r = 0; r < ffr.regions.size(); ++r) {
+                if (!has_faults[r]) continue;
+                if (out_of_time()) {
+                    truncated = true;
+                    break;
+                }
+                build_region(r);
+            }
+        } else {
+            // Region-parallel: solve the independent FFR DPs on the
+            // shared pool. The first deadline expiry (observed on any
+            // lane) stops the remaining builds; the round is then
+            // discarded below exactly as in the serial path, so the
+            // plan never depends on which builds happened to finish.
+            std::atomic<bool> expired{false};
+            util::ThreadPool::shared().for_each(
+                ffr.regions.size(), threads,
+                [&](std::size_t r, unsigned) {
+                    if (!has_faults[r]) return;
+                    if (expired.load(std::memory_order_relaxed)) return;
+                    if (options.deadline != nullptr &&
+                        options.deadline->expired_now()) {
+                        expired.store(true, std::memory_order_relaxed);
+                        return;
+                    }
+                    build_region(r);
+                });
+            if (expired.load(std::memory_order_relaxed)) truncated = true;
         }
 
         // Deadline hit while building region tables: the round's DP set

@@ -50,6 +50,14 @@ struct PlannerOptions {
 
     std::uint64_t seed = 1;
 
+    /// Worker lanes for region-parallel DP planning: the independent
+    /// per-FFR dynamic programs of a round are solved concurrently and
+    /// their candidate tables consumed in region-index order, so plans
+    /// are identical for every thread count. 1 (the default) is the
+    /// exact single-threaded code path; 0 means hardware concurrency.
+    /// Planners without internal parallelism ignore it.
+    unsigned threads = 1;
+
     /// Optional cooperative resource budget (not owned). Planners check
     /// it at their natural work boundaries and, once it expires, stop
     /// and return their best-so-far plan with Plan::truncated set —

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <limits>
@@ -19,12 +20,41 @@ namespace tpi::util {
 /// expired() amortises the clock read: only every kPollStride-th call
 /// touches the clock, so it is cheap enough for inner loops. A
 /// default-constructed Deadline is unlimited and never expires.
+///
+/// Thread safety: one Deadline may be polled concurrently from the
+/// worker lanes of a parallel engine. The step counter and the sticky
+/// expired flag are atomics; the limits are immutable after
+/// construction. Expiry is sticky, so the first lane that observes it
+/// stops every other lane at its next poll.
 class Deadline {
 public:
     using Clock = std::chrono::steady_clock;
 
     /// Unlimited: never expires.
     Deadline() = default;
+
+    /// Copying is allowed while the deadline is not yet shared between
+    /// threads (factories, std::optional storage); the copy snapshots
+    /// the counter and flag non-atomically.
+    Deadline(const Deadline& other)
+        : limited_(other.limited_),
+          expires_at_(other.expires_at_),
+          max_steps_(other.max_steps_) {
+        expired_.store(other.expired_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+        steps_.store(other.steps_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    }
+    Deadline& operator=(const Deadline& other) {
+        limited_ = other.limited_;
+        expires_at_ = other.expires_at_;
+        max_steps_ = other.max_steps_;
+        expired_.store(other.expired_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+        steps_.store(other.steps_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+        return *this;
+    }
 
     /// Expires `budget_ms` wall-clock milliseconds after construction,
     /// and/or after `max_steps` calls to expired()/check().
@@ -53,10 +83,12 @@ public:
     /// once expired, stays expired.
     bool expired() {
         if (!limited_) return false;
-        if (expired_) return true;
-        if (++steps_ >= max_steps_) return expired_ = true;
-        if (steps_ % kPollStride == 0 && Clock::now() >= expires_at_)
-            return expired_ = true;
+        if (expired_.load(std::memory_order_relaxed)) return true;
+        const std::uint64_t step =
+            steps_.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (step >= max_steps_) return expire();
+        if (step % kPollStride == 0 && Clock::now() >= expires_at_)
+            return expire();
         return false;
     }
 
@@ -66,10 +98,19 @@ public:
     /// budget overshoot by many work units.
     bool expired_now() {
         if (!limited_) return false;
-        if (expired_) return true;
-        if (++steps_ >= max_steps_ || Clock::now() >= expires_at_)
-            expired_ = true;
-        return expired_;
+        if (expired_.load(std::memory_order_relaxed)) return true;
+        const std::uint64_t step =
+            steps_.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (step >= max_steps_ || Clock::now() >= expires_at_)
+            return expire();
+        return false;
+    }
+
+    /// Has the budget already run out, without counting a step or
+    /// polling the clock? For cheap has-someone-else-expired-us checks
+    /// inside parallel loops.
+    bool already_expired() const {
+        return expired_.load(std::memory_order_relaxed);
     }
 
     /// Like expired(), but throws DeadlineError. For call sites with no
@@ -77,20 +118,27 @@ public:
     void check(const std::string& where) {
         if (expired())
             throw DeadlineError(where + ": deadline expired after " +
-                                std::to_string(steps_) + " steps");
+                                std::to_string(steps()) + " steps");
     }
 
     /// Steps counted so far (diagnostics).
-    std::uint64_t steps() const { return steps_; }
+    std::uint64_t steps() const {
+        return steps_.load(std::memory_order_relaxed);
+    }
 
 private:
     static constexpr std::uint64_t kPollStride = 64;
 
+    bool expire() {
+        expired_.store(true, std::memory_order_relaxed);
+        return true;
+    }
+
     bool limited_ = false;
-    bool expired_ = false;
     Clock::time_point expires_at_ = Clock::time_point::max();
     std::uint64_t max_steps_ = std::numeric_limits<std::uint64_t>::max();
-    std::uint64_t steps_ = 0;
+    std::atomic<bool> expired_{false};
+    std::atomic<std::uint64_t> steps_{0};
 };
 
 }  // namespace tpi::util

@@ -1,0 +1,181 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <limits>
+
+namespace tpi::util {
+
+namespace {
+constexpr std::size_t kNoIndex = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+/// One lane's share of the index space: [next, end), guarded by its own
+/// mutex so the owner pops from the front while thieves clip the back.
+struct alignas(64) ThreadPool::Shard {
+    std::mutex m;
+    std::size_t next = 0;
+    std::size_t end = 0;
+};
+
+struct ThreadPool::Batch {
+    const std::function<void(std::size_t, unsigned)>* fn = nullptr;
+    std::vector<Shard> shards;  // one per participating lane
+    unsigned lanes = 0;
+    std::atomic<bool> cancelled{false};
+
+    // Lane tickets for helpers (lane 0 is the submitting thread) and the
+    // completion/error channel, all guarded by done_m.
+    std::mutex done_m;
+    std::condition_variable done_cv;
+    unsigned next_lane = 1;
+    unsigned running = 0;  // helpers that have not reported done yet
+    std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(unsigned lanes) {
+    if (lanes == 0) lanes = hardware_threads();
+    helpers_.reserve(lanes > 0 ? lanes - 1 : 0);
+    for (unsigned i = 1; i < lanes; ++i)
+        helpers_.emplace_back([this] { helper_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto& t : helpers_) t.join();
+}
+
+unsigned ThreadPool::hardware_threads() {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n > 0 ? n : 1;
+}
+
+unsigned ThreadPool::resolve(unsigned requested) {
+    return requested > 0 ? requested : hardware_threads();
+}
+
+ThreadPool& ThreadPool::shared() {
+    static ThreadPool pool(hardware_threads());
+    return pool;
+}
+
+void ThreadPool::helper_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+        Batch* batch = nullptr;
+        {
+            std::unique_lock lock(mutex_);
+            wake_.wait(lock, [&] {
+                return stop_ || (batch_ != nullptr && epoch_ != seen);
+            });
+            if (stop_) return;
+            seen = epoch_;
+            batch = batch_;
+        }
+        unsigned lane;
+        {
+            std::lock_guard lock(batch->done_m);
+            lane = batch->next_lane++;
+        }
+        // Surplus helpers (a batch may use fewer lanes than the pool
+        // has) just report done.
+        if (lane < batch->lanes) run_lane(*batch, lane);
+        {
+            std::lock_guard lock(batch->done_m);
+            if (--batch->running == 0) batch->done_cv.notify_all();
+        }
+    }
+}
+
+void ThreadPool::run_lane(Batch& batch, unsigned lane) {
+    Shard& own = batch.shards[lane];
+    const auto& fn = *batch.fn;
+    for (;;) {
+        if (batch.cancelled.load(std::memory_order_relaxed)) return;
+        std::size_t index = kNoIndex;
+        {
+            std::lock_guard lock(own.m);
+            if (own.next < own.end) index = own.next++;
+        }
+        if (index == kNoIndex) {
+            // Own range is dry: steal the back half of a victim's range.
+            bool stole = false;
+            for (unsigned off = 1; off < batch.lanes && !stole; ++off) {
+                Shard& victim = batch.shards[(lane + off) % batch.lanes];
+                std::size_t begin = 0, end = 0;
+                {
+                    std::lock_guard lock(victim.m);
+                    const std::size_t left = victim.end - victim.next;
+                    if (left == 0) continue;
+                    const std::size_t take = (left + 1) / 2;
+                    begin = victim.end - take;
+                    end = victim.end;
+                    victim.end = begin;
+                }
+                std::lock_guard lock(own.m);
+                own.next = begin;
+                own.end = end;
+                stole = true;
+            }
+            if (!stole) return;  // no work left anywhere visible
+            continue;
+        }
+        try {
+            fn(index, lane);
+        } catch (...) {
+            std::lock_guard lock(batch.done_m);
+            if (!batch.error) batch.error = std::current_exception();
+            batch.cancelled.store(true, std::memory_order_relaxed);
+        }
+    }
+}
+
+void ThreadPool::for_each(
+    std::size_t count, unsigned max_lanes,
+    const std::function<void(std::size_t, unsigned)>& fn) {
+    if (count == 0) return;
+    unsigned lanes = max_lanes == 0 ? this->lanes() : max_lanes;
+    lanes = std::min(lanes, this->lanes());
+    if (static_cast<std::size_t>(lanes) > count)
+        lanes = static_cast<unsigned>(count);
+    if (lanes <= 1) {
+        for (std::size_t i = 0; i < count; ++i) fn(i, 0);
+        return;
+    }
+
+    std::lock_guard submit(submit_mutex_);
+    Batch batch;
+    batch.fn = &fn;
+    batch.lanes = lanes;
+    batch.shards = std::vector<Shard>(lanes);
+    for (unsigned s = 0; s < lanes; ++s) {
+        batch.shards[s].next = count * s / lanes;
+        batch.shards[s].end = count * (s + 1) / lanes;
+    }
+    batch.running = static_cast<unsigned>(helpers_.size());
+
+    {
+        std::lock_guard lock(mutex_);
+        batch_ = &batch;
+        ++epoch_;
+    }
+    wake_.notify_all();
+
+    run_lane(batch, 0);
+
+    {
+        std::unique_lock lock(batch.done_m);
+        batch.done_cv.wait(lock, [&] { return batch.running == 0; });
+    }
+    {
+        std::lock_guard lock(mutex_);
+        batch_ = nullptr;
+    }
+    if (batch.error) std::rethrow_exception(batch.error);
+}
+
+}  // namespace tpi::util

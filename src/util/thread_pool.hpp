@@ -1,0 +1,87 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tpi::util {
+
+/// Work-stealing thread pool for batch-parallel index loops.
+///
+/// The pool owns `lanes() - 1` helper threads; the caller of for_each
+/// participates as lane 0, so a pool of L lanes runs at most L tasks
+/// concurrently. Helpers sleep on a condition variable between batches —
+/// an idle pool burns no CPU.
+///
+/// for_each splits [0, count) into one contiguous index range per lane.
+/// Each lane drains its own range front-to-back; a lane that runs dry
+/// steals the back half of another lane's remaining range (classic range
+/// stealing). Every index is executed exactly once, on exactly one lane.
+/// Determinism is the caller's contract: a task may use `lane` to select
+/// private scratch (a lane runs one task at a time), but observable
+/// results must be written to per-index slots so they are independent of
+/// which lane ran which index.
+///
+/// The first exception thrown by a task cancels the remaining tasks
+/// (already-running ones complete) and is rethrown from for_each.
+///
+/// for_each is not reentrant: tasks must not call for_each on the same
+/// pool. Concurrent for_each calls from different threads serialise.
+class ThreadPool {
+public:
+    /// A pool running up to `lanes` tasks concurrently (the calling
+    /// thread plus `lanes - 1` helpers). 0 means hardware_threads().
+    explicit ThreadPool(unsigned lanes = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Maximum concurrency, including the calling thread.
+    unsigned lanes() const {
+        return static_cast<unsigned>(helpers_.size()) + 1;
+    }
+
+    /// Run fn(index, lane) for every index in [0, count), blocking until
+    /// all calls complete. At most min(max_lanes, lanes(), count) lanes
+    /// run concurrently; `lane` is in [0, that). max_lanes == 0 means
+    /// lanes(). With one effective lane the loop runs inline on the
+    /// calling thread, touching no synchronisation at all.
+    void for_each(std::size_t count, unsigned max_lanes,
+                  const std::function<void(std::size_t index,
+                                           unsigned lane)>& fn);
+
+    /// std::thread::hardware_concurrency, clamped to at least 1.
+    static unsigned hardware_threads();
+
+    /// Resolve a user-facing thread-count option: 0 -> hardware_threads().
+    static unsigned resolve(unsigned requested);
+
+    /// Process-wide shared pool, sized to hardware_threads(). Constructed
+    /// on first use; callers that resolved to a single thread should not
+    /// touch it (so purely serial runs never spawn threads).
+    static ThreadPool& shared();
+
+private:
+    struct Shard;
+    struct Batch;
+
+    void helper_loop();
+    static void run_lane(Batch& batch, unsigned lane);
+
+    std::vector<std::thread> helpers_;
+
+    std::mutex mutex_;                // guards batch_, epoch_, stop_
+    std::condition_variable wake_;
+    Batch* batch_ = nullptr;
+    std::uint64_t epoch_ = 0;
+    bool stop_ = false;
+
+    std::mutex submit_mutex_;         // serialises for_each callers
+};
+
+}  // namespace tpi::util

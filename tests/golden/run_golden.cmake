@@ -1,0 +1,44 @@
+# Golden-file CLI test runner (ctest -P script).
+#
+#   cmake -DCLI=<tpidp> "-DARGS=tpi;circuit.bench;--budget;2" \
+#         -DEXPECTED=<expected.golden> [-DEXPECT_CODE=0] \
+#         [-DMUST_MATCH=<regex>] -P run_golden.cmake
+#
+# Runs the CLI, normalises wall-clock timings ("0.0042 s" -> "<time> s"),
+# and compares stdout byte-for-byte against the committed golden file.
+# With no EXPECTED, only the exit code (and optional MUST_MATCH regex on
+# stdout) is checked — used by the deadline/exit-5 tests.
+
+if(NOT DEFINED EXPECT_CODE)
+  set(EXPECT_CODE 0)
+endif()
+
+execute_process(
+  COMMAND ${CLI} ${ARGS}
+  OUTPUT_VARIABLE actual
+  ERROR_VARIABLE stderr_text
+  RESULT_VARIABLE code)
+
+if(NOT code EQUAL ${EXPECT_CODE})
+  message(FATAL_ERROR
+    "exit code ${code} (expected ${EXPECT_CODE}) from: ${CLI} ${ARGS}\n"
+    "stdout:\n${actual}\nstderr:\n${stderr_text}")
+endif()
+
+if(DEFINED MUST_MATCH AND NOT actual MATCHES "${MUST_MATCH}")
+  message(FATAL_ERROR
+    "stdout does not match \"${MUST_MATCH}\":\n${actual}")
+endif()
+
+if(DEFINED EXPECTED)
+  # Timings are the only run-to-run nondeterminism in the output.
+  string(REGEX REPLACE "[0-9]+\\.?[0-9]* s" "<time> s" actual "${actual}")
+  file(READ ${EXPECTED} expected)
+  if(NOT actual STREQUAL expected)
+    message(FATAL_ERROR
+      "output differs from golden file ${EXPECTED}.\n"
+      "---- expected ----\n${expected}\n---- actual ----\n${actual}\n"
+      "If the change is intentional, regenerate the golden file with:\n"
+      "  ${CLI} ${ARGS} | sed -E 's/[0-9]+\\.?[0-9]* s/<time> s/' > ${EXPECTED}")
+  endif()
+endif()

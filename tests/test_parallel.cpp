@@ -1,0 +1,307 @@
+// Determinism / differential test layer for the thread-parallel
+// execution paths.
+//
+// The contract under test: fault-partitioned parallel fault simulation
+// and region-parallel DP planning produce results *bit-identical* to the
+// single-threaded code path for every thread count. These tests run the
+// same workload at --threads 1/2/3/8 and compare every observable field.
+// The suite lives in its own executable (tpidp_parallel_tests) so the CI
+// thread-sanitizer job can run exactly this binary.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fault/fault_sim.hpp"
+#include "gen/benchmarks.hpp"
+#include "gen/random_circuits.hpp"
+#include "netlist/transform.hpp"
+#include "sim/pattern.hpp"
+#include "tpi/planners.hpp"
+#include "util/deadline.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace tpi;
+using netlist::Circuit;
+
+// ---------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+    util::ThreadPool pool(8);
+    std::vector<std::atomic<int>> hits(10000);
+    pool.for_each(hits.size(), 8, [&](std::size_t i, unsigned lane) {
+        ASSERT_LT(lane, 8u);
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroCountIsANoOp) {
+    util::ThreadPool pool(4);
+    bool ran = false;
+    pool.for_each(0, 4, [&](std::size_t, unsigned) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, LanesAreClampedToCount) {
+    util::ThreadPool pool(8);
+    std::vector<std::atomic<int>> hits(3);
+    pool.for_each(3, 8, [&](std::size_t i, unsigned lane) {
+        EXPECT_LT(lane, 3u);
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleLaneRunsInline) {
+    util::ThreadPool pool(4);
+    const auto caller = std::this_thread::get_id();
+    pool.for_each(100, 1, [&](std::size_t, unsigned lane) {
+        EXPECT_EQ(lane, 0u);
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesAndCancels) {
+    util::ThreadPool pool(4);
+    std::atomic<int> executed{0};
+    try {
+        pool.for_each(10000, 4, [&](std::size_t i, unsigned) {
+            if (i == 17) throw std::runtime_error("boom");
+            executed.fetch_add(1, std::memory_order_relaxed);
+        });
+        FAIL() << "expected the task exception to propagate";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "boom");
+    }
+    // Cancellation is cooperative, so some tasks ran — but not all.
+    EXPECT_LT(executed.load(), 10000);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+    util::ThreadPool pool(3);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<std::size_t> sum{0};
+        pool.for_each(round + 1, 3, [&](std::size_t i, unsigned) {
+            sum.fetch_add(i + 1, std::memory_order_relaxed);
+        });
+        const std::size_t n = static_cast<std::size_t>(round) + 1;
+        EXPECT_EQ(sum.load(), n * (n + 1) / 2);
+    }
+}
+
+TEST(ThreadPool, ResolveMapsZeroToHardware) {
+    EXPECT_EQ(util::ThreadPool::resolve(1), 1u);
+    EXPECT_EQ(util::ThreadPool::resolve(6), 6u);
+    EXPECT_EQ(util::ThreadPool::resolve(0),
+              util::ThreadPool::hardware_threads());
+    EXPECT_GE(util::ThreadPool::hardware_threads(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Deadline under concurrent polling
+
+TEST(DeadlineParallel, StepBudgetIsHonouredAcrossLanes) {
+    util::ThreadPool pool(8);
+    util::Deadline deadline = util::Deadline::steps(500);
+    std::atomic<int> alive{0};
+    pool.for_each(5000, 8, [&](std::size_t, unsigned) {
+        if (!deadline.expired())
+            alive.fetch_add(1, std::memory_order_relaxed);
+    });
+    // At most max_steps polls can come back unexpired, and expiry is
+    // sticky for everyone afterwards.
+    EXPECT_LT(alive.load(), 500);
+    EXPECT_TRUE(deadline.already_expired());
+    EXPECT_TRUE(deadline.expired());
+}
+
+TEST(DeadlineParallel, UnlimitedNeverExpiresUnderContention) {
+    util::ThreadPool pool(4);
+    util::Deadline deadline;  // unlimited
+    std::atomic<int> expirations{0};
+    pool.for_each(2000, 4, [&](std::size_t, unsigned) {
+        if (deadline.expired())
+            expirations.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(expirations.load(), 0);
+    EXPECT_FALSE(deadline.already_expired());
+}
+
+// ---------------------------------------------------------------------
+// Fault simulation: threads 1/2/3/8 must be bit-identical
+
+struct SimConfig {
+    std::size_t patterns = 1024;
+    bool drop_detected = true;
+    bool stop_at_full = true;
+};
+
+fault::FaultSimResult simulate(const Circuit& circuit, unsigned threads,
+                               const SimConfig& config) {
+    const auto faults = fault::collapse_faults(circuit);
+    sim::RandomPatternSource source(99);
+    fault::FaultSimOptions options;
+    options.max_patterns = config.patterns;
+    options.record_curve = true;
+    options.drop_detected = config.drop_detected;
+    options.stop_at_full_coverage = config.stop_at_full;
+    options.threads = threads;
+    return fault::run_fault_simulation(circuit, faults, source, options);
+}
+
+void expect_identical(const fault::FaultSimResult& serial,
+                      const fault::FaultSimResult& parallel,
+                      unsigned threads) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(serial.detect_pattern, parallel.detect_pattern);
+    EXPECT_EQ(serial.patterns_applied, parallel.patterns_applied);
+    // Bit-identical, not approximately equal: the parallel reduction
+    // sums integer-valued fragments in shard order.
+    EXPECT_EQ(serial.coverage, parallel.coverage);
+    EXPECT_EQ(serial.undetected, parallel.undetected);
+    EXPECT_EQ(serial.coverage_curve, parallel.coverage_curve);
+    EXPECT_EQ(serial.truncated, parallel.truncated);
+    EXPECT_FALSE(parallel.truncated);
+}
+
+class FaultSimDifferential : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(FaultSimDifferential, ThreadCountDoesNotChangeResults) {
+    const Circuit circuit = gen::suite_entry(GetParam()).build();
+    const SimConfig config;
+    const auto serial = simulate(circuit, 1, config);
+    for (unsigned threads : {2u, 3u, 8u})
+        expect_identical(serial, simulate(circuit, threads, config),
+                         threads);
+}
+
+TEST_P(FaultSimDifferential, NoDropModeIsAlsoDeterministic) {
+    const Circuit circuit = gen::suite_entry(GetParam()).build();
+    SimConfig config;
+    config.patterns = 256;
+    config.drop_detected = false;
+    config.stop_at_full = false;
+    const auto serial = simulate(circuit, 1, config);
+    for (unsigned threads : {2u, 8u})
+        expect_identical(serial, simulate(circuit, threads, config),
+                         threads);
+}
+
+INSTANTIATE_TEST_SUITE_P(BundledBenches, FaultSimDifferential,
+                         ::testing::Values("c17", "cmp32", "chain24",
+                                           "mul8", "dag500"));
+
+TEST(FaultSimDifferential, RandomDagsAcrossSeeds) {
+    for (std::uint64_t seed : {1u, 7u, 23u}) {
+        gen::RandomDagOptions options;
+        options.gates = 700;
+        options.inputs = 48;
+        options.seed = seed;
+        const Circuit circuit = gen::random_dag(options);
+        SCOPED_TRACE("seed=" + std::to_string(seed));
+        SimConfig config;
+        config.patterns = 512;
+        const auto serial = simulate(circuit, 1, config);
+        for (unsigned threads : {2u, 8u})
+            expect_identical(serial, simulate(circuit, threads, config),
+                             threads);
+    }
+}
+
+TEST(FaultSimDifferential, ConvenienceWrapperMatchesAcrossThreads) {
+    const Circuit circuit = gen::suite_entry("cmp32").build();
+    const auto serial =
+        fault::random_pattern_coverage(circuit, 2048, 5, true, nullptr, 1);
+    const auto parallel =
+        fault::random_pattern_coverage(circuit, 2048, 5, true, nullptr, 8);
+    expect_identical(serial, parallel, 8);
+}
+
+// ---------------------------------------------------------------------
+// DP planning: threads 1/2/8 must produce the identical plan
+
+class DpPlanDifferential : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DpPlanDifferential, ThreadCountDoesNotChangeThePlan) {
+    const Circuit circuit = gen::suite_entry(GetParam()).build();
+    DpPlanner planner;
+    PlannerOptions options;
+    options.budget = 6;
+    options.objective.num_patterns = 2048;
+
+    options.threads = 1;
+    const Plan serial = planner.plan(circuit, options);
+    for (unsigned threads : {2u, 8u}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        options.threads = threads;
+        const Plan parallel = planner.plan(circuit, options);
+        EXPECT_EQ(serial.points, parallel.points);
+        EXPECT_EQ(serial.predicted_score, parallel.predicted_score);
+        EXPECT_EQ(serial.truncated, parallel.truncated);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BundledBenches, DpPlanDifferential,
+                         ::testing::Values("cmp32", "aochain32", "dag500",
+                                           "lanes8x12"));
+
+TEST(DpPlanDifferential, ObservationOnlyModeOnRandomDags) {
+    for (std::uint64_t seed : {3u, 13u}) {
+        gen::RandomDagOptions dag;
+        dag.gates = 500;
+        dag.inputs = 32;
+        dag.seed = seed;
+        const Circuit circuit = gen::random_dag(dag);
+        SCOPED_TRACE("seed=" + std::to_string(seed));
+
+        DpPlanner planner;
+        PlannerOptions options;
+        options.budget = 5;
+        options.objective.num_patterns = 1024;
+        options.control_kinds.clear();  // pure TreeObsDp regions
+
+        options.threads = 1;
+        const Plan serial = planner.plan(circuit, options);
+        options.threads = 8;
+        const Plan parallel = planner.plan(circuit, options);
+        EXPECT_EQ(serial.points, parallel.points);
+        EXPECT_EQ(serial.predicted_score, parallel.predicted_score);
+    }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: parallel plan + parallel resimulation equals serial
+
+TEST(ParallelEndToEnd, PlanAndCoverageAgreeWithSerial) {
+    const Circuit circuit = gen::suite_entry("cmp32").build();
+    DpPlanner planner;
+    PlannerOptions options;
+    options.budget = 4;
+    options.objective.num_patterns = 2048;
+
+    options.threads = 1;
+    const Plan serial_plan = planner.plan(circuit, options);
+    options.threads = 8;
+    const Plan parallel_plan = planner.plan(circuit, options);
+    ASSERT_EQ(serial_plan.points, parallel_plan.points);
+
+    const auto dft =
+        netlist::apply_test_points(circuit, parallel_plan.points);
+    const auto serial_cov = fault::random_pattern_coverage(
+        dft.circuit, 2048, 5, false, nullptr, 1);
+    const auto parallel_cov = fault::random_pattern_coverage(
+        dft.circuit, 2048, 5, false, nullptr, 8);
+    EXPECT_EQ(serial_cov.coverage, parallel_cov.coverage);
+    EXPECT_EQ(serial_cov.detect_pattern, parallel_cov.detect_pattern);
+}
+
+}  // namespace

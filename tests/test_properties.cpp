@@ -3,10 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include "fault/fault.hpp"
 #include "fault/fault_sim.hpp"
 #include "gen/benchmarks.hpp"
 #include "gen/random_circuits.hpp"
 #include "netlist/bench_io.hpp"
+#include "netlist/ffr.hpp"
 #include "netlist/transform.hpp"
 #include "netlist/verilog_io.hpp"
 #include "testability/cop.hpp"
@@ -14,6 +16,7 @@
 #include "testability/scoap.hpp"
 #include "tpi/evaluate.hpp"
 #include "tpi/planners.hpp"
+#include "tpi/tree_obs_dp.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -193,5 +196,135 @@ TEST_P(ParserFuzz, MutatedValidBenchNeverCrashes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
                          ::testing::Values(1u, 2u, 3u));
+
+// ------------------------------------------------ tree DP optimality ----
+//
+// The paper's core claim as a randomised property: on fanout-free
+// circuits the tree DP (on a fine quantisation grid) attains the
+// exhaustive optimum. Failures are shrunk by repeatedly replacing a gate
+// subtree with a fresh primary input, and the minimal counterexample is
+// reported as a .bench netlist.
+
+struct TreeDpScores {
+    double dp = 0.0;
+    double optimum = 0.0;
+
+    bool property_holds() const {
+        // The DP quantises log-costs (delta 0.05 bits here), so allow a
+        // vanishing relative slack against the un-quantised evaluator.
+        return dp >= optimum - 1e-9 - 1e-6 * std::abs(optimum);
+    }
+};
+
+TreeDpScores tree_dp_scores(const Circuit& circuit, int budget) {
+    Objective objective;
+    objective.num_patterns = 256;
+    const auto faults = fault::singleton_faults(circuit);
+    const auto cop = testability::compute_cop(circuit);
+    const auto ffr = decompose_ffr(circuit);
+
+    TreeObsDp::Params params;
+    params.delta_bits = 0.05;
+    params.max_bucket = 3000;
+    params.max_budget = budget;
+    const TreeObsDp dp(circuit, ffr.regions[0], cop, faults,
+                       faults.class_size, objective, params);
+    std::vector<TestPoint> points;
+    for (NodeId v : dp.placements(budget))
+        points.push_back({v, TpKind::Observe});
+
+    PlannerOptions options;
+    options.budget = budget;
+    options.objective = objective;
+    options.control_kinds.clear();  // observation-only, like the DP
+    ExhaustivePlanner oracle;
+
+    TreeDpScores scores;
+    scores.dp = evaluate_plan(circuit, faults, points, objective).score;
+    scores.optimum = oracle.plan(circuit, options).predicted_score;
+    return scores;
+}
+
+NodeId copy_cone(const Circuit& src, NodeId v, NodeId cut, Circuit& dst,
+                 std::vector<NodeId>& memo) {
+    NodeId& slot = memo[v.v];
+    if (slot.valid()) return slot;
+    if (v == cut || src.type(v) == GateType::Input) {
+        slot = dst.add_input(src.node_name(v));
+    } else if (src.type(v) == GateType::Const0 ||
+               src.type(v) == GateType::Const1) {
+        slot = dst.add_const(src.type(v) == GateType::Const1,
+                             src.node_name(v));
+    } else {
+        std::vector<NodeId> fanins;
+        for (NodeId f : src.fanins(v))
+            fanins.push_back(copy_cone(src, f, cut, dst, memo));
+        slot = dst.add_gate(src.type(v), std::move(fanins),
+                            src.node_name(v));
+    }
+    return slot;
+}
+
+/// Rebuild `src` with the subtree rooted at `cut` replaced by a fresh
+/// primary input of the same name; only the output cone is kept.
+Circuit prune_subtree(const Circuit& src, NodeId cut) {
+    Circuit out(src.name());
+    std::vector<NodeId> memo(src.node_count(), kNullNode);
+    out.mark_output(copy_cone(src, src.outputs().front(), cut, out, memo));
+    return out;
+}
+
+/// Greedily prune gate subtrees while the failure persists.
+Circuit shrink_tree_counterexample(Circuit failing, int budget) {
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (NodeId v : failing.topo_order()) {
+            if (failing.type(v) == GateType::Input ||
+                failing.type(v) == GateType::Const0 ||
+                failing.type(v) == GateType::Const1 ||
+                failing.is_output(v)) {
+                continue;
+            }
+            const Circuit candidate = prune_subtree(failing, v);
+            if (candidate.gate_count() == 0 ||
+                candidate.gate_count() >= failing.gate_count()) {
+                continue;
+            }
+            if (!tree_dp_scores(candidate, budget).property_holds()) {
+                failing = candidate;
+                progress = true;
+                break;
+            }
+        }
+    }
+    return failing;
+}
+
+TEST(TreeDpOptimality, MatchesExhaustiveOptimumOnRandomTrees) {
+    // 66 random fanout-free trees x budgets {1,2,3} = 198 checks.
+    int checked = 0;
+    for (std::uint64_t seed = 1; seed <= 66; ++seed) {
+        gen::RandomTreeOptions tree_options;
+        tree_options.gates = 4 + seed % 6;  // 4..9 gates
+        tree_options.seed = seed * 1009 + 7;
+        const Circuit circuit = gen::random_tree(tree_options);
+        for (int budget : {1, 2, 3}) {
+            ++checked;
+            if (tree_dp_scores(circuit, budget).property_holds()) continue;
+
+            const Circuit minimal =
+                shrink_tree_counterexample(circuit, budget);
+            const TreeDpScores scores = tree_dp_scores(minimal, budget);
+            FAIL() << "tree DP fell below the exhaustive optimum at "
+                   << "budget " << budget << " (seed "
+                   << tree_options.seed << "): DP " << scores.dp
+                   << " vs optimum " << scores.optimum
+                   << "\nminimal counterexample:\n"
+                   << write_bench_string(minimal);
+        }
+    }
+    EXPECT_EQ(checked, 198);
+}
 
 }  // namespace

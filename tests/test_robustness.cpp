@@ -343,6 +343,67 @@ TEST(GracefulDegradation, FaultSimTruncatesAndKeepsPartialCoverage) {
     EXPECT_GE(full.coverage, result.coverage);
 }
 
+TEST(GracefulDegradation, ParallelFaultSimTruncatesHonestly) {
+    // Deadline under parallelism: the first expiry observed on any
+    // worker lane stops all of them, the partial block is not counted,
+    // and the result is valid best-so-far — same contract as serial.
+    const Circuit c = gen::suite_entry("mul8").build();
+    const auto faults = fault::collapse_faults(c);
+    util::Deadline deadline = util::Deadline::steps(1);
+    fault::FaultSimOptions options;
+    options.max_patterns = 1024;
+    options.threads = 8;
+    options.deadline = &deadline;
+    sim::RandomPatternSource source(1);
+    const auto result =
+        fault::run_fault_simulation(c, faults, source, options);
+    EXPECT_TRUE(result.truncated);
+    EXPECT_EQ(result.patterns_applied, 0u);
+    EXPECT_EQ(result.detect_pattern.size(), faults.size());
+    for (const auto first : result.detect_pattern) EXPECT_EQ(first, -1);
+    EXPECT_GE(result.coverage, 0.0);
+    EXPECT_LE(result.coverage, 1.0);
+
+    // The same run without a deadline completes and dominates.
+    fault::FaultSimOptions unlimited = options;
+    unlimited.deadline = nullptr;
+    sim::RandomPatternSource source2(1);
+    const auto full =
+        fault::run_fault_simulation(c, faults, source2, unlimited);
+    EXPECT_FALSE(full.truncated);
+    EXPECT_GE(full.coverage, result.coverage);
+}
+
+TEST(GracefulDegradation, ParallelDpPlannerTruncates) {
+    const Circuit c = gen::suite_entry("dag500").build();
+    util::Deadline deadline = util::Deadline::steps(1);
+    PlannerOptions options;
+    options.budget = 4;
+    options.objective.num_patterns = 1024;
+    options.deadline = &deadline;
+    options.threads = 8;
+    DpPlanner dp;
+    const Plan plan = dp.plan(c, options);
+    EXPECT_TRUE(plan.truncated);
+    EXPECT_LE(plan.total_cost(options.cost), options.budget);
+}
+
+TEST(GracefulDegradation, NearZeroWallDeadlineWithEightThreads) {
+    // Wall-clock variant of the above: 10 microseconds cannot finish
+    // 32768 patterns on mul8, so the run must come back truncated yet
+    // structurally valid.
+    const Circuit c = gen::suite_entry("mul8").build();
+    util::Deadline deadline(0.01);
+    const auto result = fault::random_pattern_coverage(
+        c, 32768, 1, true, &deadline, 8);
+    EXPECT_TRUE(result.truncated);
+    EXPECT_EQ(result.patterns_applied % 64, 0u);
+    EXPECT_EQ(result.coverage_curve.size(),
+              result.patterns_applied / 64);
+    EXPECT_GE(result.coverage, 0.0);
+    EXPECT_LE(result.coverage, 1.0);
+}
+
 TEST(GracefulDegradation, AtpgSkipsRemainingFaultsOnExpiry) {
     const Circuit c = gen::suite_entry("add16").build();
     const auto faults = fault::collapse_faults(c);

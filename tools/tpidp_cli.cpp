@@ -43,8 +43,9 @@ using namespace tpi;
 
 // Exit codes, documented in --help and stable for scripting:
 //   0 success · 1 internal error · 2 usage · 3 parse · 4 validation
-//   5 limit/deadline
+//   5 limit/deadline (including truncated best-so-far results)
 constexpr int kExitUsage = 2;
+constexpr int kExitTruncated = 5;
 
 struct Args {
     std::string circuit;
@@ -54,6 +55,7 @@ struct Args {
     std::uint64_t seed = 1;
     std::size_t limit = 20000;
     unsigned width = 16;
+    unsigned threads = 0;  // 0 = hardware concurrency
     std::string out;
     netlist::ValidateMode mode = netlist::ValidateMode::Lenient;
     double deadline_ms = 0.0;  // 0 = unlimited
@@ -78,6 +80,9 @@ void print_help() {
         "  --seed S          stimulus seed                (default 1)\n"
         "  --limit B         ATPG backtrack limit         (default 20000)\n"
         "  --width W         MISR width for bist          (default 16)\n"
+        "  --threads N       worker threads for faultsim/tpi; results are\n"
+        "                    bit-identical for every N; 1 = the serial\n"
+        "                    code path    (default: hardware concurrency)\n"
         "  --out FILE        write the DFT netlist (.bench or .v)\n"
         "  --strict          reject structurally broken netlists\n"
         "  --lenient         repair what is safe (tie off dangling nets,\n"
@@ -91,7 +96,8 @@ void print_help() {
         "  2  usage error (unknown flag, malformed numeric value)\n"
         "  3  parse error (malformed .bench / .v input)\n"
         "  4  validation error (structurally broken netlist)\n"
-        "  5  limit or deadline exceeded with no usable partial result\n";
+        "  5  limit or deadline exceeded; any partial (truncated)\n"
+        "     result is still printed before exiting\n";
 }
 
 [[noreturn]] void usage() {
@@ -142,7 +148,9 @@ Args parse_args(int argc, char** argv, int first) {
         else if (arg == "--width") {
             args.width = parse_number<unsigned>(arg, next());
             if (args.width == 0) usage_error("--width must be positive");
-        } else if (arg == "--out")
+        } else if (arg == "--threads")
+            args.threads = parse_number<unsigned>(arg, next());
+        else if (arg == "--out")
             args.out = next();
         else if (arg == "--strict")
             args.mode = netlist::ValidateMode::Strict;
@@ -192,11 +200,15 @@ netlist::Circuit load_circuit(const Args& args) {
     return circuit;
 }
 
-void note_truncation(bool truncated, const Args& args) {
+/// Report truncation and pick the exit code: a truncated run prints its
+/// best-so-far result but exits kExitTruncated so scripts can tell a
+/// complete answer from a degraded one.
+int note_truncation(bool truncated, const Args& args) {
     if (truncated)
         std::cout << "note: result truncated (deadline "
                   << args.deadline_ms
                   << " ms expired); best-so-far shown\n";
+    return truncated ? kExitTruncated : 0;
 }
 
 int cmd_suite() {
@@ -242,12 +254,12 @@ int cmd_faultsim(const Args& args) {
     util::Timer timer;
     const auto result = fault::random_pattern_coverage(
         c, args.patterns, args.seed, false,
-        deadline ? &*deadline : nullptr);
+        deadline ? &*deadline : nullptr, args.threads);
     std::cout << "coverage @" << result.patterns_applied << " patterns: "
               << util::fmt_percent(result.coverage) << "% ("
               << result.undetected << " undetected, "
               << util::fmt_fixed(timer.seconds(), 2) << " s)\n";
-    note_truncation(result.truncated, args);
+    const int exit_code = note_truncation(result.truncated, args);
     const auto faults = fault::collapse_faults(c);
     for (double target : {0.9, 0.99, 0.999}) {
         const auto n = result.patterns_to_coverage(target, faults);
@@ -255,7 +267,7 @@ int cmd_faultsim(const Args& args) {
                   << "%: " << (n < 0 ? "not reached" : std::to_string(n))
                   << "\n";
     }
-    return 0;
+    return exit_code;
 }
 
 int cmd_tpi(const Args& args) {
@@ -276,6 +288,7 @@ int cmd_tpi(const Args& args) {
     options.objective.num_patterns = args.patterns;
     options.seed = args.seed;
     options.deadline = deadline ? &*deadline : nullptr;
+    options.threads = args.threads;
 
     util::Timer timer;
     const Plan plan = planner->plan(c, options);
@@ -284,13 +297,14 @@ int cmd_tpi(const Args& args) {
     for (const auto& tp : plan.points)
         std::cout << "  " << netlist::tp_kind_name(tp.kind) << " @ "
                   << c.node_name(tp.node) << "\n";
-    note_truncation(plan.truncated, args);
+    const int exit_code = note_truncation(plan.truncated, args);
 
     const auto dft = netlist::apply_test_points(c, plan.points);
-    const auto before =
-        fault::random_pattern_coverage(c, args.patterns, args.seed);
+    const auto before = fault::random_pattern_coverage(
+        c, args.patterns, args.seed, false, nullptr, args.threads);
     const auto after = fault::random_pattern_coverage(
-        dft.circuit, args.patterns, args.seed);
+        dft.circuit, args.patterns, args.seed, false, nullptr,
+        args.threads);
     std::cout << "coverage: " << util::fmt_percent(before.coverage)
               << "% -> " << util::fmt_percent(after.coverage) << "%\n";
 
@@ -307,7 +321,7 @@ int cmd_tpi(const Args& args) {
             netlist::write_bench(out, dft.circuit);
         std::cout << "wrote " << args.out << "\n";
     }
-    return 0;
+    return exit_code;
 }
 
 int cmd_atpg(const Args& args) {
@@ -325,7 +339,7 @@ int cmd_atpg(const Args& args) {
     if (summary.skipped > 0)
         std::cout << ", " << summary.skipped << " skipped";
     std::cout << " (" << util::fmt_fixed(timer.seconds(), 2) << " s)\n";
-    note_truncation(summary.truncated, args);
+    const int exit_code = note_truncation(summary.truncated, args);
     // Cube statistics.
     std::size_t specified = 0;
     std::size_t bits = 0;
@@ -338,7 +352,7 @@ int cmd_atpg(const Args& args) {
                   << util::fmt_percent(static_cast<double>(specified) /
                                        static_cast<double>(bits))
                   << "% specified bits\n";
-    return 0;
+    return exit_code;
 }
 
 int cmd_bist(const Args& args) {
