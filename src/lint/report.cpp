@@ -1,0 +1,129 @@
+#include "lint/report.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace tpi::lint {
+
+namespace {
+
+/// Rule ids in order of first appearance, for the per-rule summaries.
+std::vector<std::string_view> rules_in_order(const LintReport& report) {
+    std::vector<std::string_view> order;
+    for (const Finding& finding : report.findings) {
+        bool seen = false;
+        for (std::string_view id : order)
+            if (id == finding.rule) {
+                seen = true;
+                break;
+            }
+        if (!seen) order.push_back(finding.rule);
+    }
+    return order;
+}
+
+void write_json_string(std::ostream& os, std::string_view text) {
+    os << '"';
+    for (const char c : text) {
+        switch (c) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            case '\r': os << "\\r"; break;
+            case '\t': os << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    const char* hex = "0123456789abcdef";
+                    os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+                } else {
+                    os << c;
+                }
+        }
+    }
+    os << '"';
+}
+
+}  // namespace
+
+void write_text(std::ostream& os, const LintReport& report,
+                const netlist::Circuit& circuit) {
+    os << "lint: circuit '" << circuit.name() << "' — "
+       << report.findings.size() << " finding"
+       << (report.findings.size() == 1 ? "" : "s") << " ("
+       << report.count(Severity::Error) << " errors, "
+       << report.count(Severity::Warning) << " warnings, "
+       << report.count(Severity::Info) << " infos)"
+       << (report.truncated ? " [truncated]" : "") << "\n";
+    for (const Finding& finding : report.findings) {
+        os << "  [" << severity_name(finding.severity) << "] "
+           << finding.rule << " @ ";
+        for (std::size_t i = 0; i < finding.node_names.size(); ++i)
+            os << (i > 0 ? "," : "") << finding.node_names[i];
+        os << ": " << finding.message << "\n";
+        if (!finding.fix_hint.empty())
+            os << "      fix: " << finding.fix_hint << "\n";
+    }
+    const auto order = rules_in_order(report);
+    if (!order.empty()) {
+        os << "per-rule totals:\n";
+        for (std::string_view id : order)
+            os << "  " << id << ": " << report.count_rule(id) << "\n";
+    }
+}
+
+void write_json(std::ostream& os, const LintReport& report,
+                const netlist::Circuit& circuit) {
+    os << "{\n  \"circuit\": ";
+    write_json_string(os, circuit.name());
+    os << ",\n  \"nodes\": " << circuit.node_count()
+       << ",\n  \"findings\": [";
+    for (std::size_t i = 0; i < report.findings.size(); ++i) {
+        const Finding& finding = report.findings[i];
+        os << (i > 0 ? "," : "") << "\n    {\"rule\": ";
+        write_json_string(os, finding.rule);
+        os << ", \"severity\": ";
+        write_json_string(os, severity_name(finding.severity));
+        os << ", \"nodes\": [";
+        for (std::size_t j = 0; j < finding.nodes.size(); ++j) {
+            os << (j > 0 ? ", " : "") << "{\"id\": "
+               << finding.nodes[j].v << ", \"name\": ";
+            write_json_string(os, finding.node_names[j]);
+            os << "}";
+        }
+        os << "],\n     \"message\": ";
+        write_json_string(os, finding.message);
+        os << ",\n     \"fix_hint\": ";
+        write_json_string(os, finding.fix_hint);
+        os << "}";
+    }
+    os << "\n  ],\n  \"summary\": {\"errors\": "
+       << report.count(Severity::Error)
+       << ", \"warnings\": " << report.count(Severity::Warning)
+       << ", \"infos\": " << report.count(Severity::Info)
+       << ", \"truncated\": " << (report.truncated ? "true" : "false")
+       << ",\n    \"by_rule\": {";
+    const auto order = rules_in_order(report);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        os << (i > 0 ? ", " : "");
+        write_json_string(os, order[i]);
+        os << ": " << report.count_rule(order[i]);
+    }
+    os << "}}\n}\n";
+}
+
+std::string to_text(const LintReport& report,
+                    const netlist::Circuit& circuit) {
+    std::ostringstream os;
+    write_text(os, report, circuit);
+    return os.str();
+}
+
+std::string to_json(const LintReport& report,
+                    const netlist::Circuit& circuit) {
+    std::ostringstream os;
+    write_json(os, report, circuit);
+    return os.str();
+}
+
+}  // namespace tpi::lint

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "lint/lint.hpp"
+#include "netlist/circuit.hpp"
+
+namespace tpi::lint {
+
+/// Human-readable report: one block per finding (severity, rule, nodes,
+/// message, fix hint) followed by a per-rule summary. Deterministic:
+/// depends only on the report contents.
+void write_text(std::ostream& os, const LintReport& report,
+                const netlist::Circuit& circuit);
+
+/// Machine-readable JSON report (hand-rolled, no dependencies): circuit
+/// metadata, the findings array, and a summary with per-rule counts.
+/// Deterministic field and array order.
+void write_json(std::ostream& os, const LintReport& report,
+                const netlist::Circuit& circuit);
+
+std::string to_text(const LintReport& report,
+                    const netlist::Circuit& circuit);
+std::string to_json(const LintReport& report,
+                    const netlist::Circuit& circuit);
+
+}  // namespace tpi::lint

@@ -1,0 +1,153 @@
+#include "lint/ternary.hpp"
+
+#include "util/error.hpp"
+
+namespace tpi::lint {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+std::string_view ternary_name(Ternary value) {
+    switch (value) {
+        case Ternary::Zero: return "0";
+        case Ternary::One: return "1";
+        case Ternary::X: return "X";
+    }
+    return "?";
+}
+
+namespace {
+
+Ternary invert(Ternary value) {
+    if (value == Ternary::X) return Ternary::X;
+    return value == Ternary::One ? Ternary::Zero : Ternary::One;
+}
+
+/// n-ary AND with dominance: any 0 decides, all 1 decides, else X.
+Ternary reduce_and(std::span<const Ternary> inputs) {
+    bool saw_x = false;
+    for (Ternary v : inputs) {
+        if (v == Ternary::Zero) return Ternary::Zero;
+        if (v == Ternary::X) saw_x = true;
+    }
+    return saw_x ? Ternary::X : Ternary::One;
+}
+
+Ternary reduce_or(std::span<const Ternary> inputs) {
+    bool saw_x = false;
+    for (Ternary v : inputs) {
+        if (v == Ternary::One) return Ternary::One;
+        if (v == Ternary::X) saw_x = true;
+    }
+    return saw_x ? Ternary::X : Ternary::Zero;
+}
+
+Ternary reduce_xor(std::span<const Ternary> inputs) {
+    bool parity = false;
+    for (Ternary v : inputs) {
+        if (v == Ternary::X) return Ternary::X;
+        parity ^= (v == Ternary::One);
+    }
+    return to_ternary(parity);
+}
+
+}  // namespace
+
+Ternary eval_ternary(GateType type, std::span<const Ternary> inputs) {
+    switch (type) {
+        case GateType::Const0: return Ternary::Zero;
+        case GateType::Const1: return Ternary::One;
+        case GateType::Buf: return inputs[0];
+        case GateType::Not: return invert(inputs[0]);
+        case GateType::And: return reduce_and(inputs);
+        case GateType::Nand: return invert(reduce_and(inputs));
+        case GateType::Or: return reduce_or(inputs);
+        case GateType::Nor: return invert(reduce_or(inputs));
+        case GateType::Xor: return reduce_xor(inputs);
+        case GateType::Xnor: return invert(reduce_xor(inputs));
+        case GateType::Input: break;
+    }
+    throw Error("eval_ternary: sources have no gate function");
+}
+
+std::vector<Ternary> evaluate_ternary(const Circuit& circuit,
+                                      std::span<const Ternary> input_values) {
+    require(input_values.size() == circuit.input_count(),
+            "evaluate_ternary: one value per primary input required");
+    std::vector<Ternary> value(circuit.node_count(), Ternary::X);
+    for (std::size_t i = 0; i < circuit.input_count(); ++i)
+        value[circuit.inputs()[i].v] = input_values[i];
+
+    std::vector<Ternary> scratch;
+    for (NodeId v : circuit.topo_order()) {
+        const GateType type = circuit.type(v);
+        if (type == GateType::Input) continue;
+        if (type == GateType::Const0) {
+            value[v.v] = Ternary::Zero;
+            continue;
+        }
+        if (type == GateType::Const1) {
+            value[v.v] = Ternary::One;
+            continue;
+        }
+        scratch.clear();
+        for (NodeId f : circuit.fanins(v)) scratch.push_back(value[f.v]);
+        value[v.v] = eval_ternary(type, scratch);
+    }
+    return value;
+}
+
+std::vector<Ternary> propagate_constants(const Circuit& circuit) {
+    const std::vector<Ternary> all_x(circuit.input_count(), Ternary::X);
+    return evaluate_ternary(circuit, all_x);
+}
+
+namespace {
+
+/// Can a value change on fanin `via` of `gate` propagate through the
+/// gate, given the proven constants? For AND/NAND/OR/NOR the change is
+/// blocked exactly when some *other* fanin is a proven controlling
+/// constant; XOR-family and Buf/Not gates never block. Conservative
+/// towards "sensitisable": multiple occurrences of `via` itself (e.g.
+/// XOR(v, v), whose changes cancel) are still reported sensitisable, so
+/// a false here is always a proof of blockage.
+bool edge_sensitisable(const Circuit& circuit, NodeId gate, NodeId via,
+                       std::span<const Ternary> value) {
+    const GateType type = circuit.type(gate);
+    if (!netlist::has_controlling_value(type)) return true;
+    const Ternary controlling =
+        to_ternary(netlist::controlling_value(type));
+    for (NodeId f : circuit.fanins(gate)) {
+        if (f == via) continue;
+        if (value[f.v] == controlling) return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+std::vector<bool> observable_mask(const Circuit& circuit,
+                                  std::span<const Ternary> value) {
+    require(value.size() == circuit.node_count(),
+            "observable_mask: one ternary value per node required");
+    std::vector<bool> observable(circuit.node_count(), false);
+    const auto& topo = circuit.topo_order();
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        const NodeId v = *it;
+        if (circuit.is_output(v)) {
+            observable[v.v] = true;
+            continue;
+        }
+        for (NodeId g : circuit.fanouts(v)) {
+            if (observable[g.v] &&
+                edge_sensitisable(circuit, g, v, value)) {
+                observable[v.v] = true;
+                break;
+            }
+        }
+    }
+    return observable;
+}
+
+}  // namespace tpi::lint

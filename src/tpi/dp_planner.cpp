@@ -2,6 +2,7 @@
 #include <memory>
 
 #include "fault/fault.hpp"
+#include "lint/lint.hpp"
 #include "netlist/ffr.hpp"
 #include "netlist/transform.hpp"
 #include "testability/cop.hpp"
@@ -87,6 +88,22 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
     require(options.budget >= 0, "DpPlanner: negative budget");
     const fault::CollapsedFaults faults = fault::singleton_faults(circuit);
 
+    // Internal optimisation universe: identical to `faults` unless lint
+    // pruning zero-weights the provably redundant classes. The final
+    // predicted_score is always taken over the full universe.
+    fault::CollapsedFaults plan_faults = faults;
+    std::vector<bool> condemned;
+    std::size_t candidate_count = 0;
+    std::size_t pruned_count = 0;
+    if (options.prune_via_lint) {
+        lint::Pruning pruning = lint::compute_pruning(circuit);
+        condemned = std::move(pruning.drop_candidate);
+        for (const fault::Fault& f : pruning.redundant_faults) {
+            const std::int32_t idx = plan_faults.class_index(f);
+            if (idx >= 0) plan_faults.class_size[idx] = 0;
+        }
+    }
+
     std::vector<TestPoint> points;
     std::vector<bool> has_point(circuit.node_count(), false);
     int remaining = options.budget;
@@ -121,7 +138,18 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
         std::vector<bool> allowed(cur_n, false);
         for (std::size_t i = 0; i < cur_n; ++i) {
             const NodeId orig = orig_of[i];
-            allowed[i] = orig.valid() && !has_point[orig.v];
+            allowed[i] = orig.valid() && !has_point[orig.v] &&
+                         (condemned.empty() || !condemned[orig.v]);
+        }
+        if (round == 0) {
+            for (std::size_t i = 0; i < cur_n; ++i)
+                if (allowed[i]) ++candidate_count;
+            for (std::size_t i = 0; i < cur_n; ++i) {
+                const NodeId orig = orig_of[i];
+                if (orig.valid() && !has_point[orig.v] &&
+                    !condemned.empty() && condemned[orig.v])
+                    ++pruned_count;
+            }
         }
 
         const testability::CopResult cop =
@@ -129,7 +157,7 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
 
         // Fault universe of the original circuit, relocated onto the
         // current netlist (the copies of the original gate outputs).
-        fault::CollapsedFaults mapped = faults;
+        fault::CollapsedFaults mapped = plan_faults;
         for (auto& rep : mapped.representatives)
             rep.node = dft.node_map[rep.node.v];
 
@@ -274,6 +302,8 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
     Plan result;
     result.points = std::move(points);
     result.truncated = truncated;
+    result.candidates_considered = candidate_count;
+    result.candidates_pruned = pruned_count;
     result.predicted_score =
         evaluate_plan(circuit, faults, result.points, options.objective)
             .score;

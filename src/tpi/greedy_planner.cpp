@@ -1,6 +1,7 @@
 #include <algorithm>
 
 #include "fault/fault.hpp"
+#include "lint/lint.hpp"
 #include "netlist/transform.hpp"
 #include "testability/cop.hpp"
 #include "testability/profile.hpp"
@@ -18,6 +19,31 @@ Plan GreedyPlanner::plan(const netlist::Circuit& circuit,
                          const PlannerOptions& options) {
     require(options.budget >= 0, "GreedyPlanner: negative budget");
     const fault::CollapsedFaults faults = fault::singleton_faults(circuit);
+
+    // Internal proxy universe: identical to `faults` unless lint pruning
+    // zero-weights the provably redundant classes. Exact evaluations
+    // (and the returned score) always use the full universe.
+    fault::CollapsedFaults plan_faults = faults;
+    std::vector<bool> condemned;
+    std::size_t candidate_count = 0;
+    std::size_t pruned_count = 0;
+    if (options.prune_via_lint) {
+        lint::Pruning pruning = lint::compute_pruning(circuit);
+        condemned = std::move(pruning.drop_candidate);
+        for (const fault::Fault& f : pruning.redundant_faults) {
+            const std::int32_t idx = plan_faults.class_index(f);
+            if (idx >= 0) plan_faults.class_size[idx] = 0;
+        }
+    }
+    const auto is_condemned = [&](NodeId v) {
+        return !condemned.empty() && condemned[v.v];
+    };
+    for (NodeId v : circuit.all_nodes()) {
+        if (is_condemned(v))
+            ++pruned_count;
+        else
+            ++candidate_count;
+    }
 
     std::vector<TestPoint> points;
     std::vector<bool> has_point(circuit.node_count(), false);
@@ -43,7 +69,7 @@ Plan GreedyPlanner::plan(const netlist::Circuit& circuit,
         const testability::CopResult cop =
             testability::compute_cop(dft.circuit);
 
-        fault::CollapsedFaults mapped = faults;
+        fault::CollapsedFaults mapped = plan_faults;
         for (auto& rep : mapped.representatives)
             rep.node = dft.node_map[rep.node.v];
 
@@ -65,7 +91,7 @@ Plan GreedyPlanner::plan(const netlist::Circuit& circuit,
             for (std::size_t fi = 0; fi < profile.rows.size(); ++fi) {
                 const double have = options.objective.benefit(
                     current.detection_probability[fi]);
-                const double weight = faults.class_size[fi];
+                const double weight = plan_faults.class_size[fi];
                 for (const auto& entry : profile.rows[fi]) {
                     const double would =
                         options.objective.benefit(entry.probability);
@@ -74,7 +100,7 @@ Plan GreedyPlanner::plan(const netlist::Circuit& circuit,
                 }
             }
             for (NodeId orig : circuit.all_nodes()) {
-                if (has_point[orig.v]) continue;
+                if (has_point[orig.v] || is_condemned(orig)) continue;
                 const NodeId cur = dft.node_map[orig.v];
                 if (gain[cur.v] > 0.0)
                     observe_cands.push_back(
@@ -90,7 +116,7 @@ Plan GreedyPlanner::plan(const netlist::Circuit& circuit,
             // Extremeness proxy: nets stuck near 0 or 1 starve both
             // excitation and propagation downstream.
             for (NodeId orig : circuit.all_nodes()) {
-                if (has_point[orig.v]) continue;
+                if (has_point[orig.v] || is_condemned(orig)) continue;
                 const NodeId cur = dft.node_map[orig.v];
                 const double c1 = cop.c1[cur.v];
                 const double balance = std::min(c1, 1.0 - c1);
@@ -154,6 +180,8 @@ Plan GreedyPlanner::plan(const netlist::Circuit& circuit,
     Plan result;
     result.points = std::move(points);
     result.truncated = truncated;
+    result.candidates_considered = candidate_count;
+    result.candidates_pruned = pruned_count;
     result.predicted_score = current.score;
     return result;
 }

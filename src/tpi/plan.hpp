@@ -48,6 +48,17 @@ struct PlannerOptions {
     /// Greedy baseline: exact evaluations per step.
     int greedy_pool = 24;
 
+    /// Pre-filter candidates with the lint engine: nets proven constant
+    /// or unobservable (no sensitisable path to any primary output) are
+    /// dropped before any DP table or shortlist is built, and the fault
+    /// classes lint proves redundant are zero-weighted in the planner's
+    /// internal universe. Exact whenever the unpruned optimum spends no
+    /// budget on lint-condemned nets (see DESIGN.md §10); a measurable
+    /// speedup on circuits with dead or tied-off logic. The reported
+    /// predicted_score is always computed over the full fault universe,
+    /// so pruned and unpruned plans are directly comparable.
+    bool prune_via_lint = false;
+
     std::uint64_t seed = 1;
 
     /// Worker lanes for region-parallel DP planning: the independent
@@ -74,6 +85,12 @@ struct Plan {
     /// Completeness status: true when the planner's deadline expired and
     /// `points` is a best-so-far result rather than the full search.
     bool truncated = false;
+
+    /// Planner instrumentation (DP and greedy): candidate nets admitted
+    /// in the first planning round, and candidates excluded from that
+    /// set by PlannerOptions::prune_via_lint (0 when pruning is off).
+    std::size_t candidates_considered = 0;
+    std::size_t candidates_pruned = 0;
 
     int total_cost(const CostModel& cost) const {
         int sum = 0;

@@ -7,6 +7,7 @@
 #include "fault/fault_sim.hpp"
 #include "gen/benchmarks.hpp"
 #include "gen/random_circuits.hpp"
+#include "lint/lint.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/ffr.hpp"
 #include "netlist/transform.hpp"
@@ -149,6 +150,24 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagProperty,
 
 // ------------------------------------------------- parser robustness ----
 
+/// Lint contract over fuzzed-but-valid circuits: run_lint must not
+/// throw, and every finding must be well-formed against the circuit.
+void expect_lintable(const Circuit& circuit) {
+    const lint::LintReport report = lint::run_lint(circuit);
+    ASSERT_EQ(report.ternary.size(), circuit.node_count());
+    ASSERT_EQ(report.observable.size(), circuit.node_count());
+    for (const lint::Finding& finding : report.findings) {
+        EXPECT_NE(lint::RuleRegistry::global().find(finding.rule), nullptr);
+        EXPECT_FALSE(finding.message.empty());
+        ASSERT_EQ(finding.nodes.size(), finding.node_names.size());
+        for (std::size_t i = 0; i < finding.nodes.size(); ++i) {
+            ASSERT_LT(finding.nodes[i].v, circuit.node_count());
+            EXPECT_EQ(finding.node_names[i],
+                      circuit.node_name(finding.nodes[i]));
+        }
+    }
+}
+
 class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ParserFuzz, GarbageNeverCrashesOnlyThrows) {
@@ -161,15 +180,18 @@ TEST_P(ParserFuzz, GarbageNeverCrashesOnlyThrows) {
         for (std::size_t i = 0; i < length; ++i)
             text += alphabet[rng.below(sizeof(alphabet) - 1)];
         // Must either parse into a valid circuit or throw tpi::Error —
-        // never crash, never return an invalid netlist.
+        // never crash, never return an invalid netlist. Whatever parses
+        // must also survive the lint engine with well-formed findings.
         try {
             const Circuit c = read_bench_string(text);
             c.validate();
+            expect_lintable(c);
         } catch (const tpi::Error&) {
         }
         try {
             const Circuit c = read_verilog_string(text);
             c.validate();
+            expect_lintable(c);
         } catch (const tpi::Error&) {
         }
     }
@@ -189,6 +211,7 @@ TEST_P(ParserFuzz, MutatedValidBenchNeverCrashes) {
         try {
             const Circuit c = read_bench_string(text);
             c.validate();
+            expect_lintable(c);
         } catch (const tpi::Error&) {
         }
     }

@@ -13,6 +13,7 @@
 #include "atpg/podem.hpp"
 #include "fault/fault_sim.hpp"
 #include "gen/benchmarks.hpp"
+#include "lint/lint.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/circuit.hpp"
 #include "netlist/validate.hpp"
@@ -428,10 +429,18 @@ void expect_contract(const std::string& text, bool verilog) {
     for (const auto mode :
          {ValidateMode::Strict, ValidateMode::Lenient}) {
         try {
-            if (verilog)
-                netlist::read_verilog_string(text, mode);
-            else
-                netlist::read_bench_string(text, "fuzz", mode);
+            // Whatever the readers accept must also survive the lint
+            // engine: no throw, and findings referencing real nodes.
+            const Circuit circuit =
+                verilog ? netlist::read_verilog_string(text, mode)
+                        : netlist::read_bench_string(text, "fuzz", mode);
+            const lint::LintReport report = lint::run_lint(circuit);
+            ASSERT_EQ(report.ternary.size(), circuit.node_count());
+            for (const lint::Finding& finding : report.findings) {
+                ASSERT_EQ(finding.nodes.size(), finding.node_names.size());
+                for (netlist::NodeId v : finding.nodes)
+                    ASSERT_LT(v.v, circuit.node_count());
+            }
         } catch (const ParseError&) {
         } catch (const ValidationError&) {
         } catch (const std::exception& e) {

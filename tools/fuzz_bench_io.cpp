@@ -11,7 +11,10 @@
 //
 //   every input either parses successfully or raises exactly
 //   tpi::ParseError / tpi::ValidationError — never another exception
-//   type, a crash, or a hang.
+//   type, a crash, or a hang; and every successfully parsed circuit
+//   survives the lint engine (run_lint never throws, and its findings
+//   are well-formed: registered rules, valid node ids, names parallel
+//   to nodes).
 //
 // The run is fully reproducible from --seed; on a contract violation the
 // offending input is printed together with the seed and iteration so the
@@ -28,6 +31,7 @@
 #include <typeinfo>
 #include <vector>
 
+#include "lint/lint.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/validate.hpp"
 #include "netlist/verilog_io.hpp"
@@ -148,18 +152,53 @@ std::string mutate(std::string text, util::Rng& rng) {
     return text;
 }
 
-/// Feed one input through a reader. Sets `rejected` when the reader threw
-/// one of the two allowed error types; returns a description of the
-/// contract violation, or an empty string when the contract held.
+/// Lint a successfully parsed mutant and check the findings contract:
+/// run_lint must not throw, and every finding must reference a
+/// registered rule and valid, name-consistent nodes. Returns a
+/// description of the violation, or an empty string.
+std::string lint_contract(const netlist::Circuit& circuit) {
+    const lint::LintReport report = lint::run_lint(circuit);
+    if (report.ternary.size() != circuit.node_count() ||
+        report.observable.size() != circuit.node_count())
+        return "lint artifact vectors not sized to the circuit";
+    for (const lint::Finding& finding : report.findings) {
+        if (lint::RuleRegistry::global().find(finding.rule) == nullptr)
+            return "lint finding from unregistered rule '" + finding.rule +
+                   "'";
+        if (finding.message.empty())
+            return "lint finding with empty message (" + finding.rule + ")";
+        if (finding.nodes.empty() ||
+            finding.nodes.size() != finding.node_names.size())
+            return "lint finding with inconsistent node lists (" +
+                   finding.rule + ")";
+        for (std::size_t i = 0; i < finding.nodes.size(); ++i) {
+            if (finding.nodes[i].v >= circuit.node_count())
+                return "lint finding with out-of-range node id (" +
+                       finding.rule + ")";
+            if (finding.node_names[i] !=
+                circuit.node_name(finding.nodes[i]))
+                return "lint finding with mismatched node name (" +
+                       finding.rule + ")";
+        }
+    }
+    for (const fault::Fault& fault : report.redundant_faults)
+        if (fault.node.v >= circuit.node_count())
+            return "lint redundant fault on out-of-range node";
+    return {};
+}
+
+/// Feed one input through a reader, then through the lint engine. Sets
+/// `rejected` when the reader threw one of the two allowed error types;
+/// returns a description of the contract violation, or an empty string
+/// when the contract held.
 std::string check_one(const std::string& text, bool verilog,
                       netlist::ValidateMode mode, bool& rejected) {
     try {
         netlist::Diagnostics diags;
-        if (verilog)
-            netlist::read_verilog_string(text, mode, &diags);
-        else
-            netlist::read_bench_string(text, "fuzz", mode, &diags);
-        return {};
+        const netlist::Circuit circuit =
+            verilog ? netlist::read_verilog_string(text, mode, &diags)
+                    : netlist::read_bench_string(text, "fuzz", mode, &diags);
+        return lint_contract(circuit);
     } catch (const ParseError&) {
         rejected = true;
         return {};

@@ -2,6 +2,8 @@
 //
 //   tpidp suite                         list the built-in circuits
 //   tpidp stats   <circuit>             structural + testability summary
+//   tpidp lint    <circuit> [options]   static analysis (rule findings;
+//                                       --json for machine output)
 //   tpidp faultsim <circuit> [options]  pseudo-random fault simulation
 //   tpidp tpi     <circuit> [options]   plan + insert test points
 //   tpidp atpg    <circuit> [options]   PODEM over the fault universe
@@ -24,6 +26,8 @@
 #include "bist/session.hpp"
 #include "fault/fault_sim.hpp"
 #include "gen/benchmarks.hpp"
+#include "lint/lint.hpp"
+#include "lint/report.hpp"
 #include "netlist/analysis.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/ffr.hpp"
@@ -59,11 +63,14 @@ struct Args {
     std::string out;
     netlist::ValidateMode mode = netlist::ValidateMode::Lenient;
     double deadline_ms = 0.0;  // 0 = unlimited
+    bool json = false;         // lint: machine-readable output
+    bool prune_lint = false;   // tpi: lint-based candidate pruning
+    std::size_t max_findings = 64;  // lint: per-rule finding cap
 };
 
 void print_usage(std::ostream& os) {
-    os << "usage: tpidp <suite|stats|faultsim|tpi|atpg|bist> [circuit] "
-          "[options]\n"
+    os << "usage: tpidp <suite|stats|lint|faultsim|tpi|atpg|bist> "
+          "[circuit] [options]\n"
           "       tpidp --help\n";
 }
 
@@ -84,6 +91,10 @@ void print_help() {
         "                    bit-identical for every N; 1 = the serial\n"
         "                    code path    (default: hardware concurrency)\n"
         "  --out FILE        write the DFT netlist (.bench or .v)\n"
+        "  --json            lint: emit the report as JSON\n"
+        "  --max-findings N  lint: per-rule finding cap  (default 64)\n"
+        "  --prune-lint      tpi: drop candidates on constant or\n"
+        "                    unobservable nets before planning\n"
         "  --strict          reject structurally broken netlists\n"
         "  --lenient         repair what is safe (tie off dangling nets,\n"
         "                    drop dead logic) and report it   (default)\n"
@@ -152,6 +163,12 @@ Args parse_args(int argc, char** argv, int first) {
             args.threads = parse_number<unsigned>(arg, next());
         else if (arg == "--out")
             args.out = next();
+        else if (arg == "--json")
+            args.json = true;
+        else if (arg == "--prune-lint")
+            args.prune_lint = true;
+        else if (arg == "--max-findings")
+            args.max_findings = parse_number<std::size_t>(arg, next());
         else if (arg == "--strict")
             args.mode = netlist::ValidateMode::Strict;
         else if (arg == "--lenient")
@@ -248,6 +265,21 @@ int cmd_stats(const Args& args) {
     return 0;
 }
 
+int cmd_lint(const Args& args) {
+    const netlist::Circuit c = load_circuit(args);
+    auto deadline = make_deadline(args);
+    lint::LintOptions options;
+    options.max_findings_per_rule = args.max_findings;
+    options.deadline = deadline ? &*deadline : nullptr;
+    const lint::LintReport report = lint::run_lint(c, options);
+    if (args.json)
+        lint::write_json(std::cout, report, c);
+    else
+        lint::write_text(std::cout, report, c);
+    const bool deadline_hit = deadline && deadline->already_expired();
+    return note_truncation(report.truncated && deadline_hit, args);
+}
+
 int cmd_faultsim(const Args& args) {
     const netlist::Circuit c = load_circuit(args);
     auto deadline = make_deadline(args);
@@ -289,9 +321,14 @@ int cmd_tpi(const Args& args) {
     options.seed = args.seed;
     options.deadline = deadline ? &*deadline : nullptr;
     options.threads = args.threads;
+    options.prune_via_lint = args.prune_lint;
 
     util::Timer timer;
     const Plan plan = planner->plan(c, options);
+    if (args.prune_lint)
+        std::cout << "lint pruning: " << plan.candidates_pruned
+                  << " candidate nets dropped, "
+                  << plan.candidates_considered << " admitted\n";
     std::cout << plan.points.size() << " test points ("
               << util::fmt_fixed(timer.seconds(), 2) << " s):\n";
     for (const auto& tp : plan.points)
@@ -390,6 +427,7 @@ int main(int argc, char** argv) {
         if (command == "suite") return cmd_suite();
         const Args args = parse_args(argc, argv, 2);
         if (command == "stats") return cmd_stats(args);
+        if (command == "lint") return cmd_lint(args);
         if (command == "faultsim") return cmd_faultsim(args);
         if (command == "tpi") return cmd_tpi(args);
         if (command == "atpg") return cmd_atpg(args);
