@@ -15,12 +15,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
 #include <string>
 #include <vector>
 
 #include "gen/random_circuits.hpp"
 #include "lint/lint.hpp"
 #include "netlist/circuit.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
 #include "tpi/planners.hpp"
 
 namespace {
@@ -89,6 +92,39 @@ void BM_LintSingleRule(benchmark::State& state) {
 BENCHMARK(BM_LintSingleRule)
     ->DenseRange(0, 4)
     ->Unit(benchmark::kMicrosecond);
+
+void BM_LintPhases(benchmark::State& state) {
+    // Per-phase and per-rule cost read back from the run report's span
+    // table ("lint/analyse" is the shared ternary + observability
+    // sweep, "lint/rule/<id>" is each rule's own pass) instead of the
+    // earlier one-rule-at-a-time timing — one lint run now yields the
+    // whole breakdown, measured exactly as `tpidp lint --metrics-json`
+    // reports it. Work counters (rules run, findings) sit alongside.
+    const netlist::Circuit circuit = make_dag(2048);
+    std::map<std::string, double> phase_ms;
+    double rules_run = 0.0;
+    double findings = 0.0;
+    for (auto _ : state) {
+        obs::Sink sink;
+        lint::LintOptions options;
+        options.sink = &sink;
+        benchmark::DoNotOptimize(lint::run_lint(circuit, options));
+        state.PauseTiming();
+        for (const obs::SpanAggregate& row : obs::aggregate_spans(sink))
+            phase_ms[row.name] += row.total_ms;
+        rules_run +=
+            static_cast<double>(sink.value(obs::Counter::LintRulesRun));
+        findings +=
+            static_cast<double>(sink.value(obs::Counter::LintFindings));
+        state.ResumeTiming();
+    }
+    const double iters = static_cast<double>(state.iterations());
+    for (const auto& [name, total] : phase_ms)
+        state.counters["ms:" + name] = total / iters;
+    state.counters["rules"] = rules_run / iters;
+    state.counters["findings"] = findings / iters;
+}
+BENCHMARK(BM_LintPhases)->Unit(benchmark::kMicrosecond);
 
 void BM_ComputePruningVsSize(benchmark::State& state) {
     const netlist::Circuit circuit =

@@ -13,13 +13,27 @@
 // time(threads:N). Results are bit-identical across rows — the parallel
 // layer's determinism guarantee — so the speedup is free of answer
 // drift.
+//
+// Phase breakdown (BM_DpPlannerPhases) comes from the observability
+// layer: the planner runs with an obs::Sink and the per-phase times are
+// the report's span aggregates, not hand-rolled timers — the same
+// numbers `tpidp plan --metrics-json` emits. BM_DpObsOverhead is the
+// bench-report assertion that attaching the sink costs <2% of planning
+// throughput (and the disabled null-sink path, which does strictly less
+// work per call site, is bounded by the same figure).
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <map>
+#include <string>
 
 #include "fault/fault.hpp"
 #include "fault/fault_sim.hpp"
 #include "gen/chains.hpp"
 #include "gen/random_circuits.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
 #include "sim/pattern.hpp"
 #include "tpi/planners.hpp"
 
@@ -100,6 +114,75 @@ BENCHMARK(BM_TreeDpOnDeepChain)
     ->Range(64, 512)
     ->Unit(benchmark::kMillisecond)
     ->Complexity();
+
+void BM_DpPlannerPhases(benchmark::State& state) {
+    // Where a DP plan spends its time, phase by phase, read back from
+    // the run report's span table (merge rule: DESIGN.md §11). Counters
+    // are ms-per-plan for each planner phase plus the deterministic
+    // work counters, so the table shows cost and work side by side.
+    const netlist::Circuit circuit = make_dag(2048);
+    DpPlanner planner;
+    PlannerOptions options;
+    options.budget = 8;
+    std::map<std::string, double> phase_ms;
+    double cells = 0.0;
+    double regions = 0.0;
+    for (auto _ : state) {
+        obs::Sink sink;
+        options.sink = &sink;
+        benchmark::DoNotOptimize(planner.plan(circuit, options));
+        state.PauseTiming();
+        for (const obs::SpanAggregate& row : obs::aggregate_spans(sink))
+            phase_ms[row.name] += row.total_ms;
+        cells += static_cast<double>(sink.value(obs::Counter::DpCellsFilled));
+        regions +=
+            static_cast<double>(sink.value(obs::Counter::DpRegionsBuilt));
+        state.ResumeTiming();
+    }
+    const double iters = static_cast<double>(state.iterations());
+    for (const auto& [name, total] : phase_ms)
+        state.counters["ms:" + name] = total / iters;
+    state.counters["cells"] = cells / iters;
+    state.counters["regions"] = regions / iters;
+}
+BENCHMARK(BM_DpPlannerPhases)->Unit(benchmark::kMillisecond);
+
+void BM_DpObsOverhead(benchmark::State& state) {
+    // The bench-report form of the <2% observability-overhead claim.
+    // Each iteration plans twice — sink detached, then attached — and
+    // the interleaving cancels thermal/scheduling drift. overhead_pct
+    // compares the two; a fully attached sink does strictly more work
+    // per call site than the disabled null-sink branch, so this bounds
+    // the disabled-mode cost from above. The benchmark FAILS (skip with
+    // error, non-zero exit under --benchmark_min_time defaults) if the
+    // attached overhead reaches 2%.
+    const netlist::Circuit circuit = make_dag(1024);
+    DpPlanner planner;
+    PlannerOptions detached;
+    detached.budget = 8;
+    using BenchClock = std::chrono::steady_clock;
+    double detached_s = 0.0;
+    double attached_s = 0.0;
+    for (auto _ : state) {
+        const auto t0 = BenchClock::now();
+        benchmark::DoNotOptimize(planner.plan(circuit, detached));
+        const auto t1 = BenchClock::now();
+        obs::Sink sink;
+        PlannerOptions attached = detached;
+        attached.sink = &sink;
+        benchmark::DoNotOptimize(planner.plan(circuit, attached));
+        const auto t2 = BenchClock::now();
+        detached_s += std::chrono::duration<double>(t1 - t0).count();
+        attached_s += std::chrono::duration<double>(t2 - t1).count();
+    }
+    const double overhead_pct =
+        detached_s > 0.0 ? (attached_s - detached_s) / detached_s * 100.0
+                         : 0.0;
+    state.counters["overhead_pct"] = overhead_pct;
+    if (overhead_pct >= 2.0)
+        state.SkipWithError("observability overhead >= 2% of planning time");
+}
+BENCHMARK(BM_DpObsOverhead)->Unit(benchmark::kMillisecond)->MinTime(2.0);
 
 void BM_FaultSimThreads(benchmark::State& state) {
     // Largest generated bench of the size series.

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Line-coverage gate for the planner core and the observability layer.
+
+Usage:
+    python3 ci/check_coverage.py <build-dir> [--baseline ci/coverage_baseline.txt]
+                                 [--update]
+
+Expects <build-dir> to be a Debug build configured with -DTPIDP_COVERAGE=ON
+whose test suite has already run (so the .gcda counters exist). Invokes
+plain `gcov --json-format --stdout` on every .gcda object — no lcov or
+gcovr dependency — merges the per-line execution counts across
+translation units (headers are compiled into many TUs; a line is covered
+if ANY TU executed it), and computes line coverage for each source
+directory named in the baseline file.
+
+The baseline file holds one `<directory> <min-percent>` pair per line.
+The gate fails if any directory's measured coverage drops below its
+recorded floor. Floors are deliberately set a little under the measured
+value so routine compiler-version noise does not fail CI, while a test
+deletion or a dead new subsystem does. After intentionally improving
+coverage, re-run with --update to raise the floors (they never lower
+automatically).
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+# Margin between measured coverage and the recorded floor when writing a
+# new baseline with --update.
+UPDATE_MARGIN = 2.0
+
+
+def gcov_json(gcda: Path) -> dict:
+    """Run gcov on one .gcda and return the parsed JSON report."""
+    result = subprocess.run(
+        ["gcov", "--json-format", "--stdout", str(gcda)],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if result.returncode != 0:
+        raise RuntimeError(f"gcov failed on {gcda}: {result.stderr.strip()}")
+    return json.loads(result.stdout)
+
+
+def collect_line_hits(build_dir: Path) -> dict:
+    """Merge per-line hit counts across all objects in the build tree.
+
+    Returns {source-path: {line-number: max-count}}. Using max across TUs
+    means an inline function in a header counts as covered if any
+    including TU exercised it.
+    """
+    hits = defaultdict(lambda: defaultdict(int))
+    gcda_files = sorted(build_dir.rglob("*.gcda"))
+    if not gcda_files:
+        sys.exit(
+            f"error: no .gcda files under {build_dir} — build with "
+            "-DTPIDP_COVERAGE=ON and run the tests first"
+        )
+    for gcda in gcda_files:
+        report = gcov_json(gcda)
+        for file_entry in report.get("files", []):
+            source = file_entry["file"]
+            lines = hits[source]
+            for line in file_entry.get("lines", []):
+                number = line["line_number"]
+                lines[number] = max(lines[number], line["count"])
+    return hits
+
+
+def directory_coverage(hits: dict, directory: str) -> tuple[int, int]:
+    """(covered, total) executable lines for sources under `directory`."""
+    needle = f"/{directory.strip('/')}/"
+    covered = total = 0
+    for source, lines in hits.items():
+        normalized = "/" + source.replace("\\", "/").lstrip("/")
+        if needle not in normalized:
+            continue
+        total += len(lines)
+        covered += sum(1 for count in lines.values() if count > 0)
+    return covered, total
+
+
+def read_baseline(path: Path) -> dict:
+    baseline = {}
+    for raw in path.read_text().splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        directory, floor = line.split()
+        baseline[directory] = float(floor)
+    if not baseline:
+        sys.exit(f"error: no baseline entries in {path}")
+    return baseline
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("build_dir", type=Path)
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(__file__).resolve().parent / "coverage_baseline.txt",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="raise baseline floors to the measured values minus a margin",
+    )
+    args = parser.parse_args()
+
+    baseline = read_baseline(args.baseline)
+    hits = collect_line_hits(args.build_dir)
+
+    failed = False
+    updated = {}
+    for directory, floor in baseline.items():
+        covered, total = directory_coverage(hits, directory)
+        if total == 0:
+            print(f"FAIL  {directory}: no instrumented lines found")
+            failed = True
+            continue
+        percent = 100.0 * covered / total
+        status = "ok  " if percent >= floor else "FAIL"
+        if percent < floor:
+            failed = True
+        print(
+            f"{status}  {directory}: {percent:.1f}% line coverage "
+            f"({covered}/{total} lines, floor {floor:.1f}%)"
+        )
+        updated[directory] = max(floor, percent - UPDATE_MARGIN)
+
+    if args.update:
+        body = "".join(
+            f"{directory} {floor:.1f}\n" for directory, floor in updated.items()
+        )
+        args.baseline.write_text(
+            "# Line-coverage floors enforced by ci/check_coverage.py.\n"
+            "# <directory> <min-percent>; regenerate with --update.\n" + body
+        )
+        print(f"baseline written to {args.baseline}")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

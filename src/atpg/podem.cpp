@@ -342,6 +342,8 @@ TestCube generate_test(const Circuit& circuit, const fault::Fault& fault,
 AtpgSummary run_atpg(const Circuit& circuit,
                      const fault::CollapsedFaults& faults,
                      const AtpgOptions& options) {
+    obs::Sink* sink = options.sink;
+    obs::Span run_span(sink, "atpg/run");
     AtpgSummary summary;
     summary.outcome.resize(faults.size(), Outcome::Aborted);
     for (std::size_t i = 0; i < faults.size(); ++i) {
@@ -355,6 +357,8 @@ AtpgSummary run_atpg(const Circuit& circuit,
         }
         TestCube cube =
             generate_test(circuit, faults.representatives[i], options);
+        obs::add(sink, obs::Counter::AtpgFaults);
+        obs::add(sink, obs::Counter::AtpgBacktracks, cube.backtracks);
         summary.outcome[i] = cube.outcome;
         switch (cube.outcome) {
             case Outcome::Detected:
@@ -365,6 +369,8 @@ AtpgSummary run_atpg(const Circuit& circuit,
             case Outcome::Aborted: ++summary.aborted; break;
         }
     }
+    if (summary.truncated)
+        obs::add(sink, obs::Counter::DeadlineExpiries);
     return summary;
 }
 

@@ -5,6 +5,7 @@
 
 #include "fault/fault.hpp"
 #include "netlist/circuit.hpp"
+#include "obs/obs.hpp"
 #include "util/deadline.hpp"
 
 namespace tpi::atpg {
@@ -33,6 +34,10 @@ struct AtpgOptions {
     /// and per fault inside run_atpg (remaining faults are skipped and
     /// counted in AtpgSummary::skipped).
     util::Deadline* deadline = nullptr;
+    /// Optional observability sink (not owned). run_atpg opens an
+    /// "atpg/run" span and counts AtpgFaults / AtpgBacktracks. Null (the
+    /// default) disables all instrumentation.
+    obs::Sink* sink = nullptr;
 };
 
 /// PODEM test generation for a single stuck-at fault.

@@ -5,6 +5,7 @@
 #include <bit>
 #include <memory>
 
+#include "obs/obs.hpp"
 #include "sim/logic_sim.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -140,6 +141,8 @@ FaultSimResult run_serial(const Circuit& circuit,
                           const CollapsedFaults& faults,
                           sim::PatternSource& source,
                           const FaultSimOptions& options) {
+    obs::Sink* sink = options.sink;
+    obs::Span run_span(sink, "sim/run");
     sim::LogicSimulator good(circuit);
     FaultPropagator prop(circuit);
 
@@ -159,12 +162,14 @@ FaultSimResult run_serial(const Circuit& circuit,
     const double total_weight = static_cast<double>(faults.total_faults);
 
     for (std::size_t b = 0; b < blocks; ++b) {
+        obs::Span block_span(sink, "sim/block");
         source.next_block(pi_words);
         good.simulate_block(pi_words);
         const auto good_values = good.values();
         const std::int64_t base = static_cast<std::int64_t>(b) * 64;
 
         std::size_t kept = 0;
+        std::uint64_t simulated = 0;
         for (std::size_t idx = 0; idx < active.size(); ++idx) {
             if (options.deadline != nullptr &&
                 options.deadline->expired()) {
@@ -176,6 +181,7 @@ FaultSimResult run_serial(const Circuit& circuit,
                 break;
             }
             const std::uint32_t fi = active[idx];
+            ++simulated;
             const std::uint64_t detect =
                 prop.propagate(faults.representatives[fi], good_values);
 
@@ -193,7 +199,10 @@ FaultSimResult run_serial(const Circuit& circuit,
             if (detect == 0 || !options.drop_detected) active[kept++] = fi;
         }
         active.resize(kept);
+        obs::add(sink, obs::Counter::FaultsSimulated, simulated);
         if (result.truncated) break;  // partial block: don't count it
+        obs::add(sink, obs::Counter::SimBlocks);
+        obs::add(sink, obs::Counter::SimPatterns, 64);
         result.patterns_applied = (b + 1) * 64;
         if (options.record_curve)
             result.coverage_curve.push_back(covered_weight / total_weight);
@@ -203,6 +212,7 @@ FaultSimResult run_serial(const Circuit& circuit,
     result.undetected = undetected_count;
     result.coverage =
         total_weight > 0 ? covered_weight / total_weight : 1.0;
+    if (result.truncated) obs::add(sink, obs::Counter::DeadlineExpiries);
     return result;
 }
 
@@ -224,6 +234,8 @@ FaultSimResult run_parallel(const Circuit& circuit,
                             sim::PatternSource& source,
                             const FaultSimOptions& options,
                             unsigned threads) {
+    obs::Sink* sink = options.sink;
+    obs::Span run_span(sink, "sim/run");
     sim::LogicSimulator good(circuit);
 
     FaultSimResult result;
@@ -263,6 +275,7 @@ FaultSimResult run_parallel(const Circuit& circuit,
     util::ThreadPool& pool = util::ThreadPool::shared();
 
     for (std::size_t b = 0; b < blocks; ++b) {
+        obs::Span block_span(sink, "sim/block");
         source.next_block(pi_words);
         good.simulate_block(pi_words);
         const auto good_values = good.values();
@@ -270,6 +283,10 @@ FaultSimResult run_parallel(const Circuit& circuit,
 
         pool.for_each(shard_count, threads, [&](std::size_t s,
                                                 unsigned lane) {
+            // Per-lane work is trace-only (detail): shard layout depends
+            // on the thread count, so it must stay out of the report's
+            // span table.
+            obs::Span shard_span(sink, "sim/shard", /*detail=*/true);
             Shard& shard = shards[s];
             shard.block_covered = 0.0;
             shard.block_detected = 0;
@@ -279,6 +296,7 @@ FaultSimResult run_parallel(const Circuit& circuit,
             FaultPropagator& prop = *scratch[lane];
 
             std::size_t kept = 0;
+            std::uint64_t simulated = 0;
             for (std::size_t idx = 0; idx < shard.active.size(); ++idx) {
                 // First expiry (from any lane) stops every shard at its
                 // next fault; not-yet-simulated faults stay active.
@@ -292,6 +310,7 @@ FaultSimResult run_parallel(const Circuit& circuit,
                     break;
                 }
                 const std::uint32_t fi = shard.active[idx];
+                ++simulated;
                 const std::uint64_t detect = prop.propagate(
                     faults.representatives[fi], good_values);
                 if (detect != 0 && result.detect_pattern[fi] < 0) {
@@ -304,6 +323,9 @@ FaultSimResult run_parallel(const Circuit& circuit,
                     shard.active[kept++] = fi;
             }
             shard.active.resize(kept);
+            // One batched add per shard per block keeps the hot loop
+            // free of atomics; totals match the serial path exactly.
+            obs::add(sink, obs::Counter::FaultsSimulated, simulated);
         });
 
         // Deterministic reduction: merge the per-shard fragments in
@@ -318,6 +340,8 @@ FaultSimResult run_parallel(const Circuit& circuit,
             result.truncated = true;
             break;  // partial block: don't count it
         }
+        obs::add(sink, obs::Counter::SimBlocks);
+        obs::add(sink, obs::Counter::SimPatterns, 64);
         result.patterns_applied = (b + 1) * 64;
         if (options.record_curve)
             result.coverage_curve.push_back(covered_weight / total_weight);
@@ -327,6 +351,7 @@ FaultSimResult run_parallel(const Circuit& circuit,
     result.undetected = undetected_count;
     result.coverage =
         total_weight > 0 ? covered_weight / total_weight : 1.0;
+    if (result.truncated) obs::add(sink, obs::Counter::DeadlineExpiries);
     return result;
 }
 
@@ -349,7 +374,7 @@ FaultSimResult random_pattern_coverage(const Circuit& circuit,
                                        std::uint64_t seed,
                                        bool record_curve,
                                        util::Deadline* deadline,
-                                       unsigned threads) {
+                                       unsigned threads, obs::Sink* sink) {
     const CollapsedFaults faults = collapse_faults(circuit);
     sim::RandomPatternSource source(seed);
     FaultSimOptions options;
@@ -357,6 +382,7 @@ FaultSimResult random_pattern_coverage(const Circuit& circuit,
     options.record_curve = record_curve;
     options.deadline = deadline;
     options.threads = threads;
+    options.sink = sink;
     return run_fault_simulation(circuit, faults, source, options);
 }
 

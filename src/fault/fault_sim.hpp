@@ -7,6 +7,7 @@
 
 #include "fault/fault.hpp"
 #include "netlist/circuit.hpp"
+#include "obs/obs.hpp"
 #include "sim/pattern.hpp"
 #include "util/deadline.hpp"
 
@@ -46,6 +47,13 @@ struct FaultSimOptions {
     /// response_observer forces single-threaded execution (the observer
     /// contract is ordered callbacks).
     unsigned threads = 1;
+    /// Optional observability sink (not owned). The simulator opens a
+    /// "sim/run" span, one "sim/block" span per 64-pattern block, and
+    /// per-shard detail spans under parallel execution; it counts
+    /// SimBlocks / SimPatterns / FaultsSimulated with totals that are
+    /// identical for every `threads` value on completed runs. Null (the
+    /// default) disables all instrumentation.
+    obs::Sink* sink = nullptr;
 };
 
 struct FaultSimResult {
@@ -82,13 +90,14 @@ FaultSimResult run_fault_simulation(const netlist::Circuit& circuit,
                                     const FaultSimOptions& options = {});
 
 /// Convenience wrapper: collapse, simulate `num_patterns` equiprobable
-/// random patterns with `seed`, return the result. `threads` as in
-/// FaultSimOptions (1 = serial, 0 = hardware concurrency).
+/// random patterns with `seed`, return the result. `threads` and `sink`
+/// as in FaultSimOptions (1 = serial, 0 = hardware concurrency).
 FaultSimResult random_pattern_coverage(const netlist::Circuit& circuit,
                                        std::size_t num_patterns,
                                        std::uint64_t seed,
                                        bool record_curve = false,
                                        util::Deadline* deadline = nullptr,
-                                       unsigned threads = 1);
+                                       unsigned threads = 1,
+                                       obs::Sink* sink = nullptr);
 
 }  // namespace tpi::fault

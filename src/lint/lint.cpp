@@ -72,9 +72,15 @@ LintReport run_lint(const Circuit& circuit, const LintOptions& options,
         }
     }
 
+    obs::Sink* sink = options.sink;
+    obs::Span run_span(sink, "lint/run");
+
     LintReport report;
-    report.ternary = propagate_constants(circuit);
-    report.observable = observable_mask(circuit, report.ternary);
+    {
+        obs::Span analyse_span(sink, "lint/analyse");
+        report.ternary = propagate_constants(circuit);
+        report.observable = observable_mask(circuit, report.ternary);
+    }
     const netlist::FfrDecomposition ffr = netlist::decompose_ffr(circuit);
     const RuleContext context{circuit, report.ternary, report.observable,
                               ffr, options};
@@ -84,8 +90,12 @@ LintReport run_lint(const Circuit& circuit, const LintOptions& options,
             report.truncated = true;
             break;
         }
+        obs::Span rule_span(sink, "lint/rule/" + rule->id);
         rule->run(context, report);
+        obs::add(sink, obs::Counter::LintRulesRun);
     }
+    obs::add(sink, obs::Counter::LintFindings, report.findings.size());
+    if (report.truncated) obs::add(sink, obs::Counter::DeadlineExpiries);
     return report;
 }
 

@@ -11,6 +11,7 @@
 #include "netlist/circuit.hpp"
 #include "netlist/ffr.hpp"
 #include "lint/ternary.hpp"
+#include "obs/obs.hpp"
 #include "util/deadline.hpp"
 
 namespace tpi::lint {
@@ -101,6 +102,13 @@ struct LintOptions {
     /// rules and inside the heavier sweeps. On expiry the report is
     /// returned truncated with every completed rule's findings intact.
     util::Deadline* deadline = nullptr;
+
+    /// Optional observability sink (not owned). run_lint opens a
+    /// "lint/run" span, a "lint/analyse" span for the shared analyses,
+    /// and one "lint/rule/<id>" span per executed rule, and counts
+    /// LintRulesRun / LintFindings. Null (the default) disables all
+    /// instrumentation.
+    obs::Sink* sink = nullptr;
 };
 
 /// Read-only context handed to every rule: the circuit plus the shared

@@ -1,0 +1,220 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+
+namespace tpi::obs::json {
+
+const Value* Value::find(std::string_view key) const {
+    if (kind != Kind::Object) return nullptr;
+    for (const auto& [k, v] : object)
+        if (k == key) return &v;
+    return nullptr;
+}
+
+namespace {
+
+/// Recursive-descent parser over a bounded view. Depth is capped so a
+/// fuzzer-supplied "[[[[..." cannot overflow the stack.
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    bool run(Value& out, std::string& error) {
+        if (!value(out, 0)) {
+            error = error_ + " at offset " + std::to_string(pos_);
+            return false;
+        }
+        skip_ws();
+        if (pos_ != text_.size()) {
+            error = "trailing garbage at offset " + std::to_string(pos_);
+            return false;
+        }
+        return true;
+    }
+
+private:
+    static constexpr int kMaxDepth = 64;
+
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool fail(const char* message) {
+        error_ = message;
+        return false;
+    }
+
+    bool literal(std::string_view word) {
+        if (text_.substr(pos_, word.size()) != word)
+            return fail("invalid literal");
+        pos_ += word.size();
+        return true;
+    }
+
+    bool string(std::string& out) {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail("expected string");
+        ++pos_;
+        out.clear();
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("unescaped control character");
+            if (c == '\\') {
+                if (pos_ >= text_.size()) return fail("bad escape");
+                const char esc = text_[pos_++];
+                switch (esc) {
+                    case '"': c = '"'; break;
+                    case '\\': c = '\\'; break;
+                    case '/': c = '/'; break;
+                    case 'b': c = '\b'; break;
+                    case 'f': c = '\f'; break;
+                    case 'n': c = '\n'; break;
+                    case 'r': c = '\r'; break;
+                    case 't': c = '\t'; break;
+                    case 'u': {
+                        if (pos_ + 4 > text_.size())
+                            return fail("bad \\u escape");
+                        for (int i = 0; i < 4; ++i)
+                            if (std::isxdigit(static_cast<unsigned char>(
+                                    text_[pos_ + i])) == 0)
+                                return fail("bad \\u escape");
+                        // Pass through undecoded; good enough for
+                        // validation and for the ASCII this repo emits.
+                        out += "\\u";
+                        out.append(text_.substr(pos_, 4));
+                        pos_ += 4;
+                        continue;
+                    }
+                    default: return fail("bad escape");
+                }
+            }
+            out += c;
+        }
+        if (pos_ >= text_.size()) return fail("unterminated string");
+        ++pos_;  // closing quote
+        return true;
+    }
+
+    bool number(double& out) {
+        const std::size_t begin = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+        // JSON forbids leading zeros ("01") and a bare '+' sign; the
+        // permissive scan below plus from_chars would accept both.
+        if (pos_ + 1 < text_.size() && text_[pos_] == '0' &&
+            std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])) != 0)
+            return fail("leading zero");
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        const auto [ptr, ec] = std::from_chars(
+            text_.data() + begin, text_.data() + pos_, out);
+        if (ec != std::errc{} || ptr != text_.data() + pos_ ||
+            begin == pos_)
+            return fail("invalid number");
+        return true;
+    }
+
+    bool value(Value& out, int depth) {
+        if (depth > kMaxDepth) return fail("nesting too deep");
+        skip_ws();
+        if (pos_ >= text_.size()) return fail("unexpected end of input");
+        const char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            out.kind = Value::Kind::Object;
+            skip_ws();
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                skip_ws();
+                std::string key;
+                if (!string(key)) return false;
+                skip_ws();
+                if (pos_ >= text_.size() || text_[pos_++] != ':')
+                    return fail("expected ':'");
+                Value member;
+                if (!value(member, depth + 1)) return false;
+                out.object.emplace_back(std::move(key), std::move(member));
+                skip_ws();
+                if (pos_ >= text_.size()) return fail("unterminated object");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == '}') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            out.kind = Value::Kind::Array;
+            skip_ws();
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                Value element;
+                if (!value(element, depth + 1)) return false;
+                out.array.push_back(std::move(element));
+                skip_ws();
+                if (pos_ >= text_.size()) return fail("unterminated array");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == ']') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            out.kind = Value::Kind::String;
+            return string(out.string);
+        }
+        if (c == 't') {
+            out.kind = Value::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out.kind = Value::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            out.kind = Value::Kind::Null;
+            return literal("null");
+        }
+        out.kind = Value::Kind::Number;
+        return number(out.number);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    std::string error_ = "parse error";
+};
+
+}  // namespace
+
+bool parse(std::string_view text, Value& out, std::string& error) {
+    out = Value{};
+    return Parser(text).run(out, error);
+}
+
+}  // namespace tpi::obs::json

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tpi::obs::json {
+
+/// Minimal strict JSON value, just rich enough to validate and inspect
+/// the documents this repo emits (metrics reports, traces, lint
+/// reports). Objects preserve key order. Not a general-purpose library:
+/// no \uXXXX decoding beyond pass-through, numbers held as double.
+struct Value {
+    enum class Kind : unsigned char { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<Value> array;
+    std::vector<std::pair<std::string, Value>> object;
+
+    bool is_null() const { return kind == Kind::Null; }
+    bool is_bool() const { return kind == Kind::Bool; }
+    bool is_number() const { return kind == Kind::Number; }
+    bool is_string() const { return kind == Kind::String; }
+    bool is_array() const { return kind == Kind::Array; }
+    bool is_object() const { return kind == Kind::Object; }
+
+    /// Member lookup (first match); nullptr when absent or not an object.
+    const Value* find(std::string_view key) const;
+};
+
+/// Parse a complete JSON document. Returns false (with a position-tagged
+/// message in `error`) on any syntax violation or trailing garbage.
+bool parse(std::string_view text, Value& out, std::string& error);
+
+}  // namespace tpi::obs::json

@@ -1,0 +1,72 @@
+#include "obs/obs.hpp"
+
+namespace tpi::obs {
+
+namespace {
+
+/// Per-thread nesting depth for spans opened on this thread. Spans are
+/// strictly scoped (RAII), so a thread's open spans form a stack.
+thread_local std::uint32_t t_depth = 0;
+
+std::uint32_t next_thread_id() {
+    static std::atomic<std::uint32_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::string_view counter_name(Counter counter) {
+    switch (counter) {
+        case Counter::SimBlocks: return "sim_blocks";
+        case Counter::SimPatterns: return "sim_patterns";
+        case Counter::FaultsSimulated: return "faults_simulated";
+        case Counter::DpRounds: return "dp_rounds";
+        case Counter::DpRegionsBuilt: return "dp_regions_built";
+        case Counter::DpCellsFilled: return "dp_cells_filled";
+        case Counter::PlanPoints: return "plan_points";
+        case Counter::CandidatesConsidered: return "candidates_considered";
+        case Counter::CandidatesPruned: return "candidates_pruned";
+        case Counter::GreedyEvaluations: return "greedy_evaluations";
+        case Counter::LintRulesRun: return "lint_rules_run";
+        case Counter::LintFindings: return "lint_findings";
+        case Counter::AtpgFaults: return "atpg_faults";
+        case Counter::AtpgBacktracks: return "atpg_backtracks";
+        case Counter::DeadlineExpiries: return "deadline_expiries";
+        case Counter::PoolBatches: return "pool_batches";
+        case Counter::PoolTasks: return "pool_tasks";
+        case Counter::PoolSteals: return "pool_steals";
+        case Counter::kCount: break;
+    }
+    return "?";
+}
+
+bool counter_deterministic(Counter counter) {
+    return static_cast<std::size_t>(counter) < kFirstDiagCounter;
+}
+
+std::uint32_t Sink::thread_id() {
+    thread_local const std::uint32_t id = next_thread_id();
+    return id;
+}
+
+Span::Span(Sink* sink, std::string_view name, bool detail) : sink_(sink) {
+    if (sink_ == nullptr) return;
+    record_.name = name;
+    record_.seq = sink_->next_seq();
+    record_.tid = Sink::thread_id();
+    record_.depth = t_depth++;
+    record_.detail = detail;
+    record_.start_us = sink_->now_us();
+}
+
+void Span::close() {
+    if (sink_ == nullptr) return;
+    record_.dur_us = sink_->now_us() - record_.start_us;
+    --t_depth;
+    sink_->record(std::move(record_));
+    sink_ = nullptr;
+}
+
+Span::~Span() { close(); }
+
+}  // namespace tpi::obs

@@ -1,0 +1,205 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+namespace tpi::obs {
+
+namespace {
+
+void write_json_string(std::ostream& os, std::string_view text) {
+    os << '"';
+    for (const char c : text) {
+        switch (c) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            case '\r': os << "\\r"; break;
+            case '\t': os << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    const char* hex = "0123456789abcdef";
+                    os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+                } else {
+                    os << c;
+                }
+        }
+    }
+    os << '"';
+}
+
+std::string quoted(std::string_view text) {
+    std::ostringstream os;
+    write_json_string(os, text);
+    return os.str();
+}
+
+}  // namespace
+
+std::string fmt_double(double value) {
+    char buffer[64];
+    const auto [ptr, ec] =
+        std::to_chars(buffer, buffer + sizeof(buffer), value);
+    if (ec != std::errc{}) return "0";
+    return std::string(buffer, ptr);
+}
+
+void RunReport::add_str(std::string_view key, std::string_view value) {
+    outcome.emplace_back(std::string(key), quoted(value));
+}
+
+void RunReport::add_num(std::string_view key, double value) {
+    outcome.emplace_back(std::string(key), fmt_double(value));
+}
+
+void RunReport::add_num(std::string_view key, std::uint64_t value) {
+    outcome.emplace_back(std::string(key), std::to_string(value));
+}
+
+void RunReport::add_num(std::string_view key, int value) {
+    outcome.emplace_back(std::string(key), std::to_string(value));
+}
+
+void RunReport::add_bool(std::string_view key, bool value) {
+    outcome.emplace_back(std::string(key), value ? "true" : "false");
+}
+
+std::vector<SpanAggregate> aggregate_spans(const Sink& sink) {
+    std::vector<SpanAggregate> rows;
+    for (const SpanRecord& span : sink.spans()) {
+        if (span.detail) continue;
+        auto it = std::find_if(rows.begin(), rows.end(),
+                               [&](const SpanAggregate& row) {
+                                   return row.name == span.name;
+                               });
+        if (it == rows.end()) {
+            rows.push_back({span.name, 0, 0.0, 0});
+            it = rows.end() - 1;
+        }
+        ++it->count;
+        it->total_ms += span.dur_us / 1e3;
+        it->max_depth = std::max(it->max_depth, span.depth);
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const SpanAggregate& a, const SpanAggregate& b) {
+                  return a.name < b.name;
+              });
+    return rows;
+}
+
+void write_metrics_json(std::ostream& os, const RunReport& report,
+                        const Sink* sink) {
+    os << "{\n  \"schema\": \"tpidp-run-report\",\n  \"version\": "
+       << RunReport::kVersion << ",\n  \"command\": ";
+    write_json_string(os, report.command);
+    os << ",\n  \"circuit\": ";
+    write_json_string(os, report.circuit);
+    os << ",\n  \"threads\": " << report.threads << ",\n  \"truncated\": "
+       << (report.truncated ? "true" : "false")
+       << ",\n  \"exit_code\": " << report.exit_code
+       << ",\n  \"wall_ms\": " << fmt_double(report.wall_ms)
+       << ",\n  \"outcome\": {";
+    for (std::size_t i = 0; i < report.outcome.size(); ++i) {
+        os << (i > 0 ? "," : "") << "\n    ";
+        write_json_string(os, report.outcome[i].first);
+        os << ": " << report.outcome[i].second;
+    }
+    os << (report.outcome.empty() ? "" : "\n  ") << "},\n  \"counters\": {";
+    for (std::size_t c = 0; c < kFirstDiagCounter; ++c) {
+        const auto counter = static_cast<Counter>(c);
+        os << (c > 0 ? "," : "") << "\n    ";
+        write_json_string(os, counter_name(counter));
+        os << ": " << (sink != nullptr ? sink->value(counter) : 0);
+    }
+    os << "\n  },\n  \"diag\": {";
+    for (std::size_t c = kFirstDiagCounter; c < kCounterCount; ++c) {
+        const auto counter = static_cast<Counter>(c);
+        os << (c > kFirstDiagCounter ? "," : "") << "\n    ";
+        write_json_string(os, counter_name(counter));
+        os << ": " << (sink != nullptr ? sink->value(counter) : 0);
+    }
+    os << ",\n    \"host_threads\": "
+       << std::max(1u, std::thread::hardware_concurrency())
+       << "\n  },\n  \"spans\": [";
+    const std::vector<SpanAggregate> rows =
+        sink != nullptr ? aggregate_spans(*sink)
+                        : std::vector<SpanAggregate>{};
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        os << (i > 0 ? "," : "") << "\n    {\"name\": ";
+        write_json_string(os, rows[i].name);
+        os << ", \"count\": " << rows[i].count
+           << ", \"max_depth\": " << rows[i].max_depth
+           << ", \"total_ms\": " << fmt_double(rows[i].total_ms) << "}";
+    }
+    os << (rows.empty() ? "" : "\n  ") << "]\n}\n";
+}
+
+std::string to_metrics_json(const RunReport& report, const Sink* sink) {
+    std::ostringstream os;
+    write_metrics_json(os, report, sink);
+    return os.str();
+}
+
+void write_trace_json(std::ostream& os, const Sink& sink) {
+    std::vector<SpanRecord> spans = sink.spans();
+    std::sort(spans.begin(), spans.end(),
+              [](const SpanRecord& a, const SpanRecord& b) {
+                  return a.seq < b.seq;
+              });
+    os << "[";
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        const SpanRecord& span = spans[i];
+        os << (i > 0 ? "," : "") << "\n{\"name\": ";
+        write_json_string(os, span.name);
+        os << ", \"ph\": \"X\", \"pid\": 1, \"tid\": " << span.tid
+           << ", \"ts\": " << fmt_double(span.start_us)
+           << ", \"dur\": " << fmt_double(span.dur_us)
+           << ", \"args\": {\"seq\": " << span.seq
+           << ", \"depth\": " << span.depth << ", \"detail\": "
+           << (span.detail ? "true" : "false") << "}}";
+    }
+    os << (spans.empty() ? "" : "\n") << "]\n";
+}
+
+std::string to_trace_json(const Sink& sink) {
+    std::ostringstream os;
+    write_trace_json(os, sink);
+    return os.str();
+}
+
+std::string normalized_for_diff(std::string_view metrics_json) {
+    // The volatile keys: wall clock, per-span durations, thread counts
+    // and the scheduling-diagnostic counters. Each "key": <number> has
+    // its number blanked to 0; everything else is left untouched.
+    std::vector<std::string> keys = {"wall_ms", "total_ms", "threads",
+                                     "host_threads"};
+    for (std::size_t c = kFirstDiagCounter; c < kCounterCount; ++c)
+        keys.emplace_back(counter_name(static_cast<Counter>(c)));
+
+    std::string out(metrics_json);
+    for (const std::string& key : keys) {
+        const std::string needle = "\"" + key + "\": ";
+        std::size_t pos = 0;
+        while ((pos = out.find(needle, pos)) != std::string::npos) {
+            const std::size_t value_begin = pos + needle.size();
+            std::size_t value_end = value_begin;
+            while (value_end < out.size() &&
+                   (std::isdigit(static_cast<unsigned char>(
+                        out[value_end])) != 0 ||
+                    out[value_end] == '-' || out[value_end] == '+' ||
+                    out[value_end] == '.' || out[value_end] == 'e' ||
+                    out[value_end] == 'E'))
+                ++value_end;
+            if (value_end > value_begin)
+                out.replace(value_begin, value_end - value_begin, "0");
+            pos = value_begin + 1;
+        }
+    }
+    return out;
+}
+
+}  // namespace tpi::obs

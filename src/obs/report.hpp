@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace tpi::obs {
+
+/// Machine-readable record of one CLI run (or one embedded engine run):
+/// identity, outcome, the counter totals and the aggregated span table.
+/// Serialised by write_metrics_json under a stable, versioned schema
+/// ("tpidp-run-report", version 1); consumers must ignore unknown keys
+/// so the schema can grow without a version bump. Removing or renaming a
+/// key bumps `kVersion`.
+struct RunReport {
+    static constexpr int kVersion = 1;
+
+    std::string command;   ///< CLI subcommand (plan, sim, lint, ...)
+    std::string circuit;   ///< circuit name or input path
+    unsigned threads = 1;  ///< requested worker threads (volatile field)
+    bool truncated = false;  ///< a deadline/limit cut the run short
+    int exit_code = 0;       ///< the process exit code (5 => truncated)
+    double wall_ms = 0.0;    ///< end-to-end wall time (volatile field)
+
+    /// Command-specific outcome, in insertion order. Values are
+    /// pre-rendered JSON fragments; use the typed adders.
+    std::vector<std::pair<std::string, std::string>> outcome;
+
+    void add_str(std::string_view key, std::string_view value);
+    void add_num(std::string_view key, double value);
+    void add_num(std::string_view key, std::uint64_t value);
+    void add_num(std::string_view key, int value);
+    void add_bool(std::string_view key, bool value);
+};
+
+/// One row of the report's span table: every non-detail span of the same
+/// name merged together.
+struct SpanAggregate {
+    std::string name;
+    std::uint64_t count = 0;
+    double total_ms = 0.0;  ///< volatile field
+    std::uint32_t max_depth = 0;
+};
+
+/// Aggregate the sink's non-detail spans by name. Merge order is fixed:
+/// rows are sorted by name (see DESIGN.md §11), so the table is
+/// identical for every thread count; only total_ms (normalised away by
+/// differential comparisons) carries wall-clock.
+std::vector<SpanAggregate> aggregate_spans(const Sink& sink);
+
+/// Serialise `report` (+ the counters and span table of `sink`, which
+/// may be null for a run with observability off). Deterministic: field
+/// order is fixed, doubles are shortest-round-trip formatted.
+void write_metrics_json(std::ostream& os, const RunReport& report,
+                        const Sink* sink);
+std::string to_metrics_json(const RunReport& report, const Sink* sink);
+
+/// Serialise every span (detail spans included) as a Chrome trace_event
+/// JSON array — load with chrome://tracing or https://ui.perfetto.dev.
+/// Events appear in global span-open order; "X" complete events carry
+/// ts/dur in microseconds and the process-wide thread id.
+void write_trace_json(std::ostream& os, const Sink& sink);
+std::string to_trace_json(const Sink& sink);
+
+/// Blank out the volatile fields of a metrics JSON document (wall times,
+/// span durations, thread counts, diagnostic counters), leaving the
+/// deterministic skeleton. Two runs of the same work differing only in
+/// thread count or scheduling produce equal normalised documents; the
+/// determinism tests and the golden-file runner both diff this form.
+std::string normalized_for_diff(std::string_view metrics_json);
+
+/// Shortest-round-trip decimal rendering of a double (std::to_chars),
+/// so report numbers are bit-deterministic across runs.
+std::string fmt_double(double value);
+
+}  // namespace tpi::obs

@@ -5,6 +5,7 @@
 #include "lint/lint.hpp"
 #include "netlist/ffr.hpp"
 #include "netlist/transform.hpp"
+#include "obs/obs.hpp"
 #include "testability/cop.hpp"
 #include "tpi/evaluate.hpp"
 #include "tpi/planners.hpp"
@@ -27,6 +28,7 @@ public:
     virtual ~RegionDp() = default;
     virtual double gain(int budget) const = 0;
     virtual std::vector<TestPoint> placements(int budget) const = 0;
+    virtual std::uint64_t cells() const = 0;
 };
 
 class ObsRegionDp final : public RegionDp {
@@ -44,6 +46,7 @@ public:
             out.push_back({v, TpKind::Observe});
         return out;
     }
+    std::uint64_t cells() const override { return dp_.cells(); }
 
 private:
     TreeObsDp dp_;
@@ -61,6 +64,7 @@ public:
     std::vector<TestPoint> placements(int budget) const override {
         return dp_.placements(budget);
     }
+    std::uint64_t cells() const override { return dp_.cells(); }
 
 private:
     TreeJointDp dp_;
@@ -86,6 +90,8 @@ bool joint_compatible(const netlist::Circuit& circuit,
 Plan DpPlanner::plan(const netlist::Circuit& circuit,
                      const PlannerOptions& options) {
     require(options.budget >= 0, "DpPlanner: negative budget");
+    obs::Sink* sink = options.sink;
+    obs::Span plan_span(sink, "plan/dp");
     const fault::CollapsedFaults faults = fault::singleton_faults(circuit);
 
     // Internal optimisation universe: identical to `faults` unless lint
@@ -96,6 +102,7 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
     std::size_t candidate_count = 0;
     std::size_t pruned_count = 0;
     if (options.prune_via_lint) {
+        obs::Span prune_span(sink, "plan/lint-prune");
         lint::Pruning pruning = lint::compute_pruning(circuit);
         condemned = std::move(pruning.drop_candidate);
         for (const fault::Fault& f : pruning.redundant_faults) {
@@ -124,10 +131,13 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
             truncated = true;
             break;
         }
+        obs::Span round_span(sink, "plan/round");
+        obs::add(sink, obs::Counter::DpRounds);
         const int budget_round =
             (round == rounds - 1) ? remaining : std::min(remaining, chunk);
 
         // Materialise the points selected so far and re-analyse.
+        obs::Span analyse_span(sink, "plan/analyse");
         const netlist::TransformResult dft =
             netlist::apply_test_points(circuit, points);
         const std::size_t cur_n = dft.circuit.node_count();
@@ -163,6 +173,7 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
 
         const netlist::FfrDecomposition ffr =
             netlist::decompose_ffr(dft.circuit);
+        analyse_span.close();
         const int region_cap =
             std::min(options.dp_region_budget, budget_round);
 
@@ -179,6 +190,11 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
         // allowed mask) is shared read-only, and each build writes only
         // its own dps[r] slot.
         const auto build_region = [&](std::size_t r) {
+            // One span per built region: the count is thread-invariant
+            // (the set of fault-bearing regions is), so the report's
+            // span table matches across thread counts, while the trace
+            // shows which lane ran which region.
+            obs::Span region_span(sink, "plan/region-dp");
             const auto& region = ffr.regions[r];
             const bool joint =
                 use_control &&
@@ -212,7 +228,14 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
                     options.objective, params,
                     allowed);
             }
+            if (dps[r]) {
+                obs::add(sink, obs::Counter::DpRegionsBuilt);
+                obs::add(sink, obs::Counter::DpCellsFilled,
+                         dps[r]->cells());
+            }
         };
+
+        obs::Span regions_span(sink, "plan/regions");
 
         if (threads <= 1) {
             for (std::size_t r = 0; r < ffr.regions.size(); ++r) {
@@ -244,13 +267,18 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
                 });
             if (expired.load(std::memory_order_relaxed)) truncated = true;
         }
+        regions_span.close();
 
         // Deadline hit while building region tables: the round's DP set
         // is incomplete, so stop with the points of the earlier rounds.
         if (truncated) break;
 
         // Outer knapsack: allocate budget_round units across regions.
+        obs::Span knapsack_span(sink, "plan/knapsack");
         const int B = budget_round;
+        obs::add(sink, obs::Counter::DpCellsFilled,
+                 (static_cast<std::uint64_t>(dps.size()) + 1) *
+                     (static_cast<std::uint64_t>(B) + 1));
         std::vector<std::vector<double>> table(
             dps.size() + 1, std::vector<double>(B + 1, 0.0));
         for (std::size_t r = 0; r < dps.size(); ++r) {
@@ -307,6 +335,10 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
     result.predicted_score =
         evaluate_plan(circuit, faults, result.points, options.objective)
             .score;
+    obs::add(sink, obs::Counter::PlanPoints, result.points.size());
+    obs::add(sink, obs::Counter::CandidatesConsidered, candidate_count);
+    obs::add(sink, obs::Counter::CandidatesPruned, pruned_count);
+    if (truncated) obs::add(sink, obs::Counter::DeadlineExpiries);
     return result;
 }
 

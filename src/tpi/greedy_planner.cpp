@@ -3,6 +3,7 @@
 #include "fault/fault.hpp"
 #include "lint/lint.hpp"
 #include "netlist/transform.hpp"
+#include "obs/obs.hpp"
 #include "testability/cop.hpp"
 #include "testability/profile.hpp"
 #include "tpi/evaluate.hpp"
@@ -18,6 +19,8 @@ using netlist::TpKind;
 Plan GreedyPlanner::plan(const netlist::Circuit& circuit,
                          const PlannerOptions& options) {
     require(options.budget >= 0, "GreedyPlanner: negative budget");
+    obs::Sink* sink = options.sink;
+    obs::Span plan_span(sink, "plan/greedy");
     const fault::CollapsedFaults faults = fault::singleton_faults(circuit);
 
     // Internal proxy universe: identical to `faults` unless lint pruning
@@ -28,6 +31,7 @@ Plan GreedyPlanner::plan(const netlist::Circuit& circuit,
     std::size_t candidate_count = 0;
     std::size_t pruned_count = 0;
     if (options.prune_via_lint) {
+        obs::Span prune_span(sink, "plan/lint-prune");
         lint::Pruning pruning = lint::compute_pruning(circuit);
         condemned = std::move(pruning.drop_candidate);
         for (const fault::Fault& f : pruning.redundant_faults) {
@@ -63,6 +67,7 @@ Plan GreedyPlanner::plan(const netlist::Circuit& circuit,
             truncated = true;
             break;
         }
+        obs::Span step_span(sink, "plan/greedy-step");
         // Analyse the circuit with the points selected so far.
         const netlist::TransformResult dft =
             netlist::apply_test_points(circuit, points);
@@ -155,6 +160,7 @@ Plan GreedyPlanner::plan(const netlist::Circuit& circuit,
             const int cost = options.cost.cost(shortlist[i].point.kind);
             if (cost > remaining) continue;
             points.push_back(shortlist[i].point);
+            obs::add(sink, obs::Counter::GreedyEvaluations);
             const PlanEvaluation eval =
                 evaluate_plan(circuit, faults, points, options.objective);
             points.pop_back();
@@ -183,6 +189,10 @@ Plan GreedyPlanner::plan(const netlist::Circuit& circuit,
     result.candidates_considered = candidate_count;
     result.candidates_pruned = pruned_count;
     result.predicted_score = current.score;
+    obs::add(sink, obs::Counter::PlanPoints, result.points.size());
+    obs::add(sink, obs::Counter::CandidatesConsidered, candidate_count);
+    obs::add(sink, obs::Counter::CandidatesPruned, pruned_count);
+    if (truncated) obs::add(sink, obs::Counter::DeadlineExpiries);
     return result;
 }
 

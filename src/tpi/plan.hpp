@@ -6,6 +6,7 @@
 
 #include "netlist/circuit.hpp"
 #include "netlist/test_point.hpp"
+#include "obs/obs.hpp"
 #include "tpi/objective.hpp"
 #include "util/deadline.hpp"
 
@@ -74,6 +75,14 @@ struct PlannerOptions {
     /// and return their best-so-far plan with Plan::truncated set —
     /// they never run unbounded.
     util::Deadline* deadline = nullptr;
+
+    /// Optional observability sink (not owned). Planners open tracing
+    /// spans at phase boundaries (per-round, per-region DP build,
+    /// knapsack merge) and record work counters into it; null (the
+    /// default) disables all instrumentation at the cost of one branch
+    /// per site. The deterministic counters (DpCellsFilled, PlanPoints,
+    /// ...) total identically for every `threads` value.
+    obs::Sink* sink = nullptr;
 };
 
 /// A set of selected test points plus the planner's own estimate of the

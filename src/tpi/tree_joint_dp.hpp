@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -73,6 +74,14 @@ public:
 
     /// Reconstruct an optimal mixed placement for `budget` units.
     std::vector<netlist::TestPoint> placements(int budget) const;
+
+    /// DP table cells materialised by the solve (per-region work
+    /// measure; feeds obs::Counter::DpCellsFilled).
+    std::uint64_t cells() const {
+        std::uint64_t n = 0;
+        for (const auto& row : table_) n += row.size();
+        return n;
+    }
 
     /// The controllability grid in use (exposed for tests/ablation).
     std::span<const double> c1_grid() const { return grid_; }

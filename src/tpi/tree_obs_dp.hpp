@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -63,6 +64,14 @@ public:
     /// Reconstruct an optimal placement for `budget` units: the nets to
     /// observe (in original circuit id space).
     std::vector<netlist::NodeId> placements(int budget) const;
+
+    /// DP table cells materialised by the solve (per-region work
+    /// measure; feeds obs::Counter::DpCellsFilled).
+    std::uint64_t cells() const {
+        std::uint64_t n = 0;
+        for (const auto& row : table_) n += row.size();
+        return n;
+    }
 
 private:
     struct Child {

@@ -19,6 +19,7 @@ struct alignas(64) ThreadPool::Shard {
 };
 
 struct ThreadPool::Batch {
+    ThreadPool* pool = nullptr;
     const std::function<void(std::size_t, unsigned)>* fn = nullptr;
     std::vector<Shard> shards;  // one per participating lane
     unsigned lanes = 0;
@@ -120,6 +121,8 @@ void ThreadPool::run_lane(Batch& batch, unsigned lane) {
                 own.next = begin;
                 own.end = end;
                 stole = true;
+                batch.pool->steals_.fetch_add(1,
+                                              std::memory_order_relaxed);
             }
             if (!stole) return;  // no work left anywhere visible
             continue;
@@ -148,7 +151,10 @@ void ThreadPool::for_each(
     }
 
     std::lock_guard submit(submit_mutex_);
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    tasks_.fetch_add(count, std::memory_order_relaxed);
     Batch batch;
+    batch.pool = this;
     batch.fn = &fn;
     batch.lanes = lanes;
     batch.shards = std::vector<Shard>(lanes);

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -66,6 +67,22 @@ public:
     /// touch it (so purely serial runs never spawn threads).
     static ThreadPool& shared();
 
+    /// Cumulative scheduling statistics since construction. These are
+    /// diagnostics, not results: steal counts (and, with work-dependent
+    /// early exits, task counts) vary run to run with thread timing. The
+    /// observability layer snapshots them into a RunReport's "diag"
+    /// section, which every differential comparison normalises away.
+    struct Stats {
+        std::uint64_t batches = 0;  ///< parallel for_each dispatches
+        std::uint64_t tasks = 0;    ///< indices executed across batches
+        std::uint64_t steals = 0;   ///< range-steal events across lanes
+    };
+    Stats stats() const {
+        return {batches_.load(std::memory_order_relaxed),
+                tasks_.load(std::memory_order_relaxed),
+                steals_.load(std::memory_order_relaxed)};
+    }
+
 private:
     struct Shard;
     struct Batch;
@@ -82,6 +99,10 @@ private:
     bool stop_ = false;
 
     std::mutex submit_mutex_;         // serialises for_each callers
+
+    std::atomic<std::uint64_t> batches_{0};
+    std::atomic<std::uint64_t> tasks_{0};
+    std::atomic<std::uint64_t> steals_{0};
 };
 
 }  // namespace tpi::util

@@ -21,7 +21,14 @@ public:
     double millis() const { return seconds() * 1e3; }
 
 private:
+    // steady_clock, never high_resolution_clock: the latter may alias a
+    // non-steady wall clock (it does on libstdc++ targets where it is
+    // system_clock), and a timer that can go backwards across an NTP
+    // step poisons every elapsed-time report. Locked in at compile time;
+    // test_util has the runtime regression test.
     using Clock = std::chrono::steady_clock;
+    static_assert(Clock::is_steady,
+                  "util::Timer requires a steady (monotonic) clock");
     Clock::time_point start_;
 };
 

@@ -2,12 +2,18 @@
 #
 #   cmake -DCLI=<tpidp> "-DARGS=tpi;circuit.bench;--budget;2" \
 #         -DEXPECTED=<expected.golden> [-DEXPECT_CODE=0] \
-#         [-DMUST_MATCH=<regex>] -P run_golden.cmake
+#         [-DMUST_MATCH=<regex>] [-DMETRICS_NORMALIZE=1] \
+#         -P run_golden.cmake
 #
 # Runs the CLI, normalises wall-clock timings ("0.0042 s" -> "<time> s"),
 # and compares stdout byte-for-byte against the committed golden file.
 # With no EXPECTED, only the exit code (and optional MUST_MATCH regex on
 # stdout) is checked — used by the deadline/exit-5 tests.
+#
+# METRICS_NORMALIZE additionally blanks the volatile fields of a
+# --metrics-json document (wall_ms, span total_ms, thread counts and the
+# "diag" scheduling counters) to 0 — mirroring obs::normalized_for_diff —
+# so run-report goldens capture only the deterministic skeleton.
 
 if(NOT DEFINED EXPECT_CODE)
   set(EXPECT_CODE 0)
@@ -33,6 +39,11 @@ endif()
 if(DEFINED EXPECTED)
   # Timings are the only run-to-run nondeterminism in the output.
   string(REGEX REPLACE "[0-9]+\\.?[0-9]* s" "<time> s" actual "${actual}")
+  if(DEFINED METRICS_NORMALIZE)
+    string(REGEX REPLACE
+      "\"(wall_ms|total_ms|threads|host_threads|deadline_expiries|pool_batches|pool_tasks|pool_steals)\": [0-9.eE+-]+"
+      "\"\\1\": 0" actual "${actual}")
+  endif()
   file(READ ${EXPECTED} expected)
   if(NOT actual STREQUAL expected)
     message(FATAL_ERROR

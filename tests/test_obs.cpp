@@ -1,0 +1,484 @@
+// Observability layer tests: span nesting/ordering invariants, counter
+// determinism across thread counts, the disabled-mode zero-allocation
+// guarantee, and the stable run-report JSON schema (round-tripped
+// through the in-repo strict JSON parser).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fault/fault_sim.hpp"
+#include "gen/benchmarks.hpp"
+#include "lint/lint.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
+#include "tpi/planners.hpp"
+
+// ---------------------------------------------------------------------
+// Counting global allocator. Replacing the global operator new/delete
+// pair in one TU instruments the whole test binary; the zero-allocation
+// test below snapshots the counter around disabled-mode instrumentation
+// calls. Every variant forwards to malloc/free so sanitizer builds keep
+// their interposition.
+
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+std::size_t allocation_count() {
+    return g_allocations.load(std::memory_order_relaxed);
+}
+void* counted_alloc(std::size_t size) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size != 0 ? size : 1);
+}
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t rounded = (size + align - 1) / align * align;
+    return std::aligned_alloc(align, rounded != 0 ? rounded : align);
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+    if (void* p = counted_alloc(size)) return p;
+    throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+    return counted_alloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+    return counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+    if (void* p = counted_aligned_alloc(
+            size, static_cast<std::size_t>(align)))
+        return p;
+    throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+    return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+    std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+    std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+    std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+    std::free(p);
+}
+
+namespace {
+
+using namespace tpi;
+
+// ---------------------------------------------------------------------
+// Spans
+
+TEST(ObsSpan, RecordsOpenOrderDepthAndInterval) {
+    obs::Sink sink;
+    {
+        obs::Span outer(&sink, "outer");
+        {
+            obs::Span mid(&sink, "mid");
+            obs::Span inner(&sink, "inner");
+        }
+        obs::Span sibling(&sink, "sibling");
+    }
+    const std::vector<obs::SpanRecord> spans = sink.spans();
+    ASSERT_EQ(spans.size(), 4u);
+
+    // spans() is in close order: innermost first, outer last.
+    EXPECT_EQ(spans[0].name, "inner");
+    EXPECT_EQ(spans[1].name, "mid");
+    EXPECT_EQ(spans[2].name, "sibling");
+    EXPECT_EQ(spans[3].name, "outer");
+
+    // seq is the global open order.
+    auto by_name = [&](std::string_view name) -> const obs::SpanRecord& {
+        for (const auto& s : spans)
+            if (s.name == name) return s;
+        ADD_FAILURE() << "span " << name << " not recorded";
+        return spans.front();
+    };
+    EXPECT_LT(by_name("outer").seq, by_name("mid").seq);
+    EXPECT_LT(by_name("mid").seq, by_name("inner").seq);
+    EXPECT_LT(by_name("inner").seq, by_name("sibling").seq);
+
+    // Nesting depth counts open ancestors on the same thread.
+    EXPECT_EQ(by_name("outer").depth, 0u);
+    EXPECT_EQ(by_name("mid").depth, 1u);
+    EXPECT_EQ(by_name("inner").depth, 2u);
+    EXPECT_EQ(by_name("sibling").depth, 1u);
+
+    // A child's interval is contained in its parent's (steady clock,
+    // strictly scoped RAII).
+    const auto& outer = by_name("outer");
+    const auto& inner = by_name("inner");
+    EXPECT_GE(inner.start_us, outer.start_us);
+    EXPECT_LE(inner.start_us + inner.dur_us,
+              outer.start_us + outer.dur_us + 1e-6);
+    for (const auto& s : spans) {
+        EXPECT_GE(s.dur_us, 0.0);
+        EXPECT_GE(s.start_us, 0.0);
+    }
+}
+
+TEST(ObsSpan, CloseIsIdempotentAndEarly) {
+    obs::Sink sink;
+    obs::Span span(&sink, "phase");
+    span.close();
+    span.close();  // second close is a no-op
+    EXPECT_EQ(sink.spans().size(), 1u);
+    // Depth bookkeeping survived the double close: a new span opens at
+    // depth 0 again.
+    {
+        obs::Span next(&sink, "next");
+    }
+    EXPECT_EQ(sink.spans().back().depth, 0u);
+}
+
+TEST(ObsSpan, ThreadsGetStableSequentialIds) {
+    obs::Sink sink;
+    const std::uint32_t main_id = obs::Sink::thread_id();
+    EXPECT_EQ(obs::Sink::thread_id(), main_id);  // stable per thread
+    std::uint32_t worker_id = main_id;
+    std::thread worker([&] {
+        worker_id = obs::Sink::thread_id();
+        obs::Span span(&sink, "worker", /*detail=*/true);
+    });
+    worker.join();
+    EXPECT_NE(worker_id, main_id);
+    ASSERT_EQ(sink.spans().size(), 1u);
+    EXPECT_EQ(sink.spans()[0].tid, worker_id);
+    EXPECT_TRUE(sink.spans()[0].detail);
+}
+
+TEST(ObsSpan, AggregateMergesByNameAndSkipsDetail) {
+    obs::Sink sink;
+    {
+        obs::Span a(&sink, "phase/a");
+        {
+            obs::Span b1(&sink, "phase/b");
+        }
+        {
+            obs::Span b2(&sink, "phase/b");
+        }
+        obs::Span lane(&sink, "phase/lane", /*detail=*/true);
+    }
+    const auto rows = obs::aggregate_spans(sink);
+    ASSERT_EQ(rows.size(), 2u);  // detail span excluded, b merged
+    EXPECT_EQ(rows[0].name, "phase/a");  // sorted by name
+    EXPECT_EQ(rows[0].count, 1u);
+    EXPECT_EQ(rows[1].name, "phase/b");
+    EXPECT_EQ(rows[1].count, 2u);
+    EXPECT_EQ(rows[1].max_depth, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Counters
+
+TEST(ObsCounter, NamesAreUniqueAndClassesSplitAtDiagBoundary) {
+    std::set<std::string> names;
+    for (std::size_t c = 0; c < obs::kCounterCount; ++c) {
+        const auto counter = static_cast<obs::Counter>(c);
+        const std::string name{obs::counter_name(counter)};
+        EXPECT_FALSE(name.empty());
+        EXPECT_NE(name, "?");
+        EXPECT_TRUE(names.insert(name).second) << "duplicate " << name;
+        EXPECT_EQ(obs::counter_deterministic(counter),
+                  c < obs::kFirstDiagCounter);
+    }
+}
+
+TEST(ObsCounter, AddsAreExactUnderConcurrency) {
+    obs::Sink sink;
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kPerThread = 10000;
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        workers.emplace_back([&] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i)
+                sink.add(obs::Counter::FaultsSimulated);
+        });
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(sink.value(obs::Counter::FaultsSimulated),
+              kThreads * kPerThread);
+}
+
+/// Deterministic counters and the aggregated span table must be
+/// identical for every thread count (DESIGN.md §11). This is the
+/// library-level form of the CLI acceptance check.
+TEST(ObsCounter, EngineTotalsAreThreadCountInvariant) {
+    const netlist::Circuit circuit = gen::suite_entry("dag500").build();
+
+    struct Totals {
+        std::vector<std::uint64_t> counters;
+        std::string normalized;
+    };
+    auto run = [&](unsigned threads) {
+        obs::Sink sink;
+
+        tpi::PlannerOptions popts;
+        popts.budget = 4;
+        popts.objective.num_patterns = 256;
+        popts.threads = threads;
+        popts.sink = &sink;
+        tpi::DpPlanner planner;
+        const tpi::Plan plan = planner.plan(circuit, popts);
+        EXPECT_FALSE(plan.truncated);
+
+        const auto sim = fault::random_pattern_coverage(
+            circuit, 512, 7, false, nullptr, threads, &sink);
+        EXPECT_FALSE(sim.truncated);
+
+        Totals totals;
+        for (std::size_t c = 0; c < obs::kFirstDiagCounter; ++c)
+            totals.counters.push_back(
+                sink.value(static_cast<obs::Counter>(c)));
+        obs::RunReport report;
+        report.command = "plan";
+        report.circuit = "dag500";
+        report.threads = threads;
+        totals.normalized =
+            obs::normalized_for_diff(obs::to_metrics_json(report, &sink));
+        return totals;
+    };
+
+    const Totals serial = run(1);
+    for (unsigned threads : {2u, 8u}) {
+        const Totals parallel = run(threads);
+        for (std::size_t c = 0; c < obs::kFirstDiagCounter; ++c)
+            EXPECT_EQ(parallel.counters[c], serial.counters[c])
+                << "counter "
+                << obs::counter_name(static_cast<obs::Counter>(c))
+                << " at threads=" << threads;
+        EXPECT_EQ(parallel.normalized, serial.normalized)
+            << "normalized metrics differ at threads=" << threads;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Disabled mode
+
+TEST(ObsDisabled, NullSinkSitesAllocateNothing) {
+    obs::Sink* sink = nullptr;
+    // Warm up whatever lazy state the first calls touch.
+    {
+        obs::Span warm(sink, "warmup");
+        obs::add(sink, obs::Counter::SimBlocks);
+    }
+    const std::size_t before = allocation_count();
+    for (int i = 0; i < 10000; ++i) {
+        obs::Span span(sink, "plan/region-dp");
+        obs::add(sink, obs::Counter::DpCellsFilled, 17);
+        obs::add(sink, obs::Counter::FaultsSimulated);
+        span.close();
+    }
+    EXPECT_EQ(allocation_count(), before)
+        << "disabled-mode instrumentation must not allocate";
+}
+
+// ---------------------------------------------------------------------
+// JSON schema
+
+TEST(ObsReport, MetricsJsonRoundTripsThroughStrictParser) {
+    obs::Sink sink;
+    {
+        obs::Span run(&sink, "lint/run");
+        obs::Span rule(&sink, "lint/rule/constant-net");
+    }
+    sink.add(obs::Counter::LintRulesRun, 5);
+    sink.add(obs::Counter::LintFindings, 3);
+    sink.add(obs::Counter::PoolSteals, 2);
+
+    obs::RunReport report;
+    report.command = "lint";
+    report.circuit = "lintdemo.bench";
+    report.threads = 2;
+    report.exit_code = 0;
+    report.wall_ms = 12.5;
+    report.add_num("findings", std::uint64_t{3});
+    report.add_str("mode", "strict \"quoted\"");
+    report.add_bool("clean", false);
+
+    const std::string text = obs::to_metrics_json(report, &sink);
+    obs::json::Value doc;
+    std::string error;
+    ASSERT_TRUE(obs::json::parse(text, doc, error)) << error << "\n"
+                                                    << text;
+    ASSERT_TRUE(doc.is_object());
+
+    const auto* schema = doc.find("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->string, "tpidp-run-report");
+    const auto* version = doc.find("version");
+    ASSERT_NE(version, nullptr);
+    EXPECT_EQ(version->number, obs::RunReport::kVersion);
+    EXPECT_EQ(doc.find("command")->string, "lint");
+    EXPECT_EQ(doc.find("truncated")->boolean, false);
+
+    // Outcome preserves insertion order and typed values (including
+    // escaped strings).
+    const auto* outcome = doc.find("outcome");
+    ASSERT_NE(outcome, nullptr);
+    ASSERT_TRUE(outcome->is_object());
+    ASSERT_EQ(outcome->object.size(), 3u);
+    EXPECT_EQ(outcome->object[0].first, "findings");
+    EXPECT_EQ(outcome->object[0].second.number, 3.0);
+    EXPECT_EQ(outcome->object[1].second.string, "strict \"quoted\"");
+    EXPECT_EQ(outcome->object[2].second.boolean, false);
+
+    // Counters: every deterministic counter appears, in enum order, with
+    // the sink's value; diag counters live under "diag".
+    const auto* counters = doc.find("counters");
+    ASSERT_NE(counters, nullptr);
+    ASSERT_EQ(counters->object.size(), obs::kFirstDiagCounter);
+    for (std::size_t c = 0; c < obs::kFirstDiagCounter; ++c) {
+        const auto counter = static_cast<obs::Counter>(c);
+        EXPECT_EQ(counters->object[c].first, obs::counter_name(counter));
+        EXPECT_EQ(counters->object[c].second.number,
+                  static_cast<double>(sink.value(counter)));
+    }
+    const auto* diag = doc.find("diag");
+    ASSERT_NE(diag, nullptr);
+    EXPECT_EQ(diag->find("pool_steals")->number, 2.0);
+    EXPECT_NE(diag->find("host_threads"), nullptr);
+
+    // Span table: one row per name, sorted.
+    const auto* spans = doc.find("spans");
+    ASSERT_NE(spans, nullptr);
+    ASSERT_TRUE(spans->is_array());
+    ASSERT_EQ(spans->array.size(), 2u);
+    EXPECT_EQ(spans->array[0].find("name")->string,
+              "lint/rule/constant-net");
+    EXPECT_EQ(spans->array[1].find("name")->string, "lint/run");
+    EXPECT_EQ(spans->array[1].find("count")->number, 1.0);
+}
+
+TEST(ObsReport, NullSinkStillProducesACompleteDocument) {
+    obs::RunReport report;
+    report.command = "sim";
+    report.circuit = "c17";
+    report.truncated = true;
+    report.exit_code = 5;
+    const std::string text = obs::to_metrics_json(report, nullptr);
+    obs::json::Value doc;
+    std::string error;
+    ASSERT_TRUE(obs::json::parse(text, doc, error)) << error;
+    EXPECT_EQ(doc.find("truncated")->boolean, true);
+    EXPECT_EQ(doc.find("exit_code")->number, 5.0);
+    EXPECT_EQ(doc.find("spans")->array.size(), 0u);
+}
+
+TEST(ObsReport, TraceJsonIsChromeLoadableShape) {
+    obs::Sink sink;
+    {
+        obs::Span outer(&sink, "plan/dp");
+        obs::Span inner(&sink, "plan/region-dp", /*detail=*/true);
+    }
+    const std::string text = obs::to_trace_json(sink);
+    obs::json::Value doc;
+    std::string error;
+    ASSERT_TRUE(obs::json::parse(text, doc, error)) << error << "\n"
+                                                    << text;
+    ASSERT_TRUE(doc.is_array());
+    ASSERT_EQ(doc.array.size(), 2u);
+    // Events are serialised in global open (seq) order, not close order.
+    EXPECT_EQ(doc.array[0].find("name")->string, "plan/dp");
+    EXPECT_EQ(doc.array[1].find("name")->string, "plan/region-dp");
+    for (const auto& event : doc.array) {
+        EXPECT_EQ(event.find("ph")->string, "X");
+        EXPECT_NE(event.find("pid"), nullptr);
+        EXPECT_NE(event.find("tid"), nullptr);
+        EXPECT_GE(event.find("ts")->number, 0.0);
+        EXPECT_GE(event.find("dur")->number, 0.0);
+        ASSERT_NE(event.find("args"), nullptr);
+        EXPECT_NE(event.find("args")->find("seq"), nullptr);
+    }
+    EXPECT_TRUE(doc.array[1].find("args")->find("detail")->boolean);
+}
+
+TEST(ObsReport, NormalizedDiffBlanksExactlyTheVolatileFields) {
+    obs::Sink sink;
+    { obs::Span span(&sink, "sim/run"); }
+    sink.add(obs::Counter::SimBlocks, 9);
+    sink.add(obs::Counter::PoolSteals, 4);
+
+    obs::RunReport a;
+    a.command = "sim";
+    a.circuit = "c17";
+    a.threads = 1;
+    a.wall_ms = 1.25;
+    obs::RunReport b = a;
+    b.threads = 8;
+    b.wall_ms = 99.0;
+
+    const std::string na =
+        obs::normalized_for_diff(obs::to_metrics_json(a, &sink));
+    const std::string nb =
+        obs::normalized_for_diff(obs::to_metrics_json(b, &sink));
+    EXPECT_EQ(na, nb);
+    // The deterministic skeleton survives normalisation.
+    EXPECT_NE(na.find("\"sim_blocks\": 9"), std::string::npos);
+    EXPECT_NE(na.find("\"threads\": 0"), std::string::npos);
+    EXPECT_NE(na.find("\"pool_steals\": 0"), std::string::npos);
+    // Different deterministic content still diffs.
+    sink.add(obs::Counter::SimBlocks, 1);
+    const std::string nc =
+        obs::normalized_for_diff(obs::to_metrics_json(a, &sink));
+    EXPECT_NE(na, nc);
+}
+
+TEST(ObsJson, ParserRejectsMalformedDocuments) {
+    obs::json::Value doc;
+    std::string error;
+    EXPECT_FALSE(obs::json::parse("", doc, error));
+    EXPECT_FALSE(obs::json::parse("{", doc, error));
+    EXPECT_FALSE(obs::json::parse("{} trailing", doc, error));
+    EXPECT_FALSE(obs::json::parse("{\"a\": 01}", doc, error));
+    EXPECT_FALSE(obs::json::parse("[1,]", doc, error));
+    EXPECT_FALSE(obs::json::parse("\"unterminated", doc, error));
+    EXPECT_TRUE(obs::json::parse("{\"a\": [1, 2.5e-3, null, true]}", doc,
+                                 error))
+        << error;
+    EXPECT_EQ(doc.find("a")->array.size(), 4u);
+}
+
+// Lint wiring sanity: the per-rule spans and counters line up with the
+// report the engine returned.
+TEST(ObsLint, RunLintRecordsPerRuleSpansAndTotals) {
+    const netlist::Circuit circuit = gen::suite_entry("c17").build();
+    obs::Sink sink;
+    lint::LintOptions options;
+    options.sink = &sink;
+    const lint::LintReport report = lint::run_lint(circuit, options);
+    EXPECT_EQ(sink.value(obs::Counter::LintFindings),
+              report.findings.size());
+    EXPECT_GT(sink.value(obs::Counter::LintRulesRun), 0u);
+    const auto rows = obs::aggregate_spans(sink);
+    std::uint64_t rule_spans = 0;
+    for (const auto& row : rows)
+        if (row.name.rfind("lint/rule/", 0) == 0) rule_spans += row.count;
+    EXPECT_EQ(rule_spans, sink.value(obs::Counter::LintRulesRun));
+}
+
+}  // namespace

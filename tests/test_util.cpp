@@ -231,4 +231,21 @@ TEST(Timer, MeasuresNonNegativeTime) {
     EXPECT_GE(timer.millis(), 0.0);
 }
 
+TEST(Timer, ElapsedNeverDecreasesAcrossRepeatedReads) {
+    // Regression: Timer must sit on a steady clock (enforced by a
+    // static_assert in timer.hpp). On a non-steady clock an NTP step or
+    // DST change could make elapsed time jump backwards between reads.
+    Timer timer;
+    double prev = timer.seconds();
+    EXPECT_GE(prev, 0.0);
+    for (int i = 0; i < 10000; ++i) {
+        const double now = timer.seconds();
+        ASSERT_GE(now, prev) << "elapsed time went backwards at read " << i;
+        prev = now;
+    }
+    timer.reset();
+    EXPECT_GE(timer.seconds(), 0.0);
+    EXPECT_LE(timer.seconds(), prev + 1.0);  // reset actually restarted
+}
+
 }  // namespace

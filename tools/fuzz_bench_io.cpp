@@ -16,6 +16,14 @@
 //   are well-formed: registered rules, valid node ids, names parallel
 //   to nodes).
 //
+// Successfully parsed mutants additionally exercise the observability
+// layer the way `tpidp --metrics-json` does: lint runs again with a
+// Sink attached — half the time under a tiny deterministic step
+// deadline to force the truncated (exit-5) path — and the emitted run
+// report must parse under the strict obs::json grammar, its in-band
+// "truncated" flag must agree with exit code 5, and the Chrome trace
+// must be a well-formed event array.
+//
 // The run is fully reproducible from --seed; on a contract violation the
 // offending input is printed together with the seed and iteration so the
 // failure can be replayed. Exit status is 0 on success, 1 on violation,
@@ -35,6 +43,10 @@
 #include "netlist/bench_io.hpp"
 #include "netlist/validate.hpp"
 #include "netlist/verilog_io.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
+#include "util/deadline.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -187,18 +199,76 @@ std::string lint_contract(const netlist::Circuit& circuit) {
     return {};
 }
 
+/// Run lint once more with a Sink attached — half the time under a tiny
+/// step deadline so the truncated path is hit deterministically — and
+/// build the same run report the CLI emits for --metrics-json. The
+/// contract: the report parses under the strict JSON grammar, the
+/// in-band "truncated" flag agrees with exit code 5, the trace is a
+/// well-formed event array, and diff normalisation is idempotent.
+/// Returns a description of the violation, or an empty string.
+std::string metrics_contract(const netlist::Circuit& circuit,
+                             util::Rng& rng) {
+    obs::Sink sink;
+    lint::LintOptions options;
+    options.sink = &sink;
+    util::Deadline deadline = util::Deadline::steps(rng.below(4) + 1);
+    if (rng.below(2) == 0) options.deadline = &deadline;
+    const lint::LintReport lint_report = lint::run_lint(circuit, options);
+
+    obs::RunReport report;
+    report.command = "lint";
+    report.circuit = "fuzz";
+    report.threads = 1;
+    report.truncated = lint_report.truncated;
+    report.exit_code = lint_report.truncated ? 5 : 0;
+    report.add_num("findings",
+                   static_cast<std::uint64_t>(lint_report.findings.size()));
+
+    const std::string metrics = obs::to_metrics_json(report, &sink);
+    obs::json::Value doc;
+    std::string error;
+    if (!obs::json::parse(metrics, doc, error))
+        return "metrics JSON rejected by strict parser: " + error;
+    const obs::json::Value* truncated = doc.find("truncated");
+    if (truncated == nullptr ||
+        truncated->kind != obs::json::Value::Kind::Bool)
+        return "metrics JSON lacks a boolean 'truncated' field";
+    const obs::json::Value* exit_code = doc.find("exit_code");
+    if (exit_code == nullptr ||
+        exit_code->kind != obs::json::Value::Kind::Number)
+        return "metrics JSON lacks a numeric 'exit_code' field";
+    if (truncated->boolean != (exit_code->number == 5.0))
+        return "'truncated' flag disagrees with exit code 5";
+    if (lint_report.truncated && !truncated->boolean)
+        return "truncated lint run emitted 'truncated': false";
+
+    obs::json::Value trace_doc;
+    if (!obs::json::parse(obs::to_trace_json(sink), trace_doc, error))
+        return "trace JSON rejected by strict parser: " + error;
+    if (trace_doc.kind != obs::json::Value::Kind::Array)
+        return "trace JSON is not an event array";
+
+    const std::string normalized = obs::normalized_for_diff(metrics);
+    if (obs::normalized_for_diff(normalized) != normalized)
+        return "normalized_for_diff is not idempotent";
+    return {};
+}
+
 /// Feed one input through a reader, then through the lint engine. Sets
 /// `rejected` when the reader threw one of the two allowed error types;
 /// returns a description of the contract violation, or an empty string
 /// when the contract held.
 std::string check_one(const std::string& text, bool verilog,
-                      netlist::ValidateMode mode, bool& rejected) {
+                      netlist::ValidateMode mode, bool& rejected,
+                      util::Rng& rng) {
     try {
         netlist::Diagnostics diags;
         const netlist::Circuit circuit =
             verilog ? netlist::read_verilog_string(text, mode, &diags)
                     : netlist::read_bench_string(text, "fuzz", mode, &diags);
-        return lint_contract(circuit);
+        std::string violation = lint_contract(circuit);
+        if (violation.empty()) violation = metrics_contract(circuit, rng);
+        return violation;
     } catch (const ParseError&) {
         rejected = true;
         return {};
@@ -277,7 +347,7 @@ int main(int argc, char** argv) {
         for (const auto mode : {tpi::netlist::ValidateMode::Strict,
                                 tpi::netlist::ValidateMode::Lenient}) {
             const std::string violation =
-                check_one(text, base.verilog, mode, was_rejected);
+                check_one(text, base.verilog, mode, was_rejected, rng);
             if (!violation.empty()) {
                 std::cerr << "CONTRACT VIOLATION (seed " << seed
                           << ", iteration " << it << ", "

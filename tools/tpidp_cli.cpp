@@ -5,7 +5,9 @@
 //   tpidp lint    <circuit> [options]   static analysis (rule findings;
 //                                       --json for machine output)
 //   tpidp faultsim <circuit> [options]  pseudo-random fault simulation
+//                                       (alias: sim)
 //   tpidp tpi     <circuit> [options]   plan + insert test points
+//                                       (alias: plan)
 //   tpidp atpg    <circuit> [options]   PODEM over the fault universe
 //   tpidp bist    <circuit> [options]   signature-based BIST session
 //                                       (--width sets the MISR width)
@@ -13,7 +15,8 @@
 // <circuit> is a .bench or .v file path (anything containing '.' or '/') or
 // the name of a built-in suite circuit. Run `tpidp --help` for the full
 // option list, the strict/lenient validation modes, the deadline budget,
-// and the documented exit codes.
+// the observability outputs (--trace, --metrics-json), and the documented
+// exit codes.
 
 #include <charconv>
 #include <cstring>
@@ -34,11 +37,14 @@
 #include "netlist/transform.hpp"
 #include "netlist/validate.hpp"
 #include "netlist/verilog_io.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
 #include "testability/cop.hpp"
 #include "testability/detect.hpp"
 #include "tpi/planners.hpp"
 #include "util/deadline.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -66,12 +72,28 @@ struct Args {
     bool json = false;         // lint: machine-readable output
     bool prune_lint = false;   // tpi: lint-based candidate pruning
     std::size_t max_findings = 64;  // lint: per-rule finding cap
+    std::string trace;         // Chrome trace_event JSON output path
+    std::string metrics_json;  // run-report JSON output path
+};
+
+/// Per-run observability state: one sink shared by every engine the
+/// command drives, plus the report skeleton. The sink is only handed out
+/// when --trace or --metrics-json asked for it, so a plain run keeps the
+/// engines on their null-sink (uninstrumented) path.
+struct RunContext {
+    obs::Sink sink;
+    obs::RunReport report;
+    util::Timer timer;
+    bool enabled = false;
+
+    obs::Sink* sink_ptr() { return enabled ? &sink : nullptr; }
 };
 
 void print_usage(std::ostream& os) {
     os << "usage: tpidp <suite|stats|lint|faultsim|tpi|atpg|bist> "
           "[circuit] [options]\n"
-          "       tpidp --help\n";
+          "       tpidp --help\n"
+          "       (aliases: plan = tpi, sim = faultsim)\n";
 }
 
 void print_help() {
@@ -101,6 +123,12 @@ void print_help() {
         "  --deadline-ms T   wall-clock budget; engines stop at T ms and\n"
         "                    return their best-so-far result, marked\n"
         "                    \"truncated\"                  (default: none)\n"
+        "  --trace FILE      write a Chrome trace_event JSON of the run's\n"
+        "                    phase spans (chrome://tracing, Perfetto)\n"
+        "  --metrics-json FILE\n"
+        "                    write the machine-readable run report\n"
+        "                    (schema \"tpidp-run-report\" v1: outcome,\n"
+        "                    counters, span table); '-' = stdout\n"
         "\nexit codes:\n"
         "  0  success\n"
         "  1  internal error\n"
@@ -169,6 +197,10 @@ Args parse_args(int argc, char** argv, int first) {
             args.prune_lint = true;
         else if (arg == "--max-findings")
             args.max_findings = parse_number<std::size_t>(arg, next());
+        else if (arg == "--trace")
+            args.trace = next();
+        else if (arg == "--metrics-json")
+            args.metrics_json = next();
         else if (arg == "--strict")
             args.mode = netlist::ValidateMode::Strict;
         else if (arg == "--lenient")
@@ -265,32 +297,47 @@ int cmd_stats(const Args& args) {
     return 0;
 }
 
-int cmd_lint(const Args& args) {
+int cmd_lint(const Args& args, RunContext& ctx) {
     const netlist::Circuit c = load_circuit(args);
     auto deadline = make_deadline(args);
     lint::LintOptions options;
     options.max_findings_per_rule = args.max_findings;
     options.deadline = deadline ? &*deadline : nullptr;
+    options.sink = ctx.sink_ptr();
     const lint::LintReport report = lint::run_lint(c, options);
     if (args.json)
         lint::write_json(std::cout, report, c);
     else
         lint::write_text(std::cout, report, c);
+    ctx.report.add_num("findings",
+                       static_cast<std::uint64_t>(report.findings.size()));
+    ctx.report.add_num("errors",
+                       static_cast<std::uint64_t>(
+                           report.count(lint::Severity::Error)));
+    ctx.report.add_num("warnings",
+                       static_cast<std::uint64_t>(
+                           report.count(lint::Severity::Warning)));
     const bool deadline_hit = deadline && deadline->already_expired();
     return note_truncation(report.truncated && deadline_hit, args);
 }
 
-int cmd_faultsim(const Args& args) {
+int cmd_faultsim(const Args& args, RunContext& ctx) {
     const netlist::Circuit c = load_circuit(args);
     auto deadline = make_deadline(args);
     util::Timer timer;
     const auto result = fault::random_pattern_coverage(
         c, args.patterns, args.seed, false,
-        deadline ? &*deadline : nullptr, args.threads);
+        deadline ? &*deadline : nullptr, args.threads, ctx.sink_ptr());
     std::cout << "coverage @" << result.patterns_applied << " patterns: "
               << util::fmt_percent(result.coverage) << "% ("
               << result.undetected << " undetected, "
               << util::fmt_fixed(timer.seconds(), 2) << " s)\n";
+    ctx.report.add_num("coverage", result.coverage);
+    ctx.report.add_num(
+        "patterns_applied",
+        static_cast<std::uint64_t>(result.patterns_applied));
+    ctx.report.add_num("undetected",
+                       static_cast<std::uint64_t>(result.undetected));
     const int exit_code = note_truncation(result.truncated, args);
     const auto faults = fault::collapse_faults(c);
     for (double target : {0.9, 0.99, 0.999}) {
@@ -302,7 +349,7 @@ int cmd_faultsim(const Args& args) {
     return exit_code;
 }
 
-int cmd_tpi(const Args& args) {
+int cmd_tpi(const Args& args, RunContext& ctx) {
     const netlist::Circuit c = load_circuit(args);
     DpPlanner dp;
     GreedyPlanner greedy;
@@ -322,6 +369,7 @@ int cmd_tpi(const Args& args) {
     options.deadline = deadline ? &*deadline : nullptr;
     options.threads = args.threads;
     options.prune_via_lint = args.prune_lint;
+    options.sink = ctx.sink_ptr();
 
     util::Timer timer;
     const Plan plan = planner->plan(c, options);
@@ -338,12 +386,19 @@ int cmd_tpi(const Args& args) {
 
     const auto dft = netlist::apply_test_points(c, plan.points);
     const auto before = fault::random_pattern_coverage(
-        c, args.patterns, args.seed, false, nullptr, args.threads);
+        c, args.patterns, args.seed, false, nullptr, args.threads,
+        ctx.sink_ptr());
     const auto after = fault::random_pattern_coverage(
         dft.circuit, args.patterns, args.seed, false, nullptr,
-        args.threads);
+        args.threads, ctx.sink_ptr());
     std::cout << "coverage: " << util::fmt_percent(before.coverage)
               << "% -> " << util::fmt_percent(after.coverage) << "%\n";
+    ctx.report.add_str("planner", args.planner);
+    ctx.report.add_num("points",
+                       static_cast<std::uint64_t>(plan.points.size()));
+    ctx.report.add_num("predicted_score", plan.predicted_score);
+    ctx.report.add_num("coverage_before", before.coverage);
+    ctx.report.add_num("coverage_after", after.coverage);
 
     if (!args.out.empty()) {
         std::ofstream out(args.out);
@@ -361,13 +416,14 @@ int cmd_tpi(const Args& args) {
     return exit_code;
 }
 
-int cmd_atpg(const Args& args) {
+int cmd_atpg(const Args& args, RunContext& ctx) {
     const netlist::Circuit c = load_circuit(args);
     const auto faults = fault::collapse_faults(c);
     auto deadline = make_deadline(args);
     atpg::AtpgOptions options;
     options.backtrack_limit = args.limit;
     options.deadline = deadline ? &*deadline : nullptr;
+    options.sink = ctx.sink_ptr();
     util::Timer timer;
     const auto summary = atpg::run_atpg(c, faults, options);
     std::cout << faults.size() << " collapsed faults: "
@@ -376,6 +432,14 @@ int cmd_atpg(const Args& args) {
     if (summary.skipped > 0)
         std::cout << ", " << summary.skipped << " skipped";
     std::cout << " (" << util::fmt_fixed(timer.seconds(), 2) << " s)\n";
+    ctx.report.add_num("detected",
+                       static_cast<std::uint64_t>(summary.detected));
+    ctx.report.add_num("redundant",
+                       static_cast<std::uint64_t>(summary.redundant));
+    ctx.report.add_num("aborted",
+                       static_cast<std::uint64_t>(summary.aborted));
+    ctx.report.add_num("skipped",
+                       static_cast<std::uint64_t>(summary.skipped));
     const int exit_code = note_truncation(summary.truncated, args);
     // Cube statistics.
     std::size_t specified = 0;
@@ -392,7 +456,7 @@ int cmd_atpg(const Args& args) {
     return exit_code;
 }
 
-int cmd_bist(const Args& args) {
+int cmd_bist(const Args& args, RunContext& ctx) {
     const netlist::Circuit c = load_circuit(args);
     const auto faults = fault::collapse_faults(c);
     sim::RandomPatternSource source(args.seed);
@@ -411,28 +475,105 @@ int cmd_bist(const Args& args) {
               << "%)\nsignature coverage:     "
               << util::fmt_percent(result.signature_coverage(faults))
               << "%\n";
+    ctx.report.add_num(
+        "strobe_detected",
+        static_cast<std::uint64_t>(result.strobe_detected));
+    ctx.report.add_num("aliased",
+                       static_cast<std::uint64_t>(result.aliased));
+    ctx.report.add_num("signature_coverage",
+                       result.signature_coverage(faults));
     return 0;
+}
+
+/// Copy the shared thread pool's scheduling diagnostics into the sink.
+/// These are process-lifetime totals and inherently thread-dependent, so
+/// they live in the report's "diag" section.
+void snapshot_pool_stats(obs::Sink& sink) {
+    const util::ThreadPool::Stats stats =
+        util::ThreadPool::shared().stats();
+    sink.add(obs::Counter::PoolBatches, stats.batches);
+    sink.add(obs::Counter::PoolTasks, stats.tasks);
+    sink.add(obs::Counter::PoolSteals, stats.steals);
+}
+
+/// Emit --trace / --metrics-json after the command has run (including
+/// truncated and error paths, so a metrics consumer always gets a
+/// parseable document whose exit_code/truncated fields tell the story).
+void emit_observability(const Args& args, const std::string& command,
+                        RunContext& ctx, int exit_code) {
+    if (!ctx.enabled) return;
+    snapshot_pool_stats(ctx.sink);
+    ctx.report.command = command;
+    // Basename only: the report must not vary with where the checkout
+    // lives (the golden-file tests diff it byte-for-byte).
+    const std::size_t slash = args.circuit.find_last_of('/');
+    ctx.report.circuit = slash == std::string::npos
+                             ? args.circuit
+                             : args.circuit.substr(slash + 1);
+    ctx.report.threads = util::ThreadPool::resolve(args.threads);
+    ctx.report.exit_code = exit_code;
+    ctx.report.truncated = exit_code == kExitTruncated;
+    ctx.report.wall_ms = ctx.timer.seconds() * 1000.0;
+
+    const auto write_to = [](const std::string& path, auto&& writer) {
+        if (path.empty()) return;
+        if (path == "-") {
+            writer(std::cout);
+            return;
+        }
+        std::ofstream out(path);
+        if (!out.good()) {
+            std::cerr << "cannot write " << path << "\n";
+            return;
+        }
+        writer(out);
+    };
+    write_to(args.metrics_json, [&](std::ostream& os) {
+        obs::write_metrics_json(os, ctx.report, &ctx.sink);
+    });
+    write_to(args.trace, [&](std::ostream& os) {
+        obs::write_trace_json(os, ctx.sink);
+    });
+}
+
+/// Dispatch one subcommand. `command` is already canonicalised
+/// (plan -> tpi, sim -> faultsim).
+int run_command(const std::string& command, const Args& args,
+                RunContext& ctx) {
+    if (command == "stats") return cmd_stats(args);
+    if (command == "lint") return cmd_lint(args, ctx);
+    if (command == "faultsim") return cmd_faultsim(args, ctx);
+    if (command == "tpi") return cmd_tpi(args, ctx);
+    if (command == "atpg") return cmd_atpg(args, ctx);
+    if (command == "bist") return cmd_bist(args, ctx);
+    usage_error("unknown command '" + command + "'");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
     if (argc < 2) usage();
-    const std::string command = argv[1];
+    std::string command = argv[1];
     if (command == "--help" || command == "-h" || command == "help") {
         print_help();
         return 0;
     }
+    if (command == "plan") command = "tpi";
+    if (command == "sim") command = "faultsim";
     try {
         if (command == "suite") return cmd_suite();
         const Args args = parse_args(argc, argv, 2);
-        if (command == "stats") return cmd_stats(args);
-        if (command == "lint") return cmd_lint(args);
-        if (command == "faultsim") return cmd_faultsim(args);
-        if (command == "tpi") return cmd_tpi(args);
-        if (command == "atpg") return cmd_atpg(args);
-        if (command == "bist") return cmd_bist(args);
-        usage_error("unknown command '" + command + "'");
+        RunContext ctx;
+        ctx.enabled = !args.trace.empty() || !args.metrics_json.empty();
+        int exit_code;
+        try {
+            exit_code = run_command(command, args, ctx);
+        } catch (const tpi::Error& e) {
+            std::cerr << "error: " << e.what() << "\n";
+            exit_code = static_cast<int>(e.code());
+        }
+        emit_observability(args, command, ctx, exit_code);
+        return exit_code;
     } catch (const tpi::Error& e) {
         std::cerr << "error: " << e.what() << "\n";
         return static_cast<int>(e.code());
