@@ -1,0 +1,294 @@
+// Table 12 — the incremental evaluation engine (delta-COP candidate
+// scoring) against the reference evaluator.
+//
+// Three measurements per circuit, each timed over repeated runs (best
+// of R, to shed scheduler noise):
+//
+//  * greedy end-to-end: the full GreedyPlanner run with the engine off
+//    (reference: one apply_test_points + compute_cop per candidate) vs
+//    on, serial and multi-threaded. Plans are checked identical — the
+//    speedup is for the *same* answer.
+//  * DP end-to-end: the round-structured DpPlanner, whose analyse phase
+//    (per-round COP + final scoring) routes through the engine.
+//  * per-candidate microbenchmark: score_candidate vs evaluate_plan on
+//    a fixed random candidate set, with the engine's touched-node
+//    counters alongside — the O(touched cone) vs O(circuit) story in
+//    numbers.
+//
+// Unlike the google-benchmark tables, this harness has a custom main:
+// it writes the machine-readable BENCH_5.json consumed by
+// ci/check_perf.py (the perf-smoke CI gate: greedy end-to-end speedup
+// >= 3x on the largest circuit, plans identical everywhere).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "gen/benchmarks.hpp"
+#include "obs/obs.hpp"
+#include "tpi/eval_engine.hpp"
+#include "tpi/evaluate.hpp"
+#include "tpi/planners.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tpi;
+using netlist::Circuit;
+using netlist::NodeId;
+using netlist::TestPoint;
+using netlist::TpKind;
+
+double now_ms() {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/// Best-of-R wall time of `fn` in milliseconds.
+template <typename Fn>
+double best_of(int repeats, Fn&& fn) {
+    double best = 1e300;
+    for (int r = 0; r < repeats; ++r) {
+        const double t0 = now_ms();
+        fn();
+        best = std::min(best, now_ms() - t0);
+    }
+    return best;
+}
+
+struct GreedyRow {
+    double reference_ms = 0.0;
+    double engine_ms = 0.0;
+    double engine_mt_ms = 0.0;
+    double speedup = 0.0;
+    bool plans_identical = false;
+};
+
+struct DpRow {
+    double reference_ms = 0.0;
+    double engine_ms = 0.0;
+    double speedup = 0.0;
+    bool plans_identical = false;
+};
+
+struct CandidateRow {
+    double oracle_us = 0.0;
+    double engine_us = 0.0;
+    double speedup = 0.0;
+    double avg_nodes_touched = 0.0;
+    double touched_fraction = 0.0;
+};
+
+struct CircuitRow {
+    std::string name;
+    std::size_t nodes = 0;
+    GreedyRow greedy;
+    DpRow dp;
+    CandidateRow candidate;
+};
+
+PlannerOptions base_options(int budget) {
+    PlannerOptions options;
+    options.budget = budget;
+    options.objective.num_patterns = 4096;
+    return options;
+}
+
+GreedyRow run_greedy(const Circuit& circuit, int repeats) {
+    GreedyRow row;
+    GreedyPlanner planner;
+    PlannerOptions options = base_options(8);
+    // Quality-oriented shortlist: with a wide pool the planner's time
+    // goes into exact candidate scoring — the phase the engine
+    // accelerates — rather than proxy ranking.
+    options.greedy_pool = 128;
+
+    Plan reference;
+    options.incremental_eval = false;
+    row.reference_ms =
+        best_of(repeats, [&] { reference = planner.plan(circuit, options); });
+
+    Plan engine;
+    options.incremental_eval = true;
+    options.threads = 1;
+    row.engine_ms =
+        best_of(repeats, [&] { engine = planner.plan(circuit, options); });
+
+    Plan engine_mt;
+    options.threads = 0;  // hardware concurrency
+    row.engine_mt_ms =
+        best_of(repeats, [&] { engine_mt = planner.plan(circuit, options); });
+
+    row.speedup = row.reference_ms / row.engine_ms;
+    row.plans_identical =
+        reference.points == engine.points &&
+        reference.points == engine_mt.points &&
+        reference.predicted_score == engine.predicted_score &&
+        reference.predicted_score == engine_mt.predicted_score;
+    return row;
+}
+
+DpRow run_dp(const Circuit& circuit, int repeats) {
+    DpRow row;
+    DpPlanner planner;
+    PlannerOptions options = base_options(8);
+
+    Plan reference;
+    options.incremental_eval = false;
+    row.reference_ms =
+        best_of(repeats, [&] { reference = planner.plan(circuit, options); });
+
+    Plan engine;
+    options.incremental_eval = true;
+    row.engine_ms =
+        best_of(repeats, [&] { engine = planner.plan(circuit, options); });
+
+    row.speedup = row.reference_ms / row.engine_ms;
+    row.plans_identical =
+        reference.points == engine.points &&
+        reference.predicted_score == engine.predicted_score;
+    return row;
+}
+
+CandidateRow run_candidates(const Circuit& circuit, int repeats) {
+    CandidateRow row;
+    const fault::CollapsedFaults faults = fault::singleton_faults(circuit);
+    const Objective objective = base_options(8).objective;
+
+    constexpr TpKind kKinds[] = {TpKind::Observe, TpKind::ControlAnd,
+                                TpKind::ControlOr, TpKind::ControlXor};
+    std::vector<TestPoint> candidates;
+    util::Rng rng(99);
+    for (int i = 0; i < 64; ++i) {
+        const NodeId node{
+            static_cast<std::uint32_t>(rng.below(circuit.node_count()))};
+        candidates.push_back({node, kKinds[rng.below(4)]});
+    }
+
+    const double oracle_ms = best_of(repeats, [&] {
+        double sum = 0.0;
+        for (const TestPoint& tp : candidates)
+            sum += evaluate_plan(circuit, faults, {{tp}}, objective).score;
+        if (sum < 0.0) std::abort();  // keep the loop observable
+    });
+
+    obs::Sink sink;
+    EvalEngine engine(circuit, faults, objective, &sink);
+    const double engine_ms = best_of(repeats, [&] {
+        double sum = 0.0;
+        for (const TestPoint& tp : candidates)
+            sum += engine.score_candidate(tp);
+        if (sum < 0.0) std::abort();
+    });
+
+    const double evals = static_cast<double>(
+        sink.value(obs::Counter::EngineEvaluations));
+    row.oracle_us = oracle_ms * 1000.0 / candidates.size();
+    row.engine_us = engine_ms * 1000.0 / candidates.size();
+    row.speedup = row.oracle_us / row.engine_us;
+    row.avg_nodes_touched =
+        evals > 0.0
+            ? static_cast<double>(
+                  sink.value(obs::Counter::EngineNodesTouched)) /
+                  evals
+            : 0.0;
+    row.touched_fraction =
+        row.avg_nodes_touched / static_cast<double>(circuit.node_count());
+    return row;
+}
+
+std::string json_bool(bool b) { return b ? "true" : "false"; }
+
+std::string fmt(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.4f", v);
+    return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::string out_path =
+        argc > 1 ? argv[1] : "results/BENCH_5.json";
+    const int repeats = argc > 2 ? std::atoi(argv[2]) : 3;
+
+    // dag2000 is the largest suite circuit — the acceptance gate.
+    const std::vector<std::string> names = {"cmp32", "dag500", "dag2000"};
+    std::vector<CircuitRow> rows;
+    for (const std::string& name : names) {
+        const Circuit circuit = gen::suite_entry(name).build();
+        CircuitRow row;
+        row.name = name;
+        row.nodes = circuit.node_count();
+        std::cerr << "bench_t12: " << name << " (" << row.nodes
+                  << " nodes)\n";
+        row.greedy = run_greedy(circuit, repeats);
+        row.dp = run_dp(circuit, repeats);
+        row.candidate = run_candidates(circuit, repeats);
+        std::cerr << "  greedy " << fmt(row.greedy.reference_ms)
+                  << " ms -> " << fmt(row.greedy.engine_ms) << " ms ("
+                  << fmt(row.greedy.speedup) << "x, mt "
+                  << fmt(row.greedy.engine_mt_ms) << " ms), plans "
+                  << (row.greedy.plans_identical ? "identical"
+                                                 : "DIVERGED")
+                  << "\n  dp     " << fmt(row.dp.reference_ms)
+                  << " ms -> " << fmt(row.dp.engine_ms) << " ms ("
+                  << fmt(row.dp.speedup) << "x)\n  cand   "
+                  << fmt(row.candidate.oracle_us) << " us -> "
+                  << fmt(row.candidate.engine_us) << " us ("
+                  << fmt(row.candidate.speedup) << "x), avg touched "
+                  << fmt(row.candidate.avg_nodes_touched) << " nodes ("
+                  << fmt(100.0 * row.candidate.touched_fraction)
+                  << "% of circuit)\n";
+        rows.push_back(row);
+    }
+
+    std::ostringstream json;
+    json << "{\n  \"schema\": \"tpidp-bench-t12\",\n  \"version\": 1,\n"
+         << "  \"largest\": \"" << names.back() << "\",\n"
+         << "  \"circuits\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const CircuitRow& r = rows[i];
+        json << "    {\n      \"name\": \"" << r.name << "\",\n"
+             << "      \"nodes\": " << r.nodes << ",\n"
+             << "      \"greedy\": {\"reference_ms\": "
+             << fmt(r.greedy.reference_ms)
+             << ", \"engine_ms\": " << fmt(r.greedy.engine_ms)
+             << ", \"engine_mt_ms\": " << fmt(r.greedy.engine_mt_ms)
+             << ", \"speedup\": " << fmt(r.greedy.speedup)
+             << ", \"plans_identical\": "
+             << json_bool(r.greedy.plans_identical) << "},\n"
+             << "      \"dp\": {\"reference_ms\": "
+             << fmt(r.dp.reference_ms)
+             << ", \"engine_ms\": " << fmt(r.dp.engine_ms)
+             << ", \"speedup\": " << fmt(r.dp.speedup)
+             << ", \"plans_identical\": "
+             << json_bool(r.dp.plans_identical) << "},\n"
+             << "      \"candidate\": {\"oracle_us\": "
+             << fmt(r.candidate.oracle_us)
+             << ", \"engine_us\": " << fmt(r.candidate.engine_us)
+             << ", \"speedup\": " << fmt(r.candidate.speedup)
+             << ", \"avg_nodes_touched\": "
+             << fmt(r.candidate.avg_nodes_touched)
+             << ", \"touched_fraction\": "
+             << fmt(r.candidate.touched_fraction) << "}\n    }"
+             << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "bench_t12: cannot write " << out_path << "\n";
+        return 1;
+    }
+    out << json.str();
+    std::cerr << "bench_t12: wrote " << out_path << "\n";
+    return 0;
+}

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate over the bench_t12 report (results/BENCH_5.json).
+
+The incremental evaluation engine must (a) produce bit-identical plans
+to the reference evaluator on every benchmark circuit, and (b) keep the
+greedy end-to-end speedup on the largest circuit above the floor. The
+floor is deliberately below the measured numbers (7x on dag2000 on a
+quiet machine) so the gate catches real regressions, not CI noise.
+
+Usage: check_perf.py [report.json] [--min-speedup X]
+Exit 0 on pass, 1 on failure or malformed report.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_perf: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv: list[str]) -> None:
+    path = "results/BENCH_5.json"
+    min_speedup = 3.0
+    args = argv[1:]
+    while args:
+        arg = args.pop(0)
+        if arg == "--min-speedup":
+            if not args:
+                fail("--min-speedup needs a value")
+            min_speedup = float(args.pop(0))
+        else:
+            path = arg
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(f"cannot read {path}: {e}")
+
+    if report.get("schema") != "tpidp-bench-t12":
+        fail(f"unexpected schema {report.get('schema')!r}")
+    circuits = report.get("circuits", [])
+    if not circuits:
+        fail("report lists no circuits")
+    largest = report.get("largest")
+
+    ok = True
+    for row in circuits:
+        name = row.get("name", "?")
+        for mode in ("greedy", "dp"):
+            if not row[mode]["plans_identical"]:
+                print(f"check_perf: {name}: {mode} plans DIVERGED "
+                      "between engine and reference", file=sys.stderr)
+                ok = False
+        speedup = row["greedy"]["speedup"]
+        gated = name == largest
+        status = "gate" if gated else "info"
+        print(f"check_perf: {name}: greedy {speedup:.2f}x "
+              f"(engine {row['greedy']['engine_ms']:.1f} ms vs "
+              f"reference {row['greedy']['reference_ms']:.1f} ms) "
+              f"[{status}]")
+        if gated and speedup < min_speedup:
+            print(f"check_perf: {name}: greedy speedup {speedup:.2f}x "
+                  f"below the {min_speedup:.1f}x floor", file=sys.stderr)
+            ok = False
+
+    if not ok:
+        sys.exit(1)
+    print("check_perf: PASS")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -46,7 +46,21 @@ public:
           fval_(circuit.node_count(), 0),
           val_stamp_(circuit.node_count(), 0),
           sched_stamp_(circuit.node_count(), 0),
-          bucket_(static_cast<std::size_t>(circuit.depth()) + 1) {}
+          bucket_(static_cast<std::size_t>(circuit.depth()) + 1) {
+        // Pre-size the hot-loop scratch so steady-state propagation
+        // never allocates: the fanin scratch to the widest gate, each
+        // level bucket to the number of nodes on that level (the most a
+        // cone can schedule there).
+        std::size_t max_fanin = 0;
+        std::vector<std::size_t> per_level(bucket_.size(), 0);
+        for (NodeId v : circuit.all_nodes()) {
+            max_fanin = std::max(max_fanin, circuit.fanins(v).size());
+            ++per_level[static_cast<std::size_t>(circuit.level(v))];
+        }
+        fanin_scratch_.reserve(max_fanin);
+        for (std::size_t lv = 0; lv < bucket_.size(); ++lv)
+            bucket_[lv].reserve(per_level[lv]);
+    }
 
     /// Inject `fault` against the 64 good-machine patterns in
     /// `good_values` and propagate through its fanout cone. Returns the

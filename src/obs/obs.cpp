@@ -27,6 +27,10 @@ std::string_view counter_name(Counter counter) {
         case Counter::CandidatesConsidered: return "candidates_considered";
         case Counter::CandidatesPruned: return "candidates_pruned";
         case Counter::GreedyEvaluations: return "greedy_evaluations";
+        case Counter::EngineEvaluations: return "engine_evaluations";
+        case Counter::EngineNodesTouched: return "engine_nodes_touched";
+        case Counter::EngineRollbacks: return "engine_rollbacks";
+        case Counter::EngineCommits: return "engine_commits";
         case Counter::LintRulesRun: return "lint_rules_run";
         case Counter::LintFindings: return "lint_findings";
         case Counter::AtpgFaults: return "atpg_faults";

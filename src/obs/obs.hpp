@@ -34,6 +34,10 @@ enum class Counter : std::uint8_t {
     CandidatesConsidered,  ///< candidate nets admitted to planning
     CandidatesPruned,      ///< candidate nets dropped by lint pruning
     GreedyEvaluations,     ///< exact plan evaluations in the greedy loop
+    EngineEvaluations,     ///< incremental-engine candidate scorings
+    EngineNodesTouched,    ///< nodes recomputed by engine deltas
+    EngineRollbacks,       ///< engine undo-frame rollbacks
+    EngineCommits,         ///< engine deltas committed into the base
     LintRulesRun,          ///< lint rules executed to completion
     LintFindings,          ///< lint findings emitted
     AtpgFaults,            ///< faults attempted by PODEM

@@ -1,5 +1,6 @@
 #include <atomic>
 #include <memory>
+#include <optional>
 
 #include "fault/fault.hpp"
 #include "lint/lint.hpp"
@@ -7,6 +8,7 @@
 #include "netlist/transform.hpp"
 #include "obs/obs.hpp"
 #include "testability/cop.hpp"
+#include "tpi/eval_engine.hpp"
 #include "tpi/evaluate.hpp"
 #include "tpi/planners.hpp"
 #include "tpi/tree_joint_dp.hpp"
@@ -89,7 +91,7 @@ bool joint_compatible(const netlist::Circuit& circuit,
 
 Plan DpPlanner::plan(const netlist::Circuit& circuit,
                      const PlannerOptions& options) {
-    require(options.budget >= 0, "DpPlanner: negative budget");
+    validate_planner_options(options, "DpPlanner");
     obs::Sink* sink = options.sink;
     obs::Span plan_span(sink, "plan/dp");
     const fault::CollapsedFaults faults = fault::singleton_faults(circuit);
@@ -126,6 +128,23 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
                options.deadline->expired_now();
     };
 
+    // Incremental engine: its committed state mirrors `points` (every
+    // placement applied below is pushed + committed), so each round's
+    // COP comes from export_cop — bit-identical to compute_cop over the
+    // freshly transformed netlist — and the final predicted_score from
+    // the engine's ordered benefit sum over the full universe.
+    std::optional<EvalEngine> engine;
+    if (options.incremental_eval)
+        engine.emplace(circuit, faults, options.objective, sink,
+                       options.eval_epsilon);
+
+    // Per-round scratch, hoisted out of the loop: the transformed node
+    // count changes between rounds, so these are re-assigned (reusing
+    // capacity), not reallocated.
+    std::vector<NodeId> orig_of;
+    std::vector<bool> allowed;
+    fault::CollapsedFaults mapped = plan_faults;
+
     for (int round = 0; round < rounds && remaining > 0; ++round) {
         if (out_of_time()) {
             truncated = true;
@@ -142,10 +161,10 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
             netlist::apply_test_points(circuit, points);
         const std::size_t cur_n = dft.circuit.node_count();
 
-        std::vector<NodeId> orig_of(cur_n, netlist::kNullNode);
+        orig_of.assign(cur_n, netlist::kNullNode);
         for (NodeId v : circuit.all_nodes())
             orig_of[dft.node_map[v.v].v] = v;
-        std::vector<bool> allowed(cur_n, false);
+        allowed.assign(cur_n, false);
         for (std::size_t i = 0; i < cur_n; ++i) {
             const NodeId orig = orig_of[i];
             allowed[i] = orig.valid() && !has_point[orig.v] &&
@@ -163,13 +182,14 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
         }
 
         const testability::CopResult cop =
-            testability::compute_cop(dft.circuit);
+            engine ? engine->export_cop(dft)
+                   : testability::compute_cop(dft.circuit);
 
         // Fault universe of the original circuit, relocated onto the
         // current netlist (the copies of the original gate outputs).
-        fault::CollapsedFaults mapped = plan_faults;
-        for (auto& rep : mapped.representatives)
-            rep.node = dft.node_map[rep.node.v];
+        for (std::size_t i = 0; i < mapped.size(); ++i)
+            mapped.representatives[i].node =
+                dft.node_map[plan_faults.representatives[i].node.v];
 
         const netlist::FfrDecomposition ffr =
             netlist::decompose_ffr(dft.circuit);
@@ -316,6 +336,10 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
                         require(orig.valid(),
                                 "DpPlanner: placement on a non-original net");
                         points.push_back({orig, tp.kind});
+                        if (engine) {
+                            engine->push({orig, tp.kind});
+                            engine->commit();
+                        }
                         has_point[orig.v] = true;
                         used_units += options.cost.cost(tp.kind);
                     }
@@ -333,8 +357,10 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
     result.candidates_considered = candidate_count;
     result.candidates_pruned = pruned_count;
     result.predicted_score =
-        evaluate_plan(circuit, faults, result.points, options.objective)
-            .score;
+        engine ? engine->evaluation().score
+               : evaluate_plan(circuit, faults, result.points,
+                               options.objective)
+                     .score;
     obs::add(sink, obs::Counter::PlanPoints, result.points.size());
     obs::add(sink, obs::Counter::CandidatesConsidered, candidate_count);
     obs::add(sink, obs::Counter::CandidatesPruned, pruned_count);

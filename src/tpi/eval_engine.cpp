@@ -1,0 +1,167 @@
+#include "tpi/eval_engine.hpp"
+
+#include "testability/detect.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tpi {
+
+using netlist::NodeId;
+using netlist::TestPoint;
+
+EvalEngine::EvalEngine(const netlist::Circuit& circuit,
+                       const fault::CollapsedFaults& faults,
+                       const Objective& objective, obs::Sink* sink,
+                       double epsilon)
+    : circuit_(circuit),
+      faults_(faults),
+      objective_(objective),
+      sink_(sink),
+      cop_(circuit, epsilon) {
+    // CSR of resident faults per node (a node carries at most its s-a-0
+    // and s-a-1 representative).
+    const std::size_t n = circuit.node_count();
+    fault_offset_.assign(n + 1, 0);
+    for (const fault::Fault& f : faults.representatives)
+        ++fault_offset_[f.node.v + 1];
+    for (std::size_t v = 0; v < n; ++v)
+        fault_offset_[v + 1] += fault_offset_[v];
+    fault_index_.resize(faults.size());
+    {
+        std::vector<std::uint32_t> cursor(fault_offset_.begin(),
+                                          fault_offset_.end() - 1);
+        for (std::size_t i = 0; i < faults.size(); ++i)
+            fault_index_[cursor[faults.representatives[i].node.v]++] =
+                static_cast<std::uint32_t>(i);
+    }
+
+    p_.resize(faults.size());
+    benefit_.resize(faults.size());
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        const fault::Fault f = faults.representatives[i];
+        const double excitation = f.stuck_at1 ? (1.0 - cop_.c1(f.node))
+                                              : cop_.c1(f.node);
+        p_[i] = excitation * cop_.site_obs(f.node);
+        benefit_[i] = objective_.benefit(p_[i]);
+    }
+}
+
+void EvalEngine::refresh_changed_faults(std::vector<FaultUndo>& undo) {
+    for (const std::uint32_t node : cop_.frame_changed_nodes()) {
+        for (std::uint32_t k = fault_offset_[node];
+             k < fault_offset_[node + 1]; ++k) {
+            const std::uint32_t i = fault_index_[k];
+            const fault::Fault f = faults_.representatives[i];
+            const double excitation = f.stuck_at1
+                                          ? (1.0 - cop_.c1(f.node))
+                                          : cop_.c1(f.node);
+            const double next = excitation * cop_.site_obs(f.node);
+            if (next == p_[i]) continue;
+            undo.push_back({i, p_[i], benefit_[i]});
+            p_[i] = next;
+            benefit_[i] = objective_.benefit(next);
+        }
+    }
+}
+
+void EvalEngine::push(const TestPoint& point) {
+    cop_.apply(point);
+    obs::add(sink_, obs::Counter::EngineNodesTouched, cop_.last_touched());
+    fault_frames_.emplace_back();
+    refresh_changed_faults(fault_frames_.back());
+}
+
+void EvalEngine::pop() {
+    require(!fault_frames_.empty(), "EvalEngine: pop with no frame");
+    const auto& undo = fault_frames_.back();
+    for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+        p_[it->index] = it->p;
+        benefit_[it->index] = it->benefit;
+    }
+    fault_frames_.pop_back();
+    cop_.rollback();
+    obs::add(sink_, obs::Counter::EngineRollbacks);
+}
+
+void EvalEngine::commit() {
+    require(fault_frames_.size() == 1,
+            "EvalEngine: commit requires exactly one open frame");
+    fault_frames_.pop_back();
+    cop_.commit();
+    ++version_;
+    obs::add(sink_, obs::Counter::EngineCommits);
+}
+
+double EvalEngine::score() const {
+    // Same accumulation order as Objective::score over the same values
+    // (benefit_[i] is objective.benefit(p_[i]) by construction), so the
+    // total matches the oracle bit-for-bit.
+    double total = 0.0;
+    for (std::size_t i = 0; i < benefit_.size(); ++i)
+        total += faults_.class_size[i] * benefit_[i];
+    return total;
+}
+
+PlanEvaluation EvalEngine::evaluation() const {
+    PlanEvaluation eval;
+    eval.detection_probability = p_;
+    eval.score = score();
+    eval.estimated_coverage = testability::estimated_coverage(
+        p_, faults_.class_size, objective_.num_patterns);
+    eval.min_detection_probability =
+        testability::min_detection_probability(p_);
+    return eval;
+}
+
+double EvalEngine::score_candidate(const TestPoint& point) {
+    push(point);
+    const double s = score();
+    pop();
+    obs::add(sink_, obs::Counter::EngineEvaluations);
+    return s;
+}
+
+void EvalEngine::sync_from(const EvalEngine& other) {
+    cop_.sync_from(other.cop_);
+    p_ = other.p_;
+    benefit_ = other.benefit_;
+    version_ = other.version_;
+}
+
+std::vector<double> EvalEngine::score_batch(
+    std::span<const TestPoint> candidates, unsigned threads) {
+    std::vector<double> scores(candidates.size());
+    const unsigned lanes = std::min<unsigned>(
+        util::ThreadPool::resolve(threads),
+        static_cast<unsigned>(std::max<std::size_t>(candidates.size(), 1)));
+    if (lanes <= 1) {
+        for (std::size_t i = 0; i < candidates.size(); ++i)
+            scores[i] = score_candidate(candidates[i]);
+        return scores;
+    }
+    require(fault_frames_.empty(),
+            "EvalEngine: score_batch with open frames");
+    // Materialise and sync the helper-lane clones before going
+    // parallel: inside the batch every lane (including lane 0 = this
+    // engine) mutates only its own state.
+    while (lanes_.size() + 1 < lanes) {
+        lanes_.push_back(std::make_unique<EvalEngine>(
+            circuit_, faults_, objective_, sink_, cop_.epsilon()));
+        lanes_.back()->sync_from(*this);
+        lane_version_.push_back(version_);
+    }
+    for (std::size_t l = 0; l + 1 < lanes; ++l) {
+        if (lane_version_[l] != version_) {
+            lanes_[l]->sync_from(*this);
+            lane_version_[l] = version_;
+        }
+    }
+    util::ThreadPool::shared().for_each(
+        candidates.size(), lanes, [&](std::size_t i, unsigned lane) {
+            EvalEngine& engine = lane == 0 ? *this : *lanes_[lane - 1];
+            scores[i] = engine.score_candidate(candidates[i]);
+        });
+    return scores;
+}
+
+}  // namespace tpi

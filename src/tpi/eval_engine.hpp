@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "netlist/circuit.hpp"
+#include "netlist/test_point.hpp"
+#include "obs/obs.hpp"
+#include "testability/incremental_cop.hpp"
+#include "tpi/evaluate.hpp"
+
+namespace tpi {
+
+/// Incremental plan-evaluation engine: the planners' replacement for the
+/// `apply_test_points` + `compute_cop` + rescore cycle of
+/// `evaluate_plan`.
+///
+/// The engine pairs an IncrementalCop (delta-COP state on the base
+/// circuit) with a dense per-fault detection-probability vector and a
+/// per-fault benefit cache. Applying a test point updates only the
+/// faults whose site's controllability or observability actually moved;
+/// the objective is then an ordered weighted sum over the benefit cache
+/// — the same values in the same summation order as
+/// `Objective::score`, so every score is bit-identical to the
+/// `evaluate_plan` oracle on the materialised plan (asserted by
+/// tests/test_incremental.cpp).
+///
+/// Points stack like a DFS: `push` applies a point as an undo frame,
+/// `pop` rolls the newest frame back exactly, and `commit` (only at
+/// depth 1) absorbs the frame into the committed base state — the shape
+/// the greedy step loop (score candidates, commit the winner), the
+/// exhaustive recursion (push/recurse/pop), and the DP planner's
+/// round-committed state all map onto directly.
+///
+/// `score_batch` scores many candidates concurrently on per-lane engine
+/// clones; each candidate's score is a pure function of the committed
+/// state, so results are independent of lane assignment and the caller
+/// may reduce them deterministically (the greedy planner replays its
+/// sequential argmax loop over the score vector).
+class EvalEngine {
+public:
+    /// `faults` and `circuit` are borrowed for the engine's lifetime.
+    /// `epsilon` is the delta-propagation cutoff (0 = exact, the
+    /// default; >0 trades bit-exactness for shallower update cones).
+    EvalEngine(const netlist::Circuit& circuit,
+               const fault::CollapsedFaults& faults,
+               const Objective& objective, obs::Sink* sink = nullptr,
+               double epsilon = 0.0);
+
+    // ---- delta stack ---------------------------------------------------
+
+    void push(const netlist::TestPoint& point);
+    void pop();
+    void commit();
+    std::size_t depth() const { return cop_.depth(); }
+
+    // ---- scoring -------------------------------------------------------
+
+    /// Objective value of the current state (committed + open frames).
+    double score() const;
+
+    /// Full evaluation of the current state; field-for-field identical
+    /// to `evaluate_plan` on the materialised equivalent plan.
+    PlanEvaluation evaluation() const;
+
+    /// Detection probability per fault of the current state.
+    std::span<const double> detection_probability() const { return p_; }
+
+    /// Convenience: push + score + pop.
+    double score_candidate(const netlist::TestPoint& point);
+
+    /// Score every candidate against the committed state on up to
+    /// `threads` worker lanes (per-lane engine clones, synced lazily
+    /// after commits). scores[i] is independent of the lane that
+    /// computed it. threads <= 1 runs inline without touching the pool.
+    std::vector<double> score_batch(
+        std::span<const netlist::TestPoint> candidates, unsigned threads);
+
+    // ---- projection ----------------------------------------------------
+
+    const testability::IncrementalCop& cop() const { return cop_; }
+
+    /// See IncrementalCop::export_cop: the transformed circuit's
+    /// CopResult without traversing the transformed netlist.
+    testability::CopResult export_cop(
+        const netlist::TransformResult& dft) const {
+        return cop_.export_cop(dft);
+    }
+
+private:
+    struct FaultUndo {
+        std::uint32_t index;
+        double p;
+        double benefit;
+    };
+
+    void refresh_changed_faults(std::vector<FaultUndo>& undo);
+    void sync_from(const EvalEngine& other);
+
+    const netlist::Circuit& circuit_;
+    const fault::CollapsedFaults& faults_;
+    Objective objective_;
+    obs::Sink* sink_;
+    testability::IncrementalCop cop_;
+
+    std::vector<double> p_;        ///< per-fault detection probability
+    std::vector<double> benefit_;  ///< objective.benefit(p_), cached
+
+    // node -> fault indices, CSR (at most two faults per node).
+    std::vector<std::uint32_t> fault_offset_;
+    std::vector<std::uint32_t> fault_index_;
+
+    std::vector<std::vector<FaultUndo>> fault_frames_;
+
+    // Batch-scoring lanes: clone lane L-1 serves pool lane L (lane 0 is
+    // this engine). Synced to `version_` before each parallel batch.
+    std::uint64_t version_ = 0;
+    std::vector<std::unique_ptr<EvalEngine>> lanes_;
+    std::vector<std::uint64_t> lane_version_;
+};
+
+}  // namespace tpi

@@ -1,4 +1,8 @@
+#include <optional>
+
 #include "fault/fault.hpp"
+#include "obs/obs.hpp"
+#include "tpi/eval_engine.hpp"
 #include "tpi/evaluate.hpp"
 #include "tpi/planners.hpp"
 #include "util/error.hpp"
@@ -15,10 +19,11 @@ struct Search {
     const netlist::Circuit& circuit;
     const fault::CollapsedFaults& faults;
     const PlannerOptions& options;
+    EvalEngine* engine = nullptr;  ///< non-null: incremental scoring
     std::vector<TestPoint> atoms;  ///< candidate (net, kind) placements
     std::vector<TestPoint> current;
     std::vector<TestPoint> best_points;
-    double best_score;
+    double best_score = 0.0;
     bool truncated = false;
 
     bool out_of_time() {
@@ -28,9 +33,17 @@ struct Search {
     }
 
     void evaluate_current() {
+        // The engine's ordered benefit sum is bit-identical to
+        // evaluate_plan on the materialised `current`, so both paths
+        // keep the same best set under the same tie margin.
         const double score =
-            evaluate_plan(circuit, faults, current, options.objective)
-                .score;
+            engine != nullptr
+                ? (obs::add(options.sink,
+                            obs::Counter::EngineEvaluations),
+                   engine->score())
+                : evaluate_plan(circuit, faults, current,
+                                options.objective)
+                      .score;
         if (score > best_score + 1e-12) {
             best_score = score;
             best_points = current;
@@ -56,9 +69,11 @@ struct Search {
             }
             if (conflict) continue;
             current.push_back(atom);
+            if (engine != nullptr) engine->push(atom);
             evaluate_current();
             recurse(i + 1, budget_left - cost);
             current.pop_back();
+            if (engine != nullptr) engine->pop();
         }
     }
 };
@@ -67,10 +82,11 @@ struct Search {
 
 Plan ExhaustivePlanner::plan(const netlist::Circuit& circuit,
                              const PlannerOptions& options) {
-    require(options.budget >= 0, "ExhaustivePlanner: negative budget");
+    validate_planner_options(options, "ExhaustivePlanner");
     const fault::CollapsedFaults faults = fault::singleton_faults(circuit);
 
-    Search search{circuit, faults, options, {}, {}, {}, 0.0};
+    Search search{circuit, faults, options, nullptr, {}, {}, {}, 0.0,
+                  false};
     for (NodeId v : circuit.all_nodes()) {
         if (options.allow_observe)
             search.atoms.push_back({v, TpKind::Observe});
@@ -86,8 +102,16 @@ Plan ExhaustivePlanner::plan(const netlist::Circuit& circuit,
             std::to_string(search.atoms.size()) +
             " candidate placements, limit 256)");
 
-    search.best_score =
-        evaluate_plan(circuit, faults, {}, options.objective).score;
+    std::optional<EvalEngine> engine;
+    if (options.incremental_eval) {
+        engine.emplace(circuit, faults, options.objective, options.sink,
+                       options.eval_epsilon);
+        search.engine = &*engine;
+        search.best_score = engine->score();
+    } else {
+        search.best_score =
+            evaluate_plan(circuit, faults, {}, options.objective).score;
+    }
     search.recurse(0, options.budget);
 
     Plan result;

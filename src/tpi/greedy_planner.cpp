@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <optional>
 
 #include "fault/fault.hpp"
 #include "lint/lint.hpp"
@@ -6,6 +7,7 @@
 #include "obs/obs.hpp"
 #include "testability/cop.hpp"
 #include "testability/profile.hpp"
+#include "tpi/eval_engine.hpp"
 #include "tpi/evaluate.hpp"
 #include "tpi/planners.hpp"
 #include "util/error.hpp"
@@ -18,7 +20,7 @@ using netlist::TpKind;
 
 Plan GreedyPlanner::plan(const netlist::Circuit& circuit,
                          const PlannerOptions& options) {
-    require(options.budget >= 0, "GreedyPlanner: negative budget");
+    validate_planner_options(options, "GreedyPlanner");
     obs::Sink* sink = options.sink;
     obs::Span plan_span(sink, "plan/greedy");
     const fault::CollapsedFaults faults = fault::singleton_faults(circuit);
@@ -54,13 +56,29 @@ Plan GreedyPlanner::plan(const netlist::Circuit& circuit,
     int remaining = options.budget;
     bool truncated = false;
     // Every unit of work here is an exact evaluation (full transform +
-    // COP), so poll the clock on every check rather than amortised.
+    // COP, or a delta-cone walk), so poll the clock on every check
+    // rather than amortised.
     const auto out_of_time = [&] {
         return options.deadline != nullptr &&
                options.deadline->expired_now();
     };
+
+    // Incremental engine: committed state mirrors `points` throughout,
+    // every score it produces is bit-identical to evaluate_plan (the
+    // differential suite asserts it), so the engine path selects the
+    // same point sequence as the reference path — just without paying a
+    // full transform + COP per candidate.
+    std::optional<EvalEngine> engine;
+    if (options.incremental_eval)
+        engine.emplace(circuit, faults, options.objective, sink,
+                       options.eval_epsilon);
     PlanEvaluation current =
-        evaluate_plan(circuit, faults, points, options.objective);
+        engine ? engine->evaluation()
+               : evaluate_plan(circuit, faults, points, options.objective);
+
+    // Per-step scratch, hoisted: the mapped fault universe is rebuilt in
+    // place (only the representative node ids change between steps).
+    fault::CollapsedFaults mapped = plan_faults;
 
     while (remaining > 0) {
         if (out_of_time()) {
@@ -72,11 +90,12 @@ Plan GreedyPlanner::plan(const netlist::Circuit& circuit,
         const netlist::TransformResult dft =
             netlist::apply_test_points(circuit, points);
         const testability::CopResult cop =
-            testability::compute_cop(dft.circuit);
+            engine ? engine->export_cop(dft)
+                   : testability::compute_cop(dft.circuit);
 
-        fault::CollapsedFaults mapped = plan_faults;
-        for (auto& rep : mapped.representatives)
-            rep.node = dft.node_map[rep.node.v];
+        for (std::size_t i = 0; i < mapped.size(); ++i)
+            mapped.representatives[i].node =
+                dft.node_map[plan_faults.representatives[i].node.v];
 
         // ---- candidate generation ----
         struct Candidate {
@@ -88,16 +107,35 @@ Plan GreedyPlanner::plan(const netlist::Circuit& circuit,
 
         if (options.allow_observe) {
             // Covering-style proxy: the benefit gain if each fault were
-            // observed exactly where its effect arrives.
+            // observed exactly where its effect arrives. Only the
+            // *unsaturated* faults can contribute: benefit() is capped
+            // at 1, so a fault whose current benefit is exactly 1.0
+            // can never satisfy `would > have`, and a zero-weight class
+            // adds exactly 0. Restricting the profile to the remaining
+            // hard faults leaves every gain value bitwise unchanged
+            // while skipping the per-fault cone walks that dominate
+            // this phase on large circuits.
+            fault::CollapsedFaults hard;
+            std::vector<std::size_t> hard_of;
+            for (std::size_t fi = 0; fi < mapped.size(); ++fi) {
+                if (plan_faults.class_size[fi] == 0) continue;
+                if (options.objective.benefit(
+                        current.detection_probability[fi]) >= 1.0)
+                    continue;
+                hard.representatives.push_back(mapped.representatives[fi]);
+                hard.class_size.push_back(plan_faults.class_size[fi]);
+                hard_of.push_back(fi);
+            }
             const testability::PropagationProfile profile =
-                testability::compute_profile(dft.circuit, cop, mapped,
+                testability::compute_profile(dft.circuit, cop, hard,
                                              1e-9);
             std::vector<double> gain(dft.circuit.node_count(), 0.0);
-            for (std::size_t fi = 0; fi < profile.rows.size(); ++fi) {
+            for (std::size_t h = 0; h < profile.rows.size(); ++h) {
+                const std::size_t fi = hard_of[h];
                 const double have = options.objective.benefit(
                     current.detection_probability[fi]);
                 const double weight = plan_faults.class_size[fi];
-                for (const auto& entry : profile.rows[fi]) {
+                for (const auto& entry : profile.rows[h]) {
                     const double would =
                         options.objective.benefit(entry.probability);
                     if (would > have)
@@ -152,23 +190,53 @@ Plan GreedyPlanner::plan(const netlist::Circuit& circuit,
         double best_rate = 0.0;
         int best_index = -1;
         PlanEvaluation best_eval;
-        for (std::size_t i = 0; i < shortlist.size(); ++i) {
-            if (out_of_time()) {
-                truncated = true;
-                break;
+        if (engine) {
+            // Batch-score the affordable candidates (parallel lanes when
+            // options.threads > 1; scores are lane-independent), then
+            // replay the reference path's sequential argmax over the
+            // score vector. Scores are bit-identical to evaluate_plan,
+            // so the same comparison selects the same point.
+            std::vector<TestPoint> batch;
+            std::vector<std::size_t> batch_of;
+            batch.reserve(shortlist.size());
+            for (std::size_t i = 0; i < shortlist.size(); ++i) {
+                if (options.cost.cost(shortlist[i].point.kind) > remaining)
+                    continue;
+                batch.push_back(shortlist[i].point);
+                batch_of.push_back(i);
             }
-            const int cost = options.cost.cost(shortlist[i].point.kind);
-            if (cost > remaining) continue;
-            points.push_back(shortlist[i].point);
-            obs::add(sink, obs::Counter::GreedyEvaluations);
-            const PlanEvaluation eval =
-                evaluate_plan(circuit, faults, points, options.objective);
-            points.pop_back();
-            const double rate = (eval.score - current.score) / cost;
-            if (rate > best_rate + 1e-12) {
-                best_rate = rate;
-                best_index = static_cast<int>(i);
-                best_eval = eval;
+            obs::add(sink, obs::Counter::GreedyEvaluations, batch.size());
+            const std::vector<double> scores =
+                engine->score_batch(batch, options.threads);
+            for (std::size_t k = 0; k < batch.size(); ++k) {
+                const std::size_t i = batch_of[k];
+                const int cost =
+                    options.cost.cost(shortlist[i].point.kind);
+                const double rate = (scores[k] - current.score) / cost;
+                if (rate > best_rate + 1e-12) {
+                    best_rate = rate;
+                    best_index = static_cast<int>(i);
+                }
+            }
+        } else {
+            for (std::size_t i = 0; i < shortlist.size(); ++i) {
+                if (out_of_time()) {
+                    truncated = true;
+                    break;
+                }
+                const int cost = options.cost.cost(shortlist[i].point.kind);
+                if (cost > remaining) continue;
+                points.push_back(shortlist[i].point);
+                obs::add(sink, obs::Counter::GreedyEvaluations);
+                const PlanEvaluation eval = evaluate_plan(
+                    circuit, faults, points, options.objective);
+                points.pop_back();
+                const double rate = (eval.score - current.score) / cost;
+                if (rate > best_rate + 1e-12) {
+                    best_rate = rate;
+                    best_index = static_cast<int>(i);
+                    best_eval = eval;
+                }
             }
         }
         // A truncated shortlist pass may have missed the best candidate;
@@ -180,7 +248,13 @@ Plan GreedyPlanner::plan(const netlist::Circuit& circuit,
         points.push_back(chosen);
         has_point[chosen.node.v] = true;
         remaining -= options.cost.cost(chosen.kind);
-        current = std::move(best_eval);
+        if (engine) {
+            engine->push(chosen);
+            engine->commit();
+            current = engine->evaluation();
+        } else {
+            current = std::move(best_eval);
+        }
     }
 
     Plan result;

@@ -49,6 +49,21 @@ struct PlannerOptions {
     /// Greedy baseline: exact evaluations per step.
     int greedy_pool = 24;
 
+    /// Score candidates with the incremental evaluation engine
+    /// (delta-COP apply/score/rollback, see DESIGN.md §12) instead of
+    /// materialising every candidate plan through `evaluate_plan`. With
+    /// `eval_epsilon == 0` the engine is bit-identical to the oracle, so
+    /// plans and scores do not change — only the time spent producing
+    /// them. Off switches every planner back to the reference path.
+    bool incremental_eval = true;
+
+    /// Delta-propagation cutoff of the incremental engine: changes
+    /// smaller than this are dropped and their cones not re-walked.
+    /// 0 (the default) propagates every last-ulp change and preserves
+    /// bit-exactness; small positive values trade exactness for
+    /// shallower update cones on deep circuits.
+    double eval_epsilon = 0.0;
+
     /// Pre-filter candidates with the lint engine: nets proven constant
     /// or unobservable (no sensitisable path to any primary output) are
     /// dropped before any DP table or shortlist is built, and the fault
@@ -107,6 +122,14 @@ struct Plan {
         return sum;
     }
 };
+
+/// Shared entry validation for every planner: throws ValidationError on
+/// a malformed cost model (a zero or negative per-kind cost would divide
+/// the greedy gain rate by zero and make budgets meaningless) or a
+/// negative eval_epsilon, and tpi::Error on a negative budget. `planner`
+/// names the caller in the message.
+void validate_planner_options(const PlannerOptions& options,
+                              std::string_view planner);
 
 /// Abstract TPI planner. Implementations: DpPlanner (the paper),
 /// GreedyPlanner, RandomPlanner, ExhaustivePlanner (oracle).

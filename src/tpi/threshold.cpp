@@ -1,6 +1,9 @@
 #include "tpi/threshold.hpp"
 
+#include <optional>
+
 #include "fault/fault.hpp"
+#include "tpi/eval_engine.hpp"
 #include "util/error.hpp"
 
 namespace tpi {
@@ -20,6 +23,23 @@ ThresholdResult solve_min_points(const netlist::Circuit& circuit,
     }
 
     const fault::CollapsedFaults faults = fault::singleton_faults(circuit);
+    // One engine across the sweep: each budget's plan is checked by
+    // pushing its points as a rolled-back delta stack (bit-identical to
+    // evaluate_plan) instead of re-transforming the circuit per budget.
+    // Constructed after the objective fixup above so thresholds match.
+    std::optional<EvalEngine> engine;
+    if (base_options.incremental_eval)
+        engine.emplace(circuit, faults, base_options.objective,
+                       base_options.sink, base_options.eval_epsilon);
+    const auto evaluate = [&](std::span<const netlist::TestPoint> points) {
+        if (!engine)
+            return evaluate_plan(circuit, faults, points,
+                                 base_options.objective);
+        for (const netlist::TestPoint& tp : points) engine->push(tp);
+        PlanEvaluation eval = engine->evaluation();
+        for (std::size_t i = 0; i < points.size(); ++i) engine->pop();
+        return eval;
+    };
     const auto meets = [&](const PlanEvaluation& eval) {
         if (goal.min_detection > 0.0 &&
             eval.min_detection_probability < goal.min_detection)
@@ -34,8 +54,7 @@ ThresholdResult solve_min_points(const netlist::Circuit& circuit,
     for (int budget = 0; budget <= max_budget; ++budget) {
         base_options.budget = budget;
         Plan plan = budget == 0 ? Plan{} : planner.plan(circuit, base_options);
-        PlanEvaluation eval = evaluate_plan(circuit, faults, plan.points,
-                                            base_options.objective);
+        PlanEvaluation eval = evaluate(plan.points);
         if (meets(eval)) {
             result.plan = std::move(plan);
             result.feasible = true;

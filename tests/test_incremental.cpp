@@ -1,0 +1,514 @@
+// Differential suite for the incremental evaluation engine.
+//
+// The contract under test: with eval_epsilon == 0, every quantity the
+// engine maintains — COP state, per-fault detection probabilities, the
+// objective score, full plan evaluations, and the exported CopResult —
+// is *bit-identical* to the reference path that materialises the plan
+// with apply_test_points and recomputes COP from scratch. The planner
+// tests then assert the consequence: every planner produces the
+// identical plan with the engine on and off, at every thread count.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "gen/benchmarks.hpp"
+#include "gen/random_circuits.hpp"
+#include "netlist/transform.hpp"
+#include "obs/obs.hpp"
+#include "testability/cop.hpp"
+#include "testability/incremental_cop.hpp"
+#include "tpi/eval_engine.hpp"
+#include "tpi/evaluate.hpp"
+#include "tpi/planners.hpp"
+#include "tpi/threshold.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tpi;
+using netlist::Circuit;
+using netlist::NodeId;
+using netlist::TestPoint;
+using netlist::TpKind;
+
+void expect_identical_eval(const PlanEvaluation& oracle,
+                           const PlanEvaluation& engine) {
+    ASSERT_EQ(oracle.detection_probability.size(),
+              engine.detection_probability.size());
+    EXPECT_EQ(oracle.detection_probability, engine.detection_probability);
+    EXPECT_EQ(oracle.score, engine.score);
+    EXPECT_EQ(oracle.estimated_coverage, engine.estimated_coverage);
+    EXPECT_EQ(oracle.min_detection_probability,
+              engine.min_detection_probability);
+}
+
+/// The candidate kinds cycled through by the stress drivers.
+constexpr TpKind kKinds[] = {TpKind::Observe, TpKind::ControlAnd,
+                            TpKind::ControlOr, TpKind::ControlXor};
+
+// ---------------------------------------------------------------------
+// IncrementalCop vs compute_cop(apply_test_points(...))
+
+class IncrementalCopDifferential
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(IncrementalCopDifferential, AppliedPointsMatchFromScratchCop) {
+    const Circuit circuit = gen::suite_entry(GetParam()).build();
+    testability::IncrementalCop inc(circuit);
+
+    // Spread every kind across the circuit, committing as we go; after
+    // each commit the maintained state must equal the from-scratch COP
+    // of the materialised transform at every original site.
+    std::vector<TestPoint> points;
+    util::Rng rng(7);
+    std::vector<bool> has_control(circuit.node_count(), false);
+    std::vector<bool> has_observe(circuit.node_count(), false);
+    for (int step = 0; step < 12; ++step) {
+        const NodeId node{
+            static_cast<std::uint32_t>(rng.below(circuit.node_count()))};
+        const TpKind kind = kKinds[rng.below(4)];
+        auto& present =
+            netlist::is_control(kind) ? has_control : has_observe;
+        if (present[node.v]) continue;
+        present[node.v] = true;
+
+        points.push_back({node, kind});
+        inc.apply(points.back());
+        inc.commit();
+
+        const netlist::TransformResult dft =
+            netlist::apply_test_points(circuit, points);
+        const testability::CopResult cop =
+            testability::compute_cop(dft.circuit);
+        for (NodeId v : circuit.all_nodes()) {
+            const NodeId site = dft.node_map[v.v];
+            ASSERT_EQ(cop.c1[site.v], inc.c1(v))
+                << "c1 mismatch at node " << v.v << " step " << step;
+            ASSERT_EQ(cop.obs[site.v], inc.site_obs(v))
+                << "obs mismatch at node " << v.v << " step " << step;
+        }
+    }
+}
+
+TEST_P(IncrementalCopDifferential, RollbackRestoresStateBitwise) {
+    const Circuit circuit = gen::suite_entry(GetParam()).build();
+    testability::IncrementalCop inc(circuit);
+    const std::vector<double> c1_before = [&] {
+        std::vector<double> out;
+        for (NodeId v : circuit.all_nodes()) out.push_back(inc.c1(v));
+        return out;
+    }();
+    const std::vector<double> obs_before = [&] {
+        std::vector<double> out;
+        for (NodeId v : circuit.all_nodes()) out.push_back(inc.site_obs(v));
+        return out;
+    }();
+
+    util::Rng rng(23);
+    for (int trial = 0; trial < 8; ++trial) {
+        // Push a small random stack, then unwind it completely.
+        std::vector<bool> has_control(circuit.node_count(), false);
+        std::vector<bool> has_observe(circuit.node_count(), false);
+        std::size_t pushed = 0;
+        for (int step = 0; step < 5; ++step) {
+            const NodeId node{static_cast<std::uint32_t>(
+                rng.below(circuit.node_count()))};
+            const TpKind kind = kKinds[rng.below(4)];
+            auto& present =
+                netlist::is_control(kind) ? has_control : has_observe;
+            if (present[node.v]) continue;
+            present[node.v] = true;
+            inc.apply({node, kind});
+            ++pushed;
+        }
+        while (pushed-- > 0) inc.rollback();
+        ASSERT_EQ(inc.depth(), 0u);
+        std::size_t i = 0;
+        for (NodeId v : circuit.all_nodes()) {
+            ASSERT_EQ(c1_before[i], inc.c1(v)) << "trial " << trial;
+            ASSERT_EQ(obs_before[i], inc.site_obs(v)) << "trial " << trial;
+            ++i;
+        }
+    }
+}
+
+TEST_P(IncrementalCopDifferential, ExportCopMatchesFromScratch) {
+    const Circuit circuit = gen::suite_entry(GetParam()).build();
+    testability::IncrementalCop inc(circuit);
+    std::vector<TestPoint> points;
+    util::Rng rng(41);
+    std::vector<bool> has_control(circuit.node_count(), false);
+    std::vector<bool> has_observe(circuit.node_count(), false);
+    for (int step = 0; step < 6; ++step) {
+        const NodeId node{
+            static_cast<std::uint32_t>(rng.below(circuit.node_count()))};
+        const TpKind kind = kKinds[rng.below(4)];
+        auto& present =
+            netlist::is_control(kind) ? has_control : has_observe;
+        if (present[node.v]) continue;
+        present[node.v] = true;
+        points.push_back({node, kind});
+        inc.apply(points.back());
+        inc.commit();
+    }
+
+    const netlist::TransformResult dft =
+        netlist::apply_test_points(circuit, points);
+    const testability::CopResult reference =
+        testability::compute_cop(dft.circuit);
+    const testability::CopResult exported = inc.export_cop(dft);
+    // Whole-vector bitwise equality: original nets, override gates, and
+    // the fresh test-signal inputs alike.
+    EXPECT_EQ(reference.c1, exported.c1);
+    EXPECT_EQ(reference.obs, exported.obs);
+}
+
+INSTANTIATE_TEST_SUITE_P(BundledBenches, IncrementalCopDifferential,
+                         ::testing::Values("c17", "cmp32", "chain24",
+                                           "dag500"));
+
+// ---------------------------------------------------------------------
+// EvalEngine vs evaluate_plan
+
+class EvalEngineDifferential
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EvalEngineDifferential, InterleavedStackMatchesOracle) {
+    const Circuit circuit = gen::suite_entry(GetParam()).build();
+    const fault::CollapsedFaults faults = fault::singleton_faults(circuit);
+    const Objective objective;
+    EvalEngine engine(circuit, faults, objective);
+
+    // Random interleaving of push / pop / commit. The oracle plan is the
+    // committed points followed by the open stack, in order; after every
+    // operation the engine's full evaluation must equal evaluate_plan on
+    // that plan bit-for-bit.
+    std::vector<TestPoint> committed;
+    std::vector<TestPoint> open;
+    std::vector<bool> has_control(circuit.node_count(), false);
+    std::vector<bool> has_observe(circuit.node_count(), false);
+    util::Rng rng(3);
+    for (int step = 0; step < 40; ++step) {
+        const std::size_t op = rng.below(4);
+        if (op == 0 && !open.empty()) {
+            const TestPoint tp = open.back();
+            open.pop_back();
+            engine.pop();
+            (netlist::is_control(tp.kind) ? has_control
+                                          : has_observe)[tp.node.v] = false;
+        } else if (op == 1 && open.size() == 1) {
+            committed.push_back(open.back());
+            open.pop_back();
+            engine.commit();
+        } else {
+            const NodeId node{static_cast<std::uint32_t>(
+                rng.below(circuit.node_count()))};
+            const TpKind kind = kKinds[rng.below(4)];
+            auto& present =
+                netlist::is_control(kind) ? has_control : has_observe;
+            if (present[node.v]) continue;
+            present[node.v] = true;
+            open.push_back({node, kind});
+            engine.push(open.back());
+        }
+
+        std::vector<TestPoint> plan = committed;
+        plan.insert(plan.end(), open.begin(), open.end());
+        const PlanEvaluation oracle =
+            evaluate_plan(circuit, faults, plan, objective);
+        const PlanEvaluation incremental = engine.evaluation();
+        ASSERT_EQ(oracle.score, incremental.score) << "step " << step;
+        expect_identical_eval(oracle, incremental);
+    }
+}
+
+TEST_P(EvalEngineDifferential, ScoreCandidateMatchesOracleAndRestores) {
+    const Circuit circuit = gen::suite_entry(GetParam()).build();
+    const fault::CollapsedFaults faults = fault::singleton_faults(circuit);
+    const Objective objective;
+    EvalEngine engine(circuit, faults, objective);
+
+    const double base = engine.score();
+    util::Rng rng(11);
+    for (int trial = 0; trial < 16; ++trial) {
+        const NodeId node{
+            static_cast<std::uint32_t>(rng.below(circuit.node_count()))};
+        const TpKind kind = kKinds[rng.below(4)];
+        const TestPoint tp{node, kind};
+        const double expected =
+            evaluate_plan(circuit, faults, {{tp}}, objective).score;
+        EXPECT_EQ(expected, engine.score_candidate(tp));
+        // score_candidate is push + score + pop: the base state must be
+        // restored exactly.
+        EXPECT_EQ(base, engine.score());
+    }
+}
+
+TEST_P(EvalEngineDifferential, BatchScoresAreLaneIndependent) {
+    const Circuit circuit = gen::suite_entry(GetParam()).build();
+    const fault::CollapsedFaults faults = fault::singleton_faults(circuit);
+    const Objective objective;
+    EvalEngine engine(circuit, faults, objective);
+
+    std::vector<TestPoint> candidates;
+    util::Rng rng(17);
+    for (int i = 0; i < 24; ++i) {
+        const NodeId node{
+            static_cast<std::uint32_t>(rng.below(circuit.node_count()))};
+        candidates.push_back({node, kKinds[rng.below(4)]});
+    }
+    const std::vector<double> serial =
+        engine.score_batch(candidates, 1);
+    for (unsigned threads : {2u, 8u}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        EXPECT_EQ(serial, engine.score_batch(candidates, threads));
+    }
+    // And against the oracle.
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const double expected =
+            evaluate_plan(circuit, faults, {{candidates[i]}}, objective)
+                .score;
+        EXPECT_EQ(expected, serial[i]) << "candidate " << i;
+    }
+}
+
+TEST_P(EvalEngineDifferential, BatchAfterCommitsResyncsLanes) {
+    const Circuit circuit = gen::suite_entry(GetParam()).build();
+    const fault::CollapsedFaults faults = fault::singleton_faults(circuit);
+    const Objective objective;
+    EvalEngine engine(circuit, faults, objective);
+
+    std::vector<TestPoint> candidates;
+    util::Rng rng(29);
+    for (int i = 0; i < 12; ++i) {
+        const NodeId node{
+            static_cast<std::uint32_t>(rng.below(circuit.node_count()))};
+        candidates.push_back({node, kKinds[rng.below(4)]});
+    }
+    // Warm the lane clones on the empty base, then commit a point and
+    // re-batch: stale clones must resync before scoring.
+    (void)engine.score_batch(candidates, 8);
+    std::vector<TestPoint> committed;
+    for (const TestPoint& tp : candidates) {
+        if (netlist::is_control(tp.kind)) continue;
+        committed.push_back(tp);
+        engine.push(tp);
+        engine.commit();
+        break;
+    }
+    ASSERT_EQ(committed.size(), 1u) << "no observe candidate drawn";
+    // Drop candidates that would duplicate the committed placement (the
+    // transform contract rejects those on both paths).
+    std::vector<TestPoint> remaining;
+    for (const TestPoint& tp : candidates) {
+        if (tp.node == committed[0].node &&
+            netlist::is_control(tp.kind) ==
+                netlist::is_control(committed[0].kind))
+            continue;
+        remaining.push_back(tp);
+    }
+    const std::vector<double> parallel =
+        engine.score_batch(remaining, 8);
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+        std::vector<TestPoint> plan = committed;
+        plan.push_back(remaining[i]);
+        const double expected =
+            evaluate_plan(circuit, faults, plan, objective).score;
+        EXPECT_EQ(expected, parallel[i]) << "candidate " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BundledBenches, EvalEngineDifferential,
+                         ::testing::Values("c17", "cmp32", "dag500"));
+
+TEST(EvalEngineDifferential, ThresholdObjectiveAlsoBitIdentical) {
+    const Circuit circuit = gen::suite_entry("cmp32").build();
+    const fault::CollapsedFaults faults = fault::singleton_faults(circuit);
+    Objective objective;
+    objective.kind = Objective::Kind::ThresholdLinear;
+    objective.threshold = 1.0 / 512.0;
+    EvalEngine engine(circuit, faults, objective);
+    util::Rng rng(5);
+    for (int trial = 0; trial < 8; ++trial) {
+        const NodeId node{
+            static_cast<std::uint32_t>(rng.below(circuit.node_count()))};
+        const TestPoint tp{node, kKinds[rng.below(4)]};
+        EXPECT_EQ(evaluate_plan(circuit, faults, {{tp}}, objective).score,
+                  engine.score_candidate(tp));
+    }
+}
+
+TEST(EvalEngineDifferential, EpsilonCutoffStaysNearTheOracle) {
+    const Circuit circuit = gen::suite_entry("dag500").build();
+    const fault::CollapsedFaults faults = fault::singleton_faults(circuit);
+    const Objective objective;
+    EvalEngine engine(circuit, faults, objective, nullptr,
+                      /*epsilon=*/1e-6);
+    util::Rng rng(13);
+    for (int trial = 0; trial < 8; ++trial) {
+        const NodeId node{
+            static_cast<std::uint32_t>(rng.below(circuit.node_count()))};
+        const TestPoint tp{node, kKinds[rng.below(4)]};
+        const double oracle =
+            evaluate_plan(circuit, faults, {{tp}}, objective).score;
+        // Approximate mode: close, not bitwise.
+        EXPECT_NEAR(oracle, engine.score_candidate(tp),
+                    1e-3 * (1.0 + std::abs(oracle)));
+    }
+}
+
+TEST(EvalEngineDifferential, EngineCountersAreRecorded) {
+    const Circuit circuit = gen::suite_entry("c17").build();
+    const fault::CollapsedFaults faults = fault::singleton_faults(circuit);
+    obs::Sink sink;
+    EvalEngine engine(circuit, faults, Objective{}, &sink);
+    engine.score_candidate({NodeId{0}, TpKind::Observe});
+    engine.push({NodeId{0}, TpKind::Observe});
+    engine.commit();
+    EXPECT_EQ(sink.value(obs::Counter::EngineEvaluations), 1u);
+    EXPECT_EQ(sink.value(obs::Counter::EngineRollbacks), 1u);
+    EXPECT_EQ(sink.value(obs::Counter::EngineCommits), 1u);
+    EXPECT_GT(sink.value(obs::Counter::EngineNodesTouched), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Planners: identical plans with the engine on and off
+
+template <typename PlannerT>
+void expect_planner_engine_invariant(const char* bench, int budget,
+                                     std::initializer_list<unsigned>
+                                         thread_counts) {
+    const Circuit circuit = gen::suite_entry(bench).build();
+    PlannerT planner;
+    PlannerOptions options;
+    options.budget = budget;
+    options.objective.num_patterns = 2048;
+
+    options.incremental_eval = false;
+    options.threads = 1;
+    const Plan reference = planner.plan(circuit, options);
+
+    options.incremental_eval = true;
+    for (unsigned threads : thread_counts) {
+        SCOPED_TRACE(std::string(bench) +
+                     " threads=" + std::to_string(threads));
+        options.threads = threads;
+        const Plan incremental = planner.plan(circuit, options);
+        EXPECT_EQ(reference.points, incremental.points);
+        EXPECT_EQ(reference.predicted_score, incremental.predicted_score);
+        EXPECT_EQ(reference.truncated, incremental.truncated);
+    }
+}
+
+TEST(PlannerEngineDifferential, GreedyIsInvariant) {
+    for (const char* bench : {"c17", "cmp32", "dag500"})
+        expect_planner_engine_invariant<GreedyPlanner>(bench, 6,
+                                                       {1u, 2u, 8u});
+}
+
+TEST(PlannerEngineDifferential, DpIsInvariant) {
+    for (const char* bench : {"cmp32", "aochain32", "dag500"})
+        expect_planner_engine_invariant<DpPlanner>(bench, 6, {1u, 2u, 8u});
+}
+
+TEST(PlannerEngineDifferential, RandomIsInvariant) {
+    expect_planner_engine_invariant<RandomPlanner>("cmp32", 6, {1u, 8u});
+}
+
+TEST(PlannerEngineDifferential, ExhaustiveIsInvariant) {
+    expect_planner_engine_invariant<ExhaustivePlanner>("c17", 2, {1u});
+}
+
+TEST(PlannerEngineDifferential, GreedyWithPruningIsInvariant) {
+    const Circuit circuit = gen::suite_entry("cmp32").build();
+    GreedyPlanner planner;
+    PlannerOptions options;
+    options.budget = 4;
+    options.objective.num_patterns = 1024;
+    options.prune_via_lint = true;
+
+    options.incremental_eval = false;
+    const Plan reference = planner.plan(circuit, options);
+    options.incremental_eval = true;
+    const Plan incremental = planner.plan(circuit, options);
+    EXPECT_EQ(reference.points, incremental.points);
+    EXPECT_EQ(reference.predicted_score, incremental.predicted_score);
+}
+
+TEST(PlannerEngineDifferential, ThresholdSweepIsInvariant) {
+    const Circuit circuit = gen::suite_entry("cmp32").build();
+    DpPlanner planner;
+    PlannerOptions options;
+    options.objective.num_patterns = 1024;
+    ThresholdGoal goal;
+    goal.estimated_coverage = 0.9;
+
+    options.incremental_eval = false;
+    const ThresholdResult reference =
+        solve_min_points(circuit, planner, options, goal, 6);
+    options.incremental_eval = true;
+    const ThresholdResult incremental =
+        solve_min_points(circuit, planner, options, goal, 6);
+    EXPECT_EQ(reference.feasible, incremental.feasible);
+    EXPECT_EQ(reference.budget_used, incremental.budget_used);
+    EXPECT_EQ(reference.plan.points, incremental.plan.points);
+    EXPECT_EQ(reference.evaluation.score, incremental.evaluation.score);
+}
+
+// ---------------------------------------------------------------------
+// Cost-model validation at plan entry
+
+TEST(PlannerOptionsValidation, ZeroObserveCostIsRejected) {
+    const Circuit circuit = gen::suite_entry("c17").build();
+    PlannerOptions options;
+    options.cost.observe = 0;
+    GreedyPlanner greedy;
+    EXPECT_THROW(greedy.plan(circuit, options), ValidationError);
+    DpPlanner dp;
+    EXPECT_THROW(dp.plan(circuit, options), ValidationError);
+    RandomPlanner random;
+    EXPECT_THROW(random.plan(circuit, options), ValidationError);
+    ExhaustivePlanner exhaustive;
+    EXPECT_THROW(exhaustive.plan(circuit, options), ValidationError);
+}
+
+TEST(PlannerOptionsValidation, NegativeControlCostIsRejected) {
+    const Circuit circuit = gen::suite_entry("c17").build();
+    PlannerOptions options;
+    options.cost.control = -3;
+    GreedyPlanner greedy;
+    EXPECT_THROW(greedy.plan(circuit, options), ValidationError);
+    DpPlanner dp;
+    EXPECT_THROW(dp.plan(circuit, options), ValidationError);
+}
+
+TEST(PlannerOptionsValidation, NegativeEpsilonIsRejected) {
+    const Circuit circuit = gen::suite_entry("c17").build();
+    PlannerOptions options;
+    options.eval_epsilon = -1e-9;
+    GreedyPlanner greedy;
+    EXPECT_THROW(greedy.plan(circuit, options), ValidationError);
+}
+
+TEST(PlannerOptionsValidation, ErrorCodeMapsToValidationExit) {
+    try {
+        validate_planner_options(
+            [] {
+                PlannerOptions o;
+                o.cost.control = 0;
+                return o;
+            }(),
+            "Test");
+        FAIL() << "expected ValidationError";
+    } catch (const ValidationError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::Validation);
+        EXPECT_NE(std::string(e.what()).find("cost model"),
+                  std::string::npos);
+    }
+}
+
+}  // namespace

@@ -71,6 +71,8 @@ struct Args {
     double deadline_ms = 0.0;  // 0 = unlimited
     bool json = false;         // lint: machine-readable output
     bool prune_lint = false;   // tpi: lint-based candidate pruning
+    bool exact_eval = false;   // tpi: reference evaluator, engine off
+    double eval_epsilon = 0.0; // tpi: engine delta cutoff (0 = exact)
     std::size_t max_findings = 64;  // lint: per-rule finding cap
     std::string trace;         // Chrome trace_event JSON output path
     std::string metrics_json;  // run-report JSON output path
@@ -117,6 +119,13 @@ void print_help() {
         "  --max-findings N  lint: per-rule finding cap  (default 64)\n"
         "  --prune-lint      tpi: drop candidates on constant or\n"
         "                    unobservable nets before planning\n"
+        "  --exact-eval      tpi: score candidates with the reference\n"
+        "                    evaluator (full transform + COP per\n"
+        "                    candidate) instead of the incremental\n"
+        "                    engine; plans are identical, just slower\n"
+        "  --eval-epsilon E  tpi: incremental-engine delta cutoff; 0\n"
+        "                    keeps scores bit-identical to the reference\n"
+        "                    evaluator                    (default 0)\n"
         "  --strict          reject structurally broken netlists\n"
         "  --lenient         repair what is safe (tie off dangling nets,\n"
         "                    drop dead logic) and report it   (default)\n"
@@ -195,6 +204,13 @@ Args parse_args(int argc, char** argv, int first) {
             args.json = true;
         else if (arg == "--prune-lint")
             args.prune_lint = true;
+        else if (arg == "--exact-eval")
+            args.exact_eval = true;
+        else if (arg == "--eval-epsilon") {
+            args.eval_epsilon = parse_number<double>(arg, next());
+            if (args.eval_epsilon < 0.0)
+                usage_error("--eval-epsilon must be non-negative");
+        }
         else if (arg == "--max-findings")
             args.max_findings = parse_number<std::size_t>(arg, next());
         else if (arg == "--trace")
@@ -369,6 +385,8 @@ int cmd_tpi(const Args& args, RunContext& ctx) {
     options.deadline = deadline ? &*deadline : nullptr;
     options.threads = args.threads;
     options.prune_via_lint = args.prune_lint;
+    options.incremental_eval = !args.exact_eval;
+    options.eval_epsilon = args.eval_epsilon;
     options.sink = ctx.sink_ptr();
 
     util::Timer timer;
