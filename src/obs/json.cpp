@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 
 namespace tpi::obs::json {
 
@@ -34,8 +35,6 @@ public:
     }
 
 private:
-    static constexpr int kMaxDepth = 64;
-
     void skip_ws() {
         while (pos_ < text_.size() &&
                (text_[pos_] == ' ' || text_[pos_] == '\t' ||
@@ -119,11 +118,18 @@ private:
         if (ec != std::errc{} || ptr != text_.data() + pos_ ||
             begin == pos_)
             return fail("invalid number");
+        // from_chars already rejects overflow ("1e999") and the scan
+        // never admits "inf"/"nan" spellings, but JSON has no
+        // representation for either value, so guard the invariant
+        // directly rather than lean on two accidents of the lexer.
+        if (!std::isfinite(out)) return fail("non-finite number");
         return true;
     }
 
     bool value(Value& out, int depth) {
-        if (depth > kMaxDepth) return fail("nesting too deep");
+        // depth is the count of enclosing containers, so the root sits
+        // at 0 and the cap bites at exactly kMaxDepth nested levels.
+        if (depth >= kMaxDepth) return fail("nesting too deep");
         skip_ws();
         if (pos_ >= text_.size()) return fail("unexpected end of input");
         const char c = text_[pos_];

@@ -8,6 +8,13 @@
 
 namespace tpi::obs::json {
 
+/// Hard cap on container nesting depth. The parser is recursive
+/// descent, so without a cap a hostile "[[[[..." document converts
+/// input bytes into stack frames; at the cap parse() fails cleanly
+/// instead. Part of the parser's contract (the serve protocol and the
+/// fuzzers rely on it), hence public.
+inline constexpr int kMaxDepth = 64;
+
 /// Minimal strict JSON value, just rich enough to validate and inspect
 /// the documents this repo emits (metrics reports, traces, lint
 /// reports). Objects preserve key order. Not a general-purpose library:

@@ -1,0 +1,120 @@
+#include "serve/fault_plan.hpp"
+
+#include <charconv>
+#include <chrono>
+#include <new>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace tpi::serve {
+
+namespace {
+
+std::vector<std::string> split(std::string_view spec, char sep) {
+    std::vector<std::string> parts;
+    std::size_t begin = 0;
+    while (begin <= spec.size()) {
+        const std::size_t end = spec.find(sep, begin);
+        if (end == std::string_view::npos) {
+            parts.emplace_back(spec.substr(begin));
+            break;
+        }
+        parts.emplace_back(spec.substr(begin, end - begin));
+        begin = end + 1;
+    }
+    return parts;
+}
+
+[[noreturn]] void bad_spec(std::string_view spec,
+                           const std::string& reason) {
+    throw ValidationError("bad fault spec '" + std::string(spec) +
+                          "': " + reason +
+                          " (expected <site>:<kind>[:<param>]"
+                          "[:every=<N>])");
+}
+
+}  // namespace
+
+void FaultPlan::add_rule(std::string_view spec) {
+    const std::vector<std::string> parts = split(spec, ':');
+    if (parts.size() < 2) bad_spec(spec, "missing kind");
+
+    Rule rule;
+    rule.site = parts[0];
+    static constexpr std::string_view kSites[] = {
+        "open", "plan", "sim", "lint", "score", "stats", "write"};
+    bool site_known = false;
+    for (const auto& site : kSites)
+        if (rule.site == site) site_known = true;
+    if (!site_known) bad_spec(spec, "unknown site '" + parts[0] + "'");
+
+    const std::string& kind = parts[1];
+    if (kind == "delay") {
+        rule.action = {Kind::Delay, 10.0};
+    } else if (kind == "alloc") {
+        rule.action = {Kind::Alloc, 0.0};
+    } else if (kind == "deadline") {
+        rule.action = {Kind::Deadline, 0.0};
+    } else if (kind == "torn") {
+        rule.action = {Kind::Torn, 0.0};
+        if (rule.site != "write")
+            bad_spec(spec, "kind 'torn' only applies to site 'write'");
+    } else {
+        bad_spec(spec, "unknown kind '" + kind + "'");
+    }
+
+    for (std::size_t i = 2; i < parts.size(); ++i) {
+        const std::string& part = parts[i];
+        if (part.rfind("every=", 0) == 0) {
+            const char* begin = part.c_str() + 6;
+            const char* end = part.c_str() + part.size();
+            const auto [ptr, ec] =
+                std::from_chars(begin, end, rule.every);
+            if (ec != std::errc{} || ptr != end || rule.every == 0)
+                bad_spec(spec, "malformed every=<N>");
+        } else if (rule.action.kind == Kind::Delay) {
+            double value = 0.0;
+            const char* begin = part.c_str();
+            const char* end = begin + part.size();
+            const auto [ptr, ec] = std::from_chars(begin, end, value);
+            if (ec != std::errc{} || ptr != end || value < 0)
+                bad_spec(spec, "malformed delay parameter");
+            rule.action.param = value;
+        } else {
+            bad_spec(spec, "unexpected parameter '" + part + "'");
+        }
+    }
+    rules_.push_back(std::move(rule));
+}
+
+std::optional<FaultPlan::Action> FaultPlan::poll(std::string_view site) {
+    std::optional<Action> action;
+    for (Rule& rule : rules_) {
+        if (rule.site != site) continue;
+        const std::uint64_t hit =
+            rule.hits->fetch_add(1, std::memory_order_relaxed) + 1;
+        if (hit % rule.every == 0 && !action) {
+            action = rule.action;
+            fired_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    return action;
+}
+
+bool FaultPlan::act(std::string_view site) {
+    const std::optional<Action> action = poll(site);
+    if (!action) return false;
+    switch (action->kind) {
+        case Kind::Delay:
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(action->param));
+            return false;
+        case Kind::Alloc: throw std::bad_alloc();
+        case Kind::Deadline: return true;
+        case Kind::Torn: return false;  // handled by the writer via poll
+    }
+    return false;
+}
+
+}  // namespace tpi::serve

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tpi::serve {
+
+/// Deterministic fault-injection plan for the serve subsystem's chaos
+/// tests. A plan is a list of rules, each bound to a named site in the
+/// request path; the daemon polls `poll(site)` at those sites and acts
+/// on whatever the plan returns. Firing is counted per rule, so a rule
+/// with `every = N` fires on hits N, 2N, 3N, ... — fully reproducible
+/// for a given request order, and independent of wall clock.
+///
+/// Rule spec grammar (one rule per `--fault` flag):
+///
+///     <site>:<kind>[:<param>][:every=<N>]
+///
+///   site   open | plan | sim | lint | score | stats | write
+///   kind   delay     sleep <param> milliseconds (default 10)
+///          alloc     throw std::bad_alloc
+///          deadline  cancel the request's deadline (forces the
+///                    truncated best-so-far path)
+///          torn      split the response write into 1-byte syscalls
+///                    (site `write` only)
+///   every  fire on every N-th hit of the site (default 1)
+///
+/// Example: `plan:delay:25:every=3` delays every third plan request by
+/// 25 ms; `open:alloc:every=13` makes every 13th open fail allocation.
+class FaultPlan {
+public:
+    enum class Kind : std::uint8_t { Delay, Alloc, Deadline, Torn };
+
+    struct Action {
+        Kind kind;
+        double param = 0.0;  ///< delay: milliseconds
+    };
+
+    FaultPlan() = default;
+
+    /// Parse one rule spec and add it. Throws tpi::ValidationError on a
+    /// malformed spec, unknown site or unknown kind.
+    void add_rule(std::string_view spec);
+
+    /// Consult the plan at a named site. Counts one hit on every rule
+    /// bound to the site; returns the action of the first rule whose
+    /// turn it is, or nullopt. Thread-safe (per-rule atomic counters).
+    std::optional<Action> poll(std::string_view site);
+
+    bool empty() const { return rules_.empty(); }
+    std::size_t fired() const {
+        return fired_.load(std::memory_order_relaxed);
+    }
+
+    /// Perform the non-torn actions in-line: sleep for Delay, throw
+    /// std::bad_alloc for Alloc. Deadline is returned to the caller
+    /// (only the request executor can reach the request's deadline).
+    /// Returns true when the caller must cancel the request deadline.
+    bool act(std::string_view site);
+
+private:
+    struct Rule {
+        std::string site;
+        Action action;
+        std::uint64_t every = 1;
+        std::unique_ptr<std::atomic<std::uint64_t>> hits =
+            std::make_unique<std::atomic<std::uint64_t>>(0);
+    };
+
+    std::vector<Rule> rules_;
+    std::atomic<std::uint64_t> fired_{0};
+};
+
+}  // namespace tpi::serve

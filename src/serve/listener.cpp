@@ -1,0 +1,273 @@
+#include "serve/listener.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace tpi::serve {
+
+namespace {
+
+[[noreturn]] void bind_error(const std::string& what) {
+    throw Error("serve: " + what + ": " + std::strerror(errno));
+}
+
+int make_unix_listener(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        throw ValidationError("serve: socket path too long: " + path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) bind_error("socket");
+    ::unlink(path.c_str());  // replace a stale socket file
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+        ::close(fd);
+        bind_error("bind " + path);
+    }
+    if (::listen(fd, 64) < 0) {
+        ::close(fd);
+        bind_error("listen " + path);
+    }
+    return fd;
+}
+
+int make_tcp_listener(std::uint16_t port, std::uint16_t& bound_port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) bind_error("socket");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    // Loopback only: the protocol is unauthenticated.
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+        ::close(fd);
+        bind_error("bind 127.0.0.1:" + std::to_string(port));
+    }
+    if (::listen(fd, 64) < 0) {
+        ::close(fd);
+        bind_error("listen 127.0.0.1:" + std::to_string(port));
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+        bound_port = ntohs(addr.sin_port);
+    return fd;
+}
+
+/// Per-connection response reordering: requests may complete out of
+/// order on the worker lanes, but the wire contract is responses in
+/// request order. Worker callbacks park responses here; the connection
+/// thread flushes the in-order prefix. shared_ptr ownership lets a
+/// callback outlive a connection that died early.
+struct ConnState {
+    std::mutex mutex;
+    std::map<std::uint64_t, std::string> ready;
+    std::uint64_t next_submit = 0;
+    std::uint64_t next_write = 0;
+};
+
+}  // namespace
+
+Listener::Listener(Server& server, ListenerOptions options)
+    : server_(server), options_(std::move(options)) {
+    if (!options_.endpoint.valid())
+        throw ValidationError(
+            "serve: endpoint requires a socket path or a TCP port");
+    listen_fd_ =
+        !options_.endpoint.unix_path.empty()
+            ? make_unix_listener(options_.endpoint.unix_path)
+            : make_tcp_listener(options_.endpoint.tcp_port, bound_port_);
+}
+
+Listener::~Listener() { shutdown(); }
+
+void Listener::start() {
+    if (started_) return;
+    started_ = true;
+    server_.start();
+    accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Listener::shutdown() {
+    if (shut_down_) return;
+    shut_down_ = true;
+    stopping_.store(true, std::memory_order_relaxed);
+    // Finish every admitted request before tearing connections down:
+    // their responses still flush below, because connection threads
+    // only exit once their pending responses are written.
+    server_.drain();
+    if (accept_thread_.joinable()) accept_thread_.join();
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard lock(threads_mutex_);
+        threads.swap(connection_threads_);
+    }
+    for (auto& thread : threads)
+        if (thread.joinable()) thread.join();
+    if (!options_.endpoint.unix_path.empty())
+        ::unlink(options_.endpoint.unix_path.c_str());
+}
+
+void Listener::accept_loop() {
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        pollfd pfd{listen_fd_, POLLIN, 0};
+        const int rc = ::poll(&pfd, 1, 100);
+        if (rc < 0 && errno != EINTR) return;
+        if (rc <= 0 || (pfd.revents & POLLIN) == 0) continue;
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) continue;
+        connections_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard lock(threads_mutex_);
+        connection_threads_.emplace_back(
+            [this, fd] { serve_connection(fd); });
+    }
+}
+
+bool Listener::write_all(int fd, std::string_view data) {
+    // Torn-write injection: split into 1-byte syscalls. The client
+    // must still observe one well-formed line — the chaos tests hammer
+    // exactly this path.
+    std::size_t chunk = data.size();
+    FaultPlan* faults = server_.options().faults;
+    if (faults != nullptr) {
+        const auto action = faults->poll("write");
+        if (action && action->kind == FaultPlan::Kind::Torn) chunk = 1;
+    }
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const std::size_t len = std::min(chunk, data.size() - off);
+        const ssize_t n = ::send(fd, data.data() + off, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+void Listener::serve_connection(int fd) {
+    const auto state = std::make_shared<ConnState>();
+    LineFramer framer(options_.max_line_bytes);
+    util::Timer idle;  // reset on every completed request line
+    bool peer_gone = false;
+    bool protocol_dead = false;
+
+    const auto pending = [&] {
+        std::lock_guard lock(state->mutex);
+        return state->next_write < state->next_submit;
+    };
+    // Flush the in-order prefix of completed responses.
+    const auto flush_ready = [&] {
+        for (;;) {
+            std::string response;
+            {
+                std::lock_guard lock(state->mutex);
+                const auto it = state->ready.find(state->next_write);
+                if (it == state->ready.end()) return;
+                response = std::move(it->second);
+                state->ready.erase(it);
+                ++state->next_write;
+            }
+            if (!write_all(fd, response + "\n")) peer_gone = true;
+        }
+    };
+
+    while (!peer_gone) {
+        flush_ready();
+        const bool stop = stopping_.load(std::memory_order_relaxed);
+        if ((stop || protocol_dead) && !pending()) break;
+        if (options_.idle_timeout_ms > 0 &&
+            idle.millis() > options_.idle_timeout_ms && !pending())
+            break;  // slow-loris / dead-air guard
+
+        pollfd pfd{fd, POLLIN, 0};
+        const int rc = ::poll(&pfd, 1, 50);
+        if (rc < 0 && errno != EINTR) break;
+        if (rc <= 0 || (pfd.revents & POLLIN) == 0) continue;
+
+        char buffer[4096];
+        const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+        if (n > 0 && protocol_dead) continue;  // discard after overflow
+        if (n == 0) {
+            // Peer closed its write side: answer what was pipelined,
+            // then leave.
+            while (pending() && !peer_gone) {
+                flush_ready();
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            }
+            flush_ready();
+            break;
+        }
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+
+        std::vector<std::string> lines;
+        const bool framed =
+            framer.append(std::string_view(buffer,
+                                           static_cast<std::size_t>(n)),
+                          lines);
+        for (std::string& line : lines) {
+            if (line.empty()) continue;  // tolerate blank keep-alives
+            idle.reset();
+            std::uint64_t seq;
+            {
+                std::lock_guard lock(state->mutex);
+                seq = state->next_submit++;
+            }
+            server_.submit(std::move(line),
+                           [state, seq](std::string&& response) {
+                               std::lock_guard lock(state->mutex);
+                               state->ready.emplace(seq,
+                                                    std::move(response));
+                           });
+        }
+        if (!framed) {
+            // One protocol error, then the connection must die: a
+            // stream that overflowed the line cap can no longer be
+            // framed reliably.
+            std::uint64_t seq;
+            {
+                std::lock_guard lock(state->mutex);
+                seq = state->next_submit++;
+                state->ready.emplace(
+                    seq,
+                    error_response(
+                        std::nullopt, Code::Protocol,
+                        "request line exceeds " +
+                            std::to_string(options_.max_line_bytes) +
+                            " bytes; closing connection"));
+            }
+            protocol_dead = true;
+        }
+    }
+    ::close(fd);
+}
+
+}  // namespace tpi::serve

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hpp"
+
+namespace tpi::serve {
+
+/// Where the daemon listens: a Unix-domain socket path, or a TCP port
+/// on 127.0.0.1 (loopback only — the daemon speaks an unauthenticated
+/// protocol and must not be exposed beyond the host).
+struct Endpoint {
+    std::string unix_path;  ///< non-empty: AF_UNIX at this path
+    bool tcp = false;       ///< AF_INET on loopback
+    std::uint16_t tcp_port = 0;  ///< 0 = kernel-picked (see port())
+
+    bool valid() const { return !unix_path.empty() || tcp; }
+};
+
+struct ListenerOptions {
+    Endpoint endpoint;
+
+    /// Hard cap on one request line (bytes); an overlong line gets one
+    /// `protocol` error and the connection is closed (the stream can no
+    /// longer be framed reliably).
+    std::size_t max_line_bytes = 1u << 20;
+
+    /// A connection idle (no complete line) for this long is closed —
+    /// the slow-loris guard. 0 disables.
+    double idle_timeout_ms = 30'000.0;
+};
+
+/// Accepts connections and pumps the line protocol between sockets and
+/// a Server: reads are framed by LineFramer, complete lines go through
+/// Server::submit (admission control included), responses are written
+/// back newline-terminated in request order per connection.
+///
+/// Lifecycle: construct (binds + listens, throws tpi::Error on bind
+/// failure), start() (accept thread + one thread per connection),
+/// shutdown() (stop accepting, drain the server, close every
+/// connection, join all threads). The destructor calls shutdown().
+class Listener {
+public:
+    Listener(Server& server, ListenerOptions options);
+    ~Listener();
+
+    Listener(const Listener&) = delete;
+    Listener& operator=(const Listener&) = delete;
+
+    void start();
+
+    /// Graceful shutdown: stop accepting, let the server drain every
+    /// admitted request, then close connections and join. Idempotent.
+    void shutdown();
+
+    /// The bound TCP port (useful when constructed with port 0 to let
+    /// the kernel pick — tests do this). 0 for Unix endpoints.
+    std::uint16_t port() const { return bound_port_; }
+
+    std::uint64_t connections_accepted() const {
+        return connections_.load(std::memory_order_relaxed);
+    }
+
+private:
+    void accept_loop();
+    void serve_connection(int fd);
+
+    /// Write all of `data`, honouring torn-write fault injection (the
+    /// "write" site splits the buffer into 1-byte syscalls — the client
+    /// must still see one well-formed line, which the chaos tests
+    /// assert). Returns false when the peer is gone.
+    bool write_all(int fd, std::string_view data);
+
+    Server& server_;
+    ListenerOptions options_;
+    int listen_fd_ = -1;
+    std::uint16_t bound_port_ = 0;
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> connections_{0};
+    std::thread accept_thread_;
+    std::mutex threads_mutex_;
+    std::vector<std::thread> connection_threads_;
+    bool started_ = false;
+    bool shut_down_ = false;
+};
+
+}  // namespace tpi::serve

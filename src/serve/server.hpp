@@ -1,0 +1,166 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/report.hpp"
+#include "serve/fault_plan.hpp"
+#include "serve/protocol.hpp"
+#include "serve/session_cache.hpp"
+#include "util/deadline.hpp"
+
+namespace tpi::serve {
+
+struct ServerOptions {
+    SessionCache::Limits session_limits;
+
+    /// Admission control: pending requests beyond this bound are shed
+    /// with a structured `overloaded` error and a retry-after hint
+    /// instead of queueing unboundedly.
+    std::size_t max_queue = 64;
+
+    /// Worker lanes a dispatch batch may occupy on the shared
+    /// work-stealing pool. 0 = hardware concurrency. Request-internal
+    /// engines always run with threads = 1 — concurrency comes from
+    /// batching requests, and the pool's for_each is not reentrant.
+    unsigned workers = 0;
+
+    /// Requests drained from the queue per pool batch. 0 = 2 * workers.
+    std::size_t max_batch = 0;
+
+    /// Per-request wall-clock budget when the request does not set
+    /// deadline_ms. 0 = unlimited.
+    double default_deadline_ms = 0.0;
+
+    /// Hard cap a request's deadline_ms is clamped to, so one client
+    /// cannot hold a worker lane arbitrarily long. 0 = no cap.
+    double max_deadline_ms = 10'000.0;
+
+    /// Largest accepted inline netlist text on open (bytes).
+    std::size_t max_circuit_bytes = 4u << 20;
+
+    /// Optional deterministic fault-injection plan (not owned).
+    FaultPlan* faults = nullptr;
+};
+
+struct ServerStats {
+    std::uint64_t accepted = 0;        ///< requests admitted to the queue
+    std::uint64_t completed = 0;       ///< responses produced by workers
+    std::uint64_t shed_overload = 0;   ///< refused: queue full
+    std::uint64_t shed_draining = 0;   ///< refused: drain in progress
+    std::uint64_t request_errors = 0;  ///< `ok: false` responses
+    std::size_t queue_depth = 0;
+    bool draining = false;
+};
+
+/// The long-lived planning daemon's core: parse -> admit -> execute ->
+/// respond, independent of any transport. The socket listener feeds
+/// `submit`; tests and the golden transcripts drive `execute_line`
+/// directly.
+///
+/// Robustness contract:
+///  * every input line yields exactly one single-line JSON response —
+///    malformed requests produce `ok: false` with a structured code,
+///    never an exception or a dropped response;
+///  * the bounded queue sheds with Code::Overloaded + retry_after_ms
+///    once full, and with Code::Draining after drain() began;
+///  * a request that fails or blows its deadline leaves all cached
+///    session state byte-identical (warm engines are unwound on
+///    success and discarded on any error path — never committed);
+///  * drain() finishes every admitted request before returning.
+class Server {
+public:
+    explicit Server(ServerOptions options);
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Run one request line through the full pipeline synchronously and
+    /// return the response line (no trailing newline). Never throws.
+    std::string execute_line(const std::string& line);
+
+    /// Admission-controlled asynchronous path: `respond` is invoked
+    /// exactly once with the response line — immediately (on this
+    /// thread) when the request is shed, later (on a worker lane) once
+    /// a dispatch batch executes it. Requires start().
+    void submit(std::string line,
+                std::function<void(std::string&&)> respond);
+
+    /// Spawn the dispatcher thread (idempotent).
+    void start();
+
+    /// Graceful drain: refuse new submissions, execute everything
+    /// already admitted, then stop the dispatcher. Idempotent; called
+    /// by the destructor.
+    void drain();
+
+    bool draining() const {
+        return draining_.load(std::memory_order_relaxed);
+    }
+
+    ServerStats stats() const;
+    SessionCache& sessions() { return cache_; }
+    const ServerOptions& options() const { return options_; }
+
+    /// Deterministic byte-fingerprint of a session's cached state (COP
+    /// vectors, engine version, warm-engine scores) — the differential
+    /// tests assert it is unchanged across failing requests. Empty when
+    /// the session does not exist.
+    std::string session_fingerprint(const std::string& name);
+
+private:
+    struct Job {
+        std::string line;
+        std::function<void(std::string&&)> respond;
+    };
+
+    void dispatch_loop();
+    void run_batch(std::deque<Job>& batch);
+    double retry_hint_ms(std::size_t queue_depth) const;
+
+    // Request execution (throws; execute_line catches and classifies).
+    std::string dispatch(const Request& request, obs::Sink& sink,
+                         obs::RunReport& report, bool& truncated);
+    std::string do_open(const Request& request, obs::RunReport& report);
+    std::string do_stats(Session& session, obs::RunReport& report);
+    std::string do_plan(const Request& request, Session& session,
+                        util::Deadline& deadline, obs::Sink& sink,
+                        obs::RunReport& report, bool& truncated);
+    std::string do_sim(const Request& request, Session& session,
+                       util::Deadline& deadline, obs::Sink& sink,
+                       obs::RunReport& report, bool& truncated);
+    std::string do_lint(const Request& request, Session& session,
+                        util::Deadline& deadline, obs::Sink& sink,
+                        obs::RunReport& report, bool& truncated);
+    std::string do_score(const Request& request, Session& session,
+                         obs::Sink& sink, obs::RunReport& report);
+    std::string do_info();
+
+    ServerOptions options_;
+    SessionCache cache_;
+    unsigned workers_;
+    std::size_t max_batch_;
+
+    mutable std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
+    std::deque<Job> queue_;
+    std::thread dispatcher_;
+    bool started_ = false;
+    std::atomic<bool> draining_{false};
+
+    std::atomic<std::uint64_t> accepted_{0};
+    std::atomic<std::uint64_t> completed_{0};
+    std::atomic<std::uint64_t> shed_overload_{0};
+    std::atomic<std::uint64_t> shed_draining_{0};
+    std::atomic<std::uint64_t> request_errors_{0};
+    std::atomic<double> avg_request_ms_{25.0};
+};
+
+}  // namespace tpi::serve

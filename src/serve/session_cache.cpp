@@ -1,0 +1,83 @@
+#include "serve/session_cache.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace tpi::serve {
+
+void SessionCache::insert(std::shared_ptr<Session> session) {
+    const std::size_t nodes = session->circuit.node_count();
+    if (nodes > limits_.max_resident_nodes)
+        throw LimitError("circuit of " + std::to_string(nodes) +
+                         " nodes exceeds the resident-node cap of " +
+                         std::to_string(limits_.max_resident_nodes));
+    std::lock_guard lock(mutex_);
+    // Replace an existing session of the same name in place (its old
+    // shared_ptr stays valid for any in-flight request).
+    std::erase_if(sessions_, [&](const std::shared_ptr<Session>& s) {
+        return s->name == session->name;
+    });
+    evict_for(nodes);
+    session->last_used = ++tick_;
+    sessions_.push_back(std::move(session));
+}
+
+std::shared_ptr<Session> SessionCache::find(const std::string& name) {
+    std::lock_guard lock(mutex_);
+    for (auto& session : sessions_) {
+        if (session->name == name) {
+            session->last_used = ++tick_;
+            ++hits_;
+            return session;
+        }
+    }
+    ++misses_;
+    return nullptr;
+}
+
+bool SessionCache::close(const std::string& name) {
+    std::lock_guard lock(mutex_);
+    const std::size_t before = sessions_.size();
+    std::erase_if(sessions_, [&](const std::shared_ptr<Session>& s) {
+        return s->name == name;
+    });
+    return sessions_.size() != before;
+}
+
+SessionCache::Stats SessionCache::stats() const {
+    std::lock_guard lock(mutex_);
+    Stats stats;
+    stats.sessions = sessions_.size();
+    for (const auto& session : sessions_)
+        stats.resident_nodes += session->circuit.node_count();
+    stats.evictions = evictions_;
+    stats.hits = hits_;
+    stats.misses = misses_;
+    return stats;
+}
+
+/// Evict least-recently-used sessions until an `incoming_nodes`-node
+/// insertion fits both caps. Caller holds the mutex.
+void SessionCache::evict_for(std::size_t incoming_nodes) {
+    const auto resident = [&] {
+        std::size_t total = 0;
+        for (const auto& session : sessions_)
+            total += session->circuit.node_count();
+        return total;
+    };
+    while (!sessions_.empty() &&
+           (sessions_.size() + 1 > limits_.max_sessions ||
+            resident() + incoming_nodes > limits_.max_resident_nodes)) {
+        const auto victim = std::min_element(
+            sessions_.begin(), sessions_.end(),
+            [](const std::shared_ptr<Session>& a,
+               const std::shared_ptr<Session>& b) {
+                return a->last_used < b->last_used;
+            });
+        sessions_.erase(victim);
+        ++evictions_;
+    }
+}
+
+}  // namespace tpi::serve

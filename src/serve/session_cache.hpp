@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "netlist/circuit.hpp"
+#include "testability/cop.hpp"
+#include "tpi/eval_engine.hpp"
+
+namespace tpi::serve {
+
+/// One cached planning session: a parsed netlist plus every derived
+/// artifact a request would otherwise recompute — the collapsed fault
+/// universe, the base COP state, and a warm version-stamped
+/// tpi::EvalEngine.
+///
+/// Isolation invariants (asserted by tests/test_serve.cpp):
+///  * `circuit`, `faults` and `cop` are immutable after open.
+///  * the warm engine is only mutated through push/pop frames that a
+///    request unwinds completely before releasing the session; on ANY
+///    error path the engine is discarded (version bump) instead of
+///    trusted, so a malformed or deadline-blown request can never leak a
+///    half-applied frame into cached state.
+struct Session {
+    std::string name;
+    netlist::Circuit circuit;
+    /// Singleton (uncollapsed) universe — what the planners and the
+    /// scoring engine optimise over (see fault::singleton_faults).
+    fault::CollapsedFaults faults;
+    /// Structurally collapsed universe — what fault simulation and the
+    /// coverage estimate report over (matches the batch CLI exactly).
+    fault::CollapsedFaults sim_faults;
+    testability::CopResult cop;
+    std::size_t repairs = 0;  ///< lenient-mode diagnostics at open
+
+    /// Warm incremental engine, built lazily on the first score request
+    /// and rebuilt whenever the requested objective differs from the one
+    /// it was warmed for. `engine_version` counts builds/discards.
+    std::unique_ptr<EvalEngine> engine;
+    Objective engine_objective;
+    std::uint64_t engine_version = 0;
+
+    /// One request at a time per session (requests in the same batch may
+    /// name the same session).
+    std::mutex mutex;
+
+    std::uint64_t last_used = 0;  ///< LRU tick, maintained by the cache
+};
+
+/// Thread-safe LRU map of named sessions with two resource bounds: a
+/// session-count cap and a resident-node cap (the sum of node_count over
+/// all cached circuits — the dominant memory driver, since faults, COP
+/// and engine state are all O(nodes)). Opening a session past either
+/// bound evicts least-recently-used sessions first; a single circuit
+/// larger than either cap is refused outright (tpi::LimitError).
+///
+/// Sessions are handed out as shared_ptr: eviction drops the cache's
+/// reference, while requests already holding the session finish safely
+/// on their own reference.
+class SessionCache {
+public:
+    struct Limits {
+        std::size_t max_sessions = 8;
+        std::size_t max_resident_nodes = 1u << 20;
+    };
+
+    struct Stats {
+        std::size_t sessions = 0;
+        std::size_t resident_nodes = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+    };
+
+    explicit SessionCache(Limits limits) : limits_(limits) {}
+
+    /// Insert (or replace) `session` under its name, evicting as needed.
+    /// Throws tpi::LimitError when the circuit alone exceeds a cap.
+    void insert(std::shared_ptr<Session> session);
+
+    /// Look up and LRU-touch; nullptr when absent (counts a miss).
+    std::shared_ptr<Session> find(const std::string& name);
+
+    /// Drop a session; false when absent.
+    bool close(const std::string& name);
+
+    Stats stats() const;
+
+private:
+    void evict_for(std::size_t incoming_nodes);
+
+    Limits limits_;
+    mutable std::mutex mutex_;
+    std::vector<std::shared_ptr<Session>> sessions_;  // small N: linear
+    std::uint64_t tick_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+}  // namespace tpi::serve

@@ -80,10 +80,12 @@ public:
     bool limited() const { return limited_; }
 
     /// Count one unit of work; true once the budget is gone. Sticky:
-    /// once expired, stays expired.
+    /// once expired, stays expired. The sticky flag is honoured even on
+    /// an unlimited deadline, so cancel() can interrupt engines that
+    /// were handed a no-budget deadline (the CLI's SIGINT path).
     bool expired() {
-        if (!limited_) return false;
         if (expired_.load(std::memory_order_relaxed)) return true;
+        if (!limited_) return false;
         const std::uint64_t step =
             steps_.fetch_add(1, std::memory_order_relaxed) + 1;
         if (step >= max_steps_) return expire();
@@ -97,8 +99,8 @@ public:
     /// evaluation, one ATPG fault) and the amortised poll would let the
     /// budget overshoot by many work units.
     bool expired_now() {
-        if (!limited_) return false;
         if (expired_.load(std::memory_order_relaxed)) return true;
+        if (!limited_) return false;
         const std::uint64_t step =
             steps_.fetch_add(1, std::memory_order_relaxed) + 1;
         if (step >= max_steps_ || Clock::now() >= expires_at_)
@@ -112,6 +114,13 @@ public:
     bool already_expired() const {
         return expired_.load(std::memory_order_relaxed);
     }
+
+    /// Expire the deadline from outside, immediately and stickily —
+    /// works on unlimited deadlines too. A single relaxed atomic store,
+    /// so it is async-signal-safe: the CLI's SIGINT/SIGTERM handler
+    /// cancels the active run's deadline and every engine polling it
+    /// winds down with an honest truncated result.
+    void cancel() { expired_.store(true, std::memory_order_relaxed); }
 
     /// Like expired(), but throws DeadlineError. For call sites with no
     /// meaningful partial result.

@@ -31,9 +31,10 @@ if(NOT code EQUAL ${EXPECT_CODE})
     "stdout:\n${actual}\nstderr:\n${stderr_text}")
 endif()
 
-if(DEFINED MUST_MATCH AND NOT actual MATCHES "${MUST_MATCH}")
+if(DEFINED MUST_MATCH AND NOT "${actual}\n${stderr_text}" MATCHES "${MUST_MATCH}")
   message(FATAL_ERROR
-    "stdout does not match \"${MUST_MATCH}\":\n${actual}")
+    "output does not match \"${MUST_MATCH}\":\n"
+    "stdout:\n${actual}\nstderr:\n${stderr_text}")
 endif()
 
 if(DEFINED EXPECTED)

@@ -463,6 +463,47 @@ TEST(ObsJson, ParserRejectsMalformedDocuments) {
     EXPECT_EQ(doc.find("a")->array.size(), 4u);
 }
 
+TEST(ObsJson, NestingIsCappedAtKMaxDepth) {
+    obs::json::Value doc;
+    std::string error;
+    // A document exactly at the cap parses; one level deeper fails
+    // cleanly instead of converting input bytes into stack frames.
+    const auto nested = [](int depth) {
+        return std::string(static_cast<std::size_t>(depth), '[') +
+               std::string(static_cast<std::size_t>(depth), ']');
+    };
+    EXPECT_TRUE(obs::json::parse(nested(obs::json::kMaxDepth), doc,
+                                 error))
+        << error;
+    EXPECT_FALSE(
+        obs::json::parse(nested(obs::json::kMaxDepth + 1), doc, error));
+    EXPECT_NE(error.find("nesting too deep"), std::string::npos) << error;
+    // Objects count against the same cap.
+    std::string hostile;
+    for (int i = 0; i < obs::json::kMaxDepth + 1; ++i)
+        hostile += "{\"k\":";
+    EXPECT_FALSE(obs::json::parse(hostile, doc, error));
+    // A pathological depth must fail bounded, not crash.
+    EXPECT_FALSE(obs::json::parse(nested(100000), doc, error));
+}
+
+TEST(ObsJson, NonFiniteNumbersAreRejected) {
+    obs::json::Value doc;
+    std::string error;
+    // JSON has no representation for inf/nan: neither the spellings
+    // nor an overflowing literal may produce a non-finite double.
+    for (const char* bad :
+         {"1e999", "-1e999", "1e308999", "inf", "-inf", "nan", "NaN",
+          "Infinity", "-Infinity", "{\"x\": 1e999}"})
+        EXPECT_FALSE(obs::json::parse(bad, doc, error)) << bad;
+    // Underflow is out of range for from_chars, hence also rejected.
+    EXPECT_FALSE(obs::json::parse("1e-400", doc, error));
+    // Large-but-finite values are fine.
+    EXPECT_TRUE(obs::json::parse("1e308", doc, error)) << error;
+    EXPECT_TRUE(obs::json::parse("-1.7976931348623157e308", doc, error))
+        << error;
+}
+
 // Lint wiring sanity: the per-rule spans and counters line up with the
 // report the engine returned.
 TEST(ObsLint, RunLintRecordsPerRuleSpansAndTotals) {

@@ -105,6 +105,28 @@ TEST(Deadline, CheckThrowsDeadlineError) {
     EXPECT_THROW(d.check("unit test"), DeadlineError);
 }
 
+TEST(Deadline, CancelExpiresImmediatelyAndStickily) {
+    util::Deadline d(60'000.0);  // a minute of budget
+    EXPECT_FALSE(d.already_expired());
+    d.cancel();
+    EXPECT_TRUE(d.already_expired());
+    EXPECT_TRUE(d.expired());
+    EXPECT_TRUE(d.expired_now());
+    EXPECT_THROW(d.check("cancelled"), DeadlineError);
+}
+
+TEST(Deadline, CancelWorksOnUnlimitedDeadlines) {
+    // The CLI's SIGINT handler cancels whatever deadline the active
+    // command registered — which is an unlimited one when the user
+    // passed no --deadline-ms. The sticky flag must win over the
+    // "unlimited never expires" fast path.
+    util::Deadline d;
+    EXPECT_FALSE(d.expired());
+    d.cancel();
+    EXPECT_TRUE(d.already_expired());
+    EXPECT_TRUE(d.expired());
+}
+
 // ---------------------------------------------------------------------
 // Structural validator
 

@@ -1,0 +1,354 @@
+// fuzz_serve_proto — deterministic fuzzer for the serve wire protocol.
+//
+//   fuzz_serve_proto [--seed S] [--iters N] [--budget-ms M] [--verbose]
+//
+// Starting from a corpus of well-formed request lines, each iteration
+// applies a random stack of mutations (byte flips, insertions,
+// deletions, truncation, key/token splices, newline injection) and
+// pushes the result through the two protocol layers:
+//
+//   1. framing — the mutant is delivered to a LineFramer in random-sized
+//      chunks under a random per-line byte cap, the way a hostile or
+//      broken client would write to the socket. Every completed line
+//      must respect the cap, and the overflow latch must be sticky.
+//
+//   2. execution — each framed line goes through Server::execute_line.
+//      The contract: every line yields exactly one response that parses
+//      under the strict obs::json grammar, carries a boolean "ok", a
+//      structured error code from the documented vocabulary when
+//      ok:false, and echoes the request id whenever one was peekable
+//      from the input. execute_line must never throw, crash, or hang.
+//
+// One Server instance survives the whole run, so garbage also stresses
+// session-cache state; every few hundred iterations a known-good
+// open/plan pair asserts the daemon still serves correctly after abuse.
+//
+// Fully reproducible from --seed; on a violation the offending input is
+// printed with the seed and iteration. Exit 0 on success, 1 on
+// violation, 2 on usage error.
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <iterator>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tpi;
+
+// A tiny bench text small enough to splice into mutants (escaped for
+// JSON transport).
+constexpr const char* kBenchJson =
+    "INPUT(a)\\nINPUT(b)\\nOUTPUT(y)\\ny = NAND(a, b)\\n";
+
+std::vector<std::string> corpus() {
+    std::vector<std::string> lines;
+    lines.push_back(R"({"id": 1, "method": "ping"})");
+    lines.push_back(R"({"id": 2, "method": "info"})");
+    lines.push_back(std::string(R"({"id": 3, "method": "open", )") +
+                    R"("session": "s", "circuit": ")" + kBenchJson +
+                    R"(", "format": "bench", "mode": "lenient"})");
+    lines.push_back(R"({"id": 4, "method": "open", "session": "t", )"
+                    R"("circuit": "c17", "format": "suite"})");
+    lines.push_back(R"({"id": 5, "method": "plan", "session": "s", )"
+                    R"("options": {"budget": 1, "patterns": 64, )"
+                    R"("planner": "greedy", "seed": 7}})");
+    lines.push_back(R"({"id": 6, "method": "sim", "session": "s", )"
+                    R"("options": {"patterns": 32, "seed": 3}})");
+    lines.push_back(R"({"id": 7, "method": "lint", "session": "s"})");
+    lines.push_back(
+        R"({"id": 8, "method": "score", "session": "s", )"
+        R"("points": [{"node": "y", "kind": "OP"}]})");
+    lines.push_back(R"({"id": 9, "method": "stats", "session": "s"})");
+    lines.push_back(R"({"id": 10, "method": "close", "session": "s"})");
+    lines.push_back(R"({"id": 11, "method": "plan", "session": "gone"})");
+    lines.push_back(
+        R"({"id": 12, "method": "plan", "session": "s", )"
+        R"("options": {"deadline_ms": 5}})");
+    return lines;
+}
+
+// Protocol-shaped fragments to splice in, biased toward the grammar's
+// sensitive spots (keys, nesting, escapes, huge numbers).
+const char* kTokens[] = {
+    "\"method\"", "\"session\"", "\"id\"",     "\"options\"",
+    "\"points\"", "\"circuit\"", "\"report\"", "{",
+    "}",          "[",           "]",          ":",
+    ",",          "\"",          "\\",         "\\u00",
+    "null",       "true",        "1e999",      "-0",
+    "NaN",        "Infinity",    "1e-400",     "\n",
+    "\r\n",       "[[[[[[[[",    "{\"a\":",    "\0x00",
+};
+
+std::string mutate(std::string text, util::Rng& rng) {
+    const int rounds = static_cast<int>(rng.range(1, 6));
+    for (int r = 0; r < rounds; ++r) {
+        if (text.empty()) text = "{}";
+        switch (rng.below(7)) {
+            case 0:  // flip a byte
+                text[rng.below(text.size())] =
+                    static_cast<char>(rng.below(256));
+                break;
+            case 1: {  // insert a random printable run
+                std::string run;
+                for (int i = static_cast<int>(rng.range(1, 10)); i > 0; --i)
+                    run += static_cast<char>(' ' + rng.below(95));
+                text.insert(rng.below(text.size() + 1), run);
+                break;
+            }
+            case 2: {  // delete a span
+                const std::size_t pos = rng.below(text.size());
+                text.erase(pos, std::min<std::size_t>(rng.below(12) + 1,
+                                                      text.size() - pos));
+                break;
+            }
+            case 3:  // truncate (simulates a torn frame)
+                text.resize(rng.below(text.size() + 1));
+                break;
+            case 4:  // splice a grammar token
+                text.insert(rng.below(text.size() + 1),
+                            kTokens[rng.below(std::size(kTokens))]);
+                break;
+            case 5: {  // duplicate a span (grows nesting / repeats keys)
+                const std::size_t pos = rng.below(text.size());
+                const std::size_t len = std::min<std::size_t>(
+                    rng.below(24) + 1, text.size() - pos);
+                text.insert(rng.below(text.size() + 1),
+                            text.substr(pos, len));
+                break;
+            }
+            case 6:  // swap two halves
+                text = text.substr(rng.below(text.size())) +
+                       text.substr(0, rng.below(text.size()));
+                break;
+        }
+    }
+    return text;
+}
+
+const char* kKnownCodes[] = {"protocol",  "usage",    "not_found",
+                             "parse",     "validation", "limit",
+                             "deadline",  "overloaded", "draining",
+                             "internal"};
+
+/// Check one response line against the wire contract. Returns a
+/// description of the violation, or an empty string.
+std::string response_contract(const std::string& line,
+                              const std::string& response) {
+    obs::json::Value doc;
+    std::string error;
+    if (!obs::json::parse(response, doc, error))
+        return "response is not strict JSON (" + error + ")";
+    if (!doc.is_object()) return "response is not an object";
+    if (response.find('\n') != std::string::npos)
+        return "response spans multiple lines";
+    const obs::json::Value* ok = doc.find("ok");
+    if (ok == nullptr || !ok->is_bool())
+        return "response lacks a boolean 'ok'";
+    if (!ok->boolean) {
+        const obs::json::Value* err = doc.find("error");
+        if (err == nullptr || !err->is_object())
+            return "ok:false response lacks an 'error' object";
+        const obs::json::Value* code = err->find("code");
+        if (code == nullptr || !code->is_string())
+            return "error object lacks a string 'code'";
+        if (std::find(std::begin(kKnownCodes), std::end(kKnownCodes),
+                      code->string) == std::end(kKnownCodes))
+            return "unknown error code '" + code->string + "'";
+        if (const obs::json::Value* msg = err->find("message");
+            msg == nullptr || !msg->is_string() || msg->string.empty())
+            return "error object lacks a non-empty 'message'";
+    }
+    // Id correlation: whatever id the peeker can recover from the
+    // request must be echoed back, even on the error path.
+    if (const auto id = serve::peek_request_id(line)) {
+        const obs::json::Value* echoed = doc.find("id");
+        if (echoed == nullptr || !echoed->is_number() ||
+            echoed->number != static_cast<double>(*id))
+            return "request id " + std::to_string(*id) + " not echoed";
+    }
+    return {};
+}
+
+[[noreturn]] void usage() {
+    std::cerr << "usage: fuzz_serve_proto [--seed S] [--iters N] "
+                 "[--budget-ms M] [--verbose]\n";
+    std::exit(2);
+}
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& text) {
+    std::uint64_t value = 0;
+    const char* begin = text.c_str();
+    const auto [ptr, ec] =
+        std::from_chars(begin, begin + text.size(), value);
+    if (ec != std::errc{} || ptr != begin + text.size() || text.empty()) {
+        std::cerr << "fuzz_serve_proto: invalid value '" << text
+                  << "' for " << flag << "\n";
+        usage();
+    }
+    return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::uint64_t seed = 1;
+    std::uint64_t iters = 2000;
+    std::uint64_t budget_ms = 0;  // 0 = no wall-clock cap
+    bool verbose = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            if (i + 1 >= argc) usage();
+            return argv[++i];
+        };
+        if (arg == "--seed")
+            seed = parse_u64(arg, next());
+        else if (arg == "--iters")
+            iters = parse_u64(arg, next());
+        else if (arg == "--budget-ms")
+            budget_ms = parse_u64(arg, next());
+        else if (arg == "--verbose")
+            verbose = true;
+        else
+            usage();
+    }
+
+    util::Rng rng(seed);
+    const std::vector<std::string> base_lines = corpus();
+
+    serve::ServerOptions options;
+    options.session_limits.max_sessions = 2;
+    options.session_limits.max_resident_nodes = 4096;
+    options.max_circuit_bytes = 64 * 1024;
+    options.max_deadline_ms = 100.0;
+    serve::Server server(options);
+
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t done = 0;
+    std::uint64_t responses = 0;
+    std::uint64_t overflows = 0;
+
+    const auto violation_exit = [&](std::uint64_t it,
+                                    const std::string& what,
+                                    const std::string& input) {
+        std::cerr << "CONTRACT VIOLATION (seed " << seed << ", iteration "
+                  << it << "): " << what << "\ninput:\n"
+                  << input << "\n";
+        return 1;
+    };
+
+    for (std::uint64_t it = 0; it < iters; ++it, ++done) {
+        if (budget_ms > 0) {
+            const auto elapsed =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            if (static_cast<std::uint64_t>(elapsed) >= budget_ms) break;
+        }
+
+        std::string mutant =
+            mutate(base_lines[rng.below(base_lines.size())], rng);
+
+        // Layer 1: framing under a random byte cap, delivered in random
+        // chunks. Lines must respect the cap; overflow must be sticky.
+        const std::size_t cap = 16 + rng.below(512);
+        serve::LineFramer framer(cap);
+        std::vector<std::string> lines;
+        std::string stream = mutant + "\n";
+        bool saw_overflow = false;
+        std::size_t offset = 0;
+        while (offset < stream.size()) {
+            const std::size_t chunk =
+                std::min<std::size_t>(rng.below(64) + 1,
+                                      stream.size() - offset);
+            const bool alive = framer.append(
+                std::string_view(stream).substr(offset, chunk), lines);
+            offset += chunk;
+            if (!alive) {
+                saw_overflow = true;
+                if (!framer.overflowed())
+                    return violation_exit(
+                        it, "append returned false but latch unset", mutant);
+            } else if (saw_overflow) {
+                return violation_exit(
+                    it, "overflow latch is not sticky", mutant);
+            }
+        }
+        if (saw_overflow) ++overflows;
+        for (const std::string& line : lines)
+            if (line.size() > cap)
+                return violation_exit(
+                    it, "framed line exceeds the byte cap", mutant);
+
+        // Layer 2: execution. Every framed line (and the raw mutant,
+        // which may embed newlines the framer already split on) must
+        // produce one well-formed response.
+        lines.push_back(std::move(mutant));
+        for (const std::string& line : lines) {
+            if (line.empty()) continue;
+            std::string response;
+            try {
+                response = server.execute_line(line);
+            } catch (const std::exception& e) {
+                return violation_exit(
+                    it, std::string("execute_line threw: ") + e.what(),
+                    line);
+            } catch (...) {
+                return violation_exit(
+                    it, "execute_line threw a non-std exception", line);
+            }
+            ++responses;
+            const std::string broken = response_contract(line, response);
+            if (!broken.empty())
+                return violation_exit(
+                    it, broken + "\nresponse:\n" + response, line);
+        }
+
+        // Periodically prove the daemon still serves correctly after
+        // the garbage: a clean open + plan on a fresh session.
+        if (it % 256 == 255) {
+            const std::string probe_open =
+                std::string(R"({"id": 90, "method": "open", "session": )"
+                            R"("probe", "circuit": ")") +
+                kBenchJson + R"(", "report": false})";
+            const std::string opened = server.execute_line(probe_open);
+            if (opened.find("\"ok\": true") == std::string::npos)
+                return violation_exit(
+                    it, "clean open failed after abuse:\n" + opened,
+                    probe_open);
+            const std::string planned = server.execute_line(
+                R"({"id": 91, "method": "plan", "session": "probe", )"
+                R"("options": {"budget": 1, "patterns": 16}, )"
+                R"("report": false})");
+            if (planned.find("\"ok\": true") == std::string::npos)
+                return violation_exit(
+                    it, "clean plan failed after abuse:\n" + planned,
+                    probe_open);
+            server.execute_line(
+                R"({"method": "close", "session": "probe"})");
+        }
+    }
+
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    std::cout << "fuzz_serve_proto: " << done << " inputs, " << responses
+              << " responses in " << elapsed
+              << " ms, 0 contract violations\n";
+    if (verbose)
+        std::cout << "  (" << overflows
+                  << " inputs tripped the framer overflow latch)\n";
+    return 0;
+}

@@ -18,12 +18,18 @@
 // the observability outputs (--trace, --metrics-json), and the documented
 // exit codes.
 
+#include <atomic>
 #include <charconv>
+#include <chrono>
+#include <cmath>
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "atpg/podem.hpp"
 #include "bist/session.hpp"
@@ -39,6 +45,9 @@
 #include "netlist/verilog_io.hpp"
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
+#include "serve/fault_plan.hpp"
+#include "serve/listener.hpp"
+#include "serve/server.hpp"
 #include "testability/cop.hpp"
 #include "testability/detect.hpp"
 #include "tpi/planners.hpp"
@@ -57,6 +66,45 @@ using namespace tpi;
 constexpr int kExitUsage = 2;
 constexpr int kExitTruncated = 5;
 
+// ---- SIGINT/SIGTERM -> graceful truncation --------------------------
+//
+// The handler does two async-signal-safe things: set the sticky flag,
+// and cancel() the active run's deadline (one relaxed atomic store).
+// Every engine polling that deadline then winds down through its normal
+// truncated best-so-far path, the command prints its partial result,
+// --metrics-json is still emitted (truncated=true), and the process
+// exits 5 — an interrupted run is indistinguishable from a
+// deadline-expired one, which is exactly the contract scripts already
+// handle. A second interrupt hard-exits for runs stuck outside any
+// deadline poll.
+std::atomic<util::Deadline*> g_active_deadline{nullptr};
+volatile std::sig_atomic_t g_interrupted = 0;
+
+extern "C" void handle_interrupt(int /*signum*/) {
+    if (g_interrupted != 0) std::_Exit(128 + SIGINT);
+    g_interrupted = 1;
+    util::Deadline* deadline =
+        g_active_deadline.load(std::memory_order_relaxed);
+    if (deadline != nullptr) deadline->cancel();
+}
+
+void install_interrupt_handlers() {
+    std::signal(SIGINT, handle_interrupt);
+    std::signal(SIGTERM, handle_interrupt);
+}
+
+/// Scoped registration of the run's deadline as the interrupt target.
+struct DeadlineRegistration {
+    explicit DeadlineRegistration(util::Deadline* deadline) {
+        g_active_deadline.store(deadline, std::memory_order_relaxed);
+        // A signal that raced ahead of registration must still win.
+        if (g_interrupted != 0) deadline->cancel();
+    }
+    ~DeadlineRegistration() {
+        g_active_deadline.store(nullptr, std::memory_order_relaxed);
+    }
+};
+
 struct Args {
     std::string circuit;
     std::size_t patterns = 32768;
@@ -68,7 +116,8 @@ struct Args {
     unsigned threads = 0;  // 0 = hardware concurrency
     std::string out;
     netlist::ValidateMode mode = netlist::ValidateMode::Lenient;
-    double deadline_ms = 0.0;  // 0 = unlimited
+    double deadline_ms = 0.0;   // unset = unlimited
+    bool deadline_set = false;  // --deadline-ms given (must be > 0)
     bool json = false;         // lint: machine-readable output
     bool prune_lint = false;   // tpi: lint-based candidate pruning
     bool exact_eval = false;   // tpi: reference evaluator, engine off
@@ -129,9 +178,9 @@ void print_help() {
         "  --strict          reject structurally broken netlists\n"
         "  --lenient         repair what is safe (tie off dangling nets,\n"
         "                    drop dead logic) and report it   (default)\n"
-        "  --deadline-ms T   wall-clock budget; engines stop at T ms and\n"
-        "                    return their best-so-far result, marked\n"
-        "                    \"truncated\"                  (default: none)\n"
+        "  --deadline-ms T   wall-clock budget, T > 0; engines stop at T\n"
+        "                    ms and return their best-so-far result,\n"
+        "                    marked \"truncated\"           (default: none)\n"
         "  --trace FILE      write a Chrome trace_event JSON of the run's\n"
         "                    phase spans (chrome://tracing, Perfetto)\n"
         "  --metrics-json FILE\n"
@@ -143,9 +192,16 @@ void print_help() {
         "  1  internal error\n"
         "  2  usage error (unknown flag, malformed numeric value)\n"
         "  3  parse error (malformed .bench / .v input)\n"
-        "  4  validation error (structurally broken netlist)\n"
-        "  5  limit or deadline exceeded; any partial (truncated)\n"
-        "     result is still printed before exiting\n";
+        "  4  validation error (structurally broken netlist, or a\n"
+        "     non-positive --deadline-ms)\n"
+        "  5  limit or deadline exceeded, or interrupted (SIGINT/\n"
+        "     SIGTERM); any partial (truncated) result is still\n"
+        "     printed before exiting\n"
+        "\nserving:\n"
+        "  tpidp serve (--socket PATH | --port N) [serve options]\n"
+        "  long-lived planning daemon speaking line-delimited JSON;\n"
+        "  see README \"Serving\" for the protocol and `tpidp serve\n"
+        "  --help` for its options.\n";
 }
 
 [[noreturn]] void usage() {
@@ -223,8 +279,7 @@ Args parse_args(int argc, char** argv, int first) {
             args.mode = netlist::ValidateMode::Lenient;
         else if (arg == "--deadline-ms") {
             args.deadline_ms = parse_number<double>(arg, next());
-            if (args.deadline_ms < 0)
-                usage_error("--deadline-ms must be non-negative");
+            args.deadline_set = true;
         } else if (!arg.empty() && arg[0] == '-')
             usage_error("unknown option '" + arg + "'");
         else if (args.circuit.empty())
@@ -233,13 +288,23 @@ Args parse_args(int argc, char** argv, int first) {
             usage_error("unexpected argument '" + arg + "'");
     }
     if (args.circuit.empty()) usage_error("missing circuit");
+    // A zero or negative budget used to mean "unlimited" here while the
+    // serve protocol rejected it — one meaning now, everywhere: a given
+    // deadline must be positive (exit 4), absence means unlimited.
+    if (args.deadline_set &&
+        !(args.deadline_ms > 0.0 && std::isfinite(args.deadline_ms)))
+        throw tpi::ValidationError(
+            "--deadline-ms must be a positive number of milliseconds "
+            "(omit the flag for an unlimited run)");
     return args;
 }
 
-/// Build the per-run deadline, or nullopt when unlimited.
-std::optional<util::Deadline> make_deadline(const Args& args) {
-    if (args.deadline_ms <= 0) return std::nullopt;
-    return util::Deadline(args.deadline_ms);
+/// Build the per-run deadline. Always a real object — an unlimited
+/// Deadline when no budget was given — so the SIGINT/SIGTERM handler
+/// has something to cancel() on every run.
+util::Deadline make_deadline(const Args& args) {
+    return args.deadline_set ? util::Deadline(args.deadline_ms)
+                             : util::Deadline();
 }
 
 void report_diagnostics(const netlist::Diagnostics& diags) {
@@ -269,11 +334,15 @@ netlist::Circuit load_circuit(const Args& args) {
 /// best-so-far result but exits kExitTruncated so scripts can tell a
 /// complete answer from a degraded one.
 int note_truncation(bool truncated, const Args& args) {
-    if (truncated)
+    if (!truncated) return 0;
+    if (g_interrupted != 0)
+        std::cout << "note: result truncated (interrupted); "
+                     "best-so-far shown\n";
+    else
         std::cout << "note: result truncated (deadline "
                   << args.deadline_ms
                   << " ms expired); best-so-far shown\n";
-    return truncated ? kExitTruncated : 0;
+    return kExitTruncated;
 }
 
 int cmd_suite() {
@@ -315,10 +384,11 @@ int cmd_stats(const Args& args) {
 
 int cmd_lint(const Args& args, RunContext& ctx) {
     const netlist::Circuit c = load_circuit(args);
-    auto deadline = make_deadline(args);
+    util::Deadline deadline = make_deadline(args);
+    const DeadlineRegistration interrupt_target(&deadline);
     lint::LintOptions options;
     options.max_findings_per_rule = args.max_findings;
-    options.deadline = deadline ? &*deadline : nullptr;
+    options.deadline = &deadline;
     options.sink = ctx.sink_ptr();
     const lint::LintReport report = lint::run_lint(c, options);
     if (args.json)
@@ -333,17 +403,18 @@ int cmd_lint(const Args& args, RunContext& ctx) {
     ctx.report.add_num("warnings",
                        static_cast<std::uint64_t>(
                            report.count(lint::Severity::Warning)));
-    const bool deadline_hit = deadline && deadline->already_expired();
+    const bool deadline_hit = deadline.already_expired();
     return note_truncation(report.truncated && deadline_hit, args);
 }
 
 int cmd_faultsim(const Args& args, RunContext& ctx) {
     const netlist::Circuit c = load_circuit(args);
-    auto deadline = make_deadline(args);
+    util::Deadline deadline = make_deadline(args);
+    const DeadlineRegistration interrupt_target(&deadline);
     util::Timer timer;
     const auto result = fault::random_pattern_coverage(
-        c, args.patterns, args.seed, false,
-        deadline ? &*deadline : nullptr, args.threads, ctx.sink_ptr());
+        c, args.patterns, args.seed, false, &deadline, args.threads,
+        ctx.sink_ptr());
     std::cout << "coverage @" << result.patterns_applied << " patterns: "
               << util::fmt_percent(result.coverage) << "% ("
               << result.undetected << " undetected, "
@@ -377,12 +448,13 @@ int cmd_tpi(const Args& args, RunContext& ctx) {
     if (planner == nullptr)
         usage_error("unknown planner '" + args.planner + "'");
 
-    auto deadline = make_deadline(args);
+    util::Deadline deadline = make_deadline(args);
+    const DeadlineRegistration interrupt_target(&deadline);
     PlannerOptions options;
     options.budget = args.budget;
     options.objective.num_patterns = args.patterns;
     options.seed = args.seed;
-    options.deadline = deadline ? &*deadline : nullptr;
+    options.deadline = &deadline;
     options.threads = args.threads;
     options.prune_via_lint = args.prune_lint;
     options.incremental_eval = !args.exact_eval;
@@ -437,10 +509,11 @@ int cmd_tpi(const Args& args, RunContext& ctx) {
 int cmd_atpg(const Args& args, RunContext& ctx) {
     const netlist::Circuit c = load_circuit(args);
     const auto faults = fault::collapse_faults(c);
-    auto deadline = make_deadline(args);
+    util::Deadline deadline = make_deadline(args);
+    const DeadlineRegistration interrupt_target(&deadline);
     atpg::AtpgOptions options;
     options.backtrack_limit = args.limit;
-    options.deadline = deadline ? &*deadline : nullptr;
+    options.deadline = &deadline;
     options.sink = ctx.sink_ptr();
     util::Timer timer;
     const auto summary = atpg::run_atpg(c, faults, options);
@@ -554,6 +627,201 @@ void emit_observability(const Args& args, const std::string& command,
     });
 }
 
+// ---- tpidp serve ----------------------------------------------------
+
+struct ServeArgs {
+    std::string socket;
+    int port = -1;  // -1 = unset; 0 = let the kernel pick (printed)
+    unsigned workers = 0;
+    std::size_t max_queue = 64;
+    std::size_t max_sessions = 8;
+    std::size_t max_resident_nodes = 1u << 20;
+    std::size_t max_line_bytes = 1u << 20;
+    double default_deadline_ms = 0.0;
+    double max_deadline_ms = 10'000.0;
+    double idle_timeout_ms = 30'000.0;
+    std::vector<std::string> faults;
+    std::string metrics_json;
+};
+
+void print_serve_help() {
+    std::cout <<
+        "usage: tpidp serve (--socket PATH | --port N) [options]\n"
+        "\nLong-lived planning daemon: line-delimited JSON requests, one\n"
+        "response line per request line. Methods: ping, info, open,\n"
+        "close, stats, plan, sim, lint, score. SIGINT/SIGTERM drains\n"
+        "gracefully: admitted requests finish, new ones are refused\n"
+        "with code \"draining\".\n"
+        "\noptions:\n"
+        "  --socket PATH     listen on a Unix-domain socket\n"
+        "  --port N          listen on 127.0.0.1:N (0 = kernel-picked,\n"
+        "                    printed on startup)\n"
+        "  --workers N       worker lanes per dispatch batch\n"
+        "                    (default: hardware concurrency)\n"
+        "  --max-queue N     admission queue bound; beyond it requests\n"
+        "                    are shed with code \"overloaded\" and a\n"
+        "                    retry_after_ms hint        (default 64)\n"
+        "  --max-sessions N  session cache LRU bound    (default 8)\n"
+        "  --max-resident-nodes N\n"
+        "                    total cached circuit nodes (default 2^20)\n"
+        "  --max-line-bytes N\n"
+        "                    request line cap; longer lines get one\n"
+        "                    protocol error, then the connection is\n"
+        "                    closed                     (default 2^20)\n"
+        "  --default-deadline-ms T\n"
+        "                    per-request budget when the request sets\n"
+        "                    none; 0 = unlimited        (default 0)\n"
+        "  --max-deadline-ms T\n"
+        "                    hard cap on any request's budget; 0 = no\n"
+        "                    cap                        (default 10000)\n"
+        "  --idle-timeout-ms T\n"
+        "                    close connections with no complete request\n"
+        "                    line for T ms (slow-loris guard); 0 = never\n"
+        "                    (default 30000)\n"
+        "  --fault SPEC      deterministic fault injection for chaos\n"
+        "                    tests: <site>:<kind>[:<param>][:every=<N>],\n"
+        "                    sites open|plan|sim|lint|score|stats|write,\n"
+        "                    kinds delay|alloc|deadline|torn; repeatable\n"
+        "  --metrics-json FILE\n"
+        "                    write a run report summarising the daemon\n"
+        "                    on shutdown; '-' = stdout\n";
+}
+
+ServeArgs parse_serve_args(int argc, char** argv, int first) {
+    ServeArgs args;
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage_error("missing value for " + arg);
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            print_serve_help();
+            std::exit(0);
+        } else if (arg == "--socket")
+            args.socket = next();
+        else if (arg == "--port")
+            args.port = parse_number<std::uint16_t>(arg, next());
+        else if (arg == "--workers")
+            args.workers = parse_number<unsigned>(arg, next());
+        else if (arg == "--max-queue") {
+            args.max_queue = parse_number<std::size_t>(arg, next());
+            if (args.max_queue == 0)
+                usage_error("--max-queue must be positive");
+        } else if (arg == "--max-sessions") {
+            args.max_sessions = parse_number<std::size_t>(arg, next());
+            if (args.max_sessions == 0)
+                usage_error("--max-sessions must be positive");
+        } else if (arg == "--max-resident-nodes") {
+            args.max_resident_nodes =
+                parse_number<std::size_t>(arg, next());
+            if (args.max_resident_nodes == 0)
+                usage_error("--max-resident-nodes must be positive");
+        } else if (arg == "--max-line-bytes") {
+            args.max_line_bytes = parse_number<std::size_t>(arg, next());
+            if (args.max_line_bytes < 2)
+                usage_error("--max-line-bytes must be at least 2");
+        } else if (arg == "--default-deadline-ms")
+            args.default_deadline_ms = parse_number<double>(arg, next());
+        else if (arg == "--max-deadline-ms")
+            args.max_deadline_ms = parse_number<double>(arg, next());
+        else if (arg == "--idle-timeout-ms")
+            args.idle_timeout_ms = parse_number<double>(arg, next());
+        else if (arg == "--fault")
+            args.faults.push_back(next());
+        else if (arg == "--metrics-json")
+            args.metrics_json = next();
+        else
+            usage_error("unknown serve option '" + arg + "'");
+    }
+    if (args.socket.empty() == (args.port < 0))
+        usage_error(
+            "serve requires exactly one of --socket PATH or --port N");
+    if (args.default_deadline_ms < 0 || args.max_deadline_ms < 0 ||
+        args.idle_timeout_ms < 0)
+        throw tpi::ValidationError(
+            "serve time budgets must be non-negative milliseconds");
+    return args;
+}
+
+int cmd_serve(int argc, char** argv) {
+    const ServeArgs args = parse_serve_args(argc, argv, 2);
+
+    serve::FaultPlan faults;
+    for (const std::string& spec : args.faults) faults.add_rule(spec);
+
+    serve::ServerOptions options;
+    options.session_limits.max_sessions = args.max_sessions;
+    options.session_limits.max_resident_nodes = args.max_resident_nodes;
+    options.max_queue = args.max_queue;
+    options.workers = args.workers;
+    options.default_deadline_ms = args.default_deadline_ms;
+    options.max_deadline_ms = args.max_deadline_ms;
+    options.faults = faults.empty() ? nullptr : &faults;
+    serve::Server server(options);
+
+    serve::ListenerOptions listener_options;
+    listener_options.endpoint.unix_path = args.socket;
+    listener_options.endpoint.tcp = args.socket.empty();
+    listener_options.endpoint.tcp_port =
+        args.port > 0 ? static_cast<std::uint16_t>(args.port) : 0;
+    listener_options.max_line_bytes = args.max_line_bytes;
+    listener_options.idle_timeout_ms = args.idle_timeout_ms;
+    serve::Listener listener(server, listener_options);
+    listener.start();
+
+    // Readiness line (tests and wrappers watch for it), then park the
+    // main thread until SIGINT/SIGTERM asks for a graceful drain.
+    if (!args.socket.empty())
+        std::cout << "serving on unix:" << args.socket << "\n";
+    else
+        std::cout << "serving on tcp:127.0.0.1:" << listener.port()
+                  << "\n";
+    std::cout.flush();
+    util::Timer uptime;
+    while (g_interrupted == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    listener.shutdown();
+    const serve::ServerStats stats = server.stats();
+    const serve::SessionCache::Stats cache = server.sessions().stats();
+    std::cout << "drained: " << stats.completed << " completed, "
+              << stats.shed_overload << " shed (overload), "
+              << stats.shed_draining << " shed (draining), "
+              << stats.request_errors << " errors, " << cache.evictions
+              << " evictions\n";
+
+    if (!args.metrics_json.empty()) {
+        obs::RunReport report;
+        report.command = "serve";
+        report.threads = util::ThreadPool::resolve(args.workers);
+        report.exit_code = 0;
+        report.wall_ms = uptime.seconds() * 1000.0;
+        report.add_num("accepted", stats.accepted);
+        report.add_num("completed", stats.completed);
+        report.add_num("shed_overload", stats.shed_overload);
+        report.add_num("shed_draining", stats.shed_draining);
+        report.add_num("request_errors", stats.request_errors);
+        report.add_num("connections", listener.connections_accepted());
+        report.add_num("sessions", cache.sessions);
+        report.add_num("evictions", cache.evictions);
+        report.add_num("faults_fired",
+                       static_cast<std::uint64_t>(faults.fired()));
+        if (args.metrics_json == "-") {
+            obs::write_metrics_json(std::cout, report, nullptr);
+        } else {
+            std::ofstream out(args.metrics_json);
+            if (!out.good()) {
+                std::cerr << "cannot write " << args.metrics_json << "\n";
+                return 1;
+            }
+            obs::write_metrics_json(out, report, nullptr);
+        }
+    }
+    return 0;
+}
+
 /// Dispatch one subcommand. `command` is already canonicalised
 /// (plan -> tpi, sim -> faultsim).
 int run_command(const std::string& command, const Args& args,
@@ -578,8 +846,10 @@ int main(int argc, char** argv) {
     }
     if (command == "plan") command = "tpi";
     if (command == "sim") command = "faultsim";
+    install_interrupt_handlers();
     try {
         if (command == "suite") return cmd_suite();
+        if (command == "serve") return cmd_serve(argc, argv);
         const Args args = parse_args(argc, argv, 2);
         RunContext ctx;
         ctx.enabled = !args.trace.empty() || !args.metrics_json.empty();
@@ -590,6 +860,11 @@ int main(int argc, char** argv) {
             std::cerr << "error: " << e.what() << "\n";
             exit_code = static_cast<int>(e.code());
         }
+        // An interrupted run exits 5 even when the engine finished its
+        // wind-down cleanly; the metrics report then carries
+        // truncated=true like any other cut-short run.
+        if (g_interrupted != 0 && exit_code == 0)
+            exit_code = kExitTruncated;
         emit_observability(args, command, ctx, exit_code);
         return exit_code;
     } catch (const tpi::Error& e) {
