@@ -25,7 +25,12 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 
 #include "fault/fault.hpp"
@@ -207,6 +212,39 @@ BENCHMARK(BM_FaultSimThreads)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+void BM_FaultSimWidth(benchmark::State& state) {
+    // Width-vs-throughput series of the SIMD fault-simulation path:
+    // the argument is the simulation word width in bits. Fixed work per
+    // iteration (no dropping, no stop-early) so rows are directly
+    // comparable; results are bit-identical across rows.
+    const netlist::Circuit circuit = make_dag(2000);
+    const auto faults = fault::collapse_faults(circuit);
+    fault::FaultSimOptions options;
+    options.max_patterns = 2048;
+    options.stop_at_full_coverage = false;
+    options.drop_detected = false;
+    options.sim_width = static_cast<unsigned>(state.range(0));
+    options.ffr_batch = state.range(1) != 0;
+    std::size_t patterns = 0;
+    for (auto _ : state) {
+        sim::RandomPatternSource source(7);
+        const auto result =
+            fault::run_fault_simulation(circuit, faults, source, options);
+        benchmark::DoNotOptimize(result.coverage);
+        patterns += result.patterns_applied;
+    }
+    state.counters["patterns/s"] = benchmark::Counter(
+        static_cast<double>(patterns), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FaultSimWidth)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({128, 1})
+    ->Args({256, 1})
+    ->Args({512, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void BM_DpPlannerThreads(benchmark::State& state) {
     const netlist::Circuit circuit = make_dag(4096);
     DpPlanner planner;
@@ -226,6 +264,133 @@ BENCHMARK(BM_DpPlannerThreads)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// ---------------------------------------------------------------------
+// BENCH_7 report writer (the perf-smoke acceptance gate)
+//
+// `bench_t5_runtime <out.json> [repeats]` times fault simulation on
+// dag2000 in the scalar baseline configuration (sim_width 64, per-fault
+// propagation) against the wide configuration (sim_width 512, per-FFR
+// batching), best-of-`repeats`, fixed work (no dropping, no
+// stop-early), and writes a machine-checkable JSON report.
+// ci/check_perf.py gates on `speedup` and `results_identical`.
+
+struct Bench7Run {
+    double ms = 0.0;
+    double patterns_per_sec = 0.0;
+    fault::FaultSimResult result;
+};
+
+Bench7Run time_fault_sim(const netlist::Circuit& circuit,
+                         const fault::CollapsedFaults& faults,
+                         const fault::FaultSimOptions& options,
+                         int repeats) {
+    using Clock = std::chrono::steady_clock;
+    Bench7Run best;
+    for (int r = 0; r < repeats; ++r) {
+        sim::RandomPatternSource source(7);
+        const auto t0 = Clock::now();
+        auto result =
+            fault::run_fault_simulation(circuit, faults, source, options);
+        const double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                .count();
+        if (r == 0 || ms < best.ms) {
+            best.ms = ms;
+            best.result = std::move(result);
+        }
+    }
+    best.patterns_per_sec =
+        best.ms > 0.0
+            ? static_cast<double>(best.result.patterns_applied) /
+                  (best.ms / 1000.0)
+            : 0.0;
+    return best;
+}
+
+std::string fmt_4(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.4f", v);
+    return buf;
+}
+
+int run_bench7(const std::string& out_path, int repeats) {
+    const netlist::Circuit circuit = make_dag(2000);
+    const auto faults = fault::collapse_faults(circuit);
+
+    fault::FaultSimOptions baseline;
+    baseline.max_patterns = 2048;
+    baseline.stop_at_full_coverage = false;
+    baseline.drop_detected = false;
+    baseline.threads = 1;
+    baseline.sim_width = 64;
+    baseline.ffr_batch = false;
+
+    fault::FaultSimOptions wide = baseline;
+    wide.sim_width = 512;
+    wide.ffr_batch = true;
+
+    std::cerr << "bench_t7: dag2000 (" << circuit.node_count()
+              << " nodes, " << faults.size() << " collapsed faults, "
+              << baseline.max_patterns << " patterns, best of "
+              << repeats << ")\n";
+    const Bench7Run base = time_fault_sim(circuit, faults, baseline,
+                                          repeats);
+    const Bench7Run simd = time_fault_sim(circuit, faults, wide, repeats);
+
+    const bool identical =
+        base.result.detect_pattern == simd.result.detect_pattern &&
+        base.result.detect_count == simd.result.detect_count &&
+        base.result.coverage == simd.result.coverage &&
+        base.result.undetected == simd.result.undetected;
+    const double speedup =
+        base.ms > 0.0 ? base.ms / simd.ms : 0.0;
+
+    std::cerr << "  baseline (w64, per-fault)   " << fmt_4(base.ms)
+              << " ms, " << fmt_4(base.patterns_per_sec / 1e6)
+              << " Mpat/s\n"
+              << "  wide     (w512, ffr-batch)  " << fmt_4(simd.ms)
+              << " ms, " << fmt_4(simd.patterns_per_sec / 1e6)
+              << " Mpat/s\n"
+              << "  speedup " << fmt_4(speedup) << "x, results "
+              << (identical ? "identical" : "DIVERGED") << "\n";
+
+    std::ostringstream json;
+    json << "{\n  \"schema\": \"tpidp-bench-t7\",\n  \"version\": 1,\n"
+         << "  \"circuit\": \"dag2000\",\n"
+         << "  \"nodes\": " << circuit.node_count() << ",\n"
+         << "  \"collapsed_faults\": " << faults.size() << ",\n"
+         << "  \"patterns\": " << baseline.max_patterns << ",\n"
+         << "  \"threads\": 1,\n"
+         << "  \"baseline\": {\"sim_width\": 64, \"ffr_batch\": false, "
+         << "\"ms\": " << fmt_4(base.ms) << ", \"patterns_per_sec\": "
+         << fmt_4(base.patterns_per_sec) << "},\n"
+         << "  \"wide\": {\"sim_width\": 512, \"ffr_batch\": true, "
+         << "\"ms\": " << fmt_4(simd.ms) << ", \"patterns_per_sec\": "
+         << fmt_4(simd.patterns_per_sec) << "},\n"
+         << "  \"speedup\": " << fmt_4(speedup) << ",\n"
+         << "  \"results_identical\": "
+         << (identical ? "true" : "false") << "\n}\n";
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "bench_t7: cannot write " << out_path << "\n";
+        return 1;
+    }
+    out << json.str();
+    std::cerr << "bench_t7: wrote " << out_path << "\n";
+    return identical ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: a first argument that is not a flag selects the BENCH_7
+// JSON writer; otherwise the google-benchmark tables run as usual.
+int main(int argc, char** argv) {
+    if (argc > 1 && argv[1][0] != '-')
+        return run_bench7(argv[1], argc > 2 ? std::atoi(argv[2]) : 3);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,11 +1,20 @@
 #!/usr/bin/env python3
-"""Perf-smoke gate over the bench_t12 report (results/BENCH_5.json).
+"""Perf-smoke gate over the committed bench reports.
 
-The incremental evaluation engine must (a) produce bit-identical plans
-to the reference evaluator on every benchmark circuit, and (b) keep the
-greedy end-to-end speedup on the largest circuit above the floor. The
-floor is deliberately below the measured numbers (7x on dag2000 on a
-quiet machine) so the gate catches real regressions, not CI noise.
+Dispatches on the report's "schema" field:
+
+* tpidp-bench-t12 (results/BENCH_5.json) — the incremental evaluation
+  engine must (a) produce bit-identical plans to the reference
+  evaluator on every benchmark circuit, and (b) keep the greedy
+  end-to-end speedup on the largest circuit above the floor.
+* tpidp-bench-t7 (results/BENCH_7.json) — the wide-word (SIMD) fault
+  simulation path with per-FFR batching must (a) produce detection
+  results bit-identical to the scalar 64-bit baseline, and (b) keep
+  the simulated-patterns/second speedup on dag2000 above the floor.
+
+Floors are deliberately below the measured numbers (7x for t12, 11x+
+for t7 on a quiet machine) so the gate catches real regressions, not
+CI noise.
 
 Usage: check_perf.py [report.json] [--min-speedup X]
 Exit 0 on pass, 1 on failure or malformed report.
@@ -20,27 +29,7 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
-def main(argv: list[str]) -> None:
-    path = "results/BENCH_5.json"
-    min_speedup = 3.0
-    args = argv[1:]
-    while args:
-        arg = args.pop(0)
-        if arg == "--min-speedup":
-            if not args:
-                fail("--min-speedup needs a value")
-            min_speedup = float(args.pop(0))
-        else:
-            path = arg
-
-    try:
-        with open(path, encoding="utf-8") as f:
-            report = json.load(f)
-    except (OSError, ValueError) as e:
-        fail(f"cannot read {path}: {e}")
-
-    if report.get("schema") != "tpidp-bench-t12":
-        fail(f"unexpected schema {report.get('schema')!r}")
+def check_t12(report: dict, min_speedup: float) -> bool:
     circuits = report.get("circuits", [])
     if not circuits:
         fail("report lists no circuits")
@@ -65,6 +54,56 @@ def main(argv: list[str]) -> None:
             print(f"check_perf: {name}: greedy speedup {speedup:.2f}x "
                   f"below the {min_speedup:.1f}x floor", file=sys.stderr)
             ok = False
+    return ok
+
+
+def check_t7(report: dict, min_speedup: float) -> bool:
+    ok = True
+    if not report.get("results_identical"):
+        print("check_perf: wide fault-sim results DIVERGED from the "
+              "scalar baseline", file=sys.stderr)
+        ok = False
+    speedup = report.get("speedup", 0.0)
+    base = report.get("baseline", {})
+    wide = report.get("wide", {})
+    print(f"check_perf: {report.get('circuit', '?')}: fault-sim "
+          f"{speedup:.2f}x (wide {wide.get('ms', 0.0):.1f} ms vs "
+          f"baseline {base.get('ms', 0.0):.1f} ms, "
+          f"{wide.get('patterns_per_sec', 0.0):.0f} vs "
+          f"{base.get('patterns_per_sec', 0.0):.0f} patterns/s) [gate]")
+    if speedup < min_speedup:
+        print(f"check_perf: fault-sim speedup {speedup:.2f}x below the "
+              f"{min_speedup:.1f}x floor", file=sys.stderr)
+        ok = False
+    return ok
+
+
+def main(argv: list[str]) -> None:
+    path = "results/BENCH_5.json"
+    min_speedup = 3.0
+    args = argv[1:]
+    while args:
+        arg = args.pop(0)
+        if arg == "--min-speedup":
+            if not args:
+                fail("--min-speedup needs a value")
+            min_speedup = float(args.pop(0))
+        else:
+            path = arg
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(f"cannot read {path}: {e}")
+
+    schema = report.get("schema")
+    if schema == "tpidp-bench-t12":
+        ok = check_t12(report, min_speedup)
+    elif schema == "tpidp-bench-t7":
+        ok = check_t7(report, min_speedup)
+    else:
+        fail(f"unexpected schema {schema!r}")
 
     if not ok:
         sys.exit(1)

@@ -1,12 +1,19 @@
 #include "fault/fault_sim.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
-#include <bit>
+#include <cstdint>
+#include <limits>
 #include <memory>
+#include <numeric>
+#include <utility>
 
+#include "netlist/ffr.hpp"
 #include "obs/obs.hpp"
 #include "sim/logic_sim.hpp"
+#include "sim/sim_word.hpp"
+#include "sim/simd.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -35,15 +42,19 @@ std::int64_t FaultSimResult::patterns_to_coverage(
 
 namespace {
 
-/// Event-driven single-fault propagation scratch. Each worker lane owns
-/// one instance; propagate() is a pure function of (fault, good_values)
-/// given the shared read-only circuit, so results are independent of
-/// which lane runs which fault.
-class FaultPropagator {
+/// Event-driven single-fault propagation scratch, templated over the
+/// simulation word. Each worker lane owns one instance; propagation is
+/// a pure function of (injection, good_values) given the shared
+/// read-only circuit, so results are independent of which lane runs
+/// which fault.
+template <class Word>
+class FaultPropagatorT {
 public:
-    explicit FaultPropagator(const Circuit& circuit)
+    using Traits = sim::WordTraits<Word>;
+
+    explicit FaultPropagatorT(const Circuit& circuit)
         : circuit_(circuit),
-          fval_(circuit.node_count(), 0),
+          fval_(circuit.node_count(), Traits::zero()),
           val_stamp_(circuit.node_count(), 0),
           sched_stamp_(circuit.node_count(), 0),
           bucket_(static_cast<std::size_t>(circuit.depth()) + 1) {
@@ -62,23 +73,32 @@ public:
             bucket_[lv].reserve(per_level[lv]);
     }
 
-    /// Inject `fault` against the 64 good-machine patterns in
+    /// Inject `fault` against the good-machine patterns in
     /// `good_values` and propagate through its fanout cone. Returns the
-    /// detect word: bit j set iff pattern j exposes the fault at a
-    /// primary output.
-    std::uint64_t propagate(const Fault& fault,
-                            std::span<const std::uint64_t> good_values) {
-        const NodeId site = fault.node;
-        const std::uint64_t stuck =
-            fault.stuck_at1 ? ~std::uint64_t{0} : 0;
+    /// raw detect word: bit j set iff pattern j exposes the fault at a
+    /// primary output (mask with the block's valid-lane mask before
+    /// believing it).
+    Word propagate(const Fault& fault, std::span<const Word> good_values) {
+        return propagate_value(
+            fault.node,
+            Traits::splat(fault.stuck_at1 ? ~std::uint64_t{0} : 0),
+            good_values);
+    }
 
-        std::uint64_t detect = 0;
-        const std::uint64_t initial_diff = stuck ^ good_values[site.v];
-        ran_ = initial_diff != 0;
-        if (initial_diff == 0) return 0;
+    /// Force node `site` to `injected` and propagate the difference
+    /// against the good machine. propagate() is the stuck-at special
+    /// case; the FFR batch path injects ~good at a region stem to get
+    /// the stem observability mask (bit j = pattern j sensitises the
+    /// stem to some output).
+    Word propagate_value(NodeId site, const Word& injected,
+                         std::span<const Word> good_values) {
+        Word detect = Traits::zero();
+        const Word initial_diff = injected ^ good_values[site.v];
+        ran_ = Traits::any(initial_diff);
+        if (!ran_) return detect;
 
         ++stamp_;
-        fval_[site.v] = stuck;
+        fval_[site.v] = injected;
         val_stamp_[site.v] = stamp_;
         if (circuit_.is_output(site)) detect |= initial_diff;
 
@@ -103,12 +123,12 @@ public:
                                             ? fval_[f]
                                             : good_values[f];
                 }
-                const std::uint64_t value = netlist::eval_word(
+                const Word value = netlist::eval_word_t<Word>(
                     circuit_.type(NodeId{g}), fanin_scratch_);
                 fval_[g] = value;
                 val_stamp_[g] = stamp_;
-                const std::uint64_t diff = value ^ good_values[g];
-                if (diff == 0) continue;
+                const Word diff = value ^ good_values[g];
+                if (!Traits::any(diff)) continue;
                 if (circuit_.is_output(NodeId{g})) detect |= diff;
                 for (NodeId w : circuit_.fanouts(NodeId{g})) {
                     if (sched_stamp_[w.v] != stamp_) {
@@ -125,10 +145,35 @@ public:
         return detect;
     }
 
+    /// Faulty value at the region stem `root` for a stuck value
+    /// `injected` at `site`, walking the unique in-region path. Inside
+    /// a fanout-free region every non-stem node has exactly one fanout,
+    /// so the fault effect reaches the stem along one chain whose
+    /// off-path fanins are untouched by the fault and keep their good
+    /// values — the walk is exact, not an approximation.
+    Word lift_to_stem(NodeId site, NodeId root, const Word& injected,
+                      std::span<const Word> good_values) {
+        Word value = injected;
+        NodeId cur = site;
+        while (cur.v != root.v) {
+            const NodeId parent = circuit_.fanouts(cur)[0];
+            const auto fanins = circuit_.fanins(parent);
+            fanin_scratch_.resize(fanins.size());
+            for (std::size_t q = 0; q < fanins.size(); ++q)
+                fanin_scratch_[q] = (fanins[q].v == cur.v)
+                                        ? value
+                                        : good_values[fanins[q].v];
+            value = netlist::eval_word_t<Word>(circuit_.type(parent),
+                                               fanin_scratch_);
+            cur = parent;
+        }
+        return value;
+    }
+
     /// Faulty primary-output words of the last propagate() call: the
     /// faulty value where the effect reached, the good value elsewhere.
-    void faulty_outputs(std::span<const std::uint64_t> good_values,
-                        std::span<std::uint64_t> out) const {
+    void faulty_outputs(std::span<const Word> good_values,
+                        std::span<Word> out) const {
         const auto& outputs = circuit_.outputs();
         for (std::size_t o = 0; o < outputs.size(); ++o) {
             const std::uint32_t po = outputs[o].v;
@@ -139,226 +184,370 @@ public:
 
 private:
     const Circuit& circuit_;
-    std::vector<std::uint64_t> fval_;
+    std::vector<Word> fval_;
     std::vector<std::uint32_t> val_stamp_;
     std::vector<std::uint32_t> sched_stamp_;
     std::uint32_t stamp_ = 0;
     std::vector<std::vector<std::uint32_t>> bucket_;
-    std::vector<std::uint64_t> fanin_scratch_;
+    std::vector<Word> fanin_scratch_;
     bool ran_ = false;
 };
 
-/// The original single-threaded loop, preserved exactly: one pass over
-/// the active list per 64-pattern block, deadline polled per fault,
-/// ordered response-observer callbacks.
-FaultSimResult run_serial(const Circuit& circuit,
-                          const CollapsedFaults& faults,
-                          sim::PatternSource& source,
-                          const FaultSimOptions& options) {
-    obs::Sink* sink = options.sink;
-    obs::Span run_span(sink, "sim/run");
-    sim::LogicSimulator good(circuit);
-    FaultPropagator prop(circuit);
+/// Processing order of the collapsed fault list, cut into contiguous
+/// groups. Legacy (per-fault) mode keeps fault-index order sliced at
+/// the PR 2 shard boundaries; FFR-batch mode stable-sorts faults by
+/// their fanout-free region and cuts one group per region, so a group's
+/// faults share one stem observability mask per block. Shards own whole
+/// groups, which keeps the batch counter and the per-shard merges
+/// independent of the thread count.
+struct GroupPlan {
+    std::vector<std::uint32_t> order;        ///< fault indices, grouped
+    std::vector<std::uint32_t> group_begin;  ///< group g = order
+                                             ///< [begin[g], begin[g+1])
+    std::vector<NodeId> group_root;  ///< region stem per group (batched)
+    bool batched = false;
 
-    FaultSimResult result;
-    result.detect_pattern.assign(faults.size(), -1);
+    std::size_t group_count() const { return group_begin.size() - 1; }
+};
 
-    // Active (not yet detected) fault indices.
-    std::vector<std::uint32_t> active(faults.size());
-    for (std::uint32_t i = 0; i < active.size(); ++i) active[i] = i;
-
-    std::vector<std::uint64_t> pi_words(circuit.input_count());
-    std::vector<std::uint64_t> faulty_po_words(circuit.output_count());
-
-    const std::size_t blocks = (options.max_patterns + 63) / 64;
-    double covered_weight = 0.0;
-    std::size_t undetected_count = faults.size();
-    const double total_weight = static_cast<double>(faults.total_faults);
-
-    for (std::size_t b = 0; b < blocks; ++b) {
-        obs::Span block_span(sink, "sim/block");
-        source.next_block(pi_words);
-        good.simulate_block(pi_words);
-        const auto good_values = good.values();
-        const std::int64_t base = static_cast<std::int64_t>(b) * 64;
-
-        std::size_t kept = 0;
-        std::uint64_t simulated = 0;
-        for (std::size_t idx = 0; idx < active.size(); ++idx) {
-            if (options.deadline != nullptr &&
-                options.deadline->expired()) {
-                // Deadline: keep the faults not yet simulated this block
-                // active and stop. Detections already recorded stand.
-                result.truncated = true;
-                for (std::size_t j = idx; j < active.size(); ++j)
-                    active[kept++] = active[j];
-                break;
-            }
-            const std::uint32_t fi = active[idx];
-            ++simulated;
-            const std::uint64_t detect =
-                prop.propagate(faults.representatives[fi], good_values);
-
-            if (options.response_observer) {
-                prop.faulty_outputs(good_values, faulty_po_words);
-                options.response_observer(fi, b, faulty_po_words);
-            }
-
-            if (detect != 0 && result.detect_pattern[fi] < 0) {
-                result.detect_pattern[fi] =
-                    base + std::countr_zero(detect);
-                covered_weight += faults.class_size[fi];
-                --undetected_count;
-            }
-            if (detect == 0 || !options.drop_detected) active[kept++] = fi;
+GroupPlan make_group_plan(const Circuit& circuit,
+                          const CollapsedFaults& faults, bool batched,
+                          unsigned threads) {
+    GroupPlan plan;
+    plan.batched = batched;
+    const std::size_t n = faults.size();
+    plan.order.resize(n);
+    std::iota(plan.order.begin(), plan.order.end(), 0U);
+    plan.group_begin.push_back(0);
+    if (!batched) {
+        const std::size_t count = std::min<std::size_t>(
+            n, static_cast<std::size_t>(threads) * 4);
+        for (std::size_t s = 0; s < count; ++s) {
+            plan.group_begin.push_back(
+                static_cast<std::uint32_t>(n * (s + 1) / count));
+            plan.group_root.push_back(netlist::kNullNode);
         }
-        active.resize(kept);
-        obs::add(sink, obs::Counter::FaultsSimulated, simulated);
-        if (result.truncated) break;  // partial block: don't count it
-        obs::add(sink, obs::Counter::SimBlocks);
-        obs::add(sink, obs::Counter::SimPatterns, 64);
-        result.patterns_applied = (b + 1) * 64;
-        if (options.record_curve)
-            result.coverage_curve.push_back(covered_weight / total_weight);
-        if (options.stop_at_full_coverage && undetected_count == 0) break;
+        return plan;
     }
-
-    result.undetected = undetected_count;
-    result.coverage =
-        total_weight > 0 ? covered_weight / total_weight : 1.0;
-    if (result.truncated) obs::add(sink, obs::Counter::DeadlineExpiries);
-    return result;
+    const netlist::FfrDecomposition ffr = netlist::decompose_ffr(circuit);
+    std::stable_sort(plan.order.begin(), plan.order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         return ffr.region_of[faults.representatives[a]
+                                                  .node.v] <
+                                ffr.region_of[faults.representatives[b]
+                                                  .node.v];
+                     });
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t region =
+            ffr.region_of[faults.representatives[plan.order[i]].node.v];
+        if (i == 0 ||
+            region != ffr.region_of[faults
+                                        .representatives[plan.order[i - 1]]
+                                        .node.v]) {
+            if (i != 0)
+                plan.group_begin.push_back(static_cast<std::uint32_t>(i));
+            plan.group_root.push_back(ffr.regions[region].root);
+        }
+    }
+    if (n > 0) plan.group_begin.push_back(static_cast<std::uint32_t>(n));
+    return plan;
 }
 
-/// Fault-partitioned parallel simulation. The collapsed fault list is
-/// split into contiguous shards (finer than the lane count, so the
-/// work-stealing pool balances uneven cones); each shard owns its slice
-/// of the active list across blocks. Per block the good machine is
-/// simulated once on the calling thread and its values broadcast
-/// read-only; lanes then propagate their shards' active faults with
-/// per-lane FaultPropagator scratch.
+/// Contiguous group ranges for the worker shards: legacy mode maps one
+/// group per shard (the exact PR 2 layout); batch mode cuts the region
+/// groups proportionally. Shards never split a group, so per-(region,
+/// block) work — in particular the FfrBatches count — is identical for
+/// every thread count.
+std::vector<std::pair<std::uint32_t, std::uint32_t>> make_shard_ranges(
+    const GroupPlan& plan, unsigned threads) {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges;
+    const std::size_t groups = plan.group_count();
+    if (groups == 0) return ranges;
+    if (!plan.batched) {
+        for (std::size_t g = 0; g < groups; ++g)
+            ranges.emplace_back(static_cast<std::uint32_t>(g),
+                                static_cast<std::uint32_t>(g + 1));
+        return ranges;
+    }
+    const std::size_t count = std::min<std::size_t>(
+        groups, static_cast<std::size_t>(threads) * 4);
+    for (std::size_t s = 0; s < count; ++s)
+        ranges.emplace_back(
+            static_cast<std::uint32_t>(groups * s / count),
+            static_cast<std::uint32_t>(groups * (s + 1) / count));
+    return ranges;
+}
+
+/// The width-generic simulation engine. The scalar 64-bit path is the
+/// Word = std::uint64_t instantiation of this exact function — there is
+/// no separate legacy loop to diverge from.
 ///
-/// Determinism: detect_pattern entries are per-fault (exactly one shard
-/// owns a fault), and the per-shard covered-weight fragments are sums of
-/// integer class sizes — exact in double — merged in shard-index order,
-/// so every completed run is bit-identical to the serial path regardless
-/// of thread count or interleaving.
-FaultSimResult run_parallel(const Circuit& circuit,
-                            const CollapsedFaults& faults,
-                            sim::PatternSource& source,
-                            const FaultSimOptions& options,
-                            unsigned threads) {
+/// Width semantics: the pattern budget is still counted in 64-pattern
+/// sub-blocks (blocks64 = ceil(max_patterns / 64)); a wide block
+/// consumes kLanes consecutive scalar blocks from the source (lane l =
+/// block l), and a partial final wide block draws only its valid lanes
+/// and masks the rest out. Detect words per 64-pattern sub-block are
+/// therefore identical at every width, which makes detect_pattern,
+/// coverage, the per-64-block coverage curve and the active-list
+/// evolution width-invariant; only the stop-early / truncation
+/// granularity coarsens to wide-block boundaries.
+///
+/// Determinism across threads: shards own whole groups of the fault
+/// order, per-fault results live in per-fault slots, and the per-shard
+/// covered-weight fragments are sums of integer class sizes — exact in
+/// double — merged in shard-index order, so every completed run is
+/// bit-identical to the serial path regardless of thread count.
+template <class Word>
+FaultSimResult run_engine(const Circuit& circuit,
+                          const CollapsedFaults& faults,
+                          sim::PatternSource& source,
+                          const FaultSimOptions& options, unsigned threads) {
+    using Traits = sim::WordTraits<Word>;
+    constexpr unsigned kLanes = Traits::kLanes;
+
     obs::Sink* sink = options.sink;
     obs::Span run_span(sink, "sim/run");
-    sim::LogicSimulator good(circuit);
+    obs::note_max(sink, obs::Counter::SimWidth, Traits::kBits);
+
+    sim::LogicSimulatorT<Word> good(circuit);
 
     FaultSimResult result;
+    result.sim_width = Traits::kBits;
     result.detect_pattern.assign(faults.size(), -1);
+    result.detect_count.assign(faults.size(), 0);
 
-    // Contiguous shards of the fault list, 4 per lane so stealing can
-    // balance shards whose faults die (or drop) at different rates.
-    const std::size_t shard_count = std::min<std::size_t>(
-        faults.size(), static_cast<std::size_t>(threads) * 4);
+    // One drop target unifies both knobs: drop_after = n-detect target,
+    // legacy drop_detected = target 1, neither = never drop.
+    const std::uint64_t drop_limit =
+        options.drop_after > 0
+            ? options.drop_after
+            : (options.drop_detected
+                   ? 1
+                   : std::numeric_limits<std::uint64_t>::max());
+
+    const bool batched = options.ffr_batch && !options.response_observer;
+    const GroupPlan plan =
+        make_group_plan(circuit, faults, batched, threads);
+    const auto ranges = make_shard_ranges(plan, threads);
+    const std::size_t shard_count = ranges.size();
+
     struct Shard {
-        std::vector<std::uint32_t> active;
-        double block_covered = 0.0;   // exact: sum of integer weights
+        std::uint32_t group_lo = 0;
+        std::uint32_t group_hi = 0;
+        /// Active (not yet dropped) fault indices per owned group.
+        std::vector<std::vector<std::uint32_t>> active;
+        double block_covered = 0.0;  // exact: sum of integer weights
         std::size_t block_detected = 0;
-        bool saw_deadline = false;
+        std::uint64_t block_dropped = 0;
+        /// (first-detect pattern, class weight) of this block's new
+        /// detections, for the sub-block curve reconstruction.
+        std::vector<std::pair<std::int64_t, std::uint32_t>> block_new;
     };
     std::vector<Shard> shards(shard_count);
     for (std::size_t s = 0; s < shard_count; ++s) {
-        const std::size_t lo = faults.size() * s / shard_count;
-        const std::size_t hi = faults.size() * (s + 1) / shard_count;
-        shards[s].active.reserve(hi - lo);
-        for (std::size_t i = lo; i < hi; ++i)
-            shards[s].active.push_back(static_cast<std::uint32_t>(i));
+        shards[s].group_lo = ranges[s].first;
+        shards[s].group_hi = ranges[s].second;
+        shards[s].active.resize(ranges[s].second - ranges[s].first);
+        for (std::uint32_t g = ranges[s].first; g < ranges[s].second; ++g) {
+            auto& active = shards[s].active[g - ranges[s].first];
+            active.assign(plan.order.begin() + plan.group_begin[g],
+                          plan.order.begin() + plan.group_begin[g + 1]);
+        }
     }
 
     // Per-lane private propagation scratch, created lazily on first use.
-    std::vector<std::unique_ptr<FaultPropagator>> scratch(threads);
+    std::vector<std::unique_ptr<FaultPropagatorT<Word>>> scratch(
+        std::max(1U, threads));
 
-    std::vector<std::uint64_t> pi_words(circuit.input_count());
+    std::vector<Word> pi_words(circuit.input_count());
+    std::vector<std::uint64_t> pack_scratch(circuit.input_count());
+    std::vector<Word> faulty_po_words(
+        options.response_observer ? circuit.output_count() : 0);
 
-    const std::size_t blocks = (options.max_patterns + 63) / 64;
+    const std::size_t blocks64 = (options.max_patterns + 63) / 64;
+    const std::size_t wide_blocks = (blocks64 + kLanes - 1) / kLanes;
     double covered_weight = 0.0;
     std::size_t undetected_count = faults.size();
     const double total_weight = static_cast<double>(faults.total_faults);
     util::Deadline* deadline = options.deadline;
     std::atomic<bool> expired{false};
 
-    util::ThreadPool& pool = util::ThreadPool::shared();
-
-    for (std::size_t b = 0; b < blocks; ++b) {
+    for (std::size_t wb = 0; wb < wide_blocks; ++wb) {
+        // Width-independent expiry: poll before paying for a block, so
+        // an expired deadline truncates here even when every fault has
+        // been dropped (no per-fault poll would run) and the truncation
+        // point does not scale with the block width.
+        if (deadline != nullptr && deadline->expired()) {
+            result.truncated = true;
+            break;
+        }
         obs::Span block_span(sink, "sim/block");
-        source.next_block(pi_words);
+        const unsigned lanes_valid = static_cast<unsigned>(
+            std::min<std::size_t>(kLanes, blocks64 - wb * kLanes));
+        sim::next_wide_block<Word>(source, pi_words, pack_scratch,
+                                   lanes_valid);
         good.simulate_block(pi_words);
         const auto good_values = good.values();
-        const std::int64_t base = static_cast<std::int64_t>(b) * 64;
+        const Word valid = sim::word_valid_mask<Word>(lanes_valid);
+        const std::int64_t base =
+            static_cast<std::int64_t>(wb) * kLanes * 64;
 
-        pool.for_each(shard_count, threads, [&](std::size_t s,
-                                                unsigned lane) {
-            // Per-lane work is trace-only (detail): shard layout depends
-            // on the thread count, so it must stay out of the report's
-            // span table.
-            obs::Span shard_span(sink, "sim/shard", /*detail=*/true);
+        auto process_shard = [&](std::size_t s, unsigned lane) {
             Shard& shard = shards[s];
             shard.block_covered = 0.0;
             shard.block_detected = 0;
+            shard.block_dropped = 0;
+            shard.block_new.clear();
             if (!scratch[lane])
                 scratch[lane] =
-                    std::make_unique<FaultPropagator>(circuit);
-            FaultPropagator& prop = *scratch[lane];
+                    std::make_unique<FaultPropagatorT<Word>>(circuit);
+            FaultPropagatorT<Word>& prop = *scratch[lane];
 
-            std::size_t kept = 0;
             std::uint64_t simulated = 0;
-            for (std::size_t idx = 0; idx < shard.active.size(); ++idx) {
-                // First expiry (from any lane) stops every shard at its
-                // next fault; not-yet-simulated faults stay active.
-                if (expired.load(std::memory_order_relaxed) ||
-                    (deadline != nullptr && deadline->expired())) {
-                    expired.store(true, std::memory_order_relaxed);
-                    shard.saw_deadline = true;
-                    for (std::size_t j = idx; j < shard.active.size();
-                         ++j)
-                        shard.active[kept++] = shard.active[j];
-                    break;
+            std::uint64_t batches = 0;
+            std::uint64_t dropped = 0;
+            bool stop = false;
+            for (std::uint32_t g = shard.group_lo;
+                 !stop && g < shard.group_hi; ++g) {
+                auto& active = shard.active[g - shard.group_lo];
+                if (active.empty()) continue;
+                // The stem mask pays off once ≥2 faults share it; a
+                // lone fault keeps the direct cone propagation (same
+                // bits either way).
+                const bool use_mask = plan.batched && active.size() > 1;
+                const NodeId root = plan.group_root[g];
+                Word mask = Traits::zero();
+                bool mask_ready = false;
+                std::size_t kept = 0;
+                for (std::size_t idx = 0; idx < active.size(); ++idx) {
+                    // First expiry (from any lane) stops every shard at
+                    // its next fault; not-yet-simulated faults stay
+                    // active.
+                    if (expired.load(std::memory_order_relaxed) ||
+                        (deadline != nullptr && deadline->expired())) {
+                        expired.store(true, std::memory_order_relaxed);
+                        for (std::size_t j = idx; j < active.size(); ++j)
+                            active[kept++] = active[j];
+                        stop = true;
+                        break;
+                    }
+                    const std::uint32_t fi = active[idx];
+                    const Fault& fault = faults.representatives[fi];
+                    ++simulated;
+                    Word detect;
+                    if (use_mask) {
+                        const Word injected = Traits::splat(
+                            fault.stuck_at1 ? ~std::uint64_t{0} : 0);
+                        if (!Traits::any((injected ^
+                                          good_values[fault.node.v]) &
+                                         valid)) {
+                            detect = Traits::zero();
+                        } else {
+                            if (!mask_ready) {
+                                mask = prop.propagate_value(
+                                           root, ~good_values[root.v],
+                                           good_values) &
+                                       valid;
+                                mask_ready = true;
+                                ++batches;
+                            }
+                            const Word stem =
+                                prop.lift_to_stem(fault.node, root,
+                                                  injected, good_values);
+                            detect = (stem ^ good_values[root.v]) & mask;
+                        }
+                    } else {
+                        detect =
+                            prop.propagate(fault, good_values) & valid;
+                        if (options.response_observer) {
+                            prop.faulty_outputs(good_values,
+                                                faulty_po_words);
+                            if constexpr (kLanes == 1)
+                                options.response_observer(
+                                    fi, wb, faulty_po_words);
+                        }
+                    }
+
+                    if (Traits::any(detect)) {
+                        if (result.detect_pattern[fi] < 0) {
+                            result.detect_pattern[fi] =
+                                base + Traits::first_bit(detect);
+                            shard.block_covered += faults.class_size[fi];
+                            ++shard.block_detected;
+                            if (options.record_curve)
+                                shard.block_new.emplace_back(
+                                    result.detect_pattern[fi],
+                                    faults.class_size[fi]);
+                        }
+                        result.detect_count[fi] +=
+                            Traits::popcount(detect);
+                    }
+                    if (result.detect_count[fi] < drop_limit)
+                        active[kept++] = fi;
+                    else
+                        ++dropped;
                 }
-                const std::uint32_t fi = shard.active[idx];
-                ++simulated;
-                const std::uint64_t detect = prop.propagate(
-                    faults.representatives[fi], good_values);
-                if (detect != 0 && result.detect_pattern[fi] < 0) {
-                    result.detect_pattern[fi] =
-                        base + std::countr_zero(detect);
-                    shard.block_covered += faults.class_size[fi];
-                    ++shard.block_detected;
-                }
-                if (detect == 0 || !options.drop_detected)
-                    shard.active[kept++] = fi;
+                active.resize(kept);
             }
-            shard.active.resize(kept);
             // One batched add per shard per block keeps the hot loop
-            // free of atomics; totals match the serial path exactly.
+            // free of atomics; totals match serial execution exactly.
             obs::add(sink, obs::Counter::FaultsSimulated, simulated);
-        });
+            if (batches != 0)
+                obs::add(sink, obs::Counter::FfrBatches, batches);
+            if (dropped != 0)
+                obs::add(sink, obs::Counter::FaultsDropped, dropped);
+            shard.block_dropped = dropped;
+        };
+
+        if (threads <= 1) {
+            for (std::size_t s = 0; s < shard_count; ++s)
+                process_shard(s, 0);
+        } else {
+            util::ThreadPool::shared().for_each(
+                shard_count, threads, [&](std::size_t s, unsigned lane) {
+                    // Per-lane work is trace-only (detail): shard
+                    // layout depends on the thread count, so it must
+                    // stay out of the report's span table.
+                    obs::Span shard_span(sink, "sim/shard",
+                                         /*detail=*/true);
+                    process_shard(s, lane);
+                });
+        }
 
         // Deterministic reduction: merge the per-shard fragments in
-        // shard-index order (ascending fault index, as in the serial
-        // pass). The fragments are integer-valued, so the sum is exact
-        // and independent of the shard/thread layout.
+        // shard-index order (ascending along the fault order, as a
+        // serial pass would accumulate them).
+        double block_covered = 0.0;
         for (const Shard& shard : shards) {
-            covered_weight += shard.block_covered;
+            block_covered += shard.block_covered;
             undetected_count -= shard.block_detected;
+            result.dropped += shard.block_dropped;
         }
         if (expired.load(std::memory_order_relaxed)) {
+            covered_weight += block_covered;
             result.truncated = true;
-            break;  // partial block: don't count it
+            break;  // partial block: don't count its patterns
         }
-        obs::add(sink, obs::Counter::SimBlocks);
-        obs::add(sink, obs::Counter::SimPatterns, 64);
-        result.patterns_applied = (b + 1) * 64;
-        if (options.record_curve)
-            result.coverage_curve.push_back(covered_weight / total_weight);
+        if (options.record_curve) {
+            // Re-bucket this block's new detections by 64-pattern
+            // sub-block so the curve keeps its per-64-block shape (and
+            // its exact values) at every width.
+            std::array<double, kLanes> sub{};
+            for (const Shard& shard : shards)
+                for (const auto& [pattern, weight] : shard.block_new)
+                    sub[static_cast<std::size_t>((pattern - base) / 64)] +=
+                        weight;
+            for (unsigned l = 0; l < lanes_valid; ++l) {
+                covered_weight += sub[l];
+                result.coverage_curve.push_back(covered_weight /
+                                                total_weight);
+            }
+        } else {
+            covered_weight += block_covered;
+        }
+        obs::add(sink, obs::Counter::SimBlocks, lanes_valid);
+        obs::add(sink, obs::Counter::SimPatterns, 64 * lanes_valid);
+        result.patterns_applied = (wb * kLanes + lanes_valid) * 64;
         if (options.stop_at_full_coverage && undetected_count == 0) break;
     }
 
@@ -379,8 +568,28 @@ FaultSimResult run_fault_simulation(const Circuit& circuit,
     // Ordered observer callbacks and fault-free universes have nothing
     // to parallelise over.
     if (options.response_observer || faults.size() == 0) threads = 1;
-    if (threads <= 1) return run_serial(circuit, faults, source, options);
-    return run_parallel(circuit, faults, source, options, threads);
+    unsigned width = options.sim_width;
+    if (width == 0) width = sim::preferred_sim_width();
+    if (!sim::sim_width_supported(width))
+        throw ValidationError(
+            "sim_width must be 0 (auto), 64, 128, 256 or 512");
+    // The observer contract is 64-pattern blocks with real faulty
+    // output words per block.
+    if (options.response_observer) width = 64;
+    switch (width) {
+        case 128:
+            return run_engine<sim::SimWord<2>>(circuit, faults, source,
+                                               options, threads);
+        case 256:
+            return run_engine<sim::SimWord<4>>(circuit, faults, source,
+                                               options, threads);
+        case 512:
+            return run_engine<sim::SimWord<8>>(circuit, faults, source,
+                                               options, threads);
+        default:
+            return run_engine<std::uint64_t>(circuit, faults, source,
+                                             options, threads);
+    }
 }
 
 FaultSimResult random_pattern_coverage(const Circuit& circuit,
@@ -388,7 +597,8 @@ FaultSimResult random_pattern_coverage(const Circuit& circuit,
                                        std::uint64_t seed,
                                        bool record_curve,
                                        util::Deadline* deadline,
-                                       unsigned threads, obs::Sink* sink) {
+                                       unsigned threads, obs::Sink* sink,
+                                       unsigned sim_width) {
     const CollapsedFaults faults = collapse_faults(circuit);
     sim::RandomPatternSource source(seed);
     FaultSimOptions options;
@@ -397,6 +607,7 @@ FaultSimResult random_pattern_coverage(const Circuit& circuit,
     options.deadline = deadline;
     options.threads = threads;
     options.sink = sink;
+    options.sim_width = sim_width;
     return run_fault_simulation(circuit, faults, source, options);
 }
 

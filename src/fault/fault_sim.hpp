@@ -24,6 +24,30 @@ struct FaultSimOptions {
     /// Drop faults at first detection (the usual mode). Signature-based
     /// BIST analysis needs the complete response and sets this to false.
     bool drop_detected = true;
+    /// Simulation word width in bits: 64 (the scalar baseline and the
+    /// default — fixed, so goldens and counters are host-independent),
+    /// 128/256/512 (SIMD lanes, see sim::SimWord), or 0 = the widest
+    /// width this host supports (sim::preferred_sim_width). Every width
+    /// produces identical detection results (detect_pattern, coverage,
+    /// curve, detect counts while active); only throughput and the
+    /// truncation/stop-early granularity change. A set
+    /// response_observer forces width 64 (its contract is 64-pattern
+    /// blocks).
+    unsigned sim_width = 64;
+    /// Drop a fault from the active list once this many patterns have
+    /// detected it (an n-detect target). 0 = off: dropping is then
+    /// governed by drop_detected alone (equivalent to drop_after = 1
+    /// when set). Dropping never changes the detected/undetected
+    /// partition or detect_pattern — only detect counts beyond the
+    /// target, which stop accumulating once the fault is dropped.
+    std::uint64_t drop_after = 0;
+    /// Batch single-fault propagation per fanout-free region: one stem
+    /// observability mask is propagated per (region, block) and each
+    /// fault in the region reduces to a cheap site-to-stem walk
+    /// (DESIGN.md §14 has the exactness argument). Bitwise-equal to
+    /// per-fault propagation; on by default. A set response_observer
+    /// forces the per-fault path (it needs real faulty output words).
+    bool ffr_batch = true;
     /// Optional observer invoked for every still-active fault after each
     /// block, with the faulty primary-output words (one per output, in
     /// outputs() order). Used by the MISR compaction of tpi::bist.
@@ -31,7 +55,9 @@ struct FaultSimOptions {
                        std::span<const std::uint64_t> faulty_po_words)>
         response_observer;
     /// Optional cooperative resource budget (not owned). Checked per
-    /// simulated fault; on expiry the simulation stops at the current
+    /// simulated fault and before every pattern block — the block poll
+    /// makes expiry width-independent and covers the empty-active-list
+    /// case; on expiry the simulation stops at the current
     /// block and returns the coverage accumulated so far with
     /// FaultSimResult::truncated set. Thread-safe: under parallel
     /// execution every worker polls it and the first expiry stops all
@@ -59,12 +85,22 @@ struct FaultSimOptions {
 struct FaultSimResult {
     /// Per collapsed fault: index of the first detecting pattern, or -1.
     std::vector<std::int64_t> detect_pattern;
+    /// Per collapsed fault: number of patterns that detected it while it
+    /// was still active. With dropping off this is the exact n-detect
+    /// count over all applied patterns (width-invariant); with dropping
+    /// on, counts beyond the drop target depend on the block width the
+    /// fault was retired under.
+    std::vector<std::uint64_t> detect_count;
     /// Patterns actually applied (multiple of 64 unless 0).
     std::size_t patterns_applied = 0;
     /// Weighted detected / total over the uncollapsed universe.
     double coverage = 0.0;
     /// Number of undetected collapsed faults.
     std::size_t undetected = 0;
+    /// Collapsed faults removed from the active list by fault dropping.
+    std::size_t dropped = 0;
+    /// The simulation word width actually used (sim_width = 0 resolved).
+    unsigned sim_width = 0;
     /// If requested: coverage after each 64-pattern block.
     std::vector<double> coverage_curve;
     /// Completeness status: true when the deadline expired and the
@@ -79,25 +115,30 @@ struct FaultSimResult {
 /// Parallel-pattern single-fault-propagation fault simulation with fault
 /// dropping.
 ///
-/// For each 64-pattern block the fault-free circuit is simulated once;
-/// every still-undetected fault is then injected and its effect propagated
-/// through its fanout cone only, comparing against the good values at the
-/// primary outputs (which include any observation points materialised by
-/// apply_test_points). A fault is dropped at its first detection.
+/// For each pattern block (sim_width bits wide) the fault-free circuit
+/// is simulated once; every still-active fault is then injected and its
+/// effect propagated — through its fanout cone, or via the shared
+/// per-FFR stem observability mask when ffr_batch is on — comparing
+/// against the good values at the primary outputs (which include any
+/// observation points materialised by apply_test_points). A fault is
+/// dropped once its detection count reaches the drop target. Throws
+/// tpi::ValidationError for an unsupported sim_width.
 FaultSimResult run_fault_simulation(const netlist::Circuit& circuit,
                                     const CollapsedFaults& faults,
                                     sim::PatternSource& source,
                                     const FaultSimOptions& options = {});
 
 /// Convenience wrapper: collapse, simulate `num_patterns` equiprobable
-/// random patterns with `seed`, return the result. `threads` and `sink`
-/// as in FaultSimOptions (1 = serial, 0 = hardware concurrency).
+/// random patterns with `seed`, return the result. `threads`, `sink`
+/// and `sim_width` as in FaultSimOptions (threads 1 = serial, 0 =
+/// hardware concurrency; sim_width 0 = auto).
 FaultSimResult random_pattern_coverage(const netlist::Circuit& circuit,
                                        std::size_t num_patterns,
                                        std::uint64_t seed,
                                        bool record_curve = false,
                                        util::Deadline* deadline = nullptr,
                                        unsigned threads = 1,
-                                       obs::Sink* sink = nullptr);
+                                       obs::Sink* sink = nullptr,
+                                       unsigned sim_width = 64);
 
 }  // namespace tpi::fault

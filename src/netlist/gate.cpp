@@ -57,40 +57,7 @@ bool controlling_value(GateType type) {
 
 std::uint64_t eval_word(GateType type,
                         std::span<const std::uint64_t> inputs) {
-    switch (type) {
-        case GateType::Input:
-        case GateType::Const0:
-        case GateType::Const1:
-            throw Error("eval_word: source nodes are not evaluated");
-        case GateType::Buf:
-            require(inputs.size() == 1, "eval_word: BUF takes one input");
-            return inputs[0];
-        case GateType::Not:
-            require(inputs.size() == 1, "eval_word: NOT takes one input");
-            return ~inputs[0];
-        case GateType::And:
-        case GateType::Nand: {
-            require(!inputs.empty(), "eval_word: AND needs inputs");
-            std::uint64_t acc = ~std::uint64_t{0};
-            for (std::uint64_t w : inputs) acc &= w;
-            return type == GateType::Nand ? ~acc : acc;
-        }
-        case GateType::Or:
-        case GateType::Nor: {
-            require(!inputs.empty(), "eval_word: OR needs inputs");
-            std::uint64_t acc = 0;
-            for (std::uint64_t w : inputs) acc |= w;
-            return type == GateType::Nor ? ~acc : acc;
-        }
-        case GateType::Xor:
-        case GateType::Xnor: {
-            require(!inputs.empty(), "eval_word: XOR needs inputs");
-            std::uint64_t acc = 0;
-            for (std::uint64_t w : inputs) acc ^= w;
-            return type == GateType::Xnor ? ~acc : acc;
-        }
-    }
-    throw Error("eval_word: invalid GateType");
+    return eval_word_t<std::uint64_t>(type, inputs);
 }
 
 bool eval_bool(GateType type, std::span<const bool> inputs) {

@@ -4,6 +4,8 @@
 #include <span>
 #include <string_view>
 
+#include "util/error.hpp"
+
 namespace tpi::netlist {
 
 /// Gate primitives of the netlist model. `Input` marks primary inputs
@@ -61,6 +63,53 @@ bool controlling_value(GateType type);
 /// Evaluate the gate on bit-parallel 64-pattern words. Each word carries
 /// 64 independent pattern slots; sources must not be evaluated this way.
 std::uint64_t eval_word(GateType type, std::span<const std::uint64_t> inputs);
+
+/// Generic form of eval_word over any bit-parallel word type providing
+/// `~ & | ^` and their compound assignments (std::uint64_t, the wide
+/// sim::SimWord lanes). Each bit position is an independent pattern
+/// slot; the accumulation is seeded from the first input, so no word
+/// constants are needed and eval_word_t<std::uint64_t> is bit-for-bit
+/// the scalar eval_word.
+template <class Word>
+Word eval_word_t(GateType type, std::span<const Word> inputs) {
+    switch (type) {
+        case GateType::Input:
+        case GateType::Const0:
+        case GateType::Const1:
+            throw Error("eval_word: source nodes are not evaluated");
+        case GateType::Buf:
+            require(inputs.size() == 1, "eval_word: BUF takes one input");
+            return inputs[0];
+        case GateType::Not:
+            require(inputs.size() == 1, "eval_word: NOT takes one input");
+            return ~inputs[0];
+        case GateType::And:
+        case GateType::Nand: {
+            require(!inputs.empty(), "eval_word: AND needs inputs");
+            Word acc = inputs[0];
+            for (std::size_t k = 1; k < inputs.size(); ++k)
+                acc &= inputs[k];
+            return type == GateType::Nand ? ~acc : acc;
+        }
+        case GateType::Or:
+        case GateType::Nor: {
+            require(!inputs.empty(), "eval_word: OR needs inputs");
+            Word acc = inputs[0];
+            for (std::size_t k = 1; k < inputs.size(); ++k)
+                acc |= inputs[k];
+            return type == GateType::Nor ? ~acc : acc;
+        }
+        case GateType::Xor:
+        case GateType::Xnor: {
+            require(!inputs.empty(), "eval_word: XOR needs inputs");
+            Word acc = inputs[0];
+            for (std::size_t k = 1; k < inputs.size(); ++k)
+                acc ^= inputs[k];
+            return type == GateType::Xnor ? ~acc : acc;
+        }
+    }
+    throw Error("eval_word: invalid GateType");
+}
 
 /// Evaluate the gate on scalar boolean inputs (convenience for tests and
 /// the exhaustive oracle).

@@ -35,6 +35,9 @@ std::string_view counter_name(Counter counter) {
         case Counter::LintFindings: return "lint_findings";
         case Counter::AtpgFaults: return "atpg_faults";
         case Counter::AtpgBacktracks: return "atpg_backtracks";
+        case Counter::SimWidth: return "sim_width";
+        case Counter::FaultsDropped: return "faults_dropped";
+        case Counter::FfrBatches: return "ffr_batches";
         case Counter::DeadlineExpiries: return "deadline_expiries";
         case Counter::PoolBatches: return "pool_batches";
         case Counter::PoolTasks: return "pool_tasks";

@@ -42,6 +42,12 @@ enum class Counter : std::uint8_t {
     LintFindings,          ///< lint findings emitted
     AtpgFaults,            ///< faults attempted by PODEM
     AtpgBacktracks,        ///< PODEM backtracks summed over all faults
+    SimWidth,              ///< widest pattern width used, in bits
+                           ///< (high-water mark via note_max, not a sum)
+    FaultsDropped,         ///< faults removed from the active list by
+                           ///< fault dropping
+    FfrBatches,            ///< per-FFR stem observability masks computed
+                           ///< by batched propagation
     // Diagnostic (thread- or wall-clock-dependent).
     DeadlineExpiries,      ///< engines stopped by an expired deadline
     PoolBatches,           ///< parallel for_each batches dispatched
@@ -101,6 +107,18 @@ public:
     std::uint64_t value(Counter counter) const noexcept {
         return counters_[static_cast<std::size_t>(counter)].load(
             std::memory_order_relaxed);
+    }
+
+    /// Raise a counter to at least `n` (lock-free fetch-max). For
+    /// counters that record a configuration high-water mark — e.g.
+    /// SimWidth, where several runs against one sink must not sum their
+    /// widths — rather than accumulated work.
+    void note_max(Counter counter, std::uint64_t n) noexcept {
+        auto& cell = counters_[static_cast<std::size_t>(counter)];
+        std::uint64_t seen = cell.load(std::memory_order_relaxed);
+        while (seen < n && !cell.compare_exchange_weak(
+                               seen, n, std::memory_order_relaxed)) {
+        }
     }
 
     /// Microseconds since the sink was constructed.
@@ -169,6 +187,11 @@ private:
 /// Null-tolerant counter add: the disabled path is a single branch.
 inline void add(Sink* sink, Counter counter, std::uint64_t n = 1) noexcept {
     if (sink != nullptr) sink->add(counter, n);
+}
+
+/// Null-tolerant fetch-max (see Sink::note_max).
+inline void note_max(Sink* sink, Counter counter, std::uint64_t n) noexcept {
+    if (sink != nullptr) sink->note_max(counter, n);
 }
 
 }  // namespace tpi::obs

@@ -95,7 +95,7 @@ void parse_options(const Value& options, Request& request) {
     check_keys(options, "options",
                {"budget", "patterns", "planner", "seed", "deadline_ms",
                 "eval_epsilon", "exact_eval", "prune_lint",
-                "max_findings"});
+                "max_findings", "sim_width", "drop_after"});
     request.budget = static_cast<int>(
         opt_uint(options, "budget", static_cast<std::uint64_t>(request.budget),
                  1u << 20));
@@ -115,6 +115,11 @@ void parse_options(const Value& options, Request& request) {
         opt_bool(options, "prune_lint", request.prune_lint);
     request.max_findings = static_cast<std::size_t>(
         opt_uint(options, "max_findings", request.max_findings, 1u << 20));
+    request.sim_width = static_cast<unsigned>(
+        opt_uint(options, "sim_width", request.sim_width, 512));
+    request.drop_after =
+        opt_uint(options, "drop_after", request.drop_after,
+                 std::numeric_limits<std::uint64_t>::max());
 
     if (request.patterns == 0)
         fail(Code::Validation, "'patterns' must be positive");
@@ -130,6 +135,11 @@ void parse_options(const Value& options, Request& request) {
         request.planner != "random")
         fail(Code::Validation, "unknown planner '" + request.planner +
                                    "' (expected dp, greedy or random)");
+    if (!(request.sim_width == 0 || request.sim_width == 64 ||
+          request.sim_width == 128 || request.sim_width == 256 ||
+          request.sim_width == 512))
+        fail(Code::Validation,
+             "'sim_width' must be 0 (auto), 64, 128, 256 or 512");
 }
 
 void parse_points(const Value& points, Request& request) {

@@ -95,6 +95,8 @@ struct Request {
     bool exact_eval = false;
     bool prune_lint = false;
     std::size_t max_findings = 64;
+    unsigned sim_width = 64;       ///< sim: pattern width (0 = auto)
+    std::uint64_t drop_after = 0;  ///< sim: n-detect drop target (0 = off)
 
     // score --------------------------------------------------------------
     /// (node name, kind) pairs; names resolve against the session's

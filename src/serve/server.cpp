@@ -498,6 +498,8 @@ std::string Server::do_sim(const Request& request, Session& session,
     options.deadline = &deadline;
     options.threads = 1;
     options.sink = &sink;
+    options.sim_width = request.sim_width;
+    options.drop_after = request.drop_after;
     const fault::FaultSimResult result = fault::run_fault_simulation(
         session.circuit, session.sim_faults, source, options);
     truncated = result.truncated;
@@ -506,6 +508,9 @@ std::string Server::do_sim(const Request& request, Session& session,
     out += "\"coverage\": " + num(result.coverage);
     out += ", \"patterns_applied\": " + num(result.patterns_applied);
     out += ", \"undetected\": " + num(result.undetected);
+    out += ", \"dropped\": " + num(result.dropped);
+    out += ", \"sim_width\": " +
+           num(static_cast<std::uint64_t>(result.sim_width));
     out += ", \"truncated\": " + boolean(result.truncated);
     out += "}";
     report.add_num("coverage", result.coverage);

@@ -1,94 +1,65 @@
 #include "sim/logic_sim.hpp"
 
-#include <bit>
-
+#include "sim/simd.hpp"
 #include "util/error.hpp"
 
 namespace tpi::sim {
 
-using netlist::GateType;
-using netlist::NodeId;
+namespace {
 
-LogicSimulator::LogicSimulator(const netlist::Circuit& circuit)
-    : circuit_(circuit), value_(circuit.node_count(), 0) {
-    for (NodeId v : circuit.topo_order()) {
-        const GateType t = circuit.type(v);
-        if (t == GateType::Input) continue;
-        if (t == GateType::Const0 || t == GateType::Const1) {
-            value_[v.v] = (t == GateType::Const1) ? ~std::uint64_t{0} : 0;
-            continue;
-        }
-        Op op;
-        op.type = t;
-        op.node = v.v;
-        op.fanin_begin = static_cast<std::uint32_t>(fanin_pool_.size());
-        op.fanin_count =
-            static_cast<std::uint32_t>(circuit.fanins(v).size());
-        for (NodeId f : circuit.fanins(v)) fanin_pool_.push_back(f.v);
-        ops_.push_back(op);
+/// Width-generic accumulation loop behind estimate_signal_probabilities.
+/// The per-node counters sum exact integer popcounts over the identical
+/// pattern sequence at every width (the packing shim preserves block
+/// order and the valid mask excludes zero-filled lanes of a partial
+/// final wide block), so `ones` is width-invariant.
+template <class Word>
+void accumulate_ones(const netlist::Circuit& circuit, PatternSource& source,
+                     std::size_t blocks64, std::vector<std::size_t>& ones) {
+    constexpr unsigned kLanes = WordTraits<Word>::kLanes;
+    LogicSimulatorT<Word> simulator(circuit);
+    std::vector<Word> pi_words(circuit.input_count());
+    std::vector<std::uint64_t> scratch(circuit.input_count());
+    const std::size_t wide_blocks = (blocks64 + kLanes - 1) / kLanes;
+    for (std::size_t wb = 0; wb < wide_blocks; ++wb) {
+        const unsigned lanes_valid = static_cast<unsigned>(
+            std::min<std::size_t>(kLanes, blocks64 - wb * kLanes));
+        next_wide_block<Word>(source, pi_words, scratch, lanes_valid);
+        simulator.simulate_block(pi_words);
+        const Word valid = word_valid_mask<Word>(lanes_valid);
+        const auto values = simulator.values();
+        for (std::size_t v = 0; v < circuit.node_count(); ++v)
+            ones[v] += WordTraits<Word>::popcount(values[v] & valid);
     }
 }
 
-void LogicSimulator::simulate_block(
-    std::span<const std::uint64_t> pi_words) {
-    const auto& inputs = circuit_.inputs();
-    require(pi_words.size() == inputs.size(),
-            "simulate_block: one word per primary input required");
-    for (std::size_t i = 0; i < inputs.size(); ++i)
-        value_[inputs[i].v] = pi_words[i];
-
-    for (const Op& op : ops_) {
-        const std::uint32_t* f = fanin_pool_.data() + op.fanin_begin;
-        std::uint64_t acc;
-        switch (op.type) {
-            case GateType::Buf:
-                acc = value_[f[0]];
-                break;
-            case GateType::Not:
-                acc = ~value_[f[0]];
-                break;
-            case GateType::And:
-            case GateType::Nand:
-                acc = value_[f[0]];
-                for (std::uint32_t k = 1; k < op.fanin_count; ++k)
-                    acc &= value_[f[k]];
-                if (op.type == GateType::Nand) acc = ~acc;
-                break;
-            case GateType::Or:
-            case GateType::Nor:
-                acc = value_[f[0]];
-                for (std::uint32_t k = 1; k < op.fanin_count; ++k)
-                    acc |= value_[f[k]];
-                if (op.type == GateType::Nor) acc = ~acc;
-                break;
-            case GateType::Xor:
-            case GateType::Xnor:
-                acc = value_[f[0]];
-                for (std::uint32_t k = 1; k < op.fanin_count; ++k)
-                    acc ^= value_[f[k]];
-                if (op.type == GateType::Xnor) acc = ~acc;
-                break;
-            default:
-                throw Error("LogicSimulator: unexpected source in schedule");
-        }
-        value_[op.node] = acc;
-    }
-}
+}  // namespace
 
 std::vector<double> estimate_signal_probabilities(
     const netlist::Circuit& circuit, PatternSource& source,
-    std::size_t num_patterns) {
-    LogicSimulator simulator(circuit);
+    std::size_t num_patterns, unsigned sim_width) {
+    if (sim_width == 0) sim_width = preferred_sim_width();
+    if (!sim_width_supported(sim_width))
+        throw ValidationError(
+            "estimate_signal_probabilities: sim_width must be 0 (auto), "
+            "64, 128, 256 or 512");
+    std::vector<double> probability(circuit.node_count(), 0.0);
     const std::size_t blocks = (num_patterns + 63) / 64;
-    std::vector<std::uint64_t> pi_words(circuit.input_count());
+    if (blocks == 0) return probability;  // 0 patterns: defined as all-0
     std::vector<std::size_t> ones(circuit.node_count(), 0);
-    for (std::size_t b = 0; b < blocks; ++b) {
-        source.next_block(pi_words);
-        simulator.simulate_block(pi_words);
-        for (std::size_t v = 0; v < circuit.node_count(); ++v)
-            ones[v] += std::popcount(simulator.values()[v]);
+    switch (sim_width) {
+        case 64:
+            accumulate_ones<std::uint64_t>(circuit, source, blocks, ones);
+            break;
+        case 128:
+            accumulate_ones<SimWord<2>>(circuit, source, blocks, ones);
+            break;
+        case 256:
+            accumulate_ones<SimWord<4>>(circuit, source, blocks, ones);
+            break;
+        case 512:
+            accumulate_ones<SimWord<8>>(circuit, source, blocks, ones);
+            break;
     }
-    std::vector<double> probability(circuit.node_count());
     const double total = static_cast<double>(blocks * 64);
     for (std::size_t v = 0; v < circuit.node_count(); ++v)
         probability[v] = static_cast<double>(ones[v]) / total;

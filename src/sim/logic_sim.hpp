@@ -6,34 +6,111 @@
 
 #include "netlist/circuit.hpp"
 #include "sim/pattern.hpp"
+#include "sim/sim_word.hpp"
+#include "util/error.hpp"
 
 namespace tpi::sim {
 
-/// 64-way bit-parallel levelised logic simulator.
+/// Bit-parallel levelised logic simulator, templated over the
+/// simulation word (std::uint64_t for the classic 64-way block,
+/// SimWord<2/4/8> for 128/256/512 patterns per block — see
+/// sim_word.hpp and DESIGN.md §14).
 ///
-/// One call to simulate_block evaluates the whole circuit for 64 patterns
-/// simultaneously, one machine word per node. The evaluation schedule
-/// (topological order with flattened fanin lists) is compiled once at
-/// construction, so repeated blocks are cheap.
-class LogicSimulator {
+/// One call to simulate_block evaluates the whole circuit for
+/// WordTraits<Word>::kBits patterns simultaneously, one word per node.
+/// The evaluation schedule (topological order with flattened fanin
+/// lists) is compiled once at construction, so repeated blocks are
+/// cheap. Bit 64*l + j of lane l is pattern slot 64*l + j of the block;
+/// since each lane is computed independently, a wide block is exactly
+/// kLanes scalar blocks evaluated side by side.
+template <class Word>
+class LogicSimulatorT {
 public:
-    explicit LogicSimulator(const netlist::Circuit& circuit);
+    explicit LogicSimulatorT(const netlist::Circuit& circuit)
+        : circuit_(circuit),
+          value_(circuit.node_count(), WordTraits<Word>::zero()) {
+        for (netlist::NodeId v : circuit.topo_order()) {
+            const netlist::GateType t = circuit.type(v);
+            if (t == netlist::GateType::Input) continue;
+            if (t == netlist::GateType::Const0 ||
+                t == netlist::GateType::Const1) {
+                value_[v.v] = (t == netlist::GateType::Const1)
+                                  ? WordTraits<Word>::ones()
+                                  : WordTraits<Word>::zero();
+                continue;
+            }
+            Op op;
+            op.type = t;
+            op.node = v.v;
+            op.fanin_begin = static_cast<std::uint32_t>(fanin_pool_.size());
+            op.fanin_count =
+                static_cast<std::uint32_t>(circuit.fanins(v).size());
+            for (netlist::NodeId f : circuit.fanins(v))
+                fanin_pool_.push_back(f.v);
+            ops_.push_back(op);
+        }
+    }
 
-    /// Simulate the next 64-pattern block. `pi_words` must contain one
+    /// Simulate the next pattern block. `pi_words` must contain one
     /// word per primary input, in inputs() order.
-    void simulate_block(std::span<const std::uint64_t> pi_words);
+    void simulate_block(std::span<const Word> pi_words) {
+        const auto& inputs = circuit_.inputs();
+        require(pi_words.size() == inputs.size(),
+                "simulate_block: one word per primary input required");
+        for (std::size_t i = 0; i < inputs.size(); ++i)
+            value_[inputs[i].v] = pi_words[i];
+
+        using GateType = netlist::GateType;
+        for (const Op& op : ops_) {
+            const std::uint32_t* f = fanin_pool_.data() + op.fanin_begin;
+            Word acc;
+            switch (op.type) {
+                case GateType::Buf:
+                    acc = value_[f[0]];
+                    break;
+                case GateType::Not:
+                    acc = ~value_[f[0]];
+                    break;
+                case GateType::And:
+                case GateType::Nand:
+                    acc = value_[f[0]];
+                    for (std::uint32_t k = 1; k < op.fanin_count; ++k)
+                        acc &= value_[f[k]];
+                    if (op.type == GateType::Nand) acc = ~acc;
+                    break;
+                case GateType::Or:
+                case GateType::Nor:
+                    acc = value_[f[0]];
+                    for (std::uint32_t k = 1; k < op.fanin_count; ++k)
+                        acc |= value_[f[k]];
+                    if (op.type == GateType::Nor) acc = ~acc;
+                    break;
+                case GateType::Xor:
+                case GateType::Xnor:
+                    acc = value_[f[0]];
+                    for (std::uint32_t k = 1; k < op.fanin_count; ++k)
+                        acc ^= value_[f[k]];
+                    if (op.type == GateType::Xnor) acc = ~acc;
+                    break;
+                default:
+                    throw Error(
+                        "LogicSimulator: unexpected source in schedule");
+            }
+            value_[op.node] = acc;
+        }
+    }
 
     /// Word of the last simulated block at `node` (bit j = pattern j).
-    std::uint64_t value(netlist::NodeId node) const { return value_[node.v]; }
+    Word value(netlist::NodeId node) const { return value_[node.v]; }
 
     /// All node words of the last simulated block, indexed by NodeId.
-    std::span<const std::uint64_t> values() const { return value_; }
+    std::span<const Word> values() const { return value_; }
 
     const netlist::Circuit& circuit() const { return circuit_; }
 
 private:
     const netlist::Circuit& circuit_;
-    std::vector<std::uint64_t> value_;
+    std::vector<Word> value_;
 
     // Compiled schedule: gates in topological order with CSR fanins.
     struct Op {
@@ -46,11 +123,20 @@ private:
     std::vector<std::uint32_t> fanin_pool_;
 };
 
+/// The classic 64-way simulator: every pre-SIMD call site compiles
+/// unchanged against this alias.
+using LogicSimulator = LogicSimulatorT<std::uint64_t>;
+
 /// Estimate per-node signal probabilities (fraction of patterns with
 /// value 1) by simulating `num_patterns` stimuli from `source`.
-/// `num_patterns` is rounded up to a multiple of 64.
+/// `num_patterns` is rounded up to a multiple of 64 (the denominator is
+/// the rounded count); 0 patterns yields all-zero probabilities.
+/// `sim_width` selects the simulation word (64/128/256/512, or 0 =
+/// widest the host supports); the per-node popcounts are integer sums
+/// over the same pattern sequence at every width, so the resulting
+/// probabilities are byte-identical regardless of width.
 std::vector<double> estimate_signal_probabilities(
     const netlist::Circuit& circuit, PatternSource& source,
-    std::size_t num_patterns);
+    std::size_t num_patterns, unsigned sim_width = 64);
 
 }  // namespace tpi::sim

@@ -1,0 +1,304 @@
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "sim/pattern.hpp"
+
+// Wide simulation words: the pattern-parallel payload of the logic and
+// fault simulators, templated so one engine serves 64 (scalar
+// std::uint64_t), 128, 256 and 512 patterns per block.
+//
+// Layout: SimWord<N> is N little-endian 64-bit lanes. Lane l, bit j
+// carries pattern 64*l + j of the block, so a wide word is exactly N
+// consecutive scalar blocks stacked side by side — the property the
+// differential tests (tests/test_simd_sim.cpp) rely on and DESIGN.md
+// §14 documents.
+//
+// The bitwise operators route through SimdOps<N>, whose portable lane
+// loop is specialised with SSE2 / AVX2 / AVX-512 intrinsics when the
+// build targets those ISAs (and TPIDP_NO_SIMD is not defined — the
+// forced-portable CI leg). The intrinsic and portable paths compute the
+// same bits; only throughput differs.
+
+#if !defined(TPIDP_NO_SIMD) && defined(__SSE2__)
+#define TPIDP_SIMD_SSE2 1
+#endif
+#if !defined(TPIDP_NO_SIMD) && defined(__AVX2__)
+#define TPIDP_SIMD_AVX2 1
+#endif
+#if !defined(TPIDP_NO_SIMD) && defined(__AVX512F__)
+#define TPIDP_SIMD_AVX512 1
+#endif
+#if defined(TPIDP_SIMD_SSE2) || defined(TPIDP_SIMD_AVX2) || \
+    defined(TPIDP_SIMD_AVX512)
+#include <immintrin.h>
+#endif
+
+namespace tpi::sim {
+
+/// Lane-wise bitwise kernels on arrays of 64-bit lanes. The generic
+/// template is the portable fallback; specialisations below swap in
+/// intrinsics for the lane counts the build's ISA covers. Loads and
+/// stores are unaligned, so SimWord needs no special alignment and can
+/// live in plain std::vector storage.
+template <unsigned Lanes>
+struct SimdOps {
+    static void and_(std::uint64_t* r, const std::uint64_t* a,
+                     const std::uint64_t* b) {
+        for (unsigned l = 0; l < Lanes; ++l) r[l] = a[l] & b[l];
+    }
+    static void or_(std::uint64_t* r, const std::uint64_t* a,
+                    const std::uint64_t* b) {
+        for (unsigned l = 0; l < Lanes; ++l) r[l] = a[l] | b[l];
+    }
+    static void xor_(std::uint64_t* r, const std::uint64_t* a,
+                     const std::uint64_t* b) {
+        for (unsigned l = 0; l < Lanes; ++l) r[l] = a[l] ^ b[l];
+    }
+    static void not_(std::uint64_t* r, const std::uint64_t* a) {
+        for (unsigned l = 0; l < Lanes; ++l) r[l] = ~a[l];
+    }
+};
+
+#ifdef TPIDP_SIMD_SSE2
+template <>
+struct SimdOps<2> {
+    static __m128i load(const std::uint64_t* p) {
+        return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    }
+    static void store(std::uint64_t* p, __m128i v) {
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+    }
+    static void and_(std::uint64_t* r, const std::uint64_t* a,
+                     const std::uint64_t* b) {
+        store(r, _mm_and_si128(load(a), load(b)));
+    }
+    static void or_(std::uint64_t* r, const std::uint64_t* a,
+                    const std::uint64_t* b) {
+        store(r, _mm_or_si128(load(a), load(b)));
+    }
+    static void xor_(std::uint64_t* r, const std::uint64_t* a,
+                     const std::uint64_t* b) {
+        store(r, _mm_xor_si128(load(a), load(b)));
+    }
+    static void not_(std::uint64_t* r, const std::uint64_t* a) {
+        store(r, _mm_xor_si128(load(a), _mm_set1_epi64x(-1)));
+    }
+};
+#endif
+
+#ifdef TPIDP_SIMD_AVX2
+template <>
+struct SimdOps<4> {
+    static __m256i load(const std::uint64_t* p) {
+        return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+    }
+    static void store(std::uint64_t* p, __m256i v) {
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+    }
+    static void and_(std::uint64_t* r, const std::uint64_t* a,
+                     const std::uint64_t* b) {
+        store(r, _mm256_and_si256(load(a), load(b)));
+    }
+    static void or_(std::uint64_t* r, const std::uint64_t* a,
+                    const std::uint64_t* b) {
+        store(r, _mm256_or_si256(load(a), load(b)));
+    }
+    static void xor_(std::uint64_t* r, const std::uint64_t* a,
+                     const std::uint64_t* b) {
+        store(r, _mm256_xor_si256(load(a), load(b)));
+    }
+    static void not_(std::uint64_t* r, const std::uint64_t* a) {
+        store(r, _mm256_xor_si256(load(a), _mm256_set1_epi64x(-1)));
+    }
+};
+#endif
+
+#ifdef TPIDP_SIMD_AVX512
+template <>
+struct SimdOps<8> {
+    static __m512i load(const std::uint64_t* p) {
+        return _mm512_loadu_si512(p);
+    }
+    static void store(std::uint64_t* p, __m512i v) {
+        _mm512_storeu_si512(p, v);
+    }
+    static void and_(std::uint64_t* r, const std::uint64_t* a,
+                     const std::uint64_t* b) {
+        store(r, _mm512_and_si512(load(a), load(b)));
+    }
+    static void or_(std::uint64_t* r, const std::uint64_t* a,
+                    const std::uint64_t* b) {
+        store(r, _mm512_or_si512(load(a), load(b)));
+    }
+    static void xor_(std::uint64_t* r, const std::uint64_t* a,
+                     const std::uint64_t* b) {
+        store(r, _mm512_xor_si512(load(a), load(b)));
+    }
+    static void not_(std::uint64_t* r, const std::uint64_t* a) {
+        store(r, _mm512_xor_si512(load(a), _mm512_set1_epi64(-1)));
+    }
+};
+#endif
+
+/// A simulation word of Lanes*64 patterns. Value-semantic, no required
+/// alignment; all four bitwise operators plus their compound forms, so
+/// generic simulator code written against std::uint64_t compiles
+/// unchanged against SimWord.
+template <unsigned Lanes>
+struct SimWord {
+    static_assert(Lanes == 2 || Lanes == 4 || Lanes == 8,
+                  "SimWord lane counts are 2 (128b), 4 (256b), 8 (512b)");
+
+    std::uint64_t lane[Lanes];
+
+    friend SimWord operator&(const SimWord& a, const SimWord& b) {
+        SimWord r;
+        SimdOps<Lanes>::and_(r.lane, a.lane, b.lane);
+        return r;
+    }
+    friend SimWord operator|(const SimWord& a, const SimWord& b) {
+        SimWord r;
+        SimdOps<Lanes>::or_(r.lane, a.lane, b.lane);
+        return r;
+    }
+    friend SimWord operator^(const SimWord& a, const SimWord& b) {
+        SimWord r;
+        SimdOps<Lanes>::xor_(r.lane, a.lane, b.lane);
+        return r;
+    }
+    friend SimWord operator~(const SimWord& a) {
+        SimWord r;
+        SimdOps<Lanes>::not_(r.lane, a.lane);
+        return r;
+    }
+    SimWord& operator&=(const SimWord& o) {
+        SimdOps<Lanes>::and_(lane, lane, o.lane);
+        return *this;
+    }
+    SimWord& operator|=(const SimWord& o) {
+        SimdOps<Lanes>::or_(lane, lane, o.lane);
+        return *this;
+    }
+    SimWord& operator^=(const SimWord& o) {
+        SimdOps<Lanes>::xor_(lane, lane, o.lane);
+        return *this;
+    }
+    friend bool operator==(const SimWord& a, const SimWord& b) {
+        for (unsigned l = 0; l < Lanes; ++l)
+            if (a.lane[l] != b.lane[l]) return false;
+        return true;
+    }
+};
+
+/// Uniform word interface for the simulators: construction, tests and
+/// per-lane access for any word type. The std::uint64_t specialisation
+/// makes the scalar 64-bit path just another instantiation of the same
+/// generic engine — there is no separate scalar code path to drift.
+template <class Word>
+struct WordTraits;
+
+template <>
+struct WordTraits<std::uint64_t> {
+    static constexpr unsigned kLanes = 1;
+    static constexpr unsigned kBits = 64;
+    static std::uint64_t zero() { return 0; }
+    static std::uint64_t ones() { return ~std::uint64_t{0}; }
+    static std::uint64_t splat(std::uint64_t v) { return v; }
+    static bool any(std::uint64_t w) { return w != 0; }
+    static unsigned popcount(std::uint64_t w) {
+        return static_cast<unsigned>(std::popcount(w));
+    }
+    /// Index of the lowest set bit (= lowest detecting pattern).
+    /// Precondition: any(w).
+    static unsigned first_bit(std::uint64_t w) {
+        return static_cast<unsigned>(std::countr_zero(w));
+    }
+    static std::uint64_t lane(std::uint64_t w, unsigned) { return w; }
+    static void set_lane(std::uint64_t& w, unsigned, std::uint64_t v) {
+        w = v;
+    }
+};
+
+template <unsigned Lanes>
+struct WordTraits<SimWord<Lanes>> {
+    static constexpr unsigned kLanes = Lanes;
+    static constexpr unsigned kBits = Lanes * 64;
+    static SimWord<Lanes> zero() {
+        SimWord<Lanes> w;
+        for (unsigned l = 0; l < Lanes; ++l) w.lane[l] = 0;
+        return w;
+    }
+    static SimWord<Lanes> ones() {
+        SimWord<Lanes> w;
+        for (unsigned l = 0; l < Lanes; ++l) w.lane[l] = ~std::uint64_t{0};
+        return w;
+    }
+    static SimWord<Lanes> splat(std::uint64_t v) {
+        SimWord<Lanes> w;
+        for (unsigned l = 0; l < Lanes; ++l) w.lane[l] = v;
+        return w;
+    }
+    static bool any(const SimWord<Lanes>& w) {
+        std::uint64_t acc = 0;
+        for (unsigned l = 0; l < Lanes; ++l) acc |= w.lane[l];
+        return acc != 0;
+    }
+    static unsigned popcount(const SimWord<Lanes>& w) {
+        unsigned total = 0;
+        for (unsigned l = 0; l < Lanes; ++l)
+            total += static_cast<unsigned>(std::popcount(w.lane[l]));
+        return total;
+    }
+    static unsigned first_bit(const SimWord<Lanes>& w) {
+        for (unsigned l = 0; l < Lanes; ++l)
+            if (w.lane[l] != 0)
+                return l * 64 +
+                       static_cast<unsigned>(std::countr_zero(w.lane[l]));
+        return kBits;  // unreachable under the any() precondition
+    }
+    static std::uint64_t lane(const SimWord<Lanes>& w, unsigned l) {
+        return w.lane[l];
+    }
+    static void set_lane(SimWord<Lanes>& w, unsigned l, std::uint64_t v) {
+        w.lane[l] = v;
+    }
+};
+
+/// All-ones in the first `lanes_valid` lanes, zero above. A partial
+/// final wide block zero-fills its unused lanes, and those zero lanes
+/// are otherwise indistinguishable from real all-zero stimulus — every
+/// detect word and popcount must be masked with this before it is
+/// believed.
+template <class Word>
+Word word_valid_mask(unsigned lanes_valid) {
+    Word mask = WordTraits<Word>::zero();
+    for (unsigned l = 0; l < lanes_valid && l < WordTraits<Word>::kLanes;
+         ++l)
+        WordTraits<Word>::set_lane(mask, l, ~std::uint64_t{0});
+    return mask;
+}
+
+/// Word-packing shim over the 64-bit PatternSource front end: fills one
+/// wide block by drawing `lanes_valid` consecutive scalar blocks and
+/// stacking block l into lane l of every input word. Pattern 64*l + j of
+/// the wide block is therefore pattern j of the l-th drawn scalar block
+/// — the source sequence and the global pattern numbering are identical
+/// at every width. Unused lanes are zero-filled (see word_valid_mask).
+/// `scratch` must hold one std::uint64_t per input word.
+template <class Word>
+void next_wide_block(PatternSource& source, std::span<Word> words,
+                     std::span<std::uint64_t> scratch,
+                     unsigned lanes_valid) {
+    for (Word& w : words) w = WordTraits<Word>::zero();
+    for (unsigned l = 0; l < lanes_valid; ++l) {
+        source.next_block(scratch);
+        for (std::size_t i = 0; i < words.size(); ++i)
+            WordTraits<Word>::set_lane(words[i], l, scratch[i]);
+    }
+}
+
+}  // namespace tpi::sim

@@ -1,0 +1,61 @@
+#include "sim/simd.hpp"
+
+#include "sim/sim_word.hpp"  // for the TPIDP_SIMD_* capability macros
+
+namespace tpi::sim {
+
+namespace {
+
+SimdLevel detect_uncached() {
+#if defined(__x86_64__) || defined(__i386__)
+    if (__builtin_cpu_supports("avx512f")) return SimdLevel::Avx512;
+    if (__builtin_cpu_supports("avx2")) return SimdLevel::Avx2;
+    if (__builtin_cpu_supports("sse2")) return SimdLevel::Sse2;
+#endif
+    return SimdLevel::Portable;
+}
+
+}  // namespace
+
+std::string_view simd_level_name(SimdLevel level) {
+    switch (level) {
+        case SimdLevel::Portable: return "portable";
+        case SimdLevel::Sse2: return "sse2";
+        case SimdLevel::Avx2: return "avx2";
+        case SimdLevel::Avx512: return "avx512";
+    }
+    return "?";
+}
+
+SimdLevel detect_simd_level() {
+    static const SimdLevel level = detect_uncached();
+    return level;
+}
+
+SimdLevel compiled_simd_level() {
+#if defined(TPIDP_SIMD_AVX512)
+    return SimdLevel::Avx512;
+#elif defined(TPIDP_SIMD_AVX2)
+    return SimdLevel::Avx2;
+#elif defined(TPIDP_SIMD_SSE2)
+    return SimdLevel::Sse2;
+#else
+    return SimdLevel::Portable;
+#endif
+}
+
+bool sim_width_supported(unsigned width) {
+    return width == 64 || width == 128 || width == 256 || width == 512;
+}
+
+unsigned preferred_sim_width() {
+    switch (detect_simd_level()) {
+        case SimdLevel::Avx512: return 512;
+        case SimdLevel::Avx2: return 256;
+        case SimdLevel::Sse2: return 128;
+        case SimdLevel::Portable: break;
+    }
+    return 64;
+}
+
+}  // namespace tpi::sim

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string_view>
+
+namespace tpi::sim {
+
+/// Host SIMD capability tiers relevant to the wide simulation words.
+enum class SimdLevel {
+    Portable,  ///< no x86 vector extensions detected (or non-x86 host)
+    Sse2,      ///< 128-bit integer lanes
+    Avx2,      ///< 256-bit integer lanes
+    Avx512,    ///< 512-bit integer lanes (AVX-512F)
+};
+
+/// Stable lower-case name ("portable", "sse2", "avx2", "avx512").
+std::string_view simd_level_name(SimdLevel level);
+
+/// SIMD level of the CPU this process is running on (runtime detection,
+/// cached after the first call). Independent of what the binary was
+/// compiled for: wide SimWords are valid at any level — the portable
+/// lane loops compute the same bits — so the runtime level only steers
+/// the default width choice.
+SimdLevel detect_simd_level();
+
+/// Widest SIMD level whose intrinsic paths were compiled into this
+/// binary (bounded by the build's -m flags and TPIDP_SIMD).
+SimdLevel compiled_simd_level();
+
+/// True for the pattern widths the simulators accept: 64, 128, 256, 512.
+bool sim_width_supported(unsigned width);
+
+/// Default pattern width for `sim_width = 0` (auto): the widest word
+/// with hardware backing on this host, falling back to 64 on portable
+/// hosts. One binary serves any machine — the width is chosen per run,
+/// not per build.
+unsigned preferred_sim_width();
+
+}  // namespace tpi::sim

@@ -262,29 +262,35 @@ TEST(ServeGolden, TranscriptIsByteStable) {
         {R"({"id": 3, "method": "sim", "session": "g", "options": )"
          R"({"patterns": 64, "seed": 1}, "report": false})",
          R"({"id": 3, "ok": true, "result": {"coverage": 1, )"
-         R"("patterns_applied": 64, "undetected": 0, )"
-         R"("truncated": false}})"},
-        {R"({"id": 4, "method": "lint", "session": "g", )"
+         R"("patterns_applied": 64, "undetected": 0, "dropped": 8, )"
+         R"("sim_width": 64, "truncated": false}})"},
+        {R"({"id": 4, "method": "sim", "session": "g", "options": )"
+         R"({"patterns": 64, "seed": 1, "sim_width": 512, )"
+         R"("drop_after": 2}, "report": false})",
+         R"({"id": 4, "ok": true, "result": {"coverage": 1, )"
+         R"("patterns_applied": 64, "undetected": 0, "dropped": 8, )"
+         R"("sim_width": 512, "truncated": false}})"},
+        {R"({"id": 5, "method": "lint", "session": "g", )"
          R"("report": false})",
-         R"({"id": 4, "ok": true, "result": {"findings": 1, )"
+         R"({"id": 5, "ok": true, "result": {"findings": 1, )"
          R"("errors": 0, "warnings": 0, "truncated": false}})"},
-        {R"({"id": 5, "method": "score", "session": "g", "points": )"
-         R"([{"node": "w1", "kind": "OP"}], "options": )"
-         R"({"patterns": 64}, "report": false})",
-         R"({"id": 5, "ok": true, "result": {"score": )"
-         R"(11.999994890121329, "estimated_coverage": )"
-         R"(0.9999995741767774, "min_detection_probability": 0.1875, )"
-         R"("points": 1, "engine_warm": false, "engine_version": 1}})"},
         {R"({"id": 6, "method": "score", "session": "g", "points": )"
          R"([{"node": "w1", "kind": "OP"}], "options": )"
          R"({"patterns": 64}, "report": false})",
          R"({"id": 6, "ok": true, "result": {"score": )"
          R"(11.999994890121329, "estimated_coverage": )"
          R"(0.9999995741767774, "min_detection_probability": 0.1875, )"
+         R"("points": 1, "engine_warm": false, "engine_version": 1}})"},
+        {R"({"id": 7, "method": "score", "session": "g", "points": )"
+         R"([{"node": "w1", "kind": "OP"}], "options": )"
+         R"({"patterns": 64}, "report": false})",
+         R"({"id": 7, "ok": true, "result": {"score": )"
+         R"(11.999994890121329, "estimated_coverage": )"
+         R"(0.9999995741767774, "min_detection_probability": 0.1875, )"
          R"("points": 1, "engine_warm": true, "engine_version": 1}})"},
-        {R"({"id": 7, "method": "close", "session": "g", )"
+        {R"({"id": 8, "method": "close", "session": "g", )"
          R"("report": false})",
-         R"({"id": 7, "ok": true, "result": {"closed": true}})"},
+         R"({"id": 8, "ok": true, "result": {"closed": true}})"},
     };
     for (const auto& [request, expected] : transcript)
         EXPECT_EQ(server.execute_line(request), expected) << request;

@@ -114,6 +114,8 @@ struct Args {
     std::size_t limit = 20000;
     unsigned width = 16;
     unsigned threads = 0;  // 0 = hardware concurrency
+    unsigned sim_width = 64;      // faultsim/tpi pattern width (0 = auto)
+    std::uint64_t drop_after = 0; // faultsim n-detect drop target (0 = off)
     std::string out;
     netlist::ValidateMode mode = netlist::ValidateMode::Lenient;
     double deadline_ms = 0.0;   // unset = unlimited
@@ -163,6 +165,13 @@ void print_help() {
         "  --threads N       worker threads for faultsim/tpi; results are\n"
         "                    bit-identical for every N; 1 = the serial\n"
         "                    code path    (default: hardware concurrency)\n"
+        "  --sim-width W     faultsim/tpi pattern block width in bits:\n"
+        "                    64, 128, 256, 512 or 0 = widest this host\n"
+        "                    supports; detection results are identical\n"
+        "                    at every width               (default 64)\n"
+        "  --drop-after N    faultsim: drop a fault once N patterns have\n"
+        "                    detected it (n-detect dropping); 0 keeps\n"
+        "                    the default drop-at-first-detection\n"
         "  --out FILE        write the DFT netlist (.bench or .v)\n"
         "  --json            lint: emit the report as JSON\n"
         "  --max-findings N  lint: per-rule finding cap  (default 64)\n"
@@ -254,6 +263,15 @@ Args parse_args(int argc, char** argv, int first) {
             if (args.width == 0) usage_error("--width must be positive");
         } else if (arg == "--threads")
             args.threads = parse_number<unsigned>(arg, next());
+        else if (arg == "--sim-width") {
+            args.sim_width = parse_number<unsigned>(arg, next());
+            if (!(args.sim_width == 0 || args.sim_width == 64 ||
+                  args.sim_width == 128 || args.sim_width == 256 ||
+                  args.sim_width == 512))
+                usage_error(
+                    "--sim-width must be 0 (auto), 64, 128, 256 or 512");
+        } else if (arg == "--drop-after")
+            args.drop_after = parse_number<std::uint64_t>(arg, next());
         else if (arg == "--out")
             args.out = next();
         else if (arg == "--json")
@@ -412,13 +430,25 @@ int cmd_faultsim(const Args& args, RunContext& ctx) {
     util::Deadline deadline = make_deadline(args);
     const DeadlineRegistration interrupt_target(&deadline);
     util::Timer timer;
-    const auto result = fault::random_pattern_coverage(
-        c, args.patterns, args.seed, false, &deadline, args.threads,
-        ctx.sink_ptr());
+    const auto faults = fault::collapse_faults(c);
+    sim::RandomPatternSource source(args.seed);
+    fault::FaultSimOptions options;
+    options.max_patterns = args.patterns;
+    options.deadline = &deadline;
+    options.threads = args.threads;
+    options.sink = ctx.sink_ptr();
+    options.sim_width = args.sim_width;
+    options.drop_after = args.drop_after;
+    const auto result =
+        fault::run_fault_simulation(c, faults, source, options);
     std::cout << "coverage @" << result.patterns_applied << " patterns: "
               << util::fmt_percent(result.coverage) << "% ("
               << result.undetected << " undetected, "
               << util::fmt_fixed(timer.seconds(), 2) << " s)\n";
+    if (args.drop_after > 0)
+        std::cout << "  dropped after " << args.drop_after
+                  << " detections: " << result.dropped << " of "
+                  << faults.size() << " faults\n";
     ctx.report.add_num("coverage", result.coverage);
     ctx.report.add_num(
         "patterns_applied",
@@ -426,7 +456,6 @@ int cmd_faultsim(const Args& args, RunContext& ctx) {
     ctx.report.add_num("undetected",
                        static_cast<std::uint64_t>(result.undetected));
     const int exit_code = note_truncation(result.truncated, args);
-    const auto faults = fault::collapse_faults(c);
     for (double target : {0.9, 0.99, 0.999}) {
         const auto n = result.patterns_to_coverage(target, faults);
         std::cout << "  patterns to " << util::fmt_percent(target, 1)
@@ -477,10 +506,10 @@ int cmd_tpi(const Args& args, RunContext& ctx) {
     const auto dft = netlist::apply_test_points(c, plan.points);
     const auto before = fault::random_pattern_coverage(
         c, args.patterns, args.seed, false, nullptr, args.threads,
-        ctx.sink_ptr());
+        ctx.sink_ptr(), args.sim_width);
     const auto after = fault::random_pattern_coverage(
         dft.circuit, args.patterns, args.seed, false, nullptr,
-        args.threads, ctx.sink_ptr());
+        args.threads, ctx.sink_ptr(), args.sim_width);
     std::cout << "coverage: " << util::fmt_percent(before.coverage)
               << "% -> " << util::fmt_percent(after.coverage) << "%\n";
     ctx.report.add_str("planner", args.planner);
