@@ -1,4 +1,5 @@
-// Table 11 — the lint engine and lint-driven planner pruning.
+// Table 11 — the lint engine, lint-driven and analysis-driven planner
+// pruning.
 //
 // Series: run_lint vs circuit size (all rules over random reconvergent
 // DAGs; expected near-linear — every analysis is one or two passes over
@@ -12,13 +13,29 @@
 // saving: near-neutral (within a fraction of a percent — the unpruned
 // planner can spend late-budget points resurrecting dead cones, which
 // pruning forgoes by design) against a >2x planning speedup on the DP.
+//
+// The analysis-pruning series (run_analysis vs size, and DP/greedy with
+// prune_via_analysis off/on over XOR-heavy circuits) has a second
+// entry point: invoked as `bench_t11_lint <out.json> [repeats]` it
+// skips the google-benchmark tables and writes the machine-readable
+// tpidp-bench-t11 report consumed by ci/check_perf.py — plans and
+// scores must be bit-identical with pruning on (the analysis prune is
+// exact by construction, unlike the lint prune) and planning must not
+// get slower.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/analysis.hpp"
 #include "gen/random_circuits.hpp"
 #include "lint/lint.hpp"
 #include "netlist/circuit.hpp"
@@ -183,6 +200,194 @@ BENCHMARK(BM_GreedyPlannerLintPruning)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
+/// An XOR-heavy reconvergent DAG: parity chains have COP sensitisation
+/// factor exactly 1.0 at every gate entry, so a large share of nets is
+/// fully transparent (obs == 1.0 bitwise) — the shape the analysis
+/// prune targets. The AND/OR minority keeps enough opaque logic that
+/// the planners still place points.
+netlist::Circuit make_transparent(std::size_t gates) {
+    gen::RandomDagOptions options;
+    options.gates = gates;
+    options.inputs = std::max<std::size_t>(16, gates / 16);
+    options.xor_fraction = 0.8;
+    options.unary_fraction = 0.05;
+    options.window = 64;
+    options.seed = 7;
+    return gen::random_dag(options);
+}
+
+void BM_RunAnalysisVsSize(benchmark::State& state) {
+    const netlist::Circuit circuit =
+        make_dag(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(analysis::run_analysis(circuit));
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RunAnalysisVsSize)
+    ->RangeMultiplier(2)
+    ->Range(128, 2048)
+    ->Unit(benchmark::kMicrosecond)
+    ->Complexity();
+
+void BM_DpPlannerAnalysisPruning(benchmark::State& state) {
+    const netlist::Circuit circuit = make_transparent(2048);
+    DpPlanner planner;
+    PlannerOptions options;
+    options.budget = 8;
+    options.prune_via_analysis = state.range(0) != 0;
+    Plan plan;
+    for (auto _ : state) {
+        plan = planner.plan(circuit, options);
+        benchmark::DoNotOptimize(plan);
+    }
+    state.counters["pruned"] =
+        static_cast<double>(plan.candidates_pruned_analysis);
+    state.counters["score"] = plan.predicted_score;
+}
+BENCHMARK(BM_DpPlannerAnalysisPruning)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GreedyPlannerAnalysisPruning(benchmark::State& state) {
+    const netlist::Circuit circuit = make_transparent(512);
+    GreedyPlanner planner;
+    PlannerOptions options;
+    options.budget = 4;
+    options.prune_via_analysis = state.range(0) != 0;
+    Plan plan;
+    for (auto _ : state) {
+        plan = planner.plan(circuit, options);
+        benchmark::DoNotOptimize(plan);
+    }
+    state.counters["pruned"] =
+        static_cast<double>(plan.candidates_pruned_analysis);
+    state.counters["score"] = plan.predicted_score;
+}
+BENCHMARK(BM_GreedyPlannerAnalysisPruning)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------
+// The tpidp-bench-t11 gate report (ci/check_perf.py)
+// ---------------------------------------------------------------------
+
+struct GateRow {
+    std::string planner;
+    double off_ms = 0.0;
+    double on_ms = 0.0;
+    double speedup = 0.0;
+    bool plans_identical = false;
+    bool score_identical = false;
+    std::size_t candidates_pruned = 0;
+};
+
+template <typename F>
+double best_of_ms(int repeats, F&& body) {
+    double best = 1e300;
+    for (int i = 0; i < repeats; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        body();
+        const auto t1 = std::chrono::steady_clock::now();
+        best = std::min(
+            best, std::chrono::duration<double, std::milli>(t1 - t0)
+                      .count());
+    }
+    return best;
+}
+
+GateRow run_gate(tpi::Planner& planner, const netlist::Circuit& circuit,
+                 int budget, int repeats) {
+    PlannerOptions options;
+    options.budget = budget;
+    // Observe-only planning: the analysis prune applies to observe
+    // candidates (the joint control+observe DP is exempt by design), so
+    // this is the configuration where its cost/benefit is visible.
+    options.control_kinds.clear();
+    Plan off;
+    Plan on;
+    GateRow row;
+    row.planner = std::string(planner.name());
+    options.prune_via_analysis = false;
+    row.off_ms = best_of_ms(
+        repeats, [&] { off = planner.plan(circuit, options); });
+    options.prune_via_analysis = true;
+    row.on_ms = best_of_ms(
+        repeats, [&] { on = planner.plan(circuit, options); });
+    row.speedup = row.off_ms / row.on_ms;
+    row.plans_identical = off.points == on.points;
+    // Bitwise, not approximate: the prune drops only candidates whose
+    // score delta is exactly 0.0.
+    row.score_identical = off.predicted_score == on.predicted_score;
+    row.candidates_pruned = on.candidates_pruned_analysis;
+    return row;
+}
+
+std::string json_bool(bool b) { return b ? "true" : "false"; }
+
+std::string fmt_ms(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.4f", v);
+    return buf;
+}
+
+int run_gate_report(const std::string& out_path, int repeats) {
+    const std::size_t gates = 2048;
+    const netlist::Circuit circuit = make_transparent(gates);
+    DpPlanner dp;
+    GreedyPlanner greedy;
+    std::vector<GateRow> rows;
+    rows.push_back(run_gate(dp, circuit, 8, repeats));
+    rows.push_back(run_gate(greedy, circuit, 4, repeats));
+    for (const GateRow& r : rows)
+        std::cerr << "bench_t11: " << r.planner << " " << fmt_ms(r.off_ms)
+                  << " ms -> " << fmt_ms(r.on_ms) << " ms ("
+                  << fmt_ms(r.speedup) << "x), pruned "
+                  << r.candidates_pruned << ", plans "
+                  << (r.plans_identical ? "identical" : "DIVERGED")
+                  << ", score "
+                  << (r.score_identical ? "identical" : "DIVERGED")
+                  << "\n";
+    std::ostringstream json;
+    json << "{\n  \"schema\": \"tpidp-bench-t11\",\n  \"version\": 1,\n"
+         << "  \"circuit\": \"xor-dag\",\n  \"gates\": " << gates
+         << ",\n  \"planners\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const GateRow& r = rows[i];
+        json << "    {\"name\": \"" << r.planner << "\", \"off_ms\": "
+             << fmt_ms(r.off_ms) << ", \"on_ms\": " << fmt_ms(r.on_ms)
+             << ", \"speedup\": " << fmt_ms(r.speedup)
+             << ", \"candidates_pruned\": " << r.candidates_pruned
+             << ", \"plans_identical\": " << json_bool(r.plans_identical)
+             << ", \"score_identical\": " << json_bool(r.score_identical)
+             << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "bench_t11: cannot write " << out_path << "\n";
+        return 1;
+    }
+    out << json.str();
+    std::cerr << "bench_t11: wrote " << out_path << "\n";
+    return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Dual entry point: `bench_t11_lint <out.json> [repeats]` writes the
+// check_perf.py gate report; any other invocation runs the
+// google-benchmark tables as before.
+int main(int argc, char** argv) {
+    if (argc > 1 && std::string(argv[1]).ends_with(".json")) {
+        const int repeats = argc > 2 ? std::atoi(argv[2]) : 3;
+        return run_gate_report(argv[1], repeats);
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -11,6 +11,11 @@ Dispatches on the report's "schema" field:
   simulation path with per-FFR batching must (a) produce detection
   results bit-identical to the scalar 64-bit baseline, and (b) keep
   the simulated-patterns/second speedup on dag2000 above the floor.
+* tpidp-bench-t11 (results/BENCH_11.json) — analysis-driven planner
+  pruning must (a) keep plans AND predicted scores bit-identical with
+  pruning on (the prune is exact by construction), (b) actually prune
+  candidates on the XOR-heavy circuit, and (c) keep the observe-only
+  DP planning speedup above the floor.
 
 Floors are deliberately below the measured numbers (7x for t12, 11x+
 for t7 on a quiet machine) so the gate catches real regressions, not
@@ -78,6 +83,47 @@ def check_t7(report: dict, min_speedup: float) -> bool:
     return ok
 
 
+def check_t11(report: dict, min_speedup: float) -> bool:
+    planners = report.get("planners", [])
+    if not planners:
+        fail("report lists no planners")
+    ok = True
+    pruned_total = 0
+    for row in planners:
+        name = row.get("name", "?")
+        if not row.get("plans_identical"):
+            print(f"check_perf: {name}: plans DIVERGED under analysis "
+                  "pruning (must be bit-identical)", file=sys.stderr)
+            ok = False
+        if not row.get("score_identical"):
+            print(f"check_perf: {name}: predicted score DIVERGED under "
+                  "analysis pruning (must be bitwise equal)",
+                  file=sys.stderr)
+            ok = False
+        pruned_total += row.get("candidates_pruned", 0)
+        speedup = row.get("speedup", 0.0)
+        # The prune applies to the DP's observe-only region builds; the
+        # greedy shortlist rarely admits transparent nets, so only the
+        # dp row carries the speedup gate.
+        gated = name == "dp"
+        status = "gate" if gated else "info"
+        print(f"check_perf: {name}: analysis-prune {speedup:.2f}x "
+              f"(off {row.get('off_ms', 0.0):.1f} ms vs on "
+              f"{row.get('on_ms', 0.0):.1f} ms, "
+              f"{row.get('candidates_pruned', 0)} pruned) [{status}]")
+        if gated and speedup < min_speedup:
+            print(f"check_perf: {name}: analysis-prune speedup "
+                  f"{speedup:.2f}x below the {min_speedup:.1f}x floor",
+                  file=sys.stderr)
+            ok = False
+    if pruned_total == 0:
+        print("check_perf: no candidates pruned on the XOR-heavy "
+              "circuit — the analysis prune is not engaging",
+              file=sys.stderr)
+        ok = False
+    return ok
+
+
 def main(argv: list[str]) -> None:
     path = "results/BENCH_5.json"
     min_speedup = 3.0
@@ -102,6 +148,8 @@ def main(argv: list[str]) -> None:
         ok = check_t12(report, min_speedup)
     elif schema == "tpidp-bench-t7":
         ok = check_t7(report, min_speedup)
+    elif schema == "tpidp-bench-t11":
+        ok = check_t11(report, min_speedup)
     else:
         fail(f"unexpected schema {schema!r}")
 

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Pattern gate for determinism and ownership idioms in src/ and tools/.
+
+Three textual rules that clang-tidy does not enforce:
+
+* std-rand — `rand()` / `srand()` are banned everywhere: every random
+  stream in the codebase must come from a seeded engine (gen::Rng,
+  std::mt19937_64) so runs are reproducible bit-for-bit.
+* raw-new — raw `new` expressions are banned: allocation goes through
+  containers or std::make_unique, so no path leaks on an exception.
+* unordered-in-deterministic — `std::unordered_map` / `std::unordered_set`
+  are banned in the deterministic engine directories (planning,
+  analysis, simulation, fault handling): iteration order of a hash
+  container varies across standard libraries, and a single ordered walk
+  leaking into a plan or a certificate breaks the bit-identity
+  contracts. Name-keyed lookup tables in the parsers are fine — those
+  directories are not listed.
+
+A finding is suppressed by putting `grep-lint: allow(<rule>)` in a
+comment on the same line, with a short justification.
+
+Usage: grep_lint.py [repo-root]   (exit 0 clean, 1 findings)
+"""
+
+import re
+import sys
+from pathlib import Path
+
+SCANNED = ("src", "tools")
+SUFFIXES = {".cpp", ".hpp"}
+
+# Directories whose code feeds plans, scores, certificates or reports —
+# anything where container iteration order could reach an output.
+DETERMINISTIC_DIRS = (
+    "src/tpi",
+    "src/analysis",
+    "src/atpg",
+    "src/lint",
+    "src/sim",
+    "src/fault",
+    "src/testability",
+    "src/obs",
+    "src/bist",
+)
+
+RULES = [
+    ("std-rand", re.compile(r"\b(?:std::)?s?rand\s*\("), None),
+    ("raw-new", re.compile(r"\bnew\s+[A-Za-z_:(]"), None),
+    (
+        "unordered-in-deterministic",
+        re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\b"),
+        DETERMINISTIC_DIRS,
+    ),
+]
+
+ALLOW = re.compile(r"grep-lint:\s*allow\(([a-z-]+)\)")
+
+
+def strip_noise(line: str) -> str:
+    """Blank out string literals and line comments so patterns inside
+    them (help text, documentation) do not trip the rules."""
+    out = []
+    i = 0
+    in_string = None
+    while i < len(line):
+        ch = line[i]
+        if in_string:
+            if ch == "\\":
+                i += 2
+                continue
+            if ch == in_string:
+                in_string = None
+            i += 1
+            continue
+        if ch in ('"', "'"):
+            in_string = ch
+            i += 1
+            continue
+        if line.startswith("//", i):
+            break
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(".")
+    findings = 0
+    for top in SCANNED:
+        for path in sorted((root / top).rglob("*")):
+            if path.suffix not in SUFFIXES:
+                continue
+            rel = path.relative_to(root).as_posix()
+            for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), 1
+            ):
+                allowed = {m.group(1) for m in ALLOW.finditer(line)}
+                code = strip_noise(line)
+                for rule, pattern, dirs in RULES:
+                    if dirs and not rel.startswith(dirs):
+                        continue
+                    if not pattern.search(code):
+                        continue
+                    if rule in allowed:
+                        continue
+                    print(f"{rel}:{lineno}: [{rule}] {line.strip()}")
+                    findings += 1
+    if findings:
+        print(
+            f"grep_lint: {findings} finding(s). Suppress a deliberate "
+            "use with a `grep-lint: allow(<rule>)` comment and a "
+            "justification.",
+            file=sys.stderr,
+        )
+        return 1
+    print("grep_lint: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

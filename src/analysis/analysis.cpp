@@ -1,0 +1,217 @@
+#include "analysis/analysis.hpp"
+
+#include "testability/cop.hpp"
+#include "util/error.hpp"
+
+namespace tpi::analysis {
+
+using netlist::Circuit;
+using netlist::NodeId;
+
+void validate_analysis_options(const AnalysisOptions& options) {
+    if (options.max_implication_steps == 0)
+        throw ValidationError(
+            "analysis options: max_implication_steps must be positive "
+            "(a zero budget cannot run any implication query)");
+}
+
+namespace {
+
+/// Extract the COP argmax path from `v` to a primary output: at each
+/// step follow the fanout edge whose contribution is bitwise equal to
+/// the node's observability (one exists by construction — obs is the
+/// max over exactly these products). The product along the path,
+/// multiplied in the same order COP multiplied it, is exactly obs[v].
+std::vector<NodeId> witness_path(const Circuit& circuit,
+                                 const testability::CopResult& cop,
+                                 NodeId v) {
+    std::vector<NodeId> path{v};
+    NodeId cur = v;
+    while (!circuit.is_output(cur)) {
+        NodeId next = netlist::kNullNode;
+        for (NodeId g : circuit.fanouts(cur)) {
+            const auto fanins = circuit.fanins(g);
+            for (std::size_t slot = 0; slot < fanins.size(); ++slot) {
+                if (fanins[slot] != cur) continue;
+                const double through =
+                    cop.obs[g.v] *
+                    testability::sensitization_probability(circuit, g,
+                                                           slot, cop.c1);
+                if (through == cop.obs[cur.v]) {
+                    next = g;
+                    break;
+                }
+            }
+            if (next.valid()) break;
+        }
+        if (!next.valid()) return {};  // obs 0 with no attaining edge
+        path.push_back(next);
+        cur = next;
+    }
+    return path;
+}
+
+}  // namespace
+
+AnalysisResult run_analysis(const Circuit& circuit,
+                            const AnalysisOptions& options) {
+    validate_analysis_options(options);
+    obs::Sink* sink = options.sink;
+    obs::Span run_span(sink, "analysis/run");
+
+    AnalysisResult result;
+    bool deadline_expired = false;
+    const auto expired = [&] {
+        if (options.deadline != nullptr && options.deadline->expired()) {
+            deadline_expired = true;
+            result.truncated = true;
+            return true;
+        }
+        return false;
+    };
+
+    {
+        obs::Span span(sink, "analysis/dominators");
+        result.dominators = compute_post_dominators(circuit);
+    }
+    result.constants = propagate_constants(circuit);
+
+    // Failed-assumption constant learning + the implication database.
+    // The engine is refined with each learned constant, so later probes
+    // (and the fault replays below) start from the strongest base; the
+    // certificates carry the earlier constants as an ordered lemma
+    // chain, which is exactly how the checker replays them.
+    ImplicationEngine engine(circuit, result.constants);
+    {
+        obs::Span span(sink, "analysis/implications");
+        std::size_t probed_nodes = 0;
+        for (NodeId v : circuit.topo_order()) {
+            if (expired()) break;
+            if (is_defined(engine.base()[v.v])) continue;
+            if (probed_nodes >= options.max_implication_nodes) {
+                result.truncated = true;
+                break;
+            }
+            ++probed_nodes;
+            for (const bool b : {false, true}) {
+                if (is_defined(engine.base()[v.v])) break;  // learned
+                const Literal probe[] = {{v, b}};
+                const ImplicationResult r = engine.propagate(
+                    probe, options.max_implication_steps);
+                if (r.capped) {
+                    result.truncated = true;
+                    continue;
+                }
+                if (r.conflict) {
+                    // v = b is unsatisfiable, so v is constant !b.
+                    const Literal learned{v, !b};
+                    if (result.certificates.size() <
+                        options.max_certificates) {
+                        Certificate cert;
+                        cert.kind = CertKind::ConstantNet;
+                        cert.node = v;
+                        cert.value = learned.value;
+                        cert.assumptions = result.learned_constants;
+                        cert.assumptions.push_back({v, b});
+                        result.certificates.push_back(std::move(cert));
+                    }
+                    result.learned_constants.push_back(learned);
+                    engine.refine_base(learned);
+                    result.constants[v.v] = to_ternary(learned.value);
+                } else if (!r.implied.empty()) {
+                    result.implications.probed.push_back({v, b});
+                    result.implications.implied.insert(
+                        result.implications.implied.end(),
+                        r.implied.begin(), r.implied.end());
+                    result.implications.offset.push_back(
+                        static_cast<std::uint32_t>(
+                            result.implications.implied.size()));
+                    result.implications_learned += r.implied.size();
+                }
+            }
+        }
+    }
+
+    // Mandatory-assignment untestability probing over the standard
+    // fault universe.
+    {
+        obs::Span span(sink, "analysis/faults");
+        const std::vector<fault::Fault> universe =
+            fault::all_faults(circuit);
+        std::size_t probes = 0;
+        for (const fault::Fault& f : universe) {
+            if (expired()) break;
+            if (probes >= options.max_untestable_faults) {
+                result.truncated = true;
+                break;
+            }
+            ++probes;
+            const std::vector<Literal> mandatory = mandatory_assignments(
+                circuit, result.dominators, f);
+            const ImplicationResult r =
+                engine.propagate(mandatory, options.max_implication_steps);
+            if (r.capped) {
+                result.truncated = true;
+                continue;
+            }
+            if (!r.conflict) continue;
+            result.untestable.push_back(f);
+            if (result.certificates.size() < options.max_certificates) {
+                Certificate cert;
+                cert.kind = CertKind::UntestableFault;
+                cert.node = f.node;
+                cert.fault = f;
+                cert.assumptions = result.learned_constants;
+                cert.assumptions.insert(cert.assumptions.end(),
+                                        mandatory.begin(),
+                                        mandatory.end());
+                result.certificates.push_back(std::move(cert));
+            }
+        }
+    }
+
+    // COP observability bounds: dominator-chain upper bounds plus the
+    // attained witness-path lower bounds.
+    {
+        obs::Span span(sink, "analysis/bounds");
+        const testability::CopResult cop = testability::compute_cop(circuit);
+        const std::size_t n = circuit.node_count();
+        result.obs_upper.assign(n, 1.0);
+        result.obs_lower.assign(n, 0.0);
+        for (NodeId v : circuit.topo_order()) {
+            if (!result.dominators.reachable(v)) {
+                result.obs_upper[v.v] = 0.0;
+                continue;
+            }
+            result.obs_upper[v.v] = dominator_obs_upper(
+                circuit, result.dominators, v, cop.c1);
+            result.obs_lower[v.v] = cop.obs[v.v];
+        }
+        // A few ObsBound certificates for nodes whose dominator chain
+        // actually constrains them (upper < 1), in topological order.
+        for (NodeId v : circuit.topo_order()) {
+            if (result.certificates.size() >= options.max_certificates)
+                break;
+            if (!result.dominators.reachable(v)) continue;
+            if (result.obs_upper[v.v] >= 1.0) continue;
+            std::vector<NodeId> path = witness_path(circuit, cop, v);
+            if (path.empty()) continue;
+            Certificate cert;
+            cert.kind = CertKind::ObsBound;
+            cert.node = v;
+            cert.chain = std::move(path);
+            cert.lower = result.obs_lower[v.v];
+            cert.upper = result.obs_upper[v.v];
+            result.certificates.push_back(std::move(cert));
+        }
+    }
+
+    obs::add(sink, obs::Counter::ImplicationsLearned,
+             result.implications_learned);
+    obs::add(sink, obs::Counter::FaultsProvedUntestable,
+             result.untestable.size());
+    if (deadline_expired) obs::add(sink, obs::Counter::DeadlineExpiries);
+    return result;
+}
+
+}  // namespace tpi::analysis

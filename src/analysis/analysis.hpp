@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/certificate.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/implications.hpp"
+#include "analysis/ternary.hpp"
+#include "fault/fault.hpp"
+#include "netlist/circuit.hpp"
+#include "obs/obs.hpp"
+#include "util/deadline.hpp"
+
+namespace tpi::analysis {
+
+/// Work caps and plumbing for one whole-netlist analysis run. All caps
+/// are validated centrally by validate_analysis_options (ValidationError
+/// on violation — no silent clamping).
+struct AnalysisOptions {
+    /// Nets probed for failed-assumption (FIRE-style) constants: the
+    /// first max_implication_nodes non-constant nets in topological
+    /// order, both polarities each. Hitting the cap sets `truncated`.
+    std::size_t max_implication_nodes = 2048;
+
+    /// Gate-examination budget per implication query (probe or fault
+    /// replay); a capped query is discarded as inconclusive.
+    std::size_t max_implication_steps = 200'000;
+
+    /// Faults probed for untestability, in fault-universe order.
+    /// Hitting the cap sets `truncated`.
+    std::size_t max_untestable_faults = 4096;
+
+    /// Certificates retained in the result (dropping certificates never
+    /// drops the facts themselves).
+    std::size_t max_certificates = 64;
+
+    /// Optional cooperative budget (not owned), polled between probes;
+    /// expiry returns the facts derived so far with `truncated` set.
+    util::Deadline* deadline = nullptr;
+
+    /// Optional observability sink (not owned): an "analysis/run" span
+    /// with dominators/implications/faults/bounds child spans, plus the
+    /// ImplicationsLearned / FaultsProvedUntestable counters.
+    obs::Sink* sink = nullptr;
+};
+
+/// Throws tpi::ValidationError (CLI exit 4) for unusable caps.
+void validate_analysis_options(const AnalysisOptions& options);
+
+/// The static implication database: for each probed literal, the
+/// literals it forces, in CSR form. Row r covers probed[r]; its implied
+/// literals are implied[offset[r] .. offset[r+1]).
+struct ImplicationDb {
+    std::vector<Literal> probed;
+    std::vector<std::uint32_t> offset{0};
+    std::vector<Literal> implied;
+
+    std::size_t rows() const { return probed.size(); }
+    std::span<const Literal> row(std::size_t r) const {
+        return {implied.data() + offset[r], offset[r + 1] - offset[r]};
+    }
+};
+
+/// Everything one analysis run derived. Facts are sound regardless of
+/// `truncated` (caps only make the result less complete, never wrong).
+struct AnalysisResult {
+    DominatorTree dominators;
+
+    /// Proven constants: propagate_constants refined with every learned
+    /// failed-assumption constant.
+    std::vector<Ternary> constants;
+
+    /// Constants found only by failed-assumption probing (each also has
+    /// a ConstantNet certificate while the cap allows).
+    std::vector<Literal> learned_constants;
+
+    /// The implication database over the probed literals.
+    ImplicationDb implications;
+
+    /// Faults whose mandatory assignments conflict — structurally
+    /// untestable, each PODEM-redundant on the same circuit.
+    std::vector<fault::Fault> untestable;
+
+    /// COP observability bounds per node, from the post-dominator chain
+    /// (upper) and a concrete witness path (lower).
+    std::vector<double> obs_upper;
+    std::vector<double> obs_lower;
+
+    /// Machine-checkable certificates for the facts above, capped at
+    /// AnalysisOptions::max_certificates.
+    std::vector<Certificate> certificates;
+
+    /// Total implied literals stored in the database.
+    std::size_t implications_learned = 0;
+
+    /// A cap or the deadline cut probing short.
+    bool truncated = false;
+};
+
+/// Run the whole-netlist static analysis: post-dominator tree, ternary
+/// constant base, failed-assumption constant learning, the implication
+/// database, mandatory-assignment untestability probing, and COP
+/// observability bounds.
+AnalysisResult run_analysis(const netlist::Circuit& circuit,
+                            const AnalysisOptions& options = {});
+
+}  // namespace tpi::analysis

@@ -1,0 +1,268 @@
+#include "analysis/certificate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/ternary.hpp"
+#include "testability/cop.hpp"
+#include "util/error.hpp"
+
+namespace tpi::analysis {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+std::string_view cert_kind_name(CertKind kind) {
+    switch (kind) {
+        case CertKind::UntestableFault: return "untestable-fault";
+        case CertKind::ConstantNet: return "constant-net";
+        case CertKind::TransparentChain: return "transparent-chain";
+        case CertKind::ObsBound: return "obs-bound";
+    }
+    return "?";
+}
+
+namespace {
+
+/// Fanout cone membership of `root` (inclusive), as a flat mask.
+std::vector<bool> fanout_cone(const Circuit& circuit, NodeId root) {
+    std::vector<bool> in_cone(circuit.node_count(), false);
+    std::vector<NodeId> stack{root};
+    in_cone[root.v] = true;
+    while (!stack.empty()) {
+        const NodeId v = stack.back();
+        stack.pop_back();
+        for (NodeId g : circuit.fanouts(v)) {
+            if (in_cone[g.v]) continue;
+            in_cone[g.v] = true;
+            stack.push_back(g);
+        }
+    }
+    return in_cone;
+}
+
+/// Best-fanin sensitisation factor of a post-dominator gate: the
+/// largest probability any single entry into `gate` propagates. 1.0 for
+/// gates without a controlling value (Buf/Not/Xor/Xnor pass changes
+/// unconditionally).
+double gate_factor_upper(const Circuit& circuit, NodeId gate,
+                         std::span<const double> c1) {
+    if (!netlist::has_controlling_value(circuit.type(gate))) return 1.0;
+    double best = 0.0;
+    const auto fanins = circuit.fanins(gate);
+    for (std::size_t slot = 0; slot < fanins.size(); ++slot)
+        best = std::max(best, testability::sensitization_probability(
+                                  circuit, gate, slot, c1));
+    return best;
+}
+
+CertCheck fail(std::string detail) { return {false, std::move(detail)}; }
+
+/// Discharge one constant lemma: its opposite must propagate to a
+/// conflict against the engine as refined so far; the lemma then joins
+/// the base for the lemmas and replays after it.
+bool discharge_lemma(ImplicationEngine& engine, const Literal& lemma,
+                     std::size_t max_steps, CertCheck& failure) {
+    const Literal opposite[] = {{lemma.node, !lemma.value}};
+    const ImplicationResult r = engine.propagate(opposite, max_steps);
+    if (r.capped) {
+        failure = fail("lemma replay hit the step cap");
+        return false;
+    }
+    if (!r.conflict) {
+        failure = fail("constant lemma does not replay to a conflict");
+        return false;
+    }
+    engine.refine_base(lemma);
+    return true;
+}
+
+}  // namespace
+
+double dominator_obs_upper(const Circuit& circuit,
+                           const DominatorTree& dominators, NodeId v,
+                           std::span<const double> c1) {
+    double upper = 1.0;
+    for (NodeId d : dominators.chain(v))
+        upper *= gate_factor_upper(circuit, d, c1);
+    return upper;
+}
+
+std::vector<Literal> mandatory_assignments(const Circuit& circuit,
+                                           const DominatorTree& dominators,
+                                           const fault::Fault& f) {
+    std::vector<Literal> mandatory;
+    mandatory.push_back({f.node, !f.stuck_at1});  // activation
+    if (!dominators.reachable(f.node)) return mandatory;
+
+    const std::vector<bool> in_cone = fanout_cone(circuit, f.node);
+    // seen[2v + b]: literal (v, b) already required.
+    std::vector<bool> seen(2 * circuit.node_count(), false);
+    seen[2 * f.node.v + (f.stuck_at1 ? 0 : 1)] = true;
+
+    for (NodeId d : dominators.chain(f.node)) {
+        const GateType type = circuit.type(d);
+        if (!netlist::has_controlling_value(type)) continue;
+        // Side inputs outside the fault cone carry equal fault-free and
+        // faulty values, so non-controlling there is mandatory for the
+        // effect to cross this gate (unique sensitisation).
+        const bool non_controlling = !netlist::controlling_value(type);
+        for (NodeId s : circuit.fanins(d)) {
+            if (in_cone[s.v]) continue;
+            const std::size_t key = 2 * s.v + (non_controlling ? 1 : 0);
+            if (seen[key]) continue;
+            seen[key] = true;
+            mandatory.push_back({s, non_controlling});
+        }
+    }
+    return mandatory;
+}
+
+CertCheck check_certificate(const Circuit& circuit, const Certificate& cert,
+                            std::size_t max_steps) {
+    const std::size_t n = circuit.node_count();
+    if (cert.node.v >= n) return fail("subject node out of range");
+    for (const Literal& a : cert.assumptions)
+        if (a.node.v >= n) return fail("assumption node out of range");
+    for (NodeId v : cert.chain)
+        if (v.v >= n) return fail("chain node out of range");
+
+    switch (cert.kind) {
+        case CertKind::ConstantNet: {
+            // The proof script ends with the refuted opposite literal;
+            // everything before it is a constant lemma discharged in
+            // order against the progressively refined engine.
+            if (cert.assumptions.empty())
+                return fail("empty proof script proves nothing");
+            const Literal last = cert.assumptions.back();
+            if (last.node != cert.node || last.value == cert.value)
+                return fail("proof script must end with the refuted "
+                            "opposite literal");
+            ImplicationEngine engine(circuit, propagate_constants(circuit));
+            CertCheck failure;
+            for (std::size_t i = 0; i + 1 < cert.assumptions.size(); ++i) {
+                const Literal& lemma = cert.assumptions[i];
+                if (!discharge_lemma(engine, lemma, max_steps, failure))
+                    return failure;
+            }
+            const Literal refuted[] = {last};
+            const ImplicationResult r =
+                engine.propagate(refuted, max_steps);
+            if (r.capped) return fail("replay hit the step cap");
+            if (!r.conflict) return fail("replay found no conflict");
+            return {true, {}};
+        }
+        case CertKind::UntestableFault: {
+            if (cert.fault.node != cert.node)
+                return fail("fault site does not match subject node");
+            if (cert.assumptions.empty())
+                return fail("empty proof script proves nothing");
+            // Split the script: mandatory assignments are collected for
+            // the final replay, anything else must discharge as a
+            // constant lemma. A test vector satisfies every mandatory
+            // assignment in the fault-free circuit and every lemma holds
+            // under all input assignments, so a conflict rules out every
+            // test vector.
+            const DominatorTree dominators =
+                compute_post_dominators(circuit);
+            const std::vector<Literal> mandatory =
+                mandatory_assignments(circuit, dominators, cert.fault);
+            ImplicationEngine engine(circuit, propagate_constants(circuit));
+            std::vector<Literal> asserted;
+            CertCheck failure;
+            for (const Literal& a : cert.assumptions) {
+                if (std::find(mandatory.begin(), mandatory.end(), a) !=
+                    mandatory.end()) {
+                    asserted.push_back(a);
+                } else if (!discharge_lemma(engine, a, max_steps,
+                                            failure)) {
+                    return failure;
+                }
+            }
+            if (asserted.empty())
+                return fail("proof script asserts no mandatory "
+                            "assignment of the fault");
+            const ImplicationResult r =
+                engine.propagate(asserted, max_steps);
+            if (r.capped) return fail("replay hit the step cap");
+            if (!r.conflict) return fail("replay found no conflict");
+            return {true, {}};
+        }
+        case CertKind::TransparentChain: {
+            if (cert.chain.empty() || cert.chain.front() != cert.node)
+                return fail("chain must start at the subject node");
+            if (!circuit.is_output(cert.chain.back()))
+                return fail("chain must end at a primary output");
+            const testability::CopResult cop =
+                testability::compute_cop(circuit);
+            for (std::size_t i = 0; i + 1 < cert.chain.size(); ++i) {
+                const NodeId a = cert.chain[i];
+                const NodeId b = cert.chain[i + 1];
+                const auto fanins = circuit.fanins(b);
+                bool transparent = false;
+                for (std::size_t slot = 0;
+                     slot < fanins.size() && !transparent; ++slot)
+                    transparent =
+                        fanins[slot] == a &&
+                        testability::sensitization_probability(
+                            circuit, b, slot, cop.c1) == 1.0;
+                if (!transparent)
+                    return fail("chain step is not a fanout edge with "
+                                "sensitisation factor exactly 1.0");
+            }
+            // The conclusion the planners rely on, re-derived directly:
+            // observability along the chain multiplies only exact 1.0
+            // factors into the output's exact 1.0.
+            if (cop.obs[cert.node.v] != 1.0)
+                return fail("COP observability at the subject node is "
+                            "not exactly 1.0");
+            return {true, {}};
+        }
+        case CertKind::ObsBound: {
+            const testability::CopResult cop =
+                testability::compute_cop(circuit);
+            const DominatorTree dominators =
+                compute_post_dominators(circuit);
+            // Upper: every output path crosses every post-dominator, so
+            // the best-fanin factors of the chain bound obs from above.
+            const double upper = dominator_obs_upper(
+                circuit, dominators, cert.node, cop.c1);
+            // Lower: the witness path's product is attained by COP.
+            if (cert.chain.empty() || cert.chain.front() != cert.node)
+                return fail("witness path must start at the subject node");
+            if (!circuit.is_output(cert.chain.back()))
+                return fail("witness path must end at a primary output");
+            double lower = 1.0;
+            for (std::size_t i = cert.chain.size() - 1; i-- > 0;) {
+                const NodeId a = cert.chain[i];
+                const NodeId b = cert.chain[i + 1];
+                const auto fanins = circuit.fanins(b);
+                double best = -1.0;
+                for (std::size_t slot = 0; slot < fanins.size(); ++slot)
+                    if (fanins[slot] == a)
+                        best = std::max(
+                            best, testability::sensitization_probability(
+                                      circuit, b, slot, cop.c1));
+                if (best < 0.0)
+                    return fail("witness path step is not a fanout edge");
+                lower *= best;
+            }
+            constexpr double kTol = 1e-12;
+            if (std::abs(upper - cert.upper) > kTol)
+                return fail("upper bound does not match the dominator "
+                            "chain product");
+            if (cert.lower > lower + kTol)
+                return fail("claimed lower bound exceeds the witness "
+                            "path product");
+            const double obs = cop.obs[cert.node.v];
+            if (obs > cert.upper + kTol || cert.lower > obs + kTol)
+                return fail("COP observability escapes the claimed "
+                            "bounds");
+            return {true, {}};
+        }
+    }
+    return fail("unknown certificate kind");
+}
+
+}  // namespace tpi::analysis

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/dominators.hpp"
+#include "analysis/implications.hpp"
+#include "fault/fault.hpp"
+#include "netlist/circuit.hpp"
+
+namespace tpi::analysis {
+
+/// What a certificate claims. Every kind is machine-checkable against
+/// the bare circuit by check_certificate — the consumer never has to
+/// trust the analysis that emitted it.
+enum class CertKind : std::uint8_t {
+    /// `fault` is untestable. `assumptions` is an ordered proof script:
+    /// each entry is either a mandatory assignment of the fault
+    /// (activation, or a unique-sensitisation side input of one of its
+    /// post-dominator gates) or a constant *lemma* — a literal whose
+    /// opposite propagates to a conflict against the engine refined by
+    /// the lemmas verified before it. After the lemmas are discharged,
+    /// replaying the mandatory entries yields a conflict, so no input
+    /// assignment satisfies all of them and no test exists.
+    UntestableFault,
+
+    /// Net `node` provably carries constant `value` under every input
+    /// assignment. `assumptions` is an ordered proof script whose last
+    /// entry is the refuted opposite literal (`node`, !`value`); the
+    /// entries before it are constant lemmas discharged in order as for
+    /// UntestableFault.
+    ConstantNet,
+
+    /// Observing `node` gains nothing: `chain` is a node path from it
+    /// to a primary output whose every gate-entry sensitisation factor
+    /// is exactly 1.0 under COP, so COP observability at `node` is
+    /// already exactly 1.0 and an observe point leaves every fault
+    /// detection probability bitwise unchanged.
+    TransparentChain,
+
+    /// COP observability of `node` lies in [`lower`, `upper`]: `upper`
+    /// multiplies the best-fanin sensitisation factor of each gate in
+    /// the node's post-dominator chain (every output path crosses all
+    /// of them), `lower` is the product along the witness path `chain`.
+    ObsBound,
+};
+
+std::string_view cert_kind_name(CertKind kind);
+
+struct Certificate {
+    CertKind kind = CertKind::ConstantNet;
+    netlist::NodeId node = netlist::kNullNode;  ///< subject net
+    fault::Fault fault{};                       ///< UntestableFault only
+    bool value = false;                         ///< ConstantNet only
+    std::vector<Literal> assumptions;           ///< conflict kinds
+    std::vector<netlist::NodeId> chain;         ///< path witness kinds
+    double lower = 0.0;                         ///< ObsBound only
+    double upper = 1.0;                         ///< ObsBound only
+};
+
+/// Outcome of replaying one certificate.
+struct CertCheck {
+    bool ok = false;
+    std::string detail;  ///< first failed obligation, empty when ok
+};
+
+/// Replay `cert` against `circuit` from scratch: rebuild the base
+/// constants, the post-dominator tree and COP as needed, verify every
+/// side condition (assumption sets really are mandatory, chains really
+/// are fanout paths), and re-derive the claimed conclusion. `max_steps`
+/// bounds the conflict replays (0 = unlimited).
+CertCheck check_certificate(const netlist::Circuit& circuit,
+                            const Certificate& cert,
+                            std::size_t max_steps = 0);
+
+/// The mandatory assignment set of `f`: the activation literal plus,
+/// for every AND/NAND/OR/NOR gate on the fault site's post-dominator
+/// chain, the non-controlling literal on each side input outside the
+/// site's fanout cone. Any test for `f` satisfies all of them in the
+/// fault-free circuit (side inputs outside the cone carry equal
+/// fault-free/faulty values), so a conflict proves untestability.
+std::vector<Literal> mandatory_assignments(const netlist::Circuit& circuit,
+                                           const DominatorTree& dominators,
+                                           const fault::Fault& f);
+
+/// Upper bound on COP observability of `v` from its post-dominator
+/// chain: the product of each chain gate's best-fanin sensitisation
+/// factor. Every path from v to an output crosses every chain gate and
+/// all other factors are <= 1, so the product bounds the COP
+/// observability from above. Shared by the bound producer and the
+/// certificate checker (bitwise-identical walk).
+double dominator_obs_upper(const netlist::Circuit& circuit,
+                           const DominatorTree& dominators,
+                           netlist::NodeId v, std::span<const double> c1);
+
+}  // namespace tpi::analysis

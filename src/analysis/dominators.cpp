@@ -1,0 +1,74 @@
+#include "analysis/dominators.hpp"
+
+#include "util/error.hpp"
+
+namespace tpi::analysis {
+
+using netlist::Circuit;
+using netlist::NodeId;
+
+bool DominatorTree::dominates(NodeId dom, NodeId v) const {
+    if (!reachable(dom) || !reachable(v)) return false;
+    std::uint32_t cur = v.v;
+    while (cur != kSink) {
+        if (cur == dom.v) return true;
+        cur = idom[cur];
+    }
+    return false;
+}
+
+std::vector<NodeId> DominatorTree::chain(NodeId v) const {
+    std::vector<NodeId> out;
+    if (!reachable(v)) return out;
+    for (std::uint32_t cur = idom[v.v]; cur != kSink; cur = idom[cur])
+        out.push_back(NodeId{cur});
+    return out;
+}
+
+DominatorTree compute_post_dominators(const Circuit& circuit) {
+    const std::size_t n = circuit.node_count();
+    DominatorTree tree;
+    tree.idom.assign(n, DominatorTree::kUnreachable);
+    tree.rank.assign(n, 0);
+
+    // Post-dominators of the DAG are dominators of the edge-reversed
+    // graph with the virtual sink as entry; the circuit's reverse
+    // topological order is a topological order of that reversed graph,
+    // so one intersect pass over it computes the fixpoint directly
+    // (every reversed-graph predecessor — an original fanout consumer,
+    // or the sink for primary outputs — is finalised before its node).
+    const auto& topo = circuit.topo_order();
+    std::uint32_t next_rank = 1;  // rank 0 is the virtual sink
+
+    // intersect() walks both arguments up their idom chains until they
+    // meet; rank strictly decreases along every chain, so the walk is
+    // bounded by the chain lengths.
+    const auto rank_of = [&](std::uint32_t v) {
+        return v == DominatorTree::kSink ? 0U : tree.rank[v];
+    };
+    const auto intersect = [&](std::uint32_t a, std::uint32_t b) {
+        while (a != b) {
+            while (rank_of(a) > rank_of(b)) a = tree.idom[a];
+            while (rank_of(b) > rank_of(a)) b = tree.idom[b];
+        }
+        return a;
+    };
+
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        const NodeId v = *it;
+        tree.rank[v.v] = next_rank++;
+        std::uint32_t dom = DominatorTree::kUnreachable;
+        if (circuit.is_output(v)) dom = DominatorTree::kSink;
+        for (NodeId g : circuit.fanouts(v)) {
+            const std::uint32_t gd = tree.idom[g.v];
+            if (gd == DominatorTree::kUnreachable) continue;  // dead branch
+            // g itself post-dominates v via this edge; fold it in.
+            dom = dom == DominatorTree::kUnreachable ? g.v
+                                                     : intersect(dom, g.v);
+        }
+        tree.idom[v.v] = dom;
+    }
+    return tree;
+}
+
+}  // namespace tpi::analysis

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace tpi::analysis {
+
+/// Post-dominator tree of the circuit DAG, rooted at a virtual sink
+/// placed above the primary outputs: gate d post-dominates net v when
+/// every path from v to every primary output passes through d. These
+/// are the "fanout dominators" of classical ATPG — the gates a fault
+/// effect on v must cross, which is what makes unique-sensitisation
+/// side inputs mandatory assignments (see implications.hpp).
+///
+/// Flat-array representation: `idom` holds the immediate post-dominator
+/// of each node as a raw index, with kSink for nodes whose only common
+/// post-dominator is the virtual sink (primary outputs, and stems whose
+/// branches reconverge only "at infinity") and kUnreachable for nodes
+/// with no path to any output (dead logic). Built iteratively in one
+/// reverse-topological pass (Cooper-Harvey-Kennedy; a single pass
+/// converges on a DAG), no recursion, no per-node allocation.
+struct DominatorTree {
+    static constexpr std::uint32_t kSink = UINT32_MAX - 1;
+    static constexpr std::uint32_t kUnreachable = UINT32_MAX;
+
+    /// Immediate post-dominator of each node (kSink / kUnreachable as
+    /// above). Indexed by NodeId::v.
+    std::vector<std::uint32_t> idom;
+
+    /// Processing rank: rank[v] strictly decreases along every idom
+    /// chain (the sink has the smallest rank of all), which is what
+    /// makes dominates() a simple bounded upward walk.
+    std::vector<std::uint32_t> rank;
+
+    bool reachable(netlist::NodeId v) const {
+        return idom[v.v] != kUnreachable;
+    }
+
+    /// True when `dom` post-dominates `v` (reflexive: every node
+    /// post-dominates itself). False whenever either node is dead.
+    bool dominates(netlist::NodeId dom, netlist::NodeId v) const;
+
+    /// The strict post-dominator chain of v — idom(v), idom(idom(v)),
+    /// ... — up to (excluding) the virtual sink. Empty for dead nodes
+    /// and for nodes whose immediate post-dominator is the sink.
+    std::vector<netlist::NodeId> chain(netlist::NodeId v) const;
+};
+
+DominatorTree compute_post_dominators(const netlist::Circuit& circuit);
+
+}  // namespace tpi::analysis

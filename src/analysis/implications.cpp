@@ -1,0 +1,192 @@
+#include "analysis/implications.hpp"
+
+#include "util/error.hpp"
+
+namespace tpi::analysis {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+namespace {
+
+Ternary invert(Ternary value) {
+    if (value == Ternary::X) return Ternary::X;
+    return value == Ternary::One ? Ternary::Zero : Ternary::One;
+}
+
+}  // namespace
+
+ImplicationEngine::ImplicationEngine(const Circuit& circuit,
+                                     std::span<const Ternary> base)
+    : circuit_(circuit), base_(base.begin(), base.end()) {
+    require(base_.size() == circuit.node_count(),
+            "ImplicationEngine: one base ternary per node required");
+    value_ = base_;
+    in_queue_.assign(circuit.node_count(), false);
+}
+
+void ImplicationEngine::refine_base(Literal constant) {
+    base_[constant.node.v] = to_ternary(constant.value);
+    value_[constant.node.v] = base_[constant.node.v];
+}
+
+void ImplicationEngine::enqueue(NodeId v) {
+    if (in_queue_[v.v]) return;
+    in_queue_[v.v] = true;
+    queue_.push_back(v);
+}
+
+/// Record v := t. False (and conflict flagged) when v already carries
+/// the opposite proven value; re-deriving the same value is a no-op.
+bool ImplicationEngine::assign(NodeId v, Ternary t,
+                               ImplicationResult& result) {
+    if (!is_defined(t)) return true;
+    const Ternary cur = value_[v.v];
+    if (is_defined(cur)) {
+        if (cur != t) {
+            result.conflict = true;
+            return false;
+        }
+        return true;
+    }
+    value_[v.v] = t;
+    touched_.push_back(v);
+    if (!is_defined(base_[v.v]))
+        result.implied.push_back({v, ternary_bool(t)});
+    // The new value can drive the node's consumers forward and, if v is
+    // a gate, constrain its own fanins backward.
+    if (!netlist::is_source(circuit_.type(v))) enqueue(v);
+    for (NodeId g : circuit_.fanouts(v)) enqueue(g);
+    return true;
+}
+
+/// One gate examination: forward-evaluate the gate from its fanins,
+/// then apply the backward forced-value rules from its output value.
+void ImplicationEngine::examine(NodeId gate, ImplicationResult& result) {
+    const GateType type = circuit_.type(gate);
+    const auto fanins = circuit_.fanins(gate);
+
+    // Forward: the ternary gate function is monotone, so a defined
+    // result is forced.
+    fanin_scratch_.resize(fanins.size());
+    for (std::size_t i = 0; i < fanins.size(); ++i)
+        fanin_scratch_[i] = value_[fanins[i].v];
+    if (!assign(gate, eval_ternary(type, fanin_scratch_), result)) return;
+
+    const Ternary out = value_[gate.v];
+    if (!is_defined(out)) return;
+
+    // Backward: which fanin values does the output force?
+    switch (type) {
+        case GateType::Buf:
+            assign(fanins[0], out, result);
+            return;
+        case GateType::Not:
+            assign(fanins[0], invert(out), result);
+            return;
+        case GateType::And:
+        case GateType::Nand:
+        case GateType::Or:
+        case GateType::Nor: {
+            // In terms of the underlying AND/OR: an output at the
+            // non-controlled value forces every fanin non-controlling;
+            // an output at the controlled value with exactly one open
+            // fanin forces that fanin controlling.
+            const Ternary controlling =
+                to_ternary(netlist::controlling_value(type));
+            const bool inverted = netlist::is_inverting(type);
+            // Output value of the underlying monotone gate.
+            const Ternary mono = inverted ? invert(out) : out;
+            // AND = 1 (OR = 0): all fanins non-controlling.
+            if (mono == invert(controlling)) {
+                for (NodeId f : fanins)
+                    if (!assign(f, invert(controlling), result)) return;
+                return;
+            }
+            // AND = 0 (OR = 1): if a single fanin is open and every
+            // sibling is non-controlling, the open one is controlling.
+            NodeId open = netlist::kNullNode;
+            for (std::size_t i = 0; i < fanins.size(); ++i) {
+                const Ternary fv = fanin_scratch_[i];
+                if (fv == controlling) return;  // already satisfied
+                if (!is_defined(fv)) {
+                    if (open.valid()) return;  // two open: nothing forced
+                    open = fanins[i];
+                }
+            }
+            if (open.valid()) assign(open, controlling, result);
+            // No open fanin with all siblings non-controlling would be
+            // a conflict — caught by the forward evaluation above.
+            return;
+        }
+        case GateType::Xor:
+        case GateType::Xnor: {
+            // Parity with exactly one open fanin: it is forced to
+            // whatever completes the output parity.
+            NodeId open = netlist::kNullNode;
+            bool parity = (out == Ternary::One);
+            if (type == GateType::Xnor) parity = !parity;
+            for (std::size_t i = 0; i < fanins.size(); ++i) {
+                const Ternary fv = fanin_scratch_[i];
+                if (!is_defined(fv)) {
+                    if (open.valid()) return;
+                    open = fanins[i];
+                } else if (fv == Ternary::One) {
+                    parity = !parity;
+                }
+            }
+            if (open.valid()) assign(open, to_ternary(parity), result);
+            return;
+        }
+        case GateType::Input:
+        case GateType::Const0:
+        case GateType::Const1:
+            return;  // sources have no fanins to constrain
+    }
+}
+
+ImplicationResult ImplicationEngine::propagate(
+    std::span<const Literal> assumptions, std::size_t max_steps) {
+    ImplicationResult result;
+    queue_.clear();
+    queue_head_ = 0;
+
+    for (const Literal& a : assumptions) {
+        require(a.node.v < circuit_.node_count(),
+                "ImplicationEngine: assumption on unknown node");
+        if (!assign(a.node, to_ternary(a.value), result)) break;
+    }
+    // Entries recorded so far are the assumptions themselves (the ones
+    // not already base constants); strip them from `implied` at the end
+    // so the caller sees only derived assignments.
+    const std::size_t assumed = result.implied.size();
+
+    while (!result.conflict && queue_head_ < queue_.size()) {
+        if (max_steps != 0 && result.steps >= max_steps) {
+            result.capped = true;
+            break;
+        }
+        const NodeId gate = queue_[queue_head_++];
+        in_queue_[gate.v] = false;
+        ++result.steps;
+        examine(gate, result);
+    }
+
+    // Restore the scratch state for the next query.
+    for (NodeId v : touched_) value_[v.v] = base_[v.v];
+    touched_.clear();
+    for (std::size_t i = queue_head_; i < queue_.size(); ++i)
+        in_queue_[queue_[i].v] = false;
+    queue_.clear();
+    queue_head_ = 0;
+
+    // Derivation order minus the assumptions themselves.
+    if (!result.conflict && result.implied.size() >= assumed)
+        result.implied.erase(result.implied.begin(),
+                             result.implied.begin() +
+                                 static_cast<std::ptrdiff_t>(assumed));
+    return result;
+}
+
+}  // namespace tpi::analysis

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "analysis/ternary.hpp"
+#include "netlist/circuit.hpp"
+
+namespace tpi::analysis {
+
+/// One assignment "net carries value" — the atoms of the implication
+/// machinery. Everything downstream (assumption sets, learned
+/// implications, certificates) is a list of these.
+struct Literal {
+    netlist::NodeId node;
+    bool value = false;
+
+    friend constexpr bool operator==(const Literal&, const Literal&) =
+        default;
+};
+
+/// Outcome of propagating one assumption set.
+struct ImplicationResult {
+    /// The assumption set is unsatisfiable: no primary-input assignment
+    /// makes every assumption hold. Sound (each propagation rule is a
+    /// valid implication between net values), incomplete.
+    bool conflict = false;
+
+    /// Assignments derived beyond the assumptions and the base
+    /// constants, in derivation order. Meaningless after a conflict.
+    std::vector<Literal> implied;
+
+    /// Gate examinations consumed.
+    std::size_t steps = 0;
+
+    /// The step cap stopped propagation early: `implied` is still sound
+    /// but further implications (and conflicts) may exist.
+    bool capped = false;
+};
+
+/// Bidirectional ternary constraint propagation over the circuit:
+/// forward gate evaluation with 0/1/X dominance (eval_ternary) plus the
+/// backward forced-value rules (an AND driving 1 forces every fanin to
+/// 1; an AND driving 0 with all siblings at 1 forces the last open
+/// fanin to 0; the OR/NAND/NOR duals; Buf/Not inversion; XOR/XNOR
+/// parity once a single fanin is open). Each rule is a valid
+/// implication between net values of one consistent circuit, so every
+/// derived literal holds under *all* primary-input assignments
+/// satisfying the assumptions — and a derived contradiction proves the
+/// assumption set unsatisfiable (the FIRE-style learning step).
+///
+/// The engine is built once per circuit and queried many times: the
+/// working values live in a flat array restored via a touched list, so
+/// a query costs O(cone examined), not O(nodes). Deterministic: a FIFO
+/// over node ids with de-duplication, no hashing, no randomness.
+class ImplicationEngine {
+public:
+    /// `base` is the proven-constant background (one Ternary per node,
+    /// normally propagate_constants output, possibly refined with
+    /// learned constants); the engine keeps a copy.
+    ImplicationEngine(const netlist::Circuit& circuit,
+                      std::span<const Ternary> base);
+
+    /// Propagate `assumptions` on top of the base constants. At most
+    /// `max_steps` gate examinations (0 means unlimited).
+    ImplicationResult propagate(std::span<const Literal> assumptions,
+                                std::size_t max_steps = 0);
+
+    /// Permanently fold a learned constant into the base background so
+    /// later queries start from the refined state.
+    void refine_base(Literal constant);
+
+    const std::vector<Ternary>& base() const { return base_; }
+
+private:
+    bool assign(netlist::NodeId v, Ternary t, ImplicationResult& result);
+    void enqueue(netlist::NodeId v);
+    void examine(netlist::NodeId gate, ImplicationResult& result);
+
+    const netlist::Circuit& circuit_;
+    std::vector<Ternary> base_;
+
+    // Per-query scratch, restored after every propagate() call.
+    std::vector<Ternary> value_;
+    std::vector<netlist::NodeId> touched_;
+    std::vector<netlist::NodeId> queue_;
+    std::size_t queue_head_ = 0;
+    std::vector<bool> in_queue_;
+    std::vector<Ternary> fanin_scratch_;
+};
+
+}  // namespace tpi::analysis

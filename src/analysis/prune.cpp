@@ -1,0 +1,67 @@
+#include "analysis/prune.hpp"
+
+#include "util/error.hpp"
+
+namespace tpi::analysis {
+
+using netlist::Circuit;
+using netlist::NodeId;
+
+/// Walk the transparent chain from a node with obs exactly 1.0: some
+/// fanout edge must carry factor 1.0 into a consumer with obs 1.0
+/// (a product of doubles in [0, 1] is 1.0 only if every factor is), so
+/// the walk reaches a primary output in at most depth steps.
+std::vector<NodeId> transparent_chain(const Circuit& circuit,
+                                      const testability::CopResult& cop,
+                                      NodeId v) {
+    require(cop.obs[v.v] == 1.0,
+            "transparent_chain: node observability is not exactly 1.0");
+    std::vector<NodeId> chain{v};
+    NodeId cur = v;
+    while (!circuit.is_output(cur)) {
+        NodeId next = netlist::kNullNode;
+        for (NodeId g : circuit.fanouts(cur)) {
+            if (cop.obs[g.v] != 1.0) continue;
+            const auto fanins = circuit.fanins(g);
+            for (std::size_t slot = 0; slot < fanins.size(); ++slot) {
+                if (fanins[slot] != cur) continue;
+                if (testability::sensitization_probability(
+                        circuit, g, slot, cop.c1) == 1.0) {
+                    next = g;
+                    break;
+                }
+            }
+            if (next.valid()) break;
+        }
+        require(next.valid(),
+                "transparent_chain: obs == 1.0 without a transparent "
+                "edge (COP result does not match the circuit)");
+        chain.push_back(next);
+        cur = next;
+    }
+    return chain;
+}
+
+ObservePruning compute_observe_pruning(const Circuit& circuit,
+                                       const testability::CopResult& cop,
+                                       std::size_t max_certificates) {
+    require(cop.obs.size() == circuit.node_count(),
+            "compute_observe_pruning: COP size mismatch");
+    ObservePruning pruning;
+    pruning.zero_gain.assign(circuit.node_count(), false);
+    for (NodeId v : circuit.topo_order()) {
+        if (cop.obs[v.v] != 1.0) continue;
+        pruning.zero_gain[v.v] = true;
+        ++pruning.count;
+        if (pruning.certificates.size() < max_certificates) {
+            Certificate cert;
+            cert.kind = CertKind::TransparentChain;
+            cert.node = v;
+            cert.chain = transparent_chain(circuit, cop, v);
+            pruning.certificates.push_back(std::move(cert));
+        }
+    }
+    return pruning;
+}
+
+}  // namespace tpi::analysis

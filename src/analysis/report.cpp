@@ -1,0 +1,159 @@
+#include "analysis/report.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "fault/fault.hpp"
+
+namespace tpi::analysis {
+
+using netlist::Circuit;
+using netlist::NodeId;
+
+namespace {
+
+void write_json_string(std::ostream& os, std::string_view text) {
+    os << '"';
+    for (const char c : text) {
+        switch (c) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            case '\r': os << "\\r"; break;
+            case '\t': os << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    const char* hex = "0123456789abcdef";
+                    os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+                } else {
+                    os << c;
+                }
+        }
+    }
+    os << '"';
+}
+
+void write_literal_json(std::ostream& os, const Circuit& circuit,
+                        const Literal& lit) {
+    os << "{\"node\": " << lit.node.v << ", \"name\": ";
+    write_json_string(os, circuit.node_name(lit.node));
+    os << ", \"value\": " << (lit.value ? 1 : 0) << "}";
+}
+
+/// Count of nodes with a real (non-sink) immediate post-dominator.
+std::size_t dominated_nodes(const DominatorTree& tree) {
+    std::size_t n = 0;
+    for (const std::uint32_t d : tree.idom)
+        if (d != DominatorTree::kSink && d != DominatorTree::kUnreachable)
+            ++n;
+    return n;
+}
+
+}  // namespace
+
+void write_text(std::ostream& os, const AnalysisResult& result,
+                const ObservePruning& pruning, const Circuit& circuit) {
+    os << "analysis: circuit '" << circuit.name() << "' — "
+       << circuit.node_count() << " nodes\n";
+    os << "  dominators: " << dominated_nodes(result.dominators)
+       << " nodes with a proper post-dominator\n";
+    os << "  implications: " << result.implications_learned
+       << " learned over " << result.implications.rows()
+       << " probed literals\n";
+    os << "  constants: " << result.learned_constants.size()
+       << " learned by failed assumption\n";
+    for (const Literal& c : result.learned_constants)
+        os << "    " << circuit.node_name(c.node) << " = "
+           << (c.value ? 1 : 0) << "\n";
+    os << "  untestable faults: " << result.untestable.size() << "\n";
+    for (const fault::Fault& f : result.untestable)
+        os << "    " << fault::fault_name(circuit, f) << "\n";
+    os << "  zero-gain observe sites: " << pruning.count << "\n";
+    os << "  certificates: " << result.certificates.size() << " analysis + "
+       << pruning.certificates.size() << " transparent-chain"
+       << (result.truncated ? " [truncated]" : "") << "\n";
+}
+
+namespace {
+
+void write_certificates_json(std::ostream& os, const Circuit& circuit,
+                             const std::vector<Certificate>& certs) {
+    for (std::size_t i = 0; i < certs.size(); ++i) {
+        const Certificate& cert = certs[i];
+        os << (i > 0 ? "," : "") << "\n    {\"kind\": ";
+        write_json_string(os, cert_kind_name(cert.kind));
+        os << ", \"node\": " << cert.node.v << ", \"name\": ";
+        write_json_string(os, circuit.node_name(cert.node));
+        if (cert.kind == CertKind::UntestableFault)
+            os << ", \"stuck_at\": " << (cert.fault.stuck_at1 ? 1 : 0);
+        if (cert.kind == CertKind::ConstantNet)
+            os << ", \"value\": " << (cert.value ? 1 : 0);
+        if (!cert.assumptions.empty()) {
+            os << ",\n     \"assumptions\": [";
+            for (std::size_t j = 0; j < cert.assumptions.size(); ++j) {
+                os << (j > 0 ? ", " : "");
+                write_literal_json(os, circuit, cert.assumptions[j]);
+            }
+            os << "]";
+        }
+        if (!cert.chain.empty()) {
+            os << ",\n     \"chain\": [";
+            for (std::size_t j = 0; j < cert.chain.size(); ++j)
+                os << (j > 0 ? ", " : "") << cert.chain[j].v;
+            os << "]";
+        }
+        if (cert.kind == CertKind::ObsBound)
+            os << ", \"lower\": " << cert.lower
+               << ", \"upper\": " << cert.upper;
+        os << "}";
+    }
+}
+
+}  // namespace
+
+void write_json(std::ostream& os, const AnalysisResult& result,
+                const ObservePruning& pruning, const Circuit& circuit) {
+    os << "{\n  \"circuit\": ";
+    write_json_string(os, circuit.name());
+    os << ",\n  \"nodes\": " << circuit.node_count();
+    os << ",\n  \"dominated_nodes\": " << dominated_nodes(result.dominators);
+    os << ",\n  \"implications_learned\": " << result.implications_learned;
+    os << ",\n  \"probed_literals\": " << result.implications.rows();
+    os << ",\n  \"learned_constants\": [";
+    for (std::size_t i = 0; i < result.learned_constants.size(); ++i) {
+        os << (i > 0 ? ", " : "");
+        write_literal_json(os, circuit, result.learned_constants[i]);
+    }
+    os << "],\n  \"untestable_faults\": [";
+    for (std::size_t i = 0; i < result.untestable.size(); ++i) {
+        const fault::Fault& f = result.untestable[i];
+        os << (i > 0 ? ", " : "") << "{\"node\": " << f.node.v
+           << ", \"name\": ";
+        write_json_string(os, circuit.node_name(f.node));
+        os << ", \"stuck_at\": " << (f.stuck_at1 ? 1 : 0) << "}";
+    }
+    os << "],\n  \"zero_gain_observe_sites\": " << pruning.count;
+    os << ",\n  \"certificates\": [";
+    write_certificates_json(os, circuit, result.certificates);
+    if (!result.certificates.empty() && !pruning.certificates.empty())
+        os << ",";
+    write_certificates_json(os, circuit, pruning.certificates);
+    os << "\n  ],\n  \"truncated\": "
+       << (result.truncated ? "true" : "false") << "\n}\n";
+}
+
+std::string to_text(const AnalysisResult& result,
+                    const ObservePruning& pruning, const Circuit& circuit) {
+    std::ostringstream os;
+    write_text(os, result, pruning, circuit);
+    return os.str();
+}
+
+std::string to_json(const AnalysisResult& result,
+                    const ObservePruning& pruning, const Circuit& circuit) {
+    std::ostringstream os;
+    write_json(os, result, pruning, circuit);
+    return os.str();
+}
+
+}  // namespace tpi::analysis

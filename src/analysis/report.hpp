@@ -1,0 +1,32 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "analysis/analysis.hpp"
+#include "analysis/prune.hpp"
+
+namespace tpi::analysis {
+
+/// Human-readable summary of one analysis run: headline counts, the
+/// learned constants, the untestable faults, sample implication rows,
+/// and the certificate inventory.
+void write_text(std::ostream& os, const AnalysisResult& result,
+                const ObservePruning& pruning,
+                const netlist::Circuit& circuit);
+
+/// Machine-readable form of the same facts (stable key order, suitable
+/// for goldens). Certificates are serialised in full so a consumer can
+/// replay them independently.
+void write_json(std::ostream& os, const AnalysisResult& result,
+                const ObservePruning& pruning,
+                const netlist::Circuit& circuit);
+
+std::string to_text(const AnalysisResult& result,
+                    const ObservePruning& pruning,
+                    const netlist::Circuit& circuit);
+std::string to_json(const AnalysisResult& result,
+                    const ObservePruning& pruning,
+                    const netlist::Circuit& circuit);
+
+}  // namespace tpi::analysis

@@ -1,8 +1,8 @@
-#include "lint/ternary.hpp"
+#include "analysis/ternary.hpp"
 
 #include "util/error.hpp"
 
-namespace tpi::lint {
+namespace tpi::analysis {
 
 using netlist::Circuit;
 using netlist::GateType;
@@ -150,4 +150,4 @@ std::vector<bool> observable_mask(const Circuit& circuit,
     return observable;
 }
 
-}  // namespace tpi::lint
+}  // namespace tpi::analysis

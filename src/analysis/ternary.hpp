@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace tpi::analysis {
+
+/// Three-valued logic over the flat lattice {0, 1} ⊔ {X}: X means "not
+/// proven constant". Gate evaluation is monotone in the information
+/// order (refining an X input to a concrete value never flips a defined
+/// output), which is what makes every constant proven here a constant
+/// under *all* primary-input assignments — see DESIGN.md §10.
+enum class Ternary : std::uint8_t {
+    Zero = 0,
+    One = 1,
+    X = 2,
+};
+
+std::string_view ternary_name(Ternary value);
+
+inline bool is_defined(Ternary value) { return value != Ternary::X; }
+
+/// Ternary value carried by a defined constant (precondition:
+/// is_defined(value)).
+inline bool ternary_bool(Ternary value) { return value == Ternary::One; }
+
+inline Ternary to_ternary(bool value) {
+    return value ? Ternary::One : Ternary::Zero;
+}
+
+/// Evaluate one gate on ternary inputs with the usual dominance rules: a
+/// controlling input decides AND/NAND/OR/NOR regardless of X siblings;
+/// XOR/XNOR are X as soon as any input is X.
+Ternary eval_ternary(netlist::GateType type, std::span<const Ternary> inputs);
+
+/// Evaluate the whole circuit with the given primary-input values (in
+/// inputs() order). Tie cells evaluate to their constants. Returns one
+/// value per node, indexed by NodeId.
+std::vector<Ternary> evaluate_ternary(const netlist::Circuit& circuit,
+                                      std::span<const Ternary> input_values);
+
+/// Ternary constant propagation: evaluate with every primary input X.
+/// Every node whose result is defined provably carries that constant
+/// under all 2^n input assignments (sound; incomplete — constancy by
+/// cancellation, e.g. XOR(a, a), stays X).
+std::vector<Ternary> propagate_constants(const netlist::Circuit& circuit);
+
+/// Structural observability under ternary constant blocking: a node is
+/// marked false when every path from it to every primary output crosses
+/// a gate edge whose sibling fanin is a proven controlling constant
+/// (e.g. an AND sibling proven 0). Marked-false nets provably cannot
+/// propagate a value change to any output (sound); marked-true nets may
+/// still be unobservable for non-structural reasons (incomplete).
+/// `value` must come from propagate_constants on the same circuit.
+std::vector<bool> observable_mask(const netlist::Circuit& circuit,
+                                  std::span<const Ternary> value);
+
+}  // namespace tpi::analysis

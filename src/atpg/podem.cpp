@@ -1,7 +1,6 @@
 #include "atpg/podem.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "sim/logic_sim.hpp"
 #include "util/error.hpp"
@@ -81,7 +80,8 @@ public:
           options_(options),
           pi_value_(circuit.input_count(), V::X),
           good_(circuit.node_count(), V::X),
-          faulty_(circuit.node_count(), V::X) {
+          faulty_(circuit.node_count(), V::X),
+          pi_index_by_node_(circuit.node_count(), UINT32_MAX) {
         for (std::size_t i = 0; i < circuit.input_count(); ++i)
             pi_index_by_node_[circuit.inputs()[i].v] =
                 static_cast<std::uint32_t>(i);
@@ -150,7 +150,7 @@ private:
             const GateType t = circuit_.type(v);
             V g;
             if (t == GateType::Input) {
-                g = pi_value_[pi_index_by_node_.at(v.v)];
+                g = pi_value_[pi_index_by_node_[v.v]];
                 good_[v.v] = g;
                 faulty_[v.v] = g;
             } else {
@@ -284,7 +284,7 @@ private:
             if (!next.valid()) return false;  // objective unreachable
             net = next;
         }
-        pi = pi_index_by_node_.at(net.v);
+        pi = pi_index_by_node_[net.v];
         value = v;
         return true;
     }
@@ -316,7 +316,10 @@ private:
     std::vector<V> good_;
     std::vector<V> faulty_;
     std::vector<Decision> decisions_;
-    std::unordered_map<std::uint32_t, std::uint32_t> pi_index_by_node_;
+    // Primary-input slot of each input node (UINT32_MAX elsewhere):
+    // a flat array so no hash container sits in this deterministic
+    // path (see ci/grep_lint.py).
+    std::vector<std::uint32_t> pi_index_by_node_;
     std::size_t backtracks_ = 0;
 };
 

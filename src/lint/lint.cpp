@@ -1,7 +1,9 @@
 #include "lint/lint.hpp"
 
 #include <algorithm>
+#include <optional>
 
+#include "testability/cop.hpp"
 #include "util/error.hpp"
 
 namespace tpi::lint {
@@ -57,8 +59,25 @@ const LintRule* RuleRegistry::find(std::string_view id) const {
     return nullptr;
 }
 
+void validate_lint_options(const LintOptions& options) {
+    if (options.max_findings_per_rule == 0)
+        throw ValidationError(
+            "lint options: max_findings_per_rule must be positive (a "
+            "zero cap would truncate every rule before its first "
+            "finding)");
+    if (options.max_reconvergence_work == 0)
+        throw ValidationError(
+            "lint options: max_reconvergence_work must be positive (a "
+            "zero budget cannot sweep any stem)");
+    if (options.max_implication_steps == 0)
+        throw ValidationError(
+            "lint options: max_implication_steps must be positive (a "
+            "zero budget cannot run any implication query)");
+}
+
 LintReport run_lint(const Circuit& circuit, const LintOptions& options,
                     const RuleRegistry& registry) {
+    validate_lint_options(options);
     // Select before analysing so unknown rule ids fail fast.
     std::vector<const LintRule*> selected;
     if (options.rules.empty()) {
@@ -71,6 +90,12 @@ LintReport run_lint(const Circuit& circuit, const LintOptions& options,
             selected.push_back(rule);
         }
     }
+    const auto wants = [&](std::string_view id) {
+        return std::any_of(selected.begin(), selected.end(),
+                           [id](const LintRule* rule) {
+                               return rule->id == id;
+                           });
+    };
 
     obs::Sink* sink = options.sink;
     obs::Span run_span(sink, "lint/run");
@@ -81,9 +106,34 @@ LintReport run_lint(const Circuit& circuit, const LintOptions& options,
         report.ternary = propagate_constants(circuit);
         report.observable = observable_mask(circuit, report.ternary);
     }
+    // The static-analysis facts are computed only when a selected rule
+    // consumes them — they cost implication probing over the whole
+    // fault universe, which the five structural rules never need.
+    std::optional<analysis::AnalysisResult> facts;
+    if (wants("untestable-fault") || wants("implication-constant")) {
+        analysis::AnalysisOptions aopts;
+        aopts.max_implication_nodes = options.max_implication_nodes;
+        aopts.max_implication_steps = options.max_implication_steps;
+        aopts.max_untestable_faults = options.max_untestable_faults;
+        aopts.deadline = options.deadline;
+        aopts.sink = sink;
+        facts = analysis::run_analysis(circuit, aopts);
+        if (facts->truncated) report.truncated = true;
+    }
+    std::optional<analysis::ObservePruning> observe;
+    if (wants("dominated-observe-point")) {
+        const testability::CopResult cop = testability::compute_cop(circuit);
+        observe = analysis::compute_observe_pruning(
+            circuit, cop, options.max_findings_per_rule);
+    }
     const netlist::FfrDecomposition ffr = netlist::decompose_ffr(circuit);
-    const RuleContext context{circuit, report.ternary, report.observable,
-                              ffr, options};
+    const RuleContext context{circuit,
+                              report.ternary,
+                              report.observable,
+                              ffr,
+                              options,
+                              facts ? &*facts : nullptr,
+                              observe ? &*observe : nullptr};
 
     for (const LintRule* rule : selected) {
         if (options.deadline != nullptr && options.deadline->expired_now()) {

@@ -7,6 +7,8 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/analysis.hpp"
+#include "analysis/prune.hpp"
 #include "fault/fault.hpp"
 #include "netlist/circuit.hpp"
 #include "netlist/ffr.hpp"
@@ -98,6 +100,14 @@ struct LintOptions {
     /// hitting it sets LintReport::truncated.
     std::size_t max_reconvergence_work = 4'000'000;
 
+    /// Caps forwarded to the static-analysis engine when a rule that
+    /// consumes its facts (untestable-fault, implication-constant,
+    /// dominated-observe-point) is selected — see AnalysisOptions for
+    /// the semantics of each.
+    std::size_t max_implication_nodes = 2048;
+    std::size_t max_implication_steps = 200'000;
+    std::size_t max_untestable_faults = 4096;
+
     /// Optional cooperative resource budget (not owned), checked between
     /// rules and inside the heavier sweeps. On expiry the report is
     /// returned truncated with every completed rule's findings intact.
@@ -112,13 +122,18 @@ struct LintOptions {
 };
 
 /// Read-only context handed to every rule: the circuit plus the shared
-/// analyses computed once per run.
+/// analyses computed once per run. The two analysis pointers are
+/// populated only when a selected rule consumes them (null otherwise);
+/// rules that need them must tolerate null for embedders running them
+/// through a custom registry.
 struct RuleContext {
     const netlist::Circuit& circuit;
     const std::vector<Ternary>& ternary;
     const std::vector<bool>& observable;
     const netlist::FfrDecomposition& ffr;
     const LintOptions& options;
+    const analysis::AnalysisResult* analysis = nullptr;
+    const analysis::ObservePruning* observe_pruning = nullptr;
 };
 
 /// A registered rule. `run` appends findings (respecting the per-rule
@@ -149,8 +164,16 @@ private:
 };
 
 /// Register the built-in rules (constant-net, unobservable-net,
-/// redundant-fault, reconvergent-fanout, duplicate-gate) into `registry`.
+/// redundant-fault, reconvergent-fanout, duplicate-gate,
+/// untestable-fault, implication-constant, dominated-observe-point)
+/// into `registry`.
 void register_builtin_rules(RuleRegistry& registry);
+
+/// Validate the option ranges and work caps; throws tpi::ValidationError
+/// (CLI exit 4) for unusable values. Called by run_lint, and by the CLI
+/// before building a report, so misconfiguration fails loudly instead
+/// of being silently clamped.
+void validate_lint_options(const LintOptions& options);
 
 /// Run the selected rules of `registry` over `circuit`.
 LintReport run_lint(const netlist::Circuit& circuit,

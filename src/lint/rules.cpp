@@ -260,6 +260,68 @@ void rule_duplicate_gate(const RuleContext& context, LintReport& report) {
     }
 }
 
+// ------------------------------------------------------ untestable-fault
+
+void rule_untestable_fault(const RuleContext& context, LintReport& report) {
+    if (context.analysis == nullptr) return;
+    const Circuit& circuit = context.circuit;
+    for (const fault::Fault& f : context.analysis->untestable) {
+        if (!emit(context, report, "untestable-fault", Severity::Warning,
+                  {f.node},
+                  "stuck-at-" + std::string(f.stuck_at1 ? "1" : "0") +
+                      " on net '" + circuit.node_name(f.node) +
+                      "' is structurally untestable (its mandatory "
+                      "assignments conflict under static implications)",
+                  "exclude it from the coverage denominator; the "
+                  "analysis certificate replays the conflict (tpidp "
+                  "analyze --json)"))
+            return;
+    }
+}
+
+// -------------------------------------------------- implication-constant
+
+void rule_implication_constant(const RuleContext& context,
+                               LintReport& report) {
+    if (context.analysis == nullptr) return;
+    const Circuit& circuit = context.circuit;
+    for (const analysis::Literal& c : context.analysis->learned_constants) {
+        if (!emit(context, report, "implication-constant",
+                  Severity::Warning, {c.node},
+                  "net '" + circuit.node_name(c.node) +
+                      "' is provably constant " +
+                      std::string(c.value ? "1" : "0") +
+                      " (assuming the opposite value propagates to a "
+                      "contradiction)",
+                  "plain ternary propagation cannot see this constant; "
+                  "treat the net as tied and review the driving logic"))
+            return;
+    }
+}
+
+// ----------------------------------------------- dominated-observe-point
+
+void rule_dominated_observe_point(const RuleContext& context,
+                                  LintReport& report) {
+    if (context.observe_pruning == nullptr) return;
+    const Circuit& circuit = context.circuit;
+    for (NodeId v : circuit.topo_order()) {
+        if (!context.observe_pruning->zero_gain[v.v]) continue;
+        if (circuit.is_output(v)) continue;  // observing an output is
+                                             // trivially redundant
+        if (!emit(context, report, "dominated-observe-point",
+                  Severity::Info, {v},
+                  "an observe point at net '" + circuit.node_name(v) +
+                      "' is provably zero-gain (COP observability is "
+                      "already exactly 1.0 along a transparent path to "
+                      "an output)",
+                  "planners drop the candidate under "
+                  "PlannerOptions::prune_via_analysis, carrying a "
+                  "transparent-chain certificate"))
+            return;
+    }
+}
+
 }  // namespace
 
 void register_builtin_rules(RuleRegistry& registry) {
@@ -280,6 +342,18 @@ void register_builtin_rules(RuleRegistry& registry) {
     registry.add({"duplicate-gate",
                   "structurally duplicate gates found by hashing",
                   Severity::Warning, rule_duplicate_gate});
+    registry.add({"untestable-fault",
+                  "faults whose mandatory assignments conflict under "
+                  "static implications",
+                  Severity::Warning, rule_untestable_fault});
+    registry.add({"implication-constant",
+                  "constants learned by failed-assumption implication "
+                  "probing",
+                  Severity::Warning, rule_implication_constant});
+    registry.add({"dominated-observe-point",
+                  "observe-point sites provably zero-gain behind a "
+                  "transparent dominator chain",
+                  Severity::Info, rule_dominated_observe_point});
 }
 
 }  // namespace tpi::lint

@@ -38,6 +38,11 @@ std::string_view counter_name(Counter counter) {
         case Counter::SimWidth: return "sim_width";
         case Counter::FaultsDropped: return "faults_dropped";
         case Counter::FfrBatches: return "ffr_batches";
+        case Counter::ImplicationsLearned: return "implications_learned";
+        case Counter::FaultsProvedUntestable:
+            return "faults_proved_untestable";
+        case Counter::CandidatesPrunedAnalysis:
+            return "candidates_pruned_analysis";
         case Counter::DeadlineExpiries: return "deadline_expiries";
         case Counter::PoolBatches: return "pool_batches";
         case Counter::PoolTasks: return "pool_tasks";

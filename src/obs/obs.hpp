@@ -48,6 +48,12 @@ enum class Counter : std::uint8_t {
                            ///< fault dropping
     FfrBatches,            ///< per-FFR stem observability masks computed
                            ///< by batched propagation
+    ImplicationsLearned,   ///< literals stored in the static implication
+                           ///< database
+    FaultsProvedUntestable,  ///< faults proved untestable by conflicting
+                             ///< mandatory assignments
+    CandidatesPrunedAnalysis,  ///< candidates dropped by analysis pruning
+                               ///< (provably zero-gain observe sites)
     // Diagnostic (thread- or wall-clock-dependent).
     DeadlineExpiries,      ///< engines stopped by an expired deadline
     PoolBatches,           ///< parallel for_each batches dispatched

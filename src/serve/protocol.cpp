@@ -95,7 +95,9 @@ void parse_options(const Value& options, Request& request) {
     check_keys(options, "options",
                {"budget", "patterns", "planner", "seed", "deadline_ms",
                 "eval_epsilon", "exact_eval", "prune_lint",
-                "max_findings", "sim_width", "drop_after"});
+                "prune_analysis", "max_findings",
+                "max_implication_nodes", "max_implication_steps",
+                "max_untestable", "sim_width", "drop_after"});
     request.budget = static_cast<int>(
         opt_uint(options, "budget", static_cast<std::uint64_t>(request.budget),
                  1u << 20));
@@ -113,8 +115,19 @@ void parse_options(const Value& options, Request& request) {
         opt_bool(options, "exact_eval", request.exact_eval);
     request.prune_lint =
         opt_bool(options, "prune_lint", request.prune_lint);
+    request.prune_analysis =
+        opt_bool(options, "prune_analysis", request.prune_analysis);
     request.max_findings = static_cast<std::size_t>(
         opt_uint(options, "max_findings", request.max_findings, 1u << 20));
+    request.max_implication_nodes = static_cast<std::size_t>(
+        opt_uint(options, "max_implication_nodes",
+                 request.max_implication_nodes, 1u << 24));
+    request.max_implication_steps = static_cast<std::size_t>(
+        opt_uint(options, "max_implication_steps",
+                 request.max_implication_steps, 1u << 30));
+    request.max_untestable = static_cast<std::size_t>(
+        opt_uint(options, "max_untestable", request.max_untestable,
+                 1u << 24));
     request.sim_width = static_cast<unsigned>(
         opt_uint(options, "sim_width", request.sim_width, 512));
     request.drop_after =
@@ -236,8 +249,8 @@ Request parse_request(std::string_view line) {
         parse_points(*points, request);
 
     static constexpr std::string_view kMethods[] = {
-        "ping", "info", "open", "close", "stats",
-        "plan", "sim",  "lint", "score"};
+        "ping", "info", "open",    "close", "stats",
+        "plan", "sim",  "lint",    "analyze", "score"};
     bool known = false;
     for (const auto& m : kMethods)
         if (request.method == m) known = true;

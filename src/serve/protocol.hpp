@@ -74,7 +74,8 @@ private:
 ///   {"id":3,"method":"score","session":"s",
 ///    "points":[{"node":"n1","kind":"OP"}]}
 ///
-/// Methods: ping, info, open, close, stats, plan, sim, lint, score.
+/// Methods: ping, info, open, close, stats, plan, sim, lint, analyze,
+/// score.
 struct Request {
     std::optional<std::uint64_t> id;  ///< echoed back in the response
     std::string method;
@@ -94,7 +95,12 @@ struct Request {
     double eval_epsilon = 0.0;
     bool exact_eval = false;
     bool prune_lint = false;
+    bool prune_analysis = false;  ///< plan: zero-gain observe pruning
     std::size_t max_findings = 64;
+    // lint/analyze work caps (validated, not clamped).
+    std::size_t max_implication_nodes = 2048;
+    std::size_t max_implication_steps = 200'000;
+    std::size_t max_untestable = 4096;
     unsigned sim_width = 64;       ///< sim: pattern width (0 = auto)
     std::uint64_t drop_after = 0;  ///< sim: n-detect drop target (0 = off)
 

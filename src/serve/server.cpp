@@ -5,6 +5,9 @@
 #include <new>
 #include <utility>
 
+#include "analysis/analysis.hpp"
+#include "analysis/prune.hpp"
+#include "fault/fault.hpp"
 #include "fault/fault_sim.hpp"
 #include "gen/benchmarks.hpp"
 #include "lint/lint.hpp"
@@ -326,6 +329,9 @@ std::string Server::dispatch(const Request& request, obs::Sink& sink,
     if (request.method == "lint")
         return do_lint(request, *session, deadline, sink, report,
                        truncated);
+    if (request.method == "analyze")
+        return do_analyze(request, *session, deadline, sink, report,
+                          truncated);
     if (request.method == "score") {
         if (deadline.already_expired())
             throw DeadlineError("score: deadline expired before scoring");
@@ -341,7 +347,8 @@ std::string Server::do_info() {
     std::string out = "{";
     out += "\"protocol\": 1";
     out += ", \"methods\": [\"ping\", \"info\", \"open\", \"close\", "
-           "\"stats\", \"plan\", \"sim\", \"lint\", \"score\"]";
+           "\"stats\", \"plan\", \"sim\", \"lint\", \"analyze\", "
+           "\"score\"]";
     out += ", \"workers\": " + std::to_string(workers_);
     out += ", \"max_queue\": " + num(options_.max_queue);
     out += ", \"max_sessions\": " + num(options_.session_limits.max_sessions);
@@ -454,6 +461,7 @@ std::string Server::do_plan(const Request& request, Session& session,
     options.deadline = &deadline;
     options.threads = 1;  // concurrency comes from request batching
     options.prune_via_lint = request.prune_lint;
+    options.prune_via_analysis = request.prune_analysis;
     options.incremental_eval = !request.exact_eval;
     options.eval_epsilon = request.eval_epsilon;
     options.sink = &sink;
@@ -480,6 +488,9 @@ std::string Server::do_plan(const Request& request, Session& session,
                num(plan.candidates_considered);
         out += ", \"candidates_pruned\": " + num(plan.candidates_pruned);
     }
+    if (request.prune_analysis)
+        out += ", \"candidates_pruned_analysis\": " +
+               num(plan.candidates_pruned_analysis);
     out += "}";
 
     report.add_str("planner", request.planner);
@@ -525,6 +536,9 @@ std::string Server::do_lint(const Request& request, Session& session,
                             obs::RunReport& report, bool& truncated) {
     lint::LintOptions options;
     options.max_findings_per_rule = request.max_findings;
+    options.max_implication_nodes = request.max_implication_nodes;
+    options.max_implication_steps = request.max_implication_steps;
+    options.max_untestable_faults = request.max_untestable;
     options.deadline = &deadline;
     options.sink = &sink;
     const lint::LintReport lint_report =
@@ -542,6 +556,63 @@ std::string Server::do_lint(const Request& request, Session& session,
     report.add_num("findings",
                    static_cast<std::uint64_t>(
                        lint_report.findings.size()));
+    return out;
+}
+
+std::string Server::do_analyze(const Request& request, Session& session,
+                               util::Deadline& deadline, obs::Sink& sink,
+                               obs::RunReport& report, bool& truncated) {
+    analysis::AnalysisOptions options;
+    options.max_implication_nodes = request.max_implication_nodes;
+    options.max_implication_steps = request.max_implication_steps;
+    options.max_untestable_faults = request.max_untestable;
+    options.deadline = &deadline;
+    options.sink = &sink;
+    const analysis::AnalysisResult result =
+        analysis::run_analysis(session.circuit, options);
+    const analysis::ObservePruning pruning =
+        analysis::compute_observe_pruning(session.circuit, session.cop, 0);
+    truncated = result.truncated && deadline.already_expired();
+
+    std::size_t dominated = 0;
+    for (const std::uint32_t d : result.dominators.idom)
+        if (d != analysis::DominatorTree::kSink &&
+            d != analysis::DominatorTree::kUnreachable)
+            ++dominated;
+
+    std::string out = "{";
+    out += "\"nodes\": " + num(session.circuit.node_count());
+    out += ", \"dominated_nodes\": " + num(dominated);
+    out += ", \"implications_learned\": " +
+           num(result.implications_learned);
+    out += ", \"probed_literals\": " + num(result.implications.rows());
+    out += ", \"learned_constants\": [";
+    for (std::size_t i = 0; i < result.learned_constants.size(); ++i) {
+        const analysis::Literal& lit = result.learned_constants[i];
+        if (i > 0) out += ", ";
+        out += "{\"node\": " +
+               json_quote(session.circuit.node_name(lit.node)) +
+               ", \"value\": " + (lit.value ? "1" : "0") + "}";
+    }
+    out += "]";
+    out += ", \"untestable_faults\": [";
+    for (std::size_t i = 0; i < result.untestable.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += json_quote(
+            fault::fault_name(session.circuit, result.untestable[i]));
+    }
+    out += "]";
+    out += ", \"zero_gain_observe_sites\": " + num(pruning.count);
+    out += ", \"certificates\": " + num(result.certificates.size());
+    out += ", \"truncated\": " + boolean(result.truncated);
+    out += "}";
+
+    report.add_num(
+        "implications_learned",
+        static_cast<std::uint64_t>(result.implications_learned));
+    report.add_num(
+        "untestable_faults",
+        static_cast<std::uint64_t>(result.untestable.size()));
     return out;
 }
 

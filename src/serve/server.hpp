@@ -139,6 +139,9 @@ private:
     std::string do_lint(const Request& request, Session& session,
                         util::Deadline& deadline, obs::Sink& sink,
                         obs::RunReport& report, bool& truncated);
+    std::string do_analyze(const Request& request, Session& session,
+                           util::Deadline& deadline, obs::Sink& sink,
+                           obs::RunReport& report, bool& truncated);
     std::string do_score(const Request& request, Session& session,
                          obs::Sink& sink, obs::RunReport& report);
     std::string do_info();

@@ -2,6 +2,7 @@
 #include <memory>
 #include <optional>
 
+#include "analysis/prune.hpp"
 #include "fault/fault.hpp"
 #include "lint/lint.hpp"
 #include "netlist/ffr.hpp"
@@ -145,6 +146,19 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
     std::vector<bool> allowed;
     fault::CollapsedFaults mapped = plan_faults;
 
+    // Analysis pruning: observe candidates whose COP observability is
+    // exactly 1.0 on the round's transformed circuit (see the
+    // prune_via_analysis doc for why dropping them is score-exact).
+    // Only the observe-only region DPs see the restricted mask; the
+    // joint DP keeps `allowed` because a control point can de-sensitise
+    // a transparent chain.
+    const bool analysis_prune =
+        options.prune_via_analysis && options.allow_observe;
+    std::vector<bool> obs_allowed;
+    std::size_t pruned_analysis = 0;
+    std::vector<analysis::Certificate> prune_certs;
+    constexpr std::size_t kMaxPlanCertificates = 8;
+
     for (int round = 0; round < rounds && remaining > 0; ++round) {
         if (out_of_time()) {
             truncated = true;
@@ -184,6 +198,34 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
         const testability::CopResult cop =
             engine ? engine->export_cop(dft)
                    : testability::compute_cop(dft.circuit);
+
+        if (analysis_prune) {
+            obs::Span prune_span(sink, "plan/analysis-prune");
+            const analysis::ObservePruning zg =
+                analysis::compute_observe_pruning(dft.circuit, cop, 0);
+            obs_allowed.assign(allowed.begin(), allowed.end());
+            for (std::size_t i = 0; i < cur_n; ++i) {
+                if (!obs_allowed[i] || !zg.zero_gain[i]) continue;
+                obs_allowed[i] = false;
+                ++pruned_analysis;
+                // Certificates only from round 0, where the transform
+                // merely renumbers the original circuit: mapping the
+                // chain back through orig_of yields a certificate that
+                // replays against `circuit` (COP is slot-order and
+                // max-order invariant, so the values transfer bitwise).
+                if (round == 0 &&
+                    prune_certs.size() < kMaxPlanCertificates) {
+                    analysis::Certificate cert;
+                    cert.kind = analysis::CertKind::TransparentChain;
+                    cert.node = orig_of[i];
+                    for (NodeId step : analysis::transparent_chain(
+                             dft.circuit, cop,
+                             NodeId{static_cast<std::uint32_t>(i)}))
+                        cert.chain.push_back(orig_of[step.v]);
+                    prune_certs.push_back(std::move(cert));
+                }
+            }
+        }
 
         // Fault universe of the original circuit, relocated onto the
         // current netlist (the copies of the original gate outputs).
@@ -237,6 +279,20 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
                     options.objective, params,
                     allowed);
             } else if (options.allow_observe) {
+                const std::vector<bool>& obs_mask =
+                    analysis_prune ? obs_allowed : allowed;
+                // Every member provably zero-gain: the DP could only
+                // return gain 0 at every budget, which the knapsack's
+                // 1e-9 guard would discard anyway — skip the build.
+                if (analysis_prune) {
+                    bool any = false;
+                    for (NodeId v : region.members)
+                        if (obs_mask[v.v]) {
+                            any = true;
+                            break;
+                        }
+                    if (!any) return;
+                }
                 TreeObsDp::Params params;
                 params.delta_bits = options.dp_delta_bits;
                 params.max_bucket = options.dp_max_cost_bucket;
@@ -246,7 +302,7 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
                     dft.circuit, region, cop, mapped,
                     std::span<const std::uint32_t>(mapped.class_size),
                     options.objective, params,
-                    allowed);
+                    obs_mask);
             }
             if (dps[r]) {
                 obs::add(sink, obs::Counter::DpRegionsBuilt);
@@ -356,6 +412,8 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
     result.truncated = truncated;
     result.candidates_considered = candidate_count;
     result.candidates_pruned = pruned_count;
+    result.candidates_pruned_analysis = pruned_analysis;
+    result.prune_certificates = std::move(prune_certs);
     result.predicted_score =
         engine ? engine->evaluation().score
                : evaluate_plan(circuit, faults, result.points,
@@ -364,6 +422,7 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
     obs::add(sink, obs::Counter::PlanPoints, result.points.size());
     obs::add(sink, obs::Counter::CandidatesConsidered, candidate_count);
     obs::add(sink, obs::Counter::CandidatesPruned, pruned_count);
+    obs::add(sink, obs::Counter::CandidatesPrunedAnalysis, pruned_analysis);
     if (truncated) obs::add(sink, obs::Counter::DeadlineExpiries);
     return result;
 }

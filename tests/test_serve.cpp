@@ -452,6 +452,117 @@ TEST(ServeDifferential, CachedPlanMatchesBatchPlannerBitForBit) {
 }
 
 // ---------------------------------------------------------------------
+// Server: the analyze method (static analysis engine round-trip)
+
+// AND(x, NOT x) is a contradiction: the analysis engine must learn
+// g == 0, prove the masked faults untestable, and report the output as
+// a zero-gain observe site (obs(z) along the transparent OR is 1).
+#define KCONTRA_JSON                                  \
+    "INPUT(x)\\nINPUT(y)\\nOUTPUT(z)\\nnx = NOT(x)\\n" \
+    "g = AND(x, nx)\\nz = OR(g, y)\\n"
+
+TEST(ServeAnalyze, RoundTripLearnsConstantsAndUntestableFaults) {
+    serve::Server server({});
+    EXPECT_EQ(response_code(server.execute_line(
+                  open_line("an", KCONTRA_JSON))),
+              "");
+    const std::string response = server.execute_line(
+        R"({"method": "analyze", "session": "an", "report": false})");
+    EXPECT_EQ(response_code(response), "");
+
+    obs::json::Value doc;
+    std::string error;
+    ASSERT_TRUE(obs::json::parse(response, doc, error)) << error;
+    const obs::json::Value* result = doc.find("result");
+    ASSERT_NE(result, nullptr) << response;
+    EXPECT_GT(result->find("nodes")->number, 0.0);
+    EXPECT_GT(result->find("implications_learned")->number, 0.0);
+    EXPECT_GT(result->find("certificates")->number, 0.0);
+    EXPECT_FALSE(result->find("truncated")->boolean);
+
+    // g = AND(x, NOT x) must be learned as the constant 0.
+    const obs::json::Value* constants =
+        result->find("learned_constants");
+    ASSERT_NE(constants, nullptr);
+    bool g_is_zero = false;
+    for (const obs::json::Value& c : constants->array)
+        if (c.find("node")->string == "g" &&
+            c.find("value")->number == 0.0)
+            g_is_zero = true;
+    EXPECT_TRUE(g_is_zero) << response;
+
+    // Faults masked by the constant are reported untestable, and the
+    // transparent OR chain makes the output a zero-gain observe site.
+    ASSERT_NE(result->find("untestable_faults"), nullptr);
+    EXPECT_FALSE(result->find("untestable_faults")->array.empty());
+    EXPECT_GE(result->find("zero_gain_observe_sites")->number, 1.0);
+}
+
+TEST(ServeAnalyze, PlanWithAnalysisPruneMatchesUnprunedPlan) {
+    serve::Server server({});
+    server.execute_line(
+        R"({"method": "open", "session": "ap", "circuit": "chain24", )"
+        R"("format": "suite", "report": false})");
+    const char* base =
+        R"({"method": "plan", "session": "ap", "options": {"budget": 2, )"
+        R"("patterns": 256, "planner": "dp", "seed": 5)";
+    const std::string off = server.execute_line(
+        std::string(base) + R"(}, "report": false})");
+    const std::string on = server.execute_line(
+        std::string(base) +
+        R"(, "prune_analysis": true}, "report": false})");
+    EXPECT_EQ(response_code(off), "");
+    EXPECT_EQ(response_code(on), "");
+
+    obs::json::Value doc_off;
+    obs::json::Value doc_on;
+    std::string error;
+    ASSERT_TRUE(obs::json::parse(off, doc_off, error)) << error;
+    ASSERT_TRUE(obs::json::parse(on, doc_on, error)) << error;
+    const obs::json::Value* result_off = doc_off.find("result");
+    const obs::json::Value* result_on = doc_on.find("result");
+    ASSERT_NE(result_off, nullptr);
+    ASSERT_NE(result_on, nullptr);
+
+    // The prune is exact by construction: identical points, bitwise
+    // identical score, and the pruned counter appears only when asked.
+    EXPECT_EQ(result_off->find("predicted_score")->number,
+              result_on->find("predicted_score")->number);
+    const obs::json::Value* points_off = result_off->find("points");
+    const obs::json::Value* points_on = result_on->find("points");
+    ASSERT_EQ(points_off->array.size(), points_on->array.size());
+    for (std::size_t i = 0; i < points_off->array.size(); ++i) {
+        EXPECT_EQ(points_off->array[i].find("node")->string,
+                  points_on->array[i].find("node")->string);
+        EXPECT_EQ(points_off->array[i].find("kind")->string,
+                  points_on->array[i].find("kind")->string);
+    }
+    EXPECT_EQ(result_off->find("candidates_pruned_analysis"), nullptr);
+    ASSERT_NE(result_on->find("candidates_pruned_analysis"), nullptr);
+}
+
+TEST(ServeAnalyze, WorkCapsAreValidatedNotClamped) {
+    serve::Server server({});
+    server.execute_line(open_line("av"));
+    // A zero step cap is structurally broken input: the analysis layer
+    // rejects it (exit-4 contract), it is never silently clamped.
+    EXPECT_EQ(response_code(server.execute_line(
+                  R"({"method": "analyze", "session": "av", "options": )"
+                  R"({"max_implication_steps": 0}, "report": false})")),
+              "validation");
+    // A typo in an option key fails loudly as usage, not defaults.
+    EXPECT_EQ(response_code(server.execute_line(
+                  R"({"method": "analyze", "session": "av", "options": )"
+                  R"({"max_implication_stepz": 8}, "report": false})")),
+              "usage");
+    // The session must still be healthy after both errors.
+    EXPECT_EQ(response_code(server.execute_line(
+                  R"({"method": "analyze", "session": "av", )"
+                  R"("report": false})")),
+              "");
+}
+
+// ---------------------------------------------------------------------
 // Server: admission control, shedding, drain
 
 TEST(ServeAdmission, QueueFullShedsWithRetryHint) {

@@ -2,8 +2,10 @@
 //
 //   tpidp suite                         list the built-in circuits
 //   tpidp stats   <circuit>             structural + testability summary
-//   tpidp lint    <circuit> [options]   static analysis (rule findings;
-//                                       --json for machine output)
+//   tpidp lint    <circuit> [options]   lint rules over the netlist
+//                                       (--json for machine output)
+//   tpidp analyze <circuit> [options]   dominator / implication fact
+//                                       database with certificates
 //   tpidp faultsim <circuit> [options]  pseudo-random fault simulation
 //                                       (alias: sim)
 //   tpidp tpi     <circuit> [options]   plan + insert test points
@@ -31,6 +33,9 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/analysis.hpp"
+#include "analysis/prune.hpp"
+#include "analysis/report.hpp"
 #include "atpg/podem.hpp"
 #include "bist/session.hpp"
 #include "fault/fault_sim.hpp"
@@ -120,11 +125,16 @@ struct Args {
     netlist::ValidateMode mode = netlist::ValidateMode::Lenient;
     double deadline_ms = 0.0;   // unset = unlimited
     bool deadline_set = false;  // --deadline-ms given (must be > 0)
-    bool json = false;         // lint: machine-readable output
+    bool json = false;         // lint/analyze: machine-readable output
     bool prune_lint = false;   // tpi: lint-based candidate pruning
+    bool prune_analysis = false;  // tpi: zero-gain observe pruning
     bool exact_eval = false;   // tpi: reference evaluator, engine off
     double eval_epsilon = 0.0; // tpi: engine delta cutoff (0 = exact)
     std::size_t max_findings = 64;  // lint: per-rule finding cap
+    // analyze work caps (validated, not clamped — see AnalysisOptions).
+    std::size_t max_implication_nodes = 2048;
+    std::size_t max_implication_steps = 200'000;
+    std::size_t max_untestable = 4096;
     std::string trace;         // Chrome trace_event JSON output path
     std::string metrics_json;  // run-report JSON output path
 };
@@ -143,7 +153,7 @@ struct RunContext {
 };
 
 void print_usage(std::ostream& os) {
-    os << "usage: tpidp <suite|stats|lint|faultsim|tpi|atpg|bist> "
+    os << "usage: tpidp <suite|stats|lint|analyze|faultsim|tpi|atpg|bist> "
           "[circuit] [options]\n"
           "       tpidp --help\n"
           "       (aliases: plan = tpi, sim = faultsim)\n";
@@ -173,10 +183,23 @@ void print_help() {
         "                    detected it (n-detect dropping); 0 keeps\n"
         "                    the default drop-at-first-detection\n"
         "  --out FILE        write the DFT netlist (.bench or .v)\n"
-        "  --json            lint: emit the report as JSON\n"
+        "  --json            lint/analyze: emit the report as JSON\n"
         "  --max-findings N  lint: per-rule finding cap  (default 64)\n"
+        "  --max-implication-nodes N\n"
+        "                    lint/analyze: nets probed for learned\n"
+        "                    constants              (default 2048)\n"
+        "  --max-implication-steps N\n"
+        "                    lint/analyze: gate examinations per\n"
+        "                    implication query      (default 200000)\n"
+        "  --max-untestable N\n"
+        "                    lint/analyze: faults probed for\n"
+        "                    untestability          (default 4096)\n"
         "  --prune-lint      tpi: drop candidates on constant or\n"
         "                    unobservable nets before planning\n"
+        "  --prune-analysis  tpi: drop observe candidates the static\n"
+        "                    analysis proves zero-gain (COP observability\n"
+        "                    exactly 1.0); plans and scores are\n"
+        "                    bit-identical with or without this flag\n"
         "  --exact-eval      tpi: score candidates with the reference\n"
         "                    evaluator (full transform + COP per\n"
         "                    candidate) instead of the incremental\n"
@@ -278,6 +301,8 @@ Args parse_args(int argc, char** argv, int first) {
             args.json = true;
         else if (arg == "--prune-lint")
             args.prune_lint = true;
+        else if (arg == "--prune-analysis")
+            args.prune_analysis = true;
         else if (arg == "--exact-eval")
             args.exact_eval = true;
         else if (arg == "--eval-epsilon") {
@@ -287,6 +312,14 @@ Args parse_args(int argc, char** argv, int first) {
         }
         else if (arg == "--max-findings")
             args.max_findings = parse_number<std::size_t>(arg, next());
+        else if (arg == "--max-implication-nodes")
+            args.max_implication_nodes =
+                parse_number<std::size_t>(arg, next());
+        else if (arg == "--max-implication-steps")
+            args.max_implication_steps =
+                parse_number<std::size_t>(arg, next());
+        else if (arg == "--max-untestable")
+            args.max_untestable = parse_number<std::size_t>(arg, next());
         else if (arg == "--trace")
             args.trace = next();
         else if (arg == "--metrics-json")
@@ -406,6 +439,9 @@ int cmd_lint(const Args& args, RunContext& ctx) {
     const DeadlineRegistration interrupt_target(&deadline);
     lint::LintOptions options;
     options.max_findings_per_rule = args.max_findings;
+    options.max_implication_nodes = args.max_implication_nodes;
+    options.max_implication_steps = args.max_implication_steps;
+    options.max_untestable_faults = args.max_untestable;
     options.deadline = &deadline;
     options.sink = ctx.sink_ptr();
     const lint::LintReport report = lint::run_lint(c, options);
@@ -423,6 +459,43 @@ int cmd_lint(const Args& args, RunContext& ctx) {
                            report.count(lint::Severity::Warning)));
     const bool deadline_hit = deadline.already_expired();
     return note_truncation(report.truncated && deadline_hit, args);
+}
+
+int cmd_analyze(const Args& args, RunContext& ctx) {
+    const netlist::Circuit c = load_circuit(args);
+    util::Deadline deadline = make_deadline(args);
+    const DeadlineRegistration interrupt_target(&deadline);
+    analysis::AnalysisOptions options;
+    options.max_implication_nodes = args.max_implication_nodes;
+    options.max_implication_steps = args.max_implication_steps;
+    options.max_untestable_faults = args.max_untestable;
+    options.deadline = &deadline;
+    options.sink = ctx.sink_ptr();
+    const analysis::AnalysisResult result = analysis::run_analysis(c, options);
+    const analysis::ObservePruning pruning = analysis::compute_observe_pruning(
+        c, testability::compute_cop(c), args.max_findings);
+    if (args.json)
+        analysis::write_json(std::cout, result, pruning, c);
+    else
+        analysis::write_text(std::cout, result, pruning, c);
+    ctx.report.add_num(
+        "implications_learned",
+        static_cast<std::uint64_t>(result.implications_learned));
+    ctx.report.add_num(
+        "learned_constants",
+        static_cast<std::uint64_t>(result.learned_constants.size()));
+    ctx.report.add_num(
+        "untestable_faults",
+        static_cast<std::uint64_t>(result.untestable.size()));
+    ctx.report.add_num("zero_gain_observe_sites",
+                       static_cast<std::uint64_t>(pruning.count));
+    ctx.report.add_num(
+        "certificates",
+        static_cast<std::uint64_t>(result.certificates.size()));
+    // Cap-driven truncation is an ordinary (exit 0) outcome — the caps
+    // are defaults, not promises; only a deadline cut is exit 5.
+    const bool deadline_hit = deadline.already_expired();
+    return note_truncation(result.truncated && deadline_hit, args);
 }
 
 int cmd_faultsim(const Args& args, RunContext& ctx) {
@@ -486,6 +559,7 @@ int cmd_tpi(const Args& args, RunContext& ctx) {
     options.deadline = &deadline;
     options.threads = args.threads;
     options.prune_via_lint = args.prune_lint;
+    options.prune_via_analysis = args.prune_analysis;
     options.incremental_eval = !args.exact_eval;
     options.eval_epsilon = args.eval_epsilon;
     options.sink = ctx.sink_ptr();
@@ -496,6 +570,10 @@ int cmd_tpi(const Args& args, RunContext& ctx) {
         std::cout << "lint pruning: " << plan.candidates_pruned
                   << " candidate nets dropped, "
                   << plan.candidates_considered << " admitted\n";
+    if (args.prune_analysis)
+        std::cout << "analysis pruning: " << plan.candidates_pruned_analysis
+                  << " zero-gain observe candidates dropped ("
+                  << plan.prune_certificates.size() << " certificates)\n";
     std::cout << plan.points.size() << " test points ("
               << util::fmt_fixed(timer.seconds(), 2) << " s):\n";
     for (const auto& tp : plan.points)
@@ -857,6 +935,7 @@ int run_command(const std::string& command, const Args& args,
                 RunContext& ctx) {
     if (command == "stats") return cmd_stats(args);
     if (command == "lint") return cmd_lint(args, ctx);
+    if (command == "analyze") return cmd_analyze(args, ctx);
     if (command == "faultsim") return cmd_faultsim(args, ctx);
     if (command == "tpi") return cmd_tpi(args, ctx);
     if (command == "atpg") return cmd_atpg(args, ctx);
