@@ -1,0 +1,290 @@
+// Table 13 — the million-gate core: CSR freeze cost, memory footprint
+// and .tpb serialisation from dag2000 up to the 1M-gate scale suite,
+// plus the two perf gates of the scale work:
+//
+//  * DP end-to-end on dag2000 with the cross-round region cache
+//    (PlannerOptions::dp_reuse_regions) off vs on — plans and scores
+//    must be bit-identical, speedup is gated by ci/check_perf.py.
+//  * the million-gate pipeline: generate, serialise to .tpb, parse it
+//    back, freeze the CSR topology and greedy-plan (deficit-flow
+//    proxy) — the whole chain must fit the wall-clock budget.
+//
+// Like bench_t12, this harness has a custom main: it writes the
+// machine-readable BENCH_9.json consumed by ci/check_perf.py.
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "gen/benchmarks.hpp"
+#include "netlist/analysis.hpp"
+#include "netlist/ffr.hpp"
+#include "netlist/tpb_io.hpp"
+#include "tpi/planners.hpp"
+
+namespace {
+
+using namespace tpi;
+using netlist::Circuit;
+
+double now_ms() {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+template <typename Fn>
+double best_of(int repeats, Fn&& fn) {
+    double best = 1e300;
+    for (int r = 0; r < repeats; ++r) {
+        const double t0 = now_ms();
+        fn();
+        best = std::min(best, now_ms() - t0);
+    }
+    return best;
+}
+
+std::string fmt(double v) {
+    std::ostringstream out;
+    out.setf(std::ios::fixed);
+    out.precision(4);
+    out << v;
+    return out.str();
+}
+
+const char* json_bool(bool b) { return b ? "true" : "false"; }
+
+/// One circuit's scale row: build, freeze, serialise, footprint.
+struct ScaleRow {
+    std::string name;
+    std::size_t nodes = 0;
+    std::size_t gates = 0;
+    int depth = 0;
+    double build_ms = 0.0;
+    double freeze_ms = 0.0;
+    double tpb_write_ms = 0.0;
+    double tpb_read_ms = 0.0;
+    double bytes_per_node = 0.0;
+    double tpb_bytes_per_node = 0.0;
+};
+
+ScaleRow measure_scale(const gen::SuiteEntry& entry) {
+    ScaleRow row;
+    row.name = entry.name;
+
+    double t0 = now_ms();
+    Circuit circuit = entry.build();
+    row.build_ms = now_ms() - t0;
+
+    // The generator's circuit arrives unfrozen; the first topology()
+    // pays the CSR freeze (fanout counting sort, Kahn, levels).
+    t0 = now_ms();
+    const auto& view = circuit.topology();
+    row.freeze_ms = now_ms() - t0;
+
+    row.nodes = circuit.node_count();
+    row.gates = circuit.gate_count();
+    row.depth = view.depth;
+    row.bytes_per_node =
+        static_cast<double>(circuit.memory_bytes()) /
+        static_cast<double>(row.nodes);
+
+    t0 = now_ms();
+    const std::string bytes = netlist::write_tpb_string(circuit);
+    row.tpb_write_ms = now_ms() - t0;
+    row.tpb_bytes_per_node =
+        static_cast<double>(bytes.size()) / static_cast<double>(row.nodes);
+
+    t0 = now_ms();
+    const Circuit back =
+        netlist::read_tpb_bytes(bytes.data(), bytes.size(), entry.name);
+    row.tpb_read_ms = now_ms() - t0;
+    if (back.node_count() != circuit.node_count()) {
+        std::cerr << "bench_t13: " << entry.name
+                  << ": tpb round trip changed the node count\n";
+        std::exit(1);
+    }
+    return row;
+}
+
+/// dag2000 DP gate: region cache off (the PR 8 reference path) vs on.
+struct DpReuseRow {
+    double off_ms = 0.0;
+    double on_ms = 0.0;
+    double speedup = 0.0;
+    bool plans_identical = false;
+    bool score_identical = false;
+};
+
+DpReuseRow measure_dp_reuse(const Circuit& circuit) {
+    PlannerOptions base;
+    base.budget = 8;
+    base.objective.num_patterns = 2048;
+    base.control_kinds.clear();  // observe-only: the cached fast path
+    base.dp_rounds = 4;
+
+    PlannerOptions off = base;
+    off.dp_reuse_regions = false;
+    PlannerOptions on = base;
+    on.dp_reuse_regions = true;
+
+    DpPlanner planner;
+    const Plan plan_off = planner.plan(circuit, off);
+    const Plan plan_on = planner.plan(circuit, on);
+
+    DpReuseRow row;
+    row.plans_identical = plan_on.points == plan_off.points;
+    row.score_identical =
+        plan_on.predicted_score == plan_off.predicted_score;
+    row.off_ms = best_of(3, [&] { (void)planner.plan(circuit, off); });
+    row.on_ms = best_of(3, [&] { (void)planner.plan(circuit, on); });
+    row.speedup = row.off_ms / row.on_ms;
+    return row;
+}
+
+/// The million-gate pipeline: generate -> .tpb -> parse -> freeze ->
+/// greedy plan. One shot (no best-of: the gate is a budget, not a
+/// median), every phase timed.
+struct MillionRow {
+    std::string name;
+    std::size_t nodes = 0;
+    std::size_t points = 0;
+    double generate_ms = 0.0;
+    double serialise_ms = 0.0;
+    double parse_ms = 0.0;
+    double freeze_ms = 0.0;
+    double plan_ms = 0.0;
+    double total_s = 0.0;
+    double predicted_score = 0.0;
+    bool truncated = false;
+};
+
+MillionRow measure_million(const gen::SuiteEntry& entry) {
+    MillionRow row;
+    row.name = entry.name;
+    const double start = now_ms();
+
+    double t0 = now_ms();
+    const Circuit generated = entry.build();
+    row.generate_ms = now_ms() - t0;
+
+    t0 = now_ms();
+    const std::string bytes = netlist::write_tpb_string(generated);
+    row.serialise_ms = now_ms() - t0;
+
+    t0 = now_ms();
+    Circuit circuit =
+        netlist::read_tpb_bytes(bytes.data(), bytes.size(), entry.name);
+    row.parse_ms = now_ms() - t0;
+
+    t0 = now_ms();
+    (void)circuit.topology();
+    row.freeze_ms = now_ms() - t0;
+    row.nodes = circuit.node_count();
+
+    PlannerOptions options;
+    options.budget = 4;
+    options.objective.num_patterns = 1024;
+    options.greedy_flow_proxy = true;  // O(n+e) observe ranking
+    options.greedy_pool = 8;
+    options.control_kinds.clear();
+    options.threads = 4;
+
+    t0 = now_ms();
+    GreedyPlanner planner;
+    const Plan plan = planner.plan(circuit, options);
+    row.plan_ms = now_ms() - t0;
+
+    row.points = plan.points.size();
+    row.predicted_score = plan.predicted_score;
+    row.truncated = plan.truncated;
+    row.total_s = (now_ms() - start) / 1000.0;
+    return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::string out_path =
+        argc > 1 ? argv[1] : "results/BENCH_9.json";
+
+    std::vector<ScaleRow> scale;
+    scale.push_back(measure_scale(gen::suite_entry("dag2000")));
+    for (const char* name :
+         {"dag100k", "fabric100k", "dag1m", "fabric1m"})
+        scale.push_back(measure_scale(gen::suite_entry(name)));
+
+    for (const ScaleRow& r : scale)
+        std::cerr << "bench_t13: " << r.name << ": " << r.nodes
+                  << " nodes, build " << fmt(r.build_ms)
+                  << " ms, freeze " << fmt(r.freeze_ms) << " ms, "
+                  << fmt(r.bytes_per_node) << " B/node, tpb "
+                  << fmt(r.tpb_bytes_per_node) << " B/node\n";
+
+    const DpReuseRow dp =
+        measure_dp_reuse(gen::suite_entry("dag2000").build());
+    std::cerr << "bench_t13: dag2000 dp-reuse " << fmt(dp.speedup)
+              << "x (off " << fmt(dp.off_ms) << " ms vs on "
+              << fmt(dp.on_ms) << " ms)\n";
+
+    const MillionRow million = measure_million(gen::suite_entry("dag1m"));
+    std::cerr << "bench_t13: " << million.name << ": pipeline "
+              << fmt(million.total_s) << " s (generate "
+              << fmt(million.generate_ms) << " ms, tpb "
+              << fmt(million.serialise_ms) << "+"
+              << fmt(million.parse_ms) << " ms, freeze "
+              << fmt(million.freeze_ms) << " ms, plan "
+              << fmt(million.plan_ms) << " ms, " << million.points
+              << " points)\n";
+
+    std::ostringstream json;
+    json << "{\n  \"schema\": \"tpidp-bench-t13\",\n  \"version\": 1,\n"
+         << "  \"scale\": [\n";
+    for (std::size_t i = 0; i < scale.size(); ++i) {
+        const ScaleRow& r = scale[i];
+        json << "    {\"name\": \"" << r.name << "\", \"nodes\": "
+             << r.nodes << ", \"gates\": " << r.gates
+             << ", \"depth\": " << r.depth
+             << ", \"build_ms\": " << fmt(r.build_ms)
+             << ", \"freeze_ms\": " << fmt(r.freeze_ms)
+             << ", \"tpb_write_ms\": " << fmt(r.tpb_write_ms)
+             << ", \"tpb_read_ms\": " << fmt(r.tpb_read_ms)
+             << ", \"bytes_per_node\": " << fmt(r.bytes_per_node)
+             << ", \"tpb_bytes_per_node\": "
+             << fmt(r.tpb_bytes_per_node) << "}"
+             << (i + 1 < scale.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n"
+         << "  \"dp_reuse\": {\"circuit\": \"dag2000\", \"off_ms\": "
+         << fmt(dp.off_ms) << ", \"on_ms\": " << fmt(dp.on_ms)
+         << ", \"speedup\": " << fmt(dp.speedup)
+         << ", \"plans_identical\": " << json_bool(dp.plans_identical)
+         << ", \"score_identical\": " << json_bool(dp.score_identical)
+         << "},\n"
+         << "  \"million\": {\"circuit\": \"" << million.name
+         << "\", \"nodes\": " << million.nodes
+         << ", \"generate_ms\": " << fmt(million.generate_ms)
+         << ", \"serialise_ms\": " << fmt(million.serialise_ms)
+         << ", \"parse_ms\": " << fmt(million.parse_ms)
+         << ", \"freeze_ms\": " << fmt(million.freeze_ms)
+         << ", \"plan_ms\": " << fmt(million.plan_ms)
+         << ", \"total_s\": " << fmt(million.total_s)
+         << ", \"points\": " << million.points
+         << ", \"predicted_score\": " << fmt(million.predicted_score)
+         << ", \"truncated\": " << json_bool(million.truncated)
+         << ", \"budget_s\": 60}\n}\n";
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "bench_t13: cannot write " << out_path << "\n";
+        return 1;
+    }
+    out << json.str();
+    std::cerr << "bench_t13: wrote " << out_path << "\n";
+    return 0;
+}

@@ -16,6 +16,13 @@ Dispatches on the report's "schema" field:
   pruning on (the prune is exact by construction), (b) actually prune
   candidates on the XOR-heavy circuit, and (c) keep the observe-only
   DP planning speedup above the floor.
+* tpidp-bench-t13 (results/BENCH_9.json) — the million-gate core:
+  (a) the DP region cache must keep dag2000 plans and scores
+  bit-identical with the speedup above the floor, (b) the 1M-gate
+  generate -> .tpb -> parse -> freeze -> greedy pipeline must finish
+  inside its wall-clock budget untruncated with points placed, and
+  (c) every scale row must stay under the in-core and on-disk
+  bytes-per-node caps.
 
 Floors are deliberately below the measured numbers (7x for t12, 11x+
 for t7 on a quiet machine) so the gate catches real regressions, not
@@ -124,6 +131,71 @@ def check_t11(report: dict, min_speedup: float) -> bool:
     return ok
 
 
+def check_t13(report: dict, min_speedup: float) -> bool:
+    ok = True
+
+    dp = report.get("dp_reuse", {})
+    if not dp.get("plans_identical"):
+        print("check_perf: dp-reuse plans DIVERGED between the cached "
+              "and rebuild paths (must be bit-identical)",
+              file=sys.stderr)
+        ok = False
+    if not dp.get("score_identical"):
+        print("check_perf: dp-reuse predicted score DIVERGED (must be "
+              "bitwise equal)", file=sys.stderr)
+        ok = False
+    speedup = dp.get("speedup", 0.0)
+    print(f"check_perf: {dp.get('circuit', '?')}: dp-reuse "
+          f"{speedup:.2f}x (off {dp.get('off_ms', 0.0):.1f} ms vs on "
+          f"{dp.get('on_ms', 0.0):.1f} ms) [gate]")
+    if speedup < min_speedup:
+        print(f"check_perf: dp-reuse speedup {speedup:.2f}x below the "
+              f"{min_speedup:.1f}x floor", file=sys.stderr)
+        ok = False
+
+    million = report.get("million", {})
+    total_s = million.get("total_s", 1e30)
+    budget_s = million.get("budget_s", 60)
+    print(f"check_perf: {million.get('circuit', '?')}: "
+          f"{million.get('nodes', 0)} nodes pipeline {total_s:.1f} s "
+          f"(plan {million.get('plan_ms', 0.0):.0f} ms, "
+          f"{million.get('points', 0)} points) "
+          f"[gate <{budget_s:.0f} s]")
+    if total_s >= budget_s:
+        print(f"check_perf: million-gate pipeline {total_s:.1f} s "
+              f"blew the {budget_s:.0f} s budget", file=sys.stderr)
+        ok = False
+    if million.get("truncated"):
+        print("check_perf: million-gate greedy plan was truncated — "
+              "the pipeline did not really finish", file=sys.stderr)
+        ok = False
+    if million.get("points", 0) == 0:
+        print("check_perf: million-gate greedy placed no points",
+              file=sys.stderr)
+        ok = False
+
+    scale = report.get("scale", [])
+    if not scale:
+        fail("report lists no scale rows")
+    for row in scale:
+        bpn = row.get("bytes_per_node", 1e30)
+        tpb = row.get("tpb_bytes_per_node", 1e30)
+        print(f"check_perf: {row.get('name', '?')}: "
+              f"{row.get('nodes', 0)} nodes, {bpn:.1f} B/node in "
+              f"core, {tpb:.1f} B/node on disk [gate <200/<40]")
+        if bpn >= 200.0:
+            print(f"check_perf: {row.get('name', '?')}: in-core "
+                  f"footprint {bpn:.1f} B/node over the 200 B/node "
+                  "cap", file=sys.stderr)
+            ok = False
+        if tpb >= 40.0:
+            print(f"check_perf: {row.get('name', '?')}: .tpb "
+                  f"footprint {tpb:.1f} B/node over the 40 B/node "
+                  "cap", file=sys.stderr)
+            ok = False
+    return ok
+
+
 def main(argv: list[str]) -> None:
     path = "results/BENCH_5.json"
     min_speedup = 3.0
@@ -150,6 +222,8 @@ def main(argv: list[str]) -> None:
         ok = check_t7(report, min_speedup)
     elif schema == "tpidp-bench-t11":
         ok = check_t11(report, min_speedup)
+    elif schema == "tpidp-bench-t13":
+        ok = check_t13(report, min_speedup)
     else:
         fail(f"unexpected schema {schema!r}")
 

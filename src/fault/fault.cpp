@@ -11,7 +11,7 @@ using netlist::GateType;
 using netlist::NodeId;
 
 std::string fault_name(const Circuit& circuit, const Fault& fault) {
-    return circuit.node_name(fault.node) +
+    return std::string(circuit.node_name(fault.node)) +
            (fault.stuck_at1 ? "/sa1" : "/sa0");
 }
 

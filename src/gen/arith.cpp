@@ -1,6 +1,8 @@
 #include "gen/arith.hpp"
 
+#include <charconv>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/error.hpp"
@@ -203,6 +205,73 @@ Circuit decoder(std::size_t bits) {
         }
         c.mark_output(layer[0]);
     }
+    c.validate();
+    return c;
+}
+
+Circuit layered_fabric(const FabricOptions& options) {
+    const std::size_t w = options.width;
+    const std::size_t layers = options.layers;
+    require(w >= 2, "layered_fabric: width >= 2");
+    require(layers >= 1, "layered_fabric: layers >= 1");
+    const std::size_t shift = options.shift % w;
+    // A zero (mod width) shift would tap each cell's own sum: x^y^x = y
+    // and maj(x,y,x) = x, a fabric of wires.
+    require(shift != 0, "layered_fabric: shift must not be a multiple of width");
+
+    Circuit c("fabric" + std::to_string(w) + "x" + std::to_string(layers));
+    const std::size_t cells = w * layers;
+    // 2w inputs + 7 gates per cell; every gate is 2-input; names are
+    // <letter><layer>_<col>, at most 2 + 2*20 digits.
+    c.reserve(2 * w + 7 * cells, 14 * cells, 16 * (2 * w + 7 * cells));
+
+    // to_chars naming without a heap allocation per gate.
+    char buf[48];
+    const auto cell_name = [&buf](char role, std::size_t layer,
+                                  std::size_t col) {
+        buf[0] = role;
+        char* p = std::to_chars(buf + 1, buf + sizeof buf, layer).ptr;
+        *p++ = '_';
+        p = std::to_chars(p, buf + sizeof buf, col).ptr;
+        return std::string_view(buf, static_cast<std::size_t>(p - buf));
+    };
+
+    std::vector<NodeId> sum(w);
+    std::vector<NodeId> carry(w);
+    for (std::size_t i = 0; i < w; ++i)
+        sum[i] = c.add_input(cell_name('a', 0, i));
+    for (std::size_t i = 0; i < w; ++i)
+        carry[i] = c.add_input(cell_name('b', 0, i));
+
+    std::vector<NodeId> next_sum(w);
+    std::vector<NodeId> next_carry(w);
+    for (std::size_t l = 0; l < layers; ++l) {
+        for (std::size_t i = 0; i < w; ++i) {
+            const NodeId x = sum[i];
+            const NodeId y = carry[i];
+            const NodeId z = sum[(i + shift) % w];
+            const NodeId t =
+                c.add_gate(GateType::Xor, {x, y}, cell_name('t', l, i));
+            const NodeId s =
+                c.add_gate(GateType::Xor, {t, z}, cell_name('s', l, i));
+            const NodeId p =
+                c.add_gate(GateType::And, {x, y}, cell_name('p', l, i));
+            const NodeId q =
+                c.add_gate(GateType::And, {x, z}, cell_name('q', l, i));
+            const NodeId r =
+                c.add_gate(GateType::And, {y, z}, cell_name('r', l, i));
+            const NodeId o =
+                c.add_gate(GateType::Or, {p, q}, cell_name('o', l, i));
+            next_sum[i] = s;
+            next_carry[(i + 1) % w] =
+                c.add_gate(GateType::Or, {o, r}, cell_name('c', l, i));
+        }
+        sum.swap(next_sum);
+        carry.swap(next_carry);
+    }
+    // The final rails are the fabric's outputs.
+    for (NodeId v : sum) c.mark_output(v);
+    for (NodeId v : carry) c.mark_output(v);
     c.validate();
     return c;
 }

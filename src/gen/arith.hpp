@@ -31,4 +31,23 @@ netlist::Circuit parity_tree(std::size_t width);
 /// Wide shallow circuit with one hard-to-excite AND per output.
 netlist::Circuit decoder(std::size_t bits);
 
+/// Parameters for layered_fabric below.
+struct FabricOptions {
+    std::size_t width = 64;   ///< full-adder cells per layer
+    std::size_t layers = 8;   ///< carry-save layers
+    std::size_t shift = 3;    ///< cross-column tap distance (mod width)
+};
+
+/// Layered carry-save arithmetic fabric: `layers` rows of `width` full
+/// adders (3:2 compressors) over running sum/carry rails seeded by the
+/// 2*width primary inputs. Each cell also taps the sum rail `shift`
+/// columns over — giving those nets fanout 3 and reconvergent cones —
+/// and the carry rail rotates one column per layer so columns mix.
+/// XOR/majority cells keep every rail near 0.5 controllability, so the
+/// fabric scales to millions of gates without degenerating into
+/// constant nets. 7*width*layers gates, depth ~3*layers, fully
+/// deterministic (no RNG), built streaming: storage is reserved up
+/// front and names are composed with to_chars, no per-gate heap churn.
+netlist::Circuit layered_fabric(const FabricOptions& options);
+
 }  // namespace tpi::gen

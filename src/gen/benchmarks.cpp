@@ -86,8 +86,44 @@ const std::vector<SuiteEntry>& small_suite() {
     return suite;
 }
 
+const std::vector<SuiteEntry>& scale_suite() {
+    static const std::vector<SuiteEntry> suite = [] {
+        std::vector<SuiteEntry> s;
+        s.push_back({"fabric64x8", "carry-save fabric, 64x8 (~3.6k gates)",
+                     [] { return layered_fabric({64, 8, 3}); }});
+        s.push_back(
+            {"dag100k", "random reconvergent DAG, 100k gates", [] {
+                 RandomDagOptions o;
+                 o.gates = 100'000;
+                 o.inputs = 1024;
+                 o.window = 256;
+                 o.seed = 31;
+                 return random_dag(o);
+             }});
+        s.push_back({"fabric100k",
+                     "carry-save fabric, 512x28 (~100k gates)",
+                     [] { return layered_fabric({512, 28, 5}); }});
+        s.push_back(
+            {"dag1m", "random reconvergent DAG, 1M gates", [] {
+                 RandomDagOptions o;
+                 o.gates = 1'000'000;
+                 o.inputs = 4096;
+                 o.window = 512;
+                 o.seed = 37;
+                 return random_dag(o);
+             }});
+        s.push_back({"fabric1m",
+                     "carry-save fabric, 1024x140 (~1M gates)",
+                     [] { return layered_fabric({1024, 140, 7}); }});
+        return s;
+    }();
+    return suite;
+}
+
 const SuiteEntry& suite_entry(const std::string& name) {
     for (const auto& entry : benchmark_suite())
+        if (entry.name == name) return entry;
+    for (const auto& entry : scale_suite())
         if (entry.name == name) return entry;
     throw Error("suite_entry: unknown benchmark '" + name + "'");
 }

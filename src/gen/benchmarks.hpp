@@ -29,7 +29,15 @@ const std::vector<SuiteEntry>& benchmark_suite();
 /// budgets). Members of benchmark_suite().
 const std::vector<SuiteEntry>& small_suite();
 
-/// Look up a suite entry by name; throws tpi::Error when absent.
+/// Million-gate-class circuits (100k–1M gates) for the scale tests and
+/// benchmarks. Deliberately NOT part of benchmark_suite(): everything
+/// that iterates the main suite builds every member, which at this size
+/// would turn unit tests into minute-long runs. suite_entry() resolves
+/// these names too, so the CLI and serve daemon reach them directly.
+const std::vector<SuiteEntry>& scale_suite();
+
+/// Look up a suite entry by name (benchmark_suite then scale_suite);
+/// throws tpi::Error when absent.
 const SuiteEntry& suite_entry(const std::string& name);
 
 }  // namespace tpi::gen

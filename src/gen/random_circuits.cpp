@@ -1,7 +1,9 @@
 #include "gen/random_circuits.hpp"
 
 #include <array>
+#include <charconv>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/error.hpp"
@@ -14,6 +16,18 @@ using netlist::GateType;
 using netlist::NodeId;
 
 namespace {
+
+/// Composes "<prefix><serial>" into a fixed buffer — the name strings
+/// the interner copies are identical to the old "g" + to_string(n)
+/// spelling, without a heap allocation per node (measurable at the
+/// 100k–1M-gate generator scale).
+std::string_view serial_name(char (&buf)[24], std::string_view prefix,
+                             std::size_t serial) {
+    char* p = buf;
+    for (char ch : prefix) *p++ = ch;
+    p = std::to_chars(p, buf + sizeof(buf), serial).ptr;
+    return {buf, static_cast<std::size_t>(p - buf)};
+}
 
 GateType pick_binary_type(util::Rng& rng, double xor_fraction) {
     if (rng.chance(xor_fraction))
@@ -88,6 +102,13 @@ Circuit random_dag(const RandomDagOptions& options) {
     util::Rng rng(options.seed);
     Circuit c("dag" + std::to_string(options.gates) + "s" +
               std::to_string(options.seed));
+    // Streaming build: size the node store once (gates are ~all binary;
+    // the rare degeneracy fallback adds a few extra inputs beyond the
+    // estimate, which then grow normally). Names are at most
+    // "ix" + 20 digits.
+    c.reserve(options.inputs + options.gates, 2 * options.gates,
+              10 * (options.inputs + options.gates));
+    char name_buf[24];
 
     // 256-pattern signatures keep the logic non-degenerate: a candidate
     // gate whose output is constant, or identical/complementary to one of
@@ -100,8 +121,10 @@ Circuit random_dag(const RandomDagOptions& options) {
     std::vector<Signature> signature;
 
     std::vector<NodeId> nodes;
+    nodes.reserve(options.inputs + options.gates);
+    signature.reserve(options.inputs + options.gates);
     for (std::size_t i = 0; i < options.inputs; ++i) {
-        nodes.push_back(c.add_input("i" + std::to_string(i)));
+        nodes.push_back(c.add_input(serial_name(name_buf, "i", i)));
         Signature s;
         for (auto& w : s) w = sig_rng.next();
         signature.push_back(s);
@@ -139,7 +162,7 @@ Circuit random_dag(const RandomDagOptions& options) {
     };
 
     for (std::size_t g = 0; g < options.gates; ++g) {
-        const std::string name = "g" + std::to_string(g);
+        const std::string_view name = serial_name(name_buf, "g", g);
         if (rng.chance(options.unary_fraction)) {
             const NodeId in = pick_fanin();
             const GateType type =
@@ -167,7 +190,8 @@ Circuit random_dag(const RandomDagOptions& options) {
         if (!ok) {
             // Fall back to a fresh input to break the degeneracy.
             rhs = pick_fanin();
-            lhs = c.add_input("ix" + std::to_string(g));
+            char ix_buf[24];
+            lhs = c.add_input(serial_name(ix_buf, "ix", g));
             Signature s;
             for (auto& w : s) w = sig_rng.next();
             nodes.push_back(lhs);
@@ -179,12 +203,10 @@ Circuit random_dag(const RandomDagOptions& options) {
         signature.push_back(sig);
     }
 
-    // Dangling nets become primary outputs. (Collect first: mark_output
-    // invalidates the fanout cache.)
-    std::vector<NodeId> dangling;
+    // Dangling nets become primary outputs (mark_output flips flags in
+    // place, so the freeze the fanout scan triggered survives).
     for (NodeId v : c.all_nodes())
-        if (c.fanout_count(v) == 0) dangling.push_back(v);
-    for (NodeId v : dangling) c.mark_output(v);
+        if (c.fanout_count(v) == 0) c.mark_output(v);
     c.validate();
     return c;
 }

@@ -35,7 +35,7 @@ bool emit(const RuleContext& context, LintReport& report,
     finding.severity = severity;
     finding.node_names.reserve(nodes.size());
     for (NodeId v : nodes)
-        finding.node_names.push_back(context.circuit.node_name(v));
+        finding.node_names.emplace_back(context.circuit.node_name(v));
     finding.nodes = std::move(nodes);
     finding.message = std::move(message);
     finding.fix_hint = std::move(fix_hint);
@@ -63,7 +63,7 @@ void rule_constant_net(const RuleContext& context, LintReport& report) {
         if (type == GateType::Const0 || type == GateType::Const1)
             continue;  // tie cells are constant by design
         if (!emit(context, report, "constant-net", Severity::Warning, {v},
-                  "net '" + circuit.node_name(v) + "' is constant " +
+                  "net '" + std::string(circuit.node_name(v)) + "' is constant " +
                       std::string(ternary_name(value)) +
                       " under every input assignment",
                   "replace the driver with a tie cell (lenient validation "
@@ -82,7 +82,7 @@ void rule_unobservable_net(const RuleContext& context, LintReport& report) {
             circuit.fanout_count(v) == 0 && !circuit.is_output(v);
         if (!emit(context, report, "unobservable-net", Severity::Warning,
                   {v},
-                  "net '" + circuit.node_name(v) + "' has " +
+                  "net '" + std::string(circuit.node_name(v)) + "' has " +
                       (dead_end ? "no consumers and is not an output"
                                 : "no sensitisable path to any primary "
                                   "output (every path is blocked by a "
@@ -104,7 +104,7 @@ void rule_redundant_fault(const RuleContext& context, LintReport& report) {
         if (!emit(context, report, "redundant-fault", Severity::Warning,
                   {f.node},
                   "stuck-at-" + std::string(f.stuck_at1 ? "1" : "0") +
-                      " on net '" + circuit.node_name(f.node) +
+                      " on net '" + std::string(circuit.node_name(f.node)) +
                       "' is provably undetectable (" +
                       (never_excited ? "the net always carries the stuck "
                                        "value"
@@ -206,8 +206,8 @@ void rule_reconvergent_fanout(const RuleContext& context,
             {stem, reconvergence, depth, branches});
         emit(context, report, "reconvergent-fanout", Severity::Info,
              {stem, reconvergence},
-             "stem '" + circuit.node_name(stem) + "' reconverges at '" +
-                 circuit.node_name(reconvergence) + "' (depth " +
+             "stem '" + std::string(circuit.node_name(stem)) + "' reconverges at '" +
+                 std::string(circuit.node_name(reconvergence)) + "' (depth " +
                  std::to_string(depth) + ", " + std::to_string(branches) +
                  " branches)",
              "COP and the per-region DP treat the branches as "
@@ -249,13 +249,13 @@ void rule_duplicate_gate(const RuleContext& context, LintReport& report) {
         ++report.duplicate_gates;
         if (!emit(context, report, "duplicate-gate", Severity::Warning,
                   {v, original},
-                  "gate '" + circuit.node_name(v) +
+                  "gate '" + std::string(circuit.node_name(v)) +
                       "' computes the same function as '" +
-                      circuit.node_name(original) +
+                      std::string(circuit.node_name(original)) +
                       "' (same type, same fanins)",
                   "merge the gates and re-point the fanout of '" +
-                      circuit.node_name(v) + "' at '" +
-                      circuit.node_name(original) + "'"))
+                      std::string(circuit.node_name(v)) + "' at '" +
+                      std::string(circuit.node_name(original)) + "'"))
             return;
     }
 }
@@ -269,7 +269,7 @@ void rule_untestable_fault(const RuleContext& context, LintReport& report) {
         if (!emit(context, report, "untestable-fault", Severity::Warning,
                   {f.node},
                   "stuck-at-" + std::string(f.stuck_at1 ? "1" : "0") +
-                      " on net '" + circuit.node_name(f.node) +
+                      " on net '" + std::string(circuit.node_name(f.node)) +
                       "' is structurally untestable (its mandatory "
                       "assignments conflict under static implications)",
                   "exclude it from the coverage denominator; the "
@@ -288,7 +288,7 @@ void rule_implication_constant(const RuleContext& context,
     for (const analysis::Literal& c : context.analysis->learned_constants) {
         if (!emit(context, report, "implication-constant",
                   Severity::Warning, {c.node},
-                  "net '" + circuit.node_name(c.node) +
+                  "net '" + std::string(circuit.node_name(c.node)) +
                       "' is provably constant " +
                       std::string(c.value ? "1" : "0") +
                       " (assuming the opposite value propagates to a "
@@ -311,7 +311,7 @@ void rule_dominated_observe_point(const RuleContext& context,
                                              // trivially redundant
         if (!emit(context, report, "dominated-observe-point",
                   Severity::Info, {v},
-                  "an observe point at net '" + circuit.node_name(v) +
+                  "an observe point at net '" + std::string(circuit.node_name(v)) +
                       "' is provably zero-gain (COP observability is "
                       "already exactly 1.0 along a transparent path to "
                       "an output)",

@@ -1,6 +1,7 @@
 #include "netlist/circuit.hpp"
 
 #include <algorithm>
+#include <charconv>
 
 #include "util/error.hpp"
 
@@ -12,32 +13,62 @@ NodeId Circuit::check(NodeId node) const {
     return node;
 }
 
-NodeId Circuit::new_node(GateType type, std::vector<NodeId> fanins,
-                         std::string name) {
+void Circuit::reserve(std::size_t nodes, std::size_t fanin_edges,
+                      std::size_t name_bytes) {
+    types_.reserve(nodes);
+    fanin_off_.reserve(nodes + 1);
+    name_off_.reserve(nodes + 1);
+    output_flag_.reserve(nodes);
+    if (fanin_edges) fanin_data_.reserve(fanin_edges);
+    if (name_bytes) name_arena_.reserve(name_bytes);
+}
+
+void Circuit::intern_name(std::string_view name, std::uint32_t id) {
+    if (name.empty()) {
+        char buf[12] = {'n'};
+        auto [ptr, ec] = std::to_chars(buf + 1, buf + sizeof(buf), id);
+        require(ec == std::errc{}, "Circuit: name format");
+        name_arena_.append(buf, static_cast<std::size_t>(ptr - buf));
+    } else if (name.data() >= name_arena_.data() &&
+               name.data() < name_arena_.data() + name_arena_.size()) {
+        // The caller handed us a view into our own arena (e.g. another
+        // node's name); appending may reallocate under it, so copy first.
+        const std::string copy(name);
+        name_arena_.append(copy);
+    } else {
+        name_arena_.append(name);
+    }
+    require(name_arena_.size() <= UINT32_MAX, "Circuit: name arena overflow");
+    name_off_.push_back(static_cast<std::uint32_t>(name_arena_.size()));
+}
+
+NodeId Circuit::new_node(GateType type, std::span<const NodeId> fanins,
+                         std::string_view name) {
     for (NodeId f : fanins) check(f);
+    require(types_.size() < UINT32_MAX, "Circuit: node count overflow");
     const NodeId id{static_cast<std::uint32_t>(types_.size())};
-    if (name.empty()) name = "n" + std::to_string(id.v);
     types_.push_back(type);
-    fanins_.push_back(std::move(fanins));
-    names_.push_back(std::move(name));
-    output_flag_.push_back(false);
+    fanin_data_.insert(fanin_data_.end(), fanins.begin(), fanins.end());
+    require(fanin_data_.size() <= UINT32_MAX, "Circuit: fanin overflow");
+    fanin_off_.push_back(static_cast<std::uint32_t>(fanin_data_.size()));
+    intern_name(name, id.v);
+    output_flag_.push_back(0);
     analysis_valid_ = false;
     return id;
 }
 
-NodeId Circuit::add_input(std::string name) {
-    const NodeId id = new_node(GateType::Input, {}, std::move(name));
+NodeId Circuit::add_input(std::string_view name) {
+    const NodeId id = new_node(GateType::Input, {}, name);
     inputs_.push_back(id);
     return id;
 }
 
-NodeId Circuit::add_const(bool value, std::string name) {
-    return new_node(value ? GateType::Const1 : GateType::Const0, {},
-                    std::move(name));
+NodeId Circuit::add_const(bool value, std::string_view name) {
+    return new_node(value ? GateType::Const1 : GateType::Const0, {}, name);
 }
 
-NodeId Circuit::add_gate(GateType type, std::vector<NodeId> fanins,
-                         std::string name) {
+NodeId Circuit::add_gate(GateType type, std::span<const NodeId> fanins,
+                         std::string_view name) {
     require(!is_source(type), "add_gate: use add_input/add_const for sources");
     if (type == GateType::Buf || type == GateType::Not) {
         require(fanins.size() == 1, "add_gate: BUF/NOT take exactly one fanin");
@@ -45,15 +76,16 @@ NodeId Circuit::add_gate(GateType type, std::vector<NodeId> fanins,
         require(!fanins.empty(), "add_gate: gate requires at least one fanin");
     }
     ++gate_count_;
-    return new_node(type, std::move(fanins), std::move(name));
+    return new_node(type, fanins, name);
 }
 
 void Circuit::mark_output(NodeId node) {
     check(node);
     require(!output_flag_[node.v], "mark_output: net already an output");
-    output_flag_[node.v] = true;
+    output_flag_[node.v] = 1;
     outputs_.push_back(node);
-    analysis_valid_ = false;
+    // Topology, levels and fanout do not depend on output flags, so a
+    // frozen circuit stays frozen: CsrView.output_flag sees the new bit.
 }
 
 std::vector<NodeId> Circuit::all_nodes() const {
@@ -63,8 +95,8 @@ std::vector<NodeId> Circuit::all_nodes() const {
 }
 
 NodeId Circuit::find(std::string_view node_name) const {
-    for (std::uint32_t i = 0; i < names_.size(); ++i)
-        if (names_[i] == node_name) return NodeId{i};
+    for (std::uint32_t i = 0; i < types_.size(); ++i)
+        if (this->node_name(NodeId{i}) == node_name) return NodeId{i};
     return kNullNode;
 }
 
@@ -94,30 +126,54 @@ int Circuit::depth() const {
 void Circuit::validate() const {
     ensure_analysis();  // throws on cycles
     for (std::size_t i = 0; i < types_.size(); ++i) {
-        const GateType t = types_[i];
-        if (is_source(t)) {
-            require(fanins_[i].empty(), "validate: source node has fanins");
+        if (is_source(types_[i])) {
+            require(fanin_off_[i + 1] == fanin_off_[i],
+                    "validate: source node has fanins");
         }
     }
+}
+
+std::size_t Circuit::memory_bytes() const {
+    std::size_t bytes = 0;
+    bytes += types_.capacity() * sizeof(GateType);
+    bytes += fanin_off_.capacity() * sizeof(std::uint32_t);
+    bytes += fanin_data_.capacity() * sizeof(NodeId);
+    bytes += name_off_.capacity() * sizeof(std::uint32_t);
+    bytes += name_arena_.capacity();
+    bytes += output_flag_.capacity();
+    bytes += inputs_.capacity() * sizeof(NodeId);
+    bytes += outputs_.capacity() * sizeof(NodeId);
+    bytes += fanout_offset_.capacity() * sizeof(std::uint32_t);
+    bytes += fanout_data_.capacity() * sizeof(NodeId);
+    bytes += fanout_slot_.capacity() * sizeof(std::uint32_t);
+    bytes += topo_.capacity() * sizeof(NodeId);
+    bytes += level_.capacity() * sizeof(int);
+    return bytes;
 }
 
 void Circuit::ensure_analysis() const {
     if (analysis_valid_) return;
     const std::size_t n = types_.size();
 
-    // CSR fanout adjacency.
+    // CSR fanout adjacency, with the consuming fanin slot per edge.
     fanout_offset_.assign(n + 1, 0);
-    for (const auto& fs : fanins_)
-        for (NodeId f : fs) ++fanout_offset_[f.v + 1];
+    for (NodeId f : fanin_data_) ++fanout_offset_[f.v + 1];
     for (std::size_t i = 0; i < n; ++i)
         fanout_offset_[i + 1] += fanout_offset_[i];
     fanout_data_.resize(fanout_offset_[n]);
+    fanout_slot_.resize(fanout_offset_[n]);
     {
         std::vector<std::uint32_t> cursor(fanout_offset_.begin(),
                                           fanout_offset_.end() - 1);
-        for (std::uint32_t g = 0; g < n; ++g)
-            for (NodeId f : fanins_[g])
-                fanout_data_[cursor[f.v]++] = NodeId{g};
+        for (std::uint32_t g = 0; g < n; ++g) {
+            const std::uint32_t begin = fanin_off_[g];
+            const std::uint32_t end = fanin_off_[g + 1];
+            for (std::uint32_t k = begin; k < end; ++k) {
+                const std::uint32_t at = cursor[fanin_data_[k].v]++;
+                fanout_data_[at] = NodeId{g};
+                fanout_slot_[at] = k - begin;
+            }
+        }
     }
 
     // Kahn topological sort + levelisation.
@@ -126,7 +182,7 @@ void Circuit::ensure_analysis() const {
     level_.assign(n, 0);
     std::vector<std::uint32_t> pending(n);
     for (std::uint32_t i = 0; i < n; ++i) {
-        pending[i] = static_cast<std::uint32_t>(fanins_[i].size());
+        pending[i] = fanin_off_[i + 1] - fanin_off_[i];
         if (pending[i] == 0) topo_.push_back(NodeId{i});
     }
     for (std::size_t head = 0; head < topo_.size(); ++head) {
@@ -143,12 +199,27 @@ void Circuit::ensure_analysis() const {
         // Name a few of the nodes stuck on the cycle for the report.
         std::vector<std::string> stuck;
         for (std::uint32_t i = 0; i < n && stuck.size() < 8; ++i)
-            if (pending[i] > 0) stuck.push_back(names_[i]);
+            if (pending[i] > 0)
+                stuck.emplace_back(node_name(NodeId{i}));
         throw ValidationError("Circuit: combinational cycle detected",
                               std::move(stuck));
     }
     depth_ = 0;
     for (int lv : level_) depth_ = std::max(depth_, lv);
+
+    view_ = CsrView{
+        .type = types_,
+        .output_flag = output_flag_,
+        .fanin_offset = fanin_off_,
+        .fanin = fanin_data_,
+        .fanout_offset = fanout_offset_,
+        .fanout = fanout_data_,
+        .fanout_slot = fanout_slot_,
+        .topo = topo_,
+        .level = level_,
+        .node_count = n,
+        .depth = depth_,
+    };
 
     analysis_valid_ = true;
 }

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "netlist/gate.hpp"
@@ -22,34 +24,110 @@ struct NodeId {
 
 inline constexpr NodeId kNullNode{};
 
+/// Flat, read-only view over a frozen circuit's structure: every array a
+/// consumer (COP, simulation, FFR decomposition, planning) needs, as
+/// spans into the circuit's own storage. There is exactly one copy of the
+/// topology — engines hold a CsrView instead of rebuilding private caches.
+///
+/// Spans are valid until the next structural mutation of the circuit
+/// (add_*); mark_output only flips bytes in `output_flag` in place and
+/// does NOT invalidate a view.
+struct CsrView {
+    std::span<const GateType> type;
+    std::span<const std::uint8_t> output_flag;  // 0/1 per node
+    std::span<const std::uint32_t> fanin_offset;  // node_count + 1
+    std::span<const NodeId> fanin;
+    std::span<const std::uint32_t> fanout_offset;  // node_count + 1
+    std::span<const NodeId> fanout;        // consumer gate per edge
+    std::span<const std::uint32_t> fanout_slot;  // fanin slot in the consumer
+    std::span<const NodeId> topo;          // sources first
+    std::span<const int> level;            // 0 for sources
+    std::size_t node_count = 0;
+    int depth = 0;
+
+    std::span<const NodeId> fanins_of(NodeId v) const {
+        return fanin.subspan(fanin_offset[v.v],
+                             fanin_offset[v.v + 1] - fanin_offset[v.v]);
+    }
+    std::span<const NodeId> fanouts_of(NodeId v) const {
+        return fanout.subspan(fanout_offset[v.v],
+                              fanout_offset[v.v + 1] - fanout_offset[v.v]);
+    }
+};
+
 /// Combinational gate-level circuit.
 ///
 /// The circuit is a DAG of single-output nodes. Nodes are created through
 /// the builder methods (add_input / add_const / add_gate) and referenced
 /// by NodeId. Primary outputs are nets marked with mark_output.
 ///
-/// Structural analyses (fanout lists, topological order, levels) are
-/// computed lazily on first use and cached; any mutation invalidates the
-/// caches. Cycles are rejected when analyses are computed.
+/// Storage is structure-of-arrays throughout: fanins live in one CSR
+/// array appended as nodes are created, and names are interned into a
+/// byte arena with an offset table — hot paths never touch std::string.
+/// Derived structure (fanout CSR, topological order, levels) is computed
+/// once at freeze time — implicitly on first use, or explicitly via
+/// freeze() — and exposed as a single shared CsrView; any structural
+/// mutation thaws the circuit and invalidates outstanding views. Cycles
+/// are rejected at freeze time.
 class Circuit {
 public:
     Circuit() = default;
     explicit Circuit(std::string name) : name_(std::move(name)) {}
 
+    /// Copies duplicate the node store only. The frozen analysis is NOT
+    /// carried over — its CsrView spans point into the *source's*
+    /// storage, so a bitwise copy would dangle once the source dies; the
+    /// copy simply re-freezes lazily on first use. Moves transfer the
+    /// storage itself (vector buffers keep their addresses), so a frozen
+    /// source moves frozen and the view stays self-referential.
+    Circuit(const Circuit& other)
+        : name_(other.name_),
+          types_(other.types_),
+          fanin_off_(other.fanin_off_),
+          fanin_data_(other.fanin_data_),
+          name_off_(other.name_off_),
+          name_arena_(other.name_arena_),
+          output_flag_(other.output_flag_),
+          inputs_(other.inputs_),
+          outputs_(other.outputs_),
+          gate_count_(other.gate_count_) {}
+    Circuit& operator=(const Circuit& other) {
+        // Copy-and-move: reuses the cache-dropping copy constructor and
+        // makes self-assignment safe.
+        *this = Circuit(other);
+        return *this;
+    }
+    Circuit(Circuit&&) noexcept = default;
+    Circuit& operator=(Circuit&&) noexcept = default;
+
     // ---- construction -------------------------------------------------
 
+    /// Pre-size the node store. `fanin_edges` is the expected total fanin
+    /// count and `name_bytes` the expected total name length; both may be
+    /// 0 when unknown.
+    void reserve(std::size_t nodes, std::size_t fanin_edges = 0,
+                 std::size_t name_bytes = 0);
+
     /// Create a primary input. Empty names are auto-generated.
-    NodeId add_input(std::string name = {});
+    NodeId add_input(std::string_view name = {});
 
     /// Create a constant-0 or constant-1 tie cell.
-    NodeId add_const(bool value, std::string name = {});
+    NodeId add_const(bool value, std::string_view name = {});
 
     /// Create a logic gate. Fanin handles must refer to existing nodes;
     /// Buf/Not require exactly one fanin, other gates at least one.
-    NodeId add_gate(GateType type, std::vector<NodeId> fanins,
-                    std::string name = {});
+    NodeId add_gate(GateType type, std::span<const NodeId> fanins,
+                    std::string_view name = {});
+    NodeId add_gate(GateType type, std::initializer_list<NodeId> fanins,
+                    std::string_view name = {}) {
+        return add_gate(type, std::span<const NodeId>(fanins.begin(),
+                                                      fanins.size()),
+                        name);
+    }
 
     /// Mark a net as a primary output. A net may be marked only once.
+    /// Output flags are not part of the frozen topology, so this does not
+    /// thaw the circuit.
     void mark_output(NodeId node);
 
     // ---- basic accessors ----------------------------------------------
@@ -66,15 +144,24 @@ public:
 
     GateType type(NodeId node) const { return types_[check(node).v]; }
     std::span<const NodeId> fanins(NodeId node) const {
-        return fanins_[check(node).v];
+        check(node);
+        return {fanin_data_.data() + fanin_off_[node.v],
+                fanin_off_[node.v + 1] - fanin_off_[node.v]};
     }
-    const std::string& node_name(NodeId node) const {
-        return names_[check(node).v];
+
+    /// Interned node name. The view is valid until the next add_* call
+    /// (the arena may move when it grows).
+    std::string_view node_name(NodeId node) const {
+        check(node);
+        return std::string_view(name_arena_)
+            .substr(name_off_[node.v], name_off_[node.v + 1] - name_off_[node.v]);
     }
 
     const std::vector<NodeId>& inputs() const { return inputs_; }
     const std::vector<NodeId>& outputs() const { return outputs_; }
-    bool is_output(NodeId node) const { return output_flag_[check(node).v]; }
+    bool is_output(NodeId node) const {
+        return output_flag_[check(node).v] != 0;
+    }
 
     /// All valid node handles, in creation order (a valid build order is
     /// NOT implied; use topo_order for evaluation).
@@ -84,7 +171,21 @@ public:
     /// intended for tests and small lookups, not inner loops.
     NodeId find(std::string_view node_name) const;
 
-    // ---- derived structure (lazily computed, cached) -------------------
+    // ---- derived structure (built at freeze time) -----------------------
+
+    /// Build the derived structure (fanout CSR, topo order, levels) now.
+    /// Throws ValidationError if the netlist contains a combinational
+    /// cycle. Idempotent; implied by any derived-structure accessor.
+    void freeze() const { ensure_analysis(); }
+    bool frozen() const { return analysis_valid_; }
+
+    /// The one shared flat view of the frozen structure. Freezes the
+    /// circuit if needed; the reference (and the spans inside it) stays
+    /// valid until the next structural mutation.
+    const CsrView& topology() const {
+        ensure_analysis();
+        return view_;
+    }
 
     /// Consumers of the node's output net.
     std::span<const NodeId> fanouts(NodeId node) const;
@@ -108,28 +209,39 @@ public:
     /// tpi::Error on violation.
     void validate() const;
 
+    /// Approximate resident bytes of the node store plus frozen analysis
+    /// arrays (capacity-based; excludes the transient Kahn scratch).
+    std::size_t memory_bytes() const;
+
 private:
     NodeId check(NodeId node) const;
-    NodeId new_node(GateType type, std::vector<NodeId> fanins,
-                    std::string name);
+    NodeId new_node(GateType type, std::span<const NodeId> fanins,
+                    std::string_view name);
+    void intern_name(std::string_view name, std::uint32_t id);
     void ensure_analysis() const;
 
     std::string name_;
+
+    // Structure-of-arrays node store, appended by the builder methods.
     std::vector<GateType> types_;
-    std::vector<std::vector<NodeId>> fanins_;
-    std::vector<std::string> names_;
-    std::vector<bool> output_flag_;
+    std::vector<std::uint32_t> fanin_off_{0};  // node_count + 1 entries
+    std::vector<NodeId> fanin_data_;
+    std::vector<std::uint32_t> name_off_{0};   // node_count + 1 entries
+    std::string name_arena_;
+    std::vector<std::uint8_t> output_flag_;
     std::vector<NodeId> inputs_;
     std::vector<NodeId> outputs_;
     std::size_t gate_count_ = 0;
 
-    // Lazily computed analyses (CSR fanout adjacency, topo order, levels).
+    // Frozen analyses (CSR fanout adjacency, topo order, levels).
     mutable bool analysis_valid_ = false;
     mutable std::vector<std::uint32_t> fanout_offset_;
     mutable std::vector<NodeId> fanout_data_;
+    mutable std::vector<std::uint32_t> fanout_slot_;
     mutable std::vector<NodeId> topo_;
     mutable std::vector<int> level_;
     mutable int depth_ = 0;
+    mutable CsrView view_;
 };
 
 }  // namespace tpi::netlist

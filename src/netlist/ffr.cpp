@@ -1,46 +1,55 @@
 #include "netlist/ffr.hpp"
 
-#include <algorithm>
-#include <unordered_set>
-
 namespace tpi::netlist {
 
 FfrDecomposition decompose_ffr(const Circuit& circuit) {
-    const auto& topo = circuit.topo_order();
-    const std::size_t n = circuit.node_count();
+    const CsrView& csr = circuit.topology();
+    const std::size_t n = csr.node_count;
 
     FfrDecomposition result;
     result.region_of.assign(n, 0);
 
     // Walk consumers before producers so a node can inherit the region of
     // its unique fanout.
-    std::vector<std::uint32_t> root_region(n, UINT32_MAX);
-    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-        const NodeId v = *it;
-        const auto fo = circuit.fanouts(v);
+    std::size_t region_count = 0;
+    for (std::size_t i = n; i-- > 0;) {
+        const NodeId v = csr.topo[i];
+        const std::uint32_t fo_begin = csr.fanout_offset[v.v];
+        const std::uint32_t fo_end = csr.fanout_offset[v.v + 1];
         const bool is_stem =
-            fo.size() != 1 || circuit.is_output(v);
+            fo_end - fo_begin != 1 || csr.output_flag[v.v] != 0;
         if (is_stem) {
-            const auto idx = static_cast<std::uint32_t>(result.regions.size());
-            result.regions.push_back({v, {}, {}});
-            root_region[v.v] = idx;
-            result.region_of[v.v] = idx;
+            result.region_of[v.v] =
+                static_cast<std::uint32_t>(region_count++);
         } else {
-            result.region_of[v.v] = result.region_of[fo[0].v];
+            result.region_of[v.v] =
+                result.region_of[csr.fanout[fo_begin].v];
         }
     }
+    result.regions.resize(region_count);
 
-    // Collect members per region in topological order (children first).
-    for (NodeId v : topo)
-        result.regions[result.region_of[v.v]].members.push_back(v);
+    // Collect members per region in topological order (children first);
+    // the stem closes its region, so the last member is the root.
+    for (NodeId v : csr.topo) {
+        auto& region = result.regions[result.region_of[v.v]];
+        region.members.push_back(v);
+        region.root = v;
+    }
 
-    // External nets feeding each region.
-    for (auto& region : result.regions) {
-        std::unordered_set<std::uint32_t> seen;
+    // External nets feeding each region, deduplicated with a per-region
+    // stamp (first-occurrence order over the members' fanin slots — the
+    // same order the erased hash-set scan produced).
+    std::vector<std::uint32_t> seen_stamp(n, UINT32_MAX);
+    for (std::uint32_t r = 0; r < region_count; ++r) {
+        auto& region = result.regions[r];
         for (NodeId v : region.members) {
-            for (NodeId f : circuit.fanins(v)) {
-                if (result.region_of[f.v] != result.region_of[region.root.v] &&
-                    seen.insert(f.v).second) {
+            const std::uint32_t b = csr.fanin_offset[v.v];
+            const std::uint32_t e = csr.fanin_offset[v.v + 1];
+            for (std::uint32_t k = b; k < e; ++k) {
+                const NodeId f = csr.fanin[k];
+                if (result.region_of[f.v] != r &&
+                    seen_stamp[f.v] != r) {
+                    seen_stamp[f.v] = r;
                     region.leaf_inputs.push_back(f);
                 }
             }

@@ -1,0 +1,414 @@
+#include "netlist/tpb_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace tpi::netlist {
+
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'T', 'P', 'B', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 16;
+constexpr std::size_t kSectionEntrySize = 24;
+constexpr std::uint32_t kMaxSections = 64;
+
+constexpr std::uint32_t fourcc(char a, char b, char c, char d) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(a)) |
+           static_cast<std::uint32_t>(static_cast<unsigned char>(b)) << 8 |
+           static_cast<std::uint32_t>(static_cast<unsigned char>(c)) << 16 |
+           static_cast<std::uint32_t>(static_cast<unsigned char>(d)) << 24;
+}
+
+constexpr std::uint32_t kTagMeta = fourcc('M', 'E', 'T', 'A');
+constexpr std::uint32_t kTagType = fourcc('T', 'Y', 'P', 'E');
+constexpr std::uint32_t kTagFanodeOff = fourcc('F', 'N', 'O', 'F');
+constexpr std::uint32_t kTagFanin = fourcc('F', 'N', 'I', 'N');
+constexpr std::uint32_t kTagNameOff = fourcc('N', 'M', 'O', 'F');
+constexpr std::uint32_t kTagNameData = fourcc('N', 'M', 'D', 'A');
+constexpr std::uint32_t kTagOutputs = fourcc('O', 'U', 'T', 'S');
+
+[[noreturn]] void bad(const std::string& source, const std::string& message) {
+    throw ParseError(source, 0, message);
+}
+
+/// Little-endian scalar writes, independent of host byte order.
+void put_u32(std::string& out, std::uint32_t v) {
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>((v >> 8) & 0xff));
+    out.push_back(static_cast<char>((v >> 16) & 0xff));
+    out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+    put_u32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+    put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+/// Bounds-checked little-endian reads over the file buffer.
+class Cursor {
+public:
+    Cursor(const unsigned char* data, std::size_t size,
+           const std::string& source)
+        : data_(data), size_(size), source_(source) {}
+
+    std::uint32_t u32(std::size_t at) const {
+        if (at + 4 > size_) bad(source_, "truncated file (u32 read)");
+        return static_cast<std::uint32_t>(data_[at]) |
+               static_cast<std::uint32_t>(data_[at + 1]) << 8 |
+               static_cast<std::uint32_t>(data_[at + 2]) << 16 |
+               static_cast<std::uint32_t>(data_[at + 3]) << 24;
+    }
+
+    std::uint64_t u64(std::size_t at) const {
+        return static_cast<std::uint64_t>(u32(at)) |
+               static_cast<std::uint64_t>(u32(at + 4)) << 32;
+    }
+
+    const unsigned char* bytes(std::size_t at, std::size_t count) const {
+        if (at + count > size_ || at + count < at)
+            bad(source_, "truncated file (byte range)");
+        return data_ + at;
+    }
+
+    std::size_t size() const { return size_; }
+
+private:
+    const unsigned char* data_;
+    std::size_t size_;
+    const std::string& source_;
+};
+
+struct Section {
+    std::uint32_t tag = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t size = 0;
+};
+
+/// Little-endian u32 array view over a section (count = size / 4).
+std::vector<std::uint32_t> read_u32_array(const Cursor& in,
+                                          const Section& s) {
+    std::vector<std::uint32_t> out(s.size / 4);
+    const unsigned char* p =
+        in.bytes(static_cast<std::size_t>(s.offset),
+                 static_cast<std::size_t>(s.size));
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = static_cast<std::uint32_t>(p[4 * i]) |
+                 static_cast<std::uint32_t>(p[4 * i + 1]) << 8 |
+                 static_cast<std::uint32_t>(p[4 * i + 2]) << 16 |
+                 static_cast<std::uint32_t>(p[4 * i + 3]) << 24;
+    return out;
+}
+
+Circuit parse_tpb(const unsigned char* data, std::size_t size,
+                  const std::string& source) {
+    const Cursor in(data, size, source);
+    if (size < kHeaderSize) bad(source, "file shorter than the header");
+    if (std::memcmp(data, kMagic.data(), kMagic.size()) != 0)
+        bad(source, "bad magic (not a .tpb file)");
+    if (in.u32(4) != kVersion)
+        bad(source, "unsupported version " + std::to_string(in.u32(4)));
+    const std::uint32_t section_count = in.u32(8);
+    if (section_count == 0 || section_count > kMaxSections)
+        bad(source, "implausible section count " +
+                        std::to_string(section_count));
+    const std::uint32_t want_crc = in.u32(12);
+    const std::uint32_t got_crc =
+        tpb_crc32(data + kHeaderSize, size - kHeaderSize);
+    if (want_crc != got_crc) bad(source, "CRC mismatch (corrupt file)");
+
+    const std::size_t table_end =
+        kHeaderSize + std::size_t{section_count} * kSectionEntrySize;
+    if (table_end > size) bad(source, "truncated section table");
+
+    Section meta, type, fanin_off, fanin, name_off, name_data, outputs;
+    for (std::uint32_t i = 0; i < section_count; ++i) {
+        const std::size_t at = kHeaderSize + i * kSectionEntrySize;
+        Section s;
+        s.tag = in.u32(at);
+        s.offset = in.u64(at + 8);
+        s.size = in.u64(at + 16);
+        if (s.offset < table_end || s.offset > size ||
+            s.size > size - s.offset)
+            bad(source, "section outside the file");
+        Section* slot = nullptr;
+        switch (s.tag) {
+            case kTagMeta: slot = &meta; break;
+            case kTagType: slot = &type; break;
+            case kTagFanodeOff: slot = &fanin_off; break;
+            case kTagFanin: slot = &fanin; break;
+            case kTagNameOff: slot = &name_off; break;
+            case kTagNameData: slot = &name_data; break;
+            case kTagOutputs: slot = &outputs; break;
+            default: continue;  // unknown sections are skipped (forward compat)
+        }
+        if (slot->tag != 0) bad(source, "duplicate section");
+        *slot = s;
+    }
+    for (const Section* s :
+         {&meta, &type, &fanin_off, &fanin, &name_off, &name_data,
+          &outputs})
+        if (s->tag == 0) bad(source, "missing required section");
+
+    // Counts come from the section sizes (bounded by the file size); the
+    // META counts merely have to agree.
+    if (meta.size < 28) bad(source, "META section too small");
+    const std::size_t meta_at = static_cast<std::size_t>(meta.offset);
+    const std::uint32_t node_count = in.u32(meta_at);
+    const std::uint32_t input_count = in.u32(meta_at + 4);
+    const std::uint32_t output_count = in.u32(meta_at + 8);
+    const std::uint64_t edge_count = in.u64(meta_at + 12);
+    const std::uint64_t name_bytes = in.u64(meta_at + 20);
+    const char* name_ptr = reinterpret_cast<const char*>(
+        in.bytes(meta_at + 28, static_cast<std::size_t>(meta.size) - 28));
+    std::string circuit_name(name_ptr,
+                             static_cast<std::size_t>(meta.size) - 28);
+
+    if (type.size != node_count)
+        bad(source, "TYPE size disagrees with the node count");
+    if (fanin_off.size != (std::uint64_t{node_count} + 1) * 4)
+        bad(source, "FNOF size disagrees with the node count");
+    if (fanin.size != edge_count * 4 || fanin.size % 4 != 0)
+        bad(source, "FNIN size disagrees with the edge count");
+    if (name_off.size != (std::uint64_t{node_count} + 1) * 4)
+        bad(source, "NMOF size disagrees with the node count");
+    if (name_data.size != name_bytes)
+        bad(source, "NMDA size disagrees with the name byte count");
+    if (outputs.size != std::uint64_t{output_count} * 4)
+        bad(source, "OUTS size disagrees with the output count");
+
+    const unsigned char* types =
+        in.bytes(static_cast<std::size_t>(type.offset), node_count);
+    const std::vector<std::uint32_t> foff = read_u32_array(in, fanin_off);
+    const std::vector<std::uint32_t> fdata = read_u32_array(in, fanin);
+    const std::vector<std::uint32_t> noff = read_u32_array(in, name_off);
+    const char* names = reinterpret_cast<const char*>(in.bytes(
+        static_cast<std::size_t>(name_data.offset),
+        static_cast<std::size_t>(name_data.size)));
+    const std::vector<std::uint32_t> outs = read_u32_array(in, outputs);
+
+    if (foff.front() != 0 || foff.back() != fdata.size())
+        bad(source, "FNOF does not span FNIN");
+    if (noff.front() != 0 || noff.back() != name_data.size)
+        bad(source, "NMOF does not span NMDA");
+    // Monotonicity of the WHOLE offset chains, before any offset is
+    // used. Checking pairs lazily inside the rebuild loop is unsound:
+    // [0, huge, size] passes its first pair check and over-reads the
+    // name pool (or the fanin array) before the decreasing second pair
+    // would be seen.
+    for (std::uint32_t id = 0; id < node_count; ++id) {
+        if (foff[id + 1] < foff[id])
+            bad(source, "FNOF not monotonically increasing");
+        if (noff[id + 1] < noff[id])
+            bad(source, "NMOF not monotonically increasing");
+    }
+
+    // Rebuild through the builder API: arities and fanin existence are
+    // re-validated, and requiring fanin < id makes the netlist acyclic
+    // by construction.
+    Circuit circuit(std::move(circuit_name));
+    circuit.reserve(node_count, fdata.size(),
+                    static_cast<std::size_t>(name_data.size));
+    std::vector<NodeId> fanins_scratch;
+    for (std::uint32_t id = 0; id < node_count; ++id) {
+        if (types[id] >= kGateTypeCount)
+            bad(source, "unknown gate type " + std::to_string(types[id]));
+        const GateType t = static_cast<GateType>(types[id]);
+        const std::string_view name(names + noff[id],
+                                    noff[id + 1] - noff[id]);
+        if (name.empty()) bad(source, "empty node name");
+        fanins_scratch.clear();
+        for (std::uint32_t k = foff[id]; k < foff[id + 1]; ++k) {
+            if (fdata[k] >= id)
+                bad(source,
+                    "fanin references a node at or after its gate");
+            fanins_scratch.push_back(NodeId{fdata[k]});
+        }
+        try {
+            if (t == GateType::Input) {
+                if (!fanins_scratch.empty())
+                    bad(source, "input with fanins");
+                circuit.add_input(name);
+            } else if (t == GateType::Const0 || t == GateType::Const1) {
+                if (!fanins_scratch.empty())
+                    bad(source, "constant with fanins");
+                circuit.add_const(t == GateType::Const1, name);
+            } else {
+                circuit.add_gate(t, fanins_scratch, name);
+            }
+        } catch (const ParseError&) {
+            throw;
+        } catch (const Error& e) {
+            bad(source, e.what());
+        }
+    }
+    if (circuit.input_count() != input_count)
+        bad(source, "META input count disagrees with TYPE");
+    for (std::uint32_t out : outs) {
+        if (out >= node_count) bad(source, "output id out of range");
+        try {
+            circuit.mark_output(NodeId{out});
+        } catch (const Error& e) {
+            bad(source, e.what());
+        }
+    }
+    return circuit;
+}
+
+}  // namespace
+
+std::uint32_t tpb_crc32(const void* data, std::size_t size) {
+    // CRC-32/IEEE (reflected, poly 0xEDB88320), nibble-table variant: no
+    // global state, cheap to rebuild, and byte-order independent.
+    static constexpr std::array<std::uint32_t, 16> kTable = [] {
+        std::array<std::uint32_t, 16> t{};
+        for (std::uint32_t i = 0; i < 16; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 4; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    std::uint32_t crc = 0xFFFFFFFFu;
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        crc ^= p[i];
+        crc = kTable[crc & 0xF] ^ (crc >> 4);
+        crc = kTable[crc & 0xF] ^ (crc >> 4);
+    }
+    return crc ^ 0xFFFFFFFFu;
+}
+
+Circuit read_tpb_bytes(const void* data, std::size_t size,
+                       const std::string& source) {
+    try {
+        return parse_tpb(static_cast<const unsigned char*>(data), size,
+                         source);
+    } catch (const ParseError&) {
+        throw;
+    } catch (const Error& e) {
+        throw ParseError(source, 0, e.what());
+    } catch (const std::exception& e) {
+        throw ParseError(source, 0,
+                         std::string("internal reader failure: ") +
+                             e.what());
+    }
+}
+
+Circuit read_tpb(std::istream& in, const std::string& source) {
+    std::string buf((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    return read_tpb_bytes(buf.data(), buf.size(), source);
+}
+
+Circuit read_tpb_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw ParseError(path, 0, "cannot open file");
+    return read_tpb(in, path);
+}
+
+void write_tpb(std::ostream& out, const Circuit& circuit) {
+    const std::string bytes = write_tpb_string(circuit);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string write_tpb_string(const Circuit& circuit) {
+    const std::size_t n = circuit.node_count();
+    require(n <= UINT32_MAX, "write_tpb: node count overflow");
+
+    // Payload sections, then the header + table in front of them.
+    struct Payload {
+        std::uint32_t tag;
+        std::string bytes;
+    };
+    std::vector<Payload> sections;
+
+    {
+        std::string meta;
+        put_u32(meta, static_cast<std::uint32_t>(n));
+        put_u32(meta, static_cast<std::uint32_t>(circuit.input_count()));
+        put_u32(meta, static_cast<std::uint32_t>(circuit.output_count()));
+        std::uint64_t edges = 0;
+        std::uint64_t name_bytes = 0;
+        for (std::uint32_t id = 0; id < n; ++id) {
+            edges += circuit.fanins(NodeId{id}).size();
+            name_bytes += circuit.node_name(NodeId{id}).size();
+        }
+        put_u64(meta, edges);
+        put_u64(meta, name_bytes);
+        meta += circuit.name();
+        sections.push_back({kTagMeta, std::move(meta)});
+    }
+    {
+        std::string types;
+        types.reserve(n);
+        for (std::uint32_t id = 0; id < n; ++id)
+            types.push_back(
+                static_cast<char>(circuit.type(NodeId{id})));
+        sections.push_back({kTagType, std::move(types)});
+    }
+    {
+        std::string foff, fdata;
+        std::uint32_t cursor = 0;
+        put_u32(foff, 0);
+        for (std::uint32_t id = 0; id < n; ++id) {
+            for (NodeId f : circuit.fanins(NodeId{id})) {
+                put_u32(fdata, f.v);
+                ++cursor;
+            }
+            put_u32(foff, cursor);
+        }
+        sections.push_back({kTagFanodeOff, std::move(foff)});
+        sections.push_back({kTagFanin, std::move(fdata)});
+    }
+    {
+        std::string noff, ndata;
+        put_u32(noff, 0);
+        for (std::uint32_t id = 0; id < n; ++id) {
+            ndata += circuit.node_name(NodeId{id});
+            require(ndata.size() <= UINT32_MAX,
+                    "write_tpb: name arena overflow");
+            put_u32(noff, static_cast<std::uint32_t>(ndata.size()));
+        }
+        sections.push_back({kTagNameOff, std::move(noff)});
+        sections.push_back({kTagNameData, std::move(ndata)});
+    }
+    {
+        std::string outs;
+        for (NodeId po : circuit.outputs()) put_u32(outs, po.v);
+        sections.push_back({kTagOutputs, std::move(outs)});
+    }
+
+    const std::size_t table_end =
+        kHeaderSize + sections.size() * kSectionEntrySize;
+    std::string body;  // section table + payloads (the CRC'd region)
+    std::uint64_t at = table_end;
+    for (const Payload& s : sections) {
+        put_u32(body, s.tag);
+        put_u32(body, 0);  // reserved
+        put_u64(body, at);
+        put_u64(body, s.bytes.size());
+        at += s.bytes.size();
+    }
+    for (const Payload& s : sections) body += s.bytes;
+
+    std::string file;
+    file.reserve(kHeaderSize + body.size());
+    file.append(kMagic.data(), kMagic.size());
+    put_u32(file, kVersion);
+    put_u32(file, static_cast<std::uint32_t>(sections.size()));
+    put_u32(file, tpb_crc32(body.data(), body.size()));
+    file += body;
+    return file;
+}
+
+}  // namespace tpi::netlist

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "netlist/circuit.hpp"
+
+namespace tpi::netlist {
+
+/// Reader/writer for the native binary netlist format `.tpb`.
+///
+/// Layout (all integers little-endian):
+///
+///     offset 0   char[4]  magic "TPB1"
+///     offset 4   u32      version (currently 1)
+///     offset 8   u32      section count
+///     offset 12  u32      CRC-32 (IEEE) of every byte from offset 16
+///                         to the end of the file
+///     offset 16  section table: per section
+///                         { u32 tag, u32 reserved(0), u64 offset, u64 size }
+///     ...        section payloads (byte ranges inside the file)
+///
+/// Sections (tag is the ASCII FourCC, first byte = lowest byte):
+///
+///     META  u32 node_count, u32 input_count, u32 output_count,
+///           u64 fanin_edge_count, u64 name_bytes, then the circuit
+///           name (remainder of the section)
+///     TYPE  node_count × u8 GateType
+///     FNOF  (node_count + 1) × u32 fanin CSR offsets
+///     FNIN  fanin_edge_count × u32 fanin node ids
+///     NMOF  (node_count + 1) × u32 name-arena offsets
+///     NMDA  name arena bytes
+///     OUTS  output_count × u32 output node ids, in mark order
+///
+/// The reader derives every count from the section byte sizes (which are
+/// bounded by the file size) before trusting the META counts, so a
+/// hostile header cannot trigger an oversized allocation, and it rebuilds
+/// the circuit through the normal builder API — fanins must reference
+/// already-created nodes (acyclicity by construction) and arities are
+/// re-validated.
+///
+/// Error contract: every reader failure — short file, bad magic, bad
+/// version, CRC mismatch, truncated or overlapping sections, count
+/// mismatches, out-of-range ids — is a tpi::ParseError. No other
+/// exception type escapes.
+
+/// Parse a circuit from .tpb bytes. `source` names the stream in errors.
+Circuit read_tpb(std::istream& in, const std::string& source = ".tpb");
+
+/// Parse a circuit from an in-memory byte buffer.
+Circuit read_tpb_bytes(const void* data, std::size_t size,
+                       const std::string& source = ".tpb");
+
+/// Parse a circuit from a .tpb file on disk.
+Circuit read_tpb_file(const std::string& path);
+
+/// Serialise a circuit to .tpb bytes.
+void write_tpb(std::ostream& out, const Circuit& circuit);
+
+/// Serialise to a byte string (convenience for tests and round-trips).
+std::string write_tpb_string(const Circuit& circuit);
+
+/// The CRC-32 (IEEE 802.3, reflected) the format uses, exposed so tests
+/// and the fuzzer can re-seal deliberately mutated files.
+std::uint32_t tpb_crc32(const void* data, std::size_t size);
+
+}  // namespace tpi::netlist

@@ -29,12 +29,12 @@ TransformResult apply_test_points(const Circuit& circuit,
         if (is_control(tp.kind)) {
             require(control_at[tp.node.v] < 0,
                     "apply_test_points: duplicate control point on net '" +
-                        circuit.node_name(tp.node) + "'");
+                        std::string(circuit.node_name(tp.node)) + "'");
             control_at[tp.node.v] = static_cast<int>(tp.kind);
         } else {
             require(!observe_at[tp.node.v],
                     "apply_test_points: duplicate observation point on net '" +
-                        circuit.node_name(tp.node) + "'");
+                        std::string(circuit.node_name(tp.node)) + "'");
             observe_at[tp.node.v] = true;
         }
     }
@@ -66,7 +66,7 @@ TransformResult apply_test_points(const Circuit& circuit,
         NodeId driver = copy;
         if (control_at[v.v] >= 0) {
             const auto kind = static_cast<TpKind>(control_at[v.v]);
-            const std::string base = circuit.node_name(v);
+            const std::string base(circuit.node_name(v));
             const NodeId ctl =
                 result.circuit.add_input(base + "_tpctl");
             GateType gate;
@@ -137,7 +137,7 @@ BinarizeResult binarize(const Circuit& circuit) {
                 for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
                     next.push_back(result.circuit.add_gate(
                         base, {layer[i], layer[i + 1]},
-                        circuit.node_name(v) + "_b" +
+                        std::string(circuit.node_name(v)) + "_b" +
                             std::to_string(serial++)));
                 }
                 if (layer.size() % 2 == 1) next.push_back(layer.back());

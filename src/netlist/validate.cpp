@@ -47,7 +47,7 @@ std::vector<std::string> cyclic_nodes(const Circuit& circuit) {
     if (order.size() != n)
         for (std::uint32_t v = 0; v < n; ++v)
             if (pending[v] > 0)
-                stuck.push_back(circuit.node_name(NodeId{v}));
+                stuck.emplace_back(circuit.node_name(NodeId{v}));
     return stuck;
 }
 
@@ -88,7 +88,7 @@ Circuit strip_dead_cone(const Circuit& circuit,
         const NodeId v{i};
         const GateType t = circuit.type(v);
         if (t != GateType::Input && !live[i]) {
-            dropped.push_back(circuit.node_name(v));
+            dropped.emplace_back(circuit.node_name(v));
             continue;
         }
         if (t == GateType::Input) {
@@ -132,21 +132,21 @@ void inspect_into(const Circuit& circuit, Diagnostics& diags) {
                           !circuit.is_output(v);
         if (sink) {
             if (t == GateType::Input)
-                unused_inputs.push_back(circuit.node_name(v));
+                unused_inputs.emplace_back(circuit.node_name(v));
             else
-                dead.push_back(circuit.node_name(v));
+                dead.emplace_back(circuit.node_name(v));
         }
         if (is_source(t)) continue;
         const auto fanins = circuit.fanins(v);
         if (t != GateType::Buf && t != GateType::Not &&
             fanins.size() == 1) {
-            degenerate.push_back(circuit.node_name(v));
+            degenerate.emplace_back(circuit.node_name(v));
             continue;
         }
         std::unordered_set<std::uint32_t> seen;
         for (NodeId f : fanins) {
             if (!seen.insert(f.v).second) {
-                degenerate.push_back(circuit.node_name(v));
+                degenerate.emplace_back(circuit.node_name(v));
                 break;
             }
         }

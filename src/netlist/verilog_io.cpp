@@ -111,7 +111,7 @@ bool is_primitive(const std::string& word, GateType& type) {
 }
 
 /// Make a name safe as a plain Verilog identifier, or emit it escaped.
-std::string emit_name(const std::string& name) {
+std::string emit_name(std::string_view name) {
     bool plain = !name.empty() &&
                  (std::isalpha(static_cast<unsigned char>(name[0])) ||
                   name[0] == '_');
@@ -120,8 +120,8 @@ std::string emit_name(const std::string& name) {
               c == '$'))
             plain = false;
     }
-    if (plain) return name;
-    return "\\" + name + " ";  // escaped identifier needs the space
+    if (plain) return std::string(name);
+    return "\\" + std::string(name) + " ";  // escaped identifier needs the space
 }
 
 Circuit read_verilog_impl(std::istream& in, const Policy* policy) {

@@ -22,6 +22,7 @@ std::string_view counter_name(Counter counter) {
         case Counter::FaultsSimulated: return "faults_simulated";
         case Counter::DpRounds: return "dp_rounds";
         case Counter::DpRegionsBuilt: return "dp_regions_built";
+        case Counter::DpRegionsReused: return "dp_regions_reused";
         case Counter::DpCellsFilled: return "dp_cells_filled";
         case Counter::PlanPoints: return "plan_points";
         case Counter::CandidatesConsidered: return "candidates_considered";

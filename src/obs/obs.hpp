@@ -29,6 +29,8 @@ enum class Counter : std::uint8_t {
     FaultsSimulated,       ///< single-fault propagations run
     DpRounds,              ///< DP planner allocate/recompute rounds
     DpRegionsBuilt,        ///< per-FFR DP tables built
+    DpRegionsReused,       ///< per-FFR DP tables served from the
+                           ///< cross-round cache instead of rebuilt
     DpCellsFilled,         ///< DP table cells (tree DPs + outer knapsack)
     PlanPoints,            ///< test points committed by a planner
     CandidatesConsidered,  ///< candidate nets admitted to planning

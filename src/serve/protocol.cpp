@@ -237,8 +237,9 @@ Request parse_request(std::string_view line) {
     else
         fail(Code::Usage, "'mode' must be strict or lenient");
     if (request.format != "bench" && request.format != "verilog" &&
-        request.format != "suite")
-        fail(Code::Usage, "'format' must be bench, verilog or suite");
+        request.format != "suite" && request.format != "file")
+        fail(Code::Usage,
+             "'format' must be bench, verilog, suite or file");
 
     if (const Value* options = root.find("options")) {
         if (!options->is_object())

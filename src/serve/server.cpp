@@ -12,6 +12,7 @@
 #include "gen/benchmarks.hpp"
 #include "lint/lint.hpp"
 #include "netlist/bench_io.hpp"
+#include "netlist/tpb_io.hpp"
 #include "netlist/verilog_io.hpp"
 #include "obs/report.hpp"
 #include "sim/pattern.hpp"
@@ -384,6 +385,25 @@ std::string Server::do_open(const Request& request,
         } catch (const Error& e) {
             throw ServeError(Code::Validation, e.what());
         }
+    } else if (request.format == "file") {
+        // `circuit` is a path on the daemon's filesystem; the suffix
+        // picks the reader. This is the million-gate ingress: a .tpb
+        // file loads without shipping the netlist through a JSON line
+        // (the max_circuit_bytes cap above applies to the path text
+        // only, not the file).
+        const std::string& path = request.circuit;
+        const auto ends_with = [&](std::string_view s) {
+            return path.size() >= s.size() &&
+                   path.compare(path.size() - s.size(), s.size(), s) == 0;
+        };
+        if (ends_with(".tpb"))
+            session->circuit = netlist::read_tpb_file(path);
+        else if (ends_with(".v"))
+            session->circuit =
+                netlist::read_verilog_file(path, request.mode, &diags);
+        else
+            session->circuit =
+                netlist::read_bench_file(path, request.mode, &diags);
     } else if (request.format == "verilog") {
         session->circuit = netlist::read_verilog_string(
             request.circuit, request.mode, &diags);

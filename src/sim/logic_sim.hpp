@@ -27,10 +27,11 @@ template <class Word>
 class LogicSimulatorT {
 public:
     explicit LogicSimulatorT(const netlist::Circuit& circuit)
-        : circuit_(circuit),
+        : circuit_(circuit), csr_(circuit.topology()),
           value_(circuit.node_count(), WordTraits<Word>::zero()) {
-        for (netlist::NodeId v : circuit.topo_order()) {
-            const netlist::GateType t = circuit.type(v);
+        ops_.reserve(circuit.gate_count());
+        for (netlist::NodeId v : csr_.topo) {
+            const netlist::GateType t = csr_.type[v.v];
             if (t == netlist::GateType::Input) continue;
             if (t == netlist::GateType::Const0 ||
                 t == netlist::GateType::Const1) {
@@ -39,14 +40,14 @@ public:
                                   : WordTraits<Word>::zero();
                 continue;
             }
+            // The schedule references the circuit's own fanin CSR — no
+            // private copy of the adjacency.
             Op op;
             op.type = t;
             op.node = v.v;
-            op.fanin_begin = static_cast<std::uint32_t>(fanin_pool_.size());
+            op.fanin_begin = csr_.fanin_offset[v.v];
             op.fanin_count =
-                static_cast<std::uint32_t>(circuit.fanins(v).size());
-            for (netlist::NodeId f : circuit.fanins(v))
-                fanin_pool_.push_back(f.v);
+                csr_.fanin_offset[v.v + 1] - csr_.fanin_offset[v.v];
             ops_.push_back(op);
         }
     }
@@ -62,34 +63,34 @@ public:
 
         using GateType = netlist::GateType;
         for (const Op& op : ops_) {
-            const std::uint32_t* f = fanin_pool_.data() + op.fanin_begin;
+            const netlist::NodeId* f = csr_.fanin.data() + op.fanin_begin;
             Word acc;
             switch (op.type) {
                 case GateType::Buf:
-                    acc = value_[f[0]];
+                    acc = value_[f[0].v];
                     break;
                 case GateType::Not:
-                    acc = ~value_[f[0]];
+                    acc = ~value_[f[0].v];
                     break;
                 case GateType::And:
                 case GateType::Nand:
-                    acc = value_[f[0]];
+                    acc = value_[f[0].v];
                     for (std::uint32_t k = 1; k < op.fanin_count; ++k)
-                        acc &= value_[f[k]];
+                        acc &= value_[f[k].v];
                     if (op.type == GateType::Nand) acc = ~acc;
                     break;
                 case GateType::Or:
                 case GateType::Nor:
-                    acc = value_[f[0]];
+                    acc = value_[f[0].v];
                     for (std::uint32_t k = 1; k < op.fanin_count; ++k)
-                        acc |= value_[f[k]];
+                        acc |= value_[f[k].v];
                     if (op.type == GateType::Nor) acc = ~acc;
                     break;
                 case GateType::Xor:
                 case GateType::Xnor:
-                    acc = value_[f[0]];
+                    acc = value_[f[0].v];
                     for (std::uint32_t k = 1; k < op.fanin_count; ++k)
-                        acc ^= value_[f[k]];
+                        acc ^= value_[f[k].v];
                     if (op.type == GateType::Xnor) acc = ~acc;
                     break;
                 default:
@@ -110,9 +111,11 @@ public:
 
 private:
     const netlist::Circuit& circuit_;
+    netlist::CsrView csr_;
     std::vector<Word> value_;
 
-    // Compiled schedule: gates in topological order with CSR fanins.
+    // Compiled schedule: gates in topological order; fanins are read
+    // straight from the circuit's shared CSR (csr_.fanin).
     struct Op {
         netlist::GateType type;
         std::uint32_t node;
@@ -120,7 +123,6 @@ private:
         std::uint32_t fanin_count;
     };
     std::vector<Op> ops_;
-    std::vector<std::uint32_t> fanin_pool_;
 };
 
 /// The classic 64-way simulator: every pre-SIMD call site compiles

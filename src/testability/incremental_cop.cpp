@@ -37,7 +37,7 @@ double cp_sens(TpKind kind) {
 }  // namespace
 
 IncrementalCop::IncrementalCop(const Circuit& circuit, double epsilon)
-    : circuit_(circuit), epsilon_(epsilon) {
+    : circuit_(circuit), epsilon_(epsilon), csr_(circuit.topology()) {
     const std::size_t n = circuit.node_count();
     const CopResult base = compute_cop(circuit);
     c1_ = base.c1;
@@ -45,43 +45,9 @@ IncrementalCop::IncrementalCop(const Circuit& circuit, double epsilon)
     drv_obs_ = base.obs;
     control_.assign(n, -1);
     observe_.assign(n, 0);
-    bucket_.resize(static_cast<std::size_t>(circuit.depth()) + 1);
+    bucket_.resize(static_cast<std::size_t>(csr_.depth) + 1);
     sched_stamp_.assign(n, 0);
     changed_stamp_.assign(n, 0);
-
-    type_.resize(n);
-    out_flag_.resize(n);
-    level_.resize(n);
-    fanin_off_.assign(n + 1, 0);
-    for (NodeId v : circuit.all_nodes()) {
-        type_[v.v] = circuit.type(v);
-        out_flag_[v.v] = circuit.is_output(v) ? 1 : 0;
-        level_[v.v] = circuit.level(v);
-        fanin_off_[v.v + 1] = static_cast<std::uint32_t>(
-            circuit.fanins(v).size());
-    }
-    for (std::size_t v = 0; v < n; ++v) fanin_off_[v + 1] += fanin_off_[v];
-    fanin_.resize(fanin_off_[n]);
-    use_off_.assign(n + 1, 0);
-    for (NodeId g : circuit.all_nodes()) {
-        const auto fanins = circuit.fanins(g);
-        for (std::size_t slot = 0; slot < fanins.size(); ++slot) {
-            fanin_[fanin_off_[g.v] + slot] = fanins[slot].v;
-            ++use_off_[fanins[slot].v + 1];
-        }
-    }
-    for (std::size_t v = 0; v < n; ++v) use_off_[v + 1] += use_off_[v];
-    use_gate_.resize(use_off_[n]);
-    use_slot_.resize(use_off_[n]);
-    std::vector<std::uint32_t> fill(use_off_.begin(), use_off_.end() - 1);
-    for (NodeId g : circuit.all_nodes()) {
-        const auto fanins = circuit.fanins(g);
-        for (std::size_t slot = 0; slot < fanins.size(); ++slot) {
-            const std::uint32_t at = fill[fanins[slot].v]++;
-            use_gate_[at] = g.v;
-            use_slot_[at] = static_cast<std::uint32_t>(slot);
-        }
-    }
 }
 
 double IncrementalCop::site_obs(NodeId v) const {
@@ -98,37 +64,38 @@ double IncrementalCop::eff_of(std::uint32_t v) const {
 }
 
 double IncrementalCop::recompute_c1(std::uint32_t v) {
-    const std::uint32_t b = fanin_off_[v];
-    const std::uint32_t e = fanin_off_[v + 1];
+    const std::uint32_t b = csr_.fanin_offset[v];
+    const std::uint32_t e = csr_.fanin_offset[v + 1];
     fanin_scratch_.resize(e - b);
     for (std::uint32_t i = b; i < e; ++i)
-        fanin_scratch_[i - b] = eff_[fanin_[i]];
-    return gate_output_c1(type_[v], fanin_scratch_);
+        fanin_scratch_[i - b] = eff_[csr_.fanin[i].v];
+    return gate_output_c1(csr_.type[v], fanin_scratch_);
 }
 
 double IncrementalCop::recompute_drv_obs(std::uint32_t v) const {
-    double o = (out_flag_[v] || observe_[v] != 0) ? 1.0 : 0.0;
-    for (std::uint32_t k = use_off_[v]; k < use_off_[v + 1]; ++k) {
-        const std::uint32_t g = use_gate_[k];
-        const std::uint32_t slot = use_slot_[k];
+    double o = (csr_.output_flag[v] != 0 || observe_[v] != 0) ? 1.0 : 0.0;
+    for (std::uint32_t k = csr_.fanout_offset[v];
+         k < csr_.fanout_offset[v + 1]; ++k) {
+        const std::uint32_t g = csr_.fanout[k].v;
+        const std::uint32_t slot = csr_.fanout_slot[k];
         const double gate_obs = site_obs(NodeId{g});
         // Sensitisation through slot `slot` of gate g: the
         // sensitization_probability recursion over the CSR fanins, same
         // operands in the same order (the max-reduction itself is
         // order-insensitive).
         double sens = 1.0;
-        const std::uint32_t b = fanin_off_[g];
-        const std::uint32_t e = fanin_off_[g + 1];
-        switch (type_[g]) {
+        const std::uint32_t b = csr_.fanin_offset[g];
+        const std::uint32_t e = csr_.fanin_offset[g + 1];
+        switch (csr_.type[g]) {
             case GateType::And:
             case GateType::Nand:
                 for (std::uint32_t i = b; i < e; ++i)
-                    if (i - b != slot) sens *= eff_[fanin_[i]];
+                    if (i - b != slot) sens *= eff_[csr_.fanin[i].v];
                 break;
             case GateType::Or:
             case GateType::Nor:
                 for (std::uint32_t i = b; i < e; ++i)
-                    if (i - b != slot) sens *= 1.0 - eff_[fanin_[i]];
+                    if (i - b != slot) sens *= 1.0 - eff_[csr_.fanin[i].v];
                 break;
             default:
                 break;  // Buf/Not/Xor/Xnor always propagate: sens = 1
@@ -141,7 +108,7 @@ double IncrementalCop::recompute_drv_obs(std::uint32_t v) const {
 void IncrementalCop::schedule(std::uint32_t node, int& lo, int& hi) {
     if (sched_stamp_[node] == stamp_) return;
     sched_stamp_[node] = stamp_;
-    const int lv = level_[node];
+    const int lv = csr_.level[node];
     bucket_[static_cast<std::size_t>(lv)].push_back(node);
     lo = std::min(lo, lv);
     hi = std::max(hi, lv);
@@ -165,7 +132,7 @@ void IncrementalCop::apply(const TestPoint& point) {
     if (netlist::is_control(point.kind)) {
         require(control_[n.v] < 0,
                 "IncrementalCop: duplicate control point on net '" +
-                    circuit_.node_name(n) + "'");
+                    std::string(circuit_.node_name(n)) + "'");
         control_[n.v] = static_cast<std::int8_t>(point.kind);
         ++committed_or_open_controls_;
         // The node's own c1 is untouched (excitation reads the net
@@ -175,7 +142,7 @@ void IncrementalCop::apply(const TestPoint& point) {
     } else {
         require(observe_[n.v] == 0,
                 "IncrementalCop: duplicate observation point on net '" +
-                    circuit_.node_name(n) + "'");
+                    std::string(circuit_.node_name(n)) + "'");
         observe_[n.v] = 1;
         ++committed_or_open_observes_;
     }
@@ -186,8 +153,9 @@ void IncrementalCop::apply(const TestPoint& point) {
         ++stamp_;
         int lo = static_cast<int>(bucket_.size());
         int hi = -1;
-        for (std::uint32_t k = use_off_[n.v]; k < use_off_[n.v + 1]; ++k)
-            schedule(use_gate_[k], lo, hi);
+        for (std::uint32_t k = csr_.fanout_offset[n.v];
+             k < csr_.fanout_offset[n.v + 1]; ++k)
+            schedule(csr_.fanout[k].v, lo, hi);
         for (int lv = std::max(lo, 0); lv <= hi; ++lv) {
             auto& nodes = bucket_[static_cast<std::size_t>(lv)];
             for (std::size_t k = 0; k < nodes.size(); ++k) {
@@ -199,9 +167,9 @@ void IncrementalCop::apply(const TestPoint& point) {
                 c1_[v] = next;
                 eff_[v] = eff_of(v);
                 mark_changed(frame, v);
-                for (std::uint32_t u = use_off_[v]; u < use_off_[v + 1];
-                     ++u)
-                    schedule(use_gate_[u], lo, hi);
+                for (std::uint32_t u = csr_.fanout_offset[v];
+                     u < csr_.fanout_offset[v + 1]; ++u)
+                    schedule(csr_.fanout[u].v, lo, hi);
             }
             nodes.clear();
         }
@@ -218,15 +186,16 @@ void IncrementalCop::apply(const TestPoint& point) {
     // sensitisation products read it).
     schedule(n.v, lo, hi);
     if (netlist::is_control(point.kind))
-        for (std::uint32_t i = fanin_off_[n.v]; i < fanin_off_[n.v + 1];
-             ++i)
-            schedule(fanin_[i], lo, hi);
+        for (std::uint32_t i = csr_.fanin_offset[n.v];
+             i < csr_.fanin_offset[n.v + 1]; ++i)
+            schedule(csr_.fanin[i].v, lo, hi);
     for (const auto& [x, old_c1] : frame.c1_undo) {
-        for (std::uint32_t k = use_off_[x]; k < use_off_[x + 1]; ++k) {
-            const std::uint32_t g = use_gate_[k];
-            for (std::uint32_t i = fanin_off_[g]; i < fanin_off_[g + 1];
-                 ++i)
-                schedule(fanin_[i], lo, hi);
+        for (std::uint32_t k = csr_.fanout_offset[x];
+             k < csr_.fanout_offset[x + 1]; ++k) {
+            const std::uint32_t g = csr_.fanout[k].v;
+            for (std::uint32_t i = csr_.fanin_offset[g];
+                 i < csr_.fanin_offset[g + 1]; ++i)
+                schedule(csr_.fanin[i].v, lo, hi);
         }
     }
     for (int lv = hi; lv >= std::max(lo, 0); --lv) {
@@ -239,12 +208,12 @@ void IncrementalCop::apply(const TestPoint& point) {
             frame.obs_undo.emplace_back(v, drv_obs_[v]);
             drv_obs_[v] = next;
             mark_changed(frame, v);
-            for (std::uint32_t i = fanin_off_[v]; i < fanin_off_[v + 1];
-                 ++i) {
+            for (std::uint32_t i = csr_.fanin_offset[v];
+                 i < csr_.fanin_offset[v + 1]; ++i) {
                 // Fanins sit at strictly lower levels, so the bucket
                 // sweep (strictly descending) visits them after every
                 // consumer has settled.
-                schedule(fanin_[i], lo, hi);
+                schedule(csr_.fanin[i].v, lo, hi);
             }
         }
         nodes.clear();
@@ -321,7 +290,7 @@ CopResult IncrementalCop::export_cop(
         const NodeId v = tp.node;
         require(control_[v.v] == static_cast<std::int8_t>(tp.kind),
                 "IncrementalCop: control point mismatch on net '" +
-                    circuit_.node_name(v) + "'");
+                    std::string(circuit_.node_name(v)) + "'");
         const NodeId cp = dft.driver_map[v.v];
         const NodeId ctl = dft.control_inputs[k];
         out.c1[cp.v] = eff_[v.v];
@@ -339,7 +308,7 @@ CopResult IncrementalCop::export_cop(
     for (const TestPoint& tp : dft.observation_points)
         require(observe_[tp.node.v] != 0,
                 "IncrementalCop: observation point mismatch on net '" +
-                    circuit_.node_name(tp.node) + "'");
+                    std::string(circuit_.node_name(tp.node)) + "'");
     return out;
 }
 

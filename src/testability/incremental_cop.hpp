@@ -135,23 +135,16 @@ private:
     const netlist::Circuit& circuit_;
     double epsilon_;
 
-    // Flat topology caches, built once in the constructor. The cone
-    // walks are the innermost loop of every planner; reading the
-    // Circuit accessors there pays a bounds check plus a
-    // vector-of-vectors indirection per hop. These CSR copies hold the
-    // exact same fanins in the exact same order, so every product the
-    // walks form is bit-identical to one formed through the accessors.
-    std::vector<netlist::GateType> type_;
-    std::vector<std::uint8_t> out_flag_;
-    std::vector<std::int32_t> level_;
-    std::vector<std::uint32_t> fanin_off_;  ///< n+1 offsets into fanin_
-    std::vector<std::uint32_t> fanin_;
-    // Consumer CSR: for each node v, the (gate, slot) pairs with
-    // fanins(gate)[slot] == v — one entry per slot, so multi-slot
-    // consumers appear once per slot exactly like the reference scan.
-    std::vector<std::uint32_t> use_off_;  ///< n+1 offsets
-    std::vector<std::uint32_t> use_gate_;
-    std::vector<std::uint32_t> use_slot_;
+    // The circuit's own frozen CSR topology. The cone walks are the
+    // innermost loop of every planner; before the flat layout became the
+    // primary Circuit representation this class kept private CSR copies
+    // of the same arrays — now there is exactly one, shared with every
+    // other engine. The fanout CSR carries one (gate, slot) entry per
+    // consuming fanin slot, so multi-slot consumers appear once per slot
+    // exactly like the reference scan, and the fanins sit in the exact
+    // same order — every product the walks form is bit-identical to one
+    // formed through the Circuit accessors.
+    netlist::CsrView csr_;
 
     std::vector<double> c1_;
     std::vector<double> eff_;  ///< post-override c1, dense (what

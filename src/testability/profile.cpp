@@ -1,6 +1,8 @@
 #include "testability/profile.hpp"
 
 #include <algorithm>
+#include <queue>
+#include <utility>
 
 namespace tpi::testability {
 
@@ -10,7 +12,8 @@ using netlist::NodeId;
 PropagationProfile compute_profile(const Circuit& circuit,
                                    const CopResult& cop,
                                    const fault::CollapsedFaults& faults,
-                                   double min_probability) {
+                                   double min_probability,
+                                   util::Deadline* deadline) {
     const std::size_t n = circuit.node_count();
     PropagationProfile profile;
     profile.rows.resize(faults.size());
@@ -20,7 +23,8 @@ PropagationProfile compute_profile(const Circuit& circuit,
     std::vector<std::uint32_t> stamp(n, 0);
     std::uint32_t cur = 0;
 
-    // Topological position for sorting cone nodes.
+    // Topological position: the frontier is popped in this order, so a
+    // node's kept fanins are finalised before the node itself.
     std::vector<std::uint32_t> topo_pos(n);
     {
         const auto& topo = circuit.topo_order();
@@ -28,50 +32,65 @@ PropagationProfile compute_profile(const Circuit& circuit,
             topo_pos[topo[i].v] = i;
     }
 
-    std::vector<NodeId> cone;
+    // Threshold-pruned cone walk. Arrival is a max over single-path
+    // products of probabilities <= 1, so it never increases along an
+    // edge: a node below `min_probability` cannot push any descendant
+    // back above it through its own out-edges. Expanding only the
+    // at-or-above-threshold frontier therefore emits exactly the rows
+    // the full cone walk would — with bitwise-identical values, because
+    // any emitted node's winning fanin candidate is itself at or above
+    // the threshold and hence was expanded and finalised — while
+    // skipping the (potentially whole-circuit) sub-threshold tail of
+    // each cone. On deep circuits, where arrival decays exponentially
+    // with distance, this turns the per-fault cost from O(cone) into
+    // O(reachable-above-threshold).
+    using Item = std::pair<std::uint32_t, std::uint32_t>;  // (topo_pos, id)
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>>
+        frontier;
+
     for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+        // One fault's cone walk is the unit of work: a caller-supplied
+        // budget leaves the remaining rows empty, and the caller is
+        // expected to poll the same deadline and discard the partial
+        // profile.
+        if (deadline != nullptr && deadline->expired()) break;
+
         const fault::Fault f = faults.representatives[fi];
         const double excitation =
             f.stuck_at1 ? (1.0 - cop.c1[f.node.v]) : cop.c1[f.node.v];
         if (excitation < min_probability) continue;
 
-        // Collect the fanout cone and process in topological order.
         ++cur;
-        cone.clear();
-        cone.push_back(f.node);
         stamp[f.node.v] = cur;
-        for (std::size_t head = 0; head < cone.size(); ++head) {
-            for (NodeId w : circuit.fanouts(cone[head])) {
-                if (stamp[w.v] != cur) {
-                    stamp[w.v] = cur;
-                    cone.push_back(w);
-                }
-            }
-        }
-        std::sort(cone.begin(), cone.end(), [&](NodeId a, NodeId b) {
-            return topo_pos[a.v] < topo_pos[b.v];
-        });
-
         arrive[f.node.v] = excitation;
-        for (std::size_t k = 1; k < cone.size(); ++k) {
-            const NodeId m = cone[k];
-            double best = 0.0;
-            const auto fanins = circuit.fanins(m);
-            for (std::size_t slot = 0; slot < fanins.size(); ++slot) {
-                const NodeId u = fanins[slot];
-                if (stamp[u.v] != cur) continue;
-                const double via =
-                    arrive[u.v] *
-                    sensitization_probability(circuit, m, slot, cop.c1);
-                best = std::max(best, via);
-            }
-            arrive[m.v] = best;
-        }
+        frontier.emplace(topo_pos[f.node.v], f.node.v);
 
         auto& row = profile.rows[fi];
-        for (NodeId v : cone) {
-            if (arrive[v.v] >= min_probability)
-                row.push_back({v, arrive[v.v]});
+        while (!frontier.empty()) {
+            const NodeId m{frontier.top().second};
+            frontier.pop();
+            if (m != f.node) {
+                double best = 0.0;
+                const auto fanins = circuit.fanins(m);
+                for (std::size_t slot = 0; slot < fanins.size(); ++slot) {
+                    const NodeId u = fanins[slot];
+                    if (stamp[u.v] != cur) continue;
+                    const double via =
+                        arrive[u.v] *
+                        sensitization_probability(circuit, m, slot,
+                                                  cop.c1);
+                    best = std::max(best, via);
+                }
+                arrive[m.v] = best;
+            }
+            if (arrive[m.v] < min_probability) continue;
+            row.push_back({m, arrive[m.v]});
+            for (NodeId w : circuit.fanouts(m)) {
+                if (stamp[w.v] != cur) {
+                    stamp[w.v] = cur;
+                    frontier.emplace(topo_pos[w.v], w.v);
+                }
+            }
         }
         std::sort(row.begin(), row.end(),
                   [](const auto& a, const auto& b) {

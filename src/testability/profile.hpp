@@ -5,6 +5,7 @@
 #include "fault/fault.hpp"
 #include "netlist/circuit.hpp"
 #include "testability/cop.hpp"
+#include "util/deadline.hpp"
 
 namespace tpi::testability {
 
@@ -28,9 +29,17 @@ struct PropagationProfile {
 
 /// Compute the propagation profile, dropping entries whose probability is
 /// below `min_probability` (memory control, as in covering-based TPI).
+/// The traversal itself is pruned by the same threshold — arrival never
+/// increases along an edge, so sub-threshold nodes are not expanded —
+/// which also bounds the per-fault walk on deep circuits.
+///
+/// `deadline` (optional) is polled once per fault; on expiry the walk
+/// stops and the remaining rows stay empty. Callers that pass a deadline
+/// must re-poll it and treat a partially-filled profile as truncated.
 PropagationProfile compute_profile(const netlist::Circuit& circuit,
                                    const CopResult& cop,
                                    const fault::CollapsedFaults& faults,
-                                   double min_probability = 1e-9);
+                                   double min_probability = 1e-9,
+                                   util::Deadline* deadline = nullptr);
 
 }  // namespace tpi::testability

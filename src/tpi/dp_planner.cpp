@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <optional>
@@ -73,6 +74,17 @@ private:
     TreeJointDp dp_;
 };
 
+/// One cached per-FFR DP, reusable across planning rounds (observe-only
+/// fast path; see PlannerOptions::dp_reuse_regions). The entry owns a
+/// copy of the region it was built against — TreeObsDp retains only
+/// that reference after construction, so the round's transformed
+/// circuit and COP can be dropped while the tables live on.
+struct RegionCacheEntry {
+    netlist::FanoutFreeRegion region;
+    std::unique_ptr<RegionDp> dp;
+    int built_cap = 0;  ///< max_budget the tables were solved to
+};
+
 /// True when every member of the region has at most two in-region fanins
 /// (the joint DP's structural requirement).
 bool joint_compatible(const netlist::Circuit& circuit,
@@ -139,6 +151,44 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
         engine.emplace(circuit, faults, options.objective, sink,
                        options.eval_epsilon);
 
+    // Cross-round region reuse (the FFR-sharded fast path): observation
+    // points add no nodes, so dft.node_map — and with it the transformed
+    // numbering every round-local structure is expressed in — is
+    // identical in every round. A region's DP tables are a pure function
+    // of its member list, the COP on its members and their fanins, the
+    // placement mask on its members, and the (round-invariant) mapped
+    // fault universe. All of those change only inside the update cones
+    // of the points committed since the tables were built, which the
+    // engine's per-commit changed-node sets cover exactly; regions
+    // outside them re-solve to bitwise-identical tables, so serving the
+    // cached tables cannot change any plan or score. Restricted to the
+    // exact-engine observe-only configuration: with eval_epsilon > 0 the
+    // changed sets under-report, and a control point rewires fanins
+    // (TreeJointDp also reads C1 everywhere, so its inputs are not
+    // localised to the changed cones).
+    const bool reuse_regions =
+        options.dp_reuse_regions && engine.has_value() && !use_control &&
+        options.allow_observe && options.eval_epsilon == 0.0;
+    // Keyed by region root (stable: stems only ever appear at committed
+    // points, which dirty their old region). Indexed in transformed ids,
+    // which equal one fixed renumbering of the base circuit.
+    std::vector<std::unique_ptr<RegionCacheEntry>> region_cache(
+        reuse_regions ? circuit.node_count() : 0);
+    // Transformed-id nodes whose COP changed since the last sweep
+    // (accumulated from the engine between push and commit).
+    std::vector<std::uint8_t> cop_dirty(
+        reuse_regions ? circuit.node_count() : 0, std::uint8_t{0});
+    // The fast path's persistent transform: with observe-only points the
+    // per-round apply_test_points differs from the previous round's
+    // result ONLY in output flags (and the observation bookkeeping), so
+    // the round-0 transform is updated in place at commit time instead
+    // of re-copying the circuit every round. mark_output does not thaw a
+    // frozen circuit, so the shared CsrView stays valid throughout.
+    // (outputs() *order* can differ from a fresh transform's — nothing
+    // in the planning pipeline reads it; regions, COP and the DPs are
+    // driven by output_flag and the invariant numbering.)
+    std::optional<netlist::TransformResult> fast_dft;
+
     // Per-round scratch, hoisted out of the loop: the transformed node
     // count changes between rounds, so these are re-assigned (reusing
     // capacity), not reallocated.
@@ -171,8 +221,17 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
 
         // Materialise the points selected so far and re-analyse.
         obs::Span analyse_span(sink, "plan/analyse");
-        const netlist::TransformResult dft =
-            netlist::apply_test_points(circuit, points);
+        netlist::TransformResult dft_round;
+        if (reuse_regions) {
+            if (!fast_dft.has_value())
+                fast_dft = netlist::apply_test_points(circuit, points);
+            // else: the committed points already marked their transformed
+            // nets as outputs in place (see the placement loop below).
+        } else {
+            dft_round = netlist::apply_test_points(circuit, points);
+        }
+        const netlist::TransformResult& dft =
+            reuse_regions ? *fast_dft : dft_round;
         const std::size_t cur_n = dft.circuit.node_count();
 
         orig_of.assign(cur_n, netlist::kNullNode);
@@ -239,8 +298,39 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
         const int region_cap =
             std::min(options.dp_region_budget, budget_round);
 
-        // Build the per-region DP tables.
-        std::vector<std::unique_ptr<RegionDp>> dps(ffr.regions.size());
+        if (reuse_regions) {
+            // Evict every cached region the last round's commits
+            // touched: any member or leaf input in a changed cone means
+            // the COP a rebuild would read differs somewhere the tables
+            // depend on. A placed point always dirties its own site, so
+            // member-list changes (new stems) are covered too —
+            // surviving entries are bitwise reusable.
+            for (auto& entry : region_cache) {
+                if (!entry) continue;
+                bool dirty = false;
+                for (NodeId v : entry->region.members)
+                    if (cop_dirty[v.v]) {
+                        dirty = true;
+                        break;
+                    }
+                if (!dirty)
+                    for (NodeId v : entry->region.leaf_inputs)
+                        if (cop_dirty[v.v]) {
+                            dirty = true;
+                            break;
+                        }
+                if (dirty) entry.reset();
+            }
+            std::fill(cop_dirty.begin(), cop_dirty.end(),
+                      std::uint8_t{0});
+        }
+
+        // Build the per-region DP tables. `dps` are non-owning views:
+        // fresh builds live in `built` until they are installed into the
+        // cache (or discarded at end of round when reuse is off).
+        std::vector<RegionDp*> dps(ffr.regions.size(), nullptr);
+        std::vector<std::unique_ptr<RegionCacheEntry>> built(
+            ffr.regions.size());
         std::vector<bool> has_faults(ffr.regions.size(), false);
         for (std::size_t i = 0; i < mapped.size(); ++i) {
             if (mapped.class_size[i] == 0) continue;
@@ -258,6 +348,29 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
             // shows which lane ran which region.
             obs::Span region_span(sink, "plan/region-dp");
             const auto& region = ffr.regions[r];
+            if (reuse_regions) {
+                const RegionCacheEntry* cached =
+                    region_cache[region.root.v].get();
+                // The member check is belt-and-suspenders (a membership
+                // change implies a dirtied placed site, already
+                // evicted); the cap check keeps a final round with a
+                // larger per-region budget from reading past the solved
+                // tables. Smaller queries against a wider table are
+                // exact: dp(·, j, ·) only ever reads budgets <= j.
+                if (cached != nullptr && cached->built_cap >= region_cap &&
+                    cached->region.members.size() ==
+                        region.members.size() &&
+                    std::equal(cached->region.members.begin(),
+                               cached->region.members.end(),
+                               region.members.begin(),
+                               [](NodeId a, NodeId b) {
+                                   return a.v == b.v;
+                               })) {
+                    dps[r] = cached->dp.get();
+                    obs::add(sink, obs::Counter::DpRegionsReused);
+                    return;
+                }
+            }
             const bool joint =
                 use_control &&
                 static_cast<int>(region.members.size()) <=
@@ -273,11 +386,13 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
                 params.c1_grid = options.dp_joint_c1_grid;
                 params.allow_observe = options.allow_observe;
                 params.control_kinds = options.control_kinds;
-                dps[r] = std::make_unique<JointRegionDp>(
+                built[r] = std::make_unique<RegionCacheEntry>();
+                built[r]->dp = std::make_unique<JointRegionDp>(
                     dft.circuit, region, cop, mapped,
                     std::span<const std::uint32_t>(mapped.class_size),
                     options.objective, params,
                     allowed);
+                dps[r] = built[r]->dp.get();
             } else if (options.allow_observe) {
                 const std::vector<bool>& obs_mask =
                     analysis_prune ? obs_allowed : allowed;
@@ -298,11 +413,20 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
                 params.max_bucket = options.dp_max_cost_bucket;
                 params.max_budget = region_cap;
                 params.observe_cost = options.cost.observe;
-                dps[r] = std::make_unique<ObsRegionDp>(
-                    dft.circuit, region, cop, mapped,
+                built[r] = std::make_unique<RegionCacheEntry>();
+                built[r]->built_cap = region_cap;
+                // When the entry may be cached, the DP must reference
+                // the entry's own region copy — the round's `ffr` dies
+                // with the round.
+                if (reuse_regions) built[r]->region = region;
+                const netlist::FanoutFreeRegion& dp_region =
+                    reuse_regions ? built[r]->region : region;
+                built[r]->dp = std::make_unique<ObsRegionDp>(
+                    dft.circuit, dp_region, cop, mapped,
                     std::span<const std::uint32_t>(mapped.class_size),
                     options.objective, params,
                     obs_mask);
+                dps[r] = built[r]->dp.get();
             }
             if (dps[r]) {
                 obs::add(sink, obs::Counter::DpRegionsBuilt);
@@ -349,6 +473,17 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
         // is incomplete, so stop with the points of the earlier rounds.
         if (truncated) break;
 
+        if (reuse_regions) {
+            // Install this round's fresh tables; `dps` keeps pointing at
+            // the same DP objects (only ownership moves). A replaced
+            // slot can only belong to a rebuilt region, never one served
+            // from the cache this round, so nothing dangles.
+            for (std::size_t r = 0; r < built.size(); ++r) {
+                if (!built[r]) continue;
+                region_cache[ffr.regions[r].root.v] = std::move(built[r]);
+            }
+        }
+
         // Outer knapsack: allocate budget_round units across regions.
         obs::Span knapsack_span(sink, "plan/knapsack");
         const int B = budget_round;
@@ -392,8 +527,34 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
                         require(orig.valid(),
                                 "DpPlanner: placement on a non-original net");
                         points.push_back({orig, tp.kind});
+                        if (reuse_regions) {
+                            // Mirror what next round's apply_test_points
+                            // would do to the persistent transform: mark
+                            // the observed net (nets already driving an
+                            // output keep their single mark) and extend
+                            // the observation bookkeeping export_cop
+                            // cross-checks against the engine.
+                            const NodeId t = fast_dft->node_map[orig.v];
+                            if (!fast_dft->circuit.is_output(t))
+                                fast_dft->circuit.mark_output(t);
+                            fast_dft->observed_nets.push_back(t);
+                            fast_dft->observation_points.push_back(
+                                {orig, TpKind::Observe});
+                        }
                         if (engine) {
                             engine->push({orig, tp.kind});
+                            if (reuse_regions) {
+                                // Dirty the commit's update cone (read
+                                // between push and commit, mapped into
+                                // the round-invariant transformed ids)
+                                // plus the site itself, whose allowed /
+                                // stem status flips even when its COP
+                                // value happens not to move.
+                                for (const std::uint32_t c :
+                                     engine->cop().frame_changed_nodes())
+                                    cop_dirty[dft.node_map[c].v] = 1;
+                                cop_dirty[dft.node_map[orig.v].v] = 1;
+                            }
                             engine->commit();
                         }
                         has_point[orig.v] = true;

@@ -118,7 +118,63 @@ Plan GreedyPlanner::plan(const netlist::Circuit& circuit,
         std::vector<Candidate> observe_cands;
         std::vector<Candidate> control_cands;
 
-        if (options.allow_observe) {
+        if (options.allow_observe && options.greedy_flow_proxy) {
+            // Deficit-flow proxy, O(nodes + edges) per step: each hard
+            // fault injects its weighted benefit deficit at its site,
+            // scaled by excitation, and the deficit flows down the best
+            // single-path sensitisation product (a max-plus sweep over
+            // the fanout CSR in topological order). Ranking only — the
+            // shortlist survivors are still scored exactly — but unlike
+            // the covering proxy its cost does not grow with the number
+            // of faults times their cone sizes, which is what makes
+            // greedy planning tractable on million-gate circuits.
+            const netlist::CsrView& view = dft.circuit.topology();
+            std::vector<double> flow(dft.circuit.node_count(), 0.0);
+            for (std::size_t fi = 0; fi < mapped.size(); ++fi) {
+                if (plan_faults.class_size[fi] == 0) continue;
+                const double have = options.objective.benefit(
+                    current.detection_probability[fi]);
+                if (have >= 1.0) continue;
+                const fault::Fault f = mapped.representatives[fi];
+                const double excitation =
+                    f.stuck_at1 ? (1.0 - cop.c1[f.node.v])
+                                : cop.c1[f.node.v];
+                const double deficit =
+                    static_cast<double>(plan_faults.class_size[fi]) *
+                    (1.0 - have) * excitation;
+                flow[f.node.v] = std::max(flow[f.node.v], deficit);
+            }
+            for (NodeId v : dft.circuit.topo_order()) {
+                const double fv = flow[v.v];
+                if (fv <= 0.0) continue;
+                const std::uint32_t begin = view.fanout_offset[v.v];
+                const std::uint32_t end = view.fanout_offset[v.v + 1];
+                for (std::uint32_t e = begin; e != end; ++e) {
+                    const NodeId m = view.fanout[e];
+                    const double via =
+                        fv * testability::sensitization_probability(
+                                 dft.circuit, m, view.fanout_slot[e],
+                                 cop.c1);
+                    flow[m.v] = std::max(flow[m.v], via);
+                }
+            }
+            for (NodeId orig : circuit.all_nodes()) {
+                if (has_point[orig.v] || is_condemned(orig)) continue;
+                const NodeId cur = dft.node_map[orig.v];
+                // Weight by how badly the net needs an observation
+                // point: a deficit arriving at an already perfectly
+                // observable net gains nothing from observing there.
+                const double proxy =
+                    flow[cur.v] * (1.0 - cop.obs[cur.v]);
+                if (proxy > 0.0)
+                    observe_cands.push_back(
+                        {{orig, TpKind::Observe}, proxy});
+            }
+            std::sort(observe_cands.begin(), observe_cands.end(),
+                      [](const Candidate& a, const Candidate& b) {
+                          return a.proxy > b.proxy;
+                      });
+        } else if (options.allow_observe) {
             // Covering-style proxy: the benefit gain if each fault were
             // observed exactly where its effect arrives. Only the
             // *unsaturated* faults can contribute: benefit() is capped
@@ -141,7 +197,11 @@ Plan GreedyPlanner::plan(const netlist::Circuit& circuit,
             }
             const testability::PropagationProfile profile =
                 testability::compute_profile(dft.circuit, cop, hard,
-                                             1e-9);
+                                             1e-9, options.deadline);
+            if (out_of_time()) {
+                truncated = true;
+                break;
+            }
             std::vector<double> gain(dft.circuit.node_count(), 0.0);
             for (std::size_t h = 0; h < profile.rows.size(); ++h) {
                 const std::size_t fi = hard_of[h];

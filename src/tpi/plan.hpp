@@ -47,8 +47,32 @@ struct PlannerOptions {
     int dp_joint_c1_grid = 9;      ///< controllability classes (joint DP)
     int dp_joint_max_region = 600; ///< joint DP fallback threshold
 
+    /// Cross-round reuse of per-FFR DP tables in the DP planner's
+    /// observe-only fast path (incremental engine on, eval_epsilon == 0,
+    /// no control kinds). Observation points add no nodes, so the
+    /// transformed numbering is identical in every round and a region's
+    /// tables depend only on its member list, the COP on its members and
+    /// their fanins, and the placement mask — all invariant for regions
+    /// untouched by the points committed since the tables were built.
+    /// Reused tables are bitwise identical to a rebuild, so plans and
+    /// scores do not change (asserted by the differential suite); off
+    /// restores the rebuild-every-round reference path.
+    bool dp_reuse_regions = true;
+
     /// Greedy baseline: exact evaluations per step.
     int greedy_pool = 24;
+
+    /// Observe-candidate ranking of the greedy planner. Off (default):
+    /// the covering proxy — a per-fault propagation profile whose cost
+    /// grows with faults times their above-threshold cone sizes. On:
+    /// an O(nodes + edges) deficit-flow proxy — every hard fault's
+    /// weighted benefit deficit is injected at its site and flowed down
+    /// the best single-path sensitisation product in one topological
+    /// sweep over the fanout CSR. Only the *ranking* that feeds the
+    /// shortlist changes (survivors are still scored exactly), so plans
+    /// may differ from the covering proxy; intended for 100k+-gate
+    /// circuits where the per-fault profile is infeasible.
+    bool greedy_flow_proxy = false;
 
     /// Score candidates with the incremental evaluation engine
     /// (delta-COP apply/score/rollback, see DESIGN.md §12) instead of

@@ -21,8 +21,7 @@ TreeObsDp::TreeObsDp(const netlist::Circuit& circuit,
                      std::span<const std::uint32_t> fault_weight,
                      const Objective& objective, const Params& params,
                      const std::vector<bool>& allowed)
-    : circuit_(circuit),
-      region_(region),
+    : region_(region),
       params_(params),
       quant_(params.delta_bits, params.max_bucket),
       buckets_(quant_.bucket_count()),

@@ -45,6 +45,13 @@ public:
     /// weights the faults to optimise for; zero-weight faults are ignored.
     /// `allowed` (indexed by NodeId, may be empty = everywhere) restricts
     /// where observation points may be placed.
+    ///
+    /// Lifetimes: `circuit`, `cop`, `faults`, `fault_weight` and
+    /// `allowed` are read during construction only. `region` is retained
+    /// by reference — it must outlive the DP (best/placements read its
+    /// member list). The DP planner's cross-round cache relies on this
+    /// split: it keeps a private copy of the region alive next to the
+    /// tables while the round's transformed circuit and COP are dropped.
     TreeObsDp(const netlist::Circuit& circuit,
               const netlist::FanoutFreeRegion& region,
               const testability::CopResult& cop,
@@ -97,7 +104,6 @@ private:
     void child_knapsack(std::span<const Child> children, DChildFn d_child,
                         std::vector<std::vector<double>>& value) const;
 
-    const netlist::Circuit& circuit_;
     const netlist::FanoutFreeRegion& region_;
     Params params_;
     util::LogQuantizer quant_;

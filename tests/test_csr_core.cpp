@@ -1,0 +1,346 @@
+// Cross-representation differential suite for the CSR/arena-native
+// Circuit core.
+//
+// The CSR freeze (fanout adjacency, topological order, levels) replaced
+// an adjacency-list representation and several per-subsystem topology
+// caches; every consumer now reads the one frozen view. This suite locks
+// the CSR down against two independent oracles:
+//
+//   1. A "legacy shape" oracle — a deliberately naive vector-of-vectors
+//      reimplementation of fanout construction, Kahn's sort and
+//      levelisation, built here from the primary fanin lists only. The
+//      frozen CSR must reproduce it element-for-element (the freeze
+//      ordering contract: fanout edges in (consumer id, slot) order,
+//      Kahn queue seeded in id order, FIFO).
+//
+//   2. The .tpb binary round-trip — serialising and reloading rebuilds
+//      the circuit through the normal builder API from a different
+//      construction path. Every derived artifact (topology, FFRs, COP,
+//      lint findings, planner plans with exact double scores) must be
+//      bitwise identical across the two representations, at 1, 2 and 8
+//      threads.
+//
+// The corpus: the committed golden .bench circuits, the generator suite,
+// and a 108-configuration random-DAG grid.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gen/benchmarks.hpp"
+#include "gen/random_circuits.hpp"
+#include "lint/lint.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/circuit.hpp"
+#include "netlist/ffr.hpp"
+#include "netlist/tpb_io.hpp"
+#include "testability/cop.hpp"
+#include "tpi/planners.hpp"
+
+namespace {
+
+using namespace tpi;
+using namespace tpi::netlist;
+
+Circuit golden(const std::string& file) {
+    return read_bench_file(std::string(TPIDP_TEST_DATA_DIR) + "/golden/" +
+                           file);
+}
+
+const std::vector<std::string>& golden_corpus() {
+    static const std::vector<std::string> files = {
+        "mux4.bench", "eq4.bench", "eq16.bench", "lintdemo.bench"};
+    return files;
+}
+
+/// The 108-configuration random-DAG grid: 3 sizes x 2 input widths x
+/// 3 XOR fractions x 6 seeds. Index in [0, 108).
+gen::RandomDagOptions dag_config(int index) {
+    const int sizes[3] = {60, 200, 500};
+    const int widths[2] = {8, 24};
+    const double xors[3] = {0.0, 0.15, 0.35};
+    gen::RandomDagOptions o;
+    o.gates = static_cast<std::size_t>(sizes[index % 3]);
+    o.inputs = static_cast<std::size_t>(widths[(index / 3) % 2]);
+    o.xor_fraction = xors[(index / 6) % 3];
+    o.window = 48;
+    o.seed = static_cast<std::uint64_t>(1 + index / 18);
+    return o;
+}
+
+constexpr int kDagConfigs = 108;
+
+/// The legacy-shape oracle: adjacency lists + std::deque Kahn, computed
+/// from the primary per-node fanin lists alone. Shares no code with
+/// Circuit::ensure_analysis.
+struct ShapeOracle {
+    std::vector<std::vector<NodeId>> fanouts;
+    std::vector<NodeId> topo;
+    std::vector<int> level;
+    int depth = 0;
+
+    explicit ShapeOracle(const Circuit& c) {
+        const std::size_t n = c.node_count();
+        fanouts.resize(n);
+        level.assign(n, 0);
+        std::vector<std::size_t> pending(n, 0);
+        for (std::uint32_t g = 0; g < n; ++g) {
+            const auto fi = c.fanins(NodeId{g});
+            pending[g] = fi.size();
+            for (NodeId f : fi) fanouts[f.v].push_back(NodeId{g});
+        }
+        std::deque<NodeId> queue;
+        for (std::uint32_t i = 0; i < n; ++i)
+            if (pending[i] == 0) queue.push_back(NodeId{i});
+        while (!queue.empty()) {
+            const NodeId v = queue.front();
+            queue.pop_front();
+            topo.push_back(v);
+            for (NodeId w : fanouts[v.v]) {
+                if (level[w.v] < level[v.v] + 1) level[w.v] = level[v.v] + 1;
+                if (--pending[w.v] == 0) queue.push_back(w);
+            }
+        }
+        for (int lv : level) depth = std::max(depth, lv);
+    }
+};
+
+void expect_matches_oracle(const Circuit& c) {
+    const ShapeOracle oracle(c);
+    ASSERT_EQ(oracle.topo.size(), c.node_count());
+    ASSERT_EQ(c.topo_order().size(), c.node_count());
+    for (std::size_t i = 0; i < oracle.topo.size(); ++i)
+        ASSERT_EQ(c.topo_order()[i].v, oracle.topo[i].v) << "topo[" << i
+                                                         << "]";
+    for (std::uint32_t v = 0; v < c.node_count(); ++v) {
+        ASSERT_EQ(c.level(NodeId{v}), oracle.level[v]) << "level of node "
+                                                       << v;
+        const auto got = c.fanouts(NodeId{v});
+        const auto& want = oracle.fanouts[v];
+        ASSERT_EQ(got.size(), want.size()) << "fanout count of node " << v;
+        for (std::size_t k = 0; k < want.size(); ++k)
+            ASSERT_EQ(got[k].v, want[k].v)
+                << "fanout[" << k << "] of node " << v;
+    }
+    EXPECT_EQ(c.depth(), oracle.depth);
+}
+
+/// Node-by-node structural identity: types, fanins, names, outputs in
+/// mark order, input list, circuit name.
+void expect_same_circuit(const Circuit& a, const Circuit& b) {
+    ASSERT_EQ(a.node_count(), b.node_count());
+    ASSERT_EQ(a.gate_count(), b.gate_count());
+    EXPECT_EQ(a.name(), b.name());
+    for (std::uint32_t v = 0; v < a.node_count(); ++v) {
+        ASSERT_EQ(a.type(NodeId{v}), b.type(NodeId{v})) << "node " << v;
+        ASSERT_EQ(a.node_name(NodeId{v}), b.node_name(NodeId{v}));
+        const auto fa = a.fanins(NodeId{v});
+        const auto fb = b.fanins(NodeId{v});
+        ASSERT_EQ(fa.size(), fb.size()) << "node " << v;
+        for (std::size_t k = 0; k < fa.size(); ++k)
+            ASSERT_EQ(fa[k].v, fb[k].v) << "fanin " << k << " of " << v;
+        ASSERT_EQ(a.is_output(NodeId{v}), b.is_output(NodeId{v}));
+    }
+    ASSERT_EQ(a.inputs().size(), b.inputs().size());
+    for (std::size_t i = 0; i < a.inputs().size(); ++i)
+        ASSERT_EQ(a.inputs()[i].v, b.inputs()[i].v);
+    ASSERT_EQ(a.outputs().size(), b.outputs().size());
+    for (std::size_t i = 0; i < a.outputs().size(); ++i)
+        ASSERT_EQ(a.outputs()[i].v, b.outputs()[i].v);
+}
+
+Circuit tpb_round_trip(const Circuit& c) {
+    const std::string bytes = write_tpb_string(c);
+    return read_tpb_bytes(bytes.data(), bytes.size(), c.name() + ".tpb");
+}
+
+/// Bitwise identity of every derived analysis artifact across two
+/// representations of the same circuit. Doubles compared with ==: the
+/// contract is bit-identical results, not approximate agreement.
+void expect_same_artifacts(const Circuit& a, const Circuit& b) {
+    // FFR decomposition.
+    const FfrDecomposition fa = decompose_ffr(a);
+    const FfrDecomposition fb = decompose_ffr(b);
+    ASSERT_EQ(fa.regions.size(), fb.regions.size());
+    for (std::size_t r = 0; r < fa.regions.size(); ++r) {
+        ASSERT_EQ(fa.regions[r].root.v, fb.regions[r].root.v);
+        ASSERT_EQ(fa.regions[r].members.size(),
+                  fb.regions[r].members.size());
+        for (std::size_t i = 0; i < fa.regions[r].members.size(); ++i)
+            ASSERT_EQ(fa.regions[r].members[i].v,
+                      fb.regions[r].members[i].v);
+        ASSERT_EQ(fa.regions[r].leaf_inputs.size(),
+                  fb.regions[r].leaf_inputs.size());
+        for (std::size_t i = 0; i < fa.regions[r].leaf_inputs.size(); ++i)
+            ASSERT_EQ(fa.regions[r].leaf_inputs[i].v,
+                      fb.regions[r].leaf_inputs[i].v);
+    }
+    ASSERT_EQ(fa.region_of, fb.region_of);
+
+    // COP: exact double equality.
+    const testability::CopResult ca = testability::compute_cop(a);
+    const testability::CopResult cb = testability::compute_cop(b);
+    ASSERT_EQ(ca.c1.size(), cb.c1.size());
+    for (std::size_t i = 0; i < ca.c1.size(); ++i) {
+        ASSERT_EQ(ca.c1[i], cb.c1[i]) << "c1 of node " << i;
+        ASSERT_EQ(ca.obs[i], cb.obs[i]) << "obs of node " << i;
+    }
+
+    // Lint findings: rule, severity, nodes, names, messages.
+    const lint::LintReport la = lint::run_lint(a);
+    const lint::LintReport lb = lint::run_lint(b);
+    ASSERT_EQ(la.findings.size(), lb.findings.size());
+    for (std::size_t i = 0; i < la.findings.size(); ++i) {
+        ASSERT_EQ(la.findings[i].rule, lb.findings[i].rule);
+        ASSERT_EQ(la.findings[i].severity, lb.findings[i].severity);
+        ASSERT_EQ(la.findings[i].message, lb.findings[i].message);
+        ASSERT_EQ(la.findings[i].nodes.size(),
+                  lb.findings[i].nodes.size());
+        for (std::size_t k = 0; k < la.findings[i].nodes.size(); ++k)
+            ASSERT_EQ(la.findings[i].nodes[k].v,
+                      lb.findings[i].nodes[k].v);
+        ASSERT_EQ(la.findings[i].node_names, lb.findings[i].node_names);
+    }
+}
+
+TEST(CsrCore, GoldenCorpusMatchesLegacyShapeOracle) {
+    for (const std::string& file : golden_corpus()) {
+        SCOPED_TRACE(file);
+        expect_matches_oracle(golden(file));
+    }
+}
+
+TEST(CsrCore, BenchmarkSuiteMatchesLegacyShapeOracle) {
+    for (const auto& entry : gen::benchmark_suite()) {
+        SCOPED_TRACE(entry.name);
+        expect_matches_oracle(entry.build());
+    }
+}
+
+TEST(CsrCore, RandomDagCorpusMatchesLegacyShapeOracle) {
+    for (int i = 0; i < kDagConfigs; ++i) {
+        SCOPED_TRACE("dag config " + std::to_string(i));
+        expect_matches_oracle(gen::random_dag(dag_config(i)));
+    }
+}
+
+// A thawed-and-refrozen circuit (here: a copy, which drops the frozen
+// cache by contract) must rebuild the identical CSR.
+TEST(CsrCore, RefreezeAfterCopyIsIdentical) {
+    for (int i = 0; i < kDagConfigs; i += 9) {
+        SCOPED_TRACE("dag config " + std::to_string(i));
+        const Circuit original = gen::random_dag(dag_config(i));
+        original.validate();  // freeze the source
+        const Circuit copy = original;
+        EXPECT_FALSE(copy.frozen());
+        ASSERT_EQ(copy.topo_order().size(), original.topo_order().size());
+        for (std::size_t k = 0; k < copy.topo_order().size(); ++k)
+            ASSERT_EQ(copy.topo_order()[k].v, original.topo_order()[k].v);
+        for (std::uint32_t v = 0; v < copy.node_count(); ++v) {
+            ASSERT_EQ(copy.level(NodeId{v}), original.level(NodeId{v}));
+            const auto ga = copy.fanouts(NodeId{v});
+            const auto gb = original.fanouts(NodeId{v});
+            ASSERT_EQ(ga.size(), gb.size());
+            for (std::size_t k = 0; k < ga.size(); ++k)
+                ASSERT_EQ(ga[k].v, gb[k].v);
+        }
+    }
+}
+
+TEST(CsrCore, TpbRoundTripPreservesStructureAndShape) {
+    for (const std::string& file : golden_corpus()) {
+        SCOPED_TRACE(file);
+        const Circuit a = golden(file);
+        const Circuit b = tpb_round_trip(a);
+        expect_same_circuit(a, b);
+        expect_matches_oracle(b);
+    }
+    for (int i = 0; i < kDagConfigs; i += 4) {
+        SCOPED_TRACE("dag config " + std::to_string(i));
+        const Circuit a = gen::random_dag(dag_config(i));
+        const Circuit b = tpb_round_trip(a);
+        expect_same_circuit(a, b);
+        expect_matches_oracle(b);
+    }
+}
+
+TEST(CsrCore, DerivedArtifactsIdenticalAcrossRepresentations) {
+    for (const std::string& file : golden_corpus()) {
+        SCOPED_TRACE(file);
+        const Circuit a = golden(file);
+        expect_same_artifacts(a, tpb_round_trip(a));
+    }
+    for (int i = 0; i < kDagConfigs; i += 9) {
+        SCOPED_TRACE("dag config " + std::to_string(i));
+        const Circuit a = gen::random_dag(dag_config(i));
+        expect_same_artifacts(a, tpb_round_trip(a));
+    }
+}
+
+// Planner plans — the end of the derived-artifact chain — must come out
+// bitwise identical (points AND exact double scores) whether the circuit
+// arrived from the builder or from a .tpb reload, at 1, 2 and 8 threads.
+TEST(CsrCore, PlannerPlansIdenticalAcrossRepresentationsAndThreads) {
+    std::vector<Circuit> corpus;
+    corpus.push_back(golden("eq16.bench"));
+    corpus.push_back(gen::suite_entry("dag500").build());
+    corpus.push_back(gen::random_dag(dag_config(13)));
+    for (const Circuit& original : corpus) {
+        SCOPED_TRACE(original.name());
+        const Circuit reloaded = tpb_round_trip(original);
+        for (const bool greedy : {false, true}) {
+            SCOPED_TRACE(greedy ? "greedy" : "dp");
+            std::vector<TestPoint> want_points;
+            double want_score = 0.0;
+            bool first = true;
+            for (const unsigned threads : {1u, 2u, 8u}) {
+                for (const Circuit* c : {&original, &reloaded}) {
+                    PlannerOptions options;
+                    options.budget = 4;
+                    options.objective.num_patterns = 512;
+                    options.threads = threads;
+                    DpPlanner dp;
+                    GreedyPlanner gp;
+                    const Plan plan = greedy ? gp.plan(*c, options)
+                                             : dp.plan(*c, options);
+                    if (first) {
+                        want_points = plan.points;
+                        want_score = plan.predicted_score;
+                        first = false;
+                        continue;
+                    }
+                    EXPECT_EQ(plan.points, want_points)
+                        << "threads=" << threads;
+                    EXPECT_EQ(plan.predicted_score, want_score)
+                        << "threads=" << threads;
+                }
+            }
+        }
+    }
+}
+
+// Serialisation is canonical: write(read(write(c))) == write(c) byte for
+// byte, for every corpus member.
+TEST(CsrCore, TpbSerializationIsCanonical) {
+    for (const std::string& file : golden_corpus()) {
+        SCOPED_TRACE(file);
+        const Circuit a = golden(file);
+        const std::string bytes = write_tpb_string(a);
+        const Circuit b =
+            read_tpb_bytes(bytes.data(), bytes.size(), "round");
+        EXPECT_EQ(write_tpb_string(b), bytes);
+    }
+    for (int i = 0; i < kDagConfigs; i += 12) {
+        SCOPED_TRACE("dag config " + std::to_string(i));
+        const Circuit a = gen::random_dag(dag_config(i));
+        const std::string bytes = write_tpb_string(a);
+        const Circuit b =
+            read_tpb_bytes(bytes.data(), bytes.size(), "round");
+        EXPECT_EQ(write_tpb_string(b), bytes);
+    }
+}
+
+}  // namespace

@@ -1,11 +1,23 @@
 #include <gtest/gtest.h>
 
+#include <sys/resource.h>
+
+#include <chrono>
+
+#include "fault/fault.hpp"
+#include "fault/fault_sim.hpp"
 #include "gen/arith.hpp"
 #include "gen/benchmarks.hpp"
 #include "gen/chains.hpp"
 #include "gen/random_circuits.hpp"
+#include "lint/lint.hpp"
 #include "netlist/analysis.hpp"
+#include "netlist/ffr.hpp"
+#include "netlist/tpb_io.hpp"
 #include "sim/logic_sim.hpp"
+#include "sim/pattern.hpp"
+#include "tpi/planners.hpp"
+#include "util/deadline.hpp"
 #include "util/error.hpp"
 
 namespace {
@@ -194,6 +206,169 @@ TEST(GenSuite, LookupByName) {
     EXPECT_EQ(gen::suite_entry("mul8").name, "mul8");
     EXPECT_THROW(gen::suite_entry("nope"), tpi::Error);
     EXPECT_FALSE(gen::small_suite().empty());
+}
+
+// ---- Million-gate scale smoke ---------------------------------------
+//
+// The scale suite exists so 100k–1M-gate circuits are a one-name build
+// for tests, benches and the CLI — without joining benchmark_suite(),
+// which several tests and benches iterate exhaustively. These smoke
+// tests pin the wall-clock and memory envelope (generous caps: they
+// catch complexity regressions — an accidental O(n^2) — not jitter) and
+// the cooperative-deadline honesty contract at scale.
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/// Process peak RSS in bytes (Linux ru_maxrss is KiB).
+std::size_t peak_rss_bytes() {
+    rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);
+    return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+}
+
+TEST(ScaleSmoke, ScaleSuiteResolvesByNameAndStaysOutOfTheMainSuite) {
+    ASSERT_FALSE(gen::scale_suite().empty());
+    for (const auto& entry : gen::scale_suite()) {
+        EXPECT_EQ(gen::suite_entry(entry.name).name, entry.name);
+        // Guard: nobody may merge these into benchmark_suite(), or every
+        // iterate-and-build consumer starts constructing 1M-gate
+        // circuits.
+        for (const auto& main_entry : gen::benchmark_suite())
+            EXPECT_NE(main_entry.name, entry.name);
+    }
+}
+
+TEST(ScaleSmoke, FabricGeneratorIsDeterministicAndGuarded) {
+    const Circuit a = gen::layered_fabric({16, 3, 5});
+    const Circuit b = gen::layered_fabric({16, 3, 5});
+    ASSERT_EQ(a.node_count(), b.node_count());
+    EXPECT_EQ(a.gate_count(), 7u * 16 * 3);
+    EXPECT_EQ(a.input_count(), 32u);
+    EXPECT_EQ(a.output_count(), 32u);
+    for (NodeId v : a.all_nodes()) {
+        EXPECT_EQ(a.type(v), b.type(v));
+        EXPECT_EQ(a.node_name(v), b.node_name(v));
+    }
+    EXPECT_THROW(gen::layered_fabric({1, 3, 1}), tpi::Error);
+    EXPECT_THROW(gen::layered_fabric({16, 0, 1}), tpi::Error);
+    // shift == 0 (mod width) would tap each cell's own sum rail.
+    EXPECT_THROW(gen::layered_fabric({16, 3, 0}), tpi::Error);
+    EXPECT_THROW(gen::layered_fabric({16, 3, 32}), tpi::Error);
+}
+
+TEST(ScaleSmoke, HundredKGateCircuitsBuildFreezeAndDecompose) {
+    for (const char* name : {"dag100k", "fabric100k"}) {
+        SCOPED_TRACE(name);
+        const auto start = std::chrono::steady_clock::now();
+        const Circuit c = gen::suite_entry(name).build();
+        c.validate();  // freeze
+        const FfrDecomposition ffr = decompose_ffr(c);
+        EXPECT_LT(seconds_since(start), 30.0);
+        EXPECT_GE(c.gate_count(), 100'000u);
+        EXPECT_LT(c.gate_count(), 160'000u);
+        EXPECT_EQ(ffr.region_of.size(), c.node_count());
+        std::size_t members = 0;
+        for (const auto& region : ffr.regions)
+            members += region.members.size();
+        EXPECT_EQ(members, c.node_count());
+        // Arena/CSR storage envelope: bytes per node, all storage
+        // included (fanin + fanout CSR, interned names, topo, levels).
+        EXPECT_LT(c.memory_bytes() / c.node_count(), 200u);
+    }
+}
+
+TEST(ScaleSmoke, MillionGateBuildAndFreezeUnderBudget) {
+    const auto start = std::chrono::steady_clock::now();
+    for (const char* name : {"dag1m", "fabric1m"}) {
+        SCOPED_TRACE(name);
+        const Circuit c = gen::suite_entry(name).build();
+        c.validate();
+        EXPECT_GE(c.gate_count(), 1'000'000u);
+        EXPECT_LT(c.memory_bytes() / c.node_count(), 200u);
+    }
+    // Both million-gate circuits, generated and frozen: the acceptance
+    // envelope is seconds, the cap is minutes — headroom for sanitizer
+    // and coverage builds.
+    EXPECT_LT(seconds_since(start), 120.0);
+    EXPECT_LT(peak_rss_bytes(), std::size_t{4} << 30);
+}
+
+TEST(ScaleSmoke, HundredKGateTpbRoundTripIsCompactAndIdentical) {
+    const Circuit a = gen::suite_entry("dag100k").build();
+    const auto start = std::chrono::steady_clock::now();
+    const std::string bytes = write_tpb_string(a);
+    const Circuit b = read_tpb_bytes(bytes.data(), bytes.size(), "dag100k");
+    EXPECT_LT(seconds_since(start), 30.0);
+    ASSERT_EQ(b.node_count(), a.node_count());
+    EXPECT_EQ(b.gate_count(), a.gate_count());
+    EXPECT_EQ(b.output_count(), a.output_count());
+    EXPECT_EQ(write_tpb_string(b), bytes);
+    // Binary compactness: tens of bytes per gate, not hundreds.
+    EXPECT_LT(bytes.size() / a.node_count(), 40u);
+}
+
+// Deadline honesty at scale: a step-budget deadline must cut plan, sim
+// and lint short with the truncated flag raised and the partial result
+// still well-formed — no hang, no exception, no garbage.
+TEST(ScaleSmoke, DeadlinedEnginesTruncateHonestlyAt100k) {
+    const Circuit c = gen::suite_entry("dag100k").build();
+    {
+        util::Deadline deadline = util::Deadline::steps(4);
+        PlannerOptions options;
+        options.budget = 8;
+        options.objective.num_patterns = 256;
+        options.deadline = &deadline;
+        GreedyPlanner planner;
+        const Plan plan = planner.plan(c, options);
+        EXPECT_TRUE(plan.truncated);
+        EXPECT_LE(plan.total_cost(options.cost), 8);
+        for (const auto& point : plan.points)
+            EXPECT_LT(point.node.v, c.node_count());
+    }
+    {
+        util::Deadline deadline = util::Deadline::steps(2);
+        fault::FaultSimOptions options;
+        options.max_patterns = 4096;
+        options.deadline = &deadline;
+        const auto faults = fault::collapse_faults(c);
+        sim::RandomPatternSource source(1);
+        const fault::FaultSimResult result =
+            fault::run_fault_simulation(c, faults, source, options);
+        EXPECT_TRUE(result.truncated);
+        EXPECT_LT(result.patterns_applied, options.max_patterns);
+    }
+    {
+        util::Deadline deadline = util::Deadline::steps(2);
+        lint::LintOptions options;
+        options.deadline = &deadline;
+        const lint::LintReport report = lint::run_lint(c, options);
+        EXPECT_TRUE(report.truncated);
+        EXPECT_EQ(report.ternary.size(), c.node_count());
+    }
+}
+
+// The deficit-flow proxy makes greedy planning tractable at the 100k+
+// scale: a real (undeadlined) plan must finish inside the smoke budget
+// with the budget spent and nothing truncated.
+TEST(ScaleSmoke, FlowProxyGreedyCompletesAt100k) {
+    const Circuit c = gen::suite_entry("dag100k").build();
+    const auto start = std::chrono::steady_clock::now();
+    PlannerOptions options;
+    options.budget = 2;
+    options.objective.num_patterns = 256;
+    options.greedy_flow_proxy = true;
+    options.greedy_pool = 4;
+    options.control_kinds.clear();
+    GreedyPlanner planner;
+    const Plan plan = planner.plan(c, options);
+    EXPECT_LT(seconds_since(start), 60.0);
+    EXPECT_FALSE(plan.truncated);
+    EXPECT_FALSE(plan.points.empty());
+    EXPECT_LE(plan.total_cost(options.cost), 2);
 }
 
 TEST(GenGuards, RejectBadParameters) {

@@ -342,8 +342,9 @@ TEST(Lint, CustomRuleInLocalRegistry) {
                       finding.rule = "gate-census";
                       finding.severity = lint::Severity::Info;
                       finding.nodes = {context.circuit.outputs().front()};
-                      finding.node_names = {context.circuit.node_name(
-                          finding.nodes.front())};
+                      finding.node_names = {std::string(
+                          context.circuit.node_name(
+                              finding.nodes.front()))};
                       finding.message =
                           std::to_string(context.circuit.gate_count()) +
                           " gates";

@@ -120,6 +120,31 @@ TEST(GreedyPlanner, StopsWhenNoGain) {
     EXPECT_TRUE(plan.points.empty());
 }
 
+// The deficit-flow proxy (PlannerOptions::greedy_flow_proxy) replaces
+// the per-fault covering profile with an O(nodes + edges) ranking; the
+// shortlist survivors are still scored exactly, so the plan must stay
+// a real improvement, within budget and deterministic.
+TEST(GreedyPlanner, FlowProxyImprovesAndIsDeterministic) {
+    for (const char* name : {"cmp32", "dag500"}) {
+        const Circuit circuit = gen::suite_entry(name).build();
+        GreedyPlanner planner;
+        PlannerOptions options = default_options(4, 1024);
+        options.greedy_flow_proxy = true;
+        const Plan plan = planner.plan(circuit, options);
+        EXPECT_LE(plan.total_cost(options.cost), 4);
+        EXPECT_GT(plan.predicted_score,
+                  score_of(circuit, Plan{}, options.objective))
+            << name;
+        const Plan again = planner.plan(circuit, options);
+        EXPECT_EQ(plan.points, again.points);
+        EXPECT_EQ(plan.predicted_score, again.predicted_score);
+        // The exact scorer is shared with the covering-proxy path, so
+        // the reported score must match an independent re-evaluation.
+        EXPECT_EQ(plan.predicted_score,
+                  score_of(circuit, plan, options.objective));
+    }
+}
+
 TEST(RandomPlanner, FillsBudgetDeterministicallyPerSeed) {
     const Circuit circuit = gen::equality_comparator(16);
     RandomPlanner planner;
@@ -310,6 +335,77 @@ TEST(ThresholdSolver, RejectsEmptyGoal) {
     EXPECT_THROW(solve_min_points(circuit, planner, default_options(0),
                                   ThresholdGoal{}, 4),
                  tpi::Error);
+}
+
+// The cross-round region cache (PlannerOptions::dp_reuse_regions) must
+// be a pure speedup: plans and predicted scores bitwise identical with
+// the cache on and off, for every thread count, and the cache must
+// actually serve tables on a multi-round run (otherwise this test would
+// pass vacuously while the fast path never triggers).
+TEST(DpPlanner, RegionReuseIsBitIdentical) {
+    gen::RandomDagOptions gopt;
+    gopt.gates = 600;
+    gopt.inputs = 48;
+    gopt.seed = 7;
+    const std::vector<Circuit> circuits = {
+        gen::random_dag(gopt), gen::suite_entry("cmp32").build()};
+
+    for (const Circuit& circuit : circuits) {
+        PlannerOptions base = default_options(8, 1024);
+        base.control_kinds.clear();  // observe-only: the fast path
+        base.dp_rounds = 4;
+
+        PlannerOptions off = base;
+        off.dp_reuse_regions = false;
+        DpPlanner planner;
+        const Plan reference = planner.plan(circuit, off);
+
+        std::uint64_t reused_total = 0;
+        for (const unsigned threads : {1u, 2u, 8u}) {
+            PlannerOptions on = base;
+            on.threads = threads;
+            obs::Sink sink;
+            on.sink = &sink;
+            const Plan cached = planner.plan(circuit, on);
+            EXPECT_EQ(cached.points, reference.points);
+            EXPECT_EQ(cached.predicted_score, reference.predicted_score);
+            reused_total +=
+                sink.value(obs::Counter::DpRegionsReused);
+        }
+        EXPECT_GT(reused_total, 0u);
+    }
+}
+
+// With the engine off (no changed-node sets) or a control-point mix
+// (joint DP), the planner must quietly fall back to the rebuild path —
+// same plans, nothing served from the cache.
+TEST(DpPlanner, RegionReuseFallsBackOutsideFastPath) {
+    const Circuit circuit = gen::suite_entry("cmp32").build();
+    DpPlanner planner;
+
+    PlannerOptions no_engine = default_options(6, 1024);
+    no_engine.control_kinds.clear();
+    no_engine.dp_rounds = 3;
+    no_engine.incremental_eval = false;
+    obs::Sink sink_a;
+    no_engine.sink = &sink_a;
+    PlannerOptions no_engine_off = no_engine;
+    no_engine_off.dp_reuse_regions = false;
+    no_engine_off.sink = nullptr;
+    EXPECT_EQ(planner.plan(circuit, no_engine).points,
+              planner.plan(circuit, no_engine_off).points);
+    EXPECT_EQ(sink_a.value(obs::Counter::DpRegionsReused), 0u);
+
+    PlannerOptions joint = default_options(6, 1024);  // control kinds on
+    joint.dp_rounds = 3;
+    obs::Sink sink_b;
+    joint.sink = &sink_b;
+    PlannerOptions joint_off = joint;
+    joint_off.dp_reuse_regions = false;
+    joint_off.sink = nullptr;
+    EXPECT_EQ(planner.plan(circuit, joint).points,
+              planner.plan(circuit, joint_off).points);
+    EXPECT_EQ(sink_b.value(obs::Counter::DpRegionsReused), 0u);
 }
 
 }  // namespace

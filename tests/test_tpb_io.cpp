@@ -1,0 +1,356 @@
+// Property and corruption tests for the .tpb binary netlist format.
+//
+// Two layers:
+//
+//   - Programmatic mutations of a known-good file: every corruption a
+//     hostile or bit-rotted file can exhibit (truncation at any length,
+//     bad magic/version, CRC mismatch, lying META counts, sections
+//     outside the file, forward fanin references, unknown gate types,
+//     empty names) must surface as exactly tpi::ParseError — never
+//     another exception, a crash, or an over-read. Structural mutations
+//     are re-sealed with tpb_crc32 so they reach the validators behind
+//     the checksum.
+//
+//   - The committed bad-file corpus in tests/data/bad_tpb: regression
+//     inputs for the same contract, shared with the CLI exit-code tests
+//     (exit 3) wired up in tests/CMakeLists.txt and with the fuzzer.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gen/benchmarks.hpp"
+#include "gen/random_circuits.hpp"
+#include "netlist/circuit.hpp"
+#include "netlist/tpb_io.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace tpi;
+using namespace tpi::netlist;
+
+constexpr std::size_t kHeaderSize = 16;
+constexpr std::size_t kSectionEntrySize = 24;
+
+std::string valid_bytes() {
+    static const std::string bytes = write_tpb_string(gen::c17());
+    return bytes;
+}
+
+void put_u32_at(std::string& bytes, std::size_t at, std::uint32_t v) {
+    bytes[at] = static_cast<char>(v & 0xff);
+    bytes[at + 1] = static_cast<char>((v >> 8) & 0xff);
+    bytes[at + 2] = static_cast<char>((v >> 16) & 0xff);
+    bytes[at + 3] = static_cast<char>((v >> 24) & 0xff);
+}
+
+std::uint32_t get_u32_at(const std::string& bytes, std::size_t at) {
+    const auto b = [&](std::size_t i) {
+        return static_cast<std::uint32_t>(
+            static_cast<unsigned char>(bytes[at + i]));
+    };
+    return b(0) | b(1) << 8 | b(2) << 16 | b(3) << 24;
+}
+
+std::uint64_t get_u64_at(const std::string& bytes, std::size_t at) {
+    return static_cast<std::uint64_t>(get_u32_at(bytes, at)) |
+           static_cast<std::uint64_t>(get_u32_at(bytes, at + 4)) << 32;
+}
+
+/// Recompute the header CRC over the (possibly mutated) body so the
+/// mutation reaches the structural validators instead of the checksum.
+void reseal(std::string& bytes) {
+    put_u32_at(bytes, 12,
+               tpb_crc32(bytes.data() + kHeaderSize,
+                         bytes.size() - kHeaderSize));
+}
+
+/// Find the section-table entry for `tag` ("META", "FNIN", ...) and
+/// return its byte offset within the file's section table.
+std::size_t table_entry_of(const std::string& bytes, const char (&tag)[5]) {
+    const std::uint32_t want =
+        static_cast<std::uint32_t>(static_cast<unsigned char>(tag[0])) |
+        static_cast<std::uint32_t>(static_cast<unsigned char>(tag[1])) << 8 |
+        static_cast<std::uint32_t>(static_cast<unsigned char>(tag[2]))
+            << 16 |
+        static_cast<std::uint32_t>(static_cast<unsigned char>(tag[3]))
+            << 24;
+    const std::uint32_t sections = get_u32_at(bytes, 8);
+    for (std::uint32_t i = 0; i < sections; ++i) {
+        const std::size_t at = kHeaderSize + i * kSectionEntrySize;
+        if (get_u32_at(bytes, at) == want) return at;
+    }
+    ADD_FAILURE() << "section " << tag << " not found";
+    return 0;
+}
+
+void expect_parse_error(const std::string& bytes, const char* what) {
+    SCOPED_TRACE(what);
+    EXPECT_THROW(
+        { read_tpb_bytes(bytes.data(), bytes.size(), what); }, ParseError);
+}
+
+// The header checksum is the real CRC-32/IEEE (what zlib computes), not
+// a lookalike: external tools must be able to verify .tpb files. The
+// check-value for "123456789" is the classic conformance vector.
+TEST(TpbIo, Crc32MatchesTheIeeeCheckValue) {
+    EXPECT_EQ(tpb_crc32("123456789", 9), 0xCBF43926u);
+    EXPECT_EQ(tpb_crc32("", 0), 0x00000000u);
+}
+
+TEST(TpbIo, RoundTripsTheGeneratorSuite) {
+    for (const auto& entry : gen::benchmark_suite()) {
+        SCOPED_TRACE(entry.name);
+        const Circuit a = entry.build();
+        const std::string bytes = write_tpb_string(a);
+        const Circuit b =
+            read_tpb_bytes(bytes.data(), bytes.size(), entry.name);
+        EXPECT_EQ(a.node_count(), b.node_count());
+        EXPECT_EQ(a.gate_count(), b.gate_count());
+        EXPECT_EQ(a.input_count(), b.input_count());
+        EXPECT_EQ(a.output_count(), b.output_count());
+        EXPECT_EQ(a.name(), b.name());
+        // Canonical form: re-serialising the reload is byte-identical.
+        EXPECT_EQ(write_tpb_string(b), bytes);
+    }
+}
+
+TEST(TpbIo, StreamAndFileReadersAgreeWithByteReader) {
+    const std::string bytes = valid_bytes();
+    std::istringstream stream(bytes);
+    const Circuit from_stream = read_tpb(stream, "stream");
+    EXPECT_EQ(write_tpb_string(from_stream), bytes);
+
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "tpb_io_test.tpb")
+            .string();
+    {
+        std::ofstream out(path, std::ios::binary);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+    const Circuit from_file = read_tpb_file(path);
+    EXPECT_EQ(write_tpb_string(from_file), bytes);
+    std::filesystem::remove(path);
+    EXPECT_THROW(read_tpb_file(path), ParseError);  // cannot open
+}
+
+// Truncation at EVERY prefix length must raise ParseError — the reader
+// may never read past the buffer it was handed (the ASan fuzz leg backs
+// this up with instrumented runs).
+TEST(TpbIo, EveryTruncationIsAParseError) {
+    const std::string bytes = valid_bytes();
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        const std::string cut = bytes.substr(0, len);
+        EXPECT_THROW(
+            { read_tpb_bytes(cut.data(), cut.size(), "cut"); },
+            ParseError)
+            << "length " << len;
+    }
+}
+
+// Truncation with the CRC re-sealed over the shortened body: the
+// checksum no longer saves the reader, the section bounds checks must.
+TEST(TpbIo, ResealedTruncationIsStillAParseError) {
+    const std::string bytes = valid_bytes();
+    for (std::size_t len = kHeaderSize; len < bytes.size(); ++len) {
+        std::string cut = bytes.substr(0, len);
+        reseal(cut);
+        EXPECT_THROW(
+            { read_tpb_bytes(cut.data(), cut.size(), "resealed-cut"); },
+            ParseError)
+            << "length " << len;
+    }
+}
+
+TEST(TpbIo, HeaderCorruptions) {
+    {
+        std::string bytes = valid_bytes();
+        bytes[3] = 'X';  // magic TPB1 -> TPBX
+        expect_parse_error(bytes, "bad magic");
+    }
+    {
+        std::string bytes = valid_bytes();
+        put_u32_at(bytes, 4, 2);  // version
+        expect_parse_error(bytes, "bad version");
+    }
+    {
+        std::string bytes = valid_bytes();
+        put_u32_at(bytes, 8, 0);  // section count 0
+        expect_parse_error(bytes, "zero sections");
+    }
+    {
+        std::string bytes = valid_bytes();
+        put_u32_at(bytes, 8, 0xFFFFFFFFu);  // implausible section count
+        expect_parse_error(bytes, "huge section count");
+    }
+    {
+        std::string bytes = valid_bytes();
+        bytes[bytes.size() / 2] ^= 0x40;  // payload flip, CRC stale
+        expect_parse_error(bytes, "bad CRC");
+    }
+}
+
+// A header lying about counts (huge node_count in META) must be rejected
+// by the size cross-checks before any allocation sized from the claim.
+TEST(TpbIo, HugeMetaCountsAreRejectedWithoutAllocation) {
+    std::string bytes = valid_bytes();
+    const std::size_t meta_at = static_cast<std::size_t>(
+        get_u64_at(bytes, table_entry_of(bytes, "META") + 8));
+    put_u32_at(bytes, meta_at, 0x7FFFFFFFu);  // node_count
+    reseal(bytes);
+    expect_parse_error(bytes, "huge node count");
+
+    bytes = valid_bytes();
+    put_u32_at(bytes, meta_at + 12, 0xFFFFFFFFu);  // edge count (low word)
+    reseal(bytes);
+    expect_parse_error(bytes, "huge edge count");
+}
+
+TEST(TpbIo, SectionTableCorruptions) {
+    {
+        std::string bytes = valid_bytes();
+        const std::size_t entry = table_entry_of(bytes, "FNIN");
+        put_u32_at(bytes, entry + 8,
+                   static_cast<std::uint32_t>(bytes.size() + 1000));
+        put_u32_at(bytes, entry + 12, 0);
+        reseal(bytes);
+        expect_parse_error(bytes, "section offset outside the file");
+    }
+    {
+        std::string bytes = valid_bytes();
+        const std::size_t entry = table_entry_of(bytes, "FNIN");
+        put_u32_at(bytes, entry + 16, 0xFFFFFFFFu);  // size overruns file
+        reseal(bytes);
+        expect_parse_error(bytes, "section size outside the file");
+    }
+    {
+        std::string bytes = valid_bytes();
+        // Retag OUTS as a second TYPE: duplicate + missing in one blow.
+        const std::size_t outs = table_entry_of(bytes, "OUTS");
+        const std::size_t type = table_entry_of(bytes, "TYPE");
+        put_u32_at(bytes, outs, get_u32_at(bytes, type));
+        reseal(bytes);
+        expect_parse_error(bytes, "duplicate section");
+    }
+    {
+        std::string bytes = valid_bytes();
+        // Unknown tag: the required-section check must notice the loss.
+        put_u32_at(bytes, table_entry_of(bytes, "OUTS"), 0x58585858u);
+        reseal(bytes);
+        expect_parse_error(bytes, "missing required section");
+    }
+}
+
+TEST(TpbIo, PayloadCorruptions) {
+    const std::string base = valid_bytes();
+    {
+        // First byte of TYPE -> 0xFF: unknown gate type.
+        std::string bytes = base;
+        const std::size_t at = static_cast<std::size_t>(
+            get_u64_at(bytes, table_entry_of(bytes, "TYPE") + 8));
+        bytes[at] = static_cast<char>(0xFF);
+        reseal(bytes);
+        expect_parse_error(bytes, "unknown gate type");
+    }
+    {
+        // A fanin pointing at its own gate or later: cycle by
+        // construction, rejected per-edge.
+        std::string bytes = base;
+        const std::size_t at = static_cast<std::size_t>(
+            get_u64_at(bytes, table_entry_of(bytes, "FNIN") + 8));
+        put_u32_at(bytes, at, 0xFFFFFFF0u);
+        reseal(bytes);
+        expect_parse_error(bytes, "forward fanin reference");
+    }
+    {
+        // NMOF[1] = NMOF[0]: node 0's name becomes empty.
+        std::string bytes = base;
+        const std::size_t at = static_cast<std::size_t>(
+            get_u64_at(bytes, table_entry_of(bytes, "NMOF") + 8));
+        put_u32_at(bytes, at + 4, get_u32_at(bytes, at));
+        reseal(bytes);
+        expect_parse_error(bytes, "empty node name");
+    }
+    {
+        // NMOF[1] huge with the chain still ending at the pool size:
+        // every consecutive pair seen *so far* during a lazy in-loop
+        // check is non-decreasing when node 0's name is built, so the
+        // whole chain must be validated up front or the reader walks
+        // ~4 GB past the name pool (the fuzzer found exactly this).
+        std::string bytes = base;
+        const std::size_t at = static_cast<std::size_t>(
+            get_u64_at(bytes, table_entry_of(bytes, "NMOF") + 8));
+        put_u32_at(bytes, at + 4, 0xFFFFFFF0u);
+        reseal(bytes);
+        expect_parse_error(bytes, "NMOF not monotonically increasing");
+    }
+    {
+        // Same shape through the fanin offsets: a huge FNOF[1] would
+        // index far past the fanin array.
+        std::string bytes = base;
+        const std::size_t at = static_cast<std::size_t>(
+            get_u64_at(bytes, table_entry_of(bytes, "FNOF") + 8));
+        put_u32_at(bytes, at + 4, 0xFFFFFFF0u);
+        reseal(bytes);
+        expect_parse_error(bytes, "FNOF not monotonically increasing");
+    }
+    {
+        // OUTS entry out of range.
+        std::string bytes = base;
+        const std::size_t at = static_cast<std::size_t>(
+            get_u64_at(bytes, table_entry_of(bytes, "OUTS") + 8));
+        put_u32_at(bytes, at, 0xFFFFFFF0u);
+        reseal(bytes);
+        expect_parse_error(bytes, "output id out of range");
+    }
+    {
+        // The same output marked twice.
+        std::string bytes = base;
+        const std::size_t at = static_cast<std::size_t>(
+            get_u64_at(bytes, table_entry_of(bytes, "OUTS") + 8));
+        put_u32_at(bytes, at + 4, get_u32_at(bytes, at));
+        reseal(bytes);
+        expect_parse_error(bytes, "duplicate output");
+    }
+}
+
+// The committed regression corpus: every file must be rejected with
+// ParseError. The same files back the CLI exit-code tests (exit 3).
+TEST(TpbIo, CommittedBadCorpusIsRejected) {
+    const std::string dir = std::string(TPIDP_TEST_DATA_DIR) + "/bad_tpb";
+    std::size_t checked = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() != ".tpb") continue;
+        SCOPED_TRACE(entry.path().filename().string());
+        std::ifstream in(entry.path(), std::ios::binary);
+        ASSERT_TRUE(in.is_open());
+        EXPECT_THROW(read_tpb(in, entry.path().filename().string()),
+                     ParseError);
+        ++checked;
+    }
+    // The corpus is committed; an empty directory means it went missing.
+    EXPECT_GE(checked, 8u);
+}
+
+// Error messages carry the source tag so CLI users see which file broke.
+TEST(TpbIo, ErrorsNameTheSource) {
+    std::string bytes = valid_bytes();
+    bytes[3] = 'X';
+    try {
+        read_tpb_bytes(bytes.data(), bytes.size(), "widget.tpb");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_EQ(e.source(), "widget.tpb");
+        EXPECT_NE(std::string(e.what()).find("widget.tpb"),
+                  std::string::npos);
+    }
+}
+
+}  // namespace

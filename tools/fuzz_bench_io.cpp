@@ -41,6 +41,7 @@
 
 #include "lint/lint.hpp"
 #include "netlist/bench_io.hpp"
+#include "netlist/tpb_io.hpp"
 #include "netlist/validate.hpp"
 #include "netlist/verilog_io.hpp"
 #include "obs/json.hpp"
@@ -164,6 +165,87 @@ std::string mutate(std::string text, util::Rng& rng) {
     return text;
 }
 
+/// Binary .tpb seeds: the text corpus circuits, serialised. Built once;
+/// the mutator works on copies of these byte strings.
+const std::vector<std::string>& tpb_seeds() {
+    static const std::vector<std::string> seeds = [] {
+        std::vector<std::string> s;
+        for (const SeedInput& input : kCorpus) {
+            if (input.verilog) continue;
+            s.push_back(netlist::write_tpb_string(netlist::read_bench_string(
+                input.text, "seed", netlist::ValidateMode::Lenient)));
+        }
+        return s;
+    }();
+    return seeds;
+}
+
+/// Mutate a .tpb byte string: flips, u32 pokes (aimed at header/table
+/// fields as often as at payload), truncation, growth, tag splices. Half
+/// the mutants are re-sealed with the real CRC so they reach the
+/// structural validators behind the checksum instead of dying there.
+std::string mutate_tpb(std::string bytes, util::Rng& rng) {
+    const int rounds = static_cast<int>(rng.range(1, 5));
+    for (int r = 0; r < rounds; ++r) {
+        if (bytes.empty()) bytes = std::string(16, '\0');
+        switch (rng.below(6)) {
+            case 0:  // flip a byte
+                bytes[rng.below(bytes.size())] ^=
+                    static_cast<char>(1u << rng.below(8));
+                break;
+            case 1: {  // poke a u32 (biased towards the header + table)
+                const std::size_t zone =
+                    rng.below(2) == 0
+                        ? std::min<std::size_t>(bytes.size(), 64)
+                        : bytes.size();
+                if (zone < 4) break;
+                const std::size_t at = rng.below(zone - 3);
+                const std::uint32_t v =
+                    rng.below(2) == 0
+                        ? static_cast<std::uint32_t>(rng.next())
+                        : static_cast<std::uint32_t>(
+                              rng.below(2) == 0 ? 0 : 0xFFFFFFF0u);
+                for (int i = 0; i < 4; ++i)
+                    bytes[at + static_cast<std::size_t>(i)] =
+                        static_cast<char>((v >> (8 * i)) & 0xff);
+                break;
+            }
+            case 2:  // truncate
+                bytes.resize(rng.below(bytes.size() + 1));
+                break;
+            case 3: {  // append junk
+                for (int i = static_cast<int>(rng.range(1, 16)); i > 0;
+                     --i)
+                    bytes.push_back(static_cast<char>(rng.below(256)));
+                break;
+            }
+            case 4: {  // splice a section tag somewhere
+                static const char* const kTags[] = {
+                    "META", "TYPE", "FNOF", "FNIN",
+                    "NMOF", "NMDA", "OUTS", "TPB1"};
+                const char* tag = kTags[rng.below(std::size(kTags))];
+                const std::size_t at = rng.below(bytes.size() + 1);
+                bytes.insert(at, tag, 4);
+                break;
+            }
+            case 5: {  // delete a span
+                const std::size_t at = rng.below(bytes.size());
+                bytes.erase(at, std::min<std::size_t>(
+                                    rng.below(24) + 1, bytes.size() - at));
+                break;
+            }
+        }
+    }
+    if (rng.below(2) == 0 && bytes.size() >= 16) {
+        const std::uint32_t crc =
+            netlist::tpb_crc32(bytes.data() + 16, bytes.size() - 16);
+        for (int i = 0; i < 4; ++i)
+            bytes[12 + static_cast<std::size_t>(i)] =
+                static_cast<char>((crc >> (8 * i)) & 0xff);
+    }
+    return bytes;
+}
+
 /// Lint a successfully parsed mutant and check the findings contract:
 /// run_lint must not throw, and every finding must reference a
 /// registered rule and valid, name-consistent nodes. Returns a
@@ -283,6 +365,33 @@ std::string check_one(const std::string& text, bool verilog,
     }
 }
 
+/// Feed one .tpb mutant through the binary reader. The contract is the
+/// text-reader contract minus ValidationError: every reader failure is
+/// ParseError by specification, and a circuit that parses must survive
+/// validate() and the lint contract.
+std::string check_tpb(const std::string& bytes, bool& rejected,
+                      util::Rng& rng) {
+    try {
+        const netlist::Circuit circuit =
+            netlist::read_tpb_bytes(bytes.data(), bytes.size(), "fuzz.tpb");
+        circuit.validate();
+        std::string violation = lint_contract(circuit);
+        if (violation.empty()) violation = metrics_contract(circuit, rng);
+        return violation;
+    } catch (const ParseError&) {
+        rejected = true;
+        return {};
+    } catch (const ValidationError& e) {
+        return std::string("ValidationError escaped the .tpb reader: ") +
+               e.what();
+    } catch (const std::exception& e) {
+        return std::string("foreign exception ") + typeid(e).name() +
+               ": " + e.what();
+    } catch (...) {
+        return "non-std exception";
+    }
+}
+
 [[noreturn]] void usage() {
     std::cerr << "usage: fuzz_bench_io [--seed S] [--iters N] "
                  "[--budget-ms M] [--verbose]\n";
@@ -358,7 +467,31 @@ int main(int argc, char** argv) {
                 return 1;
             }
         }
-        if (was_rejected)
+        // The binary reader rides the same iteration: mutate a .tpb seed
+        // and hold it to the ParseError-only contract.
+        const std::vector<std::string>& seeds = tpb_seeds();
+        const std::string mutant =
+            mutate_tpb(seeds[rng.below(seeds.size())], rng);
+        bool tpb_was_rejected = false;
+        const std::string tpb_violation =
+            check_tpb(mutant, tpb_was_rejected, rng);
+        if (!tpb_violation.empty()) {
+            std::cerr << "CONTRACT VIOLATION (seed " << seed
+                      << ", iteration " << it << ", tpb, " << mutant.size()
+                      << " bytes): " << tpb_violation << "\ninput (hex):\n";
+            const std::size_t dump = std::min<std::size_t>(
+                mutant.size(), 512);
+            for (std::size_t i = 0; i < dump; ++i) {
+                static const char* kHex = "0123456789abcdef";
+                const unsigned char b =
+                    static_cast<unsigned char>(mutant[i]);
+                std::cerr << kHex[b >> 4] << kHex[b & 0xF]
+                          << (i % 32 == 31 ? '\n' : ' ');
+            }
+            std::cerr << "\n";
+            return 1;
+        }
+        if (was_rejected || tpb_was_rejected)
             ++rejected;
         else
             ++parsed;

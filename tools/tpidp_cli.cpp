@@ -44,6 +44,7 @@
 #include "lint/report.hpp"
 #include "netlist/analysis.hpp"
 #include "netlist/bench_io.hpp"
+#include "netlist/tpb_io.hpp"
 #include "netlist/ffr.hpp"
 #include "netlist/transform.hpp"
 #include "netlist/validate.hpp"
@@ -129,6 +130,7 @@ struct Args {
     bool prune_lint = false;   // tpi: lint-based candidate pruning
     bool prune_analysis = false;  // tpi: zero-gain observe pruning
     bool exact_eval = false;   // tpi: reference evaluator, engine off
+    bool flow_proxy = false;   // tpi: O(n+e) greedy observe ranking
     double eval_epsilon = 0.0; // tpi: engine delta cutoff (0 = exact)
     std::size_t max_findings = 64;  // lint: per-rule finding cap
     // analyze work caps (validated, not clamped — see AnalysisOptions).
@@ -153,7 +155,8 @@ struct RunContext {
 };
 
 void print_usage(std::ostream& os) {
-    os << "usage: tpidp <suite|stats|lint|analyze|faultsim|tpi|atpg|bist> "
+    os << "usage: tpidp "
+          "<suite|stats|convert|lint|analyze|faultsim|tpi|atpg|bist> "
           "[circuit] [options]\n"
           "       tpidp --help\n"
           "       (aliases: plan = tpi, sim = faultsim)\n";
@@ -162,9 +165,9 @@ void print_usage(std::ostream& os) {
 void print_help() {
     print_usage(std::cout);
     std::cout <<
-        "\n<circuit> is a .bench or .v file path (anything containing '.'"
-        " or '/')\nor the name of a built-in suite circuit (see `tpidp"
-        " suite`).\n"
+        "\n<circuit> is a .bench, .v or .tpb file path (anything"
+        " containing '.'\nor '/') or the name of a built-in suite circuit"
+        " (see `tpidp suite`).\n"
         "\noptions:\n"
         "  --patterns N      test length                  (default 32768)\n"
         "  --budget K        test point budget            (default 8)\n"
@@ -182,7 +185,10 @@ void print_help() {
         "  --drop-after N    faultsim: drop a fault once N patterns have\n"
         "                    detected it (n-detect dropping); 0 keeps\n"
         "                    the default drop-at-first-detection\n"
-        "  --out FILE        write the DFT netlist (.bench or .v)\n"
+        "  --out FILE        write the DFT netlist; the suffix picks\n"
+        "                    the format: .v Verilog, .tpb binary,\n"
+        "                    anything else .bench. `tpidp convert` uses\n"
+        "                    the same rule for format conversion\n"
         "  --json            lint/analyze: emit the report as JSON\n"
         "  --max-findings N  lint: per-rule finding cap  (default 64)\n"
         "  --max-implication-nodes N\n"
@@ -207,6 +213,11 @@ void print_help() {
         "  --eval-epsilon E  tpi: incremental-engine delta cutoff; 0\n"
         "                    keeps scores bit-identical to the reference\n"
         "                    evaluator                    (default 0)\n"
+        "  --flow-proxy      tpi: rank the greedy planner's observe\n"
+        "                    candidates with the O(nodes + edges)\n"
+        "                    deficit-flow sweep instead of the per-fault\n"
+        "                    covering profile (for 100k+-gate circuits;\n"
+        "                    survivors are still scored exactly)\n"
         "  --strict          reject structurally broken netlists\n"
         "  --lenient         repair what is safe (tie off dangling nets,\n"
         "                    drop dead logic) and report it   (default)\n"
@@ -223,7 +234,7 @@ void print_help() {
         "  0  success\n"
         "  1  internal error\n"
         "  2  usage error (unknown flag, malformed numeric value)\n"
-        "  3  parse error (malformed .bench / .v input)\n"
+        "  3  parse error (malformed .bench / .v / .tpb input)\n"
         "  4  validation error (structurally broken netlist, or a\n"
         "     non-positive --deadline-ms)\n"
         "  5  limit or deadline exceeded, or interrupted (SIGINT/\n"
@@ -305,6 +316,8 @@ Args parse_args(int argc, char** argv, int first) {
             args.prune_analysis = true;
         else if (arg == "--exact-eval")
             args.exact_eval = true;
+        else if (arg == "--flow-proxy")
+            args.flow_proxy = true;
         else if (arg == "--eval-epsilon") {
             args.eval_epsilon = parse_number<double>(arg, next());
             if (args.eval_epsilon < 0.0)
@@ -366,19 +379,46 @@ void report_diagnostics(const netlist::Diagnostics& diags) {
                   << "] " << d.check << ": " << d.message << "\n";
 }
 
+bool has_suffix(const std::string& s, std::string_view suffix) {
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
 netlist::Circuit load_circuit(const Args& args) {
     const std::string& spec = args.circuit;
     const bool is_file = spec.find('.') != std::string::npos ||
                          spec.find('/') != std::string::npos;
     if (!is_file) return gen::suite_entry(spec).build();
 
+    // Binary netlists skip the repair pipeline: the format re-validates
+    // structure on load and was produced from an already-valid circuit.
+    if (has_suffix(spec, ".tpb")) return netlist::read_tpb_file(spec);
+
     netlist::Diagnostics diags;
     netlist::Circuit circuit =
-        (spec.size() > 2 && spec.substr(spec.size() - 2) == ".v")
+        has_suffix(spec, ".v")
             ? netlist::read_verilog_file(spec, args.mode, &diags)
             : netlist::read_bench_file(spec, args.mode, &diags);
     report_diagnostics(diags);
     return circuit;
+}
+
+/// Write `circuit` to `path` in the format the suffix selects
+/// (.v -> Verilog, .tpb -> binary, anything else -> .bench).
+bool write_circuit_file(const std::string& path,
+                        const netlist::Circuit& circuit) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out.good()) {
+        std::cerr << "cannot write " << path << "\n";
+        return false;
+    }
+    if (has_suffix(path, ".v"))
+        netlist::write_verilog(out, circuit);
+    else if (has_suffix(path, ".tpb"))
+        netlist::write_tpb(out, circuit);
+    else
+        netlist::write_bench(out, circuit);
+    return out.good();
 }
 
 /// Report truncation and pick the exit code: a truncated run prints its
@@ -406,6 +446,12 @@ int cmd_suite() {
                        std::to_string(c.output_count())});
     }
     table.print(std::cout, "built-in circuits");
+    // Scale-suite entries are listed by name only: building them here
+    // would materialize up to a million gates just to print a row.
+    util::TextTable scale({"name", "description"});
+    for (const auto& entry : gen::scale_suite())
+        scale.add_row({entry.name, entry.description});
+    scale.print(std::cout, "scale circuits (built on demand)");
     return 0;
 }
 
@@ -562,6 +608,7 @@ int cmd_tpi(const Args& args, RunContext& ctx) {
     options.prune_via_analysis = args.prune_analysis;
     options.incremental_eval = !args.exact_eval;
     options.eval_epsilon = args.eval_epsilon;
+    options.greedy_flow_proxy = args.flow_proxy;
     options.sink = ctx.sink_ptr();
 
     util::Timer timer;
@@ -598,16 +645,7 @@ int cmd_tpi(const Args& args, RunContext& ctx) {
     ctx.report.add_num("coverage_after", after.coverage);
 
     if (!args.out.empty()) {
-        std::ofstream out(args.out);
-        if (!out.good()) {
-            std::cerr << "cannot write " << args.out << "\n";
-            return 1;
-        }
-        if (args.out.size() > 2 &&
-            args.out.substr(args.out.size() - 2) == ".v")
-            netlist::write_verilog(out, dft.circuit);
-        else
-            netlist::write_bench(out, dft.circuit);
+        if (!write_circuit_file(args.out, dft.circuit)) return 1;
         std::cout << "wrote " << args.out << "\n";
     }
     return exit_code;
@@ -929,11 +967,22 @@ int cmd_serve(int argc, char** argv) {
     return 0;
 }
 
+int cmd_convert(const Args& args) {
+    if (args.out.empty())
+        usage_error("convert requires --out FILE");
+    const netlist::Circuit c = load_circuit(args);
+    if (!write_circuit_file(args.out, c)) return 1;
+    std::cout << "wrote " << args.out << " (" << c.node_count()
+              << " nodes, " << c.gate_count() << " gates)\n";
+    return 0;
+}
+
 /// Dispatch one subcommand. `command` is already canonicalised
 /// (plan -> tpi, sim -> faultsim).
 int run_command(const std::string& command, const Args& args,
                 RunContext& ctx) {
     if (command == "stats") return cmd_stats(args);
+    if (command == "convert") return cmd_convert(args);
     if (command == "lint") return cmd_lint(args, ctx);
     if (command == "analyze") return cmd_analyze(args, ctx);
     if (command == "faultsim") return cmd_faultsim(args, ctx);
