@@ -16,6 +16,15 @@ Dispatches on the report's "schema" field:
   pruning on (the prune is exact by construction), (b) actually prune
   candidates on the XOR-heavy circuit, and (c) keep the observe-only
   DP planning speedup above the floor.
+* tpidp-bench-t14 (results/BENCH_10.json) — lane-parallel candidate
+  scoring: score_block must (a) produce bitwise-identical scores to
+  the scalar incremental engine on every circuit, single- and
+  multi-threaded, and (b) keep the live per-candidate block-vs-scalar
+  speedup on the gate circuit (dag2000) above the floor. The report
+  also carries the recorded PR 5 baseline (BENCH_5's engine_us) for
+  the cross-PR comparison; that ratio is printed as info — the live
+  scalar path has itself sped up since PR 5, so only the live ratio
+  is a stable regression signal.
 * tpidp-bench-t13 (results/BENCH_9.json) — the million-gate core:
   (a) the DP region cache must keep dag2000 plans and scores
   bit-identical with the speedup above the floor, (b) the 1M-gate
@@ -196,6 +205,41 @@ def check_t13(report: dict, min_speedup: float) -> bool:
     return ok
 
 
+def check_t14(report: dict, min_speedup: float) -> bool:
+    circuits = report.get("circuits", [])
+    if not circuits:
+        fail("report lists no circuits")
+    gate = report.get("gate")
+
+    ok = True
+    for row in circuits:
+        name = row.get("name", "?")
+        if not row.get("scores_identical"):
+            print(f"check_perf: {name}: block scores DIVERGED from the "
+                  "scalar engine (must be bitwise equal)",
+                  file=sys.stderr)
+            ok = False
+        speedup = row.get("speedup", 0.0)
+        gated = name == gate
+        status = "gate" if gated else "info"
+        print(f"check_perf: {name}: batched scoring {speedup:.2f}x "
+              f"(block {row.get('block_us', 0.0):.1f} us/cand vs "
+              f"scalar {row.get('scalar_us', 0.0):.1f} us/cand, "
+              f"K={row.get('lanes', 0)}, lanes/frontier "
+              f"{row.get('lanes_per_frontier', 0.0):.2f}) [{status}]")
+        ref = row.get("ref_scalar_us", 0.0)
+        if ref > 0.0 and row.get("block_us", 0.0) > 0.0:
+            print(f"check_perf: {name}: {ref / row['block_us']:.2f}x vs "
+                  f"the recorded PR 5 baseline ({ref:.1f} us/cand) "
+                  "[info]")
+        if gated and speedup < min_speedup:
+            print(f"check_perf: {name}: batched scoring speedup "
+                  f"{speedup:.2f}x below the {min_speedup:.1f}x floor",
+                  file=sys.stderr)
+            ok = False
+    return ok
+
+
 def main(argv: list[str]) -> None:
     path = "results/BENCH_5.json"
     min_speedup = 3.0
@@ -224,6 +268,8 @@ def main(argv: list[str]) -> None:
         ok = check_t11(report, min_speedup)
     elif schema == "tpidp-bench-t13":
         ok = check_t13(report, min_speedup)
+    elif schema == "tpidp-bench-t14":
+        ok = check_t14(report, min_speedup)
     else:
         fail(f"unexpected schema {schema!r}")
 

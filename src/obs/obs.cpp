@@ -44,6 +44,10 @@ std::string_view counter_name(Counter counter) {
             return "faults_proved_untestable";
         case Counter::CandidatesPrunedAnalysis:
             return "candidates_pruned_analysis";
+        case Counter::ScoreBlocks: return "score_blocks";
+        case Counter::LanesActive: return "lanes_active";
+        case Counter::FrontierNodesShared:
+            return "frontier_nodes_shared";
         case Counter::DeadlineExpiries: return "deadline_expiries";
         case Counter::PoolBatches: return "pool_batches";
         case Counter::PoolTasks: return "pool_tasks";

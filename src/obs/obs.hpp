@@ -56,6 +56,12 @@ enum class Counter : std::uint8_t {
                              ///< mandatory assignments
     CandidatesPrunedAnalysis,  ///< candidates dropped by analysis pruning
                                ///< (provably zero-gain observe sites)
+    ScoreBlocks,           ///< lane-parallel candidate blocks swept
+    LanesActive,           ///< candidates carried by those blocks (the
+                           ///< occupied lanes; blocks * K minus padding)
+    FrontierNodesShared,   ///< per-candidate frontier visits amortised
+                           ///< away by the union sweep: the sum over
+                           ///< visited nodes of (scheduling lanes - 1)
     // Diagnostic (thread- or wall-clock-dependent).
     DeadlineExpiries,      ///< engines stopped by an expired deadline
     PoolBatches,           ///< parallel for_each batches dispatched

@@ -94,7 +94,7 @@ netlist::TpKind parse_kind(const std::string& name) {
 void parse_options(const Value& options, Request& request) {
     check_keys(options, "options",
                {"budget", "patterns", "planner", "seed", "deadline_ms",
-                "eval_epsilon", "exact_eval", "prune_lint",
+                "eval_epsilon", "exact_eval", "simd_eval", "prune_lint",
                 "prune_analysis", "max_findings",
                 "max_implication_nodes", "max_implication_steps",
                 "max_untestable", "sim_width", "drop_after"});
@@ -113,6 +113,8 @@ void parse_options(const Value& options, Request& request) {
         opt_double(options, "eval_epsilon", request.eval_epsilon);
     request.exact_eval =
         opt_bool(options, "exact_eval", request.exact_eval);
+    request.simd_eval =
+        opt_bool(options, "simd_eval", request.simd_eval);
     request.prune_lint =
         opt_bool(options, "prune_lint", request.prune_lint);
     request.prune_analysis =

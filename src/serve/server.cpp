@@ -484,6 +484,7 @@ std::string Server::do_plan(const Request& request, Session& session,
     options.prune_via_analysis = request.prune_analysis;
     options.incremental_eval = !request.exact_eval;
     options.eval_epsilon = request.eval_epsilon;
+    options.simd_eval = request.simd_eval;
     options.sink = &sink;
 
     const Plan plan = planner->plan(session.circuit, options);

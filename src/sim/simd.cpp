@@ -58,4 +58,14 @@ unsigned preferred_sim_width() {
     return 64;
 }
 
+unsigned preferred_eval_lanes() {
+    switch (detect_simd_level()) {
+        case SimdLevel::Avx512:
+        case SimdLevel::Avx2: return 8;
+        case SimdLevel::Sse2:
+        case SimdLevel::Portable: break;
+    }
+    return 4;
+}
+
 }  // namespace tpi::sim

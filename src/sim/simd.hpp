@@ -35,4 +35,10 @@ bool sim_width_supported(unsigned width);
 /// not per build.
 unsigned preferred_sim_width();
 
+/// Default lane count for the batched candidate scorer (`eval_lanes =
+/// 0`, auto): 8 wherever a vector tier backs the double lanes, 4 on
+/// plain-scalar hosts — four-candidate blocks still amortise the union
+/// frontier walk even when each lane is a scalar loop iteration.
+unsigned preferred_eval_lanes();
+
 }  // namespace tpi::sim

@@ -13,8 +13,6 @@ using netlist::NodeId;
 using netlist::TestPoint;
 using netlist::TpKind;
 
-namespace {
-
 /// Gate type of the override gate a control-point kind splices in.
 GateType cp_gate(TpKind kind) {
     switch (kind) {
@@ -33,8 +31,6 @@ GateType cp_gate(TpKind kind) {
 double cp_sens(TpKind kind) {
     return kind == TpKind::ControlXor ? 1.0 : 0.5;
 }
-
-}  // namespace
 
 IncrementalCop::IncrementalCop(const Circuit& circuit, double epsilon)
     : circuit_(circuit), epsilon_(epsilon), csr_(circuit.topology()) {
@@ -125,8 +121,16 @@ void IncrementalCop::apply(const TestPoint& point) {
     require(n.valid() && n.v < circuit_.node_count(),
             "IncrementalCop: invalid node");
     Frame frame;
+    if (!spare_frames_.empty()) {
+        frame = std::move(spare_frames_.back());
+        spare_frames_.pop_back();
+        frame.c1_undo.clear();
+        frame.obs_undo.clear();
+        frame.changed.clear();
+    }
     frame.point = point;
     ++change_epoch_;
+    ++state_version_;
     last_touched_ = 1;
 
     if (netlist::is_control(point.kind)) {
@@ -224,6 +228,7 @@ void IncrementalCop::apply(const TestPoint& point) {
 
 void IncrementalCop::rollback() {
     require(!frames_.empty(), "IncrementalCop: rollback with no frame");
+    ++state_version_;
     const Frame& frame = frames_.back();
     const NodeId n = frame.point.node;
     if (netlist::is_control(frame.point.kind)) {
@@ -238,12 +243,14 @@ void IncrementalCop::rollback() {
     // restored inputs reproduces the pre-apply value bit-for-bit.
     for (const auto& [v, old_c1] : frame.c1_undo) eff_[v] = eff_of(v);
     for (const auto& [v, old_obs] : frame.obs_undo) drv_obs_[v] = old_obs;
+    spare_frames_.push_back(std::move(frames_.back()));
     frames_.pop_back();
 }
 
 void IncrementalCop::commit() {
     require(frames_.size() == 1,
             "IncrementalCop: commit requires exactly one open frame");
+    spare_frames_.push_back(std::move(frames_.back()));
     frames_.pop_back();
 }
 
@@ -264,6 +271,7 @@ void IncrementalCop::sync_from(const IncrementalCop& other) {
     drv_obs_ = other.drv_obs_;
     control_ = other.control_;
     observe_ = other.observe_;
+    ++state_version_;
     committed_or_open_controls_ = other.committed_or_open_controls_;
     committed_or_open_observes_ = other.committed_or_open_observes_;
 }

@@ -11,6 +11,16 @@
 
 namespace tpi::testability {
 
+/// Gate type of the override gate a control-point kind splices in.
+/// Throws tpi::Error for Observe.
+netlist::GateType cp_gate(netlist::TpKind kind);
+
+/// Sensitisation of the overridden net through its override gate: the
+/// probability the equiprobable test signal is non-controlling. Matches
+/// sensitization_probability on the 2-input override gate bit-for-bit
+/// (the only other fanin has c1 = 0.5).
+double cp_sens(netlist::TpKind kind);
+
 /// Incrementally maintained COP state of a base circuit under a stack of
 /// *virtual* test points.
 ///
@@ -74,6 +84,14 @@ public:
     int control_kind(netlist::NodeId v) const { return control_[v.v]; }
     bool observed(netlist::NodeId v) const { return observe_[v.v] != 0; }
 
+    // ---- raw dense views (borrowed by the lane-parallel sweep) ---------
+
+    std::span<const double> c1_data() const { return c1_; }
+    std::span<const double> eff_data() const { return eff_; }
+    std::span<const double> drv_obs_data() const { return drv_obs_; }
+    std::span<const std::int8_t> control_data() const { return control_; }
+    std::span<const std::uint8_t> observe_data() const { return observe_; }
+
     // ---- delta application ---------------------------------------------
 
     /// Apply `point` as a new undo frame on top of the current state.
@@ -91,6 +109,12 @@ public:
 
     /// Open (uncommitted) frames.
     std::size_t depth() const { return frames_.size(); }
+
+    /// Monotonic counter bumped whenever the COP state arrays mutate
+    /// (apply, rollback, sync_from — commit only discards undo data).
+    /// Lets borrowers (the lane sweep's dense mirror) cache derived
+    /// state and revalidate in O(1).
+    std::uint64_t state_version() const { return state_version_; }
 
     /// Nodes whose c1, site_obs, or test-point flags changed in the
     /// newest frame (deduplicated; includes the point's own site). Valid
@@ -156,7 +180,13 @@ private:
     std::size_t committed_or_open_observes_ = 0;
 
     std::vector<Frame> frames_;
+    /// Retired frames kept for their vector capacity: apply() recycles
+    /// one instead of allocating three fresh undo vectors per point —
+    /// planner rounds apply/rollback thousands of frames of similar
+    /// size, so steady state allocates nothing.
+    std::vector<Frame> spare_frames_;
     std::uint64_t last_touched_ = 0;
+    std::uint64_t state_version_ = 1;
 
     // Worklist scratch: per-level buckets plus stamp-based dedup, reused
     // across applies (no steady-state allocation).

@@ -149,7 +149,7 @@ Plan DpPlanner::plan(const netlist::Circuit& circuit,
     std::optional<EvalEngine> engine;
     if (options.incremental_eval)
         engine.emplace(circuit, faults, options.objective, sink,
-                       options.eval_epsilon);
+                       options.eval_epsilon, options.simd_eval);
 
     // Cross-round region reuse (the FFR-sharded fast path): observation
     // points add no nodes, so dft.node_map — and with it the transformed

@@ -7,6 +7,7 @@
 
 #include "fault/fault.hpp"
 #include "netlist/circuit.hpp"
+#include "netlist/ffr.hpp"
 #include "netlist/test_point.hpp"
 #include "obs/obs.hpp"
 #include "testability/incremental_cop.hpp"
@@ -45,10 +46,14 @@ public:
     /// `faults` and `circuit` are borrowed for the engine's lifetime.
     /// `epsilon` is the delta-propagation cutoff (0 = exact, the
     /// default; >0 trades bit-exactness for shallower update cones).
+    /// `simd_eval` routes committed-state batch scoring through the
+    /// lane-parallel block scorer (bit-identical, just faster); off
+    /// forces the scalar per-candidate clones.
     EvalEngine(const netlist::Circuit& circuit,
                const fault::CollapsedFaults& faults,
                const Objective& objective, obs::Sink* sink = nullptr,
-               double epsilon = 0.0);
+               double epsilon = 0.0, bool simd_eval = true);
+    ~EvalEngine();
 
     // ---- delta stack ---------------------------------------------------
 
@@ -78,6 +83,25 @@ public:
     /// computed it. threads <= 1 runs inline without touching the pool.
     std::vector<double> score_batch(
         std::span<const netlist::TestPoint> candidates, unsigned threads);
+
+    /// Lane-parallel batch scoring against the committed state: groups
+    /// candidates by FFR/cone locality into blocks of eval_lanes(),
+    /// sweeps each block's union frontier once with per-lane masks
+    /// (testability::CopLaneSweep), and reduces per lane in the exact
+    /// Objective::score order — every score bit-identical to
+    /// score_candidate. Requires no open frames; threads block-level
+    /// parallelism composes on top of the lanes (threads x lanes).
+    std::vector<double> score_block(
+        std::span<const netlist::TestPoint> candidates, unsigned threads);
+
+    /// Candidates per block for score_block: 0 (default) resolves to
+    /// sim::preferred_eval_lanes() at the first block; explicit values
+    /// must satisfy testability::cop_lanes_supported. Changing the
+    /// width drops the block scratch (rebuilt lazily).
+    void set_eval_lanes(unsigned lanes);
+    unsigned eval_lanes() const { return eval_lanes_; }
+
+    bool simd_eval() const { return simd_eval_; }
 
     // ---- projection ----------------------------------------------------
 
@@ -120,6 +144,16 @@ private:
     std::uint64_t version_ = 0;
     std::vector<std::unique_ptr<EvalEngine>> lanes_;
     std::vector<std::uint64_t> lane_version_;
+
+    // Lane-parallel block scorer: one CopLaneSweep + query buffer per
+    // pool worker, reused across planner rounds (the sweeps borrow
+    // cop_'s committed state in place, so commits need no resync).
+    struct BlockScratch;
+    bool simd_eval_;
+    unsigned eval_lanes_ = 0;  ///< 0 = auto (preferred_eval_lanes)
+    std::vector<std::unique_ptr<BlockScratch>> block_scratch_;
+    std::vector<std::uint32_t> block_order_;
+    std::unique_ptr<netlist::FfrDecomposition> ffr_;  ///< lazy
 };
 
 }  // namespace tpi

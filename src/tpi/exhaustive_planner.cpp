@@ -105,7 +105,7 @@ Plan ExhaustivePlanner::plan(const netlist::Circuit& circuit,
     std::optional<EvalEngine> engine;
     if (options.incremental_eval) {
         engine.emplace(circuit, faults, options.objective, options.sink,
-                       options.eval_epsilon);
+                       options.eval_epsilon, options.simd_eval);
         search.engine = &*engine;
         search.best_score = engine->score();
     } else {

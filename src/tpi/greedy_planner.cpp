@@ -72,14 +72,18 @@ Plan GreedyPlanner::plan(const netlist::Circuit& circuit,
     std::optional<EvalEngine> engine;
     if (options.incremental_eval)
         engine.emplace(circuit, faults, options.objective, sink,
-                       options.eval_epsilon);
+                       options.eval_epsilon, options.simd_eval);
     PlanEvaluation current =
         engine ? engine->evaluation()
                : evaluate_plan(circuit, faults, points, options.objective);
 
     // Per-step scratch, hoisted: the mapped fault universe is rebuilt in
-    // place (only the representative node ids change between steps).
+    // place (only the representative node ids change between steps), and
+    // the engine path's affordable-candidate batch reuses its capacity
+    // across steps.
     fault::CollapsedFaults mapped = plan_faults;
+    std::vector<TestPoint> batch;
+    std::vector<std::size_t> batch_of;
 
     // Analysis pruning: observe entries whose COP observability on the
     // step's transformed circuit is exactly 1.0 are dropped from the
@@ -306,8 +310,8 @@ Plan GreedyPlanner::plan(const netlist::Circuit& circuit,
             // replay the reference path's sequential argmax over the
             // score vector. Scores are bit-identical to evaluate_plan,
             // so the same comparison selects the same point.
-            std::vector<TestPoint> batch;
-            std::vector<std::size_t> batch_of;
+            batch.clear();
+            batch_of.clear();
             batch.reserve(shortlist.size());
             for (std::size_t i = 0; i < shortlist.size(); ++i) {
                 if (options.cost.cost(shortlist[i].point.kind) > remaining)

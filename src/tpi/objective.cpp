@@ -12,9 +12,19 @@ double Objective::benefit(double p) const {
     switch (kind) {
         case Kind::ExpectedDetection: {
             if (p >= 1.0) return 1.0;
-            return 1.0 -
-                   std::exp(static_cast<double>(num_patterns) *
-                            std::log1p(-p));
+            // (1 - p)^N by LSB-first square-and-multiply: a fixed
+            // sequence of IEEE multiplications, so the value is
+            // reproducible across libm versions (exp/log1p differ in
+            // the last ulp between platforms) and the lane-parallel
+            // scorer can evaluate it with vector multiplies
+            // bit-identically to this scalar loop.
+            double miss = 1.0;
+            double base = 1.0 - p;
+            for (std::size_t n = num_patterns; n != 0; n >>= 1) {
+                if (n & 1) miss *= base;
+                base *= base;
+            }
+            return 1.0 - miss;
         }
         case Kind::ThresholdLinear:
             return std::min(1.0, p / threshold);

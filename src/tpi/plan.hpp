@@ -89,6 +89,15 @@ struct PlannerOptions {
     /// shallower update cones on deep circuits.
     double eval_epsilon = 0.0;
 
+    /// Score candidate batches with the lane-parallel block scorer
+    /// (`EvalEngine::score_block`): one SIMD word of doubles carries up
+    /// to eight candidates through a single union-frontier delta-COP
+    /// sweep (see DESIGN.md §17). Every plan and every score is
+    /// bit-identical with this on or off, at any lane width or thread
+    /// count — the flag only changes how fast the same numbers appear.
+    /// Only meaningful with incremental_eval on.
+    bool simd_eval = true;
+
     /// Pre-filter candidates with the lint engine: nets proven constant
     /// or unobservable (no sensitisable path to any primary output) are
     /// dropped before any DP table or shortlist is built, and the fault

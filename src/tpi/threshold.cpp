@@ -30,7 +30,8 @@ ThresholdResult solve_min_points(const netlist::Circuit& circuit,
     std::optional<EvalEngine> engine;
     if (base_options.incremental_eval)
         engine.emplace(circuit, faults, base_options.objective,
-                       base_options.sink, base_options.eval_epsilon);
+                       base_options.sink, base_options.eval_epsilon,
+                       base_options.simd_eval);
     const auto evaluate = [&](std::span<const netlist::TestPoint> points) {
         if (!engine)
             return evaluate_plan(circuit, faults, points,

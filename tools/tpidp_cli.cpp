@@ -131,6 +131,7 @@ struct Args {
     bool prune_analysis = false;  // tpi: zero-gain observe pruning
     bool exact_eval = false;   // tpi: reference evaluator, engine off
     bool flow_proxy = false;   // tpi: O(n+e) greedy observe ranking
+    bool simd_eval = true;     // tpi: lane-parallel batch scoring
     double eval_epsilon = 0.0; // tpi: engine delta cutoff (0 = exact)
     std::size_t max_findings = 64;  // lint: per-rule finding cap
     // analyze work caps (validated, not clamped — see AnalysisOptions).
@@ -213,6 +214,11 @@ void print_help() {
         "  --eval-epsilon E  tpi: incremental-engine delta cutoff; 0\n"
         "                    keeps scores bit-identical to the reference\n"
         "                    evaluator                    (default 0)\n"
+        "  --simd-eval / --no-simd-eval\n"
+        "                    tpi: lane-parallel candidate scoring (one\n"
+        "                    SIMD word carries up to 8 candidates per\n"
+        "                    delta-COP sweep); plans and scores are\n"
+        "                    bit-identical either way   (default on)\n"
         "  --flow-proxy      tpi: rank the greedy planner's observe\n"
         "                    candidates with the O(nodes + edges)\n"
         "                    deficit-flow sweep instead of the per-fault\n"
@@ -318,6 +324,10 @@ Args parse_args(int argc, char** argv, int first) {
             args.exact_eval = true;
         else if (arg == "--flow-proxy")
             args.flow_proxy = true;
+        else if (arg == "--simd-eval")
+            args.simd_eval = true;
+        else if (arg == "--no-simd-eval")
+            args.simd_eval = false;
         else if (arg == "--eval-epsilon") {
             args.eval_epsilon = parse_number<double>(arg, next());
             if (args.eval_epsilon < 0.0)
@@ -608,6 +618,7 @@ int cmd_tpi(const Args& args, RunContext& ctx) {
     options.prune_via_analysis = args.prune_analysis;
     options.incremental_eval = !args.exact_eval;
     options.eval_epsilon = args.eval_epsilon;
+    options.simd_eval = args.simd_eval;
     options.greedy_flow_proxy = args.flow_proxy;
     options.sink = ctx.sink_ptr();
 
